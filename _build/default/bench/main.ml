@@ -1,0 +1,944 @@
+(* PreTE benchmark harness: regenerates every table and figure of the
+   paper's measurement and evaluation sections (see DESIGN.md for the
+   per-experiment index), plus Bechamel micro-benchmarks of the hot
+   kernels.
+
+     dune exec bench/main.exe                 -- run everything
+     dune exec bench/main.exe -- --list       -- list experiment ids
+     dune exec bench/main.exe -- --only fig13,table4
+     dune exec bench/main.exe -- --quick      -- smaller grids
+     dune exec bench/main.exe -- --kernels    -- micro-benchmarks only *)
+
+open Prete
+open Prete_net
+open Prete_optics
+open Prete_util
+
+let quick = ref false
+
+let section title =
+  Printf.printf "\n==============================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==============================================================\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Shared fixtures (lazy; computed once per run)                        *)
+(* ------------------------------------------------------------------ *)
+
+let twan_dataset =
+  lazy
+    (let topo = Topology.twan () in
+     let model = Fiber_model.generate topo in
+     (topo, model, Dataset.generate ~model ~horizon_days:365 topo))
+
+let twan_corpus = lazy (let _, _, ds = Lazy.force twan_dataset in Prete_ml.Corpus.of_dataset ds)
+
+let nn_epochs () = if !quick then 10 else 25
+
+let twan_nn =
+  lazy
+    (let c = Lazy.force twan_corpus in
+     Prete_ml.Mlp.train
+       ~config:{ Prete_ml.Mlp.default_config with Prete_ml.Mlp.epochs = nn_epochs () }
+       c.Prete_ml.Corpus.train)
+
+(* Per-topology availability environment plus an NN trained on that
+   topology's own synthetic telemetry (fiber-id embeddings are
+   topology-specific). *)
+let make_bundle topo_name =
+  let topo = Topology.by_name topo_name in
+  let env = Availability.make_env topo in
+  let ds = Dataset.generate ~model:env.Availability.model ~horizon_days:365 topo in
+  let corpus = Prete_ml.Corpus.of_dataset ds in
+  let nn =
+    Prete_ml.Mlp.train
+      ~config:{ Prete_ml.Mlp.default_config with Prete_ml.Mlp.epochs = nn_epochs () }
+      corpus.Prete_ml.Corpus.train
+  in
+  (env, ds, corpus, nn)
+
+let bundle_cache : (string, Availability.env * Dataset.t * Prete_ml.Corpus.t * Prete_ml.Mlp.t) Hashtbl.t =
+  Hashtbl.create 4
+
+let bundle name =
+  match Hashtbl.find_opt bundle_cache name with
+  | Some b -> b
+  | None ->
+    let b = make_bundle name in
+    Hashtbl.add bundle_cache name b;
+    b
+
+let nn_predictor nn f = Prete_ml.Mlp.predict_proba nn f
+
+let fig13_scales () =
+  if !quick then [| 1.0; 2.0; 3.5; 5.0 |] else [| 1.0; 1.5; 2.0; 2.5; 3.0; 4.0; 5.0; 6.0 |]
+
+let fig13_schemes nn =
+  [
+    Schemes.Ecmp;
+    Schemes.Smore;
+    Schemes.Ffc 1;
+    Schemes.Ffc 2;
+    Schemes.Teavar;
+    Schemes.Arrow;
+    Schemes.Flexile;
+    Schemes.prete_default ~predictor:(nn_predictor nn) ();
+    Schemes.Oracle;
+  ]
+
+(* Fig. 13 curves are reused by Table 4, so cache them. *)
+let fig13_cache : (string, (string * (float * float) array) list) Hashtbl.t =
+  Hashtbl.create 4
+
+let fig13_curves topo_name =
+  match Hashtbl.find_opt fig13_cache topo_name with
+  | Some c -> c
+  | None ->
+    let env, _, _, nn = bundle topo_name in
+    let scales = fig13_scales () in
+    let curves =
+      List.map
+        (fun s ->
+          let t0 = Unix.gettimeofday () in
+          let curve = Availability.availability_curve env s ~scales in
+          Printf.printf "  [%s] %-11s computed in %.1f s\n%!" topo_name (Schemes.name s)
+            (Unix.gettimeofday () -. t0);
+          (Schemes.name s, curve))
+        (fig13_schemes nn)
+    in
+    Hashtbl.add fig13_cache topo_name curves;
+    curves
+
+(* ------------------------------------------------------------------ *)
+(* Measurement-section experiments                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig1a () =
+  section "Fig. 1a — transmission loss of four fibers that encounter cuts";
+  let topo, _, ds = Lazy.force twan_dataset in
+  (* Pick four fibers with a predictable cut and synthesize the trace
+     around the event. *)
+  let events =
+    Array.to_list ds.Dataset.degradations
+    |> List.filter (fun d -> d.Dataset.led_to_cut)
+    |> List.filteri (fun i _ -> i < 4)
+  in
+  List.iter
+    (fun (d : Dataset.degradation) ->
+      let baseline = Telemetry.baseline_loss topo d.Dataset.d_fiber in
+      let cut_at = 60 + int_of_float d.Dataset.gap_to_cut_s in
+      let tr =
+        Telemetry.synthesize ~seed:d.Dataset.d_fiber ~baseline ~healthy_s:60
+          ~degradation:d.Dataset.features ~cut_at_s:cut_at ~total_s:(cut_at + 120) ()
+      in
+      let states = Telemetry.states tr in
+      let count st = Array.fold_left (fun a s -> if s = st then a + 1 else a) 0 states in
+      Printf.printf
+        "fiber %2d: baseline %.1f dB | healthy %ds, degraded %ds (degree %.1f dB), cut at t=%ds (loss +%.0f dB)\n"
+        d.Dataset.d_fiber baseline (count Telemetry.Healthy) (count Telemetry.Degraded)
+        d.Dataset.features.Hazard.degree cut_at
+        (Telemetry.cut_threshold +. 8.0))
+    events;
+  Printf.printf "(cuts are rare: %.2f per fiber-week on average across the year)\n"
+    (float_of_int (Array.length ds.Dataset.cuts)
+    /. float_of_int (Topology.num_fibers topo)
+    /. 52.0)
+
+let fig1b () =
+  section "Fig. 1b — CDF of IP capacity lost per fiber cut (three regions)";
+  Printf.printf "%-6s %8s %8s %8s %8s %8s\n" "topo" "p10" "median" "p90" "max" ">=4Tbps";
+  List.iter
+    (fun topo ->
+      let losses =
+        Array.init (Topology.num_fibers topo) (fun f ->
+            Topology.capacity_lost_on_cut topo f /. 1000.0 (* Tbps *))
+      in
+      Printf.printf "%-6s %7.2fT %7.2fT %7.2fT %7.2fT %7.0f%%\n" topo.Topology.name
+        (Stats.percentile losses 10.0) (Stats.median losses) (Stats.percentile losses 90.0)
+        (snd (Stats.min_max losses))
+        (100.0 *. (1.0 -. Stats.cdf_at losses 4.0)))
+    (Topology.all ())
+
+let fig1c () =
+  section "Fig. 1c — flows / tunnels affected by a single fiber cut";
+  Printf.printf "%-6s %14s %14s\n" "topo" "flows affected" "tunnels affected";
+  List.iter
+    (fun topo ->
+      let traffic = Traffic.generate topo in
+      let ts = Tunnels.build topo traffic.Traffic.pairs in
+      let f_fr = ref [] and t_fr = ref [] in
+      for fb = 0 to Topology.num_fibers topo - 1 do
+        let ff, tf = Tunnels.affected_fraction ts fb in
+        f_fr := ff :: !f_fr;
+        t_fr := tf :: !t_fr
+      done;
+      Printf.printf "%-6s %13.0f%% %13.0f%%\n" topo.Topology.name
+        (100.0 *. Stats.mean (Array.of_list !f_fr))
+        (100.0 *. Stats.mean (Array.of_list !t_fr)))
+    (Topology.all ());
+  Printf.printf "(paper, B4: 33%% of flows, 13%% of tunnels)\n"
+
+let fig4a () =
+  section "Fig. 4a — length distribution of fiber degradations";
+  let _, _, ds = Lazy.force twan_dataset in
+  let durations = Dataset.durations ds in
+  Printf.printf "events: %d\n" (Array.length durations);
+  List.iter
+    (fun p ->
+      Printf.printf "  p%-3.0f %8.1f s\n" p (Stats.percentile durations p))
+    [ 10.0; 25.0; 50.0; 75.0; 90.0; 99.0 ];
+  Printf.printf "  fraction under 10 s: %.0f%% (paper: 50%%)\n"
+    (100.0 *. Stats.cdf_at durations 10.0)
+
+let fig4b () =
+  section "Fig. 4b — a degradation preceding a cut; 3-minute polling misses it";
+  let topo, _, _ = Lazy.force twan_dataset in
+  let rng = Rng.create 404 in
+  let f = { (Hazard.sample_features rng ~topo ~fiber:1 ~epoch:0) with
+            Hazard.degree = 6.0; Hazard.duration_s = 45.0 } in
+  let baseline = Telemetry.baseline_loss topo 1 in
+  let tr =
+    Telemetry.synthesize ~baseline ~healthy_s:65 ~degradation:f ~cut_at_s:110
+      ~total_s:400 ()
+  in
+  Printf.printf "1 Hz telemetry: healthy 0-65 s, degraded 65-110 s, cut 110-400 s\n";
+  Printf.printf "degradation visible at 1 s polling:   %b\n"
+    (Telemetry.degradation_visible ~granularity_s:1 tr);
+  Printf.printf "degradation visible at 180 s polling: %b\n"
+    (Telemetry.degradation_visible ~granularity_s:180 tr);
+  Printf.printf "180 s observer sees:";
+  Array.iter
+    (fun (t, st) ->
+      Printf.printf " t=%.0fs:%s" t
+        (match st with
+        | Telemetry.Healthy -> "healthy"
+        | Telemetry.Degraded -> "DEGRADED"
+        | Telemetry.Cut -> "CUT"))
+    (Telemetry.observed_states ~granularity_s:180 tr);
+  print_newline ()
+
+let fig5a () =
+  section "Fig. 5a — time from degradation to the next cut";
+  let _, _, ds = Lazy.force twan_dataset in
+  let gaps = Dataset.gaps_to_next_cut ds in
+  List.iter
+    (fun t ->
+      Printf.printf "  <= %8.0f s: %5.1f%%\n" t (100.0 *. Stats.cdf_at gaps t))
+    [ 10.0; 100.0; 300.0; 1000.0; 10000.0; 86400.0 ];
+  Printf.printf "  beyond one day: %.1f%% (paper: ~20%%; 60%% within 1e3 s)\n"
+    (100.0 *. (1.0 -. Stats.cdf_at gaps 86400.0))
+
+let fig5b () =
+  section "Fig. 5b — normalized number of fiber events";
+  let _, _, ds = Lazy.force twan_dataset in
+  let cuts = float_of_int (Array.length ds.Dataset.cuts) in
+  let degr = float_of_int (Array.length ds.Dataset.degradations) in
+  let pred = float_of_int (Dataset.num_predictable ds) in
+  Printf.printf "  fiber cuts        %.2f (normalized 1.00)\n" 1.0;
+  Printf.printf "  degradations      %.2f\n" (degr /. cuts);
+  Printf.printf "  predictable cuts  %.2f (paper: ~0.25)\n" (pred /. cuts);
+  Printf.printf "  P(cut | degradation) = %.2f (paper: ~0.40)\n"
+    (Dataset.hazard_fraction ds)
+
+let fig6 () =
+  section "Fig. 6 — failure proportion vs critical features";
+  let _, _, ds = Lazy.force twan_dataset in
+  let binned which bins =
+    let values, outcomes = Dataset.feature_outcome ds which in
+    let lo, hi = Stats.min_max values in
+    let pos = Array.make bins 0 and tot = Array.make bins 0 in
+    Array.iteri
+      (fun i v ->
+        let b = Stats.equal_width_bins ~bins ~lo ~hi v in
+        tot.(b) <- tot.(b) + 1;
+        if outcomes.(i) then pos.(b) <- pos.(b) + 1)
+      values;
+    (lo, hi, pos, tot)
+  in
+  List.iter
+    (fun (name, which, bins) ->
+      let lo, hi, pos, tot = binned which bins in
+      Printf.printf "%s (range %.2f .. %.2f):\n " name lo hi;
+      Array.iteri
+        (fun b p ->
+          if tot.(b) > 0 then
+            Printf.printf " %2.0f%%" (100.0 *. float_of_int p /. float_of_int tot.(b))
+          else Printf.printf "   -")
+        pos;
+      print_newline ())
+    [ ("time of day", `Time, 12); ("degree (dB)", `Degree, 7);
+      ("gradient", `Gradient, 8); ("fluctuation", `Fluctuation, 8) ]
+
+let table1 () =
+  section "Table 1 — chi-square tests on critical features";
+  let _, _, ds = Lazy.force twan_dataset in
+  Printf.printf "%-12s %-12s %s\n" "feature" "p-value" "verdict";
+  List.iter
+    (fun (name, which) ->
+      let values, outcomes = Dataset.feature_outcome ds which in
+      let r = Hypothesis.chi2_binned ~bins:10 ~values ~outcomes in
+      Printf.printf "%-12s %-12.2e %s\n" name r.Hypothesis.p_value
+        (if Hypothesis.reject r then "rejected (feature matters)" else "not rejected"))
+    [ ("gradient", `Gradient); ("time", `Time); ("degree", `Degree);
+      ("fluctuation", `Fluctuation) ];
+  Printf.printf "(paper: 1.1e-7, 1e-6, 2.2e-13, 1e-11 — all rejected at 0.01)\n"
+
+let table3 () =
+  section "Table 3 — topologies";
+  Printf.printf "%-6s %7s %9s %9s %8s %15s\n" "topo" "fibers" "IP links" "tunnels" "flows" "traffic matrices";
+  List.iter
+    (fun topo ->
+      let traffic = Traffic.generate topo in
+      let ts = Tunnels.build topo traffic.Traffic.pairs in
+      Printf.printf "%-6s %7d %9d %9d %8d %15d\n" topo.Topology.name
+        (Topology.num_fibers topo)
+        (Topology.num_links topo / 2)
+        (Array.length ts.Tunnels.tunnels)
+        (Array.length ts.Tunnels.flows)
+        (Array.length traffic.Traffic.matrices))
+    (Topology.all ())
+
+let table6 () =
+  section "Table 6/7 — epoch contingency of degradations and cuts";
+  let _, _, ds = Lazy.force twan_dataset in
+  let tbl = Dataset.epoch_contingency ds in
+  Printf.printf "                 #degradation   #no degradation\n";
+  Printf.printf "  #failure      %10.0f %16.0f\n" tbl.(0).(0) tbl.(0).(1);
+  Printf.printf "  #no failure   %10.0f %16.0f\n" tbl.(1).(0) tbl.(1).(1);
+  let r = Hypothesis.chi2_contingency tbl in
+  Printf.printf "chi-square %.1f, log10 p = %.0f => %s (paper: p < 1e-50)\n"
+    r.Hypothesis.statistic r.Hypothesis.log10_p
+    (if Hypothesis.reject r then "dependence confirmed" else "independent");
+  (* Table 7: expected counts under independence (null not rejected). *)
+  let total = tbl.(0).(0) +. tbl.(0).(1) +. tbl.(1).(0) +. tbl.(1).(1) in
+  let row0 = tbl.(0).(0) +. tbl.(0).(1) and col0 = tbl.(0).(0) +. tbl.(1).(0) in
+  Printf.printf "Under independence the joint cell would hold %.1f epochs (observed %.0f)\n"
+    (row0 *. col0 /. total) tbl.(0).(0)
+
+let fig10 () =
+  section "Fig. 10/§5 — testbed scenario: healthy -> degraded -> cut";
+  let topo, _, _ = Lazy.force twan_dataset in
+  let rng = Rng.create 42 in
+  let f = { (Hazard.sample_features rng ~topo ~fiber:0 ~epoch:0) with
+            Hazard.degree = 5.5; Hazard.duration_s = 45.0; Hazard.gradient = 0.08;
+            Hazard.fluctuation = 6 } in
+  let baseline = Telemetry.baseline_loss topo 0 in
+  let tr =
+    Telemetry.synthesize ~baseline ~healthy_s:65 ~degradation:f ~cut_at_s:110
+      ~total_s:400 ()
+  in
+  let states = Telemetry.states tr in
+  let first st =
+    let rec go i = if i >= Array.length states then -1 else if states.(i) = st then i else go (i + 1) in
+    go 0
+  in
+  Printf.printf "VOA-emulated event on a %.0f dB-baseline span:\n" baseline;
+  Printf.printf "  degradation detected at t = %d s (ground truth 65 s)\n"
+    (first Telemetry.Degraded);
+  Printf.printf "  cut detected at t = %d s (ground truth 110 s)\n" (first Telemetry.Cut)
+
+let fig11 () =
+  section "Fig. 11 — controller pipeline latency (testbed)";
+  let env, _, _, nn = bundle "B4" in
+  let topo = env.Availability.ts.Tunnels.topo in
+  let demands = Traffic.demand env.Availability.traffic ~scale:2.0 ~epoch:12 in
+  let events = Array.sub env.Availability.degr_events 0 8 in
+  let update = Tunnel_update.react env.Availability.ts ~degraded_fiber:3 () in
+  let probs =
+    Calibrate.probabilities
+      (Calibrate.Calibrated (nn_predictor nn))
+      env.Availability.model
+      { Calibrate.degraded = [ (3, env.Availability.degr_events.(3)) ]; Calibrate.will_cut = [] }
+  in
+  let merged = Tunnel_update.merged update in
+  let report =
+    Controller.run
+      ~infer:(fun () -> ignore (Prete_ml.Mlp.predict_batch nn events))
+      ~regen:(fun () -> ignore (Scenario.enumerate ~probs ()))
+      ~te:(fun () ->
+        ignore
+          (Te.solve ~relaxation_start:false
+             (Te.make_problem ~ts:merged ~demands ~probs ~beta:0.999 ())))
+      ~n_new_tunnels:(Tunnel_update.num_new update)
+      ()
+  in
+  Printf.printf "(a) pipeline timeline for a degradation on fiber 3 of %s:\n"
+    topo.Topology.name;
+  List.iter
+    (fun t ->
+      Printf.printf "  %-24s start %7.3f s   duration %7.3f s%s\n"
+        (Controller.stage_name t.Controller.stage)
+        t.Controller.start_s t.Controller.duration_s
+        (match t.Controller.stage with
+        | Controller.Detection | Controller.Tunnel_update -> "  [testbed constant]"
+        | _ -> "  [measured]"))
+    report.Controller.timeline;
+  Printf.printf "  end-to-end: %.2f s (software stages excl. tunnel install: %.3f s)\n"
+    report.Controller.end_to_end_s
+    (report.Controller.end_to_end_s
+    -. Controller.tunnel_update_time (Tunnel_update.num_new update));
+  Printf.printf "(b) tunnel-update time (linear model and switch simulation):\n";
+  Printf.printf "  %8s %10s %12s %12s\n" "tunnels" "linear" "simulated" "batch of 12";
+  let serialized =
+    Switchsim.fig11b_curve env.Availability.ts ~counts:[ 1; 5; 10; 20; 50; 100 ]
+  in
+  let batched =
+    Switchsim.fig11b_curve ~batch:12 env.Availability.ts ~counts:[ 1; 5; 10; 20; 50; 100 ]
+  in
+  List.iter2
+    (fun (n, t1) (_, t2) ->
+      Printf.printf "  %8d %8.2f s %10.2f s %10.2f s\n" n
+        (Controller.tunnel_update_time n) t1 t2)
+    serialized batched;
+  Printf.printf "  (paper: ~5 s for 20 tunnels serialized, linear; batching is the §5 mitigation)\n"
+
+let fig12 () =
+  section "Fig. 12 — degradation/cut linearity and degradation-probability CDF";
+  let _, _, ds = Lazy.force twan_dataset in
+  let counts = Dataset.per_fiber_counts ds in
+  let xs = Array.map (fun (d, _) -> float_of_int d) counts in
+  let ys = Array.map (fun (_, c) -> float_of_int c) counts in
+  let slope, intercept = Stats.linear_fit xs ys in
+  Printf.printf "(a) cuts vs degradations per fiber: slope %.2f, intercept %.2f, r = %.3f\n"
+    slope intercept (Stats.pearson xs ys);
+  Printf.printf "    (generative slope h/alpha = 1.6)\n";
+  let model = Fiber_model.generate (Topology.twan ()) in
+  let pd = model.Fiber_model.p_degrade in
+  Printf.printf "(b) degradation probability across fibers (Weibull shape 0.8 scale 0.002):\n";
+  List.iter
+    (fun p -> Printf.printf "    p%-3.0f %.5f\n" p (Stats.percentile pd p))
+    [ 10.0; 50.0; 90.0; 99.0 ];
+  let fitted = Dist.Weibull.fit_mle pd in
+  Printf.printf "    MLE fit of the generated values: shape %.2f scale %.4f\n"
+    fitted.Dist.Weibull.shape fitted.Dist.Weibull.scale
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation-section experiments                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig13 () =
+  section "Fig. 13 — availability vs demand scale (all schemes, all topologies)";
+  let scales = fig13_scales () in
+  List.iter
+    (fun topo_name ->
+      let curves = fig13_curves topo_name in
+      Printf.printf "\n[%s] availability %% by demand scale:\n" topo_name;
+      Printf.printf "%-12s" "scheme";
+      Array.iter (fun s -> Printf.printf " %8.1fx" s) scales;
+      print_newline ();
+      List.iter
+        (fun (name, curve) ->
+          Printf.printf "%-12s" name;
+          Array.iter (fun (_, a) -> Printf.printf " %9.4f" (100.0 *. a)) curve;
+          print_newline ())
+        curves)
+    [ "IBM"; "B4"; "TWAN" ]
+
+let table4 () =
+  section "Table 4 — PreTE's satisfied-demand gain on IBM";
+  let curves = fig13_curves "IBM" in
+  let curve name = List.assoc name curves in
+  let prete = curve "PreTE" in
+  Printf.printf "%-14s" "availability";
+  List.iter (fun n -> Printf.printf " %9s" n) [ "Flexile"; "FFC-1"; "FFC-2"; "TeaVar"; "ARROW" ];
+  print_newline ();
+  List.iter
+    (fun target ->
+      Printf.printf "%-14s" (Printf.sprintf "%.2f%%" (100.0 *. target));
+      let prete_scale = Availability.max_scale_at prete ~target in
+      List.iter
+        (fun name ->
+          let s = Availability.max_scale_at (curve name) ~target in
+          if s <= 0.0 || prete_scale <= 0.0 then Printf.printf " %9s" "NA"
+          else Printf.printf " %8.1fx" (prete_scale /. s))
+        [ "Flexile"; "FFC-1"; "FFC-2"; "TeaVar"; "ARROW" ];
+      Printf.printf "   (PreTE sustains %.1fx)\n" prete_scale)
+    [ 0.9995; 0.999; 0.995; 0.99 ];
+  Printf.printf "(paper, 99%%: Flexile 1.5x  FFC-1 3.4x  FFC-2 2.4x  TeaVar 2.4x  ARROW 2.8x)\n"
+
+let table5 () =
+  section "Table 5 — failure-prediction accuracy";
+  let _, model, _ = Lazy.force twan_dataset in
+  let corpus = Lazy.force twan_corpus in
+  let eval name predict =
+    let c = Prete_ml.Metrics.evaluate ~predict corpus.Prete_ml.Corpus.test in
+    Printf.printf "%-10s P %.2f   R %.2f\n" name (Prete_ml.Metrics.precision c)
+      (Prete_ml.Metrics.recall c)
+  in
+  let naive = Prete_ml.Baselines.naive_train model in
+  eval "TeaVar" (Prete_ml.Baselines.naive_label naive);
+  let st = Prete_ml.Baselines.statistic_train (Lazy.force twan_corpus).Prete_ml.Corpus.train in
+  eval "Statistic" (Prete_ml.Baselines.statistic_label st);
+  let dt = Prete_ml.Dtree.train (Lazy.force twan_corpus).Prete_ml.Corpus.train in
+  eval "DT" (Prete_ml.Dtree.predict_label dt);
+  eval "NN (ours)" (Prete_ml.Mlp.predict_label (Lazy.force twan_nn));
+  Printf.printf "(paper: TeaVar ~0/~0, Statistic .45/.37, DT .68/.53, NN .81/.81)\n"
+
+let fig14 () =
+  section "Fig. 14 — prediction-error distribution (|p_hat - p*|)";
+  let _, model, _ = Lazy.force twan_dataset in
+  let corpus = Lazy.force twan_corpus in
+  let nn = Lazy.force twan_nn in
+  let actual =
+    Array.map (fun (e : Prete_ml.Corpus.example) -> e.Prete_ml.Corpus.true_hazard)
+      corpus.Prete_ml.Corpus.test
+  in
+  let report name predicted =
+    let errs = Array.mapi (fun i p -> Float.abs (p -. actual.(i))) predicted in
+    Printf.printf "%-8s mean %.3f   median %.3f   p90 %.3f\n" name (Stats.mean errs)
+      (Stats.median errs) (Stats.percentile errs 90.0)
+  in
+  report "PreTE"
+    (Array.map
+       (fun (e : Prete_ml.Corpus.example) ->
+         Prete_ml.Mlp.predict_proba nn e.Prete_ml.Corpus.features)
+       corpus.Prete_ml.Corpus.test);
+  let naive = Prete_ml.Baselines.naive_train model in
+  report "TeaVar"
+    (Array.map
+       (fun (e : Prete_ml.Corpus.example) ->
+         Prete_ml.Baselines.naive_proba naive e.Prete_ml.Corpus.features)
+       corpus.Prete_ml.Corpus.test)
+
+let fig15 () =
+  section "Fig. 15 — impact of the prediction model on availability (IBM)";
+  let env, _, _, nn = bundle "IBM" in
+  let topo = env.Availability.ts.Tunnels.topo in
+  let nf = Topology.num_fibers topo in
+  let scales = if !quick then [| 1.0; 2.5; 4.0 |] else [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  let static_prob = Stats.mean env.Availability.model.Fiber_model.p_cut in
+  let variants =
+    [
+      ("TeaVar-pred", Schemes.prete_naive ~predictor:(fun _ -> static_prob) ());
+      ("Statistic", Schemes.prete_default ~predictor:(fun _ -> env.Availability.model.Fiber_model.mean_hazard) ());
+      ("PreTE (NN)", Schemes.prete_default ~predictor:(nn_predictor nn) ());
+      ("Oracle-pred", Schemes.prete_default ~predictor:(Hazard.eval ~num_fibers:nf) ());
+    ]
+  in
+  Printf.printf "%-12s" "model";
+  Array.iter (fun s -> Printf.printf " %8.1fx" s) scales;
+  print_newline ();
+  List.iter
+    (fun (name, scheme) ->
+      Printf.printf "%-12s" name;
+      Array.iter
+        (fun scale ->
+          let a = Availability.availability env scheme ~scale in
+          Printf.printf " %9.4f" (100.0 *. a))
+        scales;
+      Printf.printf "\n%!")
+    variants;
+  Printf.printf "(availability in %%; paper: oracle > NN > statistic > TeaVar's static model)\n"
+
+let fig16a () =
+  section "Fig. 16a — impact of the new-tunnel ratio on availability (IBM)";
+  let env, _, _, nn = bundle "IBM" in
+  let scale = 3.0 in
+  List.iter
+    (fun ratio ->
+      let scheme =
+        if ratio <= 0.0 then Schemes.prete_naive ~predictor:(nn_predictor nn) ()
+        else
+          Schemes.Prete
+            { Schemes.predictor = nn_predictor nn; Schemes.ratio; Schemes.update_tunnels = true }
+      in
+      let a = Availability.availability env scheme ~scale in
+      Printf.printf "  ratio %.1f (%s): availability %.4f%% (%.2f nines)\n%!" ratio
+        (if ratio <= 0.0 then "PreTE-naive" else "PreTE")
+        (100.0 *. a) (Availability.nines a))
+    [ 0.0; 0.5; 1.0; 2.0; 3.0 ];
+  Printf.printf "(paper: PreTE-naive ~2 nines; ratio >= 1 lifts past 3 nines, then flattens)\n"
+
+let fig16b () =
+  section "Fig. 16b — impact of the new-tunnel ratio on TE runtime";
+  let env, _, _, nn = bundle "B4" in
+  let demands = Traffic.demand env.Availability.traffic ~scale:3.0 ~epoch:12 in
+  List.iter
+    (fun ratio ->
+      let t0 = Unix.gettimeofday () in
+      let update =
+        if ratio > 0.0 then Some (Tunnel_update.react ~ratio env.Availability.ts ~degraded_fiber:3 ())
+        else None
+      in
+      let ts =
+        match update with Some u -> Tunnel_update.merged u | None -> env.Availability.ts
+      in
+      let probs =
+        Calibrate.probabilities
+          (Calibrate.Calibrated (nn_predictor nn))
+          env.Availability.model
+          { Calibrate.degraded = [ (3, env.Availability.degr_events.(3)) ];
+            Calibrate.will_cut = [] }
+      in
+      let p = Te.make_problem ~ts ~demands ~probs ~beta:env.Availability.beta () in
+      ignore (Te.solve ~relaxation_start:false p);
+      let compute_s = Unix.gettimeofday () -. t0 in
+      let n_new = match update with Some u -> Tunnel_update.num_new u | None -> 0 in
+      let install_s = Controller.tunnel_update_time n_new in
+      Printf.printf
+        "  ratio %.1f: %3d new tunnels, optimization %.2f s + serialized install %.2f s = %.2f s\n%!"
+        ratio n_new compute_s install_s (compute_s +. install_s))
+    [ 0.0; 1.0; 2.0; 5.0 ];
+  Printf.printf "(paper: <1 s with no updates, seconds at ratio 1, tens of seconds at ratio 5)\n"
+
+let fig17 () =
+  section "Fig. 17 — workload vs capacity uncertainty (B4)";
+  let env, _, _, nn = bundle "B4" in
+  let scales = [| 1.0; 2.7 |] in
+  let pts = Uncertainty.fig17 env ~predictor:(nn_predictor nn) ~scales in
+  Printf.printf "%-10s %6s  %s\n" "scheme" "scale" "availability";
+  List.iter
+    (fun (p : Uncertainty.fig17_point) ->
+      Printf.printf "%-10s %5.1fx  %.4f%% (%.2f nines)\n"
+        (p.Uncertainty.scheme ^ if p.Uncertainty.demand_prediction then "*" else "")
+        p.Uncertainty.scale
+        (100.0 *. p.Uncertainty.availability)
+        (Availability.nines p.Uncertainty.availability))
+    pts;
+  Printf.printf "(paper: at scale 2.7 failure prediction gains far more than demand prediction)\n"
+
+let fig18 () =
+  section "Fig. 18 — production case (see examples/production_case.exe for the narrative)";
+  (* Condensed: the numbers that matter. *)
+  let fibers = [| (0, 1, 600.0); (1, 2, 700.0); (0, 2, 1200.0); (0, 3, 900.0); (3, 2, 950.0) |] in
+  let links =
+    Array.of_list
+      (List.concat_map
+         (fun (f, (a, b)) -> [ (a, b, 1000.0, [ f ]); (b, a, 1000.0, [ f ]) ])
+         [ (0, (0, 1)); (1, (1, 2)); (2, (0, 2)); (3, (0, 3)); (4, (3, 2)) ])
+  in
+  let topo = Topology.make ~name:"fig18" ~node_names:[| "s1"; "s2"; "s3"; "s4" |] ~fibers ~links in
+  let ts = Tunnels.build ~per_flow:2 topo [ (0, 1); (0, 2); (3, 2) ] in
+  let demands = [| 700.0; 600.0; 300.0 |] in
+  Printf.printf "traditional backup s1-s2-s3: link s1-s2 loaded to %.0fG/1000G -> %.0fG sustained loss\n"
+    (demands.(0) +. demands.(1))
+    (Float.max 0.0 (demands.(0) +. demands.(1) -. 1000.0));
+  let update = Tunnel_update.react ts ~degraded_fiber:2 () in
+  let merged = Tunnel_update.merged update in
+  let p = Te.make_problem ~ts:merged ~demands ~probs:[| 0.001; 0.001; 0.4; 0.001; 0.001 |] ~beta:0.99 () in
+  let sol = Te.solve p in
+  let delivered flow =
+    Float.min demands.(flow)
+      (List.fold_left
+         (fun acc tid ->
+           let tn = merged.Tunnels.tunnels.(tid) in
+           if Routing.uses_fiber topo tn.Tunnels.links 2 then acc else acc +. sol.Te.alloc.(tid))
+         0.0 merged.Tunnels.of_flow.(flow))
+  in
+  Printf.printf "PreTE after the s1-s3 cut: delivers %.0f + %.0f + %.0f = %.0fG of %.0fG (no loss)\n"
+    (delivered 0) (delivered 1) (delivered 2)
+    (delivered 0 +. delivered 1 +. delivered 2)
+    (Stats.sum demands)
+
+let fig19 () =
+  section "Fig. 19 — tunnel traffic variation by uncertainty type (B4)";
+  let env, _, _, _ = bundle "B4" in
+  let w = Uncertainty.workload_variation env ~scale:1.5 ~jitter:0.05 in
+  let c = Uncertainty.capacity_variation env ~scale:1.5 in
+  Printf.printf "%-28s %10s %10s\n" "source" "affected" "unaffected";
+  Printf.printf "%-28s %9.3f %10.3f   (mean |delta|/demand)\n" "workload uncertainty"
+    w.Uncertainty.affected_mean w.Uncertainty.unaffected_mean;
+  Printf.printf "%-28s %9.3f %10.3f\n" "capacity uncertainty"
+    c.Uncertainty.affected_mean c.Uncertainty.unaffected_mean;
+  Printf.printf "%-28s %9.3f %10.3f   (p95)\n" "capacity uncertainty (p95)"
+    c.Uncertainty.affected_p95 c.Uncertainty.unaffected_p95;
+  Printf.printf "(paper: capacity uncertainty dominates for affected flows)\n"
+
+let fig20a () =
+  section "Fig. 20a — predictable cuts vs telemetry granularity";
+  let _, _, ds = Lazy.force twan_dataset in
+  Printf.printf "%10s %10s %11s\n" "polling" "coverage" "occurrence";
+  List.iter
+    (fun g ->
+      let cov, occ = Telemetry.coverage_occurrence ~granularity_s:g ds in
+      Printf.printf "%8d s %9.1f%% %10.1f%%\n" g (100.0 *. cov) (100.0 *. occ))
+    [ 1; 5; 10; 30; 60; 180; 300 ];
+  Printf.printf "(paper: 25%% coverage at 1 s falling to 2%% at 5 min)\n"
+
+let fig20b () =
+  section "Fig. 20b — impact of the predictable-cut share alpha (IBM)";
+  let base_env, _, _, nn = bundle "IBM" in
+  let topo = base_env.Availability.ts.Tunnels.topo in
+  let scales = if !quick then [| 2.0; 4.0 |] else [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Printf.printf "%-10s" "alpha";
+  Array.iter (fun s -> Printf.printf " %8.1fx" s) scales;
+  print_newline ();
+  List.iter
+    (fun alpha ->
+      let model = Fiber_model.generate ~alpha topo in
+      let env =
+        Availability.make_env ~model ~traffic:base_env.Availability.traffic
+          ~tunnels:base_env.Availability.ts topo
+      in
+      Printf.printf "%-10s" (Printf.sprintf "%.0f%%" (100.0 *. alpha));
+      Array.iter
+        (fun scale ->
+          let a =
+            Availability.availability env
+              (Schemes.prete_default ~predictor:(nn_predictor nn) ())
+              ~scale
+          in
+          Printf.printf " %9.4f" (100.0 *. a))
+        scales;
+      Printf.printf "\n%!")
+    [ 0.0; 0.25; 0.5; 1.0 ];
+  Printf.printf "(availability in %%; paper: alpha = 1 keeps 3 nines even at 6x demand)\n"
+
+let table8 () =
+  section "Table 8 — NN feature ablation";
+  let corpus = Lazy.force twan_corpus in
+  let cfg = { Prete_ml.Mlp.default_config with Prete_ml.Mlp.epochs = nn_epochs () } in
+  let eval name ablate =
+    let nn = Prete_ml.Mlp.train ~config:cfg ?ablate corpus.Prete_ml.Corpus.train in
+    let c =
+      Prete_ml.Metrics.evaluate ~predict:(Prete_ml.Mlp.predict_label nn)
+        corpus.Prete_ml.Corpus.test
+    in
+    Printf.printf "%-20s P %.2f   R %.2f   F1 %.2f   Acc %.2f\n%!" name
+      (Prete_ml.Metrics.precision c) (Prete_ml.Metrics.recall c) (Prete_ml.Metrics.f1 c)
+      (Prete_ml.Metrics.accuracy c)
+  in
+  List.iter
+    (fun feat ->
+      eval ("NN w/o " ^ Prete_ml.Mlp.feature_name feat) (Some feat))
+    Prete_ml.Mlp.all_features;
+  eval "NN-all" None;
+  Printf.printf "(paper: NN-all best at 0.81; w/o fiber ID worst at F1 0.68)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of our own design choices (DESIGN.md §4)                   *)
+(* ------------------------------------------------------------------ *)
+
+let mc_check () =
+  section "Cross-check — Monte-Carlo simulator vs analytic availability (B4)";
+  let env, _, _, nn = bundle "B4" in
+  let scale = 3.0 in
+  List.iter
+    (fun scheme ->
+      let a = Availability.availability env scheme ~scale in
+      let r = Simulate.run ~epochs:(if !quick then 10_000 else 40_000) env scheme ~scale in
+      Printf.printf
+        "  %-12s analytic %.5f   MC %.5f   (%d cut epochs, %d multi-cut truncated analytically)\n%!"
+        (Schemes.name scheme) a r.Simulate.availability r.Simulate.cut_epochs
+        r.Simulate.multi_cut_epochs)
+    [ Schemes.Ecmp; Schemes.Teavar; Schemes.Flexile;
+      Schemes.prete_default ~predictor:(nn_predictor nn) () ]
+
+let ablate_cutoff () =
+  section "Ablation — scenario cutoff / order";
+  let env, _, _, _ = bundle "B4" in
+  let demands = Traffic.demand env.Availability.traffic ~scale:3.0 ~epoch:12 in
+  let probs = env.Availability.model.Fiber_model.p_cut in
+  List.iter
+    (fun (label, max_order, cutoff) ->
+      let t0 = Unix.gettimeofday () in
+      let p =
+        Te.make_problem ~ts:env.Availability.ts ~demands ~probs ~max_order ~cutoff
+          ~beta:0.999 ()
+      in
+      let sol = Te.solve ~relaxation_start:false p in
+      Printf.printf
+        "  %-28s %4d scenarios  phi %.4f  served %.4f  %2d LPs %6d pivots  %.2f s\n%!"
+        label
+        (Array.length p.Te.scenarios.Scenario.scenarios)
+        sol.Te.phi sol.Te.expected_served sol.Te.stats.Te.lp_solves
+        sol.Te.stats.Te.lp_pivots
+        (Unix.gettimeofday () -. t0))
+    [
+      ("single cuts", 1, 0.0);
+      ("single cuts, cutoff 1e-3", 1, 1e-3);
+      ("double cuts", 2, 0.0);
+      ("double cuts, cutoff 1e-5", 2, 1e-5);
+    ]
+
+let ablate_mip () =
+  section "Ablation — MIP strategy: heuristic vs Benders vs branch-and-bound";
+  let fibers = [| (0, 1, 100.0); (0, 2, 100.0); (1, 2, 100.0) |] in
+  let links =
+    Array.of_list
+      (List.concat_map
+         (fun (f, (a, b)) -> [ (a, b, 10.0, [ f ]); (b, a, 10.0, [ f ]) ])
+         [ (0, (0, 1)); (1, (0, 2)); (2, (1, 2)) ])
+  in
+  let topo = Topology.make ~name:"fig2" ~node_names:[| "s1"; "s2"; "s3" |] ~fibers ~links in
+  let ts = Tunnels.build ~per_flow:2 topo [ (0, 1); (0, 2) ] in
+  Printf.printf "small instance (the paper's Fig. 2 network):\n";
+  List.iter
+    (fun (d1, d2) ->
+      let p =
+        Te.make_problem ~ts ~demands:[| d1; d2 |] ~probs:[| 0.02; 0.03; 0.01 |] ~beta:0.9 ()
+      in
+      let time f = let t0 = Unix.gettimeofday () in let r = f () in (r, Unix.gettimeofday () -. t0) in
+      let h, th = time (fun () -> (Te.solve ~second_phase:false p).Te.phi) in
+      let b, tb = time (fun () -> (Te.solve_benders p).Te.phi) in
+      let e, te_ = time (fun () -> (Te.solve_mip p).Te.phi) in
+      Printf.printf
+        "  demands (%4.1f, %4.1f): heuristic %.4f (%.3fs)  benders %.4f (%.3fs)  b&b %.4f (%.3fs)\n%!"
+        d1 d2 h th b tb e te_)
+    [ (10.0, 10.0); (15.0, 15.0); (12.0, 18.0) ];
+  Printf.printf "\nB4 instance (heuristic vs Benders):\n";
+  let env, _, _, _ = bundle "B4" in
+  let demands = Traffic.demand env.Availability.traffic ~scale:4.0 ~epoch:12 in
+  let p =
+    Te.make_problem ~ts:env.Availability.ts ~demands
+      ~probs:env.Availability.model.Fiber_model.p_cut ~beta:0.999 ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let h = Te.solve ~second_phase:false p in
+  let th = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let b = Te.solve_benders ~max_iters:10 p in
+  let tb = Unix.gettimeofday () -. t0 in
+  Printf.printf "  heuristic phi %.4f (%.2f s, %d LPs)  benders phi %.4f (%.2f s, %d LPs, %d nodes)\n"
+    h.Te.phi th h.Te.stats.Te.lp_solves b.Te.phi tb b.Te.stats.Te.lp_solves
+    b.Te.stats.Te.mip_nodes
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let kernels () =
+  section "Micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let env, _, _, nn = bundle "B4" in
+  let topo = env.Availability.ts.Tunnels.topo in
+  let demands = Traffic.demand env.Availability.traffic ~scale:2.0 ~epoch:12 in
+  let probs = env.Availability.model.Fiber_model.p_cut in
+  let problem = Te.make_problem ~ts:env.Availability.ts ~demands ~probs ~beta:0.999 () in
+  let event = env.Availability.degr_events.(0) in
+  let batch = Array.sub env.Availability.degr_events 0 8 in
+  let small_lp () =
+    let m = Prete_lp.Lp.create () in
+    let x = Prete_lp.Lp.add_var m "x" and y = Prete_lp.Lp.add_var m "y" in
+    ignore (Prete_lp.Lp.add_constraint m [ (1.0, x) ] Prete_lp.Lp.Le 4.0);
+    ignore (Prete_lp.Lp.add_constraint m [ (2.0, y) ] Prete_lp.Lp.Le 12.0);
+    ignore (Prete_lp.Lp.add_constraint m [ (3.0, x); (2.0, y) ] Prete_lp.Lp.Le 18.0);
+    Prete_lp.Lp.set_objective m Prete_lp.Lp.Maximize [ (3.0, x); (5.0, y) ];
+    ignore (Prete_lp.Simplex.solve m)
+  in
+  let tests =
+    [
+      Test.make ~name:"simplex_tiny" (Staged.stage small_lp);
+      Test.make ~name:"te_solve_b4"
+        (Staged.stage (fun () -> ignore (Te.solve ~relaxation_start:false problem)));
+      Test.make ~name:"nn_inference"
+        (Staged.stage (fun () -> ignore (Prete_ml.Mlp.predict_proba nn event)));
+      Test.make ~name:"nn_inference_batch8"
+        (Staged.stage (fun () -> ignore (Prete_ml.Mlp.predict_batch nn batch)));
+      Test.make ~name:"scenario_enumeration"
+        (Staged.stage (fun () -> ignore (Scenario.enumerate ~probs ())));
+      Test.make ~name:"yen_k4_b4"
+        (Staged.stage (fun () -> ignore (Routing.k_shortest topo ~k:4 ~src:0 ~dst:11 ())));
+      Test.make ~name:"algorithm1_react"
+        (Staged.stage (fun () ->
+             ignore (Tunnel_update.react env.Availability.ts ~degraded_fiber:3 ())));
+    ]
+  in
+  let benchmark test =
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark (Test.make_grouped ~name:"g" [ test ]) in
+      let a = analyze results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+            Printf.printf "  %-24s %12.1f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-24s (no estimate)\n%!" name)
+        a)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Registry and driver                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig1a", "loss time series of fibers that cut", fig1a);
+    ("fig1b", "CDF of IP capacity lost per cut", fig1b);
+    ("fig1c", "flows/tunnels affected per cut", fig1c);
+    ("fig4a", "degradation length distribution", fig4a);
+    ("fig4b", "coarse polling misses degradations", fig4b);
+    ("fig5a", "degradation-to-cut delay distribution", fig5a);
+    ("fig5b", "normalized event counts", fig5b);
+    ("fig6", "failure proportion vs features", fig6);
+    ("table1", "feature chi-square tests", table1);
+    ("table3", "topology inventory", table3);
+    ("table6", "epoch contingency + chi-square", table6);
+    ("fig10", "testbed scenario timeline", fig10);
+    ("fig11", "controller pipeline latency", fig11);
+    ("fig12", "degradation/cut linearity, Weibull CDF", fig12);
+    ("fig13", "availability vs demand scale", fig13);
+    ("table4", "PreTE satisfied-demand gains", table4);
+    ("table5", "predictor precision/recall", table5);
+    ("fig14", "prediction error distribution", fig14);
+    ("fig15", "prediction model vs availability", fig15);
+    ("fig16a", "new-tunnel ratio vs availability", fig16a);
+    ("fig16b", "new-tunnel ratio vs TE runtime", fig16b);
+    ("fig17", "workload vs capacity uncertainty", fig17);
+    ("fig18", "production case", fig18);
+    ("fig19", "tunnel traffic variation", fig19);
+    ("fig20a", "telemetry granularity", fig20a);
+    ("fig20b", "predictable share alpha sweep", fig20b);
+    ("table8", "NN feature ablation", table8);
+    ("mc_check", "Monte-Carlo vs analytic cross-check", mc_check);
+    ("ablate_cutoff", "scenario cutoff ablation", ablate_cutoff);
+    ("ablate_mip", "MIP strategy ablation", ablate_mip);
+  ]
+
+let () =
+  let only = ref [] in
+  let run_kernels = ref false in
+  let list_only = ref false in
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--kernels" :: rest ->
+      run_kernels := true;
+      parse rest
+    | "--list" :: rest ->
+      list_only := true;
+      parse rest
+    | "--only" :: ids :: rest ->
+      only := String.split_on_char ',' ids;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %s\n" arg;
+      exit 2
+  in
+  parse args;
+  if !list_only then begin
+    List.iter (fun (id, desc, _) -> Printf.printf "%-14s %s\n" id desc) experiments;
+    Printf.printf "%-14s %s\n" "kernels" "Bechamel micro-benchmarks";
+    exit 0
+  end;
+  let t0 = Unix.gettimeofday () in
+  let selected =
+    if !only = [] then experiments
+    else
+      List.map
+        (fun id ->
+          match List.find_opt (fun (i, _, _) -> i = id) experiments with
+          | Some e -> e
+          | None when id = "kernels" -> ("kernels", "micro-benchmarks", kernels)
+          | None ->
+            Printf.eprintf "unknown experiment id %s (try --list)\n" id;
+            exit 2)
+        !only
+  in
+  List.iter (fun (_, _, run) -> run ()) selected;
+  if !run_kernels || !only = [] then kernels ();
+  Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

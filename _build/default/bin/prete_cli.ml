@@ -1,0 +1,279 @@
+(* Command-line front end for the PreTE library.
+
+   Subcommands:
+     topology      — show a topology's inventory
+     dataset       — generate a synthetic optical event log and summarize it
+     train         — train and evaluate the failure predictors
+     solve         — run the PreTE optimization for one TE period
+     availability  — availability of a TE scheme at a demand scale
+     simulate      — Monte-Carlo epoch simulation (cross-check)
+     pipeline      — controller reaction timeline for a degradation *)
+
+open Cmdliner
+open Prete
+open Prete_net
+
+let topo_arg =
+  let doc = "Topology: B4, IBM or TWAN." in
+  Arg.(value & opt string "B4" & info [ "t"; "topology" ] ~docv:"NAME" ~doc)
+
+let scale_arg =
+  let doc = "Demand scale factor." in
+  Arg.(value & opt float 2.0 & info [ "s"; "scale" ] ~docv:"SCALE" ~doc)
+
+let beta_arg =
+  let doc = "Availability level beta for the optimization." in
+  Arg.(value & opt float 0.999 & info [ "b"; "beta" ] ~docv:"BETA" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+(* ------------------------------------------------------------------ *)
+
+let topology_cmd =
+  let run name file export =
+    let topo =
+      match file with Some path -> Topology_io.load path | None -> Topology.by_name name
+    in
+    (match export with
+    | Some path ->
+      Topology_io.save topo path;
+      Printf.printf "wrote %s\n" path
+    | None -> ());
+    Format.printf "%a@." Topology.pp_summary topo;
+    let traffic = Traffic.generate topo in
+    let ts = Tunnels.build topo traffic.Traffic.pairs in
+    Printf.printf "flows: %d, tunnels: %d, traffic matrices: %d\n"
+      (Array.length ts.Tunnels.flows)
+      (Array.length ts.Tunnels.tunnels)
+      (Array.length traffic.Traffic.matrices);
+    Printf.printf "worst single-cut capacity loss: %.1f Tbps\n"
+      (Array.init (Topology.num_fibers topo) (fun f ->
+           Topology.capacity_lost_on_cut topo f)
+      |> Array.fold_left Float.max 0.0
+      |> fun x -> x /. 1000.0)
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"PATH" ~doc:"Load a custom topology file instead of a built-in.")
+  in
+  let export =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export" ] ~docv:"PATH" ~doc:"Also write the topology to a file.")
+  in
+  let doc = "Show a topology's inventory (Table 3); optionally import/export files." in
+  Cmd.v (Cmd.info "topology" ~doc) Term.(const run $ topo_arg $ file $ export)
+
+let dataset_cmd =
+  let run name seed days =
+    let topo = Topology.by_name name in
+    let ds = Prete_optics.Dataset.generate ~seed ~horizon_days:days topo in
+    Printf.printf "%d degradations, %d cuts over %d days\n"
+      (Array.length ds.Prete_optics.Dataset.degradations)
+      (Array.length ds.Prete_optics.Dataset.cuts)
+      days;
+    Printf.printf "predictable cuts: %.1f%% (alpha); P(cut|degradation) = %.2f\n"
+      (100.0 *. Prete_optics.Dataset.predictable_fraction ds)
+      (Prete_optics.Dataset.hazard_fraction ds);
+    let r = Prete_util.Hypothesis.chi2_contingency (Prete_optics.Dataset.epoch_contingency ds) in
+    Printf.printf "degradation/cut dependence: log10 p = %.0f\n"
+      r.Prete_util.Hypothesis.log10_p
+  in
+  let days =
+    Arg.(value & opt int 365 & info [ "days" ] ~docv:"DAYS" ~doc:"Horizon in days.")
+  in
+  let doc = "Generate and summarize a synthetic optical event log." in
+  Cmd.v (Cmd.info "dataset" ~doc) Term.(const run $ topo_arg $ seed_arg $ days)
+
+let train_cmd =
+  let run name seed epochs =
+    let topo = Topology.by_name name in
+    let ds = Prete_optics.Dataset.generate ~seed topo in
+    let corpus = Prete_ml.Corpus.of_dataset ds in
+    Printf.printf "training on %d events (%.0f%% positive), testing on %d\n"
+      (Array.length corpus.Prete_ml.Corpus.train)
+      (100.0 *. Prete_ml.Corpus.class_balance corpus.Prete_ml.Corpus.train)
+      (Array.length corpus.Prete_ml.Corpus.test);
+    let eval label predict =
+      let c = Prete_ml.Metrics.evaluate ~predict corpus.Prete_ml.Corpus.test in
+      Printf.printf "%-10s P %.2f  R %.2f  F1 %.2f  Acc %.2f\n" label
+        (Prete_ml.Metrics.precision c) (Prete_ml.Metrics.recall c)
+        (Prete_ml.Metrics.f1 c) (Prete_ml.Metrics.accuracy c)
+    in
+    let nn =
+      Prete_ml.Mlp.train
+        ~config:{ Prete_ml.Mlp.default_config with Prete_ml.Mlp.epochs }
+        corpus.Prete_ml.Corpus.train
+    in
+    eval "NN" (Prete_ml.Mlp.predict_label nn);
+    let dt = Prete_ml.Dtree.train corpus.Prete_ml.Corpus.train in
+    eval "DT" (Prete_ml.Dtree.predict_label dt);
+    let st = Prete_ml.Baselines.statistic_train corpus.Prete_ml.Corpus.train in
+    eval "Statistic" (Prete_ml.Baselines.statistic_label st)
+  in
+  let epochs =
+    Arg.(value & opt int 25 & info [ "epochs" ] ~docv:"N" ~doc:"Training epochs.")
+  in
+  let doc = "Train and evaluate the failure predictors (Table 5)." in
+  Cmd.v (Cmd.info "train" ~doc) Term.(const run $ topo_arg $ seed_arg $ epochs)
+
+let solve_cmd =
+  let run name scale beta degraded =
+    let topo = Topology.by_name name in
+    let traffic = Traffic.generate topo in
+    let ts = Tunnels.build topo traffic.Traffic.pairs in
+    let model = Prete_optics.Fiber_model.generate topo in
+    let demands = Traffic.demand traffic ~scale ~epoch:12 in
+    let rng = Prete_util.Rng.create 5 in
+    let obs =
+      match degraded with
+      | None -> { Calibrate.degraded = []; Calibrate.will_cut = [] }
+      | Some fb ->
+        let feats = Prete_optics.Hazard.sample_features rng ~topo ~fiber:fb ~epoch:48 in
+        { Calibrate.degraded = [ (fb, feats) ]; Calibrate.will_cut = [] }
+    in
+    let predictor = Prete_optics.Hazard.eval ~num_fibers:(Topology.num_fibers topo) in
+    let probs = Calibrate.probabilities (Calibrate.Calibrated predictor) model obs in
+    let ts =
+      match degraded with
+      | Some fb -> Tunnel_update.merged (Tunnel_update.react ts ~degraded_fiber:fb ())
+      | None -> ts
+    in
+    let p = Te.make_problem ~ts ~demands ~probs ~beta () in
+    let t0 = Unix.gettimeofday () in
+    let sol = Te.solve p in
+    Printf.printf "phi = %.4f, expected served = %.4f (%.2f s, %d LPs, %d pivots)\n"
+      sol.Te.phi sol.Te.expected_served
+      (Unix.gettimeofday () -. t0)
+      sol.Te.stats.Te.lp_solves sol.Te.stats.Te.lp_pivots
+  in
+  let degraded =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "degraded" ] ~docv:"FIBER" ~doc:"Fiber currently degrading (triggers Algorithm 1).")
+  in
+  let doc = "Run the PreTE optimization for one TE period." in
+  Cmd.v (Cmd.info "solve" ~doc) Term.(const run $ topo_arg $ scale_arg $ beta_arg $ degraded)
+
+let availability_cmd =
+  let run name scale scheme_name =
+    let topo = Topology.by_name name in
+    let env = Availability.make_env topo in
+    let predictor = Prete_optics.Hazard.eval ~num_fibers:(Topology.num_fibers topo) in
+    let scheme =
+      match String.lowercase_ascii scheme_name with
+      | "ecmp" -> Schemes.Ecmp
+      | "smore" -> Schemes.Smore
+      | "ffc1" -> Schemes.Ffc 1
+      | "ffc2" -> Schemes.Ffc 2
+      | "teavar" -> Schemes.Teavar
+      | "arrow" -> Schemes.Arrow
+      | "flexile" -> Schemes.Flexile
+      | "prete" -> Schemes.prete_default ~predictor ()
+      | "prete-naive" -> Schemes.prete_naive ~predictor ()
+      | "oracle" -> Schemes.Oracle
+      | other -> failwith ("unknown scheme " ^ other)
+    in
+    let a = Availability.availability env scheme ~scale in
+    Printf.printf "%s on %s at %.1fx demand: availability %.4f%% (%.2f nines)\n"
+      (Schemes.name scheme) name scale (100.0 *. a) (Availability.nines a)
+  in
+  let scheme =
+    Arg.(
+      value & opt string "prete"
+      & info [ "scheme" ] ~docv:"SCHEME"
+          ~doc:"ecmp | smore | ffc1 | ffc2 | teavar | arrow | flexile | prete | prete-naive | oracle")
+  in
+  let doc = "Evaluate a TE scheme's availability (Fig. 13)." in
+  Cmd.v (Cmd.info "availability" ~doc) Term.(const run $ topo_arg $ scale_arg $ scheme)
+
+let pipeline_cmd =
+  let run name fiber =
+    let topo = Topology.by_name name in
+    let env = Availability.make_env topo in
+    let nf = Topology.num_fibers topo in
+    let fiber = ((fiber mod nf) + nf) mod nf in
+    let demands = Traffic.demand env.Availability.traffic ~scale:2.0 ~epoch:12 in
+    let update = Tunnel_update.react env.Availability.ts ~degraded_fiber:fiber () in
+    let merged = Tunnel_update.merged update in
+    let predictor = Prete_optics.Hazard.eval ~num_fibers:nf in
+    let probs =
+      Calibrate.probabilities (Calibrate.Calibrated predictor) env.Availability.model
+        { Calibrate.degraded = [ (fiber, env.Availability.degr_events.(fiber)) ];
+          Calibrate.will_cut = [] }
+    in
+    let report =
+      Controller.run
+        ~infer:(fun () -> ignore (predictor env.Availability.degr_events.(fiber)))
+        ~regen:(fun () -> ignore (Scenario.enumerate ~probs ()))
+        ~te:(fun () ->
+          ignore
+            (Te.solve ~relaxation_start:false
+               (Te.make_problem ~ts:merged ~demands ~probs ~beta:env.Availability.beta ())))
+        ~n_new_tunnels:(Tunnel_update.num_new update)
+        ()
+    in
+    List.iter
+      (fun t ->
+        Printf.printf "%-24s %7.3f s\n" (Controller.stage_name t.Controller.stage)
+          t.Controller.duration_s)
+      report.Controller.timeline;
+    Printf.printf "end-to-end: %.2f s (%d new tunnels)\n" report.Controller.end_to_end_s
+      (Tunnel_update.num_new update)
+  in
+  let fiber =
+    Arg.(value & opt int 3 & info [ "fiber" ] ~docv:"FIBER" ~doc:"Degrading fiber id.")
+  in
+  let doc = "Controller reaction timeline for a degradation (Fig. 11)." in
+  Cmd.v (Cmd.info "pipeline" ~doc) Term.(const run $ topo_arg $ fiber)
+
+let simulate_cmd =
+  let run name scale scheme_name epochs =
+    let topo = Topology.by_name name in
+    let env = Availability.make_env topo in
+    let predictor = Prete_optics.Hazard.eval ~num_fibers:(Topology.num_fibers topo) in
+    let scheme =
+      match String.lowercase_ascii scheme_name with
+      | "ecmp" -> Schemes.Ecmp
+      | "smore" -> Schemes.Smore
+      | "ffc1" -> Schemes.Ffc 1
+      | "teavar" -> Schemes.Teavar
+      | "arrow" -> Schemes.Arrow
+      | "flexile" -> Schemes.Flexile
+      | "prete" -> Schemes.prete_default ~predictor ()
+      | "oracle" -> Schemes.Oracle
+      | other -> failwith ("unknown scheme " ^ other)
+    in
+    let analytic = Availability.availability env scheme ~scale in
+    let r = Simulate.run ~epochs env scheme ~scale in
+    Printf.printf
+      "%s on %s at %.1fx over %d epochs:\n  Monte-Carlo availability %.5f (analytic %.5f)\n"
+      (Schemes.name scheme) name scale epochs r.Simulate.availability analytic;
+    Printf.printf "  %d epochs with cuts (%d with simultaneous cuts), %d with degradations\n"
+      r.Simulate.cut_epochs r.Simulate.multi_cut_epochs r.Simulate.degradation_epochs
+  in
+  let scheme =
+    Arg.(
+      value & opt string "prete"
+      & info [ "scheme" ] ~docv:"SCHEME"
+          ~doc:"ecmp | smore | ffc1 | teavar | arrow | flexile | prete | oracle")
+  in
+  let epochs =
+    Arg.(value & opt int 20000 & info [ "epochs" ] ~docv:"N" ~doc:"Epochs to simulate.")
+  in
+  let doc = "Monte-Carlo epoch simulation (cross-check of the analytic evaluator)." in
+  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ topo_arg $ scale_arg $ scheme $ epochs)
+
+let () =
+  let doc = "PreTE: traffic engineering with predictive failures (SIGCOMM 2025 reproduction)" in
+  let info = Cmd.info "prete" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ topology_cmd; dataset_cmd; train_cmd; solve_cmd; availability_cmd; simulate_cmd; pipeline_cmd ]))

@@ -1,0 +1,1 @@
+examples/degradation_analysis.ml: Array Dataset Fiber_model Hypothesis List Prete_ml Prete_net Prete_optics Prete_util Printf Stats Telemetry

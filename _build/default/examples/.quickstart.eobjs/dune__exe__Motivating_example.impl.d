@@ -1,0 +1,1 @@
+examples/motivating_example.ml: Array Float List Option Prete Prete_net Prete_util Printf Routing String Te Topology Tunnel_update Tunnels

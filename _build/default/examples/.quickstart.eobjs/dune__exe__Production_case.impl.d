@@ -1,0 +1,1 @@
+examples/production_case.ml: Array Controller Float List Prete Prete_net Prete_util Printf Routing Scenario String Te Topology Tunnel_update Tunnels

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Availability Calibrate Format Prete Prete_ml Prete_net Prete_optics Prete_util Printf Schemes Te Topology Traffic Tunnel_update Tunnels

@@ -1,0 +1,136 @@
+(* The paper's motivating example (§2.2, §3.3, Figs. 2/3/7).
+
+   A three-node network s1-s2-s3 with 10-unit links and failure
+   probabilities 0.005 (s1s2), 0.009 (s1s3), 0.001 (s2s3).  Flow s1->s2
+   uses one tunnel, flow s1->s3 two tunnels.
+
+   - TeaVar (static probabilities, admission control): admits 10 units in
+     total at beta = 99%.
+   - An oracle that knows link s1s2 will not fail admits 20 units.
+   - When s1s2 degrades, PreTE creates the new tunnel s1-s3-s2 and keeps
+     serving both flows after the cut (Fig. 7), where TeaVar's rate
+     adaptation drops to 5 units (Fig. 2c).
+
+   Run with: dune exec examples/motivating_example.exe *)
+
+open Prete
+open Prete_net
+
+let topology () =
+  let fibers = [| (0, 1, 100.0); (0, 2, 100.0); (1, 2, 100.0) |] in
+  let links =
+    Array.of_list
+      (List.concat_map
+         (fun (f, (a, b)) -> [ (a, b, 10.0, [ f ]); (b, a, 10.0, [ f ]) ])
+         [ (0, (0, 1)); (1, (0, 2)); (2, (1, 2)) ])
+  in
+  Topology.make ~name:"fig2" ~node_names:[| "s1"; "s2"; "s3" |] ~fibers ~links
+
+let fiber_s1s2 = 0
+
+(* The paper's tunnel sets: flow s1->s2 has a single tunnel (the direct
+   link); flow s1->s3 has two (direct and via s2).  Hand-built rather than
+   via [Tunnels.build], which would add residual tunnels per §4.2. *)
+let paper_tunnels topo =
+  let path nodes =
+    (* Directed link ids along a node sequence. *)
+    let rec walk = function
+      | a :: (b :: _ as rest) ->
+        let lid =
+          List.find_map
+            (fun (lid, dst) -> if dst = b then Some lid else None)
+            (Topology.neighbors topo a)
+          |> Option.get
+        in
+        lid :: walk rest
+      | _ -> []
+    in
+    walk nodes
+  in
+  let tunnels =
+    [|
+      { Tunnels.tunnel_id = 0; Tunnels.owner = 0; Tunnels.links = path [ 0; 1 ] };
+      { Tunnels.tunnel_id = 1; Tunnels.owner = 1; Tunnels.links = path [ 0; 2 ] };
+      { Tunnels.tunnel_id = 2; Tunnels.owner = 1; Tunnels.links = path [ 0; 1; 2 ] };
+    |]
+  in
+  {
+    Tunnels.topo;
+    Tunnels.flows =
+      [|
+        { Tunnels.flow_id = 0; Tunnels.src = 0; Tunnels.dst = 1 };
+        { Tunnels.flow_id = 1; Tunnels.src = 0; Tunnels.dst = 2 };
+      |];
+    Tunnels.tunnels;
+    Tunnels.of_flow = [| [ 0 ]; [ 1; 2 ] |];
+  }
+
+let () =
+  let topo = topology () in
+  let ts = paper_tunnels topo in
+  let demands = [| 10.0; 10.0 |] in
+  let probs = [| 0.005; 0.009; 0.001 |] in
+
+  Printf.printf "=== Fig. 2: TeaVar with static probabilities ===\n";
+  let p = Te.make_problem ~ts ~demands ~probs ~beta:0.99 () in
+  let adm = Te.solve_admission p in
+  let total = Prete_util.Stats.sum adm.Te.admitted in
+  Printf.printf "TeaVar admits %.1f + %.1f = %.1f units at beta = 99%%\n"
+    adm.Te.admitted.(0) adm.Te.admitted.(1) total;
+
+  (* Rate adaptation when s1s2 actually fails (Fig. 2c): flows fall back
+     to the tunnels that survive. *)
+  let surviving_after_cut alloc flow =
+    List.fold_left
+      (fun acc tid ->
+        let tn = ts.Tunnels.tunnels.(tid) in
+        if Routing.uses_fiber topo tn.Tunnels.links fiber_s1s2 then acc
+        else acc +. alloc.(tid))
+      0.0 ts.Tunnels.of_flow.(flow)
+  in
+  let s0 = surviving_after_cut adm.Te.adm_alloc 0 in
+  let s1 = surviving_after_cut adm.Te.adm_alloc 1 in
+  Printf.printf "After an s1s2 cut, rate adaptation delivers %.1f + %.1f = %.1f units (Fig. 2c)\n\n"
+    (Float.min s0 adm.Te.admitted.(0))
+    (Float.min s1 adm.Te.admitted.(1))
+    (Float.min s0 adm.Te.admitted.(0) +. Float.min s1 adm.Te.admitted.(1));
+
+  Printf.printf "=== Fig. 3: oracle that knows s1s2 will not fail ===\n";
+  let oracle_probs = [| 0.0; 0.009; 0.001 |] in
+  let p_oracle = Te.make_problem ~ts ~demands ~probs:oracle_probs ~beta:0.99 () in
+  let adm_oracle = Te.solve_admission p_oracle in
+  Printf.printf "Oracle admits %.1f + %.1f = %.1f units — %0.1fx TeaVar (Fig. 3b)\n\n"
+    adm_oracle.Te.admitted.(0) adm_oracle.Te.admitted.(1)
+    (Prete_util.Stats.sum adm_oracle.Te.admitted)
+    (Prete_util.Stats.sum adm_oracle.Te.admitted /. Float.max 1.0 total);
+
+  Printf.printf "=== Fig. 7: PreTE reacts to a degradation on s1s2 ===\n";
+  (* Algorithm 1: flow s1->s2 gets the new tunnel s1-s3-s2. *)
+  let update = Tunnel_update.react ts ~degraded_fiber:fiber_s1s2 () in
+  Printf.printf "Algorithm 1 creates %d new tunnel(s):\n" (Tunnel_update.num_new update);
+  Array.iter
+    (fun (tn : Tunnels.tunnel) ->
+      let nodes = Routing.path_nodes topo tn.Tunnels.links in
+      Printf.printf "  flow %d: %s\n" tn.Tunnels.owner
+        (String.concat "-"
+           (List.map (fun v -> topo.Topology.node_names.(v)) nodes)))
+    update.Tunnel_update.new_tunnels;
+  let merged = Tunnel_update.merged update in
+  (* The degradation raises s1s2's probability (say the NN predicts 0.4). *)
+  let prete_probs = [| 0.4; 0.009; 0.001 |] in
+  let p_prete = Te.make_problem ~ts:merged ~demands ~probs:prete_probs ~beta:0.99 () in
+  let sol = Te.solve p_prete in
+  let surviving_with merged_ts alloc flow =
+    List.fold_left
+      (fun acc tid ->
+        let tn = merged_ts.Tunnels.tunnels.(tid) in
+        if Routing.uses_fiber topo tn.Tunnels.links fiber_s1s2 then acc
+        else acc +. alloc.(tid))
+      0.0 merged_ts.Tunnels.of_flow.(flow)
+  in
+  let r0 = Float.min demands.(0) (surviving_with merged sol.Te.alloc 0) in
+  let r1 = Float.min demands.(1) (surviving_with merged sol.Te.alloc 1) in
+  Printf.printf
+    "When the cut then happens, PreTE still delivers %.1f + %.1f = %.1f units (Fig. 7b)\n"
+    r0 r1 (r0 +. r1);
+  Printf.printf "PreTE max loss at beta 99%%: %.3f\n" sol.Te.phi

@@ -1,0 +1,91 @@
+(* Quickstart: run PreTE end-to-end on the B4 topology.
+
+   Builds the topology, traffic and tunnels; trains the failure-prediction
+   NN on a synthetic year of optical telemetry; then walks one TE period
+   that observes a fiber degradation: calibrate probabilities (Eqn. 1),
+   create new tunnels (Algorithm 1), optimize (Eqns. 2-8) and compare
+   availability against TeaVar.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Prete
+open Prete_net
+
+let () =
+  (* 1. Network substrate: topology, demands, tunnels. *)
+  let topo = Topology.b4 () in
+  Format.printf "Topology: %a@." Topology.pp_summary topo;
+  let traffic = Traffic.generate topo in
+  let ts = Tunnels.build topo traffic.Traffic.pairs in
+  Printf.printf "Flows: %d, tunnels: %d\n"
+    (Array.length ts.Tunnels.flows)
+    (Array.length ts.Tunnels.tunnels);
+
+  (* 2. Optical layer: per-fiber probabilities and two years of telemetry. *)
+  let model = Prete_optics.Fiber_model.generate topo in
+  let dataset = Prete_optics.Dataset.generate ~horizon_days:730 ~model topo in
+  Printf.printf "Synthetic telemetry (2y): %d degradations, %d cuts (%.0f%% predictable)\n"
+    (Array.length dataset.Prete_optics.Dataset.degradations)
+    (Array.length dataset.Prete_optics.Dataset.cuts)
+    (100.0 *. Prete_optics.Dataset.predictable_fraction dataset);
+
+  (* 3. Train the failure predictor (Appendix A.2 recipe). *)
+  let corpus = Prete_ml.Corpus.of_dataset dataset in
+  let nn =
+    Prete_ml.Mlp.train
+      ~config:{ Prete_ml.Mlp.default_config with Prete_ml.Mlp.epochs = 25 }
+      corpus.Prete_ml.Corpus.train
+  in
+  let conf =
+    Prete_ml.Metrics.evaluate ~predict:(Prete_ml.Mlp.predict_label nn)
+      corpus.Prete_ml.Corpus.test
+  in
+  Printf.printf "NN predictor: precision %.2f, recall %.2f\n"
+    (Prete_ml.Metrics.precision conf)
+    (Prete_ml.Metrics.recall conf);
+
+  (* 4. One TE period with a degradation signal on fiber 3. *)
+  let degraded_fiber = 3 in
+  let rng = Prete_util.Rng.create 99 in
+  let event =
+    Prete_optics.Hazard.sample_features rng ~topo ~fiber:degraded_fiber ~epoch:48
+  in
+  let p_nn = Prete_ml.Mlp.predict_proba nn event in
+  Printf.printf "\nDegradation on fiber %d: degree %.1f dB, predicted cut probability %.2f\n"
+    degraded_fiber event.Prete_optics.Hazard.degree p_nn;
+
+  (* Eqn. 1 calibration. *)
+  let obs =
+    { Calibrate.degraded = [ (degraded_fiber, event) ]; Calibrate.will_cut = [] }
+  in
+  let probs =
+    Calibrate.probabilities
+      (Calibrate.Calibrated (Prete_ml.Mlp.predict_proba nn))
+      model obs
+  in
+
+  (* Algorithm 1: new tunnels disjoint from the degraded fiber. *)
+  let update = Tunnel_update.react ts ~degraded_fiber () in
+  Printf.printf "Algorithm 1 established %d new tunnels for affected flows\n"
+    (Tunnel_update.num_new update);
+  let merged = Tunnel_update.merged update in
+
+  (* The optimization (Eqns. 2-8). *)
+  let demands = Traffic.demand traffic ~scale:2.5 ~epoch:12 in
+  let problem = Te.make_problem ~ts:merged ~demands ~probs ~beta:0.99 () in
+  let sol = Te.solve problem in
+  Printf.printf "PreTE optimization: max loss %.4f at beta 0.99, served %.4f (%d LPs, %d pivots)\n"
+    sol.Te.phi sol.Te.expected_served sol.Te.stats.Te.lp_solves sol.Te.stats.Te.lp_pivots;
+
+  (* 5. Availability comparison at a capacity-stressed demand scale. *)
+  let env = Availability.make_env ~model ~traffic ~tunnels:ts topo in
+  let scale = 3.0 in
+  let prete =
+    Availability.availability env
+      (Schemes.prete_default ~predictor:(Prete_ml.Mlp.predict_proba nn) ())
+      ~scale
+  in
+  let teavar = Availability.availability env Schemes.Teavar ~scale in
+  Printf.printf "\nAvailability at %.1fx demand: PreTE %.4f%% vs TeaVar %.4f%%\n"
+    scale (100.0 *. prete) (100.0 *. teavar);
+  Printf.printf "(%.1f vs %.1f nines)\n" (Availability.nines prete) (Availability.nines teavar)

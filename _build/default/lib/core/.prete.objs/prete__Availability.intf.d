@@ -1,0 +1,1 @@
+lib/core/availability.mli: Prete_net Prete_optics Schemes

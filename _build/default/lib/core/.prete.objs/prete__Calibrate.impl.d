@@ -1,0 +1,1 @@
+lib/core/calibrate.ml: Array Fiber_model Float Hazard List Prete_optics

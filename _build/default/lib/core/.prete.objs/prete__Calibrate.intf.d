@@ -1,0 +1,1 @@
+lib/core/calibrate.mli: Prete_optics

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Array Float Hashtbl List Prete_net

@@ -1,0 +1,1 @@
+lib/core/schemes.ml: Prete_optics Printf

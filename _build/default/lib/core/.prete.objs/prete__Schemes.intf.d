@@ -1,0 +1,1 @@
+lib/core/schemes.mli: Prete_optics

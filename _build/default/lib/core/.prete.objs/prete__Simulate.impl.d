@@ -1,0 +1,1 @@
+lib/core/simulate.ml: Array Availability Fiber_model Float Hashtbl Hazard List Prete_net Prete_optics Prete_util Routing Schemes Topology Traffic Tunnels

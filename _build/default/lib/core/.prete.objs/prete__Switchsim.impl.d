@@ -1,0 +1,1 @@
+lib/core/switchsim.ml: Array Float List Prete_net Prete_util Topology Tunnels

@@ -1,0 +1,1 @@
+lib/core/switchsim.mli: Prete_net

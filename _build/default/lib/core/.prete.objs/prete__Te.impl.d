@@ -1,0 +1,1 @@
+lib/core/te.ml: Array Float Hashtbl List Lp Mip Prete_lp Prete_net Prete_util Printf Scenario Simplex Topology Tunnels

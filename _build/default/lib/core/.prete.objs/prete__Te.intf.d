@@ -1,0 +1,1 @@
+lib/core/te.mli: Prete_net Scenario

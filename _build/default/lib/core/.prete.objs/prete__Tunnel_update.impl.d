@@ -1,0 +1,1 @@
+lib/core/tunnel_update.ml: Array Float List Prete_net Routing Topology Tunnels

@@ -1,0 +1,1 @@
+lib/core/tunnel_update.mli: Prete_net

@@ -1,0 +1,1 @@
+lib/core/uncertainty.ml: Array Availability Float Lazy List Prete_net Prete_util Routing Schemes Topology Traffic Tunnels

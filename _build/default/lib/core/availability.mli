@@ -1,0 +1,105 @@
+(** Analytic availability evaluation (§6.2).
+
+    An epoch's state is (degradation state s, cut outcome q).  Degradation
+    states are truncated to at most one degrading fiber (two simultaneous
+    degradations carry negligible probability), cut outcomes to at most one
+    cut, both renormalized — the cutoff treatment of TeaVar §5.1.
+
+    For each state the scheme's allocation is evaluated per flow:
+
+    - proactive rate adaptation (ECMP/FFC/TeaVar/PreTE): the flow is
+      available in (s, q) iff its surviving allocated rate covers its
+      demand (within ε);
+    - ARROW: a flow hit by a cut recovers when optical restoration
+      completes, losing [tau_arrow] (8 s) of the epoch;
+    - Flexile: a flow hit by a cut waits [tau_flexile] for the controller
+      to recompute, then receives the recomputed optimal share (losing the
+      whole epoch when even that cannot serve it);
+    - Oracle: per-outcome optimal allocation.
+
+    Availability = Σ_s P(s) Σ_q P(q|s) · mean over flows of the available
+    time fraction.  PreTE's allocation is recomputed per degradation state
+    (calibrated probabilities + Algorithm 1 tunnels); every other scheme
+    allocates once.
+
+    Ground truth vs. prediction: each fiber gets one representative
+    degradation event (deterministically sampled).  The {e evaluation}
+    uses the event's true hazard as the conditional cut probability; the
+    {e scheme} sees only its predictor's output on the event's features —
+    so prediction error directly costs availability (Fig. 15). *)
+
+type env = {
+  ts : Prete_net.Tunnels.t;
+  traffic : Prete_net.Traffic.t;
+  model : Prete_optics.Fiber_model.t;
+  beta : float;  (** Optimization availability level (0.999 default). *)
+  epoch : int;  (** Hour used for the demand matrix. *)
+  degr_events : Prete_optics.Hazard.features array;
+      (** Representative degradation event per fiber. *)
+  true_hazard : float array;  (** Ground-truth hazard of those events. *)
+  epsilon : float;  (** Loss tolerance counting a flow as available. *)
+  tau_flexile : float;  (** Reactive convergence window, seconds. *)
+  tau_arrow : float;  (** Optical restoration latency, seconds (8). *)
+  epoch_seconds : float;  (** 900. *)
+}
+
+val make_env :
+  ?seed:int ->
+  ?beta:float ->
+  ?epoch:int ->
+  ?epsilon:float ->
+  ?tau_flexile:float ->
+  ?tau_arrow:float ->
+  ?model:Prete_optics.Fiber_model.t ->
+  ?traffic:Prete_net.Traffic.t ->
+  ?tunnels:Prete_net.Tunnels.t ->
+  Prete_net.Topology.t ->
+  env
+(** Defaults: seed 23, β 0.999 (the cloud-SLA region the paper evaluates,
+    §6.2 — at this level the static-probability baselines must cover
+    nearly every scenario, which is where prediction pays), epoch 12,
+    ε 1e-4, τ_flexile 300 s (a failed flow is not made whole "until the
+    next TE period", §7),
+    τ_arrow 8 s (§6.1), model/traffic/tunnels generated with their
+    defaults. *)
+
+val availability : env -> Schemes.t -> scale:float -> float
+(** Mean-over-flows availability at a demand scale, in [0, 1]. *)
+
+val availability_curve :
+  env -> Schemes.t -> scales:float array -> (float * float) array
+(** [(scale, availability)] samples — a Fig. 13 series. *)
+
+val max_scale_at : (float * float) array -> target:float -> float
+(** Largest demand scale sustaining [target] availability, interpolated
+    linearly on a (monotonically scanned) curve; 0 when even the smallest
+    sampled scale misses the target. *)
+
+val nines : float -> float
+(** [-log10 (1 - a)], the "number of nines" axis of Figs. 13/15; capped
+    at 6 for a = 1. *)
+
+type plan = {
+  p_alloc : float array;  (** a_{f,t} by tunnel id. *)
+  p_ts : Prete_net.Tunnels.t;  (** Tunnel set (with Algorithm 1 updates). *)
+  p_admitted : float array option;
+      (** Ingress rate limits (admission-style schemes only). *)
+}
+
+(** Internal pieces exposed for tests and benches. *)
+module Internal : sig
+  val plan_alloc :
+    env -> Schemes.t -> demands:float array -> degraded:int option -> plan
+  (** The plan a scheme uses in a given degradation state. *)
+
+  val max_served :
+    env -> demands:float array -> cuts:int list -> float array
+  (** Optimal per-flow served fraction on the topology surviving the given
+      fiber cuts — the Oracle/Flexile-recompute LP. *)
+
+  val degradation_states : env -> (int option * float) array
+  (** Truncated, renormalized degradation-state distribution. *)
+
+  val cut_outcomes : env -> degraded:int option -> (int option * float) array
+  (** Truncated, renormalized conditional cut-outcome distribution. *)
+end

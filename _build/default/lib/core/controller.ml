@@ -1,0 +1,54 @@
+type stage = Detection | Inference | Tunnel_update | Scenario_regen | Te_compute
+
+let stage_name = function
+  | Detection -> "detection"
+  | Inference -> "NN inference"
+  | Tunnel_update -> "tunnel update"
+  | Scenario_regen -> "scenario regeneration"
+  | Te_compute -> "TE computation"
+
+type timing = { stage : stage; start_s : float; duration_s : float }
+
+type report = { timeline : timing list; end_to_end_s : float }
+
+let per_tunnel_setup_s = 0.25
+
+let detection_s = 0.05
+
+let tunnel_update_time n =
+  if n < 0 then invalid_arg "Controller.tunnel_update_time: negative count";
+  float_of_int n *. per_tunnel_setup_s
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let run ~infer ~regen ~te ~n_new_tunnels () =
+  if n_new_tunnels < 0 then invalid_arg "Controller.run: negative tunnel count";
+  let infer_s = wall infer in
+  let update_s = tunnel_update_time n_new_tunnels in
+  let regen_s = wall regen in
+  let te_s = wall te in
+  let stages =
+    [
+      (Detection, detection_s);
+      (Inference, infer_s);
+      (Tunnel_update, update_s);
+      (Scenario_regen, regen_s);
+      (Te_compute, te_s);
+    ]
+  in
+  let _, timeline =
+    List.fold_left
+      (fun (t, acc) (stage, duration_s) ->
+        (t +. duration_s, { stage; start_s = t; duration_s } :: acc))
+      (0.0, []) stages
+  in
+  let timeline = List.rev timeline in
+  let end_to_end_s =
+    List.fold_left (fun acc t -> acc +. t.duration_s) 0.0 timeline
+  in
+  { timeline; end_to_end_s }
+
+let within_budget report ~gap_to_cut_s = report.end_to_end_s <= gap_to_cut_s

@@ -1,0 +1,83 @@
+type t = { fibers : int list; prob : float }
+
+type set = { scenarios : t array; covered_prob : float; residual_prob : float }
+
+let probability ~probs fibers =
+  Array.to_list probs
+  |> List.mapi (fun n p -> if List.mem n fibers then p else 1.0 -. p)
+  |> List.fold_left ( *. ) 1.0
+
+let enumerate ~probs ?(max_order = 1) ?(cutoff = 0.0) () =
+  Array.iter
+    (fun p ->
+      if p < 0.0 || p > 1.0 then invalid_arg "Scenario.enumerate: probability out of [0,1]")
+    probs;
+  if max_order < 0 then invalid_arg "Scenario.enumerate: max_order must be >= 0";
+  let n = Array.length probs in
+  let none = probability ~probs [] in
+  let acc = ref [ { fibers = []; prob = none } ] in
+  if max_order >= 1 then
+    for i = 0 to n - 1 do
+      let p = probability ~probs [ i ] in
+      if p >= cutoff && probs.(i) > 0.0 then acc := { fibers = [ i ]; prob = p } :: !acc
+    done;
+  if max_order >= 2 then
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let p = probability ~probs [ i; j ] in
+        if p >= cutoff && probs.(i) > 0.0 && probs.(j) > 0.0 then
+          acc := { fibers = [ i; j ]; prob = p } :: !acc
+      done
+    done;
+  if max_order >= 3 then invalid_arg "Scenario.enumerate: max_order > 2 unsupported";
+  let scenarios = Array.of_list (List.rev !acc) in
+  let covered_prob = Array.fold_left (fun a s -> a +. s.prob) 0.0 scenarios in
+  { scenarios; covered_prob; residual_prob = Float.max 0.0 (1.0 -. covered_prob) }
+
+let normalize set =
+  if set.covered_prob <= 0.0 then invalid_arg "Scenario.normalize: zero covered mass";
+  let k = 1.0 /. set.covered_prob in
+  {
+    scenarios = Array.map (fun s -> { s with prob = s.prob *. k }) set.scenarios;
+    covered_prob = 1.0;
+    residual_prob = 0.0;
+  }
+
+let no_failure set =
+  match Array.to_list set.scenarios |> List.find_opt (fun s -> s.fibers = []) with
+  | Some s -> s
+  | None -> invalid_arg "Scenario.no_failure: missing (corrupt set)"
+
+module Classes = struct
+  type cls = { survivors : int list; members : int list; prob : float }
+
+  let of_flow ts ~tunnels set =
+    let table = Hashtbl.create 16 in
+    Array.iteri
+      (fun qi s ->
+        let survivors =
+          List.filter_map
+            (fun (tn : Prete_net.Tunnels.tunnel) ->
+              if Prete_net.Tunnels.tunnel_survives ts tn ~failed_fibers:s.fibers then
+                Some tn.Prete_net.Tunnels.tunnel_id
+              else None)
+            tunnels
+        in
+        let key = List.sort compare survivors in
+        let members, prob =
+          try Hashtbl.find table key with Not_found -> ([], 0.0)
+        in
+        Hashtbl.replace table key (qi :: members, prob +. s.prob))
+      set.scenarios;
+    let out =
+      Hashtbl.fold
+        (fun survivors (members, prob) acc ->
+          { survivors; members = List.rev members; prob } :: acc)
+        table []
+    in
+    (* Deterministic order: by first member scenario index. *)
+    Array.of_list
+      (List.sort
+         (fun a b -> compare (List.hd a.members) (List.hd b.members))
+         out)
+end

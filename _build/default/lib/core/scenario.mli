@@ -1,0 +1,60 @@
+(** Failure scenarios Q and their probabilities (§4.3 "TE input").
+
+    A failure scenario is a set of simultaneously-cut fibers; its
+    probability under independent per-fiber failure probabilities
+    p = (p₁ … p_N) is [Π (q̂ₙ pₙ + (1 − q̂ₙ)(1 − pₙ))].  Like TeaVar and
+    the paper, we truncate the scenario set with a cutoff: the no-failure
+    scenario, all single cuts, and (optionally) double cuts whose
+    probability exceeds the cutoff.  Omitted probability mass is reported
+    so callers can check it is negligible against 1 − β. *)
+
+type t = {
+  fibers : int list;  (** Cut fibers (sorted). *)
+  prob : float;
+}
+
+type set = {
+  scenarios : t array;
+  covered_prob : float;  (** Σ probabilities of retained scenarios. *)
+  residual_prob : float;  (** 1 − covered (mass of truncated scenarios). *)
+}
+
+val enumerate :
+  probs:float array -> ?max_order:int -> ?cutoff:float -> unit -> set
+(** [enumerate ~probs ()] builds the truncated scenario set.  [max_order]
+    (default 1) bounds how many simultaneous cuts a scenario may contain;
+    [cutoff] (default 0.0) drops scenarios less probable than it.  The
+    no-failure scenario is always retained.  Raises [Invalid_argument] on
+    probabilities outside [0, 1]. *)
+
+val no_failure : set -> t
+(** The empty scenario (always present). *)
+
+val normalize : set -> set
+(** Rescale probabilities to sum to 1 — i.e. condition on the truncated
+    scenario space.  The availability level β is then interpreted relative
+    to the modeled scenarios, which is how cutoff-based TE evaluation
+    (TeaVar §5.1) treats truncation. *)
+
+val probability : probs:float array -> int list -> float
+(** Probability of an explicit scenario under independence. *)
+
+(** Per-flow scenario classes: scenarios that leave a flow with the same
+    surviving tunnel set are interchangeable in the optimization, so they
+    share loss variables (the pruning that keeps instances inside
+    dense-simplex reach — see DESIGN.md). *)
+module Classes : sig
+  type cls = {
+    survivors : int list;  (** Surviving tunnel ids (sorted). *)
+    members : int list;  (** Scenario indices collapsed into this class. *)
+    prob : float;  (** Σ member probabilities. *)
+  }
+
+  val of_flow :
+    Prete_net.Tunnels.t ->
+    tunnels:Prete_net.Tunnels.tunnel list ->
+    set ->
+    cls array
+  (** Group a scenario set by the surviving subset of [tunnels] (the
+      flow's pre-established plus newly-created tunnels). *)
+end

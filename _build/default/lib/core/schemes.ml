@@ -1,0 +1,32 @@
+type prete_config = {
+  predictor : Prete_optics.Hazard.features -> float;
+  ratio : float;
+  update_tunnels : bool;
+}
+
+type t =
+  | Ecmp
+  | Smore
+  | Ffc of int
+  | Teavar
+  | Arrow
+  | Flexile
+  | Prete of prete_config
+  | Oracle
+
+let name = function
+  | Ecmp -> "ECMP"
+  | Smore -> "SMORE"
+  | Ffc k -> Printf.sprintf "FFC-%d" k
+  | Teavar -> "TeaVar"
+  | Arrow -> "ARROW"
+  | Flexile -> "Flexile"
+  | Prete { update_tunnels = true; _ } -> "PreTE"
+  | Prete { update_tunnels = false; _ } -> "PreTE-naive"
+  | Oracle -> "Oracle"
+
+let prete_default ~predictor () = Prete { predictor; ratio = 1.0; update_tunnels = true }
+
+let prete_naive ~predictor () = Prete { predictor; ratio = 0.0; update_tunnels = false }
+
+let is_degradation_aware = function Prete _ -> true | _ -> false

@@ -1,0 +1,55 @@
+(** The TE schemes compared in the evaluation (§6.1, Table 9).
+
+    All schemes share the tunnel/LP substrate so comparisons are
+    apples-to-apples:
+
+    - {b ECMP}: demand split equally across the flow's equal-cost shortest
+      tunnels; no failure awareness, capacity-oblivious.
+    - {b SMORE}: semi-oblivious TE — load-balancing ratios over the
+      precomputed tunnels minimizing the max link utilization of the
+      current traffic matrix; failure-oblivious (Table 9).
+    - {b FFC-k}: no traffic loss under any combination of up to [k] fiber
+      cuts — every scenario class covered, probability-oblivious.
+    - {b TeaVar}: the probabilistic formulation with {e static} failure
+      probabilities p_i and no tunnel updates.
+    - {b ARROW}: TeaVar's allocation plus optical restoration that
+      rebuilds lost capacity 8 s after a cut (availability accounting in
+      {!Availability}).
+    - {b Flexile}: reactive — allocates for the no-failure case and
+      recomputes the optimal allocation after each failure, paying a
+      convergence window.
+    - {b PreTE}: Eqn. 1 calibrated probabilities (predictor on degrading
+      fibers, (1−α)p_i otherwise) plus Algorithm 1 tunnel updates.
+      [ratio] scales new tunnels per affected tunnel (Fig. 16);
+      [update_tunnels = false] gives PreTE-naive.
+    - {b Oracle}: knows the failure outcome; per-scenario optimal. *)
+
+type prete_config = {
+  predictor : Prete_optics.Hazard.features -> float;
+      (** p_NN in Eqn. 1 — any of the prete_ml models. *)
+  ratio : float;  (** New tunnels per affected tunnel (Fig. 16). *)
+  update_tunnels : bool;  (** [false] = PreTE-naive. *)
+}
+
+type t =
+  | Ecmp
+  | Smore
+  | Ffc of int
+  | Teavar
+  | Arrow
+  | Flexile
+  | Prete of prete_config
+  | Oracle
+
+val name : t -> string
+
+val prete_default :
+  predictor:(Prete_optics.Hazard.features -> float) -> unit -> t
+(** PreTE with ratio 1 and tunnel updates on. *)
+
+val prete_naive :
+  predictor:(Prete_optics.Hazard.features -> float) -> unit -> t
+
+val is_degradation_aware : t -> bool
+(** True for PreTE variants: the allocation depends on the degradation
+    state of the epoch. *)

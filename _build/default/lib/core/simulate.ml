@@ -1,0 +1,203 @@
+open Prete_net
+open Prete_optics
+
+type result = {
+  availability : float;
+  epochs : int;
+  degradation_epochs : int;
+  cut_epochs : int;
+  multi_cut_epochs : int;
+}
+
+(* Surviving allocated rate under a set of simultaneous cuts. *)
+let surviving (ts : Tunnels.t) alloc flow ~cuts =
+  List.fold_left
+    (fun acc tid ->
+      let tn = ts.Tunnels.tunnels.(tid) in
+      let dead =
+        List.exists (fun fb -> Routing.uses_fiber ts.Tunnels.topo tn.Tunnels.links fb) cuts
+      in
+      if dead then acc else acc +. alloc.(tid))
+    0.0 ts.Tunnels.of_flow.(flow)
+
+(* ECMP under a multi-cut: equal split over surviving minimum-cost tunnels
+   with proportional throttling on overloaded links (the multi-cut twin of
+   the analytic evaluator's model). *)
+let ecmp_delivered (ts : Tunnels.t) demands ~cuts =
+  let topo = ts.Tunnels.topo in
+  let nt = Array.length ts.Tunnels.tunnels in
+  let rate = Array.make nt 0.0 in
+  let cost tid =
+    Routing.path_length_km topo ts.Tunnels.tunnels.(tid).Tunnels.links
+    +. (50.0 *. float_of_int (List.length ts.Tunnels.tunnels.(tid).Tunnels.links))
+  in
+  Array.iteri
+    (fun f _ ->
+      let d = demands.(f) in
+      if d > 0.0 then begin
+        let alive =
+          List.filter
+            (fun tid ->
+              not
+                (List.exists
+                   (fun fb ->
+                     Routing.uses_fiber topo ts.Tunnels.tunnels.(tid).Tunnels.links fb)
+                   cuts))
+            ts.Tunnels.of_flow.(f)
+        in
+        let best = List.fold_left (fun acc tid -> Float.min acc (cost tid)) infinity alive in
+        let eq = List.filter (fun tid -> cost tid <= best +. 1e-6) alive in
+        let n = List.length eq in
+        if n > 0 then List.iter (fun tid -> rate.(tid) <- d /. float_of_int n) eq
+      end)
+    ts.Tunnels.flows;
+  let load = Array.make (Topology.num_links topo) 0.0 in
+  Array.iteri
+    (fun tid r ->
+      if r > 0.0 then
+        List.iter (fun lid -> load.(lid) <- load.(lid) +. r)
+          ts.Tunnels.tunnels.(tid).Tunnels.links)
+    rate;
+  let factor lid =
+    let c = (Topology.link topo lid).Topology.capacity in
+    if load.(lid) <= c then 1.0 else c /. load.(lid)
+  in
+  Array.mapi
+    (fun f _ ->
+      let d = demands.(f) in
+      if d <= 0.0 then 1.0
+      else
+        let got =
+          List.fold_left
+            (fun acc tid ->
+              let r = rate.(tid) in
+              if r <= 0.0 then acc
+              else
+                acc
+                +. r
+                   *. List.fold_left
+                        (fun b lid -> Float.min b (factor lid))
+                        1.0
+                        ts.Tunnels.tunnels.(tid).Tunnels.links)
+            0.0 ts.Tunnels.of_flow.(f)
+        in
+        Float.min 1.0 (got /. d))
+    ts.Tunnels.flows
+
+let run ?(seed = 123) ?(epochs = 20_000) (env : Availability.env) scheme ~scale =
+  if epochs <= 0 then invalid_arg "Simulate.run: epochs must be positive";
+  let rng = Prete_util.Rng.create seed in
+  let demands =
+    Traffic.demand env.Availability.traffic ~scale ~epoch:env.Availability.epoch
+  in
+  let total_demand = Float.max 1e-9 (Prete_util.Stats.sum demands) in
+  let topo = env.Availability.ts.Tunnels.topo in
+  let nf = Topology.num_fibers topo in
+  let num_fibers = nf in
+  (* Plans cached per degradation state (at most one degrading fiber is
+     planned for; extra simultaneous degradations keep the first plan,
+     mirroring the truncation the analytic evaluator applies). *)
+  let plan_cache : (int option, Availability.plan) Hashtbl.t = Hashtbl.create 64 in
+  let plan degraded =
+    match Hashtbl.find_opt plan_cache degraded with
+    | Some p -> p
+    | None ->
+      let p = Availability.Internal.plan_alloc env scheme ~demands ~degraded in
+      Hashtbl.add plan_cache degraded p;
+      p
+  in
+  let served_cache : (int list, float array) Hashtbl.t = Hashtbl.create 64 in
+  let served cuts =
+    let key = List.sort compare cuts in
+    match Hashtbl.find_opt served_cache key with
+    | Some s -> s
+    | None ->
+      let s = Availability.Internal.max_served env ~demands ~cuts:key in
+      Hashtbl.add served_cache key s;
+      s
+  in
+  let acc = ref 0.0 in
+  let degr_epochs = ref 0 and cut_epochs = ref 0 and multi = ref 0 in
+  for _ = 1 to epochs do
+    (* Sample the epoch's degradations and cuts. *)
+    let degraded = ref [] in
+    let cuts = ref [] in
+    for fb = 0 to nf - 1 do
+      if Prete_util.Rng.bernoulli rng env.Availability.model.Fiber_model.p_degrade.(fb)
+      then begin
+        degraded := fb :: !degraded;
+        (* Fresh event features; ground truth decides the outcome. *)
+        let feats = Hazard.sample_features rng ~topo ~fiber:fb ~epoch:(Prete_util.Rng.int rng 96) in
+        if Prete_util.Rng.bernoulli rng (Hazard.eval ~num_fibers feats) then
+          cuts := fb :: !cuts
+      end
+      else if
+        Prete_util.Rng.bernoulli rng
+          env.Availability.model.Fiber_model.p_unpredictable.(fb)
+      then cuts := fb :: !cuts
+    done;
+    if !degraded <> [] then incr degr_epochs;
+    if !cuts <> [] then incr cut_epochs;
+    if List.length !cuts > 1 then incr multi;
+    let state = match List.rev !degraded with [] -> None | fb :: _ -> Some fb in
+    let p = plan state in
+    let ts = p.Availability.p_ts and alloc = p.Availability.p_alloc in
+    let cap f =
+      match p.Availability.p_admitted with None -> demands.(f) | Some b -> b.(f)
+    in
+    let cuts = !cuts in
+    let delivered =
+      match scheme with
+      | Schemes.Ecmp -> ecmp_delivered ts demands ~cuts
+      | Schemes.Oracle -> served cuts
+      | Schemes.Smore | Schemes.Ffc _ | Schemes.Teavar | Schemes.Prete _ ->
+        Array.init (Array.length ts.Tunnels.flows) (fun f ->
+            let d = demands.(f) in
+            if d <= 0.0 then 1.0
+            else Float.min 1.0 (Float.min (cap f) (surviving ts alloc f ~cuts) /. d))
+      | Schemes.Arrow ->
+        Array.init (Array.length ts.Tunnels.flows) (fun f ->
+            let d = demands.(f) in
+            if d <= 0.0 then 1.0
+            else begin
+              let affected =
+                List.exists
+                  (fun fb ->
+                    List.exists
+                      (fun tid ->
+                        alloc.(tid) > 1e-9
+                        && Routing.uses_fiber topo ts.Tunnels.tunnels.(tid).Tunnels.links fb)
+                      ts.Tunnels.of_flow.(f))
+                  cuts
+              in
+              if not affected then
+                Float.min 1.0 (Float.min (cap f) (surviving ts alloc f ~cuts) /. d)
+              else begin
+                let w = env.Availability.tau_arrow /. env.Availability.epoch_seconds in
+                let during = Float.min (cap f) (surviving ts alloc f ~cuts) /. d in
+                let after = Float.min (cap f) (surviving ts alloc f ~cuts:[]) /. d in
+                Float.min 1.0 ((w *. during) +. ((1.0 -. w) *. after))
+              end
+            end)
+      | Schemes.Flexile ->
+        let post = served cuts in
+        Array.init (Array.length ts.Tunnels.flows) (fun f ->
+            let d = demands.(f) in
+            if d <= 0.0 then 1.0
+            else begin
+              let w = env.Availability.tau_flexile /. env.Availability.epoch_seconds in
+              let pre = Float.min 1.0 (surviving ts alloc f ~cuts /. d) in
+              (w *. Float.min pre post.(f)) +. ((1.0 -. w) *. post.(f))
+            end)
+    in
+    let epoch_avail = ref 0.0 in
+    Array.iteri (fun f dl -> epoch_avail := !epoch_avail +. (demands.(f) *. dl)) delivered;
+    acc := !acc +. (!epoch_avail /. total_demand)
+  done;
+  {
+    availability = !acc /. float_of_int epochs;
+    epochs;
+    degradation_epochs = !degr_epochs;
+    cut_epochs = !cut_epochs;
+    multi_cut_epochs = !multi;
+  }

@@ -1,0 +1,37 @@
+(** Monte-Carlo epoch simulator.
+
+    Samples a sequence of TE epochs from the generative optical model —
+    per epoch: which fibers degrade, which degradations become cuts (via
+    the ground-truth hazard of freshly sampled event features), which
+    fibers cut without warning — and plays a TE scheme against the drawn
+    sample path, including epochs with {e multiple} simultaneous cuts that
+    the analytic evaluator truncates away.
+
+    Used to cross-validate {!Availability.availability}: on schemes with
+    instantaneous reaction the two agree within Monte-Carlo noise (see the
+    integration tests), and the simulator additionally quantifies the
+    truncation error of the analytic single-cut scenario space. *)
+
+type result = {
+  availability : float;  (** Demand-weighted mean delivered fraction. *)
+  epochs : int;
+  degradation_epochs : int;  (** Epochs with at least one degradation. *)
+  cut_epochs : int;  (** Epochs with at least one cut. *)
+  multi_cut_epochs : int;  (** Epochs the analytic evaluator truncates. *)
+}
+
+val run :
+  ?seed:int ->
+  ?epochs:int ->
+  Availability.env ->
+  Schemes.t ->
+  scale:float ->
+  result
+(** [run env scheme ~scale] simulates [epochs] (default 20_000) TE periods.
+    Plans are cached per degradation state, so the cost is one plan per
+    distinct degrading fiber plus O(epochs) bookkeeping.
+
+    Reaction windows: proactive schemes (ECMP, FFC, TeaVar, PreTE, Oracle)
+    adapt instantly; ARROW charges its restoration window and Flexile its
+    convergence window per cut epoch, as in the analytic evaluator.
+    Raises [Invalid_argument] for non-positive [epochs]. *)

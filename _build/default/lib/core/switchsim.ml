@@ -1,0 +1,80 @@
+open Prete_net
+
+type config = {
+  session_median_s : float;
+  session_sigma : float;
+  ack_s : float;
+  seed : int;
+}
+
+(* Calibrated so a typical 2-3-router tunnel lands near the 0.25 s/tunnel
+   slope the testbed measured (Fig. 11b): the tunnel's sessions run in
+   parallel, so its cost is the max of its router sessions plus the
+   controller acknowledgement. *)
+let default_config =
+  { session_median_s = 0.15; session_sigma = 0.35; ack_s = 0.02; seed = 31 }
+
+type outcome = {
+  total_s : float;
+  per_tunnel_s : float array;
+  sessions : int;
+}
+
+let install ?(config = default_config) ?(batch = 1) (ts : Tunnels.t) tunnels =
+  if batch <= 0 then invalid_arg "Switchsim.install: batch must be positive";
+  let rng = Prete_util.Rng.create config.seed in
+  let session_time () =
+    Prete_util.Dist.Lognormal.sample ~mu:(log config.session_median_s)
+      ~sigma:config.session_sigma rng
+  in
+  let topo = ts.Tunnels.topo in
+  let sessions = ref 0 in
+  (* Routers on a tunnel's path: source plus every hop destination. *)
+  let routers (tn : Tunnels.tunnel) =
+    match tn.Tunnels.links with
+    | [] -> []
+    | first :: _ as links ->
+      (Topology.link topo first).Topology.src
+      :: List.map (fun lid -> (Topology.link topo lid).Topology.dst) links
+  in
+  let tunnel_time tn =
+    let rs = routers tn in
+    sessions := !sessions + List.length rs;
+    List.fold_left (fun acc _ -> Float.max acc (session_time ())) 0.0 rs +. config.ack_s
+  in
+  let clock = ref 0.0 in
+  let completion = ref [] in
+  let rec batches = function
+    | [] -> ()
+    | l ->
+      let now, rest =
+        let rec take k acc = function
+          | x :: tl when k > 0 -> take (k - 1) (x :: acc) tl
+          | tl -> (List.rev acc, tl)
+        in
+        take batch [] l
+      in
+      (* Tunnels in a batch run concurrently: the batch costs its slowest
+         member; each member completes at its own offset. *)
+      let durations = List.map tunnel_time now in
+      List.iter (fun d -> completion := (!clock +. d) :: !completion) durations;
+      clock := !clock +. List.fold_left Float.max 0.0 durations;
+      batches rest
+  in
+  batches tunnels;
+  {
+    total_s = !clock;
+    per_tunnel_s = Array.of_list (List.rev !completion);
+    sessions = !sessions;
+  }
+
+let fig11b_curve ?(config = default_config) ?(batch = 1) (ts : Tunnels.t) ~counts =
+  let all = Array.to_list ts.Tunnels.tunnels in
+  List.map
+    (fun n ->
+      if n < 0 then invalid_arg "Switchsim.fig11b_curve: negative count";
+      let chosen = List.filteri (fun i _ -> i < n) all in
+      if List.length chosen < n then
+        invalid_arg "Switchsim.fig11b_curve: not enough tunnels";
+      (n, (install ~config ~batch ts chosen).total_s))
+    counts

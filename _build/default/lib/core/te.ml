@@ -1,0 +1,655 @@
+open Prete_net
+open Prete_lp
+
+type problem = {
+  ts : Tunnels.t;
+  demands : float array;
+  scenarios : Scenario.set;
+  beta : float;
+}
+
+type stats = { lp_solves : int; lp_pivots : int; mip_nodes : int }
+
+type solution = {
+  phi : float;
+  alloc : float array;
+  delta : bool array array;
+  classes : Scenario.Classes.cls array array;
+  expected_served : float;
+  stats : stats;
+}
+
+exception Infeasible_problem of string
+
+let make_problem ~ts ~demands ~probs ?(max_order = 1) ?(cutoff = 0.0) ?(normalize = true)
+    ~beta () =
+  if Array.length demands <> Array.length ts.Tunnels.flows then
+    invalid_arg "Te.make_problem: demands/flows mismatch";
+  if Array.length probs <> Topology.num_fibers ts.Tunnels.topo then
+    invalid_arg "Te.make_problem: probs/fibers mismatch";
+  if beta <= 0.0 || beta >= 1.0 then invalid_arg "Te.make_problem: beta in (0,1)";
+  let scenarios = Scenario.enumerate ~probs ~max_order ~cutoff () in
+  let scenarios = if normalize then Scenario.normalize scenarios else scenarios in
+  if scenarios.Scenario.covered_prob < beta then
+    raise
+      (Infeasible_problem
+         (Printf.sprintf
+            "covered scenario probability %.6f below beta %.6f — raise max_order or \
+             lower the cutoff"
+            scenarios.Scenario.covered_prob beta));
+  { ts; demands; scenarios; beta }
+
+let classes_of p =
+  Array.map
+    (fun (f : Tunnels.flow) ->
+      Scenario.Classes.of_flow p.ts
+        ~tunnels:(Tunnels.tunnels_of_flow p.ts f.Tunnels.flow_id)
+        p.scenarios)
+    p.ts.Tunnels.flows
+
+let class_loss p ~alloc ~flow (c : Scenario.Classes.cls) =
+  let d = p.demands.(flow) in
+  if d <= 0.0 then 0.0
+  else
+    let surviving =
+      List.fold_left (fun acc tid -> acc +. alloc.(tid)) 0.0 c.Scenario.Classes.survivors
+    in
+    Float.max 0.0 (1.0 -. (surviving /. d))
+
+(* ------------------------------------------------------------------ *)
+(* Shared model pieces                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let num_tunnels p = Array.length p.ts.Tunnels.tunnels
+
+(* Links actually used by some tunnel (others cannot be loaded). *)
+let used_links p =
+  let used = Hashtbl.create 64 in
+  Array.iter
+    (fun (tn : Tunnels.tunnel) ->
+      List.iter (fun lid -> Hashtbl.replace used lid ()) tn.Tunnels.links)
+    p.ts.Tunnels.tunnels;
+  Hashtbl.fold (fun k () acc -> k :: acc) used []
+
+let add_alloc_vars p m =
+  Array.map
+    (fun (tn : Tunnels.tunnel) ->
+      Lp.add_var m (Printf.sprintf "a_t%d" tn.Tunnels.tunnel_id))
+    p.ts.Tunnels.tunnels
+
+let add_capacity_rows p m a_vars =
+  List.iter
+    (fun lid ->
+      let terms = ref [] in
+      Array.iter
+        (fun (tn : Tunnels.tunnel) ->
+          if List.mem lid tn.Tunnels.links then
+            terms := (1.0, a_vars.(tn.Tunnels.tunnel_id)) :: !terms)
+        p.ts.Tunnels.tunnels;
+      if !terms <> [] then
+        ignore
+          (Lp.add_constraint m ~name:(Printf.sprintf "cap_l%d" lid) !terms Lp.Le
+             (Topology.link p.ts.Tunnels.topo lid).Topology.capacity))
+    (used_links p)
+
+(* ------------------------------------------------------------------ *)
+(* Fixed-δ LP in eliminated form: min Φ                                 *)
+(* ------------------------------------------------------------------ *)
+
+let solve_fixed_delta p classes delta =
+  let m = Lp.create () in
+  let a_vars = add_alloc_vars p m in
+  let phi = Lp.add_var m ~ub:1.0 "phi" in
+  add_capacity_rows p m a_vars;
+  Array.iteri
+    (fun f cls ->
+      let d = p.demands.(f) in
+      if d > 0.0 then
+        Array.iteri
+          (fun ci (c : Scenario.Classes.cls) ->
+            if delta.(f).(ci) then begin
+              let terms =
+                (d, phi)
+                :: List.map (fun tid -> (1.0, a_vars.(tid))) c.Scenario.Classes.survivors
+              in
+              ignore
+                (Lp.add_constraint m ~name:(Printf.sprintf "cov_f%d_c%d" f ci) terms
+                   Lp.Ge d)
+            end)
+          cls)
+    classes;
+  Lp.set_objective m Lp.Minimize [ (1.0, phi) ];
+  match Simplex.solve m with
+  | Simplex.Optimal sol ->
+    let alloc = Array.init (num_tunnels p) (fun t -> Simplex.value sol a_vars.(t)) in
+    (sol.Simplex.objective, alloc, sol.Simplex.iterations)
+  | Simplex.Infeasible ->
+    (* Cannot happen: a = 0, Φ = 1 satisfies every row. *)
+    raise (Infeasible_problem "fixed-delta LP infeasible (internal error)")
+  | Simplex.Unbounded -> raise (Infeasible_problem "fixed-delta LP unbounded (internal error)")
+
+(* Second phase: at loss level Φ*, maximize probability- and demand-
+   weighted served fraction so spare capacity still protects uncovered
+   scenario classes. *)
+let solve_second_phase p classes delta phi_star =
+  let m = Lp.create () in
+  let a_vars = add_alloc_vars p m in
+  add_capacity_rows p m a_vars;
+  let total_demand = Prete_util.Stats.sum p.demands in
+  let objective = ref [] in
+  Array.iteri
+    (fun f cls ->
+      let d = p.demands.(f) in
+      if d > 0.0 then begin
+        let w = d /. Float.max 1e-9 total_demand in
+        Array.iteri
+          (fun ci (c : Scenario.Classes.cls) ->
+            let s = Lp.add_var m ~ub:1.0 (Printf.sprintf "s_f%d_c%d" f ci) in
+            (* d·s ≤ surviving allocation. *)
+            let terms =
+              (-.d, s)
+              :: List.map (fun tid -> (1.0, a_vars.(tid))) c.Scenario.Classes.survivors
+            in
+            ignore (Lp.add_constraint m terms Lp.Ge 0.0);
+            (* Covered classes must retain the Φ* guarantee. *)
+            if delta.(f).(ci) then begin
+              let terms =
+                List.map (fun tid -> (1.0, a_vars.(tid))) c.Scenario.Classes.survivors
+              in
+              ignore (Lp.add_constraint m terms Lp.Ge ((1.0 -. phi_star) *. d))
+            end;
+            objective := (w *. c.Scenario.Classes.prob, s) :: !objective)
+          cls
+      end)
+    classes;
+  Lp.set_objective m Lp.Maximize !objective;
+  match Simplex.solve m with
+  | Simplex.Optimal sol ->
+    let alloc = Array.init (num_tunnels p) (fun t -> Simplex.value sol a_vars.(t)) in
+    (sol.Simplex.objective, alloc, sol.Simplex.iterations)
+  | Simplex.Infeasible ->
+    raise (Infeasible_problem "second-phase LP infeasible (internal error)")
+  | Simplex.Unbounded ->
+    raise (Infeasible_problem "second-phase LP unbounded (internal error)")
+
+(* Greedy δ update: uncover the highest-loss classes of each flow while
+   the covered probability stays ≥ β.  Zero-loss classes stay covered. *)
+let improve_delta p classes delta alloc =
+  let changed = ref false in
+  let next =
+    Array.mapi
+      (fun f cls ->
+        let n = Array.length cls in
+        let losses =
+          Array.mapi (fun ci c -> (ci, class_loss p ~alloc ~flow:f c)) cls
+        in
+        let order = Array.copy losses in
+        (* Highest loss first; among ties prefer the cheapest coverage
+           budget (smallest class probability), which breaks the
+           degeneracies of equal-loss vertices (e.g. the Fig. 2
+           instance). *)
+        Array.sort
+          (fun (c1, l1) (c2, l2) ->
+            match compare l2 l1 with
+            | 0 ->
+              compare
+                cls.(c1).Scenario.Classes.prob
+                cls.(c2).Scenario.Classes.prob
+            | c -> c)
+          order;
+        let covered = Array.make n true in
+        let budget = ref (p.scenarios.Scenario.covered_prob -. p.beta) in
+        Array.iter
+          (fun (ci, loss) ->
+            let pc = cls.(ci).Scenario.Classes.prob in
+            if loss > 1e-9 && !budget -. pc >= -1e-12 then begin
+              covered.(ci) <- false;
+              budget := !budget -. pc
+            end)
+          order;
+        Array.iteri (fun ci v -> if v <> delta.(f).(ci) then changed := true) covered;
+        covered)
+      classes
+  in
+  (next, !changed)
+
+let build_full_mip ?(relax = false) p classes =
+  let m = Lp.create () in
+  let a_vars = add_alloc_vars p m in
+  let phi = Lp.add_var m ~ub:1.0 "phi" in
+  add_capacity_rows p m a_vars;
+  let l_vars =
+    Array.mapi
+      (fun f cls ->
+        Array.mapi
+          (fun ci _ -> Lp.add_var m ~ub:1.0 (Printf.sprintf "l_f%d_c%d" f ci))
+          cls)
+      classes
+  in
+  let d_vars =
+    Array.mapi
+      (fun f cls ->
+        Array.mapi
+          (fun ci _ ->
+            if relax then Lp.add_var m ~ub:1.0 (Printf.sprintf "delta_f%d_c%d" f ci)
+            else Lp.add_var m ~binary:true (Printf.sprintf "delta_f%d_c%d" f ci))
+          cls)
+      classes
+  in
+  Array.iteri
+    (fun f cls ->
+      let d = p.demands.(f) in
+      (* (5): coverage. *)
+      let cov_terms =
+        Array.to_list
+          (Array.mapi (fun ci c -> (c.Scenario.Classes.prob, d_vars.(f).(ci))) cls)
+      in
+      ignore (Lp.add_constraint m cov_terms Lp.Ge p.beta);
+      Array.iteri
+        (fun ci (c : Scenario.Classes.cls) ->
+          (* (4): surviving allocation + l·d ≥ d. *)
+          if d > 0.0 then begin
+            let terms =
+              (d, l_vars.(f).(ci))
+              :: List.map (fun tid -> (1.0, a_vars.(tid))) c.Scenario.Classes.survivors
+            in
+            ignore (Lp.add_constraint m terms Lp.Ge d)
+          end;
+          (* (6): Φ ≥ l − 1 + δ. *)
+          ignore
+            (Lp.add_constraint m
+               [ (1.0, phi); (-1.0, l_vars.(f).(ci)); (-1.0, d_vars.(f).(ci)) ]
+               Lp.Ge (-1.0)))
+        cls)
+    classes;
+  Lp.set_objective m Lp.Minimize [ (1.0, phi) ];
+  (m, a_vars, phi, l_vars, d_vars)
+
+(* LP-relaxation-guided δ: solve the full formulation with δ ∈ [0, 1] and
+   drop, per flow, the classes the relaxation protects least (smallest relaxed delta),
+   within the coverage budget.  This sees the cross-flow capacity coupling
+   the purely loss-based greedy is blind to (e.g. the Fig. 2 instance). *)
+let relaxation_delta p classes =
+  let m, _a_vars, _phi, _l_vars, d_vars = build_full_mip ~relax:true p classes in
+  match Simplex.solve m with
+  | Simplex.Optimal sol ->
+    let delta =
+      Array.mapi
+        (fun f cls ->
+          let n = Array.length cls in
+          let order = Array.init n (fun ci -> (ci, Simplex.value sol d_vars.(f).(ci))) in
+          Array.sort (fun (_, v1) (_, v2) -> compare v1 v2) order;
+          let covered = Array.make n true in
+          let budget = ref (p.scenarios.Scenario.covered_prob -. p.beta) in
+          Array.iter
+            (fun (ci, v) ->
+              let pc = cls.(ci).Scenario.Classes.prob in
+              if v < 0.999 && !budget -. pc >= -1e-12 then begin
+                covered.(ci) <- false;
+                budget := !budget -. pc
+              end)
+            order;
+          covered)
+        classes
+    in
+    Some (delta, sol.Simplex.iterations)
+  | Simplex.Infeasible | Simplex.Unbounded -> None
+
+let solve ?(second_phase = true) ?(max_rounds = 8) ?(relaxation_start = true) p =
+  let classes = classes_of p in
+  let delta = Array.map (fun cls -> Array.make (Array.length cls) true) classes in
+  let lp_solves = ref 0 and lp_pivots = ref 0 in
+  let rec loop delta best rounds =
+    let phi, alloc, pivots = solve_fixed_delta p classes delta in
+    incr lp_solves;
+    lp_pivots := !lp_pivots + pivots;
+    let best =
+      match best with
+      | Some (bphi, _, _) when bphi <= phi +. 1e-12 -> best
+      | _ -> Some (phi, alloc, delta)
+    in
+    if rounds >= max_rounds then best
+    else
+      let next, changed = improve_delta p classes delta alloc in
+      if not changed then best else loop next best (rounds + 1)
+  in
+  let best = loop delta None 1 in
+  (* Second start from the relaxation rounding when the loss-based
+     fixpoint left residual loss. *)
+  let best =
+    match best with
+    | Some (phi, _, _) when relaxation_start && phi > 1e-9 -> (
+      match relaxation_delta p classes with
+      | Some (delta_rx, pivots) ->
+        incr lp_solves;
+        lp_pivots := !lp_pivots + pivots;
+        loop delta_rx best 1
+      | None -> best)
+    | _ -> best
+  in
+  match best with
+  | None -> assert false
+  | Some (phi, alloc, delta) ->
+    let expected_served, alloc =
+      if second_phase then begin
+        let served, alloc2, pivots = solve_second_phase p classes delta phi in
+        incr lp_solves;
+        lp_pivots := !lp_pivots + pivots;
+        (served, alloc2)
+      end
+      else (nan, alloc)
+    in
+    {
+      phi;
+      alloc;
+      delta;
+      classes;
+      expected_served;
+      stats = { lp_solves = !lp_solves; lp_pivots = !lp_pivots; mip_nodes = 0 };
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Admission-control variant (TeaVar / FFC style)                       *)
+(* ------------------------------------------------------------------ *)
+
+type admission = {
+  admitted : float array;
+  adm_alloc : float array;
+  adm_delta : bool array array;
+  adm_classes : Scenario.Classes.cls array array;
+  adm_stats : stats;
+}
+
+let solve_admission_fixed p classes delta =
+  let m = Lp.create () in
+  let a_vars = add_alloc_vars p m in
+  add_capacity_rows p m a_vars;
+  let objective = ref [] in
+  (* Admission b_f is split in two tiers (each capped at d/2) with the
+     first tier weighted higher: a piecewise-concave utility that prefers
+     giving every flow half its demand before topping anyone up — the
+     fairness TeaVar's weighted throughput objective provides (and what
+     picks the paper's 5 + 5 allocation in Fig. 2b over 10 + 0). *)
+  let b_vars =
+    Array.mapi
+      (fun f cls ->
+        let d = Float.max 0.0 p.demands.(f) in
+        let b1 = Lp.add_var m ~ub:(d /. 2.0) (Printf.sprintf "b1_f%d" f) in
+        let b2 = Lp.add_var m ~ub:(d /. 2.0) (Printf.sprintf "b2_f%d" f) in
+        if d > 0.0 then begin
+          Array.iteri
+            (fun ci (c : Scenario.Classes.cls) ->
+              if delta.(f).(ci) then begin
+                let terms =
+                  (-1.0, b1) :: (-1.0, b2)
+                  :: List.map (fun tid -> (1.0, a_vars.(tid))) c.Scenario.Classes.survivors
+                in
+                ignore (Lp.add_constraint m terms Lp.Ge 0.0)
+              end)
+            cls;
+          objective := (1.0, b1) :: (0.9, b2) :: !objective
+        end;
+        (b1, b2))
+      classes
+  in
+  Lp.set_objective m Lp.Maximize !objective;
+  match Simplex.solve m with
+  | Simplex.Optimal sol ->
+    let alloc = Array.init (num_tunnels p) (fun t -> Simplex.value sol a_vars.(t)) in
+    let admitted =
+      Array.map (fun (b1, b2) -> Simplex.value sol b1 +. Simplex.value sol b2) b_vars
+    in
+    (admitted, alloc, sol.Simplex.iterations)
+  | Simplex.Infeasible ->
+    raise (Infeasible_problem "admission LP infeasible (internal error)")
+  | Simplex.Unbounded ->
+    raise (Infeasible_problem "admission LP unbounded (internal error)")
+
+(* δ update for admission: uncover the classes whose surviving capacity
+   most limits the flow, within the coverage budget. *)
+let improve_delta_admission p classes delta alloc =
+  let changed = ref false in
+  let next =
+    Array.mapi
+      (fun f cls ->
+        let n = Array.length cls in
+        let losses = Array.mapi (fun ci c -> (ci, class_loss p ~alloc ~flow:f c)) cls in
+        let order = Array.copy losses in
+        (* Highest loss first; among ties prefer the cheapest coverage
+           budget (smallest class probability), which breaks the
+           degeneracies of equal-loss vertices (e.g. the Fig. 2
+           instance). *)
+        Array.sort
+          (fun (c1, l1) (c2, l2) ->
+            match compare l2 l1 with
+            | 0 ->
+              compare
+                cls.(c1).Scenario.Classes.prob
+                cls.(c2).Scenario.Classes.prob
+            | c -> c)
+          order;
+        let covered = Array.make n true in
+        let budget = ref (p.scenarios.Scenario.covered_prob -. p.beta) in
+        Array.iter
+          (fun (ci, loss) ->
+            let pc = cls.(ci).Scenario.Classes.prob in
+            if loss > 1e-9 && !budget -. pc >= -1e-12 then begin
+              covered.(ci) <- false;
+              budget := !budget -. pc
+            end)
+          order;
+        Array.iteri (fun ci v -> if v <> delta.(f).(ci) then changed := true) covered;
+        covered)
+      classes
+  in
+  (next, !changed)
+
+let solve_admission ?(max_rounds = 6) ?(skip_unprotectable = false) p =
+  let classes = classes_of p in
+  (* FFC-style full coverage would force b = 0 on any flow with a scenario
+     class that no tunnel survives (e.g. double cuts killing all four
+     tunnels); FFC implementations exclude such unprotectable scenarios
+     from the guarantee. *)
+  let delta =
+    Array.map
+      (fun cls ->
+        Array.map
+          (fun (c : Scenario.Classes.cls) ->
+            not (skip_unprotectable && c.Scenario.Classes.survivors = []))
+          cls)
+      classes
+  in
+  let lp_solves = ref 0 and lp_pivots = ref 0 in
+  (* Rank candidate admissions by total first, worst-served flow second,
+     so equal-throughput rounds prefer the fairer split. *)
+  let score admitted =
+    let total = Prete_util.Stats.sum admitted in
+    let worst = ref 1.0 in
+    Array.iteri
+      (fun f b ->
+        let d = p.demands.(f) in
+        if d > 0.0 then worst := Float.min !worst (b /. d))
+      admitted;
+    (total, !worst)
+  in
+  let better (t1, w1) (t2, w2) = t1 > t2 +. 1e-9 || (t1 >= t2 -. 1e-9 && w1 > w2 +. 1e-9) in
+  let rec loop delta best rounds =
+    let admitted, alloc, pivots = solve_admission_fixed p classes delta in
+    incr lp_solves;
+    lp_pivots := !lp_pivots + pivots;
+    let sc = score admitted in
+    let best =
+      match best with
+      | Some (bsc, _, _, _) when not (better sc bsc) -> best
+      | _ -> Some (sc, admitted, alloc, delta)
+    in
+    if rounds >= max_rounds then best
+    else
+      let next, changed = improve_delta_admission p classes delta alloc in
+      if not changed then best else loop next best (rounds + 1)
+  in
+  match loop delta None 1 with
+  | None -> assert false
+  | Some (_, admitted, alloc, delta) ->
+    {
+      admitted;
+      adm_alloc = alloc;
+      adm_delta = delta;
+      adm_classes = classes;
+      adm_stats = { lp_solves = !lp_solves; lp_pivots = !lp_pivots; mip_nodes = 0 };
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Exact MIP on the full formulation                                    *)
+(* ------------------------------------------------------------------ *)
+
+let solve_mip p =
+  let classes = classes_of p in
+  let m, a_vars, phi, _l_vars, d_vars = build_full_mip p classes in
+  match Mip.solve m with
+  | Mip.Optimal sol ->
+    let alloc = Array.init (num_tunnels p) (fun t -> Mip.value sol a_vars.(t)) in
+    let delta =
+      Array.map (Array.map (fun v -> Mip.value sol v >= 0.5)) d_vars
+    in
+    {
+      phi = Mip.value sol phi;
+      alloc;
+      delta;
+      classes;
+      expected_served = nan;
+      stats = { lp_solves = 0; lp_pivots = 0; mip_nodes = sol.Mip.nodes };
+    }
+  | Mip.Infeasible -> raise (Infeasible_problem "MIP infeasible")
+  | Mip.Unbounded -> raise (Infeasible_problem "MIP unbounded (internal error)")
+
+(* ------------------------------------------------------------------ *)
+(* Benders decomposition (Algorithm 2 / Appendix A.4)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Subproblem: the full formulation with δ fixed; returns the optimum,
+   the allocation, and the duals w of the (6) rows, which form the
+   optimality cut  Φ ≥ SP(δ̂) + Σ w (δ − δ̂). *)
+let benders_subproblem p classes delta =
+  let m = Lp.create () in
+  let a_vars = add_alloc_vars p m in
+  let phi = Lp.add_var m ~ub:1.0 "phi" in
+  add_capacity_rows p m a_vars;
+  let row_of = Array.map (fun cls -> Array.make (Array.length cls) (-1)) classes in
+  Array.iteri
+    (fun f cls ->
+      let d = p.demands.(f) in
+      Array.iteri
+        (fun ci (c : Scenario.Classes.cls) ->
+          let l = Lp.add_var m ~ub:1.0 (Printf.sprintf "l_f%d_c%d" f ci) in
+          if d > 0.0 then begin
+            let terms =
+              (d, l)
+              :: List.map (fun tid -> (1.0, a_vars.(tid))) c.Scenario.Classes.survivors
+            in
+            ignore (Lp.add_constraint m terms Lp.Ge d)
+          end;
+          let dval = if delta.(f).(ci) then 1.0 else 0.0 in
+          row_of.(f).(ci) <-
+            Lp.add_constraint m [ (1.0, phi); (-1.0, l) ] Lp.Ge (dval -. 1.0))
+        cls)
+    classes;
+  Lp.set_objective m Lp.Minimize [ (1.0, phi) ];
+  match Simplex.solve m with
+  | Simplex.Optimal sol ->
+    let alloc = Array.init (num_tunnels p) (fun t -> Simplex.value sol a_vars.(t)) in
+    let w =
+      Array.map (Array.map (fun row -> Simplex.dual sol row)) row_of
+    in
+    (sol.Simplex.objective, alloc, w, sol.Simplex.iterations)
+  | Simplex.Infeasible ->
+    raise (Infeasible_problem "Benders subproblem infeasible (internal error)")
+  | Simplex.Unbounded ->
+    raise (Infeasible_problem "Benders subproblem unbounded (internal error)")
+
+type cut = { base : float; coefs : float array array (* [flow][class] *) }
+
+let benders_master p classes cuts =
+  let m = Lp.create () in
+  let phi = Lp.add_var m ~ub:1.0 "phi" in
+  let d_vars =
+    Array.mapi
+      (fun f cls ->
+        Array.mapi
+          (fun ci _ -> Lp.add_var m ~binary:true (Printf.sprintf "delta_f%d_c%d" f ci))
+          cls)
+      classes
+  in
+  Array.iteri
+    (fun f cls ->
+      let cov_terms =
+        Array.to_list
+          (Array.mapi (fun ci c -> (c.Scenario.Classes.prob, d_vars.(f).(ci))) cls)
+      in
+      ignore (Lp.add_constraint m cov_terms Lp.Ge p.beta))
+    classes;
+  List.iter
+    (fun cut ->
+      (* Φ − Σ w δ ≥ base. *)
+      let terms = ref [ (1.0, phi) ] in
+      Array.iteri
+        (fun f row ->
+          Array.iteri
+            (fun ci w -> if Float.abs w > 1e-12 then terms := (-.w, d_vars.(f).(ci)) :: !terms)
+            row)
+        cut.coefs;
+      ignore (Lp.add_constraint m !terms Lp.Ge cut.base))
+    cuts;
+  Lp.set_objective m Lp.Minimize [ (1.0, phi) ];
+  match Mip.solve ~max_nodes:50_000 m with
+  | Mip.Optimal sol ->
+    let delta = Array.map (Array.map (fun v -> Mip.value sol v >= 0.5)) d_vars in
+    (sol.Mip.objective, delta, sol.Mip.nodes)
+  | Mip.Infeasible -> raise (Infeasible_problem "Benders master infeasible")
+  | Mip.Unbounded -> raise (Infeasible_problem "Benders master unbounded (internal error)")
+
+let solve_benders ?(eps = 1e-4) ?(max_iters = 40) p =
+  let classes = classes_of p in
+  (* Initialize δ = 1 (line 2 of Algorithm 2): directly satisfies (5). *)
+  let delta = ref (Array.map (fun cls -> Array.make (Array.length cls) true) classes) in
+  let ub = ref 1.0 and lb = ref 0.0 in
+  let best = ref None in
+  let cuts = ref [] in
+  let lp_solves = ref 0 and lp_pivots = ref 0 and mip_nodes = ref 0 in
+  let iters = ref 0 in
+  while !ub -. !lb > eps && !iters < max_iters do
+    incr iters;
+    (* Step 1: subproblem with fixed δ. *)
+    let sp_obj, alloc, w, pivots = benders_subproblem p classes !delta in
+    incr lp_solves;
+    lp_pivots := !lp_pivots + pivots;
+    if sp_obj < !ub then begin
+      ub := sp_obj;
+      best := Some (sp_obj, alloc, Array.map Array.copy !delta)
+    end;
+    (* Optimality cut: Φ ≥ sp_obj + Σ w (δ − δ̂). *)
+    let base = ref sp_obj in
+    Array.iteri
+      (fun f row ->
+        Array.iteri
+          (fun ci wv -> if !delta.(f).(ci) then base := !base -. wv)
+          row)
+      w;
+    cuts := { base = !base; coefs = w } :: !cuts;
+    (* Step 2: master problem. *)
+    let mp_obj, next_delta, nodes = benders_master p classes !cuts in
+    mip_nodes := !mip_nodes + nodes;
+    if mp_obj > !lb then lb := mp_obj;
+    delta := next_delta
+  done;
+  match !best with
+  | None -> raise (Infeasible_problem "Benders produced no incumbent")
+  | Some (phi, alloc, delta) ->
+    {
+      phi;
+      alloc;
+      delta;
+      classes;
+      expected_served = nan;
+      stats = { lp_solves = !lp_solves; lp_pivots = !lp_pivots; mip_nodes = !mip_nodes };
+    }

@@ -1,0 +1,31 @@
+(** Algorithm 1: reactive tunnel updates on a degradation event (§4.2).
+
+    When fiber [e] degrades, every flow with tunnels traversing [e] gets new
+    tunnels computed on the graph with [e] deleted, so the new paths are
+    disjoint from the degraded fiber.  The paper's sensitivity study
+    (Fig. 16) varies the {e ratio} of new tunnels per affected tunnel;
+    Algorithm 1 itself uses ratio 1 (Λ new tunnels for Λ affected). *)
+
+type t = {
+  base : Prete_net.Tunnels.t;
+  degraded_fiber : int;
+  new_tunnels : Prete_net.Tunnels.tunnel array;
+      (** Ids continue after the base set's. *)
+  new_of_flow : int list array;  (** New tunnel ids per flow. *)
+}
+
+val react :
+  ?ratio:float -> Prete_net.Tunnels.t -> degraded_fiber:int -> unit -> t
+(** [react ts ~degraded_fiber ()] runs Algorithm 1.  [ratio] (default 1.0)
+    scales the number of new tunnels per affected tunnel (Fig. 16); 0 means
+    no updates (PreTE-naive).  New paths avoid the degraded fiber and
+    duplicate neither each other nor existing tunnels; fewer may be
+    returned when the residual graph runs out of paths. *)
+
+val merged : t -> Prete_net.Tunnels.t
+(** Base and new tunnels as one set (for the optimizer: T_f ∪ Y_f^s). *)
+
+val num_new : t -> int
+
+val is_new : t -> int -> bool
+(** Whether a tunnel id belongs to the update. *)

@@ -1,0 +1,205 @@
+open Prete_net
+
+type variation_stats = {
+  affected_mean : float;
+  unaffected_mean : float;
+  affected_p95 : float;
+  unaffected_p95 : float;
+}
+
+let surviving_rate (ts : Tunnels.t) alloc flow ~cut =
+  List.fold_left
+    (fun acc tid ->
+      let tn = ts.Tunnels.tunnels.(tid) in
+      let dead =
+        match cut with
+        | None -> false
+        | Some fb -> Routing.uses_fiber ts.Tunnels.topo tn.Tunnels.links fb
+      in
+      if dead then acc else acc +. alloc.(tid))
+    0.0 ts.Tunnels.of_flow.(flow)
+
+let stats_of groups =
+  let affected, unaffected = groups in
+  let safe_mean xs = if Array.length xs = 0 then 0.0 else Prete_util.Stats.mean xs in
+  let safe_p95 xs = if Array.length xs = 0 then 0.0 else Prete_util.Stats.percentile xs 95.0 in
+  {
+    affected_mean = safe_mean affected;
+    unaffected_mean = safe_mean unaffected;
+    affected_p95 = safe_p95 affected;
+    unaffected_p95 = safe_p95 unaffected;
+  }
+
+(* Reference cut for the affected/unaffected split: the fiber touching the
+   most flows. *)
+let reference_cut (env : Availability.env) =
+  let ts = env.Availability.ts in
+  let topo = ts.Tunnels.topo in
+  let best = ref 0 and best_count = ref (-1) in
+  for fb = 0 to Topology.num_fibers topo - 1 do
+    let c = List.length (Tunnels.flows_affected_by_cut ts fb) in
+    if c > !best_count then begin
+      best := fb;
+      best_count := c
+    end
+  done;
+  !best
+
+let static_plan (env : Availability.env) ~demands =
+  Availability.Internal.plan_alloc env Schemes.Teavar ~demands ~degraded:None
+
+let workload_variation (env : Availability.env) ~scale ~jitter =
+  if jitter < 0.0 then invalid_arg "Uncertainty.workload_variation: negative jitter";
+  let ts = env.Availability.ts in
+  let demands =
+    Traffic.demand env.Availability.traffic ~scale ~epoch:env.Availability.epoch
+  in
+  let rng = Prete_util.Rng.create 77 in
+  let demands' =
+    Array.map (fun d -> d *. (1.0 +. Prete_util.Rng.uniform rng (-.jitter) jitter)) demands
+  in
+  let plan = static_plan env ~demands in
+  let plan' = static_plan env ~demands:demands' in
+  let cut = reference_cut env in
+  let affected_flows = Tunnels.flows_affected_by_cut ts cut in
+  let affected = ref [] and unaffected = ref [] in
+  Array.iter
+    (fun (tn : Tunnels.tunnel) ->
+      let f = tn.Tunnels.owner in
+      let d = demands.(f) in
+      if d > 0.0 then begin
+        let delta =
+          Float.abs
+            (plan'.Availability.p_alloc.(tn.Tunnels.tunnel_id)
+            -. plan.Availability.p_alloc.(tn.Tunnels.tunnel_id))
+          /. d
+        in
+        if List.mem f affected_flows then affected := delta :: !affected
+        else unaffected := delta :: !unaffected
+      end)
+    ts.Tunnels.tunnels;
+  stats_of (Array.of_list !affected, Array.of_list !unaffected)
+
+let capacity_variation (env : Availability.env) ~scale =
+  let ts = env.Availability.ts in
+  let topo = ts.Tunnels.topo in
+  let demands =
+    Traffic.demand env.Availability.traffic ~scale ~epoch:env.Availability.epoch
+  in
+  let plan = static_plan env ~demands in
+  let alloc = plan.Availability.p_alloc in
+  let affected = ref [] and unaffected = ref [] in
+  for fb = 0 to Topology.num_fibers topo - 1 do
+    let affected_flows = Tunnels.flows_affected_by_cut ts fb in
+    Array.iter
+      (fun (tn : Tunnels.tunnel) ->
+        let f = tn.Tunnels.owner in
+        let d = demands.(f) in
+        if d > 0.0 then begin
+          (* Actual tunnel traffic before the failure: the flow spreads
+             its demand proportionally to the allocation caps (which may
+             exceed the demand). *)
+          let total_alloc = surviving_rate ts alloc f ~cut:None in
+          let before =
+            if total_alloc <= 1e-9 then 0.0
+            else Float.min d total_alloc *. (alloc.(tn.Tunnels.tunnel_id) /. total_alloc)
+          in
+          (* Rate adaptation after the cut: the flow rescales onto the
+             surviving tunnels within their caps. *)
+          let dead = Routing.uses_fiber topo tn.Tunnels.links fb in
+          let surv = surviving_rate ts alloc f ~cut:(Some fb) in
+          let after =
+            if dead then 0.0
+            else if surv <= 1e-9 then 0.0
+            else Float.min d surv *. (alloc.(tn.Tunnels.tunnel_id) /. surv)
+          in
+          let delta = Float.abs (after -. before) /. d in
+          if List.mem f affected_flows then affected := delta :: !affected
+          else unaffected := delta :: !unaffected
+        end)
+      ts.Tunnels.tunnels
+  done;
+  stats_of (Array.of_list !affected, Array.of_list !unaffected)
+
+type fig17_point = {
+  scheme : string;
+  demand_prediction : bool;
+  scale : float;
+  availability : float;
+}
+
+(* Availability with a demand mismatch: the plan is computed for the
+   previous epoch's demands (no prediction) or the current ones
+   (prediction = the * variants); delivery is judged against the current
+   demands. *)
+let availability_mismatch (env : Availability.env) scheme ~plan_demands ~actual_demands =
+  let states = Availability.Internal.degradation_states env in
+  let ts0 = env.Availability.ts in
+  let n_flows = Array.length ts0.Tunnels.flows in
+  let total_demand = Float.max 1e-9 (Prete_util.Stats.sum actual_demands) in
+  let base =
+    lazy (Availability.Internal.plan_alloc env scheme ~demands:plan_demands ~degraded:None)
+  in
+  let total = ref 0.0 in
+  Array.iter
+    (fun (degraded, p_s) ->
+      let plan =
+        if Schemes.is_degradation_aware scheme then
+          Availability.Internal.plan_alloc env scheme ~demands:plan_demands ~degraded
+        else Lazy.force base
+      in
+      let ts = plan.Availability.p_ts in
+      let outcomes = Availability.Internal.cut_outcomes env ~degraded in
+      let state_avail = ref 0.0 in
+      Array.iter
+        (fun (cut, p_q) ->
+          let acc = ref 0.0 in
+          for f = 0 to n_flows - 1 do
+            let d = actual_demands.(f) in
+            if d > 0.0 then begin
+              let surv = surviving_rate ts plan.Availability.p_alloc f ~cut in
+              let cap =
+                match plan.Availability.p_admitted with
+                | None -> d
+                | Some b -> b.(f)
+              in
+              let delivered = Float.min 1.0 (Float.min cap surv /. d) in
+              acc := !acc +. (d *. delivered)
+            end
+          done;
+          state_avail := !state_avail +. (p_q *. (!acc /. total_demand)))
+        outcomes;
+      total := !total +. (p_s *. !state_avail))
+    states;
+  !total
+
+let fig17 (env : Availability.env) ~predictor ~scales =
+  let actual_epoch = env.Availability.epoch in
+  let points = ref [] in
+  Array.iter
+    (fun scale ->
+      let actual = Traffic.demand env.Availability.traffic ~scale ~epoch:actual_epoch in
+      (* Without demand prediction the plan is based on the previous TE
+         period's demands; workload drift within one 5-minute period is
+         small (Appendix A.7), modeled as a ±2% per-flow error. *)
+      let rng = Prete_util.Rng.create 171 in
+      let stale =
+        Array.map (fun d -> d *. (1.0 +. Prete_util.Rng.uniform rng (-0.02) 0.02)) actual
+      in
+      List.iter
+        (fun (scheme, name) ->
+          List.iter
+            (fun demand_prediction ->
+              let plan_demands = if demand_prediction then actual else stale in
+              let availability =
+                availability_mismatch env scheme ~plan_demands ~actual_demands:actual
+              in
+              points :=
+                { scheme = name; demand_prediction; scale; availability } :: !points)
+            [ false; true ])
+        [
+          (Schemes.Teavar, "TeaVar");
+          (Schemes.prete_default ~predictor (), "PreTE");
+        ])
+    scales;
+  List.rev !points

@@ -1,0 +1,44 @@
+(** Workload vs. capacity uncertainty (Fig. 17, Fig. 19, Appendix A.7).
+
+    Two sources perturb tunnel traffic between TE periods: demand
+    fluctuation (workload uncertainty) and failures (capacity
+    uncertainty).  The paper measures (Fig. 19) that workload-driven
+    variation is small for affected and unaffected flows alike, while
+    capacity-driven variation is large for affected flows; and (Fig. 17)
+    that predicting failures buys much more availability than predicting
+    demands once the network is loaded. *)
+
+type variation_stats = {
+  affected_mean : float;  (** Mean relative tunnel-traffic change among
+                              tunnels of flows the failure touches. *)
+  unaffected_mean : float;
+  affected_p95 : float;
+  unaffected_p95 : float;
+}
+
+val workload_variation :
+  Availability.env -> scale:float -> jitter:float -> variation_stats
+(** Tunnel-level |Δtraffic|/capacity between the allocation for the
+    current demands and for demands jittered by ±[jitter] (relative),
+    with "affected" defined against a reference single-fiber cut. *)
+
+val capacity_variation : Availability.env -> scale:float -> variation_stats
+(** Tunnel-level traffic change between the pre-failure allocation and
+    the post-failure rate-adapted traffic, averaged over single-fiber
+    cuts. *)
+
+type fig17_point = {
+  scheme : string;
+  demand_prediction : bool;  (** The * variants. *)
+  scale : float;
+  availability : float;
+}
+
+val fig17 :
+  Availability.env ->
+  predictor:(Prete_optics.Hazard.features -> float) ->
+  scales:float array ->
+  fig17_point list
+(** TeaVar / TeaVar* / PreTE / PreTE* availability: without demand
+    prediction a scheme allocates for the previous epoch's demands and is
+    evaluated against the current ones. *)

@@ -1,0 +1,120 @@
+type var = int
+
+type sense = Le | Ge | Eq
+
+type direction = Minimize | Maximize
+
+type term = float * var
+
+type vinfo = { name : string; lb : float; ub : float; is_binary : bool }
+
+type constr_rec = {
+  terms : (int * float) list;
+  sense : sense;
+  rhs : float;
+  cname : string;
+}
+
+type model = {
+  mutable vars : vinfo list; (* reversed *)
+  mutable nvars : int;
+  mutable constrs : constr_rec list; (* reversed *)
+  mutable nconstrs : int;
+  mutable obj_dir : direction;
+  mutable obj_terms : term list;
+}
+
+let create () =
+  { vars = []; nvars = 0; constrs = []; nconstrs = 0;
+    obj_dir = Minimize; obj_terms = [] }
+
+let add_var m ?(lb = 0.0) ?(ub = infinity) ?(binary = false) name =
+  let lb, ub = if binary then (0.0, 1.0) else (lb, ub) in
+  if lb > ub then invalid_arg "Lp.add_var: lb > ub";
+  let v = m.nvars in
+  m.vars <- { name; lb; ub; is_binary = binary } :: m.vars;
+  m.nvars <- v + 1;
+  v
+
+(* Merge duplicate variables so the solvers see one coefficient each. *)
+let normalize_terms m terms =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (c, v) ->
+      if v < 0 || v >= m.nvars then invalid_arg "Lp: variable out of range";
+      let prev = try Hashtbl.find tbl v with Not_found -> 0.0 in
+      Hashtbl.replace tbl v (prev +. c))
+    terms;
+  Hashtbl.fold (fun v c acc -> if c <> 0.0 then (v, c) :: acc else acc) tbl []
+
+let add_constraint m ?(name = "") terms sense rhs =
+  let idx = m.nconstrs in
+  let cname = if name = "" then Printf.sprintf "c%d" idx else name in
+  m.constrs <- { terms = normalize_terms m terms; sense; rhs; cname } :: m.constrs;
+  m.nconstrs <- idx + 1;
+  idx
+
+let set_objective m dir terms =
+  List.iter
+    (fun (_, v) ->
+      if v < 0 || v >= m.nvars then invalid_arg "Lp.set_objective: variable out of range")
+    terms;
+  m.obj_dir <- dir;
+  m.obj_terms <- terms
+
+let num_vars m = m.nvars
+let num_constraints m = m.nconstrs
+
+let vars_array m = Array.of_list (List.rev m.vars)
+
+let var_name m v =
+  if v < 0 || v >= m.nvars then invalid_arg "Lp.var_name: out of range";
+  (vars_array m).(v).name
+
+let var_of_index m i =
+  if i < 0 || i >= m.nvars then invalid_arg "Lp.var_of_index: out of range";
+  i
+
+let binaries m =
+  let arr = vars_array m in
+  let acc = ref [] in
+  for i = Array.length arr - 1 downto 0 do
+    if arr.(i).is_binary then acc := i :: !acc
+  done;
+  !acc
+
+module Internal = struct
+  type constr = { terms : (int * float) list; sense : sense; rhs : float; cname : string }
+
+  let bounds m = Array.map (fun v -> (v.lb, v.ub)) (vars_array m)
+
+  let constraints m =
+    Array.of_list
+      (List.rev_map
+         (fun (c : constr_rec) ->
+           { terms = c.terms; sense = c.sense; rhs = c.rhs; cname = c.cname })
+         m.constrs)
+
+  let objective m =
+    let coefs = Array.make m.nvars 0.0 in
+    List.iter (fun (c, v) -> coefs.(v) <- coefs.(v) +. c) m.obj_terms;
+    (m.obj_dir, coefs)
+end
+
+let pp fmt m =
+  let vars = vars_array m in
+  let dir = match m.obj_dir with Minimize -> "min" | Maximize -> "max" in
+  Format.fprintf fmt "@[<v>%s " dir;
+  List.iter (fun (c, v) -> Format.fprintf fmt "%+g·%s " c vars.(v).name) m.obj_terms;
+  Format.fprintf fmt "@,";
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "  %s: " c.cname;
+      List.iter (fun (v, coef) -> Format.fprintf fmt "%+g·%s " coef vars.(v).name) c.terms;
+      let s = match c.sense with Le -> "<=" | Ge -> ">=" | Eq -> "=" in
+      Format.fprintf fmt "%s %g@," s c.rhs)
+    (List.rev m.constrs);
+  Array.iter
+    (fun v -> Format.fprintf fmt "  %g <= %s <= %g@," v.lb v.name v.ub)
+    vars;
+  Format.fprintf fmt "@]"

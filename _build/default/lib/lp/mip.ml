@@ -1,0 +1,109 @@
+type solution = { objective : float; values : float array; nodes : int }
+
+type outcome = Optimal of solution | Infeasible | Unbounded
+
+let int_eps = 1e-6
+
+(* A node is a set of fixings for binary variables: (var, value) list. *)
+let solve ?(max_nodes = 100_000) ?(gap = 1e-6) ?(max_iters = 200_000) model =
+  let binaries = Array.of_list (Lp.binaries model) in
+  let dir, _ = Lp.Internal.objective model in
+  let better a b =
+    match dir with Lp.Minimize -> a < b -. gap | Lp.Maximize -> a > b +. gap
+  in
+  (* Fixings are applied as equality constraints appended to a copy of the
+     model.  The modeling layer is append-only, so we rebuild by adding
+     rows to a scratch clone for each node; to avoid deep copies we add
+     the fixing rows to the original model and rely on the solver reading
+     a snapshot.  Simplest correct approach: rebuild a fresh model per
+     node.  Node counts in our workloads are small (tens), so the rebuild
+     cost is acceptable and keeps the search stateless. *)
+  let bounds = Lp.Internal.bounds model in
+  let constrs = Lp.Internal.constraints model in
+  let _, obj_coefs = Lp.Internal.objective model in
+  let nv = Lp.num_vars model in
+  let build_node fixings =
+    let m = Lp.create () in
+    let vars =
+      Array.init nv (fun j ->
+          let lb, ub = bounds.(j) in
+          let lb, ub =
+            match List.assoc_opt j fixings with
+            | Some v -> (v, v)
+            | None -> (lb, ub)
+          in
+          (* Infeasible fixing combination cannot arise: we only fix within
+             [0,1] bounds of binary vars. *)
+          Lp.add_var m ~lb ~ub (Printf.sprintf "x%d" j))
+    in
+    Array.iter
+      (fun c ->
+        let terms = List.map (fun (v, coef) -> (coef, vars.(v))) c.Lp.Internal.terms in
+        ignore (Lp.add_constraint m terms c.Lp.Internal.sense c.Lp.Internal.rhs))
+      constrs;
+    let obj_terms = ref [] in
+    Array.iteri
+      (fun j c -> if c <> 0.0 then obj_terms := (c, vars.(j)) :: !obj_terms)
+      obj_coefs;
+    Lp.set_objective m dir !obj_terms;
+    m
+  in
+  let incumbent = ref None in
+  let nodes = ref 0 in
+  let any_unbounded = ref false in
+  let rec branch fixings =
+    incr nodes;
+    if !nodes > max_nodes then raise (Simplex.Numerical "Mip: node limit exceeded");
+    match Simplex.solve ~max_iters (build_node fixings) with
+    | Simplex.Infeasible -> ()
+    | Simplex.Unbounded -> any_unbounded := true
+    | Simplex.Optimal sol ->
+      let dominated =
+        match !incumbent with
+        | None -> false
+        | Some (best, _) -> not (better sol.Simplex.objective best)
+      in
+      if not dominated then begin
+        (* Most fractional binary. *)
+        let frac_var = ref (-1) and frac_dist = ref int_eps in
+        Array.iter
+          (fun v ->
+            if not (List.mem_assoc (v : Lp.var :> int) fixings) then begin
+              let x = sol.Simplex.values.((v :> int)) in
+              let d = Float.abs (x -. Float.round x) in
+              if d > !frac_dist then begin
+                frac_dist := d;
+                frac_var := (v :> int)
+              end
+            end)
+          binaries;
+        if !frac_var = -1 then begin
+          (* Integral: also snap near-integral binaries when storing. *)
+          let values =
+            Array.mapi
+              (fun j x ->
+                if Array.exists (fun v -> (v : Lp.var :> int) = j) binaries then
+                  Float.round x
+                else x)
+              sol.Simplex.values
+          in
+          match !incumbent with
+          | Some (best, _) when not (better sol.Simplex.objective best) -> ()
+          | _ -> incumbent := Some (sol.Simplex.objective, values)
+        end
+        else begin
+          (* Explore the rounded side first: good incumbents early. *)
+          let v = !frac_var in
+          let x = sol.Simplex.values.(v) in
+          let first, second = if x >= 0.5 then (1.0, 0.0) else (0.0, 1.0) in
+          branch ((v, first) :: fixings);
+          branch ((v, second) :: fixings)
+        end
+      end
+  in
+  branch [];
+  match !incumbent with
+  | Some (objective, values) -> Optimal { objective; values; nodes = !nodes }
+  | None -> if !any_unbounded then Unbounded else Infeasible
+
+let value sol (v : Lp.var) = sol.values.((v :> int))

@@ -1,0 +1,27 @@
+(** Branch-and-bound for models with binary variables.
+
+    The PreTE optimization (Eqns. 2–8) is a mixed-integer program with one
+    binary δ per (flow, failure-scenario) pair.  This module provides an
+    exact solver on top of {!Simplex}: depth-first branch and bound over the
+    binary variables, branching on the most fractional one, pruning by the
+    LP relaxation bound against the incumbent.
+
+    For minimization: a node is pruned when its relaxation is no better
+    than [incumbent - gap].  Default absolute gap 1e-6. *)
+
+type solution = {
+  objective : float;
+  values : float array;
+  nodes : int;  (** Branch-and-bound nodes explored. *)
+}
+
+type outcome = Optimal of solution | Infeasible | Unbounded
+
+val solve :
+  ?max_nodes:int -> ?gap:float -> ?max_iters:int -> Lp.model -> outcome
+(** [solve m] solves [m] to proven optimality over its binary variables.
+    [max_nodes] (default 100_000) caps the search; exceeding it raises
+    {!Simplex.Numerical}.  Models without binaries reduce to one simplex
+    solve. *)
+
+val value : solution -> Lp.var -> float

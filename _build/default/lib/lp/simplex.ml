@@ -1,0 +1,324 @@
+type solution = {
+  objective : float;
+  values : float array;
+  duals : float array;
+  iterations : int;
+}
+
+type outcome = Optimal of solution | Infeasible | Unbounded
+
+exception Numerical of string
+
+let eps = 1e-9
+let feas_eps = 1e-7
+
+type col_kind = Structural of int | Slack of int | Surplus of int | Artificial of int
+
+(* The dense tableau.  [rows] is m × n, [rhs] is m (kept >= 0 up to
+   round-off), [obj] holds reduced costs and [obj_val] the negated current
+   objective contribution; [basis.(i)] is the column basic in row i. *)
+type tableau = {
+  m : int;
+  n : int;
+  rows : float array array;
+  rhs : float array;
+  obj : float array;
+  mutable obj_val : float;
+  basis : int array;
+  kinds : col_kind array;
+}
+
+let pivot t ~row ~col =
+  let piv = t.rows.(row).(col) in
+  let r = t.rows.(row) in
+  let inv = 1.0 /. piv in
+  for j = 0 to t.n - 1 do
+    r.(j) <- r.(j) *. inv
+  done;
+  t.rhs.(row) <- t.rhs.(row) *. inv;
+  for i = 0 to t.m - 1 do
+    if i <> row then begin
+      let f = t.rows.(i).(col) in
+      if Float.abs f > 0.0 then begin
+        let ri = t.rows.(i) in
+        for j = 0 to t.n - 1 do
+          ri.(j) <- ri.(j) -. (f *. r.(j))
+        done;
+        t.rhs.(i) <- t.rhs.(i) -. (f *. t.rhs.(row));
+        (* Clamp round-off negatives so the ratio test stays sane. *)
+        if t.rhs.(i) < 0.0 && t.rhs.(i) > -.eps then t.rhs.(i) <- 0.0
+      end
+    end
+  done;
+  let f = t.obj.(col) in
+  if Float.abs f > 0.0 then begin
+    for j = 0 to t.n - 1 do
+      t.obj.(j) <- t.obj.(j) -. (f *. r.(j))
+    done;
+    t.obj_val <- t.obj_val -. (f *. t.rhs.(row))
+  end;
+  t.basis.(row) <- col
+
+(* Ratio test: leaving row for entering column [col]; Bland tie-break on
+   the basic variable index. *)
+let leaving_row t col =
+  let best = ref (-1) and best_ratio = ref infinity in
+  for i = 0 to t.m - 1 do
+    let a = t.rows.(i).(col) in
+    if a > eps then begin
+      let ratio = t.rhs.(i) /. a in
+      if
+        ratio < !best_ratio -. eps
+        || (ratio < !best_ratio +. eps && (!best = -1 || t.basis.(i) < t.basis.(!best)))
+      then begin
+        best := i;
+        best_ratio := ratio
+      end
+    end
+  done;
+  !best
+
+(* One optimization phase.  [banned c] excludes columns from entering.
+   Returns [`Optimal] or [`Unbounded], counting pivots in [iters]. *)
+let optimize t ~banned ~max_iters iters =
+  let bland_threshold = 20 * (t.m + t.n) in
+  let rec loop () =
+    if !iters > max_iters then raise (Numerical "Simplex: iteration limit exceeded");
+    let use_bland = !iters > bland_threshold in
+    let entering = ref (-1) and best = ref (-.eps) in
+    (try
+       for j = 0 to t.n - 1 do
+         if not (banned j) then
+           if use_bland then begin
+             if t.obj.(j) < -.eps then begin
+               entering := j;
+               raise Exit
+             end
+           end
+           else if t.obj.(j) < !best then begin
+             best := t.obj.(j);
+             entering := j
+           end
+       done
+     with Exit -> ());
+    if !entering = -1 then `Optimal
+    else begin
+      let col = !entering in
+      let row = leaving_row t col in
+      if row = -1 then `Unbounded
+      else begin
+        incr iters;
+        pivot t ~row ~col;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+(* Recompute reduced costs for a cost vector [c] (indexed by column) given
+   the current basis; the tableau body already encodes B^-1 A. *)
+let install_costs t c =
+  Array.blit c 0 t.obj 0 t.n;
+  t.obj_val <- 0.0;
+  for i = 0 to t.m - 1 do
+    let cb = c.(t.basis.(i)) in
+    if cb <> 0.0 then begin
+      let r = t.rows.(i) in
+      for j = 0 to t.n - 1 do
+        t.obj.(j) <- t.obj.(j) -. (cb *. r.(j))
+      done;
+      t.obj_val <- t.obj_val -. (cb *. t.rhs.(i))
+    end
+  done
+
+type norm_row = { coefs : (int * float) list; sense : Lp.sense; rhs : float; flipped : bool }
+
+let solve ?(max_iters = 200_000) model =
+  let bounds = Lp.Internal.bounds model in
+  let constrs = Lp.Internal.constraints model in
+  let dir, obj_coefs = Lp.Internal.objective model in
+  let nv = Lp.num_vars model in
+  let nc = Array.length constrs in
+  Array.iter
+    (fun (lb, _) ->
+      if lb = neg_infinity then
+        invalid_arg "Simplex.solve: free variables (lb = -inf) unsupported")
+    bounds;
+  (* Shift x = lb + x'; collect the objective constant and adjusted rhs. *)
+  let lbs = Array.map fst bounds in
+  let obj_const = ref 0.0 in
+  Array.iteri (fun j c -> obj_const := !obj_const +. (c *. lbs.(j))) obj_coefs;
+  let shifted_rhs c =
+    List.fold_left (fun acc (v, coef) -> acc -. (coef *. lbs.(v))) c.Lp.Internal.rhs c.Lp.Internal.terms
+  in
+  (* Build the normalized row list: model constraints first (so duals map
+     directly), then upper-bound rows. *)
+  let rows0 =
+    Array.to_list
+      (Array.map
+         (fun c ->
+           { coefs = c.Lp.Internal.terms; sense = c.Lp.Internal.sense;
+             rhs = shifted_rhs c; flipped = false })
+         constrs)
+  in
+  let ub_rows =
+    let acc = ref [] in
+    Array.iteri
+      (fun j (lb, ub) ->
+        if ub < infinity then
+          acc := { coefs = [ (j, 1.0) ]; sense = Lp.Le; rhs = ub -. lb; flipped = false } :: !acc)
+      bounds;
+    List.rev !acc
+  in
+  let all_rows =
+    List.map
+      (fun r ->
+        if r.rhs < 0.0 then
+          let flip_sense = function Lp.Le -> Lp.Ge | Lp.Ge -> Lp.Le | Lp.Eq -> Lp.Eq in
+          { coefs = List.map (fun (v, c) -> (v, -.c)) r.coefs;
+            sense = flip_sense r.sense; rhs = -.r.rhs; flipped = true }
+        else r)
+      (rows0 @ ub_rows)
+  in
+  let m = List.length all_rows in
+  (* Column layout: structural | slacks | surpluses | artificials. *)
+  let n_slack = List.length (List.filter (fun r -> r.sense = Lp.Le) all_rows) in
+  let n_surplus = List.length (List.filter (fun r -> r.sense = Lp.Ge) all_rows) in
+  let n_art = List.length (List.filter (fun r -> r.sense <> Lp.Le) all_rows) in
+  let n = nv + n_slack + n_surplus + n_art in
+  let kinds = Array.make n (Structural 0) in
+  for j = 0 to nv - 1 do
+    kinds.(j) <- Structural j
+  done;
+  let t =
+    { m; n;
+      rows = Array.init m (fun _ -> Array.make n 0.0);
+      rhs = Array.make m 0.0;
+      obj = Array.make n 0.0;
+      obj_val = 0.0;
+      basis = Array.make m (-1);
+      kinds }
+  in
+  let next_slack = ref nv in
+  let next_surplus = ref (nv + n_slack) in
+  let next_art = ref (nv + n_slack + n_surplus) in
+  List.iteri
+    (fun i r ->
+      List.iter (fun (v, c) -> t.rows.(i).(v) <- t.rows.(i).(v) +. c) r.coefs;
+      t.rhs.(i) <- r.rhs;
+      (match r.sense with
+      | Lp.Le ->
+        let j = !next_slack in
+        incr next_slack;
+        kinds.(j) <- Slack i;
+        t.rows.(i).(j) <- 1.0;
+        t.basis.(i) <- j
+      | Lp.Ge ->
+        let js = !next_surplus in
+        incr next_surplus;
+        kinds.(js) <- Surplus i;
+        t.rows.(i).(js) <- -1.0;
+        let ja = !next_art in
+        incr next_art;
+        kinds.(ja) <- Artificial i;
+        t.rows.(i).(ja) <- 1.0;
+        t.basis.(i) <- ja
+      | Lp.Eq ->
+        let ja = !next_art in
+        incr next_art;
+        kinds.(ja) <- Artificial i;
+        t.rows.(i).(ja) <- 1.0;
+        t.basis.(i) <- ja))
+    all_rows;
+  let is_artificial j = match kinds.(j) with Artificial _ -> true | _ -> false in
+  let iters = ref 0 in
+  (* ---- Phase 1 ---- *)
+  let phase1_cost = Array.make n 0.0 in
+  Array.iteri (fun j k -> match k with Artificial _ -> phase1_cost.(j) <- 1.0 | _ -> ()) kinds;
+  install_costs t phase1_cost;
+  (match optimize t ~banned:(fun _ -> false) ~max_iters iters with
+  | `Unbounded -> raise (Numerical "Simplex: phase 1 unbounded (internal error)")
+  | `Optimal -> ());
+  (* obj_val tracks -(current phase-1 objective). *)
+  if -.t.obj_val > feas_eps then Infeasible
+  else begin
+    (* Drive remaining basic artificials out of the basis. *)
+    for i = 0 to m - 1 do
+      if is_artificial t.basis.(i) then begin
+        let found = ref (-1) in
+        (try
+           for j = 0 to n - 1 do
+             if (not (is_artificial j)) && Float.abs t.rows.(i).(j) > 1e-7 then begin
+               found := j;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !found >= 0 then begin
+          incr iters;
+          pivot t ~row:i ~col:!found
+        end
+        (* else: redundant row; the artificial stays basic at value 0 and,
+           being banned from entering elsewhere, is harmless. *)
+      end
+    done;
+    (* ---- Phase 2 ---- *)
+    let sign = match dir with Lp.Minimize -> 1.0 | Lp.Maximize -> -1.0 in
+    let phase2_cost = Array.make n 0.0 in
+    for j = 0 to nv - 1 do
+      phase2_cost.(j) <- sign *. obj_coefs.(j)
+    done;
+    install_costs t phase2_cost;
+    match optimize t ~banned:is_artificial ~max_iters iters with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+      let shifted = Array.make nv 0.0 in
+      for i = 0 to m - 1 do
+        match kinds.(t.basis.(i)) with
+        | Structural j -> shifted.(j) <- t.rhs.(i)
+        | Slack _ | Surplus _ | Artificial _ -> ()
+      done;
+      let values = Array.init nv (fun j -> lbs.(j) +. shifted.(j)) in
+      let min_obj = -.t.obj_val in
+      let objective = (sign *. min_obj) +. !obj_const in
+      (* Duals: recover y_i from the reduced cost of the identity column of
+         row i (slack for Le rows, artificial otherwise), then undo the
+         rhs-sign flip and the direction sign to obtain shadow prices of
+         the original constraints. *)
+      let y = Array.make m 0.0 in
+      for j = 0 to n - 1 do
+        match kinds.(j) with
+        | Slack i -> y.(i) <- -.t.obj.(j)
+        | Artificial i -> y.(i) <- -.t.obj.(j)
+        | Structural _ | Surplus _ -> ()
+      done;
+      let row_arr = Array.of_list all_rows in
+      let duals =
+        Array.init nc (fun i ->
+            let raw = if row_arr.(i).flipped then -.y.(i) else y.(i) in
+            sign *. raw)
+      in
+      Optimal { objective; values; duals; iterations = !iters }
+  end
+
+let value sol (v : Lp.var) = sol.values.((v :> int))
+
+let dual sol i = sol.duals.(i)
+
+let feasible ?(eps = 1e-6) model x =
+  let bounds = Lp.Internal.bounds model in
+  let constrs = Lp.Internal.constraints model in
+  Array.length x = Array.length bounds
+  && Array.for_all2
+       (fun xi (lb, ub) -> xi >= lb -. eps && xi <= ub +. eps)
+       x bounds
+  && Array.for_all
+       (fun c ->
+         let lhs =
+           List.fold_left (fun acc (v, coef) -> acc +. (coef *. x.(v))) 0.0 c.Lp.Internal.terms
+         in
+         match c.Lp.Internal.sense with
+         | Lp.Le -> lhs <= c.Lp.Internal.rhs +. eps
+         | Lp.Ge -> lhs >= c.Lp.Internal.rhs -. eps
+         | Lp.Eq -> Float.abs (lhs -. c.Lp.Internal.rhs) <= eps)
+       constrs

@@ -1,0 +1,41 @@
+(** Two-phase primal simplex for {!Lp} models.
+
+    Replaces the Gurobi LP path of the paper's implementation.  The solver
+    uses a dense tableau: Phase 1 minimizes the sum of artificial variables
+    to find a basic feasible solution, Phase 2 optimizes the user objective.
+    Entering columns follow Dantzig's rule with an automatic switch to
+    Bland's rule (guaranteeing termination) after a degeneracy threshold.
+
+    Normalization: variables are shifted to zero lower bound, finite upper
+    bounds become additional rows, binary declarations are relaxed to
+    [0, 1].  Free variables (infinite lower bound) are not supported — the
+    TE formulations never produce them.
+
+    Duals are reported as shadow prices of the original constraints:
+    [dual sol i] is ∂(objective)/∂(rhs of constraint i) at the optimum,
+    regardless of constraint sense or optimization direction. *)
+
+type solution = {
+  objective : float;  (** Optimal objective in the original direction. *)
+  values : float array;  (** Primal values indexed by variable. *)
+  duals : float array;  (** Shadow prices indexed by constraint. *)
+  iterations : int;  (** Total simplex pivots across both phases. *)
+}
+
+type outcome = Optimal of solution | Infeasible | Unbounded
+
+exception Numerical of string
+(** Raised when the pivot limit is exceeded (an instance far outside the
+    sizes this solver is designed for, or severe degeneracy). *)
+
+val solve : ?max_iters:int -> Lp.model -> outcome
+(** Solve the continuous relaxation of the model.  [max_iters] defaults to
+    200_000 pivots. *)
+
+val value : solution -> Lp.var -> float
+val dual : solution -> int -> float
+
+val feasible : ?eps:float -> Lp.model -> float array -> bool
+(** [feasible m x] checks a candidate point against every constraint and
+    bound of the model; used by tests and by the MIP layer to validate
+    incumbents. Default [eps] 1e-6. *)

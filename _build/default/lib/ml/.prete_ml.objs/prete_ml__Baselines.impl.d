@@ -1,0 +1,1 @@
+lib/ml/baselines.ml: Array Corpus Fiber_model Hazard Prete_optics

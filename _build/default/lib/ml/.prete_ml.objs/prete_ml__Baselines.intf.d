@@ -1,0 +1,1 @@
+lib/ml/baselines.mli: Corpus Prete_optics

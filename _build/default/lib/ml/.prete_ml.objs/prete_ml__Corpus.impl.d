@@ -1,0 +1,1 @@
+lib/ml/corpus.ml: Array List Prete_net Prete_optics Prete_util Rng

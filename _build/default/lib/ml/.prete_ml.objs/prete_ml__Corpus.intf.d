@@ -1,0 +1,1 @@
+lib/ml/corpus.mli: Prete_optics

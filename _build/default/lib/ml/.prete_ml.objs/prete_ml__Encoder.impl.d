@@ -1,0 +1,1 @@
+lib/ml/encoder.ml: Array Corpus Float Hazard Prete_optics

@@ -1,0 +1,1 @@
+lib/ml/encoder.mli: Corpus Prete_optics

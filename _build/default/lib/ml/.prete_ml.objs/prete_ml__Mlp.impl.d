@@ -1,0 +1,1 @@
+lib/ml/mlp.ml: Array Corpus Encoder Float Hazard Matrix Prete_optics Prete_util Rng

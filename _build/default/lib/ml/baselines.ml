@@ -1,0 +1,41 @@
+open Prete_optics
+
+type naive = { p_cut : float array }
+
+let naive_train (m : Fiber_model.t) = { p_cut = Array.copy m.Fiber_model.p_cut }
+
+let naive_proba n (f : Hazard.features) =
+  let nf = Array.length n.p_cut in
+  if nf = 0 then 0.0 else n.p_cut.(((f.Hazard.fiber mod nf) + nf) mod nf)
+
+let naive_label n f = naive_proba n f >= 0.5
+
+type statistic = { rate : float array; seen : bool array; global : float }
+
+let statistic_train examples =
+  if Array.length examples = 0 then invalid_arg "Baselines.statistic_train: empty";
+  let max_fiber =
+    Array.fold_left
+      (fun acc (e : Corpus.example) -> max acc e.Corpus.features.Hazard.fiber)
+      0 examples
+  in
+  let n = Array.make (max_fiber + 1) 0 and pos = Array.make (max_fiber + 1) 0 in
+  Array.iter
+    (fun (e : Corpus.example) ->
+      let f = e.Corpus.features.Hazard.fiber in
+      n.(f) <- n.(f) + 1;
+      if e.Corpus.label then pos.(f) <- pos.(f) + 1)
+    examples;
+  let global = Corpus.class_balance examples in
+  let rate =
+    Array.init (max_fiber + 1) (fun i ->
+        if n.(i) = 0 then global else float_of_int pos.(i) /. float_of_int n.(i))
+  in
+  { rate; seen = Array.map (fun c -> c > 0) n; global }
+
+let statistic_proba s (f : Hazard.features) =
+  let fid = f.Hazard.fiber in
+  if fid >= 0 && fid < Array.length s.rate && s.seen.(fid) then s.rate.(fid)
+  else s.global
+
+let statistic_label s f = statistic_proba s f >= 0.5

@@ -1,0 +1,25 @@
+(** Non-neural failure predictors compared in Table 5.
+
+    - {b Naive} (the paper labels it "TeaVar"): ignores the degradation
+      signal entirely and predicts each fiber's static failure probability
+      p_i, which is ≪ 0.5 — so it never predicts a failure and scores
+      P ≈ R ≈ 0.
+    - {b Statistic}: the empirical per-fiber P(cut | degradation) from the
+      training window; predicts failure when the fiber's rate exceeds 1/2.
+      Captures the fiber-identity signal but none of the event features. *)
+
+type naive
+
+val naive_train : Prete_optics.Fiber_model.t -> naive
+val naive_proba : naive -> Prete_optics.Hazard.features -> float
+val naive_label : naive -> Prete_optics.Hazard.features -> bool
+
+type statistic
+
+val statistic_train : Corpus.example array -> statistic
+(** Raises [Invalid_argument] on an empty training set. *)
+
+val statistic_proba : statistic -> Prete_optics.Hazard.features -> float
+(** Per-fiber empirical rate; the global rate for unseen fibers. *)
+
+val statistic_label : statistic -> Prete_optics.Hazard.features -> bool

@@ -1,0 +1,63 @@
+open Prete_util
+
+type example = {
+  features : Prete_optics.Hazard.features;
+  label : bool;
+  true_hazard : float;
+}
+
+type t = { train : example array; test : example array }
+
+let of_dataset (ds : Prete_optics.Dataset.t) =
+  let nf = Prete_net.Topology.num_fibers ds.Prete_optics.Dataset.topo in
+  let per_fiber = Array.make nf [] in
+  (* Degradations are chronological; collect per fiber preserving order. *)
+  Array.iter
+    (fun (d : Prete_optics.Dataset.degradation) ->
+      let ex =
+        {
+          features = d.Prete_optics.Dataset.features;
+          label = d.Prete_optics.Dataset.led_to_cut;
+          true_hazard = d.Prete_optics.Dataset.true_hazard;
+        }
+      in
+      per_fiber.(d.Prete_optics.Dataset.d_fiber) <-
+        ex :: per_fiber.(d.Prete_optics.Dataset.d_fiber))
+    ds.Prete_optics.Dataset.degradations;
+  let train = ref [] and test = ref [] in
+  Array.iter
+    (fun events ->
+      let events = Array.of_list (List.rev events) in
+      let n = Array.length events in
+      let cut = n * 8 / 10 in
+      for i = 0 to n - 1 do
+        if i < cut then train := events.(i) :: !train else test := events.(i) :: !test
+      done)
+    per_fiber;
+  { train = Array.of_list (List.rev !train); test = Array.of_list (List.rev !test) }
+
+let positives xs =
+  Array.fold_left (fun acc e -> if e.label then acc + 1 else acc) 0 xs
+
+let class_balance xs =
+  if Array.length xs = 0 then 0.0
+  else float_of_int (positives xs) /. float_of_int (Array.length xs)
+
+let oversample ?(seed = 17) xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let pos = Array.of_list (List.filter (fun e -> e.label) (Array.to_list xs)) in
+    let neg = Array.of_list (List.filter (fun e -> not e.label) (Array.to_list xs)) in
+    let np = Array.length pos and nn = Array.length neg in
+    if np = 0 || nn = 0 then Array.copy xs
+    else begin
+      let rng = Rng.create seed in
+      let minority, majority = if np < nn then (pos, neg) else (neg, pos) in
+      let deficit = Array.length majority - Array.length minority in
+      let extra = Array.init deficit (fun _ -> Rng.choice rng minority) in
+      let out = Array.concat [ majority; minority; extra ] in
+      Rng.shuffle rng out;
+      out
+    end
+  end

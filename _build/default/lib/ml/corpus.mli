@@ -1,0 +1,24 @@
+(** Learning corpus: degradation events as labelled examples.
+
+    Bridges the optical event log to the predictors.  Follows Appendix A.2:
+    the first 80% of {e each fiber's} degradation events (chronologically)
+    train, the remaining 20% test. *)
+
+type example = {
+  features : Prete_optics.Hazard.features;
+  label : bool;  (** Did the degradation lead to a cut? *)
+  true_hazard : float;  (** Ground-truth probability (for Fig. 14). *)
+}
+
+type t = { train : example array; test : example array }
+
+val of_dataset : Prete_optics.Dataset.t -> t
+(** Per-fiber 80/20 chronological split. *)
+
+val oversample : ?seed:int -> example array -> example array
+(** Duplicate minority-class examples until the classes balance, then
+    shuffle (the paper's oversampling for the 4:6 imbalance). *)
+
+val positives : example array -> int
+val class_balance : example array -> float
+(** Fraction of positive examples. *)

@@ -1,0 +1,30 @@
+(** Feature encoding (Appendix A.2).
+
+    Continuous variables (degree, gradient, fluctuation, length, duration)
+    are min-max scaled to [0, 1] with statistics fitted on the training
+    set; time of day is one-hot over 24 hourly buckets; vendor is one-hot;
+    fiber id and region are passed through as indices for the network's
+    trainable embeddings (their one-hot × embedding-matrix product). *)
+
+type t
+(** Fitted encoder. *)
+
+type encoded = {
+  dense : float array;  (** Scaled numerics ++ time one-hot ++ vendor one-hot. *)
+  fiber : int;
+  region : int;
+}
+
+val num_numeric : int
+(** 5: degree, gradient, fluctuation, length_km, duration_s. *)
+
+val fit : Corpus.example array -> t
+(** Learn the min-max ranges.  Raises [Invalid_argument] on empty data. *)
+
+val encode : t -> Prete_optics.Hazard.features -> encoded
+
+val dense_width : t -> int
+(** Length of the [dense] vector: numerics + 24 + #vendors. *)
+
+val num_fibers : t -> int
+val num_regions : t -> int

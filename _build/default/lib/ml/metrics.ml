@@ -1,0 +1,41 @@
+type confusion = { tp : int; fp : int; tn : int; fn : int }
+
+let confusion ~predicted ~actual =
+  if Array.length predicted <> Array.length actual then
+    invalid_arg "Metrics.confusion: length mismatch";
+  let c = ref { tp = 0; fp = 0; tn = 0; fn = 0 } in
+  Array.iteri
+    (fun i p ->
+      let a = actual.(i) in
+      c :=
+        (match (p, a) with
+        | true, true -> { !c with tp = !c.tp + 1 }
+        | true, false -> { !c with fp = !c.fp + 1 }
+        | false, false -> { !c with tn = !c.tn + 1 }
+        | false, true -> { !c with fn = !c.fn + 1 }))
+    predicted;
+  !c
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let precision c = ratio c.tp (c.tp + c.fp)
+let recall c = ratio c.tp (c.tp + c.fn)
+
+let f1 c =
+  let p = precision c and r = recall c in
+  if p +. r = 0.0 then 0.0 else 2.0 *. p *. r /. (p +. r)
+
+let accuracy c = ratio (c.tp + c.tn) (c.tp + c.fp + c.tn + c.fn)
+
+let mean_abs_error ~predicted ~actual =
+  if Array.length predicted <> Array.length actual then
+    invalid_arg "Metrics.mean_abs_error: length mismatch";
+  if Array.length predicted = 0 then invalid_arg "Metrics.mean_abs_error: empty";
+  let acc = ref 0.0 in
+  Array.iteri (fun i p -> acc := !acc +. Float.abs (p -. actual.(i))) predicted;
+  !acc /. float_of_int (Array.length predicted)
+
+let evaluate ~predict examples =
+  let predicted = Array.map (fun (e : Corpus.example) -> predict e.Corpus.features) examples in
+  let actual = Array.map (fun (e : Corpus.example) -> e.Corpus.label) examples in
+  confusion ~predicted ~actual

@@ -1,0 +1,22 @@
+(** Binary-classification metrics (Table 5, Table 8). *)
+
+type confusion = { tp : int; fp : int; tn : int; fn : int }
+
+val confusion : predicted:bool array -> actual:bool array -> confusion
+(** Raises [Invalid_argument] on length mismatch. *)
+
+val precision : confusion -> float
+(** TP / (TP + FP); 0 when undefined. *)
+
+val recall : confusion -> float
+(** TP / (TP + FN); 0 when undefined. *)
+
+val f1 : confusion -> float
+val accuracy : confusion -> float
+
+val mean_abs_error : predicted:float array -> actual:float array -> float
+(** Mean |p̂ − p*| — the Fig. 14 prediction-error metric. *)
+
+val evaluate :
+  predict:(Prete_optics.Hazard.features -> bool) -> Corpus.example array -> confusion
+(** Run a labeller over a test set. *)

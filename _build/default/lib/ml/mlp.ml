@@ -1,0 +1,295 @@
+open Prete_util
+open Prete_optics
+
+type feature = Time | Degree | Gradient | Fluctuation | Region | Fiber_id | Vendor
+
+let feature_name = function
+  | Time -> "time"
+  | Degree -> "degree"
+  | Gradient -> "gradient"
+  | Fluctuation -> "fluctuation"
+  | Region -> "region"
+  | Fiber_id -> "fiber ID"
+  | Vendor -> "vendor"
+
+let all_features = [ Time; Degree; Gradient; Fluctuation; Region; Fiber_id; Vendor ]
+
+type config = {
+  hidden : int;
+  embed_fiber : int;
+  embed_region : int;
+  learning_rate : float;
+  l2 : float;
+  epochs : int;
+  batch : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    hidden = 64;
+    embed_fiber = 8;
+    embed_region = 2;
+    learning_rate = 1e-3;
+    l2 = 2e-4;
+    epochs = 30;
+    batch = 32;
+    seed = 42;
+  }
+
+(* Replace the ablated feature with a constant: same architecture, no
+   information content (Table 8). *)
+let neutralize ablate (f : Hazard.features) =
+  match ablate with
+  | None -> f
+  | Some Time -> { f with Hazard.time_of_day = 12.0 }
+  | Some Degree -> { f with Hazard.degree = 6.5 }
+  | Some Gradient -> { f with Hazard.gradient = 0.1 }
+  | Some Fluctuation -> { f with Hazard.fluctuation = 5 }
+  | Some Region -> { f with Hazard.region = 0 }
+  | Some Fiber_id -> { f with Hazard.fiber = 0 }
+  | Some Vendor -> { f with Hazard.vendor = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Parameters and Adam state                                            *)
+(* ------------------------------------------------------------------ *)
+
+type mat = float array array
+
+type params = {
+  w1 : mat;  (* hidden x d_in *)
+  b1 : float array;
+  w2 : mat;  (* 2 x hidden *)
+  b2 : float array;
+  ef : mat;  (* n_fibers x embed_fiber *)
+  er : mat;  (* n_regions x embed_region *)
+}
+
+type t = {
+  config : config;
+  encoder : Encoder.t;
+  ablate : feature option;
+  p : params;
+}
+
+let zeros_like (m : mat) = Array.map (fun r -> Array.make (Array.length r) 0.0) m
+
+let mat_init rng rows cols scale =
+  Array.init rows (fun _ -> Array.init cols (fun _ -> Rng.uniform rng (-.scale) scale))
+
+(* One Adam state per parameter matrix (vectors are 1-row matrices). *)
+type adam = { mutable t : int; m : mat; v : mat }
+
+let adam_of (p : mat) = { t = 0; m = zeros_like p; v = zeros_like p }
+
+let adam_step ~lr st (p : mat) (g : mat) =
+  st.t <- st.t + 1;
+  let beta1 = 0.9 and beta2 = 0.999 and eps = 1e-8 in
+  let bc1 = 1.0 -. (beta1 ** float_of_int st.t) in
+  let bc2 = 1.0 -. (beta2 ** float_of_int st.t) in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j gij ->
+          st.m.(i).(j) <- (beta1 *. st.m.(i).(j)) +. ((1.0 -. beta1) *. gij);
+          st.v.(i).(j) <- (beta2 *. st.v.(i).(j)) +. ((1.0 -. beta2) *. gij *. gij);
+          let mhat = st.m.(i).(j) /. bc1 and vhat = st.v.(i).(j) /. bc2 in
+          row.(j) <- row.(j) -. (lr *. mhat /. (sqrt vhat +. eps)))
+        g.(i))
+    p
+
+(* ------------------------------------------------------------------ *)
+(* Forward / backward                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let build_input t (e : Encoder.encoded) =
+  let dw = Array.length e.Encoder.dense in
+  let x = Array.make (dw + t.config.embed_fiber + t.config.embed_region) 0.0 in
+  Array.blit e.Encoder.dense 0 x 0 dw;
+  Array.blit t.p.ef.(e.Encoder.fiber) 0 x dw t.config.embed_fiber;
+  Array.blit t.p.er.(e.Encoder.region) 0 x (dw + t.config.embed_fiber) t.config.embed_region;
+  x
+
+let forward t x =
+  let hidden = t.config.hidden in
+  let z1 = Array.make hidden 0.0 in
+  for i = 0 to hidden - 1 do
+    let w = t.p.w1.(i) in
+    let acc = ref t.p.b1.(i) in
+    for j = 0 to Array.length x - 1 do
+      acc := !acc +. (w.(j) *. x.(j))
+    done;
+    z1.(i) <- !acc
+  done;
+  let h = Array.map (fun z -> if z > 0.0 then z else 0.0) z1 in
+  let logits =
+    Array.init 2 (fun k ->
+        let w = t.p.w2.(k) in
+        let acc = ref t.p.b2.(k) in
+        for i = 0 to hidden - 1 do
+          acc := !acc +. (w.(i) *. h.(i))
+        done;
+        !acc)
+  in
+  (z1, h, Matrix.Vec.softmax logits)
+
+let proba t (f : Hazard.features) =
+  let f = neutralize t.ablate f in
+  let e = Encoder.encode t.encoder f in
+  let x = build_input t e in
+  let _, _, p = forward t x in
+  p.(1)
+
+(* ------------------------------------------------------------------ *)
+(* Training                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type grads = {
+  gw1 : mat;
+  gb1 : mat;
+  gw2 : mat;
+  gb2 : mat;
+  gef : mat;
+  ger : mat;
+}
+
+let train ?(config = default_config) ?ablate examples =
+  if Array.length examples = 0 then invalid_arg "Mlp.train: empty training set";
+  let pos = Corpus.positives examples in
+  if pos = 0 || pos = Array.length examples then
+    invalid_arg "Mlp.train: single-class training set";
+  let data = Corpus.oversample ~seed:(config.seed + 1) examples in
+  let encoder = Encoder.fit data in
+  let dw = Encoder.dense_width encoder in
+  let d_in = dw + config.embed_fiber + config.embed_region in
+  let rng = Rng.create config.seed in
+  let scale = 1.0 /. sqrt (float_of_int d_in) in
+  let p =
+    {
+      w1 = mat_init rng config.hidden d_in scale;
+      b1 = Array.make config.hidden 0.0;
+      w2 = mat_init rng 2 config.hidden (1.0 /. sqrt (float_of_int config.hidden));
+      b2 = Array.make 2 0.0;
+      ef = mat_init rng (Encoder.num_fibers encoder) config.embed_fiber 0.1;
+      er = mat_init rng (Encoder.num_regions encoder) config.embed_region 0.1;
+    }
+  in
+  let t = { config; encoder; ablate; p } in
+  let g =
+    {
+      gw1 = zeros_like p.w1;
+      gb1 = [| Array.make config.hidden 0.0 |];
+      gw2 = zeros_like p.w2;
+      gb2 = [| Array.make 2 0.0 |];
+      gef = zeros_like p.ef;
+      ger = zeros_like p.er;
+    }
+  in
+  let a_w1 = adam_of p.w1 and a_b1 = adam_of [| p.b1 |] in
+  let a_w2 = adam_of p.w2 and a_b2 = adam_of [| p.b2 |] in
+  let a_ef = adam_of p.ef and a_er = adam_of p.er in
+  let zero_grads () =
+    let z (m : mat) = Array.iter (fun r -> Array.fill r 0 (Array.length r) 0.0) m in
+    z g.gw1; z g.gb1; z g.gw2; z g.gb2; z g.gef; z g.ger
+  in
+  let accumulate example =
+    let f = neutralize ablate example.Corpus.features in
+    let e = Encoder.encode encoder f in
+    let x = build_input t e in
+    let z1, h, probs = forward t x in
+    let target = if example.Corpus.label then 1 else 0 in
+    (* dL/dlogits = p - onehot(target). *)
+    let dy = Array.mapi (fun k pk -> pk -. (if k = target then 1.0 else 0.0)) probs in
+    (* Output layer. *)
+    for k = 0 to 1 do
+      let gw = g.gw2.(k) in
+      for i = 0 to config.hidden - 1 do
+        gw.(i) <- gw.(i) +. (dy.(k) *. h.(i))
+      done;
+      g.gb2.(0).(k) <- g.gb2.(0).(k) +. dy.(k)
+    done;
+    (* Hidden layer. *)
+    let dh = Array.make config.hidden 0.0 in
+    for i = 0 to config.hidden - 1 do
+      dh.(i) <- (t.p.w2.(0).(i) *. dy.(0)) +. (t.p.w2.(1).(i) *. dy.(1));
+      if z1.(i) <= 0.0 then dh.(i) <- 0.0
+    done;
+    let dx = Array.make (Array.length x) 0.0 in
+    for i = 0 to config.hidden - 1 do
+      if dh.(i) <> 0.0 then begin
+        let gw = g.gw1.(i) and w = t.p.w1.(i) in
+        for j = 0 to Array.length x - 1 do
+          gw.(j) <- gw.(j) +. (dh.(i) *. x.(j));
+          dx.(j) <- dx.(j) +. (dh.(i) *. w.(j))
+        done;
+        g.gb1.(0).(i) <- g.gb1.(0).(i) +. dh.(i)
+      end
+    done;
+    (* Embedding gradients. *)
+    let gef = g.gef.(e.Encoder.fiber) in
+    for j = 0 to config.embed_fiber - 1 do
+      gef.(j) <- gef.(j) +. dx.(dw + j)
+    done;
+    let ger = g.ger.(e.Encoder.region) in
+    for j = 0 to config.embed_region - 1 do
+      ger.(j) <- ger.(j) +. dx.(dw + config.embed_fiber + j)
+    done
+  in
+  let apply_batch batch_size =
+    let inv = 1.0 /. float_of_int batch_size in
+    let finish (gm : mat) (pm : mat) =
+      Array.iteri
+        (fun i row ->
+          Array.iteri
+            (fun j v -> row.(j) <- (v *. inv) +. (config.l2 *. pm.(i).(j)))
+            row)
+        gm
+    in
+    finish g.gw1 p.w1;
+    finish g.gb1 [| p.b1 |];
+    finish g.gw2 p.w2;
+    finish g.gb2 [| p.b2 |];
+    finish g.gef p.ef;
+    finish g.ger p.er;
+    let lr = config.learning_rate in
+    adam_step ~lr a_w1 p.w1 g.gw1;
+    adam_step ~lr a_b1 [| p.b1 |] g.gb1;
+    adam_step ~lr a_w2 p.w2 g.gw2;
+    adam_step ~lr a_b2 [| p.b2 |] g.gb2;
+    adam_step ~lr a_ef p.ef g.gef;
+    adam_step ~lr a_er p.er g.ger
+  in
+  let n = Array.length data in
+  let order = Array.init n (fun i -> i) in
+  for _epoch = 1 to config.epochs do
+    Rng.shuffle rng order;
+    let i = ref 0 in
+    while !i < n do
+      let batch_size = min config.batch (n - !i) in
+      zero_grads ();
+      for k = !i to !i + batch_size - 1 do
+        accumulate data.(order.(k))
+      done;
+      apply_batch batch_size;
+      i := !i + batch_size
+    done
+  done;
+  t
+
+let predict_proba t f = proba t f
+
+let predict_label t f = proba t f >= 0.5
+
+let predict_batch t fs = Array.map (fun f -> proba t f) fs
+
+let average_nll t examples =
+  if Array.length examples = 0 then invalid_arg "Mlp.average_nll: empty set";
+  let total =
+    Array.fold_left
+      (fun acc e ->
+        let p1 = proba t e.Corpus.features in
+        let p = if e.Corpus.label then p1 else 1.0 -. p1 in
+        acc -. log (Float.max 1e-12 p))
+      0.0 examples
+  in
+  total /. float_of_int (Array.length examples)

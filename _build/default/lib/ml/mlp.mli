@@ -1,0 +1,57 @@
+(** The PreTE failure-prediction neural network (§4.1.1, Appendix A.2).
+
+    Architecture: scaled numerics + one-hot time/vendor concatenated with
+    trainable fiber-id and region embeddings → 64-unit ReLU hidden layer →
+    2-unit linear decoder → softmax over {normal, failure}.  Training:
+    Adam (lr 1e-3), L2 regularization 2e-4, negative log-likelihood loss,
+    minority oversampling; one model is trained across all fibers
+    (one-model-one-fiber is impractical at these data volumes, §4.1.1).
+
+    [ablate] supports the Table 8 feature-ablation study: the named
+    feature is replaced by a constant, removing its information content
+    while keeping the architecture fixed. *)
+
+type feature =
+  | Time
+  | Degree
+  | Gradient
+  | Fluctuation
+  | Region
+  | Fiber_id
+  | Vendor
+
+val feature_name : feature -> string
+val all_features : feature list
+
+type config = {
+  hidden : int;  (** 64 *)
+  embed_fiber : int;  (** 8 *)
+  embed_region : int;  (** 2 *)
+  learning_rate : float;  (** 1e-3 *)
+  l2 : float;  (** 2e-4 *)
+  epochs : int;
+  batch : int;
+  seed : int;
+}
+
+val default_config : config
+(** Paper hyper-parameters; 30 epochs, batch 32, seed 42. *)
+
+type t
+
+val train : ?config:config -> ?ablate:feature -> Corpus.example array -> t
+(** Oversamples internally; raises [Invalid_argument] on an empty or
+    single-class training set. *)
+
+val predict_proba : t -> Prete_optics.Hazard.features -> float
+(** Failure probability p₁ (softmax output). *)
+
+val predict_label : t -> Prete_optics.Hazard.features -> bool
+(** argmax prediction: [true] = failure. *)
+
+val predict_batch : t -> Prete_optics.Hazard.features array -> float array
+(** Batched inference — the controller batches concurrent degradations
+    (§4.1.1). *)
+
+val average_nll : t -> Corpus.example array -> float
+(** Mean negative log-likelihood on a labelled set (training diagnostic). *)

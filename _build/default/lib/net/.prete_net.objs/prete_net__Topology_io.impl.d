@@ -1,0 +1,1 @@
+lib/net/topology_io.ml: Array Buffer Fun List Printf String Topology

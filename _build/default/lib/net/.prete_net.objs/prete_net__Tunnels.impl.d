@@ -1,0 +1,1 @@
+lib/net/tunnels.ml: Array Hashtbl List Printf Routing Seq Topology

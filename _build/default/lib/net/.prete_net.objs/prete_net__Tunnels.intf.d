@@ -1,0 +1,1 @@
+lib/net/tunnels.mli: Routing Topology

@@ -1,0 +1,252 @@
+type node = int
+
+type fiber = {
+  fid : int;
+  fname : string;
+  endpoints : node * node;
+  length_km : float;
+  region : int;
+  vendor : int;
+}
+
+type link = {
+  lid : int;
+  src : node;
+  dst : node;
+  capacity : float;
+  fibers : int list;
+}
+
+type t = {
+  name : string;
+  num_nodes : int;
+  node_names : string array;
+  fibers : fiber array;
+  links : link array;
+  out_links : int list array;
+  links_on_fiber : int list array;
+}
+
+let num_regions = 3
+let num_vendors = 4
+
+let make ~name ~node_names ~fibers ~links =
+  let num_nodes = Array.length node_names in
+  let nf = Array.length fibers in
+  let fibers =
+    Array.mapi
+      (fun fid (a, b, length_km) ->
+        if a < 0 || a >= num_nodes || b < 0 || b >= num_nodes || a = b then
+          invalid_arg "Topology.make: bad fiber endpoints";
+        let a, b = if a <= b then (a, b) else (b, a) in
+        {
+          fid;
+          fname = Printf.sprintf "f%d_%s-%s" fid node_names.(a) node_names.(b);
+          endpoints = (a, b);
+          length_km;
+          (* Deterministic pseudo-random attributes from the id: multiply
+             by coprime constants and reduce. *)
+          region = fid * 7 mod num_regions;
+          vendor = fid * 11 mod num_vendors;
+        })
+      fibers
+  in
+  let links =
+    Array.mapi
+      (fun lid (src, dst, capacity, fids) ->
+        if src < 0 || src >= num_nodes || dst < 0 || dst >= num_nodes || src = dst
+        then invalid_arg "Topology.make: bad link endpoints";
+        if capacity <= 0.0 then invalid_arg "Topology.make: non-positive capacity";
+        if fids = [] then invalid_arg "Topology.make: link rides no fiber";
+        List.iter
+          (fun f ->
+            if f < 0 || f >= nf then invalid_arg "Topology.make: bad fiber reference")
+          fids;
+        { lid; src; dst; capacity; fibers = fids })
+      links
+  in
+  let out_links = Array.make num_nodes [] in
+  Array.iter (fun l -> out_links.(l.src) <- l.lid :: out_links.(l.src)) links;
+  Array.iteri (fun i ls -> out_links.(i) <- List.rev ls) out_links;
+  let links_on_fiber = Array.make nf [] in
+  Array.iter
+    (fun l -> List.iter (fun f -> links_on_fiber.(f) <- l.lid :: links_on_fiber.(f)) l.fibers)
+    links;
+  Array.iteri (fun i ls -> links_on_fiber.(i) <- List.rev ls) links_on_fiber;
+  { name; num_nodes; node_names; fibers; links; out_links; links_on_fiber }
+
+(* --------------------------------------------------------------------- *)
+(* IP layer generation                                                     *)
+(* --------------------------------------------------------------------- *)
+
+(* Deterministic length in km from a fiber index: spreads spans between
+   roughly 300 and 2800 km like a continental WAN. *)
+let span_length i = 300.0 +. float_of_int ((i * 997) mod 2500)
+
+(* Generate the IP layer over a fiber adjacency, as the paper does for B4
+   and IBM (§6.1: optical-layer topologies from the literature, IP layer
+   from the ARROW distributions).
+
+   - Every fiber span carries one base undirected IP link (1000 Gbps).
+   - [extra] additional undirected links are spread over the fibers with
+     deterministic weights, as parallel 500 Gbps wavelengths; every third
+     extra link is an "express" link riding two adjacent fiber spans
+     (optical bypass), which is what makes single cuts remove several IP
+     links at distant routers (Fig. 1b/1c).
+
+   Undirected links are materialized as two directed links sharing the
+   fiber list. *)
+let generate_ip_layer ~fibers ~extra =
+  let nf = Array.length fibers in
+  let undirected = ref [] in
+  (* Base layer. *)
+  Array.iteri
+    (fun fid (a, b, _) -> undirected := (a, b, 1000.0, [ fid ]) :: !undirected)
+    fibers;
+  (* Adjacency of fibers for express links: fiber pairs sharing a node. *)
+  let fiber_pairs =
+    let acc = ref [] in
+    for i = 0 to nf - 1 do
+      for j = i + 1 to nf - 1 do
+        let a1, b1, _ = fibers.(i) and a2, b2, _ = fibers.(j) in
+        let shared =
+          if a1 = a2 then Some (b1, a1, b2)
+          else if a1 = b2 then Some (b1, a1, a2)
+          else if b1 = a2 then Some (a1, b1, b2)
+          else if b1 = b2 then Some (a1, b1, a2)
+          else None
+        in
+        match shared with
+        | Some (x, _, z) when x <> z -> acc := (i, j, x, z) :: !acc
+        | _ -> ()
+      done
+    done;
+    Array.of_list (List.rev !acc)
+  in
+  (* Weights decide which fibers get parallel wavelengths: heavier fibers
+     become the multi-Tbps trunks of Fig. 1b. *)
+  let weight fid = 1 + ((fid * 13) mod 5) in
+  let order =
+    (* Fibers repeated proportionally to weight, cycled. *)
+    let l = ref [] in
+    for fid = nf - 1 downto 0 do
+      for _ = 1 to weight fid do
+        l := fid :: !l
+      done
+    done;
+    Array.of_list !l
+  in
+  let n_order = Array.length order in
+  let n_pairs = Array.length fiber_pairs in
+  for k = 0 to extra - 1 do
+    if n_pairs > 0 && k mod 3 = 2 then begin
+      (* Express link across two adjacent spans. *)
+      let i, j, x, z = fiber_pairs.((k * 7) mod n_pairs) in
+      undirected := (x, z, 500.0, [ i; j ]) :: !undirected
+    end
+    else begin
+      let fid = order.((k * 11) mod n_order) in
+      let a, b, _ = fibers.(fid) in
+      undirected := (a, b, 500.0, [ fid ]) :: !undirected
+    end
+  done;
+  let undirected = List.rev !undirected in
+  let directed =
+    List.concat_map
+      (fun (a, b, cap, fids) -> [ (a, b, cap, fids); (b, a, cap, fids) ])
+      undirected
+  in
+  Array.of_list directed
+
+let with_lengths spans = Array.mapi (fun i (a, b) -> (a, b, span_length i)) spans
+
+(* --------------------------------------------------------------------- *)
+(* Built-in topologies                                                     *)
+(* --------------------------------------------------------------------- *)
+
+(* Approximation of the published B4 map: 12 sites, 19 inter-site fiber
+   spans (Jain et al., SIGCOMM'13).  Table 3: 19 fibers, 52 IP links. *)
+let b4 () =
+  let node_names =
+    [| "us-w1"; "us-w2"; "us-w3"; "us-c1"; "us-c2"; "us-e1"; "us-e2"; "eu-1";
+       "eu-2"; "asia-1"; "asia-2"; "asia-3" |]
+  in
+  let spans =
+    [| (0, 1); (0, 2); (1, 2); (1, 3); (2, 4); (3, 4); (3, 5); (4, 6); (5, 6);
+       (5, 7); (6, 8); (7, 8); (7, 9); (8, 10); (9, 10); (9, 11); (10, 11);
+       (2, 3); (6, 7) |]
+  in
+  let fibers = with_lengths spans in
+  (* 19 base + 33 extra = 52 undirected IP links. *)
+  let links = generate_ip_layer ~fibers ~extra:33 in
+  make ~name:"B4" ~node_names ~fibers ~links
+
+(* IBM backbone approximation: 18 sites, 23 spans (ring + chords).
+   Table 3: 23 fibers, 85 IP links. *)
+let ibm () =
+  let n = 18 in
+  let node_names = Array.init n (fun i -> Printf.sprintf "ibm%02d" i) in
+  let ring = Array.init n (fun i -> (i, (i + 1) mod n)) in
+  let chords = [| (0, 9); (2, 11); (4, 14); (6, 15); (8, 17) |] in
+  let fibers = with_lengths (Array.append ring chords) in
+  (* 23 base + 62 extra = 85 undirected IP links. *)
+  let links = generate_ip_layer ~fibers ~extra:62 in
+  make ~name:"IBM" ~node_names ~fibers ~links
+
+(* Synthetic stand-in for the confidential TWAN production topology:
+   O(50) fibers, O(100) IP links (Table 3 orders of magnitude).  30 sites
+   on a ring with deterministic chords. *)
+let twan () =
+  let n = 30 in
+  let node_names = Array.init n (fun i -> Printf.sprintf "twan%02d" i) in
+  let ring = Array.init n (fun i -> (i, (i + 1) mod n)) in
+  let chords =
+    Array.init 20 (fun k ->
+        let a = (k * 17) mod n in
+        let b = (a + 3 + ((k * 5) mod 11)) mod n in
+        if a = b then (a, (b + 1) mod n) else (a, b))
+  in
+  let fibers = with_lengths (Array.append ring chords) in
+  (* 50 base + 52 extra = 102 undirected IP links. *)
+  let links = generate_ip_layer ~fibers ~extra:52 in
+  make ~name:"TWAN" ~node_names ~fibers ~links
+
+let by_name s =
+  match String.uppercase_ascii s with
+  | "B4" -> b4 ()
+  | "IBM" -> ibm ()
+  | "TWAN" -> twan ()
+  | other -> invalid_arg ("Topology.by_name: unknown topology " ^ other)
+
+let all () = [ ibm (); b4 (); twan () ]
+
+let link t i =
+  if i < 0 || i >= Array.length t.links then invalid_arg "Topology.link: out of range";
+  t.links.(i)
+
+let fiber t i =
+  if i < 0 || i >= Array.length t.fibers then invalid_arg "Topology.fiber: out of range";
+  t.fibers.(i)
+
+let num_links t = Array.length t.links
+let num_fibers t = Array.length t.fibers
+
+let links_lost_on_cut t fid =
+  if fid < 0 || fid >= num_fibers t then
+    invalid_arg "Topology.links_lost_on_cut: out of range";
+  t.links_on_fiber.(fid)
+
+let capacity_lost_on_cut t fid =
+  List.fold_left
+    (fun acc lid -> acc +. t.links.(lid).capacity)
+    0.0
+    (links_lost_on_cut t fid)
+
+let neighbors t v =
+  if v < 0 || v >= t.num_nodes then invalid_arg "Topology.neighbors: out of range";
+  List.map (fun lid -> (lid, t.links.(lid).dst)) t.out_links.(v)
+
+let pp_summary fmt t =
+  Format.fprintf fmt "%s: %d nodes, %d fibers, %d directed IP links (%d undirected)"
+    t.name t.num_nodes (num_fibers t) (num_links t)
+    (num_links t / 2)

@@ -1,0 +1,93 @@
+(** WAN topologies with an explicit optical layer.
+
+    The model follows the paper's two-layer view (§2, §6.1): the network is
+    a directed graph [G = (V, E)] of routers and IP links, and each IP link
+    rides on one or more physical {e fibers}.  A fiber cut simultaneously
+    removes every IP link that traverses the fiber — this is what makes
+    cuts so disruptive (Fig. 1b/1c: one cut loses multiple Tbps of IP
+    capacity and touches a third of the flows).
+
+    Three topologies are built in, matching Table 3:
+
+    - {b B4}: Google's WAN (12 sites, 19 fiber spans, 52 IP links after
+      wavelength expansion).  The fiber adjacency approximates the published
+      B4 map; the IP layer is generated from the fiber layer with the
+      distribution used by ARROW, exactly as the paper does.
+    - {b IBM}: 18 sites, 23 fiber spans, 85 IP links (same IP-layer
+      generation).
+    - {b TWAN}: the paper's production topology is confidential; we generate
+      a deterministic synthetic instance matching the published
+      order-of-magnitude statistics (O(50) fibers, O(100) IP links).
+
+    IP links are directed and created in opposite pairs riding the same
+    fiber set. *)
+
+type node = int
+
+type fiber = {
+  fid : int;
+  fname : string;
+  endpoints : node * node;  (** Sites the span connects (normalized order). *)
+  length_km : float;
+  region : int;  (** Coarse geographic region (feature for prediction). *)
+  vendor : int;  (** Fiber vendor id (feature for prediction). *)
+}
+
+type link = {
+  lid : int;
+  src : node;
+  dst : node;
+  capacity : float;  (** Gbps. *)
+  fibers : int list;  (** Fibers this IP link traverses, in order. *)
+}
+
+type t = {
+  name : string;
+  num_nodes : int;
+  node_names : string array;
+  fibers : fiber array;
+  links : link array;
+  out_links : int list array;  (** Outgoing link ids per node. *)
+  links_on_fiber : int list array;  (** IP link ids riding each fiber. *)
+}
+
+val make :
+  name:string ->
+  node_names:string array ->
+  fibers:(node * node * float) array ->
+  links:(node * node * float * int list) array ->
+  t
+(** Low-level constructor.  [fibers] are [(a, b, length_km)]; [links] are
+    [(src, dst, capacity, fiber ids)].  Regions/vendors are derived
+    deterministically from the fiber id.  Validates endpoints and fiber
+    references. *)
+
+val b4 : unit -> t
+val ibm : unit -> t
+val twan : unit -> t
+(** Deterministic instances (no hidden global state; calling twice yields
+    structurally equal topologies). *)
+
+val by_name : string -> t
+(** ["B4"], ["IBM"] or ["TWAN"] (case-insensitive).
+    Raises [Invalid_argument] otherwise. *)
+
+val all : unit -> t list
+(** The three evaluation topologies in Table 3 order: IBM, B4, TWAN. *)
+
+val link : t -> int -> link
+val fiber : t -> int -> fiber
+val num_links : t -> int
+val num_fibers : t -> int
+
+val links_lost_on_cut : t -> int -> int list
+(** IP link ids removed when a fiber is cut. *)
+
+val capacity_lost_on_cut : t -> int -> float
+(** Total IP capacity (Gbps, summed over directed links) removed when the
+    fiber is cut. *)
+
+val neighbors : t -> node -> (int * node) list
+(** Outgoing [(link id, destination)] pairs. *)
+
+val pp_summary : Format.formatter -> t -> unit

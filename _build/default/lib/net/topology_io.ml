@@ -1,0 +1,109 @@
+exception Parse_error of int * string
+
+let to_string (t : Topology.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "topology %s\n" t.Topology.name);
+  Array.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "node %s\n" n))
+    t.Topology.node_names;
+  Array.iter
+    (fun (f : Topology.fiber) ->
+      let a, b = f.Topology.endpoints in
+      Buffer.add_string buf
+        (Printf.sprintf "fiber %s %s %g\n" t.Topology.node_names.(a)
+           t.Topology.node_names.(b) f.Topology.length_km))
+    t.Topology.fibers;
+  Array.iter
+    (fun (l : Topology.link) ->
+      Buffer.add_string buf
+        (Printf.sprintf "link %s %s %g %s\n" t.Topology.node_names.(l.Topology.src)
+           t.Topology.node_names.(l.Topology.dst) l.Topology.capacity
+           (String.concat " " (List.map string_of_int l.Topology.fibers))))
+    t.Topology.links;
+  Buffer.contents buf
+
+let of_string text =
+  let name = ref None in
+  let nodes = ref [] in
+  (* reversed *)
+  let fibers = ref [] in
+  let links = ref [] in
+  let node_index nm lineno =
+    let rec find i = function
+      | [] -> raise (Parse_error (lineno, "unknown node " ^ nm))
+      | x :: _ when x = nm -> i
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 (List.rev !nodes)
+  in
+  let float_of s lineno what =
+    match float_of_string_opt s with
+    | Some v -> v
+    | None -> raise (Parse_error (lineno, "bad " ^ what ^ ": " ^ s))
+  in
+  let int_of s lineno what =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> raise (Parse_error (lineno, "bad " ^ what ^ ": " ^ s))
+  in
+  String.split_on_char '\n' text
+  |> List.iteri (fun i line ->
+         let lineno = i + 1 in
+         let line =
+           match String.index_opt line '#' with
+           | Some j -> String.sub line 0 j
+           | None -> line
+         in
+         let words =
+           String.split_on_char ' ' line
+           |> List.filter (fun w -> String.trim w <> "")
+           |> List.map String.trim
+         in
+         match words with
+         | [] -> ()
+         | [ "topology"; n ] ->
+           if !name <> None then raise (Parse_error (lineno, "duplicate topology line"));
+           name := Some n
+         | [ "node"; n ] ->
+           if List.mem n !nodes then raise (Parse_error (lineno, "duplicate node " ^ n));
+           nodes := n :: !nodes
+         | [ "fiber"; a; b; km ] ->
+           fibers :=
+             (node_index a lineno, node_index b lineno, float_of km lineno "length")
+             :: !fibers
+         | "link" :: src :: dst :: cap :: (_ :: _ as fids) ->
+           let fiber_count = List.length !fibers in
+           let fids =
+             List.map
+               (fun s ->
+                 let f = int_of s lineno "fiber index" in
+                 if f < 0 || f >= fiber_count then
+                   raise (Parse_error (lineno, "fiber index out of range: " ^ s));
+                 f)
+               fids
+           in
+           links :=
+             (node_index src lineno, node_index dst lineno, float_of cap lineno "capacity", fids)
+             :: !links
+         | keyword :: _ -> raise (Parse_error (lineno, "unrecognized line: " ^ keyword)));
+  let name =
+    match !name with
+    | Some n -> n
+    | None -> raise (Parse_error (0, "missing 'topology <name>' line"))
+  in
+  Topology.make ~name
+    ~node_names:(Array.of_list (List.rev !nodes))
+    ~fibers:(Array.of_list (List.rev !fibers))
+    ~links:(Array.of_list (List.rev !links))
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

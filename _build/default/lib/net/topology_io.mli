@@ -1,0 +1,36 @@
+(** Plain-text serialization of topologies.
+
+    A downstream user reproducing the paper on their own WAN needs to feed
+    a custom topology in; this module defines a small line-oriented format
+    and a strict parser for it.
+
+    {v
+    # comments and blank lines ignored
+    topology <name>
+    node <name>                      # nodes in id order
+    fiber <a> <b> <length_km>        # by node name; fiber ids in order
+    link <src> <dst> <capacity_gbps> <fiber> [<fiber> ...]
+    v}
+
+    Every [link] line declares one directed IP link; use two lines for a
+    bidirectional pair.  Fibers are referenced by index (creation order).
+    The parser reports the first offending line on error. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and description. *)
+
+val to_string : Topology.t -> string
+(** Serialize; [of_string (to_string t)] is structurally equal to [t] up
+    to derived attributes. *)
+
+val of_string : string -> Topology.t
+(** Parse.  Raises {!Parse_error} on malformed input and
+    [Invalid_argument] when the assembled topology fails
+    {!Topology.make}'s validation. *)
+
+val save : Topology.t -> string -> unit
+(** [save t path] writes the serialized topology to a file. *)
+
+val load : string -> Topology.t
+(** [load path] reads and parses a topology file.  Raises [Sys_error] on
+    I/O failure, {!Parse_error} on malformed content. *)

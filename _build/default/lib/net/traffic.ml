@@ -1,0 +1,75 @@
+type t = {
+  pairs : (Topology.node * Topology.node) list;
+  base : float array;
+  matrices : float array array;
+}
+
+(* Deterministic site weight: larger sites generate more traffic. *)
+let site_weight i = 1.0 +. float_of_int ((i * 37) mod 13)
+
+let diurnal_multiplier hour =
+  let h = ((hour mod 24) + 24) mod 24 in
+  (* Cosine profile peaking at 21:00, trough at 09:00: values in [0.6, 1]. *)
+  0.8 +. (0.2 *. cos (2.0 *. Float.pi *. float_of_int (h - 21) /. 24.0))
+
+let default_num_flows topo =
+  match topo.Topology.name with
+  | "B4" -> 52
+  | "IBM" -> 85
+  | "TWAN" -> 25
+  | _ -> min 50 (topo.Topology.num_nodes * (topo.Topology.num_nodes - 1) / 2)
+
+let generate ?num_flows ?(utilization = 0.75) topo =
+  let num_flows =
+    match num_flows with Some n -> n | None -> default_num_flows topo
+  in
+  if num_flows <= 0 then invalid_arg "Traffic.generate: num_flows must be positive";
+  let n = topo.Topology.num_nodes in
+  (* All ordered pairs ranked by gravity weight, deterministically
+     tie-broken by pair index. *)
+  let scored = ref [] in
+  for s = 0 to n - 1 do
+    for d = 0 to n - 1 do
+      if s <> d then
+        scored := (site_weight s *. site_weight d, (s, d)) :: !scored
+    done
+  done;
+  let ranked =
+    List.sort
+      (fun (w1, p1) (w2, p2) -> match compare w2 w1 with 0 -> compare p1 p2 | c -> c)
+      !scored
+  in
+  let chosen = List.filteri (fun i _ -> i < num_flows) ranked in
+  if List.length chosen < num_flows then
+    invalid_arg "Traffic.generate: not enough node pairs";
+  let pairs = List.map snd chosen in
+  let raw = Array.of_list (List.map fst chosen) in
+  (* Calibrate: route each flow on its shortest path, find the busiest
+     link load per unit of total demand, then scale to the target
+     utilization. *)
+  let link_load = Array.make (Topology.num_links topo) 0.0 in
+  List.iteri
+    (fun i (s, d) ->
+      match Routing.shortest_path topo ~src:s ~dst:d () with
+      | None -> invalid_arg "Traffic.generate: disconnected pair"
+      | Some p -> List.iter (fun lid -> link_load.(lid) <- link_load.(lid) +. raw.(i)) p)
+    pairs;
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun lid load ->
+      let u = load /. (Topology.link topo lid).Topology.capacity in
+      if u > !worst then worst := u)
+    link_load;
+  let factor = if !worst > 0.0 then utilization /. !worst else 1.0 in
+  let base = Array.map (fun w -> w *. factor) raw in
+  let matrices =
+    Array.init 24 (fun h -> Array.map (fun b -> b *. diurnal_multiplier h) base)
+  in
+  { pairs; base; matrices }
+
+let demand t ~scale ~epoch =
+  if scale < 0.0 then invalid_arg "Traffic.demand: negative scale";
+  let m = t.matrices.(((epoch mod 24) + 24) mod 24) in
+  Array.map (fun d -> d *. scale) m
+
+let total t ~scale ~epoch = Prete_util.Stats.sum (demand t ~scale ~epoch)

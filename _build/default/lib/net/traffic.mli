@@ -1,0 +1,29 @@
+(** Traffic demands.
+
+    Demands follow a gravity model over deterministic site weights and are
+    replicated into 24 hourly matrices with a diurnal profile (Table 3 lists
+    24 traffic matrices per topology).  Demand magnitudes are calibrated so
+    that at demand scale 1 the network runs at a comfortable utilization,
+    leaving room for the ×1–×6 demand-scale sweeps of Figs. 13/15. *)
+
+type t = {
+  pairs : (Topology.node * Topology.node) list;  (** Flow endpoints. *)
+  base : float array;  (** Gbps per flow at scale 1, epoch-0 profile. *)
+  matrices : float array array;  (** 24 hourly matrices (epoch × flow). *)
+}
+
+val generate : ?num_flows:int -> ?utilization:float -> Topology.t -> t
+(** [generate topo] picks the heaviest [num_flows] gravity pairs (default:
+    Table 3 tunnel counts / 4 for known topologies) and scales total demand
+    so that routing every flow on its shortest path loads the busiest link
+    to [utilization] (default 0.75) of capacity — calibrated so the
+    protection-vs-capacity tradeoff plays out inside the ×1–×6
+    demand-scale sweeps of the evaluation. *)
+
+val demand : t -> scale:float -> epoch:int -> float array
+(** Per-flow demand vector at a demand scale and hourly epoch (mod 24). *)
+
+val total : t -> scale:float -> epoch:int -> float
+
+val diurnal_multiplier : int -> float
+(** The hourly profile: trough ≈0.6 around 6am, peak ≈1.0 around 9pm. *)

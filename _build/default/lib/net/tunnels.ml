@@ -1,0 +1,131 @@
+type flow = { flow_id : int; src : Topology.node; dst : Topology.node }
+
+type tunnel = { tunnel_id : int; owner : int; links : Routing.path }
+
+type t = {
+  topo : Topology.t;
+  flows : flow array;
+  tunnels : tunnel array;
+  of_flow : int list array;
+}
+
+let build ?(per_flow = 4) topo pairs =
+  if per_flow <= 0 then invalid_arg "Tunnels.build: per_flow must be positive";
+  let flows =
+    Array.of_list (List.mapi (fun i (src, dst) -> { flow_id = i; src; dst }) pairs)
+  in
+  let tunnels = ref [] in
+  let of_flow = Array.make (Array.length flows) [] in
+  let next_id = ref 0 in
+  (* Fibers whose cut would leave the chosen set with no survivor even
+     though a surviving path exists in the topology (§4.2 requires at
+     least one residual tunnel under every failure scenario). *)
+  let black_holes f chosen =
+    let nf = Topology.num_fibers topo in
+    let rec scan fid acc =
+      if fid = nf then List.rev acc
+      else
+        let all_use =
+          chosen <> []
+          && List.for_all (fun p -> Routing.uses_fiber topo p fid) chosen
+        in
+        if all_use then begin
+          let forbidden_links lid =
+            List.mem fid (Topology.link topo lid).Topology.fibers
+          in
+          match
+            Routing.shortest_path topo ~forbidden_links ~src:f.src ~dst:f.dst ()
+          with
+          | Some repair -> scan (fid + 1) ((fid, repair) :: acc)
+          | None -> scan (fid + 1) acc
+        end
+        else scan (fid + 1) acc
+    in
+    scan 0 []
+  in
+  Array.iter
+    (fun f ->
+      let disjoint =
+        Routing.fiber_disjoint topo ~k:per_flow ~src:f.src ~dst:f.dst ()
+      in
+      let shortest =
+        Routing.k_shortest topo ~k:(2 * per_flow) ~src:f.src ~dst:f.dst ()
+      in
+      let dedup ps =
+        let seen = ref [] in
+        List.filter
+          (fun p ->
+            if List.mem p !seen then false
+            else begin
+              seen := p :: !seen;
+              true
+            end)
+          ps
+      in
+      let candidates = dedup (disjoint @ shortest) in
+      let base = List.filteri (fun i _ -> i < per_flow) candidates in
+      (* Repair pass: append paths restoring coverage of black-hole
+         fibers.  Adding a tunnel can only shrink the black-hole set, so
+         the loop terminates within [num_fibers] rounds; a few flows may
+         end up with slightly more than [per_flow] tunnels, which is the
+         price of the §4.2 residual-tunnel guarantee. *)
+      let rec repair chosen budget =
+        if budget = 0 then chosen
+        else
+          match black_holes f chosen with
+          | [] -> chosen
+          | (_, repair_path) :: _ ->
+            if List.mem repair_path chosen then chosen
+            else repair (chosen @ [ repair_path ]) (budget - 1)
+      in
+      let paths = dedup (repair base (Topology.num_fibers topo)) in
+      if paths = [] then
+        invalid_arg
+          (Printf.sprintf "Tunnels.build: no path for flow %d (%d -> %d)"
+             f.flow_id f.src f.dst);
+      List.iter
+        (fun p ->
+          let id = !next_id in
+          incr next_id;
+          tunnels := { tunnel_id = id; owner = f.flow_id; links = p } :: !tunnels;
+          of_flow.(f.flow_id) <- id :: of_flow.(f.flow_id))
+        paths)
+    flows;
+  Array.iteri (fun i l -> of_flow.(i) <- List.rev l) of_flow;
+  { topo; flows; tunnels = Array.of_list (List.rev !tunnels); of_flow }
+
+let tunnels_of_flow t fid =
+  if fid < 0 || fid >= Array.length t.flows then
+    invalid_arg "Tunnels.tunnels_of_flow: out of range";
+  List.map (fun tid -> t.tunnels.(tid)) t.of_flow.(fid)
+
+let tunnel_survives t tunnel ~failed_fibers =
+  not
+    (List.exists
+       (fun f -> Routing.uses_fiber t.topo tunnel.links f)
+       failed_fibers)
+
+let tunnels_through_fiber t fid =
+  Array.to_list
+    (Array.of_seq
+       (Seq.filter
+          (fun tn -> Routing.uses_fiber t.topo tn.links fid)
+          (Array.to_seq t.tunnels)))
+
+let flows_affected_by_cut t fid =
+  let affected = Hashtbl.create 16 in
+  List.iter
+    (fun tn -> Hashtbl.replace affected tn.owner ())
+    (tunnels_through_fiber t fid);
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) affected [])
+
+let affected_fraction t fid =
+  let n_flows = Array.length t.flows and n_tunnels = Array.length t.tunnels in
+  if n_flows = 0 || n_tunnels = 0 then (0.0, 0.0)
+  else
+    let af = List.length (flows_affected_by_cut t fid) in
+    let at = List.length (tunnels_through_fiber t fid) in
+    (float_of_int af /. float_of_int n_flows, float_of_int at /. float_of_int n_tunnels)
+
+let surviving_tunnels t fid ~failed_fibers =
+  List.filter (fun tn -> tunnel_survives t tn ~failed_fibers) (tunnels_of_flow t fid)

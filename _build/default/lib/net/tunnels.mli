@@ -1,0 +1,46 @@
+(** Flows (source–destination site pairs) and their tunnel sets.
+
+    A TE policy routes each flow over a small set of pre-established tunnels
+    (4 per flow in Table 3), built with both k-shortest-path and
+    fiber-disjoint routing (§4.2 "Tunnel initialization").  The module also
+    answers the reachability questions Algorithm 1 and the availability
+    evaluation need: which tunnels traverse a fiber, which flows a cut
+    affects, and which tunnels survive a failure scenario. *)
+
+type flow = { flow_id : int; src : Topology.node; dst : Topology.node }
+
+type tunnel = {
+  tunnel_id : int;
+  owner : int;  (** Flow id. *)
+  links : Routing.path;
+}
+
+type t = {
+  topo : Topology.t;
+  flows : flow array;
+  tunnels : tunnel array;
+  of_flow : int list array;  (** Tunnel ids per flow id. *)
+}
+
+val build : ?per_flow:int -> Topology.t -> (Topology.node * Topology.node) list -> t
+(** [build topo pairs] creates one flow per pair and up to [per_flow]
+    (default 4) tunnels each: fiber-disjoint paths first (availability
+    under cuts), then k-shortest paths to fill, deduplicated.  Flows with
+    no path raise [Invalid_argument]. *)
+
+val tunnels_of_flow : t -> int -> tunnel list
+
+val tunnel_survives : t -> tunnel -> failed_fibers:int list -> bool
+(** A tunnel survives when it traverses none of the failed fibers. *)
+
+val tunnels_through_fiber : t -> int -> tunnel list
+
+val flows_affected_by_cut : t -> int -> int list
+(** Flow ids owning at least one tunnel through the fiber. *)
+
+val affected_fraction : t -> int -> float * float
+(** [(flow_fraction, tunnel_fraction)] affected by cutting the fiber —
+    the quantities of Fig. 1c. *)
+
+val surviving_tunnels : t -> int -> failed_fibers:int list -> tunnel list
+(** Surviving tunnels of a flow under a failure scenario. *)

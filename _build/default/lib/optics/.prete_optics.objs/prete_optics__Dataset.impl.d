@@ -1,0 +1,1 @@
+lib/optics/dataset.ml: Array Dist Fiber_model Float Hashtbl Hazard List Prete_net Prete_util Rng

@@ -1,0 +1,1 @@
+lib/optics/dataset.mli: Fiber_model Hazard Prete_net

@@ -1,0 +1,1 @@
+lib/optics/fiber_model.mli: Prete_net Prete_util

@@ -1,0 +1,1 @@
+lib/optics/hazard.ml: Array Dist Float Prete_net Prete_util Rng

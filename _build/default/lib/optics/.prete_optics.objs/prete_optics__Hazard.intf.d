@@ -1,0 +1,1 @@
+lib/optics/hazard.mli: Prete_net Prete_util

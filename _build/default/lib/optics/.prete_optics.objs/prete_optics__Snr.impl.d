@@ -1,0 +1,1 @@
+lib/optics/snr.ml: Array Lazy Prete_util Telemetry

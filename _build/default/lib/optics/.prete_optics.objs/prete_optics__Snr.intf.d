@@ -1,0 +1,1 @@
+lib/optics/snr.mli: Telemetry

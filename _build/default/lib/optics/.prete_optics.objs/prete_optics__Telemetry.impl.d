@@ -1,0 +1,1 @@
+lib/optics/telemetry.ml: Array Dataset Float Hazard Prete_net Prete_util Rng Timeseries

@@ -1,0 +1,1 @@
+lib/optics/telemetry.mli: Dataset Hazard Prete_net

@@ -1,0 +1,148 @@
+open Prete_util
+
+type degradation = {
+  d_fiber : int;
+  d_epoch : int;
+  features : Hazard.features;
+  true_hazard : float;
+  led_to_cut : bool;
+  gap_to_cut_s : float;
+}
+
+type cut = { c_fiber : int; c_epoch : int; c_predictable : bool }
+
+type t = {
+  topo : Prete_net.Topology.t;
+  model : Fiber_model.t;
+  horizon_epochs : int;
+  degradations : degradation array;
+  cuts : cut array;
+}
+
+let epochs_per_day = 96
+
+let generate ?(seed = 11) ?(horizon_days = 365) ?model topo =
+  if horizon_days <= 0 then invalid_arg "Dataset.generate: horizon_days must be positive";
+  let model =
+    match model with Some m -> m | None -> Fiber_model.generate topo
+  in
+  let rng = Rng.create seed in
+  let nf = Prete_net.Topology.num_fibers topo in
+  let horizon_epochs = horizon_days * epochs_per_day in
+  let degradations = ref [] and cuts = ref [] in
+  let num_fibers = nf in
+  for epoch = 0 to horizon_epochs - 1 do
+    for fiber = 0 to nf - 1 do
+      (* Degradation channel. *)
+      if Rng.bernoulli rng model.Fiber_model.p_degrade.(fiber) then begin
+        let features = Hazard.sample_features rng ~topo ~fiber ~epoch in
+        let true_hazard = Hazard.eval ~num_fibers features in
+        let led_to_cut = Rng.bernoulli rng true_hazard in
+        let gap_to_cut_s =
+          if led_to_cut then
+            (* Cuts follow the degradation within the TE period: a
+               lognormal delay with median 60 s, capped to the 5-minute
+               predictability window the operators use (§3.1). *)
+            Float.min 299.0 (Dist.Lognormal.sample ~mu:(log 60.0) ~sigma:0.9 rng)
+          else infinity
+        in
+        degradations :=
+          { d_fiber = fiber; d_epoch = epoch; features; true_hazard; led_to_cut; gap_to_cut_s }
+          :: !degradations;
+        if led_to_cut then
+          cuts := { c_fiber = fiber; c_epoch = epoch; c_predictable = true } :: !cuts
+      end;
+      (* Independent unpredictable-cut channel. *)
+      if Rng.bernoulli rng model.Fiber_model.p_unpredictable.(fiber) then
+        cuts := { c_fiber = fiber; c_epoch = epoch; c_predictable = false } :: !cuts
+    done
+  done;
+  {
+    topo;
+    model;
+    horizon_epochs;
+    degradations = Array.of_list (List.rev !degradations);
+    cuts = Array.of_list (List.rev !cuts);
+  }
+
+let num_predictable t =
+  Array.fold_left (fun acc c -> if c.c_predictable then acc + 1 else acc) 0 t.cuts
+
+let predictable_fraction t =
+  let n = Array.length t.cuts in
+  if n = 0 then 0.0 else float_of_int (num_predictable t) /. float_of_int n
+
+let hazard_fraction t =
+  let n = Array.length t.degradations in
+  if n = 0 then 0.0
+  else
+    let pos = Array.fold_left (fun a d -> if d.led_to_cut then a + 1 else a) 0 t.degradations in
+    float_of_int pos /. float_of_int n
+
+let gaps_to_next_cut t =
+  (* Per fiber, merge-walk degradations against the sorted cut epochs. *)
+  let nf = Prete_net.Topology.num_fibers t.topo in
+  let cuts_of_fiber = Array.make nf [] in
+  Array.iter
+    (fun c -> cuts_of_fiber.(c.c_fiber) <- c.c_epoch :: cuts_of_fiber.(c.c_fiber))
+    t.cuts;
+  let cuts_of_fiber = Array.map (fun l -> Array.of_list (List.rev l)) cuts_of_fiber in
+  let gaps = ref [] in
+  Array.iter
+    (fun d ->
+      if d.led_to_cut then gaps := d.gap_to_cut_s :: !gaps
+      else begin
+        (* Next unrelated cut on the same fiber, if any. *)
+        let cs = cuts_of_fiber.(d.d_fiber) in
+        let rec find i =
+          if i >= Array.length cs then None
+          else if cs.(i) > d.d_epoch then Some cs.(i)
+          else find (i + 1)
+        in
+        match find 0 with
+        | Some e ->
+          gaps := (float_of_int (e - d.d_epoch) *. Hazard.epoch_seconds) :: !gaps
+        | None -> ()
+      end)
+    t.degradations;
+  Array.of_list (List.rev !gaps)
+
+let per_fiber_counts t =
+  let nf = Prete_net.Topology.num_fibers t.topo in
+  let d = Array.make nf 0 and c = Array.make nf 0 in
+  Array.iter (fun x -> d.(x.d_fiber) <- d.(x.d_fiber) + 1) t.degradations;
+  Array.iter (fun x -> c.(x.c_fiber) <- c.(x.c_fiber) + 1) t.cuts;
+  Array.init nf (fun i -> (d.(i), c.(i)))
+
+let epoch_contingency t =
+  (* Count fiber-epochs by (failure?, degradation?).  Both events landing
+     in the same epoch count in the joint cell — the Table 6 layout. *)
+  let degr = Hashtbl.create 1024 and cut = Hashtbl.create 1024 in
+  Array.iter (fun d -> Hashtbl.replace degr (d.d_fiber, d.d_epoch) ()) t.degradations;
+  Array.iter (fun c -> Hashtbl.replace cut (c.c_fiber, c.c_epoch) ()) t.cuts;
+  let both = ref 0 in
+  Hashtbl.iter (fun k () -> if Hashtbl.mem cut k then incr both) degr;
+  let nd = Hashtbl.length degr and ncut = Hashtbl.length cut in
+  let nf = Prete_net.Topology.num_fibers t.topo in
+  let total = nf * t.horizon_epochs in
+  let fb = float_of_int !both in
+  let f_cut_only = float_of_int (ncut - !both) in
+  let f_degr_only = float_of_int (nd - !both) in
+  let f_neither = float_of_int (total - nd - ncut + !both) in
+  [| [| fb; f_cut_only |]; [| f_degr_only; f_neither |] |]
+
+let feature_outcome t which =
+  let values =
+    Array.map
+      (fun d ->
+        match which with
+        | `Time -> d.features.Hazard.time_of_day
+        | `Degree -> d.features.Hazard.degree
+        | `Gradient -> d.features.Hazard.gradient
+        | `Fluctuation -> float_of_int d.features.Hazard.fluctuation)
+      t.degradations
+  in
+  let outcomes = Array.map (fun d -> d.led_to_cut) t.degradations in
+  (values, outcomes)
+
+let durations t = Array.map (fun d -> d.features.Hazard.duration_s) t.degradations

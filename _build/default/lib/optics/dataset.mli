@@ -1,0 +1,64 @@
+(** Synthetic one-year optical event log (degradations and cuts).
+
+    Stand-in for the paper's year of per-second production telemetry: a
+    discrete-event simulation at 15-minute epoch granularity.  Per fiber and
+    epoch, a degradation occurs with the fiber's [p_degrade]; its features
+    are drawn by {!Hazard.sample_features} and it leads to a cut within the
+    epoch with the ground-truth hazard probability.  Independently, an
+    unpredictable cut occurs with [p_unpredictable].
+
+    The log backs Figs. 4a, 5a, 5b, 6, 12 and Tables 1/6/7, and is the
+    training corpus for the failure predictors (prete_ml). *)
+
+type degradation = {
+  d_fiber : int;
+  d_epoch : int;
+  features : Hazard.features;
+  true_hazard : float;  (** Ground-truth P(cut | this event). *)
+  led_to_cut : bool;
+  gap_to_cut_s : float;  (** Degradation-start → cut delay (when
+                             [led_to_cut]); [infinity] otherwise. *)
+}
+
+type cut = { c_fiber : int; c_epoch : int; c_predictable : bool }
+
+type t = {
+  topo : Prete_net.Topology.t;
+  model : Fiber_model.t;
+  horizon_epochs : int;
+  degradations : degradation array;  (** Chronological. *)
+  cuts : cut array;  (** Chronological. *)
+}
+
+val generate :
+  ?seed:int -> ?horizon_days:int -> ?model:Fiber_model.t -> Prete_net.Topology.t -> t
+(** Default: seed 11, 365 days (96 epochs/day), model from
+    {!Fiber_model.generate} with defaults. *)
+
+val num_predictable : t -> int
+
+val predictable_fraction : t -> float
+(** Empirical α: predictable cuts / all cuts (≈25%, Fig. 5b). *)
+
+val hazard_fraction : t -> float
+(** Empirical P(cut | degradation) (≈40%). *)
+
+val gaps_to_next_cut : t -> float array
+(** For each degradation, seconds to the next cut on the same fiber
+    (related or not) — the Fig. 5a distribution.  Degradations never
+    followed by a cut are omitted. *)
+
+val per_fiber_counts : t -> (int * int) array
+(** (degradations, cuts) per fiber — Fig. 12a's linear relationship. *)
+
+val epoch_contingency : t -> float array array
+(** 2×2 table of fiber-epochs: rows failure/no-failure, columns
+    degradation/no-degradation — the Table 6 layout. *)
+
+val feature_outcome :
+  t -> [ `Time | `Degree | `Gradient | `Fluctuation ] -> float array * bool array
+(** Feature values and cut outcomes across degradation events, for the
+    Fig. 6 curves and Table 1 chi-square tests. *)
+
+val durations : t -> float array
+(** Degradation durations in seconds (Fig. 4a). *)

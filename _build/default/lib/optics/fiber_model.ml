@@ -1,0 +1,33 @@
+open Prete_util
+
+type t = {
+  alpha : float;
+  mean_hazard : float;
+  p_degrade : float array;
+  p_cut : float array;
+  p_unpredictable : float array;
+}
+
+let default_weibull = Dist.Weibull.create ~shape:0.8 ~scale:0.002
+
+let mean_hazard_default = 0.4
+
+let reference_alpha = 0.25
+
+let generate ?(seed = 7) ?(weibull = default_weibull) ?(alpha = reference_alpha)
+    ?(mean_hazard = mean_hazard_default) topo =
+  if alpha < 0.0 || alpha > 1.0 then invalid_arg "Fiber_model.generate: alpha in [0,1]";
+  if mean_hazard <= 0.0 || mean_hazard > 1.0 then
+    invalid_arg "Fiber_model.generate: mean_hazard in (0,1]";
+  let rng = Rng.create seed in
+  let nf = Prete_net.Topology.num_fibers topo in
+  let base = Array.init nf (fun _ -> Dist.Weibull.sample weibull rng) in
+  (* Cap draws: the Weibull tail can exceed 1 in pathological draws. *)
+  let base = Array.map (fun w -> Float.min 0.2 w) base in
+  let slope = mean_hazard /. reference_alpha in
+  let p_cut = Array.map (fun w -> Float.min 0.5 (slope *. w)) base in
+  let p_degrade = Array.map (fun p -> Float.min 0.9 (alpha *. p /. mean_hazard)) p_cut in
+  let p_unpredictable = Array.map (fun p -> (1.0 -. alpha) *. p) p_cut in
+  { alpha; mean_hazard; p_degrade; p_cut; p_unpredictable }
+
+let slope t = t.mean_hazard /. reference_alpha

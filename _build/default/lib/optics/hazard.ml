@@ -1,0 +1,115 @@
+open Prete_util
+
+type features = {
+  fiber : int;
+  region : int;
+  vendor : int;
+  length_km : float;
+  time_of_day : float;
+  degree : float;
+  gradient : float;
+  fluctuation : int;
+  duration_s : float;
+}
+
+let epoch_seconds = 900.0
+
+(* Piecewise-linear through the paper's Fig. 6 anchors:
+   (0h, 0.60) (6h, 0.20) (12h, 0.35) (18h, 0.45) (24h, 0.60). *)
+let time_anchors = [| (0.0, 0.60); (6.0, 0.20); (12.0, 0.35); (18.0, 0.45); (24.0, 0.60) |]
+
+let time_factor h =
+  let h = Float.rem (Float.rem h 24.0 +. 24.0) 24.0 in
+  let n = Array.length time_anchors in
+  let rec seg i =
+    if i >= n - 1 then n - 2
+    else
+      let x0, _ = time_anchors.(i) and x1, _ = time_anchors.(i + 1) in
+      if h >= x0 && h <= x1 then i else seg (i + 1)
+  in
+  let i = seg 0 in
+  let x0, y0 = time_anchors.(i) and x1, y1 = time_anchors.(i + 1) in
+  let w = (h -. x0) /. (x1 -. x0) in
+  ((1.0 -. w) *. y0) +. (w *. y1)
+
+(* Larger degradation degree -> higher hazard (Fig. 6 "degree"). *)
+let degree_factor d =
+  let d = Float.max 3.0 (Float.min 10.0 d) in
+  0.20 +. (0.60 *. (d -. 3.0) /. 7.0)
+
+(* Small gradients are slow aging, rarely cuts (Fig. 6 "gradient").
+   Saturating rise over the typical 0..0.5 dB/sample range. *)
+let gradient_factor g =
+  let g = Float.max 0.0 g in
+  0.15 +. (0.65 *. (1.0 -. exp (-6.0 *. g)))
+
+(* Frequent fluctuations -> mechanical stress -> higher hazard. *)
+let fluctuation_factor c =
+  let c = float_of_int (max 0 c) in
+  0.20 +. (0.60 *. (1.0 -. exp (-0.15 *. c)))
+
+let fiber_factor ~num_fibers fid =
+  if num_fibers <= 0 then invalid_arg "Hazard.fiber_factor: num_fibers";
+  let fid = ((fid mod num_fibers) + num_fibers) mod num_fibers in
+  (* Spread deterministically over [0.55, 1.45]. *)
+  let u = float_of_int ((fid * 131) mod num_fibers) /. float_of_int (max 1 (num_fibers - 1)) in
+  Float.min 1.45 (0.55 +. (0.9 *. u))
+
+(* Minor intrinsic factors. *)
+let region_factor r = 0.9 +. (0.1 *. float_of_int (r mod 3))
+let vendor_factor v = 0.95 +. (0.05 *. float_of_int (v mod 4))
+let length_factor km = 0.9 +. (0.2 *. Float.min 1.0 (km /. 3000.0))
+
+(* Calibration constant chosen so the mean over sampled features is ~0.4:
+   the geometric combination of factors (each averaging ~0.4) is
+   re-centered multiplicatively. *)
+let calibration = 9.6
+
+(* Sharpening exponent: pushes the hazard away from 1/2 so outcomes are
+   mostly determined by the features.  Without it the Bayes-optimal
+   classifier tops out near 70% accuracy, well below the 81%
+   precision/recall the paper's NN reaches on production data (Table 5) —
+   i.e. real fiber behaviour is more feature-deterministic than a plain
+   product of mild factors. *)
+let sharpen gamma p =
+  let a = p ** gamma and b = (1.0 -. p) ** gamma in
+  a /. (a +. b)
+
+let eval ~num_fibers f =
+  let raw =
+    calibration
+    *. time_factor f.time_of_day
+    *. degree_factor f.degree
+    *. gradient_factor f.gradient
+    *. fluctuation_factor f.fluctuation
+    *. fiber_factor ~num_fibers f.fiber
+    *. region_factor f.region
+    *. vendor_factor f.vendor
+    *. length_factor f.length_km
+  in
+  let clamped = Float.max 0.02 (Float.min 0.98 raw) in
+  Float.max 0.02 (Float.min 0.98 (sharpen 2.2 clamped))
+
+let sample_features rng ~topo ~fiber ~epoch =
+  let fb = Prete_net.Topology.fiber topo fiber in
+  (* 96 15-minute epochs per day. *)
+  let hour_base = float_of_int (epoch mod 96) *. 0.25 in
+  let time_of_day = Float.rem (hour_base +. Rng.uniform rng 0.0 0.25) 24.0 in
+  let degree = Rng.uniform rng 3.0 10.0 in
+  let gradient = Dist.Lognormal.sample ~mu:(log 0.08) ~sigma:1.0 rng in
+  (* Fluctuation count tracks the gradient: jittery segments swing often. *)
+  let fluctuation =
+    Dist.Poisson.sample ~mean:(2.0 +. (30.0 *. Float.min 0.5 gradient)) rng
+  in
+  let duration_s = Dist.Lognormal.sample ~mu:(log 10.0) ~sigma:1.4 rng in
+  {
+    fiber;
+    region = fb.Prete_net.Topology.region;
+    vendor = fb.Prete_net.Topology.vendor;
+    length_km = fb.Prete_net.Topology.length_km;
+    time_of_day;
+    degree;
+    gradient;
+    fluctuation;
+    duration_s;
+  }

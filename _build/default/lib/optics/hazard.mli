@@ -1,0 +1,58 @@
+(** Ground-truth degradation→cut hazard model.
+
+    The paper measures (Fig. 6) how the probability that a degrading fiber
+    goes on to cut depends on four critical features — time of day, degree,
+    gradient, fluctuation — plus intrinsic fiber attributes (fiber identity
+    dominating, Table 8).  Since the production dataset is unavailable, this
+    module {e defines} that dependence as the generative ground truth:
+
+    - time of day: ≈60% at midnight falling to ≈20% at 6 am (unplanned
+      human-intervention hypothesis), interpolated through the paper's
+      anchor points;
+    - degree: monotone increasing in the 3–10 dB degradation range;
+    - gradient: small gradients (fiber aging) rarely cut;
+    - fluctuation: frequent >0.01 dB swings raise the hazard;
+    - fiber identity / region / vendor / length: a per-fiber multiplier
+      that carries most of the signal.
+
+    Factors combine multiplicatively around a base calibrated so the mean
+    hazard over the feature distribution is ≈0.4 (the paper's "40% of
+    degradations lead to cuts").  The learning stack (prete_ml) never sees
+    this function — only sampled (features, outcome) pairs — so prediction
+    error against the true hazard (Fig. 14) is meaningful. *)
+
+type features = {
+  fiber : int;
+  region : int;
+  vendor : int;
+  length_km : float;
+  time_of_day : float;  (** Hours, [0, 24). *)
+  degree : float;  (** dB step into the degraded state, 3–10. *)
+  gradient : float;  (** Mean |Δloss| between adjacent 1 Hz samples, dB. *)
+  fluctuation : int;  (** Count of >0.01 dB adjacent changes. *)
+  duration_s : float;  (** Degradation length, seconds. *)
+}
+
+val time_factor : float -> float
+(** Failure proportion by hour (Fig. 6 "time" panel). *)
+
+val degree_factor : float -> float
+val gradient_factor : float -> float
+val fluctuation_factor : int -> float
+
+val fiber_factor : num_fibers:int -> int -> float
+(** Per-fiber multiplier in [0.55, 1.45], deterministic in the fiber id. *)
+
+val eval : num_fibers:int -> features -> float
+(** True cut probability within the next TE period, clamped to
+    [0.02, 0.98]. *)
+
+val sample_features :
+  Prete_util.Rng.t -> topo:Prete_net.Topology.t -> fiber:int -> epoch:int -> features
+(** Draw a degradation event's features: time of day from the epoch (15-min
+    epochs), degree uniform in 3–10 dB, gradient lognormal, fluctuation
+    Poisson coupled to the gradient, duration lognormal with median 10 s
+    (Fig. 4a). *)
+
+val epoch_seconds : float
+(** TE-period / measurement epoch length: 900 s (15-minute epochs, §2.1). *)

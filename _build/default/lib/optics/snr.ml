@@ -1,0 +1,61 @@
+(* Constants: 58 dB is 10 log10(h·ν·B_ref) referenced to 1 mW at 1550 nm
+   with B_ref = 12.5 GHz (0.1 nm); the usual single-span OSNR shortcut. *)
+let span_constant = 58.0
+let default_noise_figure = 5.0
+let default_symbol_rate = 32.0
+let reference_bandwidth_ghz = 12.5
+
+let osnr_db ~tx_power_dbm ~loss_db ?(noise_figure_db = default_noise_figure) () =
+  span_constant +. tx_power_dbm -. loss_db -. noise_figure_db
+
+let q_squared_db ~osnr_db ?(symbol_rate_gbaud = default_symbol_rate) () =
+  if symbol_rate_gbaud <= 0.0 then invalid_arg "Snr.q_squared_db: symbol rate";
+  osnr_db +. (10.0 *. log10 (2.0 *. reference_bandwidth_ghz /. symbol_rate_gbaud))
+
+let q_of_db q2_db = 10.0 ** (q2_db /. 20.0)
+
+let erfc x = 1.0 -. Prete_util.Special.erf x
+
+let ber ~q = 0.5 *. erfc (q /. sqrt 2.0)
+
+let fec_limit = 2e-2
+
+let decodable ?(limit = fec_limit) ~ber:b () = b <= limit
+
+(* Q at the FEC limit: solve ½ erfc(q/√2) = limit by bisection (erfc is
+   monotone decreasing). *)
+let q_at_fec_limit =
+  lazy
+    (let f q = ber ~q -. fec_limit in
+     let lo = ref 0.0 and hi = ref 10.0 in
+     for _ = 1 to 80 do
+       let mid = 0.5 *. (!lo +. !hi) in
+       if f mid > 0.0 then lo := mid else hi := mid
+     done;
+     0.5 *. (!lo +. !hi))
+
+let osnr_at_fec_limit () =
+  let q = Lazy.force q_at_fec_limit in
+  (* Invert the q chain: Q²(dB) -> OSNR. *)
+  (20.0 *. log10 q)
+  -. (10.0 *. log10 (2.0 *. reference_bandwidth_ghz /. default_symbol_rate))
+
+let tx_power_for ~baseline_loss_db ?(margin_db = 10.0) () =
+  if margin_db < 0.0 then invalid_arg "Snr.tx_power_for: negative margin";
+  (* At loss = baseline + margin we sit exactly at the FEC limit. *)
+  osnr_at_fec_limit () -. span_constant +. default_noise_figure +. baseline_loss_db
+  +. margin_db
+
+let loss_margin_db ~tx_power_dbm ~baseline_loss_db =
+  let limit_loss =
+    span_constant +. tx_power_dbm -. default_noise_figure -. osnr_at_fec_limit ()
+  in
+  limit_loss -. baseline_loss_db
+
+let trace_decodable ~tx_power_dbm (tr : Telemetry.trace) =
+  Array.map
+    (fun loss ->
+      let o = osnr_db ~tx_power_dbm ~loss_db:loss () in
+      let q = q_of_db (q_squared_db ~osnr_db:o ()) in
+      decodable ~ber:(ber ~q) ())
+    tr.Telemetry.samples

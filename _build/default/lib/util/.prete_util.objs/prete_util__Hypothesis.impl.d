@@ -1,0 +1,1 @@
+lib/util/hypothesis.ml: Array Special Stats

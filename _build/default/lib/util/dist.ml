@@ -1,0 +1,137 @@
+module Weibull = struct
+  type t = { shape : float; scale : float }
+
+  let create ~shape ~scale =
+    if shape <= 0.0 || scale <= 0.0 then
+      invalid_arg "Weibull.create: parameters must be positive";
+    { shape; scale }
+
+  let sample t rng =
+    let rec positive () =
+      let u = Rng.float rng in
+      if u > 0.0 then u else positive ()
+    in
+    t.scale *. ((-.log (positive ())) ** (1.0 /. t.shape))
+
+  let pdf t x =
+    if x < 0.0 then 0.0
+    else
+      let z = x /. t.scale in
+      t.shape /. t.scale
+      *. (z ** (t.shape -. 1.0))
+      *. exp (-.(z ** t.shape))
+
+  let cdf t x = if x <= 0.0 then 0.0 else 1.0 -. exp (-.((x /. t.scale) ** t.shape))
+
+  let quantile t p =
+    if p < 0.0 || p >= 1.0 then invalid_arg "Weibull.quantile: p in [0,1)";
+    t.scale *. ((-.log (1.0 -. p)) ** (1.0 /. t.shape))
+
+  let mean t = t.scale *. Special.gamma (1.0 +. (1.0 /. t.shape))
+
+  let variance t =
+    let g1 = Special.gamma (1.0 +. (1.0 /. t.shape)) in
+    let g2 = Special.gamma (1.0 +. (2.0 /. t.shape)) in
+    t.scale *. t.scale *. (g2 -. (g1 *. g1))
+
+  (* Profile-likelihood Newton iteration: solve
+       f(k) = sum(x^k ln x)/sum(x^k) - 1/k - mean(ln x) = 0
+     then scale = (sum(x^k)/n)^(1/k). *)
+  let fit_mle xs =
+    let xs = Array.of_list (List.filter (fun x -> x > 0.0) (Array.to_list xs)) in
+    let n = Array.length xs in
+    if n < 2 then invalid_arg "Weibull.fit_mle: need at least two positive samples";
+    let nf = float_of_int n in
+    let mean_ln = Array.fold_left (fun a x -> a +. log x) 0.0 xs /. nf in
+    let f k =
+      let s = ref 0.0 and sl = ref 0.0 in
+      Array.iter
+        (fun x ->
+          let xk = x ** k in
+          s := !s +. xk;
+          sl := !sl +. (xk *. log x))
+        xs;
+      (!sl /. !s) -. (1.0 /. k) -. mean_ln
+    in
+    (* Bisection: f is increasing in k; bracket then bisect for robustness. *)
+    let lo = ref 1e-3 and hi = ref 1.0 in
+    while f !hi < 0.0 && !hi < 1e3 do
+      hi := !hi *. 2.0
+    done;
+    while f !lo > 0.0 && !lo > 1e-9 do
+      lo := !lo /. 2.0
+    done;
+    for _ = 1 to 100 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if f mid < 0.0 then lo := mid else hi := mid
+    done;
+    let shape = 0.5 *. (!lo +. !hi) in
+    let sum_xk = Array.fold_left (fun a x -> a +. (x ** shape)) 0.0 xs in
+    let scale = (sum_xk /. nf) ** (1.0 /. shape) in
+    { shape; scale }
+end
+
+module Exponential = struct
+  let sample ~rate rng =
+    if rate <= 0.0 then invalid_arg "Exponential.sample: rate must be positive";
+    let rec positive () =
+      let u = Rng.float rng in
+      if u > 0.0 then u else positive ()
+    in
+    -.log (positive ()) /. rate
+
+  let cdf ~rate x = if x <= 0.0 then 0.0 else 1.0 -. exp (-.rate *. x)
+end
+
+module Geometric = struct
+  let sample ~p rng =
+    if p <= 0.0 || p > 1.0 then invalid_arg "Geometric.sample: p in (0,1]";
+    if p = 1.0 then 0
+    else
+      let rec positive () =
+        let u = Rng.float rng in
+        if u > 0.0 then u else positive ()
+      in
+      int_of_float (Float.floor (log (positive ()) /. log (1.0 -. p)))
+
+  let pmf ~p k =
+    if k < 0 then 0.0 else p *. ((1.0 -. p) ** float_of_int k)
+end
+
+module Poisson = struct
+  let sample ~mean rng =
+    if mean < 0.0 then invalid_arg "Poisson.sample: mean must be non-negative";
+    if mean = 0.0 then 0
+    else if mean < 30.0 then begin
+      let limit = exp (-.mean) in
+      let k = ref 0 and prod = ref (Rng.float rng) in
+      while !prod > limit do
+        incr k;
+        prod := !prod *. Rng.float rng
+      done;
+      !k
+    end
+    else
+      (* Normal approximation with continuity correction. *)
+      let z = Rng.gaussian rng in
+      max 0 (int_of_float (Float.round (mean +. (sqrt mean *. z))))
+end
+
+module Categorical = struct
+  let sample ~weights rng =
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    if total <= 0.0 then invalid_arg "Categorical.sample: total weight must be positive";
+    let u = Rng.float rng *. total in
+    let n = Array.length weights in
+    let rec scan i acc =
+      if i = n - 1 then i
+      else
+        let acc = acc +. weights.(i) in
+        if u < acc then i else scan (i + 1) acc
+    in
+    scan 0 0.0
+end
+
+module Lognormal = struct
+  let sample ~mu ~sigma rng = exp (mu +. (sigma *. Rng.gaussian rng))
+end

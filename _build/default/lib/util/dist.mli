@@ -1,0 +1,58 @@
+(** Probability distributions: sampling, density, cumulative functions and
+    simple fitting.
+
+    The Weibull distribution is central to the PreTE reproduction: the paper
+    (§6.1) generates per-fiber degradation probabilities from a
+    Weibull(shape = 0.8, scale = 0.002) and derives failure probabilities
+    through a linear degradation↔cut relationship. *)
+
+module Weibull : sig
+  type t = { shape : float; scale : float }
+
+  val create : shape:float -> scale:float -> t
+  (** Requires both parameters strictly positive. *)
+
+  val sample : t -> Rng.t -> float
+  (** Inverse-CDF sampling. *)
+
+  val pdf : t -> float -> float
+  val cdf : t -> float -> float
+
+  val quantile : t -> float -> float
+  (** [quantile t p] for [p] in [\[0, 1)]. *)
+
+  val mean : t -> float
+  val variance : t -> float
+
+  val fit_mle : float array -> t
+  (** Maximum-likelihood fit by Newton iteration on the profile likelihood
+      of the shape parameter.  Requires at least two positive samples. *)
+end
+
+module Exponential : sig
+  val sample : rate:float -> Rng.t -> float
+  val cdf : rate:float -> float -> float
+end
+
+module Geometric : sig
+  val sample : p:float -> Rng.t -> int
+  (** Number of failures before the first success; support {0, 1, ...}. *)
+
+  val pmf : p:float -> int -> float
+end
+
+module Poisson : sig
+  val sample : mean:float -> Rng.t -> int
+  (** Knuth multiplication method for small means, normal approximation
+      with continuity correction for large means. *)
+end
+
+module Categorical : sig
+  val sample : weights:float array -> Rng.t -> int
+  (** Index drawn proportionally to non-negative [weights];
+      requires a positive total. *)
+end
+
+module Lognormal : sig
+  val sample : mu:float -> sigma:float -> Rng.t -> float
+end

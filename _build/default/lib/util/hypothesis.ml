@@ -1,0 +1,69 @@
+type result = { statistic : float; df : int; p_value : float; log10_p : float }
+
+let chi2_contingency table =
+  let rows = Array.length table in
+  if rows < 2 then invalid_arg "Hypothesis.chi2_contingency: need >= 2 rows";
+  let cols = Array.length table.(0) in
+  if cols < 2 then invalid_arg "Hypothesis.chi2_contingency: need >= 2 cols";
+  Array.iter
+    (fun row ->
+      if Array.length row <> cols then
+        invalid_arg "Hypothesis.chi2_contingency: ragged table")
+    table;
+  let row_sum = Array.map Stats.sum table in
+  let col_sum =
+    Array.init cols (fun j ->
+        Array.fold_left (fun acc row -> acc +. row.(j)) 0.0 table)
+  in
+  let total = Stats.sum row_sum in
+  if total <= 0.0 then invalid_arg "Hypothesis.chi2_contingency: empty table";
+  Array.iter
+    (fun s ->
+      if s <= 0.0 then
+        invalid_arg "Hypothesis.chi2_contingency: zero marginal")
+    row_sum;
+  Array.iter
+    (fun s ->
+      if s <= 0.0 then
+        invalid_arg "Hypothesis.chi2_contingency: zero marginal")
+    col_sum;
+  let stat = ref 0.0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      let expected = row_sum.(i) *. col_sum.(j) /. total in
+      let d = table.(i).(j) -. expected in
+      stat := !stat +. (d *. d /. expected)
+    done
+  done;
+  let df = (rows - 1) * (cols - 1) in
+  let p = Special.chi2_sf ~df !stat in
+  let log10_p = Special.log_chi2_sf ~df !stat /. log 10.0 in
+  { statistic = !stat; df; p_value = p; log10_p }
+
+let chi2_binned ~bins ~values ~outcomes =
+  if Array.length values <> Array.length outcomes then
+    invalid_arg "Hypothesis.chi2_binned: length mismatch";
+  if Array.length values = 0 then
+    invalid_arg "Hypothesis.chi2_binned: empty data";
+  let lo, hi = Stats.min_max values in
+  let pos = Array.make bins 0.0 and neg = Array.make bins 0.0 in
+  Array.iteri
+    (fun i v ->
+      let b = Stats.equal_width_bins ~bins ~lo ~hi v in
+      if outcomes.(i) then pos.(b) <- pos.(b) +. 1.0
+      else neg.(b) <- neg.(b) +. 1.0)
+    values;
+  (* Drop empty bins: they carry no information and break the expected
+     counts. *)
+  let rows = ref [] in
+  for b = bins - 1 downto 0 do
+    if pos.(b) +. neg.(b) > 0.0 then rows := [| pos.(b); neg.(b) |] :: !rows
+  done;
+  let table = Array.of_list !rows in
+  if Array.length table < 2 then
+    invalid_arg "Hypothesis.chi2_binned: all data in a single bin";
+  (* Guard against a zero outcome-marginal (all-positive or all-negative
+     datasets): the test is undefined there. *)
+  chi2_contingency table
+
+let reject ?(alpha = 0.01) r = r.p_value < alpha

@@ -1,0 +1,32 @@
+(** Chi-square hypothesis tests.
+
+    PreTE (§3.1, §3.2, Appendix A.1) establishes the statistical
+    relationship between fiber degradations and fiber cuts with a chi-square
+    independence test over a 2×2 contingency table of 15-minute epochs, and
+    validates each degradation feature with a chi-square test over
+    equal-width bins of the feature value. *)
+
+type result = {
+  statistic : float;  (** Chi-square statistic. *)
+  df : int;  (** Degrees of freedom. *)
+  p_value : float;  (** Survival-function value; 0.0 on underflow. *)
+  log10_p : float;  (** log10 of the p-value, finite even when
+                        [p_value] underflows (Table 6 reports p < 1e-50). *)
+}
+
+val chi2_contingency : float array array -> result
+(** Chi-square test of independence on an r×c table of observed counts
+    (floats so normalized tables are accepted).  Expected counts are the
+    usual product of marginals over the grand total.  Raises
+    [Invalid_argument] on ragged or degenerate (zero marginal) tables. *)
+
+val chi2_binned :
+  bins:int -> values:float array -> outcomes:bool array -> result
+(** Independence test between a continuous feature and a binary outcome:
+    values are split into [bins] equal-width bins and a bins×2 contingency
+    table of (bin, outcome) counts is tested.  Bins with no observations are
+    dropped (reducing the degrees of freedom accordingly). *)
+
+val reject : ?alpha:float -> result -> bool
+(** [reject r] is [true] when the null hypothesis is rejected at
+    significance [alpha] (default 0.01, the threshold used in the paper). *)

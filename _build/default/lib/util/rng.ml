@@ -1,0 +1,66 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = int64 t in
+  { state = mix s }
+
+(* Take the top 53 bits for a uniform double in [0,1). *)
+let float t =
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let uniform t lo hi =
+  if lo > hi then invalid_arg "Rng.uniform: lo > hi";
+  lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling over the low bits to avoid modulo bias. *)
+  let mask =
+    let rec grow m = if m >= n - 1 then m else grow ((m * 2) + 1) in
+    grow 1
+  in
+  let rec draw () =
+    let v = Int64.to_int (Int64.logand (int64 t) (Int64.of_int mask)) in
+    if v < n then v else draw ()
+  in
+  draw ()
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bernoulli t p = float t < p
+
+let gaussian t =
+  let rec nonzero () =
+    let u = float t in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choice t a =
+  if Array.length a = 0 then invalid_arg "Rng.choice: empty array";
+  a.(int t (Array.length a))

@@ -1,0 +1,87 @@
+type sample = { t : float; v : float }
+
+let interpolate_missing xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Timeseries.interpolate_missing: empty";
+  let present = ref [] in
+  Array.iteri (fun i x -> match x with Some v -> present := (i, v) :: !present | None -> ()) xs;
+  match List.rev !present with
+  | [] -> invalid_arg "Timeseries.interpolate_missing: no samples present"
+  | (first_i, first_v) :: _ as points ->
+    let out = Array.make n 0.0 in
+    (* Leading gap takes first value. *)
+    for i = 0 to first_i do
+      out.(i) <- first_v
+    done;
+    let rec fill = function
+      | [] -> ()
+      | [ (i, v) ] ->
+        for j = i to n - 1 do
+          out.(j) <- v
+        done
+      | (i0, v0) :: ((i1, v1) :: _ as rest) ->
+        out.(i0) <- v0;
+        let span = float_of_int (i1 - i0) in
+        for j = i0 + 1 to i1 - 1 do
+          let w = float_of_int (j - i0) /. span in
+          out.(j) <- ((1.0 -. w) *. v0) +. (w *. v1)
+        done;
+        fill rest
+    in
+    fill points;
+    out
+
+let degree ~baseline seg =
+  Array.fold_left (fun acc v -> Float.max acc (v -. baseline)) 0.0 seg
+
+let mean_abs_gradient seg =
+  let n = Array.length seg in
+  if n < 2 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for i = 1 to n - 1 do
+      acc := !acc +. Float.abs (seg.(i) -. seg.(i - 1))
+    done;
+    !acc /. float_of_int (n - 1)
+  end
+
+let fluctuation_count ?(threshold = 0.01) seg =
+  let n = Array.length seg in
+  let count = ref 0 in
+  for i = 1 to n - 1 do
+    if Float.abs (seg.(i) -. seg.(i - 1)) > threshold then incr count
+  done;
+  !count
+
+let downsample ~period xs =
+  if period <= 0 then invalid_arg "Timeseries.downsample: period must be positive";
+  let n = Array.length xs in
+  let m = (n + period - 1) / period in
+  Array.init m (fun k ->
+      let i = k * period in
+      { t = float_of_int i; v = xs.(i) })
+
+let max_over_windows ~period xs =
+  if period <= 0 then invalid_arg "Timeseries.max_over_windows: period must be positive";
+  let n = Array.length xs in
+  let m = (n + period - 1) / period in
+  Array.init m (fun k ->
+      let lo = k * period in
+      let hi = min n (lo + period) in
+      let acc = ref xs.(lo) in
+      for i = lo + 1 to hi - 1 do
+        acc := Float.max !acc xs.(i)
+      done;
+      !acc)
+
+let moving_average ~window xs =
+  if window < 1 then invalid_arg "Timeseries.moving_average: window >= 1";
+  let n = Array.length xs in
+  let half = window / 2 in
+  Array.init n (fun i ->
+      let lo = max 0 (i - half) and hi = min (n - 1) (i + half) in
+      let acc = ref 0.0 in
+      for j = lo to hi do
+        acc := !acc +. xs.(j)
+      done;
+      !acc /. float_of_int (hi - lo + 1))

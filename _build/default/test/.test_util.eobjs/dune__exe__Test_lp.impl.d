@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float List Lp Mip Prete_lp Prete_util Printf QCheck QCheck_alcotest Simplex

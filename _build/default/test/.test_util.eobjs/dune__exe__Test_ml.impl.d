@@ -1,0 +1,1 @@
+test/test_ml.ml: Alcotest Array Baselines Corpus Dataset Dtree Encoder Fiber_model Float Hashtbl Hazard Lazy List Metrics Mlp Prete_ml Prete_net Prete_optics Prete_util Printf

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Filename Fun List Prete_net Prete_util Printf QCheck QCheck_alcotest Routing Sys Topology Topology_io Traffic Tunnels

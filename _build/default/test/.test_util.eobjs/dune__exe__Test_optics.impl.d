@@ -1,0 +1,1 @@
+test/test_optics.ml: Alcotest Array Dataset Fiber_model Hazard Hypothesis Lazy List Prete_net Prete_optics Prete_util Printf QCheck QCheck_alcotest Rng Snr Stats Telemetry

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Dist Float Gen Hypothesis List Matrix Prete_util Printf QCheck QCheck_alcotest Rng Special Stats Timeseries

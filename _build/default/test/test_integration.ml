@@ -1,0 +1,344 @@
+(* Cross-library integration tests: the full PreTE pipeline from synthetic
+   telemetry to an availability verdict, plus consistency checks that span
+   module boundaries (formulation equivalences, evaluation invariants). *)
+
+open Prete
+open Prete_net
+
+let check_close eps = Alcotest.(check (float eps))
+
+(* One shared end-to-end fixture on B4. *)
+let pipeline =
+  lazy
+    (let topo = Topology.b4 () in
+     let traffic = Traffic.generate topo in
+     let ts = Tunnels.build topo traffic.Traffic.pairs in
+     let model = Prete_optics.Fiber_model.generate topo in
+     let ds = Prete_optics.Dataset.generate ~model ~horizon_days:300 topo in
+     let corpus = Prete_ml.Corpus.of_dataset ds in
+     let nn =
+       Prete_ml.Mlp.train
+         ~config:{ Prete_ml.Mlp.default_config with Prete_ml.Mlp.epochs = 12 }
+         corpus.Prete_ml.Corpus.train
+     in
+     (topo, traffic, ts, model, ds, corpus, nn))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end pipeline                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_pipeline_nn_feeds_calibration () =
+  let topo, _, _, model, _, _, nn = Lazy.force pipeline in
+  let rng = Prete_util.Rng.create 7 in
+  let event = Prete_optics.Hazard.sample_features rng ~topo ~fiber:4 ~epoch:10 in
+  let obs = { Calibrate.degraded = [ (4, event) ]; Calibrate.will_cut = [] } in
+  let probs =
+    Calibrate.probabilities
+      (Calibrate.Calibrated (Prete_ml.Mlp.predict_proba nn))
+      model obs
+  in
+  (* The NN's output lands in the degraded slot; everything else follows
+     Theorem 4.1. *)
+  check_close 1e-9 "p_NN propagated" (Prete_ml.Mlp.predict_proba nn event) probs.(4);
+  Alcotest.(check bool) "degraded fiber looks much riskier" true
+    (probs.(4) > 5.0 *. probs.(0))
+
+let test_pipeline_degradation_to_optimization () =
+  let topo, traffic, ts, model, _, _, nn = Lazy.force pipeline in
+  ignore topo;
+  let rng = Prete_util.Rng.create 8 in
+  let fiber = 2 in
+  let event = Prete_optics.Hazard.sample_features rng ~topo ~fiber ~epoch:20 in
+  let obs = { Calibrate.degraded = [ (fiber, event) ]; Calibrate.will_cut = [] } in
+  let probs =
+    Calibrate.probabilities
+      (Calibrate.Calibrated (Prete_ml.Mlp.predict_proba nn))
+      model obs
+  in
+  let update = Tunnel_update.react ts ~degraded_fiber:fiber () in
+  let merged = Tunnel_update.merged update in
+  let demands = Traffic.demand traffic ~scale:2.0 ~epoch:12 in
+  let p = Te.make_problem ~ts:merged ~demands ~probs ~beta:0.999 () in
+  let sol = Te.solve p in
+  Alcotest.(check bool) "solved" true (sol.Te.phi >= 0.0 && sol.Te.phi <= 1.0);
+  (* The degraded fiber's scenario class must be covered for every flow it
+     can affect: its probability is far above the 1-beta budget. *)
+  Array.iteri
+    (fun f cls ->
+      Array.iteri
+        (fun ci (c : Scenario.Classes.cls) ->
+          (* Classes containing the degraded-fiber scenario. *)
+          let has_degraded =
+            List.exists
+              (fun qi ->
+                p.Te.scenarios.Scenario.scenarios.(qi).Scenario.fibers = [ fiber ])
+              c.Scenario.Classes.members
+          in
+          if has_degraded && c.Scenario.Classes.prob > 0.1 then
+            Alcotest.(check bool) "high-probability class covered" true
+              sol.Te.delta.(f).(ci))
+        cls)
+    sol.Te.classes
+
+let test_pipeline_controller_budget () =
+  (* The end-to-end reaction fits inside a typical degradation-to-cut gap
+     (§5: the pipeline is feasible). *)
+  let topo, traffic, ts, model, _, _, nn = Lazy.force pipeline in
+  ignore topo;
+  let update = Tunnel_update.react ts ~degraded_fiber:3 () in
+  let merged = Tunnel_update.merged update in
+  let demands = Traffic.demand traffic ~scale:2.0 ~epoch:12 in
+  let rng = Prete_util.Rng.create 9 in
+  let event = Prete_optics.Hazard.sample_features rng ~topo ~fiber:3 ~epoch:30 in
+  let obs = { Calibrate.degraded = [ (3, event) ]; Calibrate.will_cut = [] } in
+  let probs =
+    Calibrate.probabilities (Calibrate.Calibrated (Prete_ml.Mlp.predict_proba nn)) model obs
+  in
+  let report =
+    Controller.run
+      ~infer:(fun () -> ignore (Prete_ml.Mlp.predict_proba nn event))
+      ~regen:(fun () -> ignore (Scenario.enumerate ~probs ()))
+      ~te:(fun () ->
+        ignore
+          (Te.solve ~relaxation_start:false
+             (Te.make_problem ~ts:merged ~demands ~probs ~beta:0.999 ())))
+      ~n_new_tunnels:(Tunnel_update.num_new update)
+      ()
+  in
+  (* Median degradation-to-cut gap in the generator is ~60 s; tunnel
+     updates dominate. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "pipeline %.1f s fits a 60 s gap with ratio-limited updates"
+       report.Controller.end_to_end_s)
+    true
+    (Controller.within_budget report ~gap_to_cut_s:60.0
+    || Tunnel_update.num_new update > 40)
+
+(* ------------------------------------------------------------------ *)
+(* Formulation consistency                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_losses_consistent_with_optimizer () =
+  (* The loss the availability evaluator recomputes from the allocation
+     agrees with the optimizer's covered-class guarantee. *)
+  let _, traffic, ts, model, _, _, _ = Lazy.force pipeline in
+  let demands = Traffic.demand traffic ~scale:3.0 ~epoch:12 in
+  let p =
+    Te.make_problem ~ts ~demands ~probs:model.Prete_optics.Fiber_model.p_cut ~beta:0.999 ()
+  in
+  let sol = Te.solve ~second_phase:false p in
+  Array.iteri
+    (fun f cls ->
+      Array.iteri
+        (fun ci c ->
+          if sol.Te.delta.(f).(ci) then
+            Alcotest.(check bool) "covered class within phi" true
+              (Te.class_loss p ~alloc:sol.Te.alloc ~flow:f c <= sol.Te.phi +. 1e-6))
+        cls)
+    sol.Te.classes
+
+let test_second_phase_never_hurts_served () =
+  let _, traffic, ts, model, _, _, _ = Lazy.force pipeline in
+  let demands = Traffic.demand traffic ~scale:4.0 ~epoch:12 in
+  let p =
+    Te.make_problem ~ts ~demands ~probs:model.Prete_optics.Fiber_model.p_cut ~beta:0.999 ()
+  in
+  let expected_served alloc =
+    (* Probability- and demand-weighted served fraction. *)
+    let classes = Te.classes_of p in
+    let total = Prete_util.Stats.sum demands in
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun f cls ->
+        let d = demands.(f) in
+        if d > 0.0 then
+          Array.iter
+            (fun (c : Scenario.Classes.cls) ->
+              let served = 1.0 -. Te.class_loss p ~alloc ~flow:f c in
+              acc := !acc +. (d /. total *. c.Scenario.Classes.prob *. served))
+            cls)
+      classes;
+    !acc
+  in
+  let one = Te.solve ~second_phase:false p in
+  let two = Te.solve p in
+  Alcotest.(check bool) "phase B improves expected served" true
+    (expected_served two.Te.alloc >= expected_served one.Te.alloc -. 1e-6);
+  check_close 1e-6 "reported matches recomputed" (expected_served two.Te.alloc)
+    two.Te.expected_served
+
+let test_admission_vs_loss_formulation () =
+  (* The structural difference the evaluation relies on: the admission
+     variant rate-limits (b <= d), the loss variant does not, and at low
+     demand both serve everything. *)
+  let _, traffic, ts, model, _, _, _ = Lazy.force pipeline in
+  let demands = Traffic.demand traffic ~scale:0.5 ~epoch:12 in
+  let p =
+    Te.make_problem ~ts ~demands ~probs:model.Prete_optics.Fiber_model.p_cut ~beta:0.999 ()
+  in
+  let adm = Te.solve_admission p in
+  Array.iteri
+    (fun f b -> check_close 1e-6 "full admission at low scale" demands.(f) b)
+    adm.Te.admitted;
+  let sol = Te.solve p in
+  check_close 1e-6 "zero loss at low scale" 0.0 sol.Te.phi
+
+(* ------------------------------------------------------------------ *)
+(* Availability evaluation invariants                                   *)
+(* ------------------------------------------------------------------ *)
+
+let env_b4 = lazy (Availability.make_env (Topology.b4 ()))
+
+let test_oracle_dominates_everyone () =
+  let env = Lazy.force env_b4 in
+  let topo = env.Availability.ts.Tunnels.topo in
+  let predictor = Prete_optics.Hazard.eval ~num_fibers:(Topology.num_fibers topo) in
+  let scale = 3.0 in
+  let oracle = Availability.availability env Schemes.Oracle ~scale in
+  List.iter
+    (fun scheme ->
+      let a = Availability.availability env scheme ~scale in
+      Alcotest.(check bool)
+        (Printf.sprintf "oracle %.4f >= %s %.4f" oracle (Schemes.name scheme) a)
+        true
+        (oracle >= a -. 1e-6))
+    [
+      Schemes.Ecmp; Schemes.Ffc 1; Schemes.Teavar; Schemes.Arrow; Schemes.Flexile;
+      Schemes.prete_default ~predictor ();
+    ]
+
+let test_prete_predictor_quality_matters () =
+  (* Fig. 15's mechanism: a better predictor yields availability at least
+     as good as treating degradations as static noise. *)
+  let env = Lazy.force env_b4 in
+  let topo = env.Availability.ts.Tunnels.topo in
+  let truth = Prete_optics.Hazard.eval ~num_fibers:(Topology.num_fibers topo) in
+  let static = Prete_util.Stats.mean env.Availability.model.Prete_optics.Fiber_model.p_cut in
+  let scale = 3.0 in
+  let a_oracle_pred =
+    Availability.availability env (Schemes.prete_default ~predictor:truth ()) ~scale
+  in
+  let a_blind =
+    Availability.availability env
+      (Schemes.prete_naive ~predictor:(fun _ -> static) ())
+      ~scale
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "true-hazard predictor %.4f >= blind static %.4f" a_oracle_pred a_blind)
+    true
+    (a_oracle_pred >= a_blind -. 1e-6)
+
+let test_availability_deterministic () =
+  let env = Lazy.force env_b4 in
+  let a1 = Availability.availability env Schemes.Teavar ~scale:2.5 in
+  let a2 = Availability.availability env Schemes.Teavar ~scale:2.5 in
+  check_close 1e-12 "deterministic" a1 a2
+
+let test_alpha_one_beats_alpha_zero () =
+  (* Fig. 20b's mechanism: with every cut predictable, PreTE approaches
+     the oracle; with none, it degenerates to static TE. *)
+  let topo = Topology.b4 () in
+  let traffic = Traffic.generate topo in
+  let ts = Tunnels.build topo traffic.Traffic.pairs in
+  let predictor = Prete_optics.Hazard.eval ~num_fibers:(Topology.num_fibers topo) in
+  let avail alpha =
+    let model = Prete_optics.Fiber_model.generate ~alpha topo in
+    let env = Availability.make_env ~model ~traffic ~tunnels:ts topo in
+    Availability.availability env (Schemes.prete_default ~predictor ()) ~scale:3.0
+  in
+  let a0 = avail 0.0 and a1 = avail 1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "alpha=1 (%.4f) > alpha=0 (%.4f)" a1 a0)
+    true (a1 > a0)
+
+let test_tau_zero_flexile_approaches_oracle () =
+  (* With an instant controller, the reactive scheme is the per-outcome
+     optimum — the oracle. *)
+  let topo = Topology.b4 () in
+  let env0 = Availability.make_env ~tau_flexile:0.0 topo in
+  let scale = 3.0 in
+  let flexile = Availability.availability env0 Schemes.Flexile ~scale in
+  let oracle = Availability.availability env0 Schemes.Oracle ~scale in
+  check_close 1e-6 "tau=0 Flexile = Oracle" oracle flexile
+
+(* ------------------------------------------------------------------ *)
+(* Monte-Carlo simulator vs analytic evaluator                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_simulator_matches_analytic () =
+  let env = Lazy.force env_b4 in
+  List.iter
+    (fun scheme ->
+      let a = Availability.availability env scheme ~scale:3.0 in
+      let r = Simulate.run ~epochs:20_000 env scheme ~scale:3.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: analytic %.4f vs MC %.4f" (Schemes.name scheme) a
+           r.Simulate.availability)
+        true
+        (Float.abs (a -. r.Simulate.availability) < 0.005))
+    [ Schemes.Teavar; Schemes.Ecmp ]
+
+let test_simulator_counts_plausible () =
+  let env = Lazy.force env_b4 in
+  let r = Simulate.run ~epochs:10_000 env Schemes.Teavar ~scale:1.0 in
+  Alcotest.(check int) "epochs" 10_000 r.Simulate.epochs;
+  (* Expected cut-epoch rate ~ 1 - prod(1 - p_cut) with both channels. *)
+  let expected =
+    1.0
+    -. Array.fold_left (fun acc p -> acc *. (1.0 -. p)) 1.0
+         env.Availability.model.Prete_optics.Fiber_model.p_cut
+  in
+  let observed = float_of_int r.Simulate.cut_epochs /. 10_000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "cut rate %.3f near %.3f" observed expected)
+    true
+    (Float.abs (observed -. expected) < 0.02);
+  Alcotest.(check bool) "multi-cut epochs are rare" true
+    (r.Simulate.multi_cut_epochs * 10 < r.Simulate.cut_epochs)
+
+let test_simulator_deterministic () =
+  let env = Lazy.force env_b4 in
+  let r1 = Simulate.run ~seed:5 ~epochs:2_000 env Schemes.Teavar ~scale:2.0 in
+  let r2 = Simulate.run ~seed:5 ~epochs:2_000 env Schemes.Teavar ~scale:2.0 in
+  check_close 1e-12 "same seed same result" r1.Simulate.availability r2.Simulate.availability
+
+let test_simulator_invalid () =
+  let env = Lazy.force env_b4 in
+  Alcotest.check_raises "bad epochs"
+    (Invalid_argument "Simulate.run: epochs must be positive") (fun () ->
+      ignore (Simulate.run ~epochs:0 env Schemes.Teavar ~scale:1.0))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "prete_integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "NN feeds calibration" `Slow test_pipeline_nn_feeds_calibration;
+          Alcotest.test_case "degradation to optimization" `Slow
+            test_pipeline_degradation_to_optimization;
+          Alcotest.test_case "controller budget" `Slow test_pipeline_controller_budget;
+        ] );
+      ( "formulation",
+        [
+          Alcotest.test_case "losses consistent" `Slow test_losses_consistent_with_optimizer;
+          Alcotest.test_case "second phase helps" `Slow test_second_phase_never_hurts_served;
+          Alcotest.test_case "admission vs loss form" `Slow test_admission_vs_loss_formulation;
+        ] );
+      ( "simulate",
+        [
+          Alcotest.test_case "MC matches analytic" `Slow test_simulator_matches_analytic;
+          Alcotest.test_case "event counts plausible" `Slow test_simulator_counts_plausible;
+          Alcotest.test_case "deterministic" `Slow test_simulator_deterministic;
+          Alcotest.test_case "invalid input" `Quick test_simulator_invalid;
+        ] );
+      ( "availability",
+        [
+          Alcotest.test_case "oracle dominates" `Slow test_oracle_dominates_everyone;
+          Alcotest.test_case "predictor quality matters" `Slow test_prete_predictor_quality_matters;
+          Alcotest.test_case "deterministic" `Slow test_availability_deterministic;
+          Alcotest.test_case "alpha=1 beats alpha=0" `Slow test_alpha_one_beats_alpha_zero;
+          Alcotest.test_case "tau=0 Flexile = Oracle" `Slow test_tau_zero_flexile_approaches_oracle;
+        ] );
+    ]

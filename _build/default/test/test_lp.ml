@@ -1,0 +1,597 @@
+(* Tests for the prete_lp substrate: modeling layer, two-phase simplex
+   (including duals), and branch-and-bound MIP. *)
+
+open Prete_lp
+
+let check_close eps = Alcotest.(check (float eps))
+
+(* ------------------------------------------------------------------ *)
+(* Modeling layer                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_model_counts () =
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" in
+  let y = Lp.add_var m ~lb:1.0 ~ub:2.0 "y" in
+  ignore (Lp.add_constraint m [ (1.0, x); (2.0, y) ] Lp.Le 10.0);
+  Alcotest.(check int) "vars" 2 (Lp.num_vars m);
+  Alcotest.(check int) "constraints" 1 (Lp.num_constraints m);
+  Alcotest.(check string) "name" "y" (Lp.var_name m y)
+
+let test_model_duplicate_terms_merge () =
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" in
+  ignore (Lp.add_constraint m [ (1.0, x); (2.0, x) ] Lp.Le 6.0);
+  Lp.set_objective m Lp.Maximize [ (1.0, x) ];
+  match Simplex.solve m with
+  | Simplex.Optimal sol -> check_close 1e-9 "3x <= 6 -> x = 2" 2.0 (Simplex.value sol x)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_model_binary_bounds () =
+  let m = Lp.create () in
+  let b = Lp.add_var m ~binary:true "b" in
+  Alcotest.(check (list int)) "binaries" [ (b :> int) ]
+    (List.map (fun v -> (v : Lp.var :> int)) (Lp.binaries m));
+  let lb, ub = (Lp.Internal.bounds m).((b :> int)) in
+  check_close 0.0 "lb" 0.0 lb;
+  check_close 0.0 "ub" 1.0 ub
+
+let test_model_invalid_bounds () =
+  let m = Lp.create () in
+  Alcotest.check_raises "lb > ub" (Invalid_argument "Lp.add_var: lb > ub")
+    (fun () -> ignore (Lp.add_var m ~lb:2.0 ~ub:1.0 "x"))
+
+(* ------------------------------------------------------------------ *)
+(* Simplex: known optima                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Dantzig's classic: max 3x + 5y, x <= 4, 2y <= 12, 3x + 2y <= 18. *)
+let test_simplex_dantzig () =
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" and y = Lp.add_var m "y" in
+  ignore (Lp.add_constraint m [ (1.0, x) ] Lp.Le 4.0);
+  ignore (Lp.add_constraint m [ (2.0, y) ] Lp.Le 12.0);
+  ignore (Lp.add_constraint m [ (3.0, x); (2.0, y) ] Lp.Le 18.0);
+  Lp.set_objective m Lp.Maximize [ (3.0, x); (5.0, y) ];
+  match Simplex.solve m with
+  | Simplex.Optimal sol ->
+    check_close 1e-9 "objective" 36.0 sol.Simplex.objective;
+    check_close 1e-9 "x" 2.0 (Simplex.value sol x);
+    check_close 1e-9 "y" 6.0 (Simplex.value sol y)
+  | _ -> Alcotest.fail "expected optimal"
+
+(* Minimization with >= rows (tiny diet problem). *)
+let test_simplex_diet () =
+  let m = Lp.create () in
+  let a = Lp.add_var m "a" and b = Lp.add_var m "b" in
+  ignore (Lp.add_constraint m [ (2.0, a); (1.0, b) ] Lp.Ge 8.0);
+  ignore (Lp.add_constraint m [ (1.0, a); (2.0, b) ] Lp.Ge 8.0);
+  Lp.set_objective m Lp.Minimize [ (3.0, a); (2.0, b) ];
+  match Simplex.solve m with
+  | Simplex.Optimal sol ->
+    (* Optimal at intersection a = b = 8/3: cost 40/3;
+       check against corners (4,0):12... (0,8):16, (8/3,8/3):13.33, (0? a=4,b=0 violates second) —
+       corner candidates: (8,0) cost 24, (0,8) cost 16, (8/3,8/3) cost 40/3 ≈ 13.33. *)
+    check_close 1e-9 "objective" (40.0 /. 3.0) sol.Simplex.objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_equality () =
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" and y = Lp.add_var m "y" in
+  ignore (Lp.add_constraint m [ (1.0, x); (1.0, y) ] Lp.Eq 5.0);
+  ignore (Lp.add_constraint m [ (1.0, x) ] Lp.Le 2.0);
+  Lp.set_objective m Lp.Maximize [ (2.0, x); (1.0, y) ];
+  match Simplex.solve m with
+  | Simplex.Optimal sol ->
+    check_close 1e-9 "objective" 7.0 sol.Simplex.objective;
+    check_close 1e-9 "x" 2.0 (Simplex.value sol x);
+    check_close 1e-9 "y" 3.0 (Simplex.value sol y)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_infeasible () =
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" in
+  ignore (Lp.add_constraint m [ (1.0, x) ] Lp.Ge 2.0);
+  ignore (Lp.add_constraint m [ (1.0, x) ] Lp.Le 1.0);
+  Lp.set_objective m Lp.Minimize [ (1.0, x) ];
+  match Simplex.solve m with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_simplex_unbounded () =
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" in
+  Lp.set_objective m Lp.Maximize [ (1.0, x) ];
+  match Simplex.solve m with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_simplex_bounds_shift () =
+  let m = Lp.create () in
+  let x = Lp.add_var m ~lb:1.5 ~ub:3.5 "x" in
+  Lp.set_objective m Lp.Maximize [ (2.0, x) ];
+  (match Simplex.solve m with
+  | Simplex.Optimal sol ->
+    check_close 1e-9 "max at ub" 3.5 (Simplex.value sol x);
+    check_close 1e-9 "objective" 7.0 sol.Simplex.objective
+  | _ -> Alcotest.fail "expected optimal");
+  Lp.set_objective m Lp.Minimize [ (2.0, x) ];
+  match Simplex.solve m with
+  | Simplex.Optimal sol -> check_close 1e-9 "min at lb" 1.5 (Simplex.value sol x)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_fixed_var () =
+  let m = Lp.create () in
+  let x = Lp.add_var m ~lb:2.0 ~ub:2.0 "x" in
+  let y = Lp.add_var m ~ub:10.0 "y" in
+  ignore (Lp.add_constraint m [ (1.0, x); (1.0, y) ] Lp.Le 5.0);
+  Lp.set_objective m Lp.Maximize [ (1.0, x); (1.0, y) ];
+  match Simplex.solve m with
+  | Simplex.Optimal sol ->
+    check_close 1e-9 "x fixed" 2.0 (Simplex.value sol x);
+    check_close 1e-9 "y" 3.0 (Simplex.value sol y)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_negative_rhs () =
+  (* -x <= -3 is x >= 3; exercises the rhs flip. *)
+  let m = Lp.create () in
+  let x = Lp.add_var m ~ub:10.0 "x" in
+  ignore (Lp.add_constraint m [ (-1.0, x) ] Lp.Le (-3.0));
+  Lp.set_objective m Lp.Minimize [ (1.0, x) ];
+  match Simplex.solve m with
+  | Simplex.Optimal sol -> check_close 1e-9 "x = 3" 3.0 (Simplex.value sol x)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_degenerate () =
+  (* Degenerate vertex (redundant constraints through a point). *)
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" and y = Lp.add_var m "y" in
+  ignore (Lp.add_constraint m [ (1.0, x); (1.0, y) ] Lp.Le 4.0);
+  ignore (Lp.add_constraint m [ (1.0, x); (1.0, y) ] Lp.Le 4.0);
+  ignore (Lp.add_constraint m [ (2.0, x); (2.0, y) ] Lp.Le 8.0);
+  ignore (Lp.add_constraint m [ (1.0, x) ] Lp.Le 4.0);
+  Lp.set_objective m Lp.Maximize [ (1.0, x); (1.0, y) ];
+  match Simplex.solve m with
+  | Simplex.Optimal sol -> check_close 1e-9 "objective" 4.0 sol.Simplex.objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_redundant_equalities () =
+  (* Duplicated equality leaves an artificial basic at zero — must still
+     solve. *)
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" and y = Lp.add_var m "y" in
+  ignore (Lp.add_constraint m [ (1.0, x); (1.0, y) ] Lp.Eq 3.0);
+  ignore (Lp.add_constraint m [ (2.0, x); (2.0, y) ] Lp.Eq 6.0);
+  Lp.set_objective m Lp.Maximize [ (1.0, x) ];
+  match Simplex.solve m with
+  | Simplex.Optimal sol -> check_close 1e-9 "x" 3.0 (Simplex.value sol x)
+  | _ -> Alcotest.fail "expected optimal"
+
+(* A 4-node max-flow encoded by hand: s->a (3), s->b (2), a->t (2),
+   b->t (3), a->b (10).  Max flow = 5: a->t carries 2, the rest of s->a
+   rides a->b to t. *)
+let test_simplex_max_flow () =
+  let m = Lp.create () in
+  let sa = Lp.add_var m ~ub:3.0 "sa" in
+  let sb = Lp.add_var m ~ub:2.0 "sb" in
+  let at = Lp.add_var m ~ub:2.0 "at" in
+  let bt = Lp.add_var m ~ub:3.0 "bt" in
+  let ab = Lp.add_var m ~ub:10.0 "ab" in
+  (* Conservation at a and b. *)
+  ignore (Lp.add_constraint m [ (1.0, sa); (-1.0, at); (-1.0, ab) ] Lp.Eq 0.0);
+  ignore (Lp.add_constraint m [ (1.0, sb); (1.0, ab); (-1.0, bt) ] Lp.Eq 0.0);
+  Lp.set_objective m Lp.Maximize [ (1.0, at); (1.0, bt) ];
+  match Simplex.solve m with
+  | Simplex.Optimal sol -> check_close 1e-9 "max flow" 5.0 sol.Simplex.objective
+  | _ -> Alcotest.fail "expected optimal"
+
+(* ------------------------------------------------------------------ *)
+(* Simplex: duals                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_duals_strong_duality () =
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" and y = Lp.add_var m "y" in
+  let c1 = Lp.add_constraint m [ (1.0, x) ] Lp.Le 4.0 in
+  let c2 = Lp.add_constraint m [ (2.0, y) ] Lp.Le 12.0 in
+  let c3 = Lp.add_constraint m [ (3.0, x); (2.0, y) ] Lp.Le 18.0 in
+  Lp.set_objective m Lp.Maximize [ (3.0, x); (5.0, y) ];
+  match Simplex.solve m with
+  | Simplex.Optimal sol ->
+    let dual_obj =
+      (Simplex.dual sol c1 *. 4.0)
+      +. (Simplex.dual sol c2 *. 12.0)
+      +. (Simplex.dual sol c3 *. 18.0)
+    in
+    check_close 1e-9 "b·y = objective" sol.Simplex.objective dual_obj;
+    (* Known duals for this textbook instance: (0, 3/2, 1). *)
+    check_close 1e-9 "y1" 0.0 (Simplex.dual sol c1);
+    check_close 1e-9 "y2" 1.5 (Simplex.dual sol c2);
+    check_close 1e-9 "y3" 1.0 (Simplex.dual sol c3)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_duals_shadow_price () =
+  (* Finite-difference check: dual ≈ d obj / d rhs. *)
+  let solve_with rhs =
+    let m = Lp.create () in
+    let x = Lp.add_var m "x" and y = Lp.add_var m "y" in
+    let c1 = Lp.add_constraint m [ (1.0, x); (1.0, y) ] Lp.Le rhs in
+    ignore (Lp.add_constraint m [ (1.0, x); (3.0, y) ] Lp.Le 12.0);
+    Lp.set_objective m Lp.Maximize [ (2.0, x); (3.0, y) ];
+    match Simplex.solve m with
+    | Simplex.Optimal sol -> (sol.Simplex.objective, Simplex.dual sol c1)
+    | _ -> Alcotest.fail "expected optimal"
+  in
+  let obj0, dual0 = solve_with 6.0 in
+  let obj1, _ = solve_with 6.01 in
+  check_close 1e-6 "shadow price" ((obj1 -. obj0) /. 0.01) dual0
+
+let test_duals_min_ge () =
+  (* Minimization with >= rows: shadow prices are non-negative
+     (raising a covering requirement cannot cheapen the diet). *)
+  let m = Lp.create () in
+  let a = Lp.add_var m "a" and b = Lp.add_var m "b" in
+  let c1 = Lp.add_constraint m [ (2.0, a); (1.0, b) ] Lp.Ge 8.0 in
+  let c2 = Lp.add_constraint m [ (1.0, a); (2.0, b) ] Lp.Ge 8.0 in
+  Lp.set_objective m Lp.Minimize [ (3.0, a); (2.0, b) ];
+  match Simplex.solve m with
+  | Simplex.Optimal sol ->
+    Alcotest.(check bool) "dual1 >= 0" true (Simplex.dual sol c1 >= -1e-9);
+    Alcotest.(check bool) "dual2 >= 0" true (Simplex.dual sol c2 >= -1e-9);
+    let dual_obj = (Simplex.dual sol c1 *. 8.0) +. (Simplex.dual sol c2 *. 8.0) in
+    check_close 1e-9 "strong duality" sol.Simplex.objective dual_obj
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_feasible_checker () =
+  let m = Lp.create () in
+  let x = Lp.add_var m ~ub:5.0 "x" in
+  let y = Lp.add_var m "y" in
+  ignore (Lp.add_constraint m [ (1.0, x); (1.0, y) ] Lp.Le 6.0);
+  ignore (Lp.add_constraint m [ (1.0, y) ] Lp.Ge 1.0);
+  ignore (x, y);
+  Alcotest.(check bool) "feasible point" true (Simplex.feasible m [| 2.0; 3.0 |]);
+  Alcotest.(check bool) "violates row" false (Simplex.feasible m [| 5.0; 3.0 |]);
+  Alcotest.(check bool) "violates bound" false (Simplex.feasible m [| 6.0; 0.0 |]);
+  Alcotest.(check bool) "violates ge" false (Simplex.feasible m [| 1.0; 0.0 |])
+
+(* Random LPs: optimum must be feasible and dominate random feasible
+   points; strong duality must hold. *)
+let prop_simplex_optimality =
+  QCheck.Test.make ~name:"simplex dominates sampled feasible points" ~count:60
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prete_util.Rng.create (seed + 1000) in
+      let nv = 2 + Prete_util.Rng.int rng 4 in
+      let nc = 2 + Prete_util.Rng.int rng 4 in
+      let m = Lp.create () in
+      let vars = Array.init nv (fun i -> Lp.add_var m ~ub:10.0 (Printf.sprintf "x%d" i)) in
+      let rows =
+        Array.init nc (fun _ ->
+            let coefs = Array.init nv (fun _ -> Prete_util.Rng.uniform rng 0.0 3.0) in
+            let rhs = Prete_util.Rng.uniform rng 1.0 20.0 in
+            let terms = Array.to_list (Array.mapi (fun i c -> (c, vars.(i))) coefs) in
+            ignore (Lp.add_constraint m terms Lp.Le rhs);
+            (coefs, rhs))
+      in
+      let c = Array.init nv (fun _ -> Prete_util.Rng.uniform rng (-2.0) 5.0) in
+      Lp.set_objective m Lp.Maximize
+        (Array.to_list (Array.mapi (fun i ci -> (ci, vars.(i))) c));
+      match Simplex.solve m with
+      | Simplex.Optimal sol ->
+        let feas = Simplex.feasible m sol.Simplex.values in
+        (* Sample feasible points by scaling random rays to fit. *)
+        let dominated = ref true in
+        for _ = 1 to 50 do
+          let dir = Array.init nv (fun _ -> Prete_util.Rng.float rng) in
+          let scale = ref 10.0 in
+          Array.iter
+            (fun (coefs, rhs) ->
+              let dot = ref 0.0 in
+              Array.iteri (fun i d -> dot := !dot +. (coefs.(i) *. d)) dir;
+              if !dot > 1e-9 then scale := Float.min !scale (rhs /. !dot))
+            rows;
+          let x = Array.map (fun d -> Float.min 10.0 (d *. !scale)) dir in
+          if Simplex.feasible m x then begin
+            let v = ref 0.0 in
+            Array.iteri (fun i ci -> v := !v +. (ci *. x.(i))) c;
+            if !v > sol.Simplex.objective +. 1e-6 then dominated := false
+          end
+        done;
+        feas && !dominated
+      | Simplex.Unbounded -> false (* impossible: box-bounded *)
+      | Simplex.Infeasible -> false (* impossible: 0 is feasible *))
+
+let prop_simplex_strong_duality =
+  QCheck.Test.make ~name:"strong duality on random LPs" ~count:60
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prete_util.Rng.create (seed + 5000) in
+      let nv = 2 + Prete_util.Rng.int rng 3 in
+      let nc = 2 + Prete_util.Rng.int rng 3 in
+      let m = Lp.create () in
+      (* No finite ubs so every row is a model constraint and b·y must
+         equal the optimum exactly. *)
+      let vars = Array.init nv (fun i -> Lp.add_var m (Printf.sprintf "x%d" i)) in
+      let rhss = Array.make nc 0.0 in
+      for k = 0 to nc - 1 do
+        let terms =
+          Array.to_list
+            (Array.map (fun v -> (Prete_util.Rng.uniform rng 0.5 3.0, v)) vars)
+        in
+        let rhs = Prete_util.Rng.uniform rng 1.0 20.0 in
+        rhss.(k) <- rhs;
+        ignore (Lp.add_constraint m terms Lp.Le rhs)
+      done;
+      let c = Array.map (fun _ -> Prete_util.Rng.uniform rng 0.1 4.0) vars in
+      Lp.set_objective m Lp.Maximize
+        (Array.to_list (Array.mapi (fun i ci -> (ci, vars.(i))) c));
+      match Simplex.solve m with
+      | Simplex.Optimal sol ->
+        let dual_obj = ref 0.0 in
+        for k = 0 to nc - 1 do
+          dual_obj := !dual_obj +. (Simplex.dual sol k *. rhss.(k))
+        done;
+        Float.abs (!dual_obj -. sol.Simplex.objective) < 1e-6
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* MIP                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_mip_knapsack () =
+  (* max 10a + 13b + 7c, 3a + 4b + 2c <= 5, binary -> a=c=1 (17). *)
+  let m = Lp.create () in
+  let a = Lp.add_var m ~binary:true "a" in
+  let b = Lp.add_var m ~binary:true "b" in
+  let c = Lp.add_var m ~binary:true "c" in
+  ignore (Lp.add_constraint m [ (3.0, a); (4.0, b); (2.0, c) ] Lp.Le 5.0);
+  Lp.set_objective m Lp.Maximize [ (10.0, a); (13.0, b); (7.0, c) ];
+  match Mip.solve m with
+  | Mip.Optimal sol ->
+    check_close 1e-9 "objective" 17.0 sol.Mip.objective;
+    check_close 1e-9 "a" 1.0 (Mip.value sol a);
+    check_close 1e-9 "b" 0.0 (Mip.value sol b);
+    check_close 1e-9 "c" 1.0 (Mip.value sol c)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_mip_no_binaries_is_lp () =
+  let m = Lp.create () in
+  let x = Lp.add_var m ~ub:7.0 "x" in
+  Lp.set_objective m Lp.Maximize [ (1.0, x) ];
+  match Mip.solve m with
+  | Mip.Optimal sol ->
+    check_close 1e-9 "objective" 7.0 sol.Mip.objective;
+    Alcotest.(check int) "single node" 1 sol.Mip.nodes
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_mip_infeasible () =
+  let m = Lp.create () in
+  let a = Lp.add_var m ~binary:true "a" in
+  let b = Lp.add_var m ~binary:true "b" in
+  ignore (Lp.add_constraint m [ (1.0, a); (1.0, b) ] Lp.Ge 3.0);
+  Lp.set_objective m Lp.Minimize [ (1.0, a) ];
+  match Mip.solve m with
+  | Mip.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_mip_mixed () =
+  (* Mixed binary/continuous: fixed-charge flavour.
+     max 5x - 10y, x <= 4y, x <= 3, y binary -> y=1, x=3, obj 5. *)
+  let m = Lp.create () in
+  let x = Lp.add_var m ~ub:3.0 "x" in
+  let y = Lp.add_var m ~binary:true "y" in
+  ignore (Lp.add_constraint m [ (1.0, x); (-4.0, y) ] Lp.Le 0.0);
+  Lp.set_objective m Lp.Maximize [ (5.0, x); (-10.0, y) ];
+  match Mip.solve m with
+  | Mip.Optimal sol ->
+    check_close 1e-9 "objective" 5.0 sol.Mip.objective;
+    check_close 1e-9 "y" 1.0 (Mip.value sol y);
+    check_close 1e-9 "x" 3.0 (Mip.value sol x)
+  | _ -> Alcotest.fail "expected optimal"
+
+(* Exhaustive cross-check on random pure-binary problems. *)
+let prop_mip_matches_enumeration =
+  QCheck.Test.make ~name:"MIP matches exhaustive enumeration" ~count:40
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prete_util.Rng.create (seed + 9000) in
+      let nv = 2 + Prete_util.Rng.int rng 4 in
+      let nc = 1 + Prete_util.Rng.int rng 3 in
+      let m = Lp.create () in
+      let vars = Array.init nv (fun i -> Lp.add_var m ~binary:true (Printf.sprintf "b%d" i)) in
+      let rows =
+        Array.init nc (fun _ ->
+            let coefs = Array.init nv (fun _ -> Prete_util.Rng.uniform rng 0.0 3.0) in
+            let rhs = Prete_util.Rng.uniform rng 1.0 (float_of_int nv *. 1.5) in
+            let terms = Array.to_list (Array.mapi (fun i c -> (c, vars.(i))) coefs) in
+            ignore (Lp.add_constraint m terms Lp.Le rhs);
+            (coefs, rhs))
+      in
+      let c = Array.init nv (fun _ -> Prete_util.Rng.uniform rng (-3.0) 5.0) in
+      Lp.set_objective m Lp.Maximize
+        (Array.to_list (Array.mapi (fun i ci -> (ci, vars.(i))) c));
+      (* Enumerate all 2^nv assignments. *)
+      let best = ref neg_infinity in
+      for mask = 0 to (1 lsl nv) - 1 do
+        let x = Array.init nv (fun i -> if mask land (1 lsl i) <> 0 then 1.0 else 0.0) in
+        let ok =
+          Array.for_all
+            (fun (coefs, rhs) ->
+              let dot = ref 0.0 in
+              Array.iteri (fun i d -> dot := !dot +. (coefs.(i) *. d)) x;
+              !dot <= rhs +. 1e-9)
+            rows
+        in
+        if ok then begin
+          let v = ref 0.0 in
+          Array.iteri (fun i ci -> v := !v +. (ci *. x.(i))) c;
+          if !v > !best then best := !v
+        end
+      done;
+      match Mip.solve m with
+      | Mip.Optimal sol -> Float.abs (sol.Mip.objective -. !best) < 1e-6
+      | Mip.Infeasible -> !best = neg_infinity
+      | Mip.Unbounded -> false)
+
+let prop_mip_solution_integral_and_feasible =
+  QCheck.Test.make ~name:"MIP incumbents integral and feasible" ~count:40
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prete_util.Rng.create (seed + 13000) in
+      let nv = 2 + Prete_util.Rng.int rng 3 in
+      let m = Lp.create () in
+      let bvars = Array.init nv (fun i -> Lp.add_var m ~binary:true (Printf.sprintf "b%d" i)) in
+      let x = Lp.add_var m ~ub:4.0 "x" in
+      let terms = Array.to_list (Array.map (fun v -> (1.0, v)) bvars) in
+      ignore (Lp.add_constraint m ((0.5, x) :: terms) Lp.Le 2.5);
+      Lp.set_objective m Lp.Maximize ((1.0, x) :: terms);
+      match Mip.solve m with
+      | Mip.Optimal sol ->
+        Simplex.feasible m sol.Mip.values
+        && Array.for_all
+             (fun v ->
+               let xv = Mip.value sol v in
+               Float.abs (xv -. Float.round xv) < 1e-6)
+             bvars
+      | _ -> false)
+
+(* Transportation problem with a known optimum: 2 sources (30, 70),
+   3 sinks (20, 50, 30), costs [[8;6;10];[9;12;13]] -> optimum 1000
+   (classic instance: x12=30 ... computed below by enumeration logic). *)
+let test_simplex_transportation () =
+  let m = Lp.create () in
+  let supply = [| 30.0; 70.0 |] and demand = [| 20.0; 50.0; 30.0 |] in
+  let cost = [| [| 8.0; 6.0; 10.0 |]; [| 9.0; 12.0; 13.0 |] |] in
+  let x = Array.init 2 (fun i -> Array.init 3 (fun j -> Lp.add_var m (Printf.sprintf "x%d%d" i j))) in
+  for i = 0 to 1 do
+    ignore (Lp.add_constraint m (Array.to_list (Array.map (fun v -> (1.0, v)) x.(i))) Lp.Eq supply.(i))
+  done;
+  for j = 0 to 2 do
+    ignore (Lp.add_constraint m [ (1.0, x.(0).(j)); (1.0, x.(1).(j)) ] Lp.Eq demand.(j))
+  done;
+  let obj = ref [] in
+  for i = 0 to 1 do
+    for j = 0 to 2 do
+      obj := (cost.(i).(j), x.(i).(j)) :: !obj
+    done
+  done;
+  Lp.set_objective m Lp.Minimize !obj;
+  match Simplex.solve m with
+  | Simplex.Optimal sol ->
+    (* Verify against exhaustive corner search over the transportation
+       polytope parametrized by (x00, x01): x02 = 30-x00-x01, row 2 by
+       column balance. *)
+    let best = ref infinity in
+    for a = 0 to 20 do
+      for b = 0 to 50 do
+        let a = float_of_int a and b = float_of_int b in
+        let c = 30.0 -. a -. b in
+        if c >= 0.0 && c <= 30.0 then begin
+          let d = 20.0 -. a and e = 50.0 -. b and f = 30.0 -. c in
+          if d >= 0.0 && e >= 0.0 && f >= 0.0 then begin
+            let v =
+              (8.0 *. a) +. (6.0 *. b) +. (10.0 *. c) +. (9.0 *. d) +. (12.0 *. e)
+              +. (13.0 *. f)
+            in
+            if v < !best then best := v
+          end
+        end
+      done
+    done;
+    check_close 1e-6 "matches exhaustive optimum" !best sol.Simplex.objective
+  | _ -> Alcotest.fail "expected optimal"
+
+(* Complementary slackness: dual > 0 only on tight rows; primal > 0 only
+   on zero-reduced-cost columns (checked indirectly through objective
+   equality which subsumes it, plus explicit slackness on rows). *)
+let prop_complementary_slackness =
+  QCheck.Test.make ~name:"complementary slackness on rows" ~count:50
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prete_util.Rng.create (seed + 31000) in
+      let nv = 2 + Prete_util.Rng.int rng 3 in
+      let nc = 2 + Prete_util.Rng.int rng 3 in
+      let m = Lp.create () in
+      let vars = Array.init nv (fun i -> Lp.add_var m (Printf.sprintf "x%d" i)) in
+      let rows =
+        Array.init nc (fun _ ->
+            let coefs = Array.init nv (fun _ -> Prete_util.Rng.uniform rng 0.5 3.0) in
+            let rhs = Prete_util.Rng.uniform rng 2.0 15.0 in
+            let terms = Array.to_list (Array.mapi (fun i c -> (c, vars.(i))) coefs) in
+            let idx = Lp.add_constraint m terms Lp.Le rhs in
+            (idx, coefs, rhs))
+      in
+      let c = Array.init nv (fun _ -> Prete_util.Rng.uniform rng 0.5 4.0) in
+      Lp.set_objective m Lp.Maximize
+        (Array.to_list (Array.mapi (fun i ci -> (ci, vars.(i))) c));
+      match Simplex.solve m with
+      | Simplex.Optimal sol ->
+        Array.for_all
+          (fun (idx, coefs, rhs) ->
+            let lhs = ref 0.0 in
+            Array.iteri (fun i cf -> lhs := !lhs +. (cf *. sol.Simplex.values.(i))) coefs;
+            let slack = rhs -. !lhs in
+            (* y_i * slack_i = 0 *)
+            Float.abs (Simplex.dual sol idx *. slack) < 1e-6)
+          rows
+      | _ -> false)
+
+let test_simplex_iteration_limit () =
+  (* A pathological limit must raise Numerical, not loop forever. *)
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" and y = Lp.add_var m "y" in
+  ignore (Lp.add_constraint m [ (1.0, x); (1.0, y) ] Lp.Le 10.0);
+  Lp.set_objective m Lp.Maximize [ (1.0, x); (1.0, y) ];
+  Alcotest.check_raises "limit" (Simplex.Numerical "Simplex: iteration limit exceeded")
+    (fun () -> ignore (Simplex.solve ~max_iters:0 m))
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "prete_lp"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "counts and names" `Quick test_model_counts;
+          Alcotest.test_case "duplicate terms merge" `Quick test_model_duplicate_terms_merge;
+          Alcotest.test_case "binary bounds" `Quick test_model_binary_bounds;
+          Alcotest.test_case "invalid bounds" `Quick test_model_invalid_bounds;
+        ] );
+      ( "simplex",
+        [
+          Alcotest.test_case "dantzig max" `Quick test_simplex_dantzig;
+          Alcotest.test_case "diet min" `Quick test_simplex_diet;
+          Alcotest.test_case "equality rows" `Quick test_simplex_equality;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "bound shifting" `Quick test_simplex_bounds_shift;
+          Alcotest.test_case "fixed variable" `Quick test_simplex_fixed_var;
+          Alcotest.test_case "negative rhs flip" `Quick test_simplex_negative_rhs;
+          Alcotest.test_case "degenerate vertex" `Quick test_simplex_degenerate;
+          Alcotest.test_case "redundant equalities" `Quick test_simplex_redundant_equalities;
+          Alcotest.test_case "max flow" `Quick test_simplex_max_flow;
+          Alcotest.test_case "transportation" `Quick test_simplex_transportation;
+          Alcotest.test_case "iteration limit" `Quick test_simplex_iteration_limit;
+        ] );
+      ( "duals",
+        [
+          Alcotest.test_case "strong duality (known)" `Quick test_duals_strong_duality;
+          Alcotest.test_case "shadow price" `Quick test_duals_shadow_price;
+          Alcotest.test_case "min with >= rows" `Quick test_duals_min_ge;
+          Alcotest.test_case "feasibility checker" `Quick test_feasible_checker;
+        ] );
+      ( "simplex.props",
+        qsuite
+          [ prop_simplex_optimality; prop_simplex_strong_duality; prop_complementary_slackness ] );
+      ( "mip",
+        [
+          Alcotest.test_case "knapsack" `Quick test_mip_knapsack;
+          Alcotest.test_case "no binaries = LP" `Quick test_mip_no_binaries_is_lp;
+          Alcotest.test_case "infeasible" `Quick test_mip_infeasible;
+          Alcotest.test_case "mixed integer" `Quick test_mip_mixed;
+        ] );
+      ( "mip.props",
+        qsuite [ prop_mip_matches_enumeration; prop_mip_solution_integral_and_feasible ] );
+    ]

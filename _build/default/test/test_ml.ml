@@ -1,0 +1,410 @@
+(* Tests for prete_ml: corpus splitting/oversampling, encoder, metrics,
+   decision tree, baselines and the MLP (Table 5 / Table 8 behaviour). *)
+
+open Prete_ml
+open Prete_optics
+
+let check_close eps = Alcotest.(check (float eps))
+
+(* Shared fixtures (generated once; tests are read-only on them). *)
+let dataset =
+  lazy
+    (let topo = Prete_net.Topology.twan () in
+     let model = Fiber_model.generate topo in
+     (topo, model, Dataset.generate ~model ~horizon_days:200 topo))
+
+let corpus = lazy (let _, _, ds = Lazy.force dataset in Corpus.of_dataset ds)
+
+let trained_mlp =
+  lazy
+    (let c = Lazy.force corpus in
+     Mlp.train ~config:{ Mlp.default_config with Mlp.epochs = 15 } c.Corpus.train)
+
+let sample_feature () =
+  let topo, _, _ = Lazy.force dataset in
+  let rng = Prete_util.Rng.create 5 in
+  Hazard.sample_features rng ~topo ~fiber:2 ~epoch:50
+
+(* ------------------------------------------------------------------ *)
+(* Corpus                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_corpus_split_sizes () =
+  let _, _, ds = Lazy.force dataset in
+  let c = Lazy.force corpus in
+  let total = Array.length c.Corpus.train + Array.length c.Corpus.test in
+  Alcotest.(check int) "no events lost" (Array.length ds.Dataset.degradations) total;
+  let frac =
+    float_of_int (Array.length c.Corpus.train) /. float_of_int total
+  in
+  Alcotest.(check bool) "~80% train" true (frac >= 0.75 && frac <= 0.85)
+
+let test_corpus_split_chronological_per_fiber () =
+  (* For each fiber, every training example predates every test example. *)
+  let _, _, ds = Lazy.force dataset in
+  let c = Lazy.force corpus in
+  let durations_key (e : Corpus.example) = e.Corpus.features.Hazard.duration_s in
+  ignore durations_key;
+  let last_train = Hashtbl.create 64 and first_test = Hashtbl.create 64 in
+  (* Recover epochs by matching duration_s (unique w.h.p.) back to the
+     dataset — instead, recompute split directly. *)
+  let per_fiber = Hashtbl.create 64 in
+  Array.iter
+    (fun (d : Dataset.degradation) ->
+      let k = d.Dataset.d_fiber in
+      Hashtbl.replace per_fiber k
+        (d :: (try Hashtbl.find per_fiber k with Not_found -> [])))
+    ds.Dataset.degradations;
+  Hashtbl.iter
+    (fun k l ->
+      let arr = Array.of_list (List.rev l) in
+      let cut = Array.length arr * 8 / 10 in
+      if cut > 0 && cut < Array.length arr then begin
+        Hashtbl.replace last_train k arr.(cut - 1).Dataset.d_epoch;
+        Hashtbl.replace first_test k arr.(cut).Dataset.d_epoch
+      end)
+    per_fiber;
+  Hashtbl.iter
+    (fun k lt ->
+      match Hashtbl.find_opt first_test k with
+      | Some ft -> Alcotest.(check bool) "train before test" true (lt <= ft)
+      | None -> ())
+    last_train;
+  ignore c
+
+let test_oversample_balances () =
+  let c = Lazy.force corpus in
+  let balanced = Corpus.oversample c.Corpus.train in
+  let b = Corpus.class_balance balanced in
+  check_close 0.02 "balanced" 0.5 b;
+  Alcotest.(check bool) "larger or equal" true
+    (Array.length balanced >= Array.length c.Corpus.train)
+
+let test_oversample_degenerate () =
+  let c = Lazy.force corpus in
+  let pos = Array.of_list (List.filter (fun e -> e.Corpus.label) (Array.to_list c.Corpus.train)) in
+  let out = Corpus.oversample pos in
+  Alcotest.(check int) "single class unchanged" (Array.length pos) (Array.length out);
+  Alcotest.(check int) "empty ok" 0 (Array.length (Corpus.oversample [||]))
+
+(* ------------------------------------------------------------------ *)
+(* Encoder                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_encoder_dense_shape () =
+  let c = Lazy.force corpus in
+  let enc = Encoder.fit c.Corpus.train in
+  let e = Encoder.encode enc (sample_feature ()) in
+  Alcotest.(check int) "dense width" (Encoder.dense_width enc) (Array.length e.Encoder.dense);
+  Alcotest.(check int) "5 numerics + 24 hours + 4 vendors" (5 + 24 + 4)
+    (Encoder.dense_width enc)
+
+let test_encoder_scaling_bounds () =
+  let c = Lazy.force corpus in
+  let enc = Encoder.fit c.Corpus.train in
+  Array.iter
+    (fun (ex : Corpus.example) ->
+      let e = Encoder.encode enc ex.Corpus.features in
+      Array.iter
+        (fun v -> Alcotest.(check bool) "in [0,1]" true (v >= 0.0 && v <= 1.0))
+        e.Encoder.dense)
+    c.Corpus.test
+
+let test_encoder_onehot () =
+  let c = Lazy.force corpus in
+  let enc = Encoder.fit c.Corpus.train in
+  let f = { (sample_feature ()) with Hazard.time_of_day = 13.4; Hazard.vendor = 2 } in
+  let e = Encoder.encode enc f in
+  (* Exactly one hour bit and one vendor bit set. *)
+  let hours = Array.sub e.Encoder.dense Encoder.num_numeric 24 in
+  let vendors = Array.sub e.Encoder.dense (Encoder.num_numeric + 24) 4 in
+  check_close 1e-12 "one hour" 1.0 (Prete_util.Stats.sum hours);
+  check_close 1e-12 "hour 13" 1.0 hours.(13);
+  check_close 1e-12 "one vendor" 1.0 (Prete_util.Stats.sum vendors);
+  check_close 1e-12 "vendor 2" 1.0 vendors.(2)
+
+let test_encoder_empty_raises () =
+  Alcotest.check_raises "empty" (Invalid_argument "Encoder.fit: empty training set")
+    (fun () -> ignore (Encoder.fit [||]))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_confusion () =
+  let predicted = [| true; true; false; false; true |] in
+  let actual = [| true; false; false; true; true |] in
+  let c = Metrics.confusion ~predicted ~actual in
+  Alcotest.(check int) "tp" 2 c.Metrics.tp;
+  Alcotest.(check int) "fp" 1 c.Metrics.fp;
+  Alcotest.(check int) "tn" 1 c.Metrics.tn;
+  Alcotest.(check int) "fn" 1 c.Metrics.fn;
+  check_close 1e-9 "precision" (2.0 /. 3.0) (Metrics.precision c);
+  check_close 1e-9 "recall" (2.0 /. 3.0) (Metrics.recall c);
+  check_close 1e-9 "accuracy" 0.6 (Metrics.accuracy c);
+  check_close 1e-9 "f1" (2.0 /. 3.0) (Metrics.f1 c)
+
+let test_metrics_degenerate () =
+  let c = Metrics.confusion ~predicted:[| false; false |] ~actual:[| true; false |] in
+  check_close 1e-9 "precision 0 when no positives predicted" 0.0 (Metrics.precision c);
+  check_close 1e-9 "f1 0" 0.0 (Metrics.f1 c)
+
+let test_metrics_mae () =
+  check_close 1e-9 "mae" 0.25
+    (Metrics.mean_abs_error ~predicted:[| 0.5; 1.0 |] ~actual:[| 0.75; 0.75 |])
+
+(* ------------------------------------------------------------------ *)
+(* Decision tree                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_dtree_separable () =
+  (* A perfectly separable toy problem: degree > 6.5 always cuts. *)
+  let base = sample_feature () in
+  let mk degree label =
+    { Corpus.features = { base with Hazard.degree };
+      Corpus.label = label;
+      Corpus.true_hazard = (if label then 1.0 else 0.0) }
+  in
+  let examples =
+    Array.init 200 (fun i ->
+        let d = 3.0 +. (float_of_int i /. 199.0 *. 7.0) in
+        mk d (d > 6.5))
+  in
+  let t = Dtree.train examples in
+  Alcotest.(check bool) "classifies low" false
+    (Dtree.predict_label t { base with Hazard.degree = 4.0 });
+  Alcotest.(check bool) "classifies high" true
+    (Dtree.predict_label t { base with Hazard.degree = 9.0 })
+
+let test_dtree_depth_bounded () =
+  let c = Lazy.force corpus in
+  let t = Dtree.train ~config:{ Dtree.default_config with Dtree.max_depth = 4 } c.Corpus.train in
+  Alcotest.(check bool) "depth <= 4" true (Dtree.depth t <= 4);
+  Alcotest.(check bool) "has structure" true (Dtree.num_leaves t >= 2)
+
+let test_dtree_beats_baselines () =
+  let _, model, _ = Lazy.force dataset in
+  let c = Lazy.force corpus in
+  let t = Dtree.train c.Corpus.train in
+  let dt_c = Metrics.evaluate ~predict:(Dtree.predict_label t) c.Corpus.test in
+  let st = Baselines.statistic_train c.Corpus.train in
+  let st_c = Metrics.evaluate ~predict:(Baselines.statistic_label st) c.Corpus.test in
+  ignore model;
+  Alcotest.(check bool) "DT F1 > statistic F1 (Table 5 ordering)" true
+    (Metrics.f1 dt_c > Metrics.f1 st_c)
+
+let test_dtree_proba_range () =
+  let c = Lazy.force corpus in
+  let t = Dtree.train c.Corpus.train in
+  Array.iter
+    (fun (e : Corpus.example) ->
+      let p = Dtree.predict_proba t e.Corpus.features in
+      Alcotest.(check bool) "in [0,1]" true (p >= 0.0 && p <= 1.0))
+    c.Corpus.test
+
+(* ------------------------------------------------------------------ *)
+(* Baselines                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_naive_never_fires () =
+  (* Table 5: the static-probability approach has P ≈ R ≈ 0. *)
+  let _, model, _ = Lazy.force dataset in
+  let c = Lazy.force corpus in
+  let n = Baselines.naive_train model in
+  let conf = Metrics.evaluate ~predict:(Baselines.naive_label n) c.Corpus.test in
+  Alcotest.(check int) "no positives" 0 (conf.Metrics.tp + conf.Metrics.fp);
+  check_close 1e-9 "P=0" 0.0 (Metrics.precision conf);
+  check_close 1e-9 "R=0" 0.0 (Metrics.recall conf)
+
+let test_statistic_uses_fiber_rates () =
+  let c = Lazy.force corpus in
+  let s = Baselines.statistic_train c.Corpus.train in
+  (* Probabilities must vary across fibers (the fiber-identity signal). *)
+  let f = sample_feature () in
+  let ps =
+    List.init 20 (fun fid -> Baselines.statistic_proba s { f with Hazard.fiber = fid })
+  in
+  Alcotest.(check bool) "heterogeneous" true
+    (List.exists (fun p -> Float.abs (p -. List.hd ps) > 0.05) ps)
+
+let test_statistic_partial_recall () =
+  (* The statistic model catches some but not all cuts (Table 5). *)
+  let c = Lazy.force corpus in
+  let s = Baselines.statistic_train c.Corpus.train in
+  let conf = Metrics.evaluate ~predict:(Baselines.statistic_label s) c.Corpus.test in
+  let r = Metrics.recall conf in
+  Alcotest.(check bool) (Printf.sprintf "0 < recall %.2f < 0.6" r) true (r > 0.0 && r < 0.6)
+
+(* ------------------------------------------------------------------ *)
+(* MLP                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_mlp_learns_separable () =
+  let base = sample_feature () in
+  let mk degree label =
+    { Corpus.features = { base with Hazard.degree };
+      Corpus.label = label;
+      Corpus.true_hazard = (if label then 1.0 else 0.0) }
+  in
+  let examples =
+    Array.init 300 (fun i ->
+        let d = 3.0 +. (float_of_int i /. 299.0 *. 7.0) in
+        mk d (d > 6.5))
+  in
+  let t = Mlp.train ~config:{ Mlp.default_config with Mlp.epochs = 40 } examples in
+  Alcotest.(check bool) "low degree -> no cut" false
+    (Mlp.predict_label t { base with Hazard.degree = 3.5 });
+  Alcotest.(check bool) "high degree -> cut" true
+    (Mlp.predict_label t { base with Hazard.degree = 9.5 })
+
+let test_mlp_proba_valid () =
+  let t = Lazy.force trained_mlp in
+  let c = Lazy.force corpus in
+  Array.iter
+    (fun (e : Corpus.example) ->
+      let p = Mlp.predict_proba t e.Corpus.features in
+      Alcotest.(check bool) "in (0,1)" true (p > 0.0 && p < 1.0))
+    c.Corpus.test
+
+let test_mlp_table5_performance () =
+  (* Table 5 ordering and magnitude: NN reaches ~0.8 P/R, the best of all
+     models. *)
+  let _, model, _ = Lazy.force dataset in
+  let c = Lazy.force corpus in
+  let t = Lazy.force trained_mlp in
+  let nn_c = Metrics.evaluate ~predict:(Mlp.predict_label t) c.Corpus.test in
+  let p = Metrics.precision nn_c and r = Metrics.recall nn_c in
+  Alcotest.(check bool) (Printf.sprintf "precision %.2f >= 0.7" p) true (p >= 0.7);
+  Alcotest.(check bool) (Printf.sprintf "recall %.2f >= 0.7" r) true (r >= 0.7);
+  let dt = Dtree.train c.Corpus.train in
+  let dt_c = Metrics.evaluate ~predict:(Dtree.predict_label dt) c.Corpus.test in
+  Alcotest.(check bool) "NN F1 >= DT F1" true (Metrics.f1 nn_c >= Metrics.f1 dt_c);
+  let n = Baselines.naive_train model in
+  let nv_c = Metrics.evaluate ~predict:(Baselines.naive_label n) c.Corpus.test in
+  Alcotest.(check bool) "NN beats naive" true (Metrics.f1 nn_c > Metrics.f1 nv_c)
+
+let test_mlp_prediction_error_beats_naive () =
+  (* Fig. 14: the NN's probability error against the true hazard is far
+     below the static-probability baseline's. *)
+  let _, model, _ = Lazy.force dataset in
+  let c = Lazy.force corpus in
+  let t = Lazy.force trained_mlp in
+  let actual = Array.map (fun e -> e.Corpus.true_hazard) c.Corpus.test in
+  let nn_pred =
+    Array.map (fun (e : Corpus.example) -> Mlp.predict_proba t e.Corpus.features) c.Corpus.test
+  in
+  let n = Baselines.naive_train model in
+  let naive_pred =
+    Array.map (fun (e : Corpus.example) -> Baselines.naive_proba n e.Corpus.features) c.Corpus.test
+  in
+  let nn_mae = Metrics.mean_abs_error ~predicted:nn_pred ~actual in
+  let naive_mae = Metrics.mean_abs_error ~predicted:naive_pred ~actual in
+  Alcotest.(check bool)
+    (Printf.sprintf "NN MAE %.3f < naive MAE %.3f / 2" nn_mae naive_mae)
+    true
+    (nn_mae < naive_mae /. 2.0)
+
+let test_mlp_ablation_fiber_id_worst () =
+  (* Table 8: removing the fiber id hurts the most. *)
+  let c = Lazy.force corpus in
+  let cfg = { Mlp.default_config with Mlp.epochs = 15 } in
+  let f1_of ablate =
+    let t = Mlp.train ~config:cfg ?ablate c.Corpus.train in
+    Metrics.f1 (Metrics.evaluate ~predict:(Mlp.predict_label t) c.Corpus.test)
+  in
+  let full = f1_of None in
+  let wo_fiber = f1_of (Some Mlp.Fiber_id) in
+  let wo_vendor = f1_of (Some Mlp.Vendor) in
+  Alcotest.(check bool)
+    (Printf.sprintf "w/o fiber id %.2f < full %.2f" wo_fiber full)
+    true (wo_fiber < full);
+  Alcotest.(check bool)
+    (Printf.sprintf "w/o fiber id %.2f <= w/o vendor %.2f" wo_fiber wo_vendor)
+    true (wo_fiber <= wo_vendor)
+
+let test_mlp_batch_matches_single () =
+  let t = Lazy.force trained_mlp in
+  let c = Lazy.force corpus in
+  let fs = Array.map (fun (e : Corpus.example) -> e.Corpus.features) (Array.sub c.Corpus.test 0 20) in
+  let batch = Mlp.predict_batch t fs in
+  Array.iteri
+    (fun i f -> check_close 1e-12 "batch = single" (Mlp.predict_proba t f) batch.(i))
+    fs
+
+let test_mlp_deterministic () =
+  let c = Lazy.force corpus in
+  let cfg = { Mlp.default_config with Mlp.epochs = 3 } in
+  let t1 = Mlp.train ~config:cfg c.Corpus.train in
+  let t2 = Mlp.train ~config:cfg c.Corpus.train in
+  let f = sample_feature () in
+  check_close 1e-12 "same seed same model" (Mlp.predict_proba t1 f) (Mlp.predict_proba t2 f)
+
+let test_mlp_invalid_input () =
+  Alcotest.check_raises "empty" (Invalid_argument "Mlp.train: empty training set")
+    (fun () -> ignore (Mlp.train [||]));
+  let base = sample_feature () in
+  let ex = { Corpus.features = base; Corpus.label = true; Corpus.true_hazard = 1.0 } in
+  Alcotest.check_raises "single class"
+    (Invalid_argument "Mlp.train: single-class training set") (fun () ->
+      ignore (Mlp.train [| ex; ex |]))
+
+let test_mlp_nll_decreases () =
+  (* More training epochs must not make the fit (on train) worse. *)
+  let c = Lazy.force corpus in
+  let small = Array.sub c.Corpus.train 0 400 in
+  let t1 = Mlp.train ~config:{ Mlp.default_config with Mlp.epochs = 1 } small in
+  let t20 = Mlp.train ~config:{ Mlp.default_config with Mlp.epochs = 20 } small in
+  Alcotest.(check bool) "nll improves" true
+    (Mlp.average_nll t20 small < Mlp.average_nll t1 small)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "prete_ml"
+    [
+      ( "corpus",
+        [
+          Alcotest.test_case "split sizes" `Slow test_corpus_split_sizes;
+          Alcotest.test_case "chronological per fiber" `Slow test_corpus_split_chronological_per_fiber;
+          Alcotest.test_case "oversample balances" `Slow test_oversample_balances;
+          Alcotest.test_case "oversample degenerate" `Slow test_oversample_degenerate;
+        ] );
+      ( "encoder",
+        [
+          Alcotest.test_case "dense shape" `Slow test_encoder_dense_shape;
+          Alcotest.test_case "scaling bounds" `Slow test_encoder_scaling_bounds;
+          Alcotest.test_case "one-hot" `Slow test_encoder_onehot;
+          Alcotest.test_case "empty raises" `Quick test_encoder_empty_raises;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "confusion" `Quick test_metrics_confusion;
+          Alcotest.test_case "degenerate" `Quick test_metrics_degenerate;
+          Alcotest.test_case "mae" `Quick test_metrics_mae;
+        ] );
+      ( "dtree",
+        [
+          Alcotest.test_case "separable" `Quick test_dtree_separable;
+          Alcotest.test_case "depth bounded" `Slow test_dtree_depth_bounded;
+          Alcotest.test_case "beats baselines" `Slow test_dtree_beats_baselines;
+          Alcotest.test_case "proba range" `Slow test_dtree_proba_range;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "naive never fires (Table 5)" `Slow test_naive_never_fires;
+          Alcotest.test_case "statistic fiber rates" `Slow test_statistic_uses_fiber_rates;
+          Alcotest.test_case "statistic partial recall" `Slow test_statistic_partial_recall;
+        ] );
+      ( "mlp",
+        [
+          Alcotest.test_case "learns separable" `Slow test_mlp_learns_separable;
+          Alcotest.test_case "proba valid" `Slow test_mlp_proba_valid;
+          Alcotest.test_case "Table 5 performance" `Slow test_mlp_table5_performance;
+          Alcotest.test_case "Fig 14 error vs naive" `Slow test_mlp_prediction_error_beats_naive;
+          Alcotest.test_case "Table 8 fiber-id ablation" `Slow test_mlp_ablation_fiber_id_worst;
+          Alcotest.test_case "batch = single" `Slow test_mlp_batch_matches_single;
+          Alcotest.test_case "deterministic" `Slow test_mlp_deterministic;
+          Alcotest.test_case "invalid input" `Quick test_mlp_invalid_input;
+          Alcotest.test_case "nll decreases" `Slow test_mlp_nll_decreases;
+        ] );
+    ]

@@ -1,0 +1,460 @@
+(* Tests for prete_optics: ground-truth hazard, per-fiber probability
+   model, event-log generation (measurement-section statistics) and
+   telemetry synthesis/granularity analysis. *)
+
+open Prete_optics
+open Prete_util
+
+let check_close eps = Alcotest.(check (float eps))
+
+let small_dataset =
+  lazy (Dataset.generate ~seed:11 ~horizon_days:120 (Prete_net.Topology.twan ()))
+
+(* ------------------------------------------------------------------ *)
+(* Hazard                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_time_factor_anchors () =
+  (* Paper Fig. 6: ~60% at midnight, ~20% at 6am. *)
+  check_close 1e-9 "midnight" 0.60 (Hazard.time_factor 0.0);
+  check_close 1e-9 "6am" 0.20 (Hazard.time_factor 6.0);
+  check_close 1e-9 "wraps" (Hazard.time_factor 0.0) (Hazard.time_factor 24.0);
+  check_close 1e-9 "interpolates" 0.40 (Hazard.time_factor 3.0)
+
+let test_factor_monotonicity () =
+  Alcotest.(check bool) "degree increasing" true
+    (Hazard.degree_factor 9.0 > Hazard.degree_factor 4.0);
+  Alcotest.(check bool) "gradient increasing" true
+    (Hazard.gradient_factor 0.4 > Hazard.gradient_factor 0.01);
+  Alcotest.(check bool) "fluctuation increasing" true
+    (Hazard.fluctuation_factor 20 > Hazard.fluctuation_factor 1)
+
+let test_fiber_factor_range () =
+  for f = 0 to 49 do
+    let v = Hazard.fiber_factor ~num_fibers:50 f in
+    Alcotest.(check bool) "in [0.55, 1.45]" true (v >= 0.55 && v <= 1.45)
+  done
+
+let test_hazard_bounds () =
+  let topo = Prete_net.Topology.twan () in
+  let rng = Rng.create 1 in
+  for _ = 1 to 500 do
+    let f = Hazard.sample_features rng ~topo ~fiber:(Rng.int rng 50) ~epoch:(Rng.int rng 96) in
+    let h = Hazard.eval ~num_fibers:50 f in
+    Alcotest.(check bool) "clamped" true (h >= 0.02 && h <= 0.98)
+  done
+
+let test_hazard_mean_calibrated () =
+  (* The generative hazard must average ~0.4 over the sampled feature
+     distribution: "40% of fiber degradations lead to fiber cuts". *)
+  let ds = Lazy.force small_dataset in
+  let h = Dataset.hazard_fraction ds in
+  Alcotest.(check bool) (Printf.sprintf "hazard %.3f in [0.34, 0.46]" h) true
+    (h >= 0.34 && h <= 0.46)
+
+let test_feature_sampling_ranges () =
+  let topo = Prete_net.Topology.twan () in
+  let rng = Rng.create 2 in
+  for _ = 1 to 300 do
+    let f = Hazard.sample_features rng ~topo ~fiber:3 ~epoch:77 in
+    Alcotest.(check bool) "degree 3-10 dB" true
+      (f.Hazard.degree >= 3.0 && f.Hazard.degree <= 10.0);
+    Alcotest.(check bool) "time of day" true
+      (f.Hazard.time_of_day >= 0.0 && f.Hazard.time_of_day < 24.0);
+    Alcotest.(check bool) "gradient positive" true (f.Hazard.gradient > 0.0);
+    Alcotest.(check bool) "duration positive" true (f.Hazard.duration_s > 0.0)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Fiber model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_fiber_model_defaults () =
+  let topo = Prete_net.Topology.b4 () in
+  let m = Fiber_model.generate topo in
+  Alcotest.(check int) "per fiber" (Prete_net.Topology.num_fibers topo)
+    (Array.length m.Fiber_model.p_cut);
+  check_close 1e-9 "alpha" 0.25 m.Fiber_model.alpha;
+  check_close 1e-9 "slope 1.6" 1.6 (Fiber_model.slope m);
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check bool) "probabilities sane" true (p > 0.0 && p < 1.0);
+      (* Linear relation p_cut = slope * p_degrade at alpha = 25%. *)
+      check_close 1e-9 "linear relation" p
+        (1.6 *. m.Fiber_model.p_degrade.(i)))
+    m.Fiber_model.p_cut
+
+let test_fiber_model_alpha_sweep () =
+  let topo = Prete_net.Topology.b4 () in
+  let base = Fiber_model.generate ~alpha:0.25 topo in
+  let high = Fiber_model.generate ~alpha:1.0 topo in
+  let zero = Fiber_model.generate ~alpha:0.0 topo in
+  (* Total cut probability is invariant across alpha. *)
+  Array.iteri
+    (fun i p -> check_close 1e-12 "p_cut invariant" p high.Fiber_model.p_cut.(i))
+    base.Fiber_model.p_cut;
+  (* alpha = 0: no degradations ever precede cuts. *)
+  Array.iter (fun p -> check_close 1e-12 "no degradations" 0.0 p) zero.Fiber_model.p_degrade;
+  Array.iteri
+    (fun i p -> check_close 1e-12 "all cuts unpredictable" base.Fiber_model.p_cut.(i) p)
+    zero.Fiber_model.p_unpredictable;
+  (* alpha = 1: no unpredictable channel. *)
+  Array.iter (fun p -> check_close 1e-12 "all predictable" 0.0 p) high.Fiber_model.p_unpredictable
+
+let test_fiber_model_deterministic () =
+  let topo = Prete_net.Topology.ibm () in
+  let a = Fiber_model.generate ~seed:9 topo and b = Fiber_model.generate ~seed:9 topo in
+  Alcotest.(check bool) "same seed same model" true (a = b);
+  let c = Fiber_model.generate ~seed:10 topo in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_fiber_model_validation () =
+  let topo = Prete_net.Topology.b4 () in
+  Alcotest.check_raises "alpha range"
+    (Invalid_argument "Fiber_model.generate: alpha in [0,1]") (fun () ->
+      ignore (Fiber_model.generate ~alpha:1.5 topo))
+
+(* ------------------------------------------------------------------ *)
+(* Dataset                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_dataset_alpha_25 () =
+  let ds = Lazy.force small_dataset in
+  let f = Dataset.predictable_fraction ds in
+  Alcotest.(check bool) (Printf.sprintf "predictable %.3f near 25%%" f) true
+    (f >= 0.20 && f <= 0.30)
+
+let test_dataset_chronological () =
+  let ds = Lazy.force small_dataset in
+  let ok = ref true in
+  Array.iteri
+    (fun i (d : Dataset.degradation) ->
+      if i > 0 && d.Dataset.d_epoch < ds.Dataset.degradations.(i - 1).Dataset.d_epoch then
+        ok := false)
+    ds.Dataset.degradations;
+  Alcotest.(check bool) "sorted by epoch" true !ok
+
+let test_dataset_predictable_cuts_match () =
+  let ds = Lazy.force small_dataset in
+  let by_degr =
+    Array.fold_left (fun a (d : Dataset.degradation) -> if d.Dataset.led_to_cut then a + 1 else a)
+      0 ds.Dataset.degradations
+  in
+  Alcotest.(check int) "each cutting degradation yields a predictable cut"
+    by_degr (Dataset.num_predictable ds)
+
+let test_dataset_duration_median () =
+  (* Fig. 4a: 50% of degradations last under 10 s. *)
+  let ds = Lazy.force small_dataset in
+  let m = Stats.median (Dataset.durations ds) in
+  Alcotest.(check bool) (Printf.sprintf "median %.1f s near 10" m) true
+    (m >= 6.0 && m <= 15.0)
+
+let test_dataset_gap_structure () =
+  (* Fig. 5a shape: a fast mass within the TE window and a long tail of
+     unrelated cuts days later. *)
+  let ds = Lazy.force small_dataset in
+  let gaps = Dataset.gaps_to_next_cut ds in
+  Alcotest.(check bool) "some gaps" true (Array.length gaps > 100);
+  let within_1e3 = Stats.cdf_at gaps 1000.0 in
+  let beyond_day = 1.0 -. Stats.cdf_at gaps 86400.0 in
+  Alcotest.(check bool) "fast mass" true (within_1e3 >= 0.3);
+  Alcotest.(check bool) "long tail" true (beyond_day >= 0.1);
+  (* Predictable gaps sit inside the 5-minute window. *)
+  Array.iter
+    (fun (d : Dataset.degradation) ->
+      if d.Dataset.led_to_cut then
+        Alcotest.(check bool) "gap < 300 s" true (d.Dataset.gap_to_cut_s < 300.0))
+    ds.Dataset.degradations
+
+let test_dataset_contingency_rejects () =
+  (* Tables 6: degradations and cuts dependent with overwhelming
+     significance. *)
+  let ds = Lazy.force small_dataset in
+  let tbl = Dataset.epoch_contingency ds in
+  let r = Hypothesis.chi2_contingency tbl in
+  Alcotest.(check bool) "rejected" true (Hypothesis.reject r);
+  Alcotest.(check bool) "p far below 1e-50" true (r.Hypothesis.log10_p < -50.0)
+
+let test_dataset_contingency_totals () =
+  let ds = Lazy.force small_dataset in
+  let tbl = Dataset.epoch_contingency ds in
+  let total = tbl.(0).(0) +. tbl.(0).(1) +. tbl.(1).(0) +. tbl.(1).(1) in
+  let expected =
+    float_of_int (Prete_net.Topology.num_fibers ds.Dataset.topo * ds.Dataset.horizon_epochs)
+  in
+  check_close 0.5 "fiber-epochs conserved" expected total
+
+let test_dataset_features_significant () =
+  (* Table 1: every critical feature rejects independence at 0.01. *)
+  let ds = Lazy.force small_dataset in
+  List.iter
+    (fun which ->
+      let values, outcomes = Dataset.feature_outcome ds which in
+      let r = Hypothesis.chi2_binned ~bins:10 ~values ~outcomes in
+      Alcotest.(check bool) "significant" true (Hypothesis.reject r))
+    [ `Time; `Degree; `Gradient; `Fluctuation ]
+
+let test_dataset_fig12_linear () =
+  (* Fig. 12a: cuts grow linearly with degradations across fibers. *)
+  let ds = Lazy.force small_dataset in
+  let counts = Dataset.per_fiber_counts ds in
+  let xs = Array.map (fun (d, _) -> float_of_int d) counts in
+  let ys = Array.map (fun (_, c) -> float_of_int c) counts in
+  let corr = Stats.pearson xs ys in
+  Alcotest.(check bool) (Printf.sprintf "correlation %.3f" corr) true (corr > 0.9);
+  let slope, _ = Stats.linear_fit xs ys in
+  Alcotest.(check bool) (Printf.sprintf "slope %.2f near 1.6" slope) true
+    (slope >= 1.2 && slope <= 2.0)
+
+let test_dataset_deterministic () =
+  let topo = Prete_net.Topology.b4 () in
+  let a = Dataset.generate ~seed:3 ~horizon_days:10 topo in
+  let b = Dataset.generate ~seed:3 ~horizon_days:10 topo in
+  Alcotest.(check int) "same degradations" (Array.length a.Dataset.degradations)
+    (Array.length b.Dataset.degradations);
+  Alcotest.(check bool) "same cuts" true (a.Dataset.cuts = b.Dataset.cuts)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sample_features () =
+  let topo = Prete_net.Topology.twan () in
+  let rng = Rng.create 21 in
+  Hazard.sample_features rng ~topo ~fiber:0 ~epoch:0
+
+let test_classify () =
+  Alcotest.(check bool) "healthy" true (Telemetry.classify ~baseline:20.0 21.0 = Telemetry.Healthy);
+  Alcotest.(check bool) "degraded" true (Telemetry.classify ~baseline:20.0 25.0 = Telemetry.Degraded);
+  Alcotest.(check bool) "cut" true (Telemetry.classify ~baseline:20.0 31.0 = Telemetry.Cut)
+
+let test_synthesize_structure () =
+  (* The §5 testbed scenario: healthy 0-65 s, degraded 65-110 s,
+     cut 110-400 s. *)
+  let f = { (sample_features ()) with Hazard.degree = 6.0; Hazard.duration_s = 45.0;
+            Hazard.gradient = 0.05; Hazard.fluctuation = 3 } in
+  let tr =
+    Telemetry.synthesize ~baseline:20.0 ~healthy_s:65 ~degradation:f ~cut_at_s:110
+      ~total_s:400 ()
+  in
+  let st = Telemetry.states tr in
+  Alcotest.(check int) "length" 400 (Array.length st);
+  Alcotest.(check bool) "starts healthy" true (st.(10) = Telemetry.Healthy);
+  Alcotest.(check bool) "degraded mid" true (st.(80) = Telemetry.Degraded);
+  Alcotest.(check bool) "cut after 110" true (st.(200) = Telemetry.Cut);
+  Alcotest.(check bool) "cut at end" true (st.(399) = Telemetry.Cut)
+
+let test_fine_sampling_sees_degradation () =
+  let f = { (sample_features ()) with Hazard.degree = 6.0; Hazard.duration_s = 45.0 } in
+  let tr =
+    Telemetry.synthesize ~baseline:20.0 ~healthy_s:65 ~degradation:f ~cut_at_s:110
+      ~total_s:400 ()
+  in
+  Alcotest.(check bool) "1 s sampling sees it" true
+    (Telemetry.degradation_visible ~granularity_s:1 tr)
+
+let test_coarse_sampling_misses_short_degradation () =
+  (* Fig. 4b: 3-minute polling misses a short-lived degradation. *)
+  let f = { (sample_features ()) with Hazard.degree = 6.0; Hazard.duration_s = 8.0 } in
+  let tr =
+    Telemetry.synthesize ~baseline:20.0 ~healthy_s:100 ~degradation:f ~cut_at_s:108
+      ~total_s:400 ()
+  in
+  Alcotest.(check bool) "180 s sampling misses it" false
+    (Telemetry.degradation_visible ~granularity_s:180 tr)
+
+let test_observed_states_count () =
+  let tr = Telemetry.synthesize ~baseline:20.0 ~healthy_s:400 ~total_s:400 () in
+  Alcotest.(check int) "polls" 4 (Array.length (Telemetry.observed_states ~granularity_s:100 tr))
+
+let test_coverage_decreases_with_granularity () =
+  (* Fig. 20a: coverage falls from ~25% at 1 s to ~2% at 5 min. *)
+  let ds = Lazy.force small_dataset in
+  let cov1, occ1 = Telemetry.coverage_occurrence ~granularity_s:1 ds in
+  let cov60, _ = Telemetry.coverage_occurrence ~granularity_s:60 ds in
+  let cov300, occ300 = Telemetry.coverage_occurrence ~granularity_s:300 ds in
+  Alcotest.(check bool) (Printf.sprintf "cov(1s)=%.3f near 0.25" cov1) true
+    (cov1 >= 0.18 && cov1 <= 0.30);
+  Alcotest.(check bool) "monotone" true (cov1 >= cov60 && cov60 >= cov300);
+  Alcotest.(check bool) (Printf.sprintf "cov(300s)=%.3f near 0.02" cov300) true
+    (cov300 <= 0.05);
+  Alcotest.(check bool) "occurrence below 10% at 5 min" true (occ300 < 0.10);
+  Alcotest.(check bool) "occurrence meaningful at 1 s" true (occ1 > 0.2)
+
+let test_baseline_loss_varies () =
+  let topo = Prete_net.Topology.b4 () in
+  let b0 = Telemetry.baseline_loss topo 0 in
+  Alcotest.(check bool) "sane range" true (b0 > 10.0 && b0 < 30.0)
+
+let prop_trace_states_ordered =
+  QCheck.Test.make ~name:"healthy before cut in synthesized traces" ~count:30
+    QCheck.(int_range 10 120)
+    (fun dur ->
+      let f = { (sample_features ()) with Hazard.duration_s = float_of_int dur } in
+      let tr =
+        Telemetry.synthesize ~baseline:18.0 ~healthy_s:50
+          ~degradation:f ~cut_at_s:(50 + dur) ~total_s:(50 + dur + 60) ()
+      in
+      let st = Telemetry.states tr in
+      (* After the cut instant everything reads Cut. *)
+      let ok = ref true in
+      for i = 50 + dur to Array.length st - 1 do
+        if st.(i) <> Telemetry.Cut then ok := false
+      done;
+      !ok)
+
+(* Alpha sweep at the dataset level: alpha = 0 produces no predictable
+   cuts; alpha = 1 produces only predictable ones. *)
+let test_dataset_alpha_extremes () =
+  let topo = Prete_net.Topology.b4 () in
+  let zero =
+    Dataset.generate ~seed:5 ~horizon_days:60 ~model:(Fiber_model.generate ~alpha:0.0 topo)
+      topo
+  in
+  Alcotest.(check int) "alpha=0: no degradations at all" 0
+    (Array.length zero.Dataset.degradations);
+  Alcotest.(check bool) "alpha=0: cuts still happen" true
+    (Array.length zero.Dataset.cuts > 0);
+  let one =
+    Dataset.generate ~seed:5 ~horizon_days:60 ~model:(Fiber_model.generate ~alpha:1.0 topo)
+      topo
+  in
+  Array.iter
+    (fun (c : Dataset.cut) ->
+      Alcotest.(check bool) "alpha=1: every cut predictable" true c.Dataset.c_predictable)
+    one.Dataset.cuts
+
+let test_dataset_horizon_scales_events () =
+  let topo = Prete_net.Topology.b4 () in
+  let short = Dataset.generate ~seed:6 ~horizon_days:50 topo in
+  let long = Dataset.generate ~seed:6 ~horizon_days:200 topo in
+  let r =
+    float_of_int (Array.length long.Dataset.degradations)
+    /. float_of_int (max 1 (Array.length short.Dataset.degradations))
+  in
+  Alcotest.(check bool) (Printf.sprintf "events scale with horizon (%.1fx)" r) true
+    (r > 2.5 && r < 6.0)
+
+let prop_coverage_monotone_in_granularity =
+  QCheck.Test.make ~name:"coverage non-increasing in polling period" ~count:10
+    QCheck.(pair (int_range 1 50) (int_range 1 50))
+    (fun (g1, g2) ->
+      let ds = Lazy.force small_dataset in
+      let g1, g2 = (min g1 g2, max g1 g2) in
+      let c1, _ = Telemetry.coverage_occurrence ~granularity_s:g1 ds in
+      let c2, _ = Telemetry.coverage_occurrence ~granularity_s:g2 ds in
+      (* Monte-Carlo phases differ, allow small noise. *)
+      c1 +. 0.02 >= c2)
+
+(* ------------------------------------------------------------------ *)
+(* Snr                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_snr_chain_monotone () =
+  (* More loss -> lower OSNR -> lower Q -> higher BER. *)
+  let q_of loss =
+    Snr.q_of_db (Snr.q_squared_db ~osnr_db:(Snr.osnr_db ~tx_power_dbm:0.0 ~loss_db:loss ()) ())
+  in
+  Alcotest.(check bool) "q decreasing in loss" true (q_of 20.0 > q_of 25.0);
+  (* Compare BERs inside the sensitive Q range (erfc saturates for large
+     Q in double precision). *)
+  Alcotest.(check bool) "ber increasing" true
+    (Snr.ber ~q:(q_of 45.0) > Snr.ber ~q:(q_of 42.0))
+
+let test_snr_ber_extremes () =
+  check_close 1e-9 "huge q -> ~0" 0.0 (Snr.ber ~q:8.0);
+  check_close 1e-6 "q 0 -> coin flip" 0.5 (Snr.ber ~q:0.0)
+
+let test_snr_margin_thresholds () =
+  (* With tx power set for a 10 dB margin, the paper's degradation window
+     (3-10 dB) still decodes and a >=10 dB event does not. *)
+  let baseline = 18.0 in
+  let tx = Snr.tx_power_for ~baseline_loss_db:baseline () in
+  check_close 0.01 "margin is 10 dB" 10.0 (Snr.loss_margin_db ~tx_power_dbm:tx ~baseline_loss_db:baseline);
+  let decodable_at extra =
+    let loss = baseline +. extra in
+    let o = Snr.osnr_db ~tx_power_dbm:tx ~loss_db:loss () in
+    let q = Snr.q_of_db (Snr.q_squared_db ~osnr_db:o ()) in
+    Snr.decodable ~ber:(Snr.ber ~q) ()
+  in
+  Alcotest.(check bool) "healthy decodes" true (decodable_at 0.0);
+  Alcotest.(check bool) "+3 dB decodes" true (decodable_at 3.0);
+  Alcotest.(check bool) "+9.9 dB decodes" true (decodable_at 9.9);
+  Alcotest.(check bool) "+10.5 dB does not" false (decodable_at 10.5);
+  Alcotest.(check bool) "+18 dB (cut) does not" false (decodable_at 18.0)
+
+let test_snr_trace_decodability () =
+  (* The Fig. 4b trace: decodable through the degradation, not after the
+     cut — the §3.1 statement. *)
+  let baseline = 18.0 in
+  let tx = Snr.tx_power_for ~baseline_loss_db:baseline () in
+  let f = { (sample_features ()) with Hazard.degree = 6.0; Hazard.duration_s = 30.0;
+            Hazard.gradient = 0.02; Hazard.fluctuation = 0 } in
+  let tr =
+    Telemetry.synthesize ~baseline ~healthy_s:50 ~degradation:f ~cut_at_s:80
+      ~total_s:120 ()
+  in
+  let dec = Snr.trace_decodable ~tx_power_dbm:tx tr in
+  Alcotest.(check bool) "healthy decodes" true dec.(10);
+  Alcotest.(check bool) "degraded still decodes" true dec.(60);
+  Alcotest.(check bool) "cut does not" false dec.(100)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "prete_optics"
+    [
+      ( "hazard",
+        [
+          Alcotest.test_case "time anchors (Fig 6)" `Quick test_time_factor_anchors;
+          Alcotest.test_case "factor monotonicity" `Quick test_factor_monotonicity;
+          Alcotest.test_case "fiber factor range" `Quick test_fiber_factor_range;
+          Alcotest.test_case "hazard bounds" `Quick test_hazard_bounds;
+          Alcotest.test_case "mean hazard ~40%" `Slow test_hazard_mean_calibrated;
+          Alcotest.test_case "feature sampling ranges" `Quick test_feature_sampling_ranges;
+        ] );
+      ( "fiber_model",
+        [
+          Alcotest.test_case "defaults and linearity" `Quick test_fiber_model_defaults;
+          Alcotest.test_case "alpha sweep invariants" `Quick test_fiber_model_alpha_sweep;
+          Alcotest.test_case "deterministic" `Quick test_fiber_model_deterministic;
+          Alcotest.test_case "validation" `Quick test_fiber_model_validation;
+        ] );
+      ( "dataset",
+        [
+          Alcotest.test_case "alpha ~25% (Fig 5b)" `Slow test_dataset_alpha_25;
+          Alcotest.test_case "chronological" `Slow test_dataset_chronological;
+          Alcotest.test_case "predictable cuts match" `Slow test_dataset_predictable_cuts_match;
+          Alcotest.test_case "duration median (Fig 4a)" `Slow test_dataset_duration_median;
+          Alcotest.test_case "gap structure (Fig 5a)" `Slow test_dataset_gap_structure;
+          Alcotest.test_case "contingency rejects (Table 6)" `Slow test_dataset_contingency_rejects;
+          Alcotest.test_case "contingency totals" `Slow test_dataset_contingency_totals;
+          Alcotest.test_case "features significant (Table 1)" `Slow test_dataset_features_significant;
+          Alcotest.test_case "linear relation (Fig 12a)" `Slow test_dataset_fig12_linear;
+          Alcotest.test_case "deterministic" `Quick test_dataset_deterministic;
+          Alcotest.test_case "alpha extremes" `Slow test_dataset_alpha_extremes;
+          Alcotest.test_case "horizon scaling" `Slow test_dataset_horizon_scales_events;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "classify" `Quick test_classify;
+          Alcotest.test_case "testbed trace structure (Fig 10)" `Quick test_synthesize_structure;
+          Alcotest.test_case "fine sampling sees degradation" `Quick test_fine_sampling_sees_degradation;
+          Alcotest.test_case "coarse sampling misses (Fig 4b)" `Quick test_coarse_sampling_misses_short_degradation;
+          Alcotest.test_case "observed states count" `Quick test_observed_states_count;
+          Alcotest.test_case "coverage vs granularity (Fig 20a)" `Slow test_coverage_decreases_with_granularity;
+          Alcotest.test_case "baseline loss" `Quick test_baseline_loss_varies;
+        ] );
+      ( "telemetry.props",
+        qsuite [ prop_trace_states_ordered; prop_coverage_monotone_in_granularity ] );
+      ( "snr",
+        [
+          Alcotest.test_case "chain monotone" `Quick test_snr_chain_monotone;
+          Alcotest.test_case "BER extremes" `Quick test_snr_ber_extremes;
+          Alcotest.test_case "degradation window decodes (3.1)" `Quick test_snr_margin_thresholds;
+          Alcotest.test_case "trace decodability" `Quick test_snr_trace_decodability;
+        ] );
+    ]

@@ -351,7 +351,7 @@ let fig11 () =
       { Calibrate.degraded = [ (3, env.Availability.degr_events.(3)) ]; Calibrate.will_cut = [] }
   in
   let merged = Tunnel_update.merged update in
-  let report =
+  let (), report =
     Controller.run
       ~infer:(fun () -> ignore (Prete_ml.Mlp.predict_batch nn events))
       ~regen:(fun () -> ignore (Scenario.enumerate ~probs ()))
@@ -793,6 +793,43 @@ let ablate_mip () =
     h.Te.phi th h.Te.stats.Te.lp_solves b.Te.phi tb b.Te.stats.Te.lp_solves
     b.Te.stats.Te.mip_nodes
 
+let fallback () =
+  section "Fallback-path latency (Resilience ladder rungs, B4)";
+  let env, _, _, nn = bundle "B4" in
+  let ts = env.Availability.ts in
+  let demands = Traffic.demand env.Availability.traffic ~scale:2.0 ~epoch:12 in
+  let scheme = Schemes.prete_default ~predictor:(nn_predictor nn) () in
+  let primary ?deadline () =
+    Availability.Internal.plan_alloc ?deadline env scheme ~demands ~degraded:None
+  in
+  let time ?(reps = 1) label f =
+    let _, d = Controller.wall (fun () -> for _ = 1 to reps do f () done) in
+    Printf.printf "  %-32s %10.3f ms\n%!" label (1000.0 *. d /. float_of_int reps)
+  in
+  let ladder = Resilience.create () in
+  (* Rung 1: full primary solve (also warms the last-good cache). *)
+  time "primary solve" (fun () ->
+      ignore (Resilience.plan_epoch ladder ~ts ~demands ~primary:(primary ?deadline:None) ()));
+  (* Anytime degraded incumbent under a 50 ms budget. *)
+  time "primary, 50 ms budget" (fun () ->
+      ignore
+        (Resilience.plan_epoch ladder ~ts ~demands
+           ~primary:(fun () -> primary ~deadline:(Prete_util.Clock.deadline_after 0.05) ())
+           ()));
+  (* Rung 2: primary times out instantly, last-good plan is revalidated. *)
+  time ~reps:100 "cached fallback" (fun () ->
+      ignore
+        (Resilience.plan_epoch ladder ~ts ~demands
+           ~primary:(fun () -> raise Prete_lp.Simplex.Timeout)
+           ()));
+  (* Rung 3: cold ladder, straight to the equal split. *)
+  time ~reps:100 "equal-split fallback (cold)" (fun () ->
+      let cold = Resilience.create () in
+      ignore
+        (Resilience.plan_epoch cold ~ts ~demands
+           ~primary:(fun () -> raise Prete_lp.Simplex.Timeout)
+           ()))
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
@@ -894,6 +931,7 @@ let experiments =
     ("mc_check", "Monte-Carlo vs analytic cross-check", mc_check);
     ("ablate_cutoff", "scenario cutoff ablation", ablate_cutoff);
     ("ablate_mip", "MIP strategy ablation", ablate_mip);
+    ("fallback", "fallback-path latency per ladder rung", fallback);
   ]
 
 let () =

@@ -29,6 +29,20 @@ let seed_arg =
   let doc = "Random seed." in
   Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let scheme_of_string ~predictor name =
+  match String.lowercase_ascii name with
+  | "ecmp" -> Schemes.Ecmp
+  | "smore" -> Schemes.Smore
+  | "ffc1" -> Schemes.Ffc 1
+  | "ffc2" -> Schemes.Ffc 2
+  | "teavar" -> Schemes.Teavar
+  | "arrow" -> Schemes.Arrow
+  | "flexile" -> Schemes.Flexile
+  | "prete" -> Schemes.prete_default ~predictor ()
+  | "prete-naive" -> Schemes.prete_naive ~predictor ()
+  | "oracle" -> Schemes.Oracle
+  | other -> failwith ("unknown scheme " ^ other)
+
 (* ------------------------------------------------------------------ *)
 
 let topology_cmd =
@@ -145,11 +159,9 @@ let solve_cmd =
       | None -> ts
     in
     let p = Te.make_problem ~ts ~demands ~probs ~beta () in
-    let t0 = Unix.gettimeofday () in
-    let sol = Te.solve p in
+    let sol, elapsed = Controller.wall (fun () -> Te.solve p) in
     Printf.printf "phi = %.4f, expected served = %.4f (%.2f s, %d LPs, %d pivots)\n"
-      sol.Te.phi sol.Te.expected_served
-      (Unix.gettimeofday () -. t0)
+      sol.Te.phi sol.Te.expected_served elapsed
       sol.Te.stats.Te.lp_solves sol.Te.stats.Te.lp_pivots
   in
   let degraded =
@@ -166,20 +178,7 @@ let availability_cmd =
     let topo = Topology.by_name name in
     let env = Availability.make_env topo in
     let predictor = Prete_optics.Hazard.eval ~num_fibers:(Topology.num_fibers topo) in
-    let scheme =
-      match String.lowercase_ascii scheme_name with
-      | "ecmp" -> Schemes.Ecmp
-      | "smore" -> Schemes.Smore
-      | "ffc1" -> Schemes.Ffc 1
-      | "ffc2" -> Schemes.Ffc 2
-      | "teavar" -> Schemes.Teavar
-      | "arrow" -> Schemes.Arrow
-      | "flexile" -> Schemes.Flexile
-      | "prete" -> Schemes.prete_default ~predictor ()
-      | "prete-naive" -> Schemes.prete_naive ~predictor ()
-      | "oracle" -> Schemes.Oracle
-      | other -> failwith ("unknown scheme " ^ other)
-    in
+    let scheme = scheme_of_string ~predictor scheme_name in
     let a = Availability.availability env scheme ~scale in
     Printf.printf "%s on %s at %.1fx demand: availability %.4f%% (%.2f nines)\n"
       (Schemes.name scheme) name scale (100.0 *. a) (Availability.nines a)
@@ -208,14 +207,13 @@ let pipeline_cmd =
         { Calibrate.degraded = [ (fiber, env.Availability.degr_events.(fiber)) ];
           Calibrate.will_cut = [] }
     in
-    let report =
+    let _sol, report =
       Controller.run
         ~infer:(fun () -> ignore (predictor env.Availability.degr_events.(fiber)))
         ~regen:(fun () -> ignore (Scenario.enumerate ~probs ()))
         ~te:(fun () ->
-          ignore
-            (Te.solve ~relaxation_start:false
-               (Te.make_problem ~ts:merged ~demands ~probs ~beta:env.Availability.beta ())))
+          Te.solve ~relaxation_start:false
+            (Te.make_problem ~ts:merged ~demands ~probs ~beta:env.Availability.beta ()))
         ~n_new_tunnels:(Tunnel_update.num_new update)
         ()
     in
@@ -238,18 +236,7 @@ let simulate_cmd =
     let topo = Topology.by_name name in
     let env = Availability.make_env topo in
     let predictor = Prete_optics.Hazard.eval ~num_fibers:(Topology.num_fibers topo) in
-    let scheme =
-      match String.lowercase_ascii scheme_name with
-      | "ecmp" -> Schemes.Ecmp
-      | "smore" -> Schemes.Smore
-      | "ffc1" -> Schemes.Ffc 1
-      | "teavar" -> Schemes.Teavar
-      | "arrow" -> Schemes.Arrow
-      | "flexile" -> Schemes.Flexile
-      | "prete" -> Schemes.prete_default ~predictor ()
-      | "oracle" -> Schemes.Oracle
-      | other -> failwith ("unknown scheme " ^ other)
-    in
+    let scheme = scheme_of_string ~predictor scheme_name in
     let analytic = Availability.availability env scheme ~scale in
     let r = Simulate.run ~epochs env scheme ~scale in
     Printf.printf
@@ -270,10 +257,65 @@ let simulate_cmd =
   let doc = "Monte-Carlo epoch simulation (cross-check of the analytic evaluator)." in
   Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ topo_arg $ scale_arg $ scheme $ epochs)
 
+let chaos_cmd =
+  let run name scale scheme_name seed epochs =
+    let topo = Topology.by_name name in
+    let env = Availability.make_env topo in
+    let predictor = Prete_optics.Hazard.eval ~num_fibers:(Topology.num_fibers topo) in
+    let scheme = scheme_of_string ~predictor scheme_name in
+    let baseline, entries = Simulate.chaos_sweep ~seed ~epochs env scheme ~scale in
+    Printf.printf "%s on %s at %.1fx demand, %d epochs per run\n"
+      (Schemes.name scheme) name scale epochs;
+    Printf.printf "fault-free baseline: availability %.5f (%d/%d/%d primary/cached/equal-split)\n\n"
+      baseline.Simulate.c_availability baseline.Simulate.c_primary
+      baseline.Simulate.c_cached baseline.Simulate.c_equal_split;
+    Printf.printf "%-20s %12s %9s %8s %8s %8s %6s\n" "fault class" "availability"
+      "delta" "primary" "cached" "equal" "gaps";
+    Array.iter
+      (fun e ->
+        let r = e.Simulate.sw_result in
+        Printf.printf "%-20s %12.5f %+9.5f %8d %8d %8d %6d\n"
+          (Prete.Faults.class_name e.Simulate.sw_class)
+          r.Simulate.c_availability e.Simulate.sw_delta r.Simulate.c_primary
+          r.Simulate.c_cached r.Simulate.c_equal_split r.Simulate.c_gap_epochs)
+      entries;
+    let causes =
+      List.sort_uniq compare
+        (List.concat_map
+           (fun e -> List.map fst e.Simulate.sw_result.Simulate.c_causes)
+           (Array.to_list entries))
+    in
+    if causes <> [] then
+      Printf.printf "\nfallback causes seen: %s\n" (String.concat ", " causes)
+  in
+  let scheme =
+    Arg.(
+      value & opt string "prete"
+      & info [ "scheme" ] ~docv:"SCHEME"
+          ~doc:"ecmp | smore | ffc1 | ffc2 | teavar | arrow | flexile | prete | prete-naive | oracle")
+  in
+  let epochs =
+    Arg.(value & opt int 400 & info [ "epochs" ] ~docv:"N" ~doc:"Epochs per fault class.")
+  in
+  let doc =
+    "Fault-injection sweep: availability delta vs a fault-free baseline per fault class."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ topo_arg $ scale_arg $ scheme $ seed_arg $ epochs)
+
 let () =
   let doc = "PreTE: traffic engineering with predictive failures (SIGCOMM 2025 reproduction)" in
   let info = Cmd.info "prete" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ topology_cmd; dataset_cmd; train_cmd; solve_cmd; availability_cmd; simulate_cmd; pipeline_cmd ]))
+          [
+            topology_cmd;
+            dataset_cmd;
+            train_cmd;
+            solve_cmd;
+            availability_cmd;
+            simulate_cmd;
+            pipeline_cmd;
+            chaos_cmd;
+          ]))

@@ -96,7 +96,7 @@ let () =
      else "residual loss");
 
   (* Controller timeline for this event (§5 / Fig. 11 flavour). *)
-  let report =
+  let (), report =
     Controller.run
       ~infer:(fun () -> ())
       ~regen:(fun () ->

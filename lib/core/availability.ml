@@ -256,30 +256,43 @@ type plan = {
   p_ts : Tunnels.t;
   p_admitted : float array option;
       (** Ingress rate limits for admission-style schemes. *)
+  p_degraded : bool;
+      (** The solve budget expired; the allocation is feasible but not
+          proven optimal. *)
 }
 
-let te_solve_with env ~demands ~probs ~(ts : Tunnels.t) =
+let te_solve_with env ?deadline ~demands ~probs ~(ts : Tunnels.t) () =
   let p = Te.make_problem ~ts ~demands ~probs ~beta:env.beta () in
   (* Sweeps call this hundreds of times; the relaxation start buys nothing
      measurable on these instances (the second phase dominates delivered
      quality) but triples the cost. *)
-  let sol = Te.solve ~relaxation_start:false p in
-  { p_alloc = sol.Te.alloc; p_ts = ts; p_admitted = None }
+  let sol = Te.solve ~relaxation_start:false ?deadline p in
+  { p_alloc = sol.Te.alloc; p_ts = ts; p_admitted = None; p_degraded = sol.Te.degraded }
 
-let admission_solve env ~demands ~probs =
+let admission_solve env ?deadline ~demands ~probs () =
   let p = Te.make_problem ~ts:env.ts ~demands ~probs ~beta:env.beta () in
-  let adm = Te.solve_admission p in
-  { p_alloc = adm.Te.adm_alloc; p_ts = env.ts; p_admitted = Some adm.Te.admitted }
+  let adm = Te.solve_admission ?deadline p in
+  {
+    p_alloc = adm.Te.adm_alloc;
+    p_ts = env.ts;
+    p_admitted = Some adm.Te.admitted;
+    p_degraded = adm.Te.adm_degraded;
+  }
 
-let ffc_alloc env ~demands ~k =
+let ffc_alloc env ?deadline ~demands ~k () =
   (* Probability-oblivious full coverage of all ≤ k-cut scenarios: every
      class covered regardless of β; admission-style like FFC itself. *)
   let nf = Array.length env.model.Fiber_model.p_cut in
   let probs = Array.make nf 0.01 in
   let scenarios = Scenario.normalize (Scenario.enumerate ~probs ~max_order:k ()) in
   let p = { Te.ts = env.ts; Te.demands = demands; Te.scenarios; Te.beta = 0.999999 } in
-  let adm = Te.solve_admission ~max_rounds:1 ~skip_unprotectable:true p in
-  { p_alloc = adm.Te.adm_alloc; p_ts = env.ts; p_admitted = Some adm.Te.admitted }
+  let adm = Te.solve_admission ~max_rounds:1 ~skip_unprotectable:true ?deadline p in
+  {
+    p_alloc = adm.Te.adm_alloc;
+    p_ts = env.ts;
+    p_admitted = Some adm.Te.admitted;
+    p_degraded = adm.Te.adm_degraded;
+  }
 
 let ecmp_alloc env ~demands =
   let ts = env.ts in
@@ -294,13 +307,13 @@ let ecmp_alloc env ~demands =
       if d > 0.0 && n > 0 then
         List.iter (fun tid -> alloc.(tid) <- d /. float_of_int n) tl)
     ts.Tunnels.of_flow;
-  { p_alloc = alloc; p_ts = ts; p_admitted = None }
+  { p_alloc = alloc; p_ts = ts; p_admitted = None; p_degraded = false }
 
 (* SMORE: load-balancing ratios over the precomputed tunnels minimizing
    the max link utilization of the current traffic matrix; when demand
    cannot fit (u* > 1) the allocation is scaled down proportionally
    (ingress policing at the oversubscription factor). *)
-let smore_alloc env ~demands =
+let smore_alloc env ?deadline ~demands () =
   let ts = env.ts in
   let topo = ts.Tunnels.topo in
   let m = Lp.create () in
@@ -334,33 +347,35 @@ let smore_alloc env ~demands =
       ignore (Lp.add_constraint m !terms Lp.Le 0.0))
     used;
   Lp.set_objective m Lp.Minimize [ (1.0, u) ];
-  match Simplex.solve m with
+  match Simplex.solve ?deadline m with
   | Simplex.Optimal sol ->
     let scale = Float.min 1.0 (1.0 /. Float.max 1e-9 (Simplex.value sol u)) in
     let alloc =
       Array.init (Array.length ts.Tunnels.tunnels) (fun t ->
           scale *. Simplex.value sol a_vars.(t))
     in
-    { p_alloc = alloc; p_ts = ts; p_admitted = None }
+    { p_alloc = alloc; p_ts = ts; p_admitted = None; p_degraded = sol.Simplex.degraded }
   | Simplex.Infeasible | Simplex.Unbounded ->
     invalid_arg "Availability.smore_alloc: LP failed (internal error)"
 
-let flexile_alloc env ~demands =
+let flexile_alloc env ?deadline ~demands () =
   (* Reactive: optimize for the no-failure scenario only. *)
   let nf = Array.length env.model.Fiber_model.p_cut in
   let probs = Array.make nf 0.0 in
   let scenarios = Scenario.enumerate ~probs () in
   let p = { Te.ts = env.ts; Te.demands = demands; Te.scenarios; Te.beta = 0.99 } in
-  let sol = Te.solve ~relaxation_start:false p in
-  { p_alloc = sol.Te.alloc; p_ts = env.ts; p_admitted = None }
+  let sol = Te.solve ~relaxation_start:false ?deadline p in
+  { p_alloc = sol.Te.alloc; p_ts = env.ts; p_admitted = None; p_degraded = sol.Te.degraded }
 
-let prete_alloc env (cfg : Schemes.prete_config) ~demands ~degraded =
+let prete_alloc env (cfg : Schemes.prete_config) ?deadline ?degr_features ~demands
+    ~degraded () =
+  let features = match degr_features with Some f -> f | None -> env.degr_events in
   let obs =
     {
       Calibrate.degraded =
         (match degraded with
         | None -> []
-        | Some n -> [ (n, env.degr_events.(n)) ]);
+        | Some n -> [ (n, features.(n)) ]);
       Calibrate.will_cut = [];
     }
   in
@@ -374,17 +389,17 @@ let prete_alloc env (cfg : Schemes.prete_config) ~demands ~degraded =
         (Tunnel_update.react ~ratio:cfg.Schemes.ratio env.ts ~degraded_fiber:n ())
     | _ -> env.ts
   in
-  te_solve_with env ~demands ~probs ~ts
+  te_solve_with env ?deadline ~demands ~probs ~ts ()
 
-let plan_alloc env scheme ~demands ~degraded =
+let plan_alloc ?deadline ?degr_features env scheme ~demands ~degraded =
   match scheme with
   | Schemes.Ecmp -> ecmp_alloc env ~demands
-  | Schemes.Smore -> smore_alloc env ~demands
-  | Schemes.Ffc k -> ffc_alloc env ~demands ~k
+  | Schemes.Smore -> smore_alloc env ?deadline ~demands ()
+  | Schemes.Ffc k -> ffc_alloc env ?deadline ~demands ~k ()
   | Schemes.Teavar | Schemes.Arrow ->
-    admission_solve env ~demands ~probs:env.model.Fiber_model.p_cut
-  | Schemes.Flexile -> flexile_alloc env ~demands
-  | Schemes.Prete cfg -> prete_alloc env cfg ~demands ~degraded
+    admission_solve env ?deadline ~demands ~probs:env.model.Fiber_model.p_cut ()
+  | Schemes.Flexile -> flexile_alloc env ?deadline ~demands ()
+  | Schemes.Prete cfg -> prete_alloc env cfg ?deadline ?degr_features ~demands ~degraded ()
   | Schemes.Oracle ->
     (* The oracle allocates per cut outcome; the "plan" here is unused
        (handled specially in [availability]). *)

@@ -84,13 +84,27 @@ type plan = {
   p_ts : Prete_net.Tunnels.t;  (** Tunnel set (with Algorithm 1 updates). *)
   p_admitted : float array option;
       (** Ingress rate limits (admission-style schemes only). *)
+  p_degraded : bool;
+      (** A solve budget expired: the allocation is feasible but not
+          proven optimal (see the anytime semantics in {!Te}). *)
 }
 
-(** Internal pieces exposed for tests and benches. *)
+(** Internal pieces exposed for tests, benches, and the resilience /
+    fault-injection layers. *)
 module Internal : sig
   val plan_alloc :
-    env -> Schemes.t -> demands:float array -> degraded:int option -> plan
-  (** The plan a scheme uses in a given degradation state. *)
+    ?deadline:float ->
+    ?degr_features:Prete_optics.Hazard.features array ->
+    env ->
+    Schemes.t ->
+    demands:float array ->
+    degraded:int option ->
+    plan
+  (** The plan a scheme uses in a given degradation state.  [deadline]
+      bounds the underlying solves (anytime semantics, see {!Te});
+      [degr_features] overrides the env's representative degradation
+      events — the fault-injection harness uses it to feed corrupted
+      telemetry to the predictor. *)
 
   val max_served :
     env -> demands:float array -> cuts:int list -> float array

@@ -9,7 +9,15 @@ let stage_name = function
 
 type timing = { stage : stage; start_s : float; duration_s : float }
 
-type report = { timeline : timing list; end_to_end_s : float }
+type note = {
+  note_stage : stage;
+  label : string;
+  detail : string;
+  tries : int;
+  backoff_s : float;
+}
+
+type report = { timeline : timing list; end_to_end_s : float; notes : note list }
 
 let per_tunnel_setup_s = 0.25
 
@@ -20,16 +28,16 @@ let tunnel_update_time n =
   float_of_int n *. per_tunnel_setup_s
 
 let wall f =
-  let t0 = Unix.gettimeofday () in
-  f ();
-  Unix.gettimeofday () -. t0
+  let t0 = Prete_util.Clock.now () in
+  let result = f () in
+  (result, Prete_util.Clock.elapsed_since t0)
 
 let run ~infer ~regen ~te ~n_new_tunnels () =
   if n_new_tunnels < 0 then invalid_arg "Controller.run: negative tunnel count";
-  let infer_s = wall infer in
+  let (), infer_s = wall infer in
   let update_s = tunnel_update_time n_new_tunnels in
-  let regen_s = wall regen in
-  let te_s = wall te in
+  let (), regen_s = wall regen in
+  let te_result, te_s = wall te in
   let stages =
     [
       (Detection, detection_s);
@@ -49,6 +57,8 @@ let run ~infer ~regen ~te ~n_new_tunnels () =
   let end_to_end_s =
     List.fold_left (fun acc t -> acc +. t.duration_s) 0.0 timeline
   in
-  { timeline; end_to_end_s }
+  (te_result, { timeline; end_to_end_s; notes = [] })
+
+let with_notes report notes = { report with notes = report.notes @ notes }
 
 let within_budget report ~gap_to_cut_s = report.end_to_end_s <= gap_to_cut_s

@@ -12,7 +12,10 @@
     wall clock (inference on our MLP, scenario regeneration, TE
     optimization on our solver) and the hardware-bound stages (detection
     in the optical agent, per-tunnel switch programming) taken from the
-    paper's measured constants. *)
+    paper's measured constants.
+
+    Timing uses {!Prete_util.Clock}, which is monotonicized: an NTP step
+    mid-stage can no longer produce a negative duration. *)
 
 type stage =
   | Detection
@@ -29,9 +32,21 @@ type timing = {
   duration_s : float;
 }
 
+type note = {
+  note_stage : stage;  (** Stage the event belongs to. *)
+  label : string;  (** Short machine-friendly tag, e.g. ["fallback:cached"]. *)
+  detail : string;  (** Human-readable explanation. *)
+  tries : int;  (** Attempts made at this stage (1 = first try). *)
+  backoff_s : float;  (** Total backoff delay charged to retries. *)
+}
+(** A structured annotation attached to a pipeline run — the resilience
+    layer records fallback-ladder rungs, retries, and degradation causes
+    here so operators can audit {e why} a given plan was produced. *)
+
 type report = {
   timeline : timing list;  (** In execution order. *)
   end_to_end_s : float;  (** Total pipeline latency. *)
+  notes : note list;  (** Resilience annotations; [[]] on a clean run. *)
 }
 
 val per_tunnel_setup_s : float
@@ -43,16 +58,24 @@ val detection_s : float
 val tunnel_update_time : int -> float
 (** Linear serialized model of Fig. 11b. *)
 
+val wall : (unit -> 'a) -> 'a * float
+(** [wall f] runs [f] and returns its result with the elapsed wall-clock
+    seconds on the monotonicized {!Prete_util.Clock} (never negative). *)
+
 val run :
   infer:(unit -> unit) ->
   regen:(unit -> unit) ->
-  te:(unit -> unit) ->
+  te:(unit -> 'a) ->
   n_new_tunnels:int ->
   unit ->
-  report
+  'a * report
 (** Execute and wall-clock the software stages ([infer], [regen], [te]
     are thunks that actually perform the work), model the hardware
-    stages, and assemble the Fig. 11a timeline. *)
+    stages, and assemble the Fig. 11a timeline.  Returns [te]'s result
+    alongside the report so callers no longer need side-channel refs. *)
+
+val with_notes : report -> note list -> report
+(** Append resilience notes to a report. *)
 
 val within_budget : report -> gap_to_cut_s:float -> bool
 (** Whether the pipeline completes before the expected degradation→cut

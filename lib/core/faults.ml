@@ -1,0 +1,134 @@
+open Prete_optics
+
+type class_ =
+  | Telemetry_dropout
+  | Stuck_sensor
+  | Noise_burst
+  | False_positive
+  | Missed_degradation
+  | Solver_pressure
+
+let class_name = function
+  | Telemetry_dropout -> "telemetry-dropout"
+  | Stuck_sensor -> "stuck-sensor"
+  | Noise_burst -> "noise-burst"
+  | False_positive -> "false-positive"
+  | Missed_degradation -> "missed-degradation"
+  | Solver_pressure -> "solver-pressure"
+
+let all_classes =
+  [|
+    Telemetry_dropout;
+    Stuck_sensor;
+    Noise_burst;
+    False_positive;
+    Missed_degradation;
+    Solver_pressure;
+  |]
+
+type spec = { fault : class_; rate : float }
+
+let default_rate = function
+  | Telemetry_dropout -> 0.25
+  | Stuck_sensor -> 0.5
+  | Noise_burst -> 0.5
+  | False_positive -> 0.15
+  | Missed_degradation -> 0.75
+  | Solver_pressure -> 0.5
+
+type injector = {
+  rng : Prete_util.Rng.t;  (** Private stream; never the simulation's. *)
+  specs : spec list;
+  pressure_budget_s : float;
+}
+
+let injector ?(seed = 77) ?(pressure_budget_s = 0.0) specs =
+  List.iter
+    (fun s ->
+      if s.rate < 0.0 || s.rate > 1.0 then
+        invalid_arg "Faults.injector: rate out of [0, 1]")
+    specs;
+  { rng = Prete_util.Rng.create seed; specs; pressure_budget_s }
+
+type observation = {
+  seen : int option;
+  features : Hazard.features array;
+  gap : bool;
+  budget_s : float option;
+  fired : class_ list;
+}
+
+let stuck_features (f : Hazard.features) =
+  (* A frozen reading: flat at the degradation threshold, no dynamics.
+     The predictor sees the least informative degradation possible. *)
+  { f with Hazard.degree = 3.0; gradient = 0.0; fluctuation = 0 }
+
+let noisy_features rng (f : Hazard.features) =
+  let clamp lo hi v = Float.max lo (Float.min hi v) in
+  {
+    f with
+    Hazard.degree = clamp 3.0 10.0 (f.Hazard.degree +. (3.0 *. Prete_util.Rng.gaussian rng));
+    gradient = Float.abs (f.Hazard.gradient *. exp (Prete_util.Rng.gaussian rng));
+    fluctuation = f.Hazard.fluctuation + Prete_util.Rng.int rng 50;
+  }
+
+let observe inj ~topo ~true_state ~events =
+  (* One bernoulli per spec per epoch, unconditionally: the draw count
+     stays fixed so the injector stream is phase-stable across epochs. *)
+  let firing =
+    List.filter_map
+      (fun s -> if Prete_util.Rng.bernoulli inj.rng s.rate then Some s.fault else None)
+      inj.specs
+  in
+  let fires c = List.mem c firing in
+  let seen = ref true_state in
+  let features = ref events in
+  let fired = ref [] in
+  let mark c = fired := c :: !fired in
+  let corrupt fiber f =
+    let copy = Array.copy !features in
+    copy.(fiber) <- f;
+    features := copy
+  in
+  (* Signal faults first: they decide which fiber the sensor faults see. *)
+  (match (true_state, fires Missed_degradation) with
+  | Some _, true ->
+    seen := None;
+    mark Missed_degradation
+  | _ -> ());
+  (match (!seen, true_state, fires False_positive) with
+  | None, None, true ->
+    let nf = Prete_net.Topology.num_fibers topo in
+    let fiber = Prete_util.Rng.int inj.rng nf in
+    let epoch = Prete_util.Rng.int inj.rng 96 in
+    seen := Some fiber;
+    corrupt fiber (Hazard.sample_features inj.rng ~topo ~fiber ~epoch);
+    mark False_positive
+  | _ -> ());
+  (match (!seen, fires Stuck_sensor) with
+  | Some fiber, true ->
+    corrupt fiber (stuck_features !features.(fiber));
+    mark Stuck_sensor
+  | _ -> ());
+  (match (!seen, fires Noise_burst) with
+  | Some fiber, true ->
+    corrupt fiber (noisy_features inj.rng !features.(fiber));
+    mark Noise_burst
+  | _ -> ());
+  let gap = fires Telemetry_dropout in
+  if gap then mark Telemetry_dropout;
+  let budget_s =
+    if fires Solver_pressure then begin
+      mark Solver_pressure;
+      Some inj.pressure_budget_s
+    end
+    else None
+  in
+  { seen = !seen; features = !features; gap; budget_s; fired = List.rev !fired }
+
+let corrupts_features o =
+  List.exists
+    (function
+      | Stuck_sensor | Noise_burst | False_positive -> true
+      | Telemetry_dropout | Missed_degradation | Solver_pressure -> false)
+    o.fired

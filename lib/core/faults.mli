@@ -1,0 +1,71 @@
+(** Seeded fault injection for the control loop (chaos harness).
+
+    Each fault class models a distinct way the controller's {e inputs} go
+    wrong — telemetry, degradation signals, or solve budget — while the
+    network's ground truth stays untouched.  The injector draws from its
+    {e own} RNG stream, so enabling or disabling faults never perturbs
+    the epoch sample path of the simulation it is plugged into: the
+    availability delta between a faulted and a fault-free run of the same
+    seed is attributable to the faults alone. *)
+
+type class_ =
+  | Telemetry_dropout
+      (** The telemetry stream is absent this epoch: the controller gets
+          no observation at all and must fall back. *)
+  | Stuck_sensor
+      (** The monitor reports a frozen, uninformative reading for the
+          degrading fiber (flat at the degradation threshold). *)
+  | Noise_burst
+      (** The degradation features are blasted with heavy noise. *)
+  | False_positive
+      (** A healthy fiber is reported as degrading. *)
+  | Missed_degradation
+      (** A real degradation is not reported. *)
+  | Solver_pressure
+      (** The TE solve gets an (expired or near-expired) budget. *)
+
+val class_name : class_ -> string
+val all_classes : class_ array
+
+type spec = {
+  fault : class_;
+  rate : float;  (** Per-epoch firing probability, in [0, 1]. *)
+}
+
+val default_rate : class_ -> float
+(** Sweep defaults — high enough that a few hundred epochs show the
+    effect, low enough that most epochs stay clean. *)
+
+type injector
+
+val injector : ?seed:int -> ?pressure_budget_s:float -> spec list -> injector
+(** [pressure_budget_s] (default 0) is the budget handed to the solver
+    when {!Solver_pressure} fires; 0 means already expired, which forces
+    the fallback ladder deterministically. *)
+
+type observation = {
+  seen : int option;
+      (** Degradation state the controller observes (may differ from the
+          truth under signal faults). *)
+  features : Prete_optics.Hazard.features array;
+      (** Per-fiber event features as observed (corrupted copies under
+          sensor faults). *)
+  gap : bool;  (** Telemetry gap: the primary solve should be skipped. *)
+  budget_s : float option;  (** Injected solve budget, if any. *)
+  fired : class_ list;  (** Fault classes that fired this epoch. *)
+}
+
+val observe :
+  injector ->
+  topo:Prete_net.Topology.t ->
+  true_state:int option ->
+  events:Prete_optics.Hazard.features array ->
+  observation
+(** One epoch of observation: every spec fires independently with its
+    rate (signal faults apply only when relevant — a missed degradation
+    needs a true one, a false positive needs a healthy epoch).  The
+    [events] array is never mutated; corrupted copies are returned. *)
+
+val corrupts_features : observation -> bool
+(** Whether the observation differs from a clean one (used to bypass
+    per-state plan caches that assume clean inputs). *)

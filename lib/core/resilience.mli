@@ -1,0 +1,117 @@
+(** Fallback ladder for the TE control loop.
+
+    A production controller cannot answer a degradation signal with an
+    exception: {e some} routable plan must be installed before the epoch's
+    traffic arrives.  This module wraps the plan computation in a ladder
+    of increasingly conservative fallbacks:
+
+    + {b Primary} — the scheme's own solve (with the anytime deadline
+      threaded through, so budget pressure degrades quality rather than
+      failing), retried with exponential backoff on transient causes;
+    + {b Cached} — the last plan that was accepted, revalidated against
+      the {e current} tunnel set with {!Prete_lp.Simplex.feasible};
+    + {b Equal_split} — a proportional ECMP-style split scaled per tunnel
+      by its bottleneck link, feasible by construction.
+
+    Every rung's product is validated with {!Prete_lp.Simplex.feasible}
+    against a capacity-only model before being accepted, so the ladder's
+    contract is: the returned plan never oversubscribes a link, and
+    {!plan_epoch} never raises on solver failures.
+
+    Backoff is {e charged}, not slept: like the controller's modeled
+    hardware stages, retry delay accumulates in the attempt record (and
+    from there into {!Controller.note}) instead of stalling the
+    simulation. *)
+
+(** Why a rung failed (or why the ladder moved past it). *)
+type cause =
+  | Solver_timeout  (** Budget expired before any feasible incumbent. *)
+  | Solver_numerical of string  (** Internal solver failure. *)
+  | Infeasible_beta of string
+      (** The TE problem itself is infeasible (e.g. β above the scenario
+          mass with normalization off). *)
+  | Telemetry_gap
+      (** No trustworthy telemetry this epoch; the primary solve was
+          skipped rather than fed garbage. *)
+  | Plan_rejected
+      (** A produced plan failed {!Prete_lp.Simplex.feasible} validation. *)
+  | Unexpected of string  (** Any other exception, by [Printexc]. *)
+
+val cause_name : cause -> string
+
+type rung = Primary | Cached | Equal_split
+
+val rung_name : rung -> string
+
+type attempt = {
+  att_rung : rung;
+  att_tries : int;  (** Attempts spent on this rung. *)
+  att_backoff_s : float;  (** Total charged backoff on this rung. *)
+  att_cause : cause option;  (** [None] iff the rung succeeded. *)
+}
+
+type outcome = {
+  plan : Availability.plan;
+  rung : rung;  (** The rung that produced [plan]. *)
+  cause : cause option;
+      (** Root cause that pushed the ladder off Primary; [None] on a
+          clean primary solve. *)
+  attempts : attempt list;  (** In ladder order. *)
+  backoff_s : float;  (** Total charged backoff across all rungs. *)
+}
+
+val degraded : outcome -> bool
+(** The plan is in some way worse than a clean primary solve: a fallback
+    rung was used, or the primary returned an anytime incumbent
+    ([p_degraded]). *)
+
+type t
+(** Ladder state: retry policy plus the last-good plan cache.  One value
+    per control loop; epochs share it so the Cached rung has something to
+    fall back on. *)
+
+val create : ?max_tries:int -> ?base_backoff_s:float -> unit -> t
+(** [max_tries] (default 2) attempts on the Primary rung;
+    [base_backoff_s] (default 0.1) charged before retry [k] as
+    [base *. 2.^(k-1)]. *)
+
+val classify : exn -> cause
+(** Map solver exceptions into the taxonomy ([Unexpected] otherwise). *)
+
+val capacity_model : Prete_net.Tunnels.t -> Prete_lp.Lp.model
+(** Capacity-only LP model: one variable per tunnel (in id order), one
+    row per link used by any tunnel.  An allocation vector is routable
+    iff it satisfies this model. *)
+
+val plan_feasible : Prete_net.Tunnels.t -> Availability.plan -> bool
+(** Validate a plan's allocation against the given tunnel set: the
+    allocation must be indexed compatibly and pass
+    {!Prete_lp.Simplex.feasible} on {!capacity_model}. *)
+
+val equal_split : Prete_net.Tunnels.t -> demands:float array -> Availability.plan
+(** Last-resort plan: each flow's demand split equally over its tunnels,
+    then each tunnel scaled by its bottleneck link's load factor.  The
+    scaling makes the per-link load at most the capacity, so the result
+    passes {!plan_feasible} by construction. *)
+
+val plan_epoch :
+  t ->
+  ts:Prete_net.Tunnels.t ->
+  demands:float array ->
+  ?telemetry_gap:bool ->
+  primary:(unit -> Availability.plan) ->
+  unit ->
+  outcome
+(** Run the ladder for one epoch.  [primary] is the scheme's solve thunk
+    (build it with {!Availability.Internal.plan_alloc}, threading any
+    deadline); [ts] is the currently installed tunnel set used for
+    validation and the equal-split fallback.  [telemetry_gap] (default
+    false) skips the Primary rung with cause {!Telemetry_gap}.  Only
+    Primary successes refresh the last-good cache (a fallback plan is
+    never re-cached, so the ladder cannot feed on its own output); the
+    cache is revalidated against the current [ts] on every reuse.
+    Never raises on solver failures. *)
+
+val notes : outcome -> Controller.note list
+(** Render the ladder's attempts as {!Controller.note}s (stage
+    [Te_compute]) for inclusion in a pipeline report. *)

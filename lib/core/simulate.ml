@@ -84,6 +84,60 @@ let ecmp_delivered (ts : Tunnels.t) demands ~cuts =
         Float.min 1.0 (got /. d))
     ts.Tunnels.flows
 
+(* Delivered fraction of every flow under a plan, a set of true cuts, and
+   the scheme's reaction model — shared by the plain run and the chaos
+   harness ([served] computes the post-recomputation optimum for the
+   reactive schemes). *)
+let delivered_fractions (env : Availability.env) scheme ~demands
+    ~(plan : Availability.plan) ~cuts ~served =
+  let ts = plan.Availability.p_ts and alloc = plan.Availability.p_alloc in
+  let topo = env.Availability.ts.Tunnels.topo in
+  let cap f =
+    match plan.Availability.p_admitted with None -> demands.(f) | Some b -> b.(f)
+  in
+  match scheme with
+  | Schemes.Ecmp -> ecmp_delivered ts demands ~cuts
+  | Schemes.Oracle -> served cuts
+  | Schemes.Smore | Schemes.Ffc _ | Schemes.Teavar | Schemes.Prete _ ->
+    Array.init (Array.length ts.Tunnels.flows) (fun f ->
+        let d = demands.(f) in
+        if d <= 0.0 then 1.0
+        else Float.min 1.0 (Float.min (cap f) (surviving ts alloc f ~cuts) /. d))
+  | Schemes.Arrow ->
+    Array.init (Array.length ts.Tunnels.flows) (fun f ->
+        let d = demands.(f) in
+        if d <= 0.0 then 1.0
+        else begin
+          let affected =
+            List.exists
+              (fun fb ->
+                List.exists
+                  (fun tid ->
+                    alloc.(tid) > 1e-9
+                    && Routing.uses_fiber topo ts.Tunnels.tunnels.(tid).Tunnels.links fb)
+                  ts.Tunnels.of_flow.(f))
+              cuts
+          in
+          if not affected then
+            Float.min 1.0 (Float.min (cap f) (surviving ts alloc f ~cuts) /. d)
+          else begin
+            let w = env.Availability.tau_arrow /. env.Availability.epoch_seconds in
+            let during = Float.min (cap f) (surviving ts alloc f ~cuts) /. d in
+            let after = Float.min (cap f) (surviving ts alloc f ~cuts:[]) /. d in
+            Float.min 1.0 ((w *. during) +. ((1.0 -. w) *. after))
+          end
+        end)
+  | Schemes.Flexile ->
+    let post = served cuts in
+    Array.init (Array.length ts.Tunnels.flows) (fun f ->
+        let d = demands.(f) in
+        if d <= 0.0 then 1.0
+        else begin
+          let w = env.Availability.tau_flexile /. env.Availability.epoch_seconds in
+          let pre = Float.min 1.0 (surviving ts alloc f ~cuts /. d) in
+          (w *. Float.min pre post.(f)) +. ((1.0 -. w) *. post.(f))
+        end)
+
 let run ?(seed = 123) ?(epochs = 20_000) (env : Availability.env) scheme ~scale =
   if epochs <= 0 then invalid_arg "Simulate.run: epochs must be positive";
   let rng = Prete_util.Rng.create seed in
@@ -141,55 +195,8 @@ let run ?(seed = 123) ?(epochs = 20_000) (env : Availability.env) scheme ~scale 
     if List.length !cuts > 1 then incr multi;
     let state = match List.rev !degraded with [] -> None | fb :: _ -> Some fb in
     let p = plan state in
-    let ts = p.Availability.p_ts and alloc = p.Availability.p_alloc in
-    let cap f =
-      match p.Availability.p_admitted with None -> demands.(f) | Some b -> b.(f)
-    in
     let cuts = !cuts in
-    let delivered =
-      match scheme with
-      | Schemes.Ecmp -> ecmp_delivered ts demands ~cuts
-      | Schemes.Oracle -> served cuts
-      | Schemes.Smore | Schemes.Ffc _ | Schemes.Teavar | Schemes.Prete _ ->
-        Array.init (Array.length ts.Tunnels.flows) (fun f ->
-            let d = demands.(f) in
-            if d <= 0.0 then 1.0
-            else Float.min 1.0 (Float.min (cap f) (surviving ts alloc f ~cuts) /. d))
-      | Schemes.Arrow ->
-        Array.init (Array.length ts.Tunnels.flows) (fun f ->
-            let d = demands.(f) in
-            if d <= 0.0 then 1.0
-            else begin
-              let affected =
-                List.exists
-                  (fun fb ->
-                    List.exists
-                      (fun tid ->
-                        alloc.(tid) > 1e-9
-                        && Routing.uses_fiber topo ts.Tunnels.tunnels.(tid).Tunnels.links fb)
-                      ts.Tunnels.of_flow.(f))
-                  cuts
-              in
-              if not affected then
-                Float.min 1.0 (Float.min (cap f) (surviving ts alloc f ~cuts) /. d)
-              else begin
-                let w = env.Availability.tau_arrow /. env.Availability.epoch_seconds in
-                let during = Float.min (cap f) (surviving ts alloc f ~cuts) /. d in
-                let after = Float.min (cap f) (surviving ts alloc f ~cuts:[]) /. d in
-                Float.min 1.0 ((w *. during) +. ((1.0 -. w) *. after))
-              end
-            end)
-      | Schemes.Flexile ->
-        let post = served cuts in
-        Array.init (Array.length ts.Tunnels.flows) (fun f ->
-            let d = demands.(f) in
-            if d <= 0.0 then 1.0
-            else begin
-              let w = env.Availability.tau_flexile /. env.Availability.epoch_seconds in
-              let pre = Float.min 1.0 (surviving ts alloc f ~cuts /. d) in
-              (w *. Float.min pre post.(f)) +. ((1.0 -. w) *. post.(f))
-            end)
-    in
+    let delivered = delivered_fractions env scheme ~demands ~plan:p ~cuts ~served in
     let epoch_avail = ref 0.0 in
     Array.iteri (fun f dl -> epoch_avail := !epoch_avail +. (demands.(f) *. dl)) delivered;
     acc := !acc +. (!epoch_avail /. total_demand)
@@ -201,3 +208,176 @@ let run ?(seed = 123) ?(epochs = 20_000) (env : Availability.env) scheme ~scale 
     cut_epochs = !cut_epochs;
     multi_cut_epochs = !multi;
   }
+
+(* --------------------------------------------------------------------- *)
+(* Chaos harness                                                           *)
+(* --------------------------------------------------------------------- *)
+
+type chaos_result = {
+  c_availability : float;
+  c_epochs : int;
+  c_primary : int;
+  c_cached : int;
+  c_equal_split : int;
+  c_gap_epochs : int;
+  c_fault_epochs : int;
+  c_degraded_plans : int;
+  c_causes : (string * int) list;
+}
+
+let run_chaos ?(seed = 123) ?(epochs = 400) ?(faults = []) ?(fault_seed = 77)
+    ?(pressure_budget_s = 0.0) (env : Availability.env) scheme ~scale =
+  if epochs <= 0 then invalid_arg "Simulate.run_chaos: epochs must be positive";
+  (* The epoch sample path below draws from [rng] exactly as [run] does;
+     the injector draws only from its private stream, so the availability
+     delta between fault settings is attributable to the faults alone. *)
+  let rng = Prete_util.Rng.create seed in
+  let inj = Faults.injector ~seed:fault_seed ~pressure_budget_s faults in
+  let ladder = Resilience.create () in
+  let demands =
+    Traffic.demand env.Availability.traffic ~scale ~epoch:env.Availability.epoch
+  in
+  let total_demand = Float.max 1e-9 (Prete_util.Stats.sum demands) in
+  let topo = env.Availability.ts.Tunnels.topo in
+  let nf = Topology.num_fibers topo in
+  let num_fibers = nf in
+  (* Ladder outcomes cached per *observed* state, but only for clean
+     observations: corrupted features, gaps, and injected budgets make an
+     epoch's plan non-reusable. *)
+  let outcome_cache : (int option, Resilience.outcome) Hashtbl.t = Hashtbl.create 64 in
+  let served_cache : (int list, float array) Hashtbl.t = Hashtbl.create 64 in
+  let served cuts =
+    let key = List.sort compare cuts in
+    match Hashtbl.find_opt served_cache key with
+    | Some s -> s
+    | None ->
+      let s = Availability.Internal.max_served env ~demands ~cuts:key in
+      Hashtbl.add served_cache key s;
+      s
+  in
+  let plan_for (obs : Faults.observation) =
+    let compute () =
+      let deadline =
+        Option.map Prete_util.Clock.deadline_after obs.Faults.budget_s
+      in
+      let primary () =
+        Availability.Internal.plan_alloc ?deadline
+          ~degr_features:obs.Faults.features env scheme ~demands
+          ~degraded:obs.Faults.seen
+      in
+      let te () =
+        Resilience.plan_epoch ladder ~ts:env.Availability.ts ~demands
+          ~telemetry_gap:obs.Faults.gap ~primary ()
+      in
+      (* Drive the full pipeline so chaos exercises the same entry point
+         production would use; the report carries the ladder's notes. *)
+      let outcome, report =
+        Controller.run ~infer:(fun () -> ()) ~regen:(fun () -> ()) ~te
+          ~n_new_tunnels:0 ()
+      in
+      ignore (Controller.with_notes report (Resilience.notes outcome));
+      outcome
+    in
+    let cacheable =
+      (not (Faults.corrupts_features obs))
+      && obs.Faults.budget_s = None
+      && not obs.Faults.gap
+    in
+    if not cacheable then compute ()
+    else
+      match Hashtbl.find_opt outcome_cache obs.Faults.seen with
+      | Some o -> o
+      | None ->
+        let o = compute () in
+        Hashtbl.add outcome_cache obs.Faults.seen o;
+        o
+  in
+  let acc = ref 0.0 in
+  let primary = ref 0 and cached = ref 0 and equal = ref 0 in
+  let gaps = ref 0 and fault_epochs = ref 0 and degr_plans = ref 0 in
+  let causes : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  for _ = 1 to epochs do
+    let degraded = ref [] in
+    let cuts = ref [] in
+    for fb = 0 to nf - 1 do
+      if Prete_util.Rng.bernoulli rng env.Availability.model.Fiber_model.p_degrade.(fb)
+      then begin
+        degraded := fb :: !degraded;
+        let feats =
+          Hazard.sample_features rng ~topo ~fiber:fb ~epoch:(Prete_util.Rng.int rng 96)
+        in
+        if Prete_util.Rng.bernoulli rng (Hazard.eval ~num_fibers feats) then
+          cuts := fb :: !cuts
+      end
+      else if
+        Prete_util.Rng.bernoulli rng
+          env.Availability.model.Fiber_model.p_unpredictable.(fb)
+      then cuts := fb :: !cuts
+    done;
+    let state = match List.rev !degraded with [] -> None | fb :: _ -> Some fb in
+    let obs =
+      Faults.observe inj ~topo ~true_state:state
+        ~events:env.Availability.degr_events
+    in
+    if obs.Faults.gap then incr gaps;
+    if obs.Faults.fired <> [] then incr fault_epochs;
+    let outcome = plan_for obs in
+    (match outcome.Resilience.rung with
+    | Resilience.Primary -> incr primary
+    | Resilience.Cached -> incr cached
+    | Resilience.Equal_split -> incr equal);
+    if Resilience.degraded outcome then incr degr_plans;
+    (match outcome.Resilience.cause with
+    | None -> ()
+    | Some c ->
+      let name = Resilience.cause_name c in
+      Hashtbl.replace causes name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt causes name)));
+    let delivered =
+      delivered_fractions env scheme ~demands ~plan:outcome.Resilience.plan
+        ~cuts:!cuts ~served
+    in
+    let epoch_avail = ref 0.0 in
+    Array.iteri
+      (fun f dl -> epoch_avail := !epoch_avail +. (demands.(f) *. dl))
+      delivered;
+    acc := !acc +. (!epoch_avail /. total_demand)
+  done;
+  {
+    c_availability = !acc /. float_of_int epochs;
+    c_epochs = epochs;
+    c_primary = !primary;
+    c_cached = !cached;
+    c_equal_split = !equal;
+    c_gap_epochs = !gaps;
+    c_fault_epochs = !fault_epochs;
+    c_degraded_plans = !degr_plans;
+    c_causes =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) causes []);
+  }
+
+type sweep_entry = {
+  sw_class : Faults.class_;
+  sw_result : chaos_result;
+  sw_delta : float;  (** Availability vs the fault-free baseline. *)
+}
+
+let chaos_sweep ?seed ?epochs ?fault_seed ?pressure_budget_s
+    (env : Availability.env) scheme ~scale =
+  let baseline = run_chaos ?seed ?epochs ~faults:[] env scheme ~scale in
+  let entries =
+    Array.map
+      (fun c ->
+        let r =
+          run_chaos ?seed ?epochs ?fault_seed ?pressure_budget_s
+            ~faults:[ { Faults.fault = c; rate = Faults.default_rate c } ]
+            env scheme ~scale
+        in
+        {
+          sw_class = c;
+          sw_result = r;
+          sw_delta = r.c_availability -. baseline.c_availability;
+        })
+      Faults.all_classes
+  in
+  (baseline, entries)

@@ -35,3 +35,62 @@ val run :
     adapt instantly; ARROW charges its restoration window and Flexile its
     convergence window per cut epoch, as in the analytic evaluator.
     Raises [Invalid_argument] for non-positive [epochs]. *)
+
+(** {1 Chaos harness}
+
+    The fault-injection twin of {!run}: the same generative epoch loop,
+    but the controller's {e observations} pass through a {!Faults}
+    injector and every plan is produced by the {!Resilience} fallback
+    ladder driven through {!Controller.run} — no epoch may raise, and
+    every epoch's plan has passed {!Prete_lp.Simplex.feasible}. *)
+
+type chaos_result = {
+  c_availability : float;  (** Demand-weighted mean delivered fraction. *)
+  c_epochs : int;
+  c_primary : int;  (** Epochs served by a fresh primary solve. *)
+  c_cached : int;  (** Epochs served by the last-good cache. *)
+  c_equal_split : int;  (** Epochs on the last-resort equal split. *)
+  c_gap_epochs : int;  (** Epochs with a telemetry gap. *)
+  c_fault_epochs : int;  (** Epochs where at least one fault fired. *)
+  c_degraded_plans : int;
+      (** Epochs whose plan was a fallback or an anytime incumbent. *)
+  c_causes : (string * int) list;
+      (** Fallback root causes by {!Resilience.cause_name}, sorted. *)
+}
+
+val run_chaos :
+  ?seed:int ->
+  ?epochs:int ->
+  ?faults:Faults.spec list ->
+  ?fault_seed:int ->
+  ?pressure_budget_s:float ->
+  Availability.env ->
+  Schemes.t ->
+  scale:float ->
+  chaos_result
+(** [run_chaos env scheme ~scale] simulates [epochs] (default 400) TE
+    periods under the given fault specs (default none).  The epoch
+    sample path is drawn exactly as {!run} draws it from [seed], and the
+    injector uses its own [fault_seed] stream, so results across fault
+    settings share the identical ground truth.  Ladder outcomes are
+    cached per observed degradation state for clean observations only.
+    Raises [Invalid_argument] for non-positive [epochs]. *)
+
+type sweep_entry = {
+  sw_class : Faults.class_;
+  sw_result : chaos_result;
+  sw_delta : float;  (** Availability vs the fault-free baseline. *)
+}
+
+val chaos_sweep :
+  ?seed:int ->
+  ?epochs:int ->
+  ?fault_seed:int ->
+  ?pressure_budget_s:float ->
+  Availability.env ->
+  Schemes.t ->
+  scale:float ->
+  chaos_result * sweep_entry array
+(** One fault class at a time at {!Faults.default_rate}, against the
+    fault-free baseline — the per-class availability-delta report behind
+    [prete_cli chaos]. *)

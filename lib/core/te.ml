@@ -16,6 +16,7 @@ type solution = {
   delta : bool array array;
   classes : Scenario.Classes.cls array array;
   expected_served : float;
+  degraded : bool;
   stats : stats;
 }
 
@@ -96,7 +97,7 @@ let add_capacity_rows p m a_vars =
 (* Fixed-δ LP in eliminated form: min Φ                                 *)
 (* ------------------------------------------------------------------ *)
 
-let solve_fixed_delta p classes delta =
+let solve_fixed_delta ?deadline p classes delta =
   let m = Lp.create () in
   let a_vars = add_alloc_vars p m in
   let phi = Lp.add_var m ~ub:1.0 "phi" in
@@ -119,10 +120,10 @@ let solve_fixed_delta p classes delta =
           cls)
     classes;
   Lp.set_objective m Lp.Minimize [ (1.0, phi) ];
-  match Simplex.solve m with
+  match Simplex.solve ?deadline m with
   | Simplex.Optimal sol ->
     let alloc = Array.init (num_tunnels p) (fun t -> Simplex.value sol a_vars.(t)) in
-    (sol.Simplex.objective, alloc, sol.Simplex.iterations)
+    (sol.Simplex.objective, alloc, sol.Simplex.iterations, sol.Simplex.degraded)
   | Simplex.Infeasible ->
     (* Cannot happen: a = 0, Φ = 1 satisfies every row. *)
     raise (Infeasible_problem "fixed-delta LP infeasible (internal error)")
@@ -131,7 +132,7 @@ let solve_fixed_delta p classes delta =
 (* Second phase: at loss level Φ*, maximize probability- and demand-
    weighted served fraction so spare capacity still protects uncovered
    scenario classes. *)
-let solve_second_phase p classes delta phi_star =
+let solve_second_phase ?deadline p classes delta phi_star =
   let m = Lp.create () in
   let a_vars = add_alloc_vars p m in
   add_capacity_rows p m a_vars;
@@ -163,10 +164,10 @@ let solve_second_phase p classes delta phi_star =
       end)
     classes;
   Lp.set_objective m Lp.Maximize !objective;
-  match Simplex.solve m with
+  match Simplex.solve ?deadline m with
   | Simplex.Optimal sol ->
     let alloc = Array.init (num_tunnels p) (fun t -> Simplex.value sol a_vars.(t)) in
-    (sol.Simplex.objective, alloc, sol.Simplex.iterations)
+    (sol.Simplex.objective, alloc, sol.Simplex.iterations, sol.Simplex.degraded)
   | Simplex.Infeasible ->
     raise (Infeasible_problem "second-phase LP infeasible (internal error)")
   | Simplex.Unbounded ->
@@ -269,9 +270,12 @@ let build_full_mip ?(relax = false) p classes =
    drop, per flow, the classes the relaxation protects least (smallest relaxed delta),
    within the coverage budget.  This sees the cross-flow capacity coupling
    the purely loss-based greedy is blind to (e.g. the Fig. 2 instance). *)
-let relaxation_delta p classes =
+let relaxation_delta ?deadline p classes =
   let m, _a_vars, _phi, _l_vars, d_vars = build_full_mip ~relax:true p classes in
-  match Simplex.solve m with
+  (* The relaxation only guides a δ rounding, so a degraded (interrupted)
+     optimum is still usable; a Phase-1 timeout simply skips the start. *)
+  match Simplex.solve ?deadline m with
+  | exception Simplex.Timeout -> None
   | Simplex.Optimal sol ->
     let delta =
       Array.mapi
@@ -295,31 +299,49 @@ let relaxation_delta p classes =
     Some (delta, sol.Simplex.iterations)
   | Simplex.Infeasible | Simplex.Unbounded -> None
 
-let solve ?(second_phase = true) ?(max_rounds = 8) ?(relaxation_start = true) p =
+let solve ?(second_phase = true) ?(max_rounds = 8) ?(relaxation_start = true) ?deadline p =
   let classes = classes_of p in
   let delta = Array.map (fun cls -> Array.make (Array.length cls) true) classes in
   let lp_solves = ref 0 and lp_pivots = ref 0 in
+  (* Anytime fixpoint: every LP result is a feasible incumbent, so on
+     budget expiry (between rounds, or an LP returning degraded / raising
+     [Simplex.Timeout] mid-solve) we stop and keep the best seen so far,
+     flagging the solution.  A Timeout with no incumbent propagates. *)
+  let degraded = ref false in
   let rec loop delta best rounds =
-    let phi, alloc, pivots = solve_fixed_delta p classes delta in
-    incr lp_solves;
-    lp_pivots := !lp_pivots + pivots;
-    let best =
-      match best with
-      | Some (bphi, _, _) when bphi <= phi +. 1e-12 -> best
-      | _ -> Some (phi, alloc, delta)
-    in
-    if rounds >= max_rounds then best
+    if Prete_util.Clock.expired deadline then begin
+      degraded := true;
+      best
+    end
     else
-      let next, changed = improve_delta p classes delta alloc in
-      if not changed then best else loop next best (rounds + 1)
+      match solve_fixed_delta ?deadline p classes delta with
+      | exception Simplex.Timeout ->
+        degraded := true;
+        best
+      | phi, alloc, pivots, lp_degraded ->
+        incr lp_solves;
+        lp_pivots := !lp_pivots + pivots;
+        let best =
+          match best with
+          | Some (bphi, _, _) when bphi <= phi +. 1e-12 -> best
+          | _ -> Some (phi, alloc, delta)
+        in
+        if lp_degraded then begin
+          degraded := true;
+          best
+        end
+        else if rounds >= max_rounds then best
+        else
+          let next, changed = improve_delta p classes delta alloc in
+          if not changed then best else loop next best (rounds + 1)
   in
   let best = loop delta None 1 in
   (* Second start from the relaxation rounding when the loss-based
      fixpoint left residual loss. *)
   let best =
     match best with
-    | Some (phi, _, _) when relaxation_start && phi > 1e-9 -> (
-      match relaxation_delta p classes with
+    | Some (phi, _, _) when relaxation_start && phi > 1e-9 && not !degraded -> (
+      match relaxation_delta ?deadline p classes with
       | Some (delta_rx, pivots) ->
         incr lp_solves;
         lp_pivots := !lp_pivots + pivots;
@@ -328,16 +350,24 @@ let solve ?(second_phase = true) ?(max_rounds = 8) ?(relaxation_start = true) p 
     | _ -> best
   in
   match best with
-  | None -> assert false
+  | None -> raise Simplex.Timeout
   | Some (phi, alloc, delta) ->
     let expected_served, alloc =
-      if second_phase then begin
-        let served, alloc2, pivots = solve_second_phase p classes delta phi in
-        incr lp_solves;
-        lp_pivots := !lp_pivots + pivots;
-        (served, alloc2)
+      if second_phase && not (Prete_util.Clock.expired deadline) then begin
+        match solve_second_phase ?deadline p classes delta phi with
+        | exception Simplex.Timeout ->
+          degraded := true;
+          (nan, alloc)
+        | served, alloc2, pivots, lp_degraded ->
+          incr lp_solves;
+          lp_pivots := !lp_pivots + pivots;
+          if lp_degraded then degraded := true;
+          (served, alloc2)
       end
-      else (nan, alloc)
+      else begin
+        if second_phase then degraded := true;
+        (nan, alloc)
+      end
     in
     {
       phi;
@@ -345,6 +375,7 @@ let solve ?(second_phase = true) ?(max_rounds = 8) ?(relaxation_start = true) p 
       delta;
       classes;
       expected_served;
+      degraded = !degraded;
       stats = { lp_solves = !lp_solves; lp_pivots = !lp_pivots; mip_nodes = 0 };
     }
 
@@ -357,10 +388,11 @@ type admission = {
   adm_alloc : float array;
   adm_delta : bool array array;
   adm_classes : Scenario.Classes.cls array array;
+  adm_degraded : bool;
   adm_stats : stats;
 }
 
-let solve_admission_fixed p classes delta =
+let solve_admission_fixed ?deadline p classes delta =
   let m = Lp.create () in
   let a_vars = add_alloc_vars p m in
   add_capacity_rows p m a_vars;
@@ -393,13 +425,13 @@ let solve_admission_fixed p classes delta =
       classes
   in
   Lp.set_objective m Lp.Maximize !objective;
-  match Simplex.solve m with
+  match Simplex.solve ?deadline m with
   | Simplex.Optimal sol ->
     let alloc = Array.init (num_tunnels p) (fun t -> Simplex.value sol a_vars.(t)) in
     let admitted =
       Array.map (fun (b1, b2) -> Simplex.value sol b1 +. Simplex.value sol b2) b_vars
     in
-    (admitted, alloc, sol.Simplex.iterations)
+    (admitted, alloc, sol.Simplex.iterations, sol.Simplex.degraded)
   | Simplex.Infeasible ->
     raise (Infeasible_problem "admission LP infeasible (internal error)")
   | Simplex.Unbounded ->
@@ -444,7 +476,7 @@ let improve_delta_admission p classes delta alloc =
   in
   (next, !changed)
 
-let solve_admission ?(max_rounds = 6) ?(skip_unprotectable = false) p =
+let solve_admission ?(max_rounds = 6) ?(skip_unprotectable = false) ?deadline p =
   let classes = classes_of p in
   (* FFC-style full coverage would force b = 0 on any flow with a scenario
      class that no tunnel survives (e.g. double cuts killing all four
@@ -473,29 +505,44 @@ let solve_admission ?(max_rounds = 6) ?(skip_unprotectable = false) p =
     (total, !worst)
   in
   let better (t1, w1) (t2, w2) = t1 > t2 +. 1e-9 || (t1 >= t2 -. 1e-9 && w1 > w2 +. 1e-9) in
+  let degraded = ref false in
   let rec loop delta best rounds =
-    let admitted, alloc, pivots = solve_admission_fixed p classes delta in
-    incr lp_solves;
-    lp_pivots := !lp_pivots + pivots;
-    let sc = score admitted in
-    let best =
-      match best with
-      | Some (bsc, _, _, _) when not (better sc bsc) -> best
-      | _ -> Some (sc, admitted, alloc, delta)
-    in
-    if rounds >= max_rounds then best
+    if Prete_util.Clock.expired deadline then begin
+      degraded := true;
+      best
+    end
     else
-      let next, changed = improve_delta_admission p classes delta alloc in
-      if not changed then best else loop next best (rounds + 1)
+      match solve_admission_fixed ?deadline p classes delta with
+      | exception Simplex.Timeout ->
+        degraded := true;
+        best
+      | admitted, alloc, pivots, lp_degraded ->
+        incr lp_solves;
+        lp_pivots := !lp_pivots + pivots;
+        let sc = score admitted in
+        let best =
+          match best with
+          | Some (bsc, _, _, _) when not (better sc bsc) -> best
+          | _ -> Some (sc, admitted, alloc, delta)
+        in
+        if lp_degraded then begin
+          degraded := true;
+          best
+        end
+        else if rounds >= max_rounds then best
+        else
+          let next, changed = improve_delta_admission p classes delta alloc in
+          if not changed then best else loop next best (rounds + 1)
   in
   match loop delta None 1 with
-  | None -> assert false
+  | None -> raise Simplex.Timeout
   | Some (_, admitted, alloc, delta) ->
     {
       admitted;
       adm_alloc = alloc;
       adm_delta = delta;
       adm_classes = classes;
+      adm_degraded = !degraded;
       adm_stats = { lp_solves = !lp_solves; lp_pivots = !lp_pivots; mip_nodes = 0 };
     }
 
@@ -503,23 +550,26 @@ let solve_admission ?(max_rounds = 6) ?(skip_unprotectable = false) p =
 (* Exact MIP on the full formulation                                    *)
 (* ------------------------------------------------------------------ *)
 
-let solve_mip p =
+let solve_mip ?deadline p =
   let classes = classes_of p in
   let m, a_vars, phi, _l_vars, d_vars = build_full_mip p classes in
-  match Mip.solve m with
-  | Mip.Optimal sol ->
+  let of_incumbent ~degraded sol =
     let alloc = Array.init (num_tunnels p) (fun t -> Mip.value sol a_vars.(t)) in
-    let delta =
-      Array.map (Array.map (fun v -> Mip.value sol v >= 0.5)) d_vars
-    in
+    let delta = Array.map (Array.map (fun v -> Mip.value sol v >= 0.5)) d_vars in
     {
       phi = Mip.value sol phi;
       alloc;
       delta;
       classes;
       expected_served = nan;
+      degraded;
       stats = { lp_solves = 0; lp_pivots = 0; mip_nodes = sol.Mip.nodes };
     }
+  in
+  match Mip.solve ?deadline m with
+  | Mip.Optimal sol -> of_incumbent ~degraded:false sol
+  | Mip.Node_limit (Some sol) -> of_incumbent ~degraded:true sol
+  | Mip.Node_limit None -> raise Simplex.Timeout
   | Mip.Infeasible -> raise (Infeasible_problem "MIP infeasible")
   | Mip.Unbounded -> raise (Infeasible_problem "MIP unbounded (internal error)")
 
@@ -530,7 +580,7 @@ let solve_mip p =
 (* Subproblem: the full formulation with δ fixed; returns the optimum,
    the allocation, and the duals w of the (6) rows, which form the
    optimality cut  Φ ≥ SP(δ̂) + Σ w (δ − δ̂). *)
-let benders_subproblem p classes delta =
+let benders_subproblem ?deadline p classes delta =
   let m = Lp.create () in
   let a_vars = add_alloc_vars p m in
   let phi = Lp.add_var m ~ub:1.0 "phi" in
@@ -555,13 +605,13 @@ let benders_subproblem p classes delta =
         cls)
     classes;
   Lp.set_objective m Lp.Minimize [ (1.0, phi) ];
-  match Simplex.solve m with
+  match Simplex.solve ?deadline m with
   | Simplex.Optimal sol ->
     let alloc = Array.init (num_tunnels p) (fun t -> Simplex.value sol a_vars.(t)) in
     let w =
       Array.map (Array.map (fun row -> Simplex.dual sol row)) row_of
     in
-    (sol.Simplex.objective, alloc, w, sol.Simplex.iterations)
+    (sol.Simplex.objective, alloc, w, sol.Simplex.iterations, sol.Simplex.degraded)
   | Simplex.Infeasible ->
     raise (Infeasible_problem "Benders subproblem infeasible (internal error)")
   | Simplex.Unbounded ->
@@ -569,7 +619,7 @@ let benders_subproblem p classes delta =
 
 type cut = { base : float; coefs : float array array (* [flow][class] *) }
 
-let benders_master p classes cuts =
+let benders_master ?deadline p classes cuts =
   let m = Lp.create () in
   let phi = Lp.add_var m ~ub:1.0 "phi" in
   let d_vars =
@@ -601,14 +651,21 @@ let benders_master p classes cuts =
       ignore (Lp.add_constraint m !terms Lp.Ge cut.base))
     cuts;
   Lp.set_objective m Lp.Minimize [ (1.0, phi) ];
-  match Mip.solve ~max_nodes:50_000 m with
+  match Mip.solve ~max_nodes:50_000 ?deadline m with
   | Mip.Optimal sol ->
     let delta = Array.map (Array.map (fun v -> Mip.value sol v >= 0.5)) d_vars in
-    (sol.Mip.objective, delta, sol.Mip.nodes)
+    `Exact (sol.Mip.objective, delta, sol.Mip.nodes)
+  | Mip.Node_limit (Some sol) ->
+    (* The incumbent δ still satisfies the coverage rows, so the outer
+       loop may keep iterating with it — but its objective is no longer a
+       valid lower bound. *)
+    let delta = Array.map (Array.map (fun v -> Mip.value sol v >= 0.5)) d_vars in
+    `Truncated (delta, sol.Mip.nodes)
+  | Mip.Node_limit None -> `Gave_up
   | Mip.Infeasible -> raise (Infeasible_problem "Benders master infeasible")
   | Mip.Unbounded -> raise (Infeasible_problem "Benders master unbounded (internal error)")
 
-let solve_benders ?(eps = 1e-4) ?(max_iters = 40) p =
+let solve_benders ?(eps = 1e-4) ?(max_iters = 40) ?deadline p =
   let classes = classes_of p in
   (* Initialize δ = 1 (line 2 of Algorithm 2): directly satisfies (5). *)
   let delta = ref (Array.map (fun cls -> Array.make (Array.length cls) true) classes) in
@@ -617,33 +674,63 @@ let solve_benders ?(eps = 1e-4) ?(max_iters = 40) p =
   let cuts = ref [] in
   let lp_solves = ref 0 and lp_pivots = ref 0 and mip_nodes = ref 0 in
   let iters = ref 0 in
-  while !ub -. !lb > eps && !iters < max_iters do
+  let degraded = ref false in
+  let stop = ref false in
+  while (not !stop) && !ub -. !lb > eps && !iters < max_iters do
     incr iters;
-    (* Step 1: subproblem with fixed δ. *)
-    let sp_obj, alloc, w, pivots = benders_subproblem p classes !delta in
-    incr lp_solves;
-    lp_pivots := !lp_pivots + pivots;
-    if sp_obj < !ub then begin
-      ub := sp_obj;
-      best := Some (sp_obj, alloc, Array.map Array.copy !delta)
-    end;
-    (* Optimality cut: Φ ≥ sp_obj + Σ w (δ − δ̂). *)
-    let base = ref sp_obj in
-    Array.iteri
-      (fun f row ->
-        Array.iteri
-          (fun ci wv -> if !delta.(f).(ci) then base := !base -. wv)
-          row)
-      w;
-    cuts := { base = !base; coefs = w } :: !cuts;
-    (* Step 2: master problem. *)
-    let mp_obj, next_delta, nodes = benders_master p classes !cuts in
-    mip_nodes := !mip_nodes + nodes;
-    if mp_obj > !lb then lb := mp_obj;
-    delta := next_delta
+    if Prete_util.Clock.expired deadline then begin
+      degraded := true;
+      stop := true
+    end
+    else begin
+      (* Step 1: subproblem with fixed δ. *)
+      match benders_subproblem ?deadline p classes !delta with
+      | exception Simplex.Timeout ->
+        degraded := true;
+        stop := true
+      | sp_obj, alloc, w, pivots, sp_degraded ->
+        incr lp_solves;
+        lp_pivots := !lp_pivots + pivots;
+        if sp_obj < !ub then begin
+          ub := sp_obj;
+          best := Some (sp_obj, alloc, Array.map Array.copy !delta)
+        end;
+        if sp_degraded then begin
+          (* A degraded subproblem yields unreliable duals, so no cut can
+             be generated; keep the incumbent and stop. *)
+          degraded := true;
+          stop := true
+        end
+        else begin
+          (* Optimality cut: Φ ≥ sp_obj + Σ w (δ − δ̂). *)
+          let base = ref sp_obj in
+          Array.iteri
+            (fun f row ->
+              Array.iteri
+                (fun ci wv -> if !delta.(f).(ci) then base := !base -. wv)
+                row)
+            w;
+          cuts := { base = !base; coefs = w } :: !cuts;
+          (* Step 2: master problem. *)
+          match benders_master ?deadline p classes !cuts with
+          | `Exact (mp_obj, next_delta, nodes) ->
+            mip_nodes := !mip_nodes + nodes;
+            if mp_obj > !lb then lb := mp_obj;
+            delta := next_delta
+          | `Truncated (next_delta, nodes) ->
+            (* Usable δ but no valid lower bound: take one more subproblem
+               pass if budget allows, flagged degraded. *)
+            mip_nodes := !mip_nodes + nodes;
+            degraded := true;
+            delta := next_delta
+          | `Gave_up ->
+            degraded := true;
+            stop := true
+        end
+    end
   done;
   match !best with
-  | None -> raise (Infeasible_problem "Benders produced no incumbent")
+  | None -> raise Simplex.Timeout
   | Some (phi, alloc, delta) ->
     {
       phi;
@@ -651,5 +738,6 @@ let solve_benders ?(eps = 1e-4) ?(max_iters = 40) p =
       delta;
       classes;
       expected_served = nan;
+      degraded = !degraded;
       stats = { lp_solves = !lp_solves; lp_pivots = !lp_pivots; mip_nodes = !mip_nodes };
     }

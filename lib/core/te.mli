@@ -31,7 +31,16 @@
     l-elimination: for fixed δ, constraint (4) defines the minimal loss
     l = max(0, 1 − Σa/d) and (6) is active only on covered classes, so
     covered classes satisfy Σ_t a_{f,t} + d_f·Φ ≥ d_f and l never needs to
-    be materialized. *)
+    be materialized.
+
+    {b Anytime semantics.}  Every strategy accepts an optional absolute
+    [deadline] (on {!Prete_util.Clock.now}) threaded through to
+    {!Prete_lp.Simplex} and {!Prete_lp.Mip}.  Budget expiry does not
+    raise once any feasible allocation is known: the strategy stops,
+    returns its best incumbent, and sets [degraded = true] on the result
+    (the Φ reported is an upper bound, not proven optimal).  Only when
+    the budget expires before {e any} feasible point exists does the
+    strategy raise {!Prete_lp.Simplex.Timeout}. *)
 
 type problem = {
   ts : Prete_net.Tunnels.t;  (** Pre-established ∪ newly-established tunnels. *)
@@ -50,6 +59,9 @@ type solution = {
   expected_served : float;
       (** Probability- and demand-weighted served fraction (second phase);
           [nan] when the second phase is disabled. *)
+  degraded : bool;
+      (** [true] when a solve budget expired along the way: [alloc] is
+          feasible but [phi] is only an upper bound on the optimum. *)
   stats : stats;
 }
 
@@ -78,24 +90,33 @@ val class_loss : problem -> alloc:float array -> flow:int -> Scenario.Classes.cl
     [max 0 (1 − surviving_alloc / demand)]; 0 for zero-demand flows. *)
 
 val solve :
-  ?second_phase:bool -> ?max_rounds:int -> ?relaxation_start:bool -> problem -> solution
+  ?second_phase:bool ->
+  ?max_rounds:int ->
+  ?relaxation_start:bool ->
+  ?deadline:float ->
+  problem ->
+  solution
 (** The δ-fixpoint heuristic (default strategy).  [second_phase] default
     [true]; [max_rounds] default 8.  [relaxation_start] (default [true])
     adds a second start from an LP-relaxation-guided δ rounding whenever
     the loss-based fixpoint leaves residual loss — it sees cross-flow
     capacity coupling the greedy misses (cf. the Fig. 2 instance) at the
-    cost of one larger LP; evaluation sweeps disable it. *)
+    cost of one larger LP; evaluation sweeps disable it.  When [deadline]
+    expires mid-fixpoint the best round so far is returned with
+    [degraded = true]; the relaxation start and second phase are skipped
+    under an expired budget. *)
 
 type admission = {
   admitted : float array;  (** b_f per flow: the rate-limited admission. *)
   adm_alloc : float array;  (** a_{f,t} by tunnel id. *)
   adm_delta : bool array array;
   adm_classes : Scenario.Classes.cls array array;
+  adm_degraded : bool;  (** Analogous to {!solution.degraded}. *)
   adm_stats : stats;
 }
 
 val solve_admission :
-  ?max_rounds:int -> ?skip_unprotectable:bool -> problem -> admission
+  ?max_rounds:int -> ?skip_unprotectable:bool -> ?deadline:float -> problem -> admission
 (** TeaVar/FFC-style admission control: maximize Σ_f b_f subject to
     [b_f ≤ d_f] and lossless delivery of [b_f] in every covered scenario
     class (coverage ≥ β under the problem's probabilities).  Traffic is
@@ -108,10 +129,15 @@ val solve_admission :
     guarantees losslessness only for failure combinations that leave the
     flow connected. *)
 
-val solve_mip : problem -> solution
+val solve_mip : ?deadline:float -> problem -> solution
 (** Exact branch-and-bound over δ (full formulation).  Intended for small
-    instances; raises {!Prete_lp.Simplex.Numerical} beyond node limits. *)
+    instances.  Node-budget or deadline exhaustion returns the best
+    integral incumbent with [degraded = true] (raises
+    {!Prete_lp.Simplex.Timeout} when none exists yet). *)
 
-val solve_benders : ?eps:float -> ?max_iters:int -> problem -> solution
+val solve_benders : ?eps:float -> ?max_iters:int -> ?deadline:float -> problem -> solution
 (** Algorithm 2.  [eps] (default 1e-4) is the UB−LB convergence threshold;
-    [max_iters] default 40. *)
+    [max_iters] default 40.  Under deadline pressure the loop stops with
+    the best subproblem incumbent ([degraded = true]); a truncated master
+    search invalidates the lower bound but its δ is still coverage-feasible
+    and is used for one more subproblem pass. *)

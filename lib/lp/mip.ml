@@ -1,11 +1,15 @@
 type solution = { objective : float; values : float array; nodes : int }
 
-type outcome = Optimal of solution | Infeasible | Unbounded
+type outcome =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Node_limit of solution option
 
 let int_eps = 1e-6
 
 (* A node is a set of fixings for binary variables: (var, value) list. *)
-let solve ?(max_nodes = 100_000) ?(gap = 1e-6) ?(max_iters = 200_000) model =
+let solve ?(max_nodes = 100_000) ?(gap = 1e-6) ?(max_iters = 200_000) ?deadline model =
   let binaries = Array.of_list (Lp.binaries model) in
   let dir, _ = Lp.Internal.objective model in
   let better a b =
@@ -51,13 +55,23 @@ let solve ?(max_nodes = 100_000) ?(gap = 1e-6) ?(max_iters = 200_000) model =
   let incumbent = ref None in
   let nodes = ref 0 in
   let any_unbounded = ref false in
+  (* Set when the search is cut short: node budget, deadline, an LP that
+     timed out before feasibility, or an LP returned degraded (its
+     objective is no longer a valid pruning bound).  The incumbent found
+     so far is still exact-feasible and is returned as [Node_limit]. *)
+  let stopped = ref false in
   let rec branch fixings =
-    incr nodes;
-    if !nodes > max_nodes then raise (Simplex.Numerical "Mip: node limit exceeded");
-    match Simplex.solve ~max_iters (build_node fixings) with
-    | Simplex.Infeasible -> ()
-    | Simplex.Unbounded -> any_unbounded := true
-    | Simplex.Optimal sol ->
+    if !stopped then ()
+    else begin
+      incr nodes;
+      if !nodes > max_nodes || Prete_util.Clock.expired deadline then stopped := true
+      else
+        match Simplex.solve ~max_iters ?deadline (build_node fixings) with
+        | exception Simplex.Timeout -> stopped := true
+        | Simplex.Optimal sol when sol.Simplex.degraded -> stopped := true
+        | Simplex.Infeasible -> ()
+        | Simplex.Unbounded -> any_unbounded := true
+        | Simplex.Optimal sol ->
       let dominated =
         match !incumbent with
         | None -> false
@@ -100,10 +114,16 @@ let solve ?(max_nodes = 100_000) ?(gap = 1e-6) ?(max_iters = 200_000) model =
           branch ((v, second) :: fixings)
         end
       end
+    end
   in
   branch [];
-  match !incumbent with
-  | Some (objective, values) -> Optimal { objective; values; nodes = !nodes }
-  | None -> if !any_unbounded then Unbounded else Infeasible
+  let incumbent_solution () =
+    Option.map (fun (objective, values) -> { objective; values; nodes = !nodes }) !incumbent
+  in
+  if !stopped then Node_limit (incumbent_solution ())
+  else
+    match incumbent_solution () with
+    | Some sol -> Optimal sol
+    | None -> if !any_unbounded then Unbounded else Infeasible
 
 let value sol (v : Lp.var) = sol.values.((v :> int))

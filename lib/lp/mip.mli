@@ -7,7 +7,14 @@
     LP relaxation bound against the incumbent.
 
     For minimization: a node is pruned when its relaxation is no better
-    than [incumbent - gap].  Default absolute gap 1e-6. *)
+    than [incumbent - gap].  Default absolute gap 1e-6.
+
+    {b Anytime semantics.}  Exhausting the node budget or the wall-clock
+    deadline does not raise: the search stops and returns {!Node_limit}
+    carrying the best integral incumbent found so far ([None] when the
+    budget expired before any incumbent).  The same happens when an inner
+    LP relaxation runs out of budget, since a degraded relaxation
+    objective is no longer a valid pruning bound. *)
 
 type solution = {
   objective : float;
@@ -15,13 +22,25 @@ type solution = {
   nodes : int;  (** Branch-and-bound nodes explored. *)
 }
 
-type outcome = Optimal of solution | Infeasible | Unbounded
+type outcome =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Node_limit of solution option
+      (** Search budget exhausted; carries the best feasible integral
+          incumbent, which is {e not} proven optimal. *)
 
 val solve :
-  ?max_nodes:int -> ?gap:float -> ?max_iters:int -> Lp.model -> outcome
+  ?max_nodes:int ->
+  ?gap:float ->
+  ?max_iters:int ->
+  ?deadline:float ->
+  Lp.model ->
+  outcome
 (** [solve m] solves [m] to proven optimality over its binary variables.
-    [max_nodes] (default 100_000) caps the search; exceeding it raises
-    {!Simplex.Numerical}.  Models without binaries reduce to one simplex
-    solve. *)
+    [max_nodes] (default 100_000) caps the search; exceeding it — or the
+    absolute [deadline] on {!Prete_util.Clock.now} — yields {!Node_limit}
+    with the incumbent instead of raising.  Models without binaries reduce
+    to one simplex solve. *)
 
 val value : solution -> Lp.var -> float

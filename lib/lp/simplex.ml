@@ -3,11 +3,14 @@ type solution = {
   values : float array;
   duals : float array;
   iterations : int;
+  degraded : bool;
 }
 
 type outcome = Optimal of solution | Infeasible | Unbounded
 
 exception Numerical of string
+
+exception Timeout
 
 let eps = 1e-9
 let feas_eps = 1e-7
@@ -79,11 +82,19 @@ let leaving_row t col =
   !best
 
 (* One optimization phase.  [banned c] excludes columns from entering.
-   Returns [`Optimal] or [`Unbounded], counting pivots in [iters]. *)
-let optimize t ~banned ~max_iters iters =
+   Returns [`Optimal], [`Unbounded] or [`Budget] (pivot limit or deadline
+   expired — the current basis is the best incumbent this phase has),
+   counting pivots in [iters].  The deadline is polled every 64 pivots to
+   keep the clock read off the pivot hot path. *)
+let optimize t ~banned ~max_iters ?deadline iters =
   let bland_threshold = 20 * (t.m + t.n) in
+  let out_of_budget () =
+    !iters > max_iters
+    || (!iters land 63 = 0 && Prete_util.Clock.expired deadline)
+  in
   let rec loop () =
-    if !iters > max_iters then raise (Numerical "Simplex: iteration limit exceeded");
+    if out_of_budget () then `Budget
+    else
     let use_bland = !iters > bland_threshold in
     let entering = ref (-1) and best = ref (-.eps) in
     (try
@@ -133,7 +144,7 @@ let install_costs t c =
 
 type norm_row = { coefs : (int * float) list; sense : Lp.sense; rhs : float; flipped : bool }
 
-let solve ?(max_iters = 200_000) model =
+let solve ?(max_iters = 200_000) ?deadline model =
   let bounds = Lp.Internal.bounds model in
   let constrs = Lp.Internal.constraints model in
   let dir, obj_coefs = Lp.Internal.objective model in
@@ -236,8 +247,9 @@ let solve ?(max_iters = 200_000) model =
   let phase1_cost = Array.make n 0.0 in
   Array.iteri (fun j k -> match k with Artificial _ -> phase1_cost.(j) <- 1.0 | _ -> ()) kinds;
   install_costs t phase1_cost;
-  (match optimize t ~banned:(fun _ -> false) ~max_iters iters with
+  (match optimize t ~banned:(fun _ -> false) ~max_iters ?deadline iters with
   | `Unbounded -> raise (Numerical "Simplex: phase 1 unbounded (internal error)")
+  | `Budget -> raise Timeout (* no feasible point yet: nothing to return *)
   | `Optimal -> ());
   (* obj_val tracks -(current phase-1 objective). *)
   if -.t.obj_val > feas_eps then Infeasible
@@ -269,9 +281,7 @@ let solve ?(max_iters = 200_000) model =
       phase2_cost.(j) <- sign *. obj_coefs.(j)
     done;
     install_costs t phase2_cost;
-    match optimize t ~banned:is_artificial ~max_iters iters with
-    | `Unbounded -> Unbounded
-    | `Optimal ->
+    let extract ~degraded =
       let shifted = Array.make nv 0.0 in
       for i = 0 to m - 1 do
         match kinds.(t.basis.(i)) with
@@ -298,7 +308,15 @@ let solve ?(max_iters = 200_000) model =
             let raw = if row_arr.(i).flipped then -.y.(i) else y.(i) in
             sign *. raw)
       in
-      Optimal { objective; values; duals; iterations = !iters }
+      Optimal { objective; values; duals; iterations = !iters; degraded }
+    in
+    match optimize t ~banned:is_artificial ~max_iters ?deadline iters with
+    | `Unbounded -> Unbounded
+    | `Optimal -> extract ~degraded:false
+    | `Budget ->
+      (* Phase 2 maintains primal feasibility: the interrupted vertex is
+         the best incumbent — return it flagged instead of raising. *)
+      extract ~degraded:true
   end
 
 let value sol (v : Lp.var) = sol.values.((v :> int))

@@ -13,29 +13,48 @@
 
     Duals are reported as shadow prices of the original constraints:
     [dual sol i] is ∂(objective)/∂(rhs of constraint i) at the optimum,
-    regardless of constraint sense or optimization direction. *)
+    regardless of constraint sense or optimization direction.
+
+    {b Anytime semantics.}  The solve budget is a pivot limit and an
+    optional wall-clock deadline (read on {!Prete_util.Clock}).  Because
+    the primal simplex maintains feasibility throughout Phase 2, budget
+    expiry after feasibility is reached is {e not} an error: the solver
+    stops and returns the current vertex as an {!Optimal} solution with
+    [degraded = true] — a feasible incumbent whose objective is only an
+    upper bound (for minimization) on the true optimum, and whose duals
+    are those of the interrupted basis (not valid shadow prices).  Budget
+    expiry during Phase 1, before any feasible point is known, raises
+    {!Timeout}. *)
 
 type solution = {
-  objective : float;  (** Optimal objective in the original direction. *)
+  objective : float;  (** Objective in the original direction. *)
   values : float array;  (** Primal values indexed by variable. *)
   duals : float array;  (** Shadow prices indexed by constraint. *)
   iterations : int;  (** Total simplex pivots across both phases. *)
+  degraded : bool;
+      (** [true] when the budget expired in Phase 2: [values] is feasible
+          but possibly suboptimal and [duals] is unreliable. *)
 }
 
 type outcome = Optimal of solution | Infeasible | Unbounded
 
 exception Numerical of string
-(** Raised when the pivot limit is exceeded (an instance far outside the
-    sizes this solver is designed for, or severe degeneracy). *)
+(** Raised on internal numerical failures (e.g. an unbounded Phase 1,
+    which cannot happen on well-formed input). *)
 
-val solve : ?max_iters:int -> Lp.model -> outcome
+exception Timeout
+(** Raised when the pivot or deadline budget expires before a feasible
+    point exists (Phase 1), so no incumbent can be returned. *)
+
+val solve : ?max_iters:int -> ?deadline:float -> Lp.model -> outcome
 (** Solve the continuous relaxation of the model.  [max_iters] defaults to
-    200_000 pivots. *)
+    200_000 pivots.  [deadline] is an absolute time on
+    {!Prete_util.Clock.now}; see the anytime semantics above. *)
 
 val value : solution -> Lp.var -> float
 val dual : solution -> int -> float
 
 val feasible : ?eps:float -> Lp.model -> float array -> bool
 (** [feasible m x] checks a candidate point against every constraint and
-    bound of the model; used by tests and by the MIP layer to validate
-    incumbents. Default [eps] 1e-6. *)
+    bound of the model; used by tests, the MIP layer, and the resilience
+    fallback ladder to validate incumbents. Default [eps] 1e-6. *)

@@ -84,6 +84,43 @@ let degradation_visible ~granularity_s tr =
   in
   scan 0
 
+type fault =
+  | Dropout of { start_s : int; len_s : int }
+  | Stuck of { start_s : int; len_s : int }
+  | Burst of { start_s : int; len_s : int; amp : float }
+
+let corrupt ?(seed = 11) faults tr =
+  let rng = Rng.create seed in
+  let n = Array.length tr.samples in
+  let samples = Array.copy tr.samples in
+  let window start_s len_s =
+    let lo = max 0 start_s in
+    let hi = min (n - 1) (start_s + len_s - 1) in
+    (lo, hi)
+  in
+  List.iter
+    (fun fault ->
+      match fault with
+      | Dropout { start_s; len_s } ->
+        let lo, hi = window start_s len_s in
+        for i = lo to hi do
+          (* No reading: downstream consumers see a clean baseline. *)
+          samples.(i) <- tr.baseline
+        done
+      | Stuck { start_s; len_s } ->
+        let lo, hi = window start_s len_s in
+        let held = if lo > 0 then samples.(lo - 1) else tr.baseline in
+        for i = lo to hi do
+          samples.(i) <- held
+        done
+      | Burst { start_s; len_s; amp } ->
+        let lo, hi = window start_s len_s in
+        for i = lo to hi do
+          samples.(i) <- samples.(i) +. (amp *. Rng.gaussian rng)
+        done)
+    faults;
+  { tr with samples }
+
 let coverage_occurrence ?(seed = 5) ~granularity_s ds =
   if granularity_s <= 0 then invalid_arg "Telemetry.coverage_occurrence: granularity";
   let rng = Rng.create seed in

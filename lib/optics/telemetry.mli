@@ -53,6 +53,23 @@ val degradation_visible : granularity_s:int -> trace -> bool
 (** True when at least one polled sample lands in the degraded state
     before any cut sample. *)
 
+type fault =
+  | Dropout of { start_s : int; len_s : int }
+      (** The monitor reports nothing; downstream sees baseline readings,
+          masking whatever the fiber is actually doing. *)
+  | Stuck of { start_s : int; len_s : int }
+      (** Samples frozen at the last value before [start_s]. *)
+  | Burst of { start_s : int; len_s : int; amp : float }
+      (** Additive Gaussian noise of standard deviation [amp] dB. *)
+
+val corrupt : ?seed:int -> fault list -> trace -> trace
+(** Apply monitoring faults to a trace (fresh copy; the input is not
+    mutated).  Windows are clamped to the trace; later faults in the
+    list see the effect of earlier ones.  These are the trace-level
+    analogues of the epoch-level fault classes in the core library's
+    [Faults] module, used to test what {!classify} and
+    {!degradation_visible} conclude from a faulty monitor. *)
+
 val coverage_occurrence :
   ?seed:int -> granularity_s:int -> Dataset.t -> float * float
 (** Monte-Carlo over the event log with a random polling phase per event:

@@ -1,0 +1,14 @@
+(* High-water-marked gettimeofday: non-decreasing within the process. *)
+
+let high_water = ref neg_infinity
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !high_water then high_water := t;
+  !high_water
+
+let elapsed_since t0 = Float.max 0.0 (now () -. t0)
+
+let deadline_after budget_s = now () +. budget_s
+
+let expired = function None -> false | Some d -> now () > d

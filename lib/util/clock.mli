@@ -1,0 +1,25 @@
+(** Monotonicized wall clock for durations and deadlines.
+
+    [Unix.gettimeofday] can step backwards under NTP corrections, which
+    turns stage durations negative and makes deadline arithmetic lie
+    exactly when the control loop is under pressure.  This module wraps it
+    with a high-water mark so {!now} is non-decreasing within a process:
+    a backwards step freezes the clock until real time catches up, which
+    biases durations towards zero instead of below it.
+
+    All deadline-bounded solving ({!Prete_lp.Simplex.solve},
+    {!Prete_lp.Mip.solve}, the [Te] strategies) and the controller's stage
+    timing read this clock, never [Unix.gettimeofday] directly. *)
+
+val now : unit -> float
+(** Seconds since the epoch, guaranteed non-decreasing across calls. *)
+
+val elapsed_since : float -> float
+(** [elapsed_since t0] is [max 0 (now () - t0)]. *)
+
+val deadline_after : float -> float
+(** [deadline_after budget_s] is an absolute deadline [now () + budget_s]
+    suitable for the [?deadline] parameters of the solver stack. *)
+
+val expired : float option -> bool
+(** [expired deadline] is [true] when a deadline is set and has passed. *)

@@ -1,0 +1,154 @@
+(* Deterministic seeded chaos tests: the fault-injection harness drives
+   the controller through every fault class and the control loop must
+   never throw — every epoch yields a feasible plan from some rung of
+   the fallback ladder. *)
+
+open Prete
+open Prete_net
+
+let square () =
+  let fibers =
+    [| (0, 1, 100.0); (1, 2, 100.0); (2, 3, 100.0); (3, 0, 100.0); (0, 2, 500.0) |]
+  in
+  let links =
+    Array.of_list
+      (List.concat_map
+         (fun (f, (a, b)) -> [ (a, b, 10.0, [ f ]); (b, a, 10.0, [ f ]) ])
+         [ (0, (0, 1)); (1, (1, 2)); (2, (2, 3)); (3, (3, 0)); (4, (0, 2)) ])
+  in
+  Topology.make ~name:"square" ~node_names:[| "n0"; "n1"; "n2"; "n3" |] ~fibers ~links
+
+let env = lazy (Availability.make_env (square ()))
+
+let scheme () =
+  let topo = square () in
+  Schemes.prete_default
+    ~predictor:(Prete_optics.Hazard.eval ~num_fibers:(Topology.num_fibers topo))
+    ()
+
+let epochs = 60
+
+let counts_sum r =
+  Simulate.(r.c_primary + r.c_cached + r.c_equal_split)
+
+(* The headline guarantee: with every fault class firing at once, at an
+   aggressive rate, the controller-driven loop never raises and every
+   epoch is served by exactly one ladder rung. *)
+let test_never_throws_under_all_faults () =
+  let env = Lazy.force env in
+  let faults =
+    List.map
+      (fun fault -> { Faults.fault; rate = 0.8 })
+      (Array.to_list Faults.all_classes)
+  in
+  let r =
+    Simulate.run_chaos ~seed:42 ~epochs ~faults ~pressure_budget_s:0.002 env
+      (scheme ()) ~scale:1.0
+  in
+  Alcotest.(check int) "epochs" epochs r.Simulate.c_epochs;
+  Alcotest.(check int) "every epoch served by exactly one rung" epochs (counts_sum r);
+  Alcotest.(check bool) "availability in [0,1]" true
+    (r.Simulate.c_availability >= 0.0 && r.Simulate.c_availability <= 1.0);
+  Alcotest.(check bool) "faults actually fired" true (r.Simulate.c_fault_epochs > 0)
+
+(* Each class alone, at rate 1.0, must also be survivable. *)
+let test_each_class_alone () =
+  let env = Lazy.force env in
+  Array.iter
+    (fun fault ->
+      let r =
+        Simulate.run_chaos ~seed:7 ~epochs ~faults:[ { Faults.fault; rate = 1.0 } ]
+          ~pressure_budget_s:0.0 env (scheme ()) ~scale:1.0
+      in
+      let name = Faults.class_name fault in
+      Alcotest.(check int) (name ^ ": rungs cover epochs") epochs (counts_sum r);
+      (* Dropout and solver pressure are unconditional; the sensor and
+         signal faults only fire on epochs with the matching degradation
+         state, so for them we only require survival. *)
+      match fault with
+      | Faults.Telemetry_dropout | Faults.Solver_pressure ->
+          Alcotest.(check int) (name ^ ": all epochs faulted") epochs
+            r.Simulate.c_fault_epochs
+      | _ -> ())
+    Faults.all_classes
+
+(* Solver pressure with a zero budget starves the primary solve: the
+   deadline is already expired, so every epoch lands on a fallback and
+   the recorded root cause is the solver timeout. *)
+let test_solver_pressure_starves_primary () =
+  let env = Lazy.force env in
+  let r =
+    Simulate.run_chaos ~seed:5 ~epochs
+      ~faults:[ { Faults.fault = Faults.Solver_pressure; rate = 1.0 } ]
+      ~pressure_budget_s:0.0 env (scheme ()) ~scale:1.0
+  in
+  Alcotest.(check int) "no primary epochs" 0 r.Simulate.c_primary;
+  Alcotest.(check int) "all epochs degraded" epochs r.Simulate.c_degraded_plans;
+  Alcotest.(check bool) "solver-timeout is a recorded cause" true
+    (List.mem_assoc "solver-timeout" r.Simulate.c_causes)
+
+let test_dropout_produces_gaps () =
+  let env = Lazy.force env in
+  let r =
+    Simulate.run_chaos ~seed:5 ~epochs
+      ~faults:[ { Faults.fault = Faults.Telemetry_dropout; rate = 1.0 } ]
+      env (scheme ()) ~scale:1.0
+  in
+  Alcotest.(check int) "every epoch is a gap" epochs r.Simulate.c_gap_epochs;
+  Alcotest.(check int) "no primary under total dropout" 0 r.Simulate.c_primary
+
+let test_deterministic () =
+  let env = Lazy.force env in
+  let faults = [ { Faults.fault = Faults.Noise_burst; rate = 0.5 } ] in
+  let run () = Simulate.run_chaos ~seed:99 ~epochs ~faults env (scheme ()) ~scale:1.0 in
+  let a = run () and b = run () in
+  Alcotest.(check (float 0.0)) "availability" a.Simulate.c_availability
+    b.Simulate.c_availability;
+  Alcotest.(check int) "primary" a.Simulate.c_primary b.Simulate.c_primary;
+  Alcotest.(check int) "equal split" a.Simulate.c_equal_split b.Simulate.c_equal_split
+
+(* Fault-free chaos run = the plain control loop: the primary solve
+   serves every epoch and nothing is degraded. *)
+let test_fault_free_baseline_is_clean () =
+  let env = Lazy.force env in
+  let r = Simulate.run_chaos ~seed:11 ~epochs env (scheme ()) ~scale:1.0 in
+  Alcotest.(check int) "all primary" epochs r.Simulate.c_primary;
+  Alcotest.(check int) "no gaps" 0 r.Simulate.c_gap_epochs;
+  Alcotest.(check int) "no faults" 0 r.Simulate.c_fault_epochs
+
+let test_sweep_covers_all_classes () =
+  let env = Lazy.force env in
+  let baseline, entries =
+    Simulate.chaos_sweep ~seed:3 ~epochs:30 env (scheme ()) ~scale:1.0
+  in
+  Alcotest.(check int) "one entry per class" (Array.length Faults.all_classes)
+    (Array.length entries);
+  Array.iter
+    (fun e ->
+      let name = Faults.class_name e.Simulate.sw_class in
+      Alcotest.(check bool) (name ^ ": finite delta") true
+        (Float.is_finite e.Simulate.sw_delta);
+      Alcotest.(check (float 1e-12)) (name ^ ": delta consistent")
+        (e.Simulate.sw_result.Simulate.c_availability
+        -. baseline.Simulate.c_availability)
+        e.Simulate.sw_delta)
+    entries
+
+let () =
+  Alcotest.run "prete_chaos"
+    [
+      ( "chaos",
+        [
+          Alcotest.test_case "never throws under all faults" `Quick
+            test_never_throws_under_all_faults;
+          Alcotest.test_case "each class alone" `Quick test_each_class_alone;
+          Alcotest.test_case "solver pressure starves primary" `Quick
+            test_solver_pressure_starves_primary;
+          Alcotest.test_case "dropout produces gaps" `Quick test_dropout_produces_gaps;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "fault-free baseline clean" `Quick
+            test_fault_free_baseline_is_clean;
+          Alcotest.test_case "sweep covers all classes" `Quick
+            test_sweep_covers_all_classes;
+        ] );
+    ]

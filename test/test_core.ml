@@ -339,6 +339,33 @@ let test_te_make_problem_validation () =
     (Invalid_argument "Te.make_problem: demands/flows mismatch") (fun () ->
       ignore (Te.make_problem ~ts ~demands:[| 1.0; 2.0 |] ~probs:[| 0.1; 0.1; 0.1 |] ~beta:0.9 ()))
 
+let test_te_beta_above_truncated_mass () =
+  (* Five fibers at p = 0.05, truncated at order 1: the enumerated
+     scenarios cover ~0.9774 of the probability mass.  Asking for
+     β = 0.999 without normalization is impossible and must be rejected
+     eagerly by [make_problem]; with normalization (the default) the
+     covered mass is rescaled to 1 and the problem solves. *)
+  let topo = square () in
+  let ts = Tunnels.build topo [ (0, 2) ] in
+  let demands = [| 5.0 |] in
+  let probs = Array.make (Topology.num_fibers topo) 0.05 in
+  (match
+     Te.make_problem ~ts ~demands ~probs ~max_order:1 ~beta:0.999 ~normalize:false ()
+   with
+  | exception Te.Infeasible_problem msg ->
+      let mentions_beta =
+        let n = String.length msg and m = String.length "beta" in
+        let rec scan i = i + m <= n && (String.sub msg i m = "beta" || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool) "message names beta" true mentions_beta
+  | _ -> Alcotest.fail "expected Infeasible_problem for beta above covered mass");
+  (* Same construction with normalization succeeds and solves. *)
+  let p = Te.make_problem ~ts ~demands ~probs ~max_order:1 ~beta:0.999 () in
+  let sol = Te.solve p in
+  Alcotest.(check bool) "solves once normalized" true (sol.Te.phi >= 0.0);
+  Alcotest.(check bool) "not degraded" false sol.Te.degraded
+
 let test_te_admission_caps () =
   let p = fig2_problem ~demands:[| 25.0; 25.0 |] ~probs:[| 0.02; 0.03; 0.01 |] ~beta:0.9 in
   let adm = Te.solve_admission p in
@@ -605,7 +632,7 @@ let test_nines () =
 (* ------------------------------------------------------------------ *)
 
 let test_controller_timeline () =
-  let r =
+  let (), r =
     Controller.run
       ~infer:(fun () -> ())
       ~regen:(fun () -> ())
@@ -634,7 +661,7 @@ let test_controller_linear_updates () =
     (Controller.tunnel_update_time 20)
 
 let test_controller_budget () =
-  let r =
+  let (), r =
     Controller.run
       ~infer:(fun () -> ())
       ~regen:(fun () -> ())
@@ -774,6 +801,8 @@ let () =
           Alcotest.test_case "Benders on B4" `Slow test_te_benders_converges_b4;
           Alcotest.test_case "monotone in beta" `Quick test_te_monotone_in_beta;
           Alcotest.test_case "validation" `Quick test_te_make_problem_validation;
+          Alcotest.test_case "beta above truncated mass" `Quick
+            test_te_beta_above_truncated_mass;
           Alcotest.test_case "admission caps" `Quick test_te_admission_caps;
           Alcotest.test_case "admission saturates" `Quick test_te_admission_saturates_when_abundant;
           Alcotest.test_case "admission skip unprotectable" `Quick test_te_admission_skip_unprotectable;

@@ -94,7 +94,7 @@ let test_pipeline_controller_budget () =
   let probs =
     Calibrate.probabilities (Calibrate.Calibrated (Prete_ml.Mlp.predict_proba nn)) model obs
   in
-  let report =
+  let (), report =
     Controller.run
       ~infer:(fun () -> ignore (Prete_ml.Mlp.predict_proba nn event))
       ~regen:(fun () -> ignore (Scenario.enumerate ~probs ()))

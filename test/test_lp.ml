@@ -431,7 +431,7 @@ let prop_mip_matches_enumeration =
       match Mip.solve m with
       | Mip.Optimal sol -> Float.abs (sol.Mip.objective -. !best) < 1e-6
       | Mip.Infeasible -> !best = neg_infinity
-      | Mip.Unbounded -> false)
+      | Mip.Unbounded | Mip.Node_limit _ -> false)
 
 let prop_mip_solution_integral_and_feasible =
   QCheck.Test.make ~name:"MIP incumbents integral and feasible" ~count:40
@@ -537,13 +537,25 @@ let prop_complementary_slackness =
       | _ -> false)
 
 let test_simplex_iteration_limit () =
-  (* A pathological limit must raise Numerical, not loop forever. *)
+  (* Anytime semantics: a pathological pivot limit in Phase 2 returns the
+     current feasible vertex flagged degraded instead of raising. *)
   let m = Lp.create () in
   let x = Lp.add_var m "x" and y = Lp.add_var m "y" in
   ignore (Lp.add_constraint m [ (1.0, x); (1.0, y) ] Lp.Le 10.0);
   Lp.set_objective m Lp.Maximize [ (1.0, x); (1.0, y) ];
-  Alcotest.check_raises "limit" (Simplex.Numerical "Simplex: iteration limit exceeded")
-    (fun () -> ignore (Simplex.solve ~max_iters:0 m))
+  (match Simplex.solve ~max_iters:0 m with
+  | Simplex.Optimal sol ->
+    Alcotest.(check bool) "degraded" true sol.Simplex.degraded;
+    Alcotest.(check bool) "feasible incumbent" true (Simplex.feasible m sol.Simplex.values)
+  | _ -> Alcotest.fail "expected a degraded incumbent");
+  (* Budget expiry in Phase 1 (a Ge row needs an artificial pivot) has no
+     incumbent to return and raises Timeout. *)
+  let m1 = Lp.create () in
+  let z = Lp.add_var m1 "z" in
+  ignore (Lp.add_constraint m1 [ (1.0, z) ] Lp.Ge 5.0);
+  Lp.set_objective m1 Lp.Minimize [ (1.0, z) ];
+  Alcotest.check_raises "phase 1 budget" Simplex.Timeout (fun () ->
+      ignore (Simplex.solve ~max_iters:0 m1))
 
 (* ------------------------------------------------------------------ *)
 

@@ -264,6 +264,40 @@ let test_coarse_sampling_misses_short_degradation () =
   Alcotest.(check bool) "180 s sampling misses it" false
     (Telemetry.degradation_visible ~granularity_s:180 tr)
 
+let test_corrupt_dropout_masks_degradation () =
+  (* A dropout window over the whole degradation makes the monitor report
+     baseline readings: fine-grained sampling no longer sees it. *)
+  let f = { (sample_features ()) with Hazard.degree = 6.0; Hazard.duration_s = 45.0 } in
+  let tr =
+    Telemetry.synthesize ~baseline:20.0 ~healthy_s:65 ~degradation:f ~cut_at_s:110
+      ~total_s:400 ()
+  in
+  Alcotest.(check bool) "visible before corruption" true
+    (Telemetry.degradation_visible ~granularity_s:1 tr);
+  let masked =
+    Telemetry.corrupt [ Telemetry.Dropout { start_s = 60; len_s = 55 } ] tr
+  in
+  Alcotest.(check bool) "masked by dropout" false
+    (Telemetry.degradation_visible ~granularity_s:1 masked);
+  (* The input trace is untouched. *)
+  Alcotest.(check bool) "original intact" true
+    (Telemetry.degradation_visible ~granularity_s:1 tr)
+
+let test_corrupt_stuck_freezes_value () =
+  let f = { (sample_features ()) with Hazard.degree = 6.0; Hazard.duration_s = 45.0 } in
+  let tr =
+    Telemetry.synthesize ~baseline:20.0 ~healthy_s:65 ~degradation:f ~cut_at_s:110
+      ~total_s:400 ()
+  in
+  let stuck =
+    Telemetry.corrupt [ Telemetry.Stuck { start_s = 50; len_s = 300 } ] tr
+  in
+  let states = Telemetry.states stuck in
+  (* The sensor froze on a healthy reading, so the cut at 110 s is
+     invisible until the window ends at 350 s. *)
+  Alcotest.(check bool) "cut hidden while stuck" true (states.(200) = Telemetry.Healthy);
+  Alcotest.(check bool) "cut visible after window" true (states.(399) = Telemetry.Cut)
+
 let test_observed_states_count () =
   let tr = Telemetry.synthesize ~baseline:20.0 ~healthy_s:400 ~total_s:400 () in
   Alcotest.(check int) "polls" 4 (Array.length (Telemetry.observed_states ~granularity_s:100 tr))
@@ -445,6 +479,10 @@ let () =
           Alcotest.test_case "fine sampling sees degradation" `Quick test_fine_sampling_sees_degradation;
           Alcotest.test_case "coarse sampling misses (Fig 4b)" `Quick test_coarse_sampling_misses_short_degradation;
           Alcotest.test_case "observed states count" `Quick test_observed_states_count;
+          Alcotest.test_case "dropout masks degradation" `Quick
+            test_corrupt_dropout_masks_degradation;
+          Alcotest.test_case "stuck sensor freezes value" `Quick
+            test_corrupt_stuck_freezes_value;
           Alcotest.test_case "coverage vs granularity (Fig 20a)" `Slow test_coverage_decreases_with_granularity;
           Alcotest.test_case "baseline loss" `Quick test_baseline_loss_varies;
         ] );

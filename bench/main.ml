@@ -793,14 +793,112 @@ let ablate_mip () =
     h.Te.phi th h.Te.stats.Te.lp_solves b.Te.phi tb b.Te.stats.Te.lp_solves
     b.Te.stats.Te.mip_nodes
 
+
+(* ------------------------------------------------------------------ *)
+(* Warm-start ablation + BENCH_PR2.json evidence                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Experiment-specific JSON fragments picked up by the driver when it
+   writes BENCH_PR2.json.  "null" until the experiment has run. *)
+let warmstart_json = ref "null"
+let chaos_cache_json = ref "null"
+
+let warmstart () =
+  section "Warm-start ablation — cold vs warm simplex pivots (ablate_mip instances)";
+  let fibers = [| (0, 1, 100.0); (0, 2, 100.0); (1, 2, 100.0) |] in
+  let links =
+    Array.of_list
+      (List.concat_map
+         (fun (f, (a, b)) -> [ (a, b, 10.0, [ f ]); (b, a, 10.0, [ f ]) ])
+         [ (0, (0, 1)); (1, (0, 2)); (2, (1, 2)) ])
+  in
+  let topo = Topology.make ~name:"fig2" ~node_names:[| "s1"; "s2"; "s3" |] ~fibers ~links in
+  let ts = Tunnels.build ~per_flow:2 topo [ (0, 1); (0, 2) ] in
+  let demand_pairs = [ (10.0, 10.0); (15.0, 15.0); (12.0, 18.0) ] in
+  let problem (d1, d2) =
+    Te.make_problem ~ts ~demands:[| d1; d2 |] ~probs:[| 0.02; 0.03; 0.01 |] ~beta:0.9 ()
+  in
+  let open Prete_lp in
+  (* Cold: every LP from scratch.  Warm: bases threaded across δ-fixpoint
+     rounds / Benders iterations within a call, and across the successive
+     instances (the controller-epoch pattern: each solve seeds the next). *)
+  let entries = ref [] in
+  let tot_cold = ref 0 and tot_warm = ref 0 in
+  let run_strategy name solve_cold solve_warm =
+    let carry = ref None in
+    List.iter
+      (fun pair ->
+        let p = problem pair in
+        let cold = solve_cold p in
+        let warm = solve_warm ?warm:!carry p in
+        carry := warm.Te.basis;
+        let cst = cold.Te.solver and wst = warm.Te.solver in
+        tot_cold := !tot_cold + cst.Solver_stats.pivots;
+        tot_warm := !tot_warm + wst.Solver_stats.pivots;
+        let dphi = Float.abs (cold.Te.phi -. warm.Te.phi) in
+        if dphi > 1e-6 then
+          Printf.printf "  WARNING: %s phi mismatch %.2e on (%g, %g)\n" name dphi
+            (fst pair) (snd pair);
+        Printf.printf
+          "  %-9s demands (%4.1f, %4.1f): phi %.4f  cold %4d pivots  warm %4d pivots  \
+           (p1 skips %d, repairs %d)\n%!"
+          name (fst pair) (snd pair) warm.Te.phi cst.Solver_stats.pivots
+          wst.Solver_stats.pivots wst.Solver_stats.phase1_skips
+          wst.Solver_stats.repairs;
+        entries :=
+          Printf.sprintf
+            "{\"strategy\": \"%s\", \"demands\": [%g, %g], \"phi_cold\": %.6f, \
+             \"phi_warm\": %.6f, \"phi_delta\": %.3e, \"cold\": %s, \"warm\": %s}"
+            name (fst pair) (snd pair) cold.Te.phi warm.Te.phi dphi
+            (Solver_stats.to_json cst) (Solver_stats.to_json wst)
+          :: !entries)
+      demand_pairs
+  in
+  run_strategy "fixpoint"
+    (fun p -> Te.solve ~second_phase:false ~relaxation_start:false ~warm_start:false p)
+    (fun ?warm p -> Te.solve ~second_phase:false ~relaxation_start:false ?warm p);
+  run_strategy "benders"
+    (fun p -> Te.solve_benders ~warm_start:false p)
+    (fun ?warm p -> Te.solve_benders ?warm p);
+  run_strategy "mip"
+    (fun p -> Te.solve_mip ~warm_start:false p)
+    (fun ?warm p -> Te.solve_mip ?warm p);
+  let ratio = float_of_int !tot_cold /. float_of_int (max 1 !tot_warm) in
+  Printf.printf "  total: cold %d pivots, warm %d pivots — %.2fx fewer warm\n%!"
+    !tot_cold !tot_warm ratio;
+  warmstart_json :=
+    Printf.sprintf
+      "{\"instances\": [%s], \"total_cold_pivots\": %d, \"total_warm_pivots\": %d, \
+       \"pivot_ratio\": %.3f}"
+      (String.concat ", " (List.rev !entries))
+      !tot_cold !tot_warm ratio;
+  (* Plan-cache hit rate: replay chaos epochs (no faults) through the
+     controller's structural plan cache. *)
+  let env, _, _, nn = bundle "B4" in
+  let scheme = Schemes.prete_default ~predictor:(nn_predictor nn) () in
+  let r = Simulate.run_chaos ~epochs:(if !quick then 20 else 60) env scheme ~scale:2.0 in
+  let hit_rate =
+    let tot = r.Simulate.c_cache_hits + r.Simulate.c_cache_misses in
+    if tot = 0 then 0.0 else float_of_int r.Simulate.c_cache_hits /. float_of_int tot
+  in
+  Printf.printf "  plan cache over %d chaos epochs: %d hits / %d misses (%.1f%%)\n%!"
+    r.Simulate.c_epochs r.Simulate.c_cache_hits r.Simulate.c_cache_misses
+    (100.0 *. hit_rate);
+  chaos_cache_json :=
+    Printf.sprintf
+      "{\"epochs\": %d, \"cache_hits\": %d, \"cache_misses\": %d, \
+       \"hit_rate\": %.4f}"
+      r.Simulate.c_epochs r.Simulate.c_cache_hits r.Simulate.c_cache_misses hit_rate
+
 let fallback () =
   section "Fallback-path latency (Resilience ladder rungs, B4)";
   let env, _, _, nn = bundle "B4" in
   let ts = env.Availability.ts in
   let demands = Traffic.demand env.Availability.traffic ~scale:2.0 ~epoch:12 in
   let scheme = Schemes.prete_default ~predictor:(nn_predictor nn) () in
-  let primary ?deadline () =
-    Availability.Internal.plan_alloc ?deadline env scheme ~demands ~degraded:None
+  let primary ?deadline ~warm () =
+    Availability.Internal.plan_alloc_warm ?deadline ?warm env scheme ~demands
+      ~degraded:None
   in
   let time ?(reps = 1) label f =
     let _, d = Controller.wall (fun () -> for _ = 1 to reps do f () done) in
@@ -810,24 +908,28 @@ let fallback () =
   (* Rung 1: full primary solve (also warms the last-good cache). *)
   time "primary solve" (fun () ->
       ignore (Resilience.plan_epoch ladder ~ts ~demands ~primary:(primary ?deadline:None) ()));
+  (* Same solve handed the ladder's retained basis (rung 0). *)
+  time "primary solve, warm basis" (fun () ->
+      ignore (Resilience.plan_epoch ladder ~ts ~demands ~primary:(primary ?deadline:None) ()));
   (* Anytime degraded incumbent under a 50 ms budget. *)
   time "primary, 50 ms budget" (fun () ->
       ignore
         (Resilience.plan_epoch ladder ~ts ~demands
-           ~primary:(fun () -> primary ~deadline:(Prete_util.Clock.deadline_after 0.05) ())
+           ~primary:(fun ~warm () ->
+             primary ~deadline:(Prete_util.Clock.deadline_after 0.05) ~warm ())
            ()));
   (* Rung 2: primary times out instantly, last-good plan is revalidated. *)
   time ~reps:100 "cached fallback" (fun () ->
       ignore
         (Resilience.plan_epoch ladder ~ts ~demands
-           ~primary:(fun () -> raise Prete_lp.Simplex.Timeout)
+           ~primary:(fun ~warm:_ () -> raise Prete_lp.Simplex.Timeout)
            ()));
   (* Rung 3: cold ladder, straight to the equal split. *)
   time ~reps:100 "equal-split fallback (cold)" (fun () ->
       let cold = Resilience.create () in
       ignore
         (Resilience.plan_epoch cold ~ts ~demands
-           ~primary:(fun () -> raise Prete_lp.Simplex.Timeout)
+           ~primary:(fun ~warm:_ () -> raise Prete_lp.Simplex.Timeout)
            ()))
 
 (* ------------------------------------------------------------------ *)
@@ -931,6 +1033,7 @@ let experiments =
     ("mc_check", "Monte-Carlo vs analytic cross-check", mc_check);
     ("ablate_cutoff", "scenario cutoff ablation", ablate_cutoff);
     ("ablate_mip", "MIP strategy ablation", ablate_mip);
+    ("warmstart", "warm vs cold solver pivots + plan-cache hit rate", warmstart);
     ("fallback", "fallback-path latency per ladder rung", fallback);
   ]
 
@@ -977,6 +1080,28 @@ let () =
             exit 2)
         !only
   in
-  List.iter (fun (_, _, run) -> run ()) selected;
+  let walls = ref [] in
+  List.iter
+    (fun (id, _, run) ->
+      let w0 = Unix.gettimeofday () in
+      run ();
+      walls := (id, Unix.gettimeofday () -. w0) :: !walls)
+    selected;
   if !run_kernels || !only = [] then kernels ();
+  (* Machine-readable perf trajectory: per-experiment wall times plus the
+     warm-start / plan-cache counters when those experiments ran. *)
+  let json =
+    let exps =
+      List.rev_map
+        (fun (id, w) -> Printf.sprintf "{\"id\": \"%s\", \"wall_s\": %.3f}" id w)
+        !walls
+    in
+    Printf.sprintf
+      "{\n  \"pr\": 2,\n  \"experiments\": [%s],\n  \"warmstart\": %s,\n  \"plan_cache\": %s\n}\n"
+      (String.concat ", " exps) !warmstart_json !chaos_cache_json
+  in
+  let oc = open_out "BENCH_PR2.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "\nWrote BENCH_PR2.json\n";
   Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

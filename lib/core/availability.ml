@@ -261,13 +261,14 @@ type plan = {
           proven optimal. *)
 }
 
-let te_solve_with env ?deadline ~demands ~probs ~(ts : Tunnels.t) () =
+let te_solve_warm env ?deadline ?warm ~demands ~probs ~(ts : Tunnels.t) () =
   let p = Te.make_problem ~ts ~demands ~probs ~beta:env.beta () in
   (* Sweeps call this hundreds of times; the relaxation start buys nothing
      measurable on these instances (the second phase dominates delivered
      quality) but triples the cost. *)
-  let sol = Te.solve ~relaxation_start:false ?deadline p in
-  { p_alloc = sol.Te.alloc; p_ts = ts; p_admitted = None; p_degraded = sol.Te.degraded }
+  let sol = Te.solve ~relaxation_start:false ?deadline ?warm p in
+  ( { p_alloc = sol.Te.alloc; p_ts = ts; p_admitted = None; p_degraded = sol.Te.degraded },
+    sol.Te.basis )
 
 let admission_solve env ?deadline ~demands ~probs () =
   let p = Te.make_problem ~ts:env.ts ~demands ~probs ~beta:env.beta () in
@@ -367,8 +368,8 @@ let flexile_alloc env ?deadline ~demands () =
   let sol = Te.solve ~relaxation_start:false ?deadline p in
   { p_alloc = sol.Te.alloc; p_ts = env.ts; p_admitted = None; p_degraded = sol.Te.degraded }
 
-let prete_alloc env (cfg : Schemes.prete_config) ?deadline ?degr_features ~demands
-    ~degraded () =
+let prete_alloc_warm env (cfg : Schemes.prete_config) ?deadline ?warm ?degr_features
+    ~demands ~degraded () =
   let features = match degr_features with Some f -> f | None -> env.degr_events in
   let obs =
     {
@@ -389,21 +390,28 @@ let prete_alloc env (cfg : Schemes.prete_config) ?deadline ?degr_features ~deman
         (Tunnel_update.react ~ratio:cfg.Schemes.ratio env.ts ~degraded_fiber:n ())
     | _ -> env.ts
   in
-  te_solve_with env ?deadline ~demands ~probs ~ts ()
+  te_solve_warm env ?deadline ?warm ~demands ~probs ~ts ()
 
-let plan_alloc ?deadline ?degr_features env scheme ~demands ~degraded =
+(* Warm-aware dispatch: only the PreTE scheme consumes and produces an LP
+   basis today — other schemes either solve a differently-shaped LP or
+   none at all, and return [None]. *)
+let plan_alloc_warm ?deadline ?warm ?degr_features env scheme ~demands ~degraded =
   match scheme with
-  | Schemes.Ecmp -> ecmp_alloc env ~demands
-  | Schemes.Smore -> smore_alloc env ?deadline ~demands ()
-  | Schemes.Ffc k -> ffc_alloc env ?deadline ~demands ~k ()
+  | Schemes.Ecmp -> (ecmp_alloc env ~demands, None)
+  | Schemes.Smore -> (smore_alloc env ?deadline ~demands (), None)
+  | Schemes.Ffc k -> (ffc_alloc env ?deadline ~demands ~k (), None)
   | Schemes.Teavar | Schemes.Arrow ->
-    admission_solve env ?deadline ~demands ~probs:env.model.Fiber_model.p_cut ()
-  | Schemes.Flexile -> flexile_alloc env ?deadline ~demands ()
-  | Schemes.Prete cfg -> prete_alloc env cfg ?deadline ?degr_features ~demands ~degraded ()
+    (admission_solve env ?deadline ~demands ~probs:env.model.Fiber_model.p_cut (), None)
+  | Schemes.Flexile -> (flexile_alloc env ?deadline ~demands (), None)
+  | Schemes.Prete cfg ->
+    prete_alloc_warm env cfg ?deadline ?warm ?degr_features ~demands ~degraded ()
   | Schemes.Oracle ->
     (* The oracle allocates per cut outcome; the "plan" here is unused
        (handled specially in [availability]). *)
-    ecmp_alloc env ~demands
+    (ecmp_alloc env ~demands, None)
+
+let plan_alloc ?deadline ?degr_features env scheme ~demands ~degraded =
+  fst (plan_alloc_warm ?deadline ?degr_features env scheme ~demands ~degraded)
 
 (* --------------------------------------------------------------------- *)
 (* Availability                                                            *)
@@ -542,6 +550,7 @@ let nines a =
 
 module Internal = struct
   let plan_alloc = plan_alloc
+  let plan_alloc_warm = plan_alloc_warm
   let max_served = max_served
   let degradation_states = degradation_states
   let cut_outcomes = cut_outcomes

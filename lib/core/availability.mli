@@ -106,6 +106,21 @@ module Internal : sig
       events — the fault-injection harness uses it to feed corrupted
       telemetry to the predictor. *)
 
+  val plan_alloc_warm :
+    ?deadline:float ->
+    ?warm:Prete_lp.Simplex.basis ->
+    ?degr_features:Prete_optics.Hazard.features array ->
+    env ->
+    Schemes.t ->
+    demands:float array ->
+    degraded:int option ->
+    plan * Prete_lp.Simplex.basis option
+  (** Warm-aware variant of {!plan_alloc}: accepts the previous epoch's
+      simplex basis and returns the plan together with the basis to carry
+      forward.  Only the PreTE scheme consumes/produces a basis today;
+      every other scheme ignores [warm] and returns [None].  Built for
+      the resilience ladder's [primary] thunk. *)
+
   val max_served :
     env -> demands:float array -> cuts:int list -> float array
   (** Optimal per-flow served fraction on the topology surviving the given

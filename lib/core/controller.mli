@@ -47,6 +47,9 @@ type report = {
   timeline : timing list;  (** In execution order. *)
   end_to_end_s : float;  (** Total pipeline latency. *)
   notes : note list;  (** Resilience annotations; [[]] on a clean run. *)
+  solver : Prete_lp.Solver_stats.t option;
+      (** Solver telemetry for this epoch when the caller passed
+          [?solver_stats] to {!run}; [None] otherwise. *)
 }
 
 val per_tunnel_setup_s : float
@@ -63,6 +66,7 @@ val wall : (unit -> 'a) -> 'a * float
     seconds on the monotonicized {!Prete_util.Clock} (never negative). *)
 
 val run :
+  ?solver_stats:Prete_lp.Solver_stats.t ->
   infer:(unit -> unit) ->
   regen:(unit -> unit) ->
   te:(unit -> 'a) ->
@@ -72,7 +76,10 @@ val run :
 (** Execute and wall-clock the software stages ([infer], [regen], [te]
     are thunks that actually perform the work), model the hardware
     stages, and assemble the Fig. 11a timeline.  Returns [te]'s result
-    alongside the report so callers no longer need side-channel refs. *)
+    alongside the report so callers no longer need side-channel refs.
+    [solver_stats], when given, is attached to the report and charged
+    the TE-compute wall time (stage ["te_compute"]); the [te] thunk is
+    expected to merge its per-solve counters into the same record. *)
 
 val with_notes : report -> note list -> report
 (** Append resilience notes to a report. *)
@@ -80,3 +87,51 @@ val with_notes : report -> note list -> report
 val within_budget : report -> gap_to_cut_s:float -> bool
 (** Whether the pipeline completes before the expected degradation→cut
     gap — the §5 feasibility argument. *)
+
+(** {2 Per-epoch plan cache}
+
+    Successive controller epochs frequently present {e identical} inputs
+    (same tunnel set, same scenario classes, same demands — e.g. a
+    telemetry re-trigger with no real change).  The cache keys plans by a
+    structural hash of those inputs so an unchanged epoch skips the TE
+    solve entirely.
+
+    Invalidation is implicit in the key: anything that should change the
+    plan — a tunnel added or rerouted, a demand value, a scenario class's
+    survivor set or probability, the observed failure state (via [salt])
+    — lands in the hash, so a changed epoch simply misses.  Degraded
+    plans are {e never} stored (see {!cache_store}).  Eviction is FIFO at
+    a fixed capacity. *)
+
+type cache_key
+
+val plan_key :
+  ts:Prete_net.Tunnels.t ->
+  demands:float array ->
+  ?classes:Scenario.Classes.cls array array ->
+  ?probs:float array ->
+  ?salt:int list ->
+  unit ->
+  cache_key
+(** Structural hash (FNV-1a over the full contents, not [Hashtbl.hash],
+    which truncates) of the plan-determining inputs: flow endpoints,
+    tunnel link paths, demands, and — when supplied — per-flow scenario
+    classes (survivor sets + probabilities) or raw fiber failure
+    probabilities.  [salt] folds in extra discriminants such as the
+    observed failure state or the scheme identity. *)
+
+type 'p cache
+
+val cache : ?capacity:int -> unit -> 'p cache
+(** Fresh cache holding at most [capacity] (default 64) plans. *)
+
+val cache_find : 'p cache -> cache_key -> 'p option
+(** Lookup; counts a hit or miss. *)
+
+val cache_store : 'p cache -> cache_key -> degraded:bool -> 'p -> unit
+(** Insert a plan.  [degraded = true] plans are refused: a deadline-
+    truncated plan is not the plan for those inputs, and caching it would
+    replay it on every identical future epoch. *)
+
+val cache_stats : 'p cache -> int * int
+(** [(hits, misses)] since creation. *)

@@ -45,11 +45,14 @@ type t = {
   max_tries : int;
   base_backoff_s : float;
   mutable last_good : Availability.plan option;
+  mutable last_basis : Simplex.basis option;
 }
 
 let create ?(max_tries = 2) ?(base_backoff_s = 0.1) () =
   if max_tries < 1 then invalid_arg "Resilience.create: max_tries must be >= 1";
-  { max_tries; base_backoff_s; last_good = None }
+  { max_tries; base_backoff_s; last_good = None; last_basis = None }
+
+let last_basis t = t.last_basis
 
 let classify = function
   | Simplex.Timeout -> Solver_timeout
@@ -165,12 +168,18 @@ let plan_epoch t ~ts ~demands ?(telemetry_gap = false) ~primary () =
         if !k > 0 then
           backoff := !backoff +. (t.base_backoff_s *. (2.0 ** float_of_int (!k - 1)));
         incr k;
-        match primary () with
+        (* Rung 0 of the ladder: hand the primary the last successful
+           solve's basis.  A stale basis is safe — the solver's repair
+           path treats it as a hint, never as ground truth. *)
+        match primary ~warm:t.last_basis () with
         | exception e -> last_cause := classify e
-        | plan ->
+        | plan, basis ->
           (* A plan with tunnel updates is indexed by its own (merged)
              tunnel set; validate against that. *)
-          if plan_feasible plan.Availability.p_ts plan then found := Some plan
+          if plan_feasible plan.Availability.p_ts plan then begin
+            (match basis with Some _ -> t.last_basis <- basis | None -> ());
+            found := Some plan
+          end
           else last_cause := Plan_rejected
       done;
       match !found with

@@ -75,6 +75,11 @@ val create : ?max_tries:int -> ?base_backoff_s:float -> unit -> t
     [base_backoff_s] (default 0.1) charged before retry [k] as
     [base *. 2.^(k-1)]. *)
 
+val last_basis : t -> Prete_lp.Simplex.basis option
+(** The simplex basis retained from the last accepted primary plan —
+    what the ladder hands the next epoch's [primary] as its warm start
+    ("rung 0"). *)
+
 val classify : exn -> cause
 (** Map solver exceptions into the taxonomy ([Unexpected] otherwise). *)
 
@@ -99,18 +104,26 @@ val plan_epoch :
   ts:Prete_net.Tunnels.t ->
   demands:float array ->
   ?telemetry_gap:bool ->
-  primary:(unit -> Availability.plan) ->
+  primary:
+    (warm:Prete_lp.Simplex.basis option ->
+     unit ->
+     Availability.plan * Prete_lp.Simplex.basis option) ->
   unit ->
   outcome
 (** Run the ladder for one epoch.  [primary] is the scheme's solve thunk
-    (build it with {!Availability.Internal.plan_alloc}, threading any
-    deadline); [ts] is the currently installed tunnel set used for
-    validation and the equal-split fallback.  [telemetry_gap] (default
-    false) skips the Primary rung with cause {!Telemetry_gap}.  Only
-    Primary successes refresh the last-good cache (a fallback plan is
-    never re-cached, so the ladder cannot feed on its own output); the
-    cache is revalidated against the current [ts] on every reuse.
-    Never raises on solver failures. *)
+    (build it with {!Availability.Internal.plan_alloc_warm}, threading
+    any deadline); it receives the ladder's retained basis as [~warm]
+    ("rung 0" — reuse of the last epoch's vertex before any fallback)
+    and returns the plan together with the basis to retain, [None] when
+    the scheme has no LP basis to offer (e.g. ECMP).  A stale or
+    irrelevant warm basis is harmless: the solver repairs or ignores it.
+    [ts] is the currently installed tunnel set used for validation and
+    the equal-split fallback.  [telemetry_gap] (default false) skips the
+    Primary rung with cause {!Telemetry_gap}.  Only validated Primary
+    successes refresh the last-good plan and the retained basis (a
+    fallback plan is never re-cached, so the ladder cannot feed on its
+    own output); the plan cache is revalidated against the current [ts]
+    on every reuse.  Never raises on solver failures. *)
 
 val notes : outcome -> Controller.note list
 (** Render the ladder's attempts as {!Controller.note}s (stage

@@ -223,6 +223,8 @@ type chaos_result = {
   c_fault_epochs : int;
   c_degraded_plans : int;
   c_causes : (string * int) list;
+  c_cache_hits : int;
+  c_cache_misses : int;
 }
 
 let run_chaos ?(seed = 123) ?(epochs = 400) ?(faults = []) ?(fault_seed = 77)
@@ -241,10 +243,14 @@ let run_chaos ?(seed = 123) ?(epochs = 400) ?(faults = []) ?(fault_seed = 77)
   let topo = env.Availability.ts.Tunnels.topo in
   let nf = Topology.num_fibers topo in
   let num_fibers = nf in
-  (* Ladder outcomes cached per *observed* state, but only for clean
-     observations: corrupted features, gaps, and injected budgets make an
-     epoch's plan non-reusable. *)
-  let outcome_cache : (int option, Resilience.outcome) Hashtbl.t = Hashtbl.create 64 in
+  (* Ladder outcomes cached in the controller's structural plan cache —
+     keyed by (tunnels, demands, fiber probabilities, observed state) —
+     but only for clean observations: corrupted features, gaps, and
+     injected budgets make an epoch's plan non-reusable, and degraded
+     plans are refused by the cache itself. *)
+  let plan_cache : Resilience.outcome Controller.cache =
+    Controller.cache ~capacity:128 ()
+  in
   let served_cache : (int list, float array) Hashtbl.t = Hashtbl.create 64 in
   let served cuts =
     let key = List.sort compare cuts in
@@ -260,8 +266,8 @@ let run_chaos ?(seed = 123) ?(epochs = 400) ?(faults = []) ?(fault_seed = 77)
       let deadline =
         Option.map Prete_util.Clock.deadline_after obs.Faults.budget_s
       in
-      let primary () =
-        Availability.Internal.plan_alloc ?deadline
+      let primary ~warm () =
+        Availability.Internal.plan_alloc_warm ?deadline ?warm
           ~degr_features:obs.Faults.features env scheme ~demands
           ~degraded:obs.Faults.seen
       in
@@ -284,13 +290,20 @@ let run_chaos ?(seed = 123) ?(epochs = 400) ?(faults = []) ?(fault_seed = 77)
       && not obs.Faults.gap
     in
     if not cacheable then compute ()
-    else
-      match Hashtbl.find_opt outcome_cache obs.Faults.seen with
+    else begin
+      let key =
+        Controller.plan_key ~ts:env.Availability.ts ~demands
+          ~probs:env.Availability.model.Fiber_model.p_cut
+          ~salt:[ (match obs.Faults.seen with None -> -1 | Some fb -> fb) ]
+          ()
+      in
+      match Controller.cache_find plan_cache key with
       | Some o -> o
       | None ->
         let o = compute () in
-        Hashtbl.add outcome_cache obs.Faults.seen o;
+        Controller.cache_store plan_cache key ~degraded:(Resilience.degraded o) o;
         o
+    end
   in
   let acc = ref 0.0 in
   let primary = ref 0 and cached = ref 0 and equal = ref 0 in
@@ -354,6 +367,8 @@ let run_chaos ?(seed = 123) ?(epochs = 400) ?(faults = []) ?(fault_seed = 77)
     c_degraded_plans = !degr_plans;
     c_causes =
       List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) causes []);
+    c_cache_hits = fst (Controller.cache_stats plan_cache);
+    c_cache_misses = snd (Controller.cache_stats plan_cache);
   }
 
 type sweep_entry = {

@@ -56,6 +56,9 @@ type chaos_result = {
       (** Epochs whose plan was a fallback or an anytime incumbent. *)
   c_causes : (string * int) list;
       (** Fallback root causes by {!Resilience.cause_name}, sorted. *)
+  c_cache_hits : int;
+      (** Epochs answered from the structural plan cache (solve skipped). *)
+  c_cache_misses : int;  (** Cacheable epochs that had to solve. *)
 }
 
 val run_chaos :

@@ -18,6 +18,8 @@ type solution = {
   expected_served : float;
   degraded : bool;
   stats : stats;
+  basis : Simplex.basis option;
+  solver : Solver_stats.t;
 }
 
 exception Infeasible_problem of string
@@ -97,7 +99,7 @@ let add_capacity_rows p m a_vars =
 (* Fixed-δ LP in eliminated form: min Φ                                 *)
 (* ------------------------------------------------------------------ *)
 
-let solve_fixed_delta ?deadline p classes delta =
+let solve_fixed_delta ?deadline ?warm ~st p classes delta =
   let m = Lp.create () in
   let a_vars = add_alloc_vars p m in
   let phi = Lp.add_var m ~ub:1.0 "phi" in
@@ -120,10 +122,12 @@ let solve_fixed_delta ?deadline p classes delta =
           cls)
     classes;
   Lp.set_objective m Lp.Minimize [ (1.0, phi) ];
-  match Simplex.solve ?deadline m with
+  match Simplex.solve ?deadline ?warm m with
   | Simplex.Optimal sol ->
+    Solver_stats.record st sol;
     let alloc = Array.init (num_tunnels p) (fun t -> Simplex.value sol a_vars.(t)) in
-    (sol.Simplex.objective, alloc, sol.Simplex.iterations, sol.Simplex.degraded)
+    (sol.Simplex.objective, alloc, sol.Simplex.iterations, sol.Simplex.degraded,
+     sol.Simplex.basis)
   | Simplex.Infeasible ->
     (* Cannot happen: a = 0, Φ = 1 satisfies every row. *)
     raise (Infeasible_problem "fixed-delta LP infeasible (internal error)")
@@ -132,7 +136,7 @@ let solve_fixed_delta ?deadline p classes delta =
 (* Second phase: at loss level Φ*, maximize probability- and demand-
    weighted served fraction so spare capacity still protects uncovered
    scenario classes. *)
-let solve_second_phase ?deadline p classes delta phi_star =
+let solve_second_phase ?deadline ~st p classes delta phi_star =
   let m = Lp.create () in
   let a_vars = add_alloc_vars p m in
   add_capacity_rows p m a_vars;
@@ -166,6 +170,7 @@ let solve_second_phase ?deadline p classes delta phi_star =
   Lp.set_objective m Lp.Maximize !objective;
   match Simplex.solve ?deadline m with
   | Simplex.Optimal sol ->
+    Solver_stats.record st sol;
     let alloc = Array.init (num_tunnels p) (fun t -> Simplex.value sol a_vars.(t)) in
     (sol.Simplex.objective, alloc, sol.Simplex.iterations, sol.Simplex.degraded)
   | Simplex.Infeasible ->
@@ -270,13 +275,36 @@ let build_full_mip ?(relax = false) p classes =
    drop, per flow, the classes the relaxation protects least (smallest relaxed delta),
    within the coverage budget.  This sees the cross-flow capacity coupling
    the purely loss-based greedy is blind to (e.g. the Fig. 2 instance). *)
-let relaxation_delta ?deadline p classes =
-  let m, _a_vars, _phi, _l_vars, d_vars = build_full_mip ~relax:true p classes in
+let relaxation_delta ?deadline ~st p classes =
+  let m, _a_vars, phi, _l_vars, d_vars = build_full_mip ~relax:true p classes in
+  (* Lexicographic tie-break: among phi-optimal relaxations prefer the
+     maximum covered probability mass.  Degenerate instances (Fig. 2
+     again) have many phi-optimal vertices whose relaxed deltas round
+     very differently; the tiny coverage bonus steers the solver to the
+     vertex where coverage is cheapest, which is exactly where delta
+     lands integral and the rounding below stops depending on pivot
+     order.  The weight is orders below any real phi trade-off, and the
+     relaxed objective value is discarded anyway — only delta is read. *)
+  let tie = 1e-4 in
+  let bonus =
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun f cls ->
+              Array.to_list
+                (Array.mapi
+                   (fun ci (c : Scenario.Classes.cls) ->
+                     (-.tie *. c.Scenario.Classes.prob, d_vars.(f).(ci)))
+                   cls))
+            classes))
+  in
+  Lp.set_objective m Lp.Minimize ((1.0, phi) :: bonus);
   (* The relaxation only guides a δ rounding, so a degraded (interrupted)
      optimum is still usable; a Phase-1 timeout simply skips the start. *)
   match Simplex.solve ?deadline m with
   | exception Simplex.Timeout -> None
   | Simplex.Optimal sol ->
+    Solver_stats.record st sol;
     let delta =
       Array.mapi
         (fun f cls ->
@@ -299,10 +327,16 @@ let relaxation_delta ?deadline p classes =
     Some (delta, sol.Simplex.iterations)
   | Simplex.Infeasible | Simplex.Unbounded -> None
 
-let solve ?(second_phase = true) ?(max_rounds = 8) ?(relaxation_start = true) ?deadline p =
+let solve ?(second_phase = true) ?(max_rounds = 8) ?(relaxation_start = true) ?deadline
+    ?warm ?(warm_start = true) p =
   let classes = classes_of p in
   let delta = Array.map (fun cls -> Array.make (Array.length cls) true) classes in
+  let st = Solver_stats.create () in
   let lp_solves = ref 0 and lp_pivots = ref 0 in
+  (* δ-fixpoint rounds perturb only the coverage rows, so each round's
+     final basis warm-starts the next (repair path — the row structure
+     shifts, so the reinstall is guided rather than exact). *)
+  let last_basis = ref (if warm_start then warm else None) in
   (* Anytime fixpoint: every LP result is a feasible incumbent, so on
      budget expiry (between rounds, or an LP returning degraded / raising
      [Simplex.Timeout] mid-solve) we stop and keep the best seen so far,
@@ -314,17 +348,22 @@ let solve ?(second_phase = true) ?(max_rounds = 8) ?(relaxation_start = true) ?d
       best
     end
     else
-      match solve_fixed_delta ?deadline p classes delta with
+      match
+        solve_fixed_delta ?deadline
+          ?warm:(if warm_start then !last_basis else None)
+          ~st p classes delta
+      with
       | exception Simplex.Timeout ->
         degraded := true;
         best
-      | phi, alloc, pivots, lp_degraded ->
+      | phi, alloc, pivots, lp_degraded, basis ->
         incr lp_solves;
         lp_pivots := !lp_pivots + pivots;
+        last_basis := Some basis;
         let best =
           match best with
-          | Some (bphi, _, _) when bphi <= phi +. 1e-12 -> best
-          | _ -> Some (phi, alloc, delta)
+          | Some (bphi, _, _, _) when bphi <= phi +. 1e-12 -> best
+          | _ -> Some (phi, alloc, delta, basis)
         in
         if lp_degraded then begin
           degraded := true;
@@ -340,8 +379,8 @@ let solve ?(second_phase = true) ?(max_rounds = 8) ?(relaxation_start = true) ?d
      fixpoint left residual loss. *)
   let best =
     match best with
-    | Some (phi, _, _) when relaxation_start && phi > 1e-9 && not !degraded -> (
-      match relaxation_delta ?deadline p classes with
+    | Some (phi, _, _, _) when relaxation_start && phi > 1e-9 && not !degraded -> (
+      match relaxation_delta ?deadline ~st p classes with
       | Some (delta_rx, pivots) ->
         incr lp_solves;
         lp_pivots := !lp_pivots + pivots;
@@ -351,10 +390,10 @@ let solve ?(second_phase = true) ?(max_rounds = 8) ?(relaxation_start = true) ?d
   in
   match best with
   | None -> raise Simplex.Timeout
-  | Some (phi, alloc, delta) ->
+  | Some (phi, alloc, delta, basis) ->
     let expected_served, alloc =
       if second_phase && not (Prete_util.Clock.expired deadline) then begin
-        match solve_second_phase ?deadline p classes delta phi with
+        match solve_second_phase ?deadline ~st p classes delta phi with
         | exception Simplex.Timeout ->
           degraded := true;
           (nan, alloc)
@@ -377,6 +416,8 @@ let solve ?(second_phase = true) ?(max_rounds = 8) ?(relaxation_start = true) ?d
       expected_served;
       degraded = !degraded;
       stats = { lp_solves = !lp_solves; lp_pivots = !lp_pivots; mip_nodes = 0 };
+      basis = Some basis;
+      solver = st;
     }
 
 (* ------------------------------------------------------------------ *)
@@ -390,9 +431,11 @@ type admission = {
   adm_classes : Scenario.Classes.cls array array;
   adm_degraded : bool;
   adm_stats : stats;
+  adm_basis : Simplex.basis option;
+  adm_solver : Solver_stats.t;
 }
 
-let solve_admission_fixed ?deadline p classes delta =
+let solve_admission_fixed ?deadline ?warm ~st p classes delta =
   let m = Lp.create () in
   let a_vars = add_alloc_vars p m in
   add_capacity_rows p m a_vars;
@@ -425,13 +468,14 @@ let solve_admission_fixed ?deadline p classes delta =
       classes
   in
   Lp.set_objective m Lp.Maximize !objective;
-  match Simplex.solve ?deadline m with
+  match Simplex.solve ?deadline ?warm m with
   | Simplex.Optimal sol ->
+    Solver_stats.record st sol;
     let alloc = Array.init (num_tunnels p) (fun t -> Simplex.value sol a_vars.(t)) in
     let admitted =
       Array.map (fun (b1, b2) -> Simplex.value sol b1 +. Simplex.value sol b2) b_vars
     in
-    (admitted, alloc, sol.Simplex.iterations, sol.Simplex.degraded)
+    (admitted, alloc, sol.Simplex.iterations, sol.Simplex.degraded, sol.Simplex.basis)
   | Simplex.Infeasible ->
     raise (Infeasible_problem "admission LP infeasible (internal error)")
   | Simplex.Unbounded ->
@@ -476,7 +520,8 @@ let improve_delta_admission p classes delta alloc =
   in
   (next, !changed)
 
-let solve_admission ?(max_rounds = 6) ?(skip_unprotectable = false) ?deadline p =
+let solve_admission ?(max_rounds = 6) ?(skip_unprotectable = false) ?deadline ?warm
+    ?(warm_start = true) p =
   let classes = classes_of p in
   (* FFC-style full coverage would force b = 0 on any flow with a scenario
      class that no tunnel survives (e.g. double cuts killing all four
@@ -491,6 +536,8 @@ let solve_admission ?(max_rounds = 6) ?(skip_unprotectable = false) ?deadline p 
           cls)
       classes
   in
+  let st = Solver_stats.create () in
+  let last_basis = ref (if warm_start then warm else None) in
   let lp_solves = ref 0 and lp_pivots = ref 0 in
   (* Rank candidate admissions by total first, worst-served flow second,
      so equal-throughput rounds prefer the fairer split. *)
@@ -512,18 +559,23 @@ let solve_admission ?(max_rounds = 6) ?(skip_unprotectable = false) ?deadline p 
       best
     end
     else
-      match solve_admission_fixed ?deadline p classes delta with
+      match
+        solve_admission_fixed ?deadline
+          ?warm:(if warm_start then !last_basis else None)
+          ~st p classes delta
+      with
       | exception Simplex.Timeout ->
         degraded := true;
         best
-      | admitted, alloc, pivots, lp_degraded ->
+      | admitted, alloc, pivots, lp_degraded, basis ->
         incr lp_solves;
         lp_pivots := !lp_pivots + pivots;
+        last_basis := Some basis;
         let sc = score admitted in
         let best =
           match best with
-          | Some (bsc, _, _, _) when not (better sc bsc) -> best
-          | _ -> Some (sc, admitted, alloc, delta)
+          | Some (bsc, _, _, _, _) when not (better sc bsc) -> best
+          | _ -> Some (sc, admitted, alloc, delta, basis)
         in
         if lp_degraded then begin
           degraded := true;
@@ -536,7 +588,7 @@ let solve_admission ?(max_rounds = 6) ?(skip_unprotectable = false) ?deadline p 
   in
   match loop delta None 1 with
   | None -> raise Simplex.Timeout
-  | Some (_, admitted, alloc, delta) ->
+  | Some (_, admitted, alloc, delta, basis) ->
     {
       admitted;
       adm_alloc = alloc;
@@ -544,14 +596,17 @@ let solve_admission ?(max_rounds = 6) ?(skip_unprotectable = false) ?deadline p 
       adm_classes = classes;
       adm_degraded = !degraded;
       adm_stats = { lp_solves = !lp_solves; lp_pivots = !lp_pivots; mip_nodes = 0 };
+      adm_basis = Some basis;
+      adm_solver = st;
     }
 
 (* ------------------------------------------------------------------ *)
 (* Exact MIP on the full formulation                                    *)
 (* ------------------------------------------------------------------ *)
 
-let solve_mip ?deadline p =
+let solve_mip ?deadline ?warm ?(warm_start = true) p =
   let classes = classes_of p in
+  let st = Solver_stats.create () in
   let m, a_vars, phi, _l_vars, d_vars = build_full_mip p classes in
   let of_incumbent ~degraded sol =
     let alloc = Array.init (num_tunnels p) (fun t -> Mip.value sol a_vars.(t)) in
@@ -563,10 +618,12 @@ let solve_mip ?deadline p =
       classes;
       expected_served = nan;
       degraded;
-      stats = { lp_solves = 0; lp_pivots = 0; mip_nodes = sol.Mip.nodes };
+      stats = { lp_solves = 0; lp_pivots = sol.Mip.pivots; mip_nodes = sol.Mip.nodes };
+      basis = sol.Mip.basis;
+      solver = st;
     }
   in
-  match Mip.solve ?deadline m with
+  match Mip.solve ?deadline ?warm:(if warm_start then warm else None) ~warm_start ~stats:st m with
   | Mip.Optimal sol -> of_incumbent ~degraded:false sol
   | Mip.Node_limit (Some sol) -> of_incumbent ~degraded:true sol
   | Mip.Node_limit None -> raise Simplex.Timeout
@@ -580,7 +637,7 @@ let solve_mip ?deadline p =
 (* Subproblem: the full formulation with δ fixed; returns the optimum,
    the allocation, and the duals w of the (6) rows, which form the
    optimality cut  Φ ≥ SP(δ̂) + Σ w (δ − δ̂). *)
-let benders_subproblem ?deadline p classes delta =
+let benders_subproblem ?deadline ?warm ~st p classes delta =
   let m = Lp.create () in
   let a_vars = add_alloc_vars p m in
   let phi = Lp.add_var m ~ub:1.0 "phi" in
@@ -605,13 +662,15 @@ let benders_subproblem ?deadline p classes delta =
         cls)
     classes;
   Lp.set_objective m Lp.Minimize [ (1.0, phi) ];
-  match Simplex.solve ?deadline m with
+  match Simplex.solve ?deadline ?warm m with
   | Simplex.Optimal sol ->
+    Solver_stats.record st sol;
     let alloc = Array.init (num_tunnels p) (fun t -> Simplex.value sol a_vars.(t)) in
     let w =
       Array.map (Array.map (fun row -> Simplex.dual sol row)) row_of
     in
-    (sol.Simplex.objective, alloc, w, sol.Simplex.iterations, sol.Simplex.degraded)
+    (sol.Simplex.objective, alloc, w, sol.Simplex.iterations, sol.Simplex.degraded,
+     sol.Simplex.basis)
   | Simplex.Infeasible ->
     raise (Infeasible_problem "Benders subproblem infeasible (internal error)")
   | Simplex.Unbounded ->
@@ -619,7 +678,7 @@ let benders_subproblem ?deadline p classes delta =
 
 type cut = { base : float; coefs : float array array (* [flow][class] *) }
 
-let benders_master ?deadline p classes cuts =
+let benders_master ?deadline ?warm ?(warm_start = true) ~st p classes cuts =
   let m = Lp.create () in
   let phi = Lp.add_var m ~ub:1.0 "phi" in
   let d_vars =
@@ -651,22 +710,29 @@ let benders_master ?deadline p classes cuts =
       ignore (Lp.add_constraint m !terms Lp.Ge cut.base))
     cuts;
   Lp.set_objective m Lp.Minimize [ (1.0, phi) ];
-  match Mip.solve ~max_nodes:50_000 ?deadline m with
+  match Mip.solve ~max_nodes:50_000 ?deadline ?warm ~warm_start ~stats:st m with
   | Mip.Optimal sol ->
     let delta = Array.map (Array.map (fun v -> Mip.value sol v >= 0.5)) d_vars in
-    `Exact (sol.Mip.objective, delta, sol.Mip.nodes)
+    `Exact (sol.Mip.objective, delta, sol.Mip.nodes, sol.Mip.basis)
   | Mip.Node_limit (Some sol) ->
     (* The incumbent δ still satisfies the coverage rows, so the outer
        loop may keep iterating with it — but its objective is no longer a
        valid lower bound. *)
     let delta = Array.map (Array.map (fun v -> Mip.value sol v >= 0.5)) d_vars in
-    `Truncated (delta, sol.Mip.nodes)
+    `Truncated (delta, sol.Mip.nodes, sol.Mip.basis)
   | Mip.Node_limit None -> `Gave_up
   | Mip.Infeasible -> raise (Infeasible_problem "Benders master infeasible")
   | Mip.Unbounded -> raise (Infeasible_problem "Benders master unbounded (internal error)")
 
-let solve_benders ?(eps = 1e-4) ?(max_iters = 40) ?deadline p =
+let solve_benders ?(eps = 1e-4) ?(max_iters = 40) ?deadline ?warm ?(warm_start = true) p =
   let classes = classes_of p in
+  let st = Solver_stats.create () in
+  (* The subproblem has an identical shape every iteration (only the rhs
+     of the (6) rows moves with δ), so its basis exact-installs across
+     iterations; the master grows one cut per round, so its warm start
+     takes the guided-repair path. *)
+  let sub_basis = ref (if warm_start then warm else None) in
+  let master_basis = ref None in
   (* Initialize δ = 1 (line 2 of Algorithm 2): directly satisfies (5). *)
   let delta = ref (Array.map (fun cls -> Array.make (Array.length cls) true) classes) in
   let ub = ref 1.0 and lb = ref 0.0 in
@@ -684,13 +750,14 @@ let solve_benders ?(eps = 1e-4) ?(max_iters = 40) ?deadline p =
     end
     else begin
       (* Step 1: subproblem with fixed δ. *)
-      match benders_subproblem ?deadline p classes !delta with
+      match benders_subproblem ?deadline ?warm:!sub_basis ~st p classes !delta with
       | exception Simplex.Timeout ->
         degraded := true;
         stop := true
-      | sp_obj, alloc, w, pivots, sp_degraded ->
+      | sp_obj, alloc, w, pivots, sp_degraded, basis ->
         incr lp_solves;
         lp_pivots := !lp_pivots + pivots;
+        if warm_start then sub_basis := Some basis;
         if sp_obj < !ub then begin
           ub := sp_obj;
           best := Some (sp_obj, alloc, Array.map Array.copy !delta)
@@ -712,15 +779,17 @@ let solve_benders ?(eps = 1e-4) ?(max_iters = 40) ?deadline p =
             w;
           cuts := { base = !base; coefs = w } :: !cuts;
           (* Step 2: master problem. *)
-          match benders_master ?deadline p classes !cuts with
-          | `Exact (mp_obj, next_delta, nodes) ->
+          match benders_master ?deadline ?warm:!master_basis ~warm_start ~st p classes !cuts with
+          | `Exact (mp_obj, next_delta, nodes, mb) ->
             mip_nodes := !mip_nodes + nodes;
+            if warm_start then master_basis := mb;
             if mp_obj > !lb then lb := mp_obj;
             delta := next_delta
-          | `Truncated (next_delta, nodes) ->
+          | `Truncated (next_delta, nodes, mb) ->
             (* Usable δ but no valid lower bound: take one more subproblem
                pass if budget allows, flagged degraded. *)
             mip_nodes := !mip_nodes + nodes;
+            if warm_start then master_basis := mb;
             degraded := true;
             delta := next_delta
           | `Gave_up ->
@@ -740,4 +809,6 @@ let solve_benders ?(eps = 1e-4) ?(max_iters = 40) ?deadline p =
       expected_served = nan;
       degraded = !degraded;
       stats = { lp_solves = !lp_solves; lp_pivots = !lp_pivots; mip_nodes = !mip_nodes };
+      basis = !sub_basis;
+      solver = st;
     }

@@ -40,7 +40,18 @@
     returns its best incumbent, and sets [degraded = true] on the result
     (the Φ reported is an upper bound, not proven optimal).  Only when
     the budget expires before {e any} feasible point exists does the
-    strategy raise {!Prete_lp.Simplex.Timeout}. *)
+    strategy raise {!Prete_lp.Simplex.Timeout}.
+
+    {b Warm starting.}  Every strategy accepts [?warm] (a final basis
+    from an earlier, structurally similar solve — e.g. the previous
+    controller epoch) and internally threads bases across its own
+    iteration structure: δ-fixpoint rounds, branch-and-bound nodes, and
+    Benders master/subproblem iterations each reuse the previous basis
+    via {!Prete_lp.Simplex}'s exact-reinstall / guided-repair path.
+    [?warm_start:false] disables all reuse (the cold baseline the bench
+    compares against).  Warm starting changes pivot counts, never
+    results.  Per-call telemetry is accumulated in [solution.solver]
+    (a {!Prete_lp.Solver_stats.t}). *)
 
 type problem = {
   ts : Prete_net.Tunnels.t;  (** Pre-established ∪ newly-established tunnels. *)
@@ -63,6 +74,11 @@ type solution = {
       (** [true] when a solve budget expired along the way: [alloc] is
           feasible but [phi] is only an upper bound on the optimum. *)
   stats : stats;
+  basis : Prete_lp.Simplex.basis option;
+      (** Final basis of the last fixed-δ (or Benders subproblem / MIP
+          incumbent) LP; feed back as [?warm] on a later solve of a
+          structurally similar problem. *)
+  solver : Prete_lp.Solver_stats.t;  (** Per-call solver telemetry. *)
 }
 
 exception Infeasible_problem of string
@@ -94,6 +110,8 @@ val solve :
   ?max_rounds:int ->
   ?relaxation_start:bool ->
   ?deadline:float ->
+  ?warm:Prete_lp.Simplex.basis ->
+  ?warm_start:bool ->
   problem ->
   solution
 (** The δ-fixpoint heuristic (default strategy).  [second_phase] default
@@ -113,10 +131,18 @@ type admission = {
   adm_classes : Scenario.Classes.cls array array;
   adm_degraded : bool;  (** Analogous to {!solution.degraded}. *)
   adm_stats : stats;
+  adm_basis : Prete_lp.Simplex.basis option;
+  adm_solver : Prete_lp.Solver_stats.t;
 }
 
 val solve_admission :
-  ?max_rounds:int -> ?skip_unprotectable:bool -> ?deadline:float -> problem -> admission
+  ?max_rounds:int ->
+  ?skip_unprotectable:bool ->
+  ?deadline:float ->
+  ?warm:Prete_lp.Simplex.basis ->
+  ?warm_start:bool ->
+  problem ->
+  admission
 (** TeaVar/FFC-style admission control: maximize Σ_f b_f subject to
     [b_f ≤ d_f] and lossless delivery of [b_f] in every covered scenario
     class (coverage ≥ β under the problem's probabilities).  Traffic is
@@ -129,13 +155,21 @@ val solve_admission :
     guarantees losslessness only for failure combinations that leave the
     flow connected. *)
 
-val solve_mip : ?deadline:float -> problem -> solution
+val solve_mip :
+  ?deadline:float -> ?warm:Prete_lp.Simplex.basis -> ?warm_start:bool -> problem -> solution
 (** Exact branch-and-bound over δ (full formulation).  Intended for small
     instances.  Node-budget or deadline exhaustion returns the best
     integral incumbent with [degraded = true] (raises
     {!Prete_lp.Simplex.Timeout} when none exists yet). *)
 
-val solve_benders : ?eps:float -> ?max_iters:int -> ?deadline:float -> problem -> solution
+val solve_benders :
+  ?eps:float ->
+  ?max_iters:int ->
+  ?deadline:float ->
+  ?warm:Prete_lp.Simplex.basis ->
+  ?warm_start:bool ->
+  problem ->
+  solution
 (** Algorithm 2.  [eps] (default 1e-4) is the UB−LB convergence threshold;
     [max_iters] default 40.  Under deadline pressure the loop stops with
     the best subproblem incumbent ([degraded = true]); a truncated master

@@ -1,4 +1,10 @@
-type solution = { objective : float; values : float array; nodes : int }
+type solution = {
+  objective : float;
+  values : float array;
+  nodes : int;
+  pivots : int;
+  basis : Simplex.basis option;
+}
 
 type outcome =
   | Optimal of solution
@@ -9,7 +15,9 @@ type outcome =
 let int_eps = 1e-6
 
 (* A node is a set of fixings for binary variables: (var, value) list. *)
-let solve ?(max_nodes = 100_000) ?(gap = 1e-6) ?(max_iters = 200_000) ?deadline model =
+let solve ?(max_nodes = 100_000) ?(gap = 1e-6) ?(max_iters = 200_000) ?deadline ?warm
+    ?(warm_start = true) ?stats
+    model =
   let binaries = Array.of_list (Lp.binaries model) in
   let dir, _ = Lp.Internal.objective model in
   let better a b =
@@ -53,25 +61,35 @@ let solve ?(max_nodes = 100_000) ?(gap = 1e-6) ?(max_iters = 200_000) ?deadline 
     m
   in
   let incumbent = ref None in
+  let incumbent_basis = ref None in
   let nodes = ref 0 in
+  let pivots = ref 0 in
   let any_unbounded = ref false in
   (* Set when the search is cut short: node budget, deadline, an LP that
      timed out before feasibility, or an LP returned degraded (its
      objective is no longer a valid pruning bound).  The incumbent found
      so far is still exact-feasible and is returned as [Node_limit]. *)
   let stopped = ref false in
-  let rec branch fixings =
+  (* Node LPs all share the parent model's shape (fixings only tighten
+     binary bounds, never add or remove rows), so a parent's final basis
+     exact-installs into its children and usually skips Phase 1. *)
+  let rec branch ?warm fixings =
     if !stopped then ()
     else begin
       incr nodes;
       if !nodes > max_nodes || Prete_util.Clock.expired deadline then stopped := true
       else
-        match Simplex.solve ~max_iters ?deadline (build_node fixings) with
+        match Simplex.solve ~max_iters ?deadline ?warm (build_node fixings) with
         | exception Simplex.Timeout -> stopped := true
-        | Simplex.Optimal sol when sol.Simplex.degraded -> stopped := true
+        | Simplex.Optimal sol when sol.Simplex.degraded ->
+          pivots := !pivots + sol.Simplex.iterations;
+          Option.iter (fun st -> Solver_stats.record st sol) stats;
+          stopped := true
         | Simplex.Infeasible -> ()
         | Simplex.Unbounded -> any_unbounded := true
         | Simplex.Optimal sol ->
+      pivots := !pivots + sol.Simplex.iterations;
+      Option.iter (fun st -> Solver_stats.record st sol) stats;
       let dominated =
         match !incumbent with
         | None -> false
@@ -101,24 +119,30 @@ let solve ?(max_nodes = 100_000) ?(gap = 1e-6) ?(max_iters = 200_000) ?deadline 
                 else x)
               sol.Simplex.values
           in
-          match !incumbent with
+          (match !incumbent with
           | Some (best, _) when not (better sol.Simplex.objective best) -> ()
-          | _ -> incumbent := Some (sol.Simplex.objective, values)
+          | _ ->
+            incumbent := Some (sol.Simplex.objective, values);
+            incumbent_basis := Some sol.Simplex.basis)
         end
         else begin
           (* Explore the rounded side first: good incumbents early. *)
           let v = !frac_var in
           let x = sol.Simplex.values.(v) in
           let first, second = if x >= 0.5 then (1.0, 0.0) else (0.0, 1.0) in
-          branch ((v, first) :: fixings);
-          branch ((v, second) :: fixings)
+          let warm = if warm_start then Some sol.Simplex.basis else None in
+          branch ?warm ((v, first) :: fixings);
+          branch ?warm ((v, second) :: fixings)
         end
       end
     end
   in
-  branch [];
+  branch ?warm [];
   let incumbent_solution () =
-    Option.map (fun (objective, values) -> { objective; values; nodes = !nodes }) !incumbent
+    Option.map
+      (fun (objective, values) ->
+        { objective; values; nodes = !nodes; pivots = !pivots; basis = !incumbent_basis })
+      !incumbent
   in
   if !stopped then Node_limit (incumbent_solution ())
   else

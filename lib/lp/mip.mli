@@ -20,6 +20,11 @@ type solution = {
   objective : float;
   values : float array;
   nodes : int;  (** Branch-and-bound nodes explored. *)
+  pivots : int;  (** Total simplex pivots across all node LPs. *)
+  basis : Simplex.basis option;
+      (** Basis of the incumbent's node LP; reusable as [?warm] on a
+          later structurally-similar solve (e.g. the next Benders
+          master). *)
 }
 
 type outcome =
@@ -35,12 +40,24 @@ val solve :
   ?gap:float ->
   ?max_iters:int ->
   ?deadline:float ->
+  ?warm:Simplex.basis ->
+  ?warm_start:bool ->
+  ?stats:Solver_stats.t ->
   Lp.model ->
   outcome
 (** [solve m] solves [m] to proven optimality over its binary variables.
     [max_nodes] (default 100_000) caps the search; exceeding it — or the
     absolute [deadline] on {!Prete_util.Clock.now} — yields {!Node_limit}
     with the incumbent instead of raising.  Models without binaries reduce
-    to one simplex solve. *)
+    to one simplex solve.
+
+    [warm] seeds the root node LP; thereafter each node's final basis
+    warm-starts its children (node LPs share the model shape, so the
+    reinstall is exact and either skips Phase 1 outright or reaches
+    feasibility through a short dual-simplex repair).  [warm_start]
+    (default true) gates that intra-tree basis threading — pass [false]
+    for a truly cold baseline where every node LP solves from scratch.
+    [stats] accumulates per-node solver telemetry into the caller's
+    record. *)
 
 val value : solution -> Lp.var -> float

@@ -1,9 +1,23 @@
+type basis_entry =
+  | Bstructural of int
+  | Brow_slack of int
+  | Brow_surplus of int
+  | Brow_artificial of int
+
+type basis = { b_nv : int; b_m : int; b_entries : basis_entry array }
+
+let basis_size b = b.b_m
+
 type solution = {
   objective : float;
   values : float array;
   duals : float array;
   iterations : int;
   degraded : bool;
+  basis : basis;
+  warm_used : bool;
+  phase1_skipped : bool;
+  repaired : bool;
 }
 
 type outcome = Optimal of solution | Infeasible | Unbounded
@@ -82,11 +96,14 @@ let leaving_row t col =
   !best
 
 (* One optimization phase.  [banned c] excludes columns from entering.
+   [prefer] (when given) is scanned first: among preferred columns with a
+   negative reduced cost the most negative enters — this is the
+   warm-repair pricing that steers Phase 1 back toward a previous basis.
    Returns [`Optimal], [`Unbounded] or [`Budget] (pivot limit or deadline
    expired — the current basis is the best incumbent this phase has),
    counting pivots in [iters].  The deadline is polled every 64 pivots to
    keep the clock read off the pivot hot path. *)
-let optimize t ~banned ~max_iters ?deadline iters =
+let optimize t ~banned ?prefer ~max_iters ?deadline iters =
   let bland_threshold = 20 * (t.m + t.n) in
   let out_of_budget () =
     !iters > max_iters
@@ -97,21 +114,36 @@ let optimize t ~banned ~max_iters ?deadline iters =
     else
     let use_bland = !iters > bland_threshold in
     let entering = ref (-1) and best = ref (-.eps) in
-    (try
-       for j = 0 to t.n - 1 do
-         if not (banned j) then
-           if use_bland then begin
-             if t.obj.(j) < -.eps then begin
-               entering := j;
-               raise Exit
-             end
-           end
-           else if t.obj.(j) < !best then begin
-             best := t.obj.(j);
-             entering := j
-           end
-       done
-     with Exit -> ());
+    (* Warm-guided pricing: preferred columns first (Dantzig restricted to
+       the preference set); Bland mode ignores it to keep the
+       anti-cycling guarantee intact. *)
+    (match prefer with
+    | Some pref when not use_bland ->
+      for j = 0 to t.n - 1 do
+        if pref.(j) && (not (banned j)) && t.obj.(j) < !best then begin
+          best := t.obj.(j);
+          entering := j
+        end
+      done
+    | _ -> ());
+    if !entering = -1 then begin
+      best := -.eps;
+      try
+        for j = 0 to t.n - 1 do
+          if not (banned j) then
+            if use_bland then begin
+              if t.obj.(j) < -.eps then begin
+                entering := j;
+                raise Exit
+              end
+            end
+            else if t.obj.(j) < !best then begin
+              best := t.obj.(j);
+              entering := j
+            end
+        done
+      with Exit -> ()
+    end;
     if !entering = -1 then `Optimal
     else begin
       let col = !entering in
@@ -144,7 +176,7 @@ let install_costs t c =
 
 type norm_row = { coefs : (int * float) list; sense : Lp.sense; rhs : float; flipped : bool }
 
-let solve ?(max_iters = 200_000) ?deadline model =
+let solve ?(max_iters = 200_000) ?deadline ?warm model =
   let bounds = Lp.Internal.bounds model in
   let constrs = Lp.Internal.constraints model in
   let dir, obj_coefs = Lp.Internal.objective model in
@@ -163,7 +195,14 @@ let solve ?(max_iters = 200_000) ?deadline model =
     List.fold_left (fun acc (v, coef) -> acc -. (coef *. lbs.(v))) c.Lp.Internal.rhs c.Lp.Internal.terms
   in
   (* Build the normalized row list: model constraints first (so duals map
-     directly), then upper-bound rows. *)
+     directly), then upper-bound rows.  Rows keep their modeling
+     orientation: a negative rhs is handled by scaling the row by -1
+     inside the tableau (recorded in [flipped]), NOT by rewriting the
+     sense — so the column layout below depends only on the senses, and
+     structurally identical models share it no matter how their rhs
+     vectors differ.  That invariance is what lets a stored basis
+     reinstall exactly across rhs-only changes (MIP bound fixings,
+     Benders cut updates, delta re-rounding). *)
   let rows0 =
     Array.to_list
       (Array.map
@@ -181,78 +220,285 @@ let solve ?(max_iters = 200_000) ?deadline model =
       bounds;
     List.rev !acc
   in
-  let all_rows =
-    List.map
-      (fun r ->
-        if r.rhs < 0.0 then
-          let flip_sense = function Lp.Le -> Lp.Ge | Lp.Ge -> Lp.Le | Lp.Eq -> Lp.Eq in
-          { coefs = List.map (fun (v, c) -> (v, -.c)) r.coefs;
-            sense = flip_sense r.sense; rhs = -.r.rhs; flipped = true }
-        else r)
-      (rows0 @ ub_rows)
+  let row_arr =
+    Array.of_list
+      (List.map (fun r -> { r with flipped = r.rhs < 0.0 }) (rows0 @ ub_rows))
   in
-  let m = List.length all_rows in
-  (* Column layout: structural | slacks | surpluses | artificials. *)
-  let n_slack = List.length (List.filter (fun r -> r.sense = Lp.Le) all_rows) in
-  let n_surplus = List.length (List.filter (fun r -> r.sense = Lp.Ge) all_rows) in
-  let n_art = List.length (List.filter (fun r -> r.sense <> Lp.Le) all_rows) in
-  let n = nv + n_slack + n_surplus + n_art in
-  let kinds = Array.make n (Structural 0) in
+  let m = Array.length row_arr in
+  (* Column layout: structural | slacks | surpluses | artificials.  Every
+     row gets an artificial (the last m columns, indexed by row), so the
+     identity column of row i is always [art0 + i] — duals read off it
+     directly, and the layout is rhs-independent. *)
+  let n_slack =
+    Array.fold_left (fun a r -> if r.sense = Lp.Le then a + 1 else a) 0 row_arr
+  in
+  let n_surplus =
+    Array.fold_left (fun a r -> if r.sense = Lp.Ge then a + 1 else a) 0 row_arr
+  in
+  let art0 = nv + n_slack + n_surplus in
+  let n = art0 + m in
+  let is_artificial j = j >= art0 in
+  let make_tableau () =
+    let kinds = Array.make n (Structural 0) in
+    for j = 0 to nv - 1 do
+      kinds.(j) <- Structural j
+    done;
+    let t =
+      { m; n;
+        rows = Array.init m (fun _ -> Array.make n 0.0);
+        rhs = Array.make m 0.0;
+        obj = Array.make n 0.0;
+        obj_val = 0.0;
+        basis = Array.make m (-1);
+        kinds }
+    in
+    let next_slack = ref nv in
+    let next_surplus = ref (nv + n_slack) in
+    Array.iteri
+      (fun i r ->
+        let s = if r.flipped then -1.0 else 1.0 in
+        List.iter (fun (v, c) -> t.rows.(i).(v) <- t.rows.(i).(v) +. (s *. c)) r.coefs;
+        t.rhs.(i) <- s *. r.rhs;
+        let ja = art0 + i in
+        kinds.(ja) <- Artificial i;
+        t.rows.(i).(ja) <- 1.0;
+        (* Crash basis: the identity column with coefficient +1 after
+           scaling — slack (Le, unflipped), surplus (Ge, flipped), else
+           the artificial. *)
+        (match r.sense with
+        | Lp.Le ->
+          let j = !next_slack in
+          incr next_slack;
+          kinds.(j) <- Slack i;
+          t.rows.(i).(j) <- s;
+          t.basis.(i) <- (if r.flipped then ja else j)
+        | Lp.Ge ->
+          let js = !next_surplus in
+          incr next_surplus;
+          kinds.(js) <- Surplus i;
+          t.rows.(i).(js) <- -.s;
+          t.basis.(i) <- (if r.flipped then js else ja)
+        | Lp.Eq -> t.basis.(i) <- ja))
+      row_arr;
+    t
+  in
+  let sign = match dir with Lp.Minimize -> 1.0 | Lp.Maximize -> -1.0 in
+  let phase2_cost = Array.make n 0.0 in
   for j = 0 to nv - 1 do
-    kinds.(j) <- Structural j
+    phase2_cost.(j) <- sign *. obj_coefs.(j)
   done;
-  let t =
-    { m; n;
-      rows = Array.init m (fun _ -> Array.make n 0.0);
-      rhs = Array.make m 0.0;
-      obj = Array.make n 0.0;
-      obj_val = 0.0;
-      basis = Array.make m (-1);
-      kinds }
-  in
-  let next_slack = ref nv in
-  let next_surplus = ref (nv + n_slack) in
-  let next_art = ref (nv + n_slack + n_surplus) in
-  List.iteri
-    (fun i r ->
-      List.iter (fun (v, c) -> t.rows.(i).(v) <- t.rows.(i).(v) +. c) r.coefs;
-      t.rhs.(i) <- r.rhs;
-      (match r.sense with
-      | Lp.Le ->
-        let j = !next_slack in
-        incr next_slack;
-        kinds.(j) <- Slack i;
-        t.rows.(i).(j) <- 1.0;
-        t.basis.(i) <- j
-      | Lp.Ge ->
-        let js = !next_surplus in
-        incr next_surplus;
-        kinds.(js) <- Surplus i;
-        t.rows.(i).(js) <- -1.0;
-        let ja = !next_art in
-        incr next_art;
-        kinds.(ja) <- Artificial i;
-        t.rows.(i).(ja) <- 1.0;
-        t.basis.(i) <- ja
-      | Lp.Eq ->
-        let ja = !next_art in
-        incr next_art;
-        kinds.(ja) <- Artificial i;
-        t.rows.(i).(ja) <- 1.0;
-        t.basis.(i) <- ja))
-    all_rows;
-  let is_artificial j = match kinds.(j) with Artificial _ -> true | _ -> false in
   let iters = ref 0 in
-  (* ---- Phase 1 ---- *)
-  let phase1_cost = Array.make n 0.0 in
-  Array.iteri (fun j k -> match k with Artificial _ -> phase1_cost.(j) <- 1.0 | _ -> ()) kinds;
-  install_costs t phase1_cost;
-  (match optimize t ~banned:(fun _ -> false) ~max_iters ?deadline iters with
-  | `Unbounded -> raise (Numerical "Simplex: phase 1 unbounded (internal error)")
-  | `Budget -> raise Timeout (* no feasible point yet: nothing to return *)
-  | `Optimal -> ());
-  (* obj_val tracks -(current phase-1 objective). *)
-  if -.t.obj_val > feas_eps then Infeasible
+  (* ---- Warm start ----
+     A compatible basis (same structural dimension) is reused two ways:
+
+     - Exact reinstall (same row count): Gauss-Jordan the stored basic
+       columns back into the basis, ignoring rhs signs along the way, then
+       check primal feasibility of the result.  Feasible -> Phase 1 is
+       skipped entirely.
+     - Repair (reinstall infeasible, or the row structure changed): run
+       Phase 1 from the crash start with warm-guided pricing — preferred
+       entering columns are the previously-basic structural variables, so
+       the work concentrates on the rows the model delta actually
+       violated and the search lands near the old vertex. *)
+  let warm_prefer wb =
+    let pref = Array.make n false in
+    Array.iter
+      (function Bstructural j when j < nv -> pref.(j) <- true | _ -> ())
+      wb.b_entries;
+    pref
+  in
+  let try_exact_install wb =
+    if wb.b_m <> m then None
+    else begin
+      let t = make_tableau () in
+      let slack_col = Array.make m (-1)
+      and surplus_col = Array.make m (-1)
+      and art_col = Array.make m (-1) in
+      Array.iteri
+        (fun j k ->
+          match k with
+          | Slack i -> slack_col.(i) <- j
+          | Surplus i -> surplus_col.(i) <- j
+          | Artificial i -> art_col.(i) <- j
+          | Structural _ -> ())
+        t.kinds;
+      let target i =
+        match wb.b_entries.(i) with
+        | Bstructural j -> if j < nv then j else -1
+        | Brow_slack r -> if r < m then slack_col.(r) else -1
+        | Brow_surplus r -> if r < m then surplus_col.(r) else -1
+        | Brow_artificial r -> if r < m then art_col.(r) else -1
+      in
+      (* Install the stored basic-column SET, not the stored row pairing:
+         any row arrangement of a nonsingular column set is a valid basis,
+         and freeing the pairing turns the install into plain Gaussian
+         elimination with partial pivoting over unclaimed rows — which
+         succeeds whenever the set is numerically nonsingular, where a
+         fixed row-per-column sweep can deadlock on permutation cycles
+         through the crash basis (and then silently leave a {e wrong}
+         basis behind).  These eliminations are basis factorization, not
+         priced simplex iterations, and are not counted in [iters]. *)
+      let targets = Array.init m target in
+      let in_targets = Array.make n false in
+      Array.iter (fun c -> if c >= 0 then in_targets.(c) <- true) targets;
+      let claimed = Array.make m false in
+      let installed = Array.make n false in
+      for i = 0 to m - 1 do
+        let b = t.basis.(i) in
+        if in_targets.(b) && not installed.(b) then begin
+          claimed.(i) <- true;
+          installed.(b) <- true
+        end
+      done;
+      let ok = ref true in
+      Array.iter
+        (fun c ->
+          if !ok && c >= 0 && not installed.(c) then begin
+            let r = ref (-1) and best = ref 1e-6 in
+            for i = 0 to m - 1 do
+              if not claimed.(i) then begin
+                let a = Float.abs t.rows.(i).(c) in
+                if a > !best then begin
+                  best := a;
+                  r := i
+                end
+              end
+            done;
+            if !r = -1 then ok := false
+            else begin
+              pivot t ~row:!r ~col:c;
+              claimed.(!r) <- true;
+              installed.(c) <- true
+            end
+          end)
+        targets;
+      if not !ok then None
+      else begin
+      let rhs_ok = ref true and art_ok = ref true in
+      for i = 0 to m - 1 do
+        if t.rhs.(i) < -.feas_eps then rhs_ok := false
+        else begin
+          match t.kinds.(t.basis.(i)) with
+          | Artificial _ when t.rhs.(i) > feas_eps -> art_ok := false
+          | _ -> ()
+        end
+      done;
+      if not !art_ok then None
+      else begin
+        for i = 0 to m - 1 do
+          if t.rhs.(i) < 0.0 && t.rhs.(i) > -.feas_eps then t.rhs.(i) <- 0.0
+        done;
+        Some (t, !rhs_ok)
+      end
+      end
+    end
+  in
+  let arts_zero t =
+    let ok = ref true in
+    for i = 0 to m - 1 do
+      match t.kinds.(t.basis.(i)) with
+      | Artificial _ when t.rhs.(i) > feas_eps -> ok := false
+      | _ -> ()
+    done;
+    !ok
+  in
+  (* Dual-simplex repair.  A reinstalled optimal basis keeps its reduced
+     costs >= 0 (the objective row did not change), so when only the rhs
+     moved the basis is still dual feasible and a short dual loop —
+     leaving row by most-negative rhs, entering column by the dual ratio
+     test — walks back to primal feasibility in a few pivots instead of a
+     full Phase 1.  Returns false on stall, budget expiry, a dual-
+     infeasible install, or any numerical doubt; the caller then falls
+     back to guided Phase 1, so correctness never rests on this loop. *)
+  let dual_repair t =
+    install_costs t phase2_cost;
+    let dual_ok = ref true in
+    for j = 0 to n - 1 do
+      if (not (is_artificial j)) && t.obj.(j) < -.feas_eps then dual_ok := false
+    done;
+    if not !dual_ok then false
+    else begin
+      let stall_cap = 10 * (m + n) in
+      let steps = ref 0 in
+      let result = ref `Run in
+      while !result = `Run do
+        if
+          !iters > max_iters
+          || (!iters land 63 = 0 && Prete_util.Clock.expired deadline)
+          || !steps > stall_cap
+        then result := `Fail
+        else begin
+          let row = ref (-1) and worst = ref (-.feas_eps) in
+          for i = 0 to m - 1 do
+            if t.rhs.(i) < !worst then begin
+              worst := t.rhs.(i);
+              row := i
+            end
+          done;
+          if !row = -1 then result := `Done
+          else begin
+            let r = !row in
+            let col = ref (-1) and best = ref infinity in
+            for j = 0 to n - 1 do
+              if not (is_artificial j) then begin
+                let a = t.rows.(r).(j) in
+                if a < -.eps then begin
+                  let ratio = t.obj.(j) /. -.a in
+                  if
+                    ratio < !best -. eps
+                    || (ratio < !best +. eps && (!col = -1 || j < !col))
+                  then begin
+                    best := ratio;
+                    col := j
+                  end
+                end
+              end
+            done;
+            (* No eligible column: the row certifies infeasibility — but
+               let Phase 1 make that call with its own tolerances. *)
+            if !col = -1 then result := `Fail
+            else begin
+              incr steps;
+              incr iters;
+              pivot t ~row:r ~col:!col
+            end
+          end
+        end
+      done;
+      !result = `Done && arts_zero t
+    end
+  in
+  let t, warm_used, phase1_skipped, repaired, prefer =
+    match warm with
+    | Some wb when wb.b_nv = nv -> (
+      match try_exact_install wb with
+      | Some (t, true) -> (t, true, true, false, None)
+      | Some (t, false) when dual_repair t -> (t, true, true, true, None)
+      | Some (_, false) | None ->
+        (make_tableau (), true, false, true, Some (warm_prefer wb)))
+    | _ -> (make_tableau (), false, false, false, None)
+  in
+  let kinds = t.kinds in
+  (* ---- Phase 1 (skipped when the warm basis reinstalled feasibly) ---- *)
+  let feasible_start =
+    if phase1_skipped then true
+    else begin
+      let phase1_cost = Array.make n 0.0 in
+      Array.iteri
+        (fun j k -> match k with Artificial _ -> phase1_cost.(j) <- 1.0 | _ -> ())
+        kinds;
+      install_costs t phase1_cost;
+      (* Artificials never need to re-enter: they start basic wherever
+         needed and are only driven out. *)
+      (match optimize t ~banned:is_artificial ?prefer ~max_iters ?deadline iters with
+      | `Unbounded -> raise (Numerical "Simplex: phase 1 unbounded (internal error)")
+      | `Budget -> raise Timeout (* no feasible point yet: nothing to return *)
+      | `Optimal -> ());
+      (* obj_val tracks -(current phase-1 objective). *)
+      -.t.obj_val <= feas_eps
+    end
+  in
+  if not feasible_start then Infeasible
   else begin
     (* Drive remaining basic artificials out of the basis. *)
     for i = 0 to m - 1 do
@@ -275,11 +521,6 @@ let solve ?(max_iters = 200_000) ?deadline model =
       end
     done;
     (* ---- Phase 2 ---- *)
-    let sign = match dir with Lp.Minimize -> 1.0 | Lp.Maximize -> -1.0 in
-    let phase2_cost = Array.make n 0.0 in
-    for j = 0 to nv - 1 do
-      phase2_cost.(j) <- sign *. obj_coefs.(j)
-    done;
     install_costs t phase2_cost;
     let extract ~degraded =
       let shifted = Array.make nv 0.0 in
@@ -291,24 +532,38 @@ let solve ?(max_iters = 200_000) ?deadline model =
       let values = Array.init nv (fun j -> lbs.(j) +. shifted.(j)) in
       let min_obj = -.t.obj_val in
       let objective = (sign *. min_obj) +. !obj_const in
-      (* Duals: recover y_i from the reduced cost of the identity column of
-         row i (slack for Le rows, artificial otherwise), then undo the
-         rhs-sign flip and the direction sign to obtain shadow prices of
-         the original constraints. *)
-      let y = Array.make m 0.0 in
-      for j = 0 to n - 1 do
-        match kinds.(j) with
-        | Slack i -> y.(i) <- -.t.obj.(j)
-        | Artificial i -> y.(i) <- -.t.obj.(j)
-        | Structural _ | Surplus _ -> ()
-      done;
-      let row_arr = Array.of_list all_rows in
+      (* Duals: the artificial of row i is the identity column of the
+         (possibly sign-scaled) tableau row, so its reduced cost is -y_i
+         of the scaled system; undo the scaling and the direction sign to
+         obtain shadow prices of the original constraints. *)
       let duals =
         Array.init nc (fun i ->
-            let raw = if row_arr.(i).flipped then -.y.(i) else y.(i) in
+            let raw = -.t.obj.(art0 + i) in
+            let raw = if row_arr.(i).flipped then -.raw else raw in
             sign *. raw)
       in
-      Optimal { objective; values; duals; iterations = !iters; degraded }
+      let b_entries =
+        Array.map
+          (fun bcol ->
+            match kinds.(bcol) with
+            | Structural j -> Bstructural j
+            | Slack i -> Brow_slack i
+            | Surplus i -> Brow_surplus i
+            | Artificial i -> Brow_artificial i)
+          t.basis
+      in
+      Optimal
+        {
+          objective;
+          values;
+          duals;
+          iterations = !iters;
+          degraded;
+          basis = { b_nv = nv; b_m = m; b_entries };
+          warm_used;
+          phase1_skipped;
+          repaired;
+        }
     in
     match optimize t ~banned:is_artificial ~max_iters ?deadline iters with
     | `Unbounded -> Unbounded

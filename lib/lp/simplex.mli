@@ -24,16 +24,70 @@
     upper bound (for minimization) on the true optimum, and whose duals
     are those of the interrupted basis (not valid shadow prices).  Budget
     expiry during Phase 1, before any feasible point is known, raises
-    {!Timeout}. *)
+    {!Timeout}.
+
+    {b Warm starting.}  Every solution carries the final simplex {!basis}
+    in a representation that survives model rebuilds: basic columns are
+    recorded as structural-variable indices or as the slack / surplus /
+    artificial of a row index.  Passing it back as [?warm] on a later
+    solve reuses it:
+
+    - {e Exact reinstall} — when the new model has the same variable and
+      row counts, the stored basic-column set is factorized back into a
+      freshly built tableau (Gaussian elimination with partial pivoting;
+      not counted as simplex iterations).  If the resulting vertex is
+      primal feasible for the new data, Phase 1 is skipped entirely and
+      Phase 2 starts from the old vertex ([phase1_skipped = true]).
+    - {e Dual-simplex repair} — a reinstalled optimal basis keeps its
+      reduced costs nonnegative, so when only the rhs moved (MIP bound
+      fixings, Benders cut updates) the vertex is still dual feasible
+      and a short dual-simplex loop walks back to primal feasibility in
+      a few pivots, still skipping Phase 1 ([phase1_skipped = true],
+      [repaired = true]).
+    - {e Guided Phase 1} — when the reinstall fails, is dual infeasible,
+      or the row structure changed (e.g. a δ-fixpoint round added
+      coverage rows), Phase 1 runs from the usual crash start with
+      warm-guided pricing: previously basic structural columns are
+      preferred entering candidates, so the search lands near the old
+      vertex ([repaired = true]).  Every repair step is an ordinary
+      simplex pivot, so optimality and the anytime guarantees are
+      unchanged.
+
+    The column layout of the internal tableau depends only on the
+    constraint senses, never on rhs signs, so structurally identical
+    models share it and the exact reinstall applies across arbitrary
+    rhs / bound / cost changes.  A warm basis whose structural dimension
+    differs from the new model is ignored ([warm_used = false]).  Warm
+    starting never changes the reported optimum — only the pivot count
+    taken to reach it. *)
+
+type basis
+(** A simplex basis in model-independent form, transferable to later
+    solves of structurally similar models. *)
+
+val basis_size : basis -> int
+(** Number of rows of the tableau the basis was extracted from. *)
 
 type solution = {
   objective : float;  (** Objective in the original direction. *)
   values : float array;  (** Primal values indexed by variable. *)
   duals : float array;  (** Shadow prices indexed by constraint. *)
-  iterations : int;  (** Total simplex pivots across both phases. *)
+  iterations : int;
+      (** Priced simplex pivots (Phase 1, dual repair, Phase 2).  Basis
+          reinstall eliminations are factorization work, not counted. *)
   degraded : bool;
       (** [true] when the budget expired in Phase 2: [values] is feasible
           but possibly suboptimal and [duals] is unreliable. *)
+  basis : basis;  (** Final basis; feed back via [?warm]. *)
+  warm_used : bool;
+      (** A compatible warm basis was supplied and consumed. *)
+  phase1_skipped : bool;
+      (** The warm basis reinstalled into a primal-feasible vertex
+          (directly or via dual repair); Phase 1 was skipped. *)
+  repaired : bool;
+      (** The warm basis needed repair: the dual-simplex walk (when also
+          [phase1_skipped]) or the guided-Phase-1 path (reinstall failed
+          or row structure changed). *)
 }
 
 type outcome = Optimal of solution | Infeasible | Unbounded
@@ -46,10 +100,13 @@ exception Timeout
 (** Raised when the pivot or deadline budget expires before a feasible
     point exists (Phase 1), so no incumbent can be returned. *)
 
-val solve : ?max_iters:int -> ?deadline:float -> Lp.model -> outcome
+val solve : ?max_iters:int -> ?deadline:float -> ?warm:basis -> Lp.model -> outcome
 (** Solve the continuous relaxation of the model.  [max_iters] defaults to
     200_000 pivots.  [deadline] is an absolute time on
-    {!Prete_util.Clock.now}; see the anytime semantics above. *)
+    {!Prete_util.Clock.now}; see the anytime semantics above.  [warm]
+    reuses a basis from a previous solve (see warm starting above); with
+    a feasible reinstall and [max_iters = 0] the returned degraded
+    incumbent is exactly the warm vertex re-evaluated on the new model. *)
 
 val value : solution -> Lp.var -> float
 val dual : solution -> int -> float

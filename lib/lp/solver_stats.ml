@@ -1,0 +1,101 @@
+type t = {
+  mutable solves : int;
+  mutable warm_solves : int;
+  mutable phase1_skips : int;
+  mutable repairs : int;
+  mutable pivots : int;
+  mutable warm_pivots : int;
+  mutable cold_pivots : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable walls : (string * float) list;
+}
+
+let create () =
+  {
+    solves = 0;
+    warm_solves = 0;
+    phase1_skips = 0;
+    repairs = 0;
+    pivots = 0;
+    warm_pivots = 0;
+    cold_pivots = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    walls = [];
+  }
+
+let record t (sol : Simplex.solution) =
+  t.solves <- t.solves + 1;
+  t.pivots <- t.pivots + sol.Simplex.iterations;
+  if sol.Simplex.warm_used then begin
+    t.warm_solves <- t.warm_solves + 1;
+    t.warm_pivots <- t.warm_pivots + sol.Simplex.iterations;
+    if sol.Simplex.phase1_skipped then t.phase1_skips <- t.phase1_skips + 1;
+    if sol.Simplex.repaired then t.repairs <- t.repairs + 1
+  end
+  else t.cold_pivots <- t.cold_pivots + sol.Simplex.iterations
+
+let cache_hit t = t.cache_hits <- t.cache_hits + 1
+let cache_miss t = t.cache_misses <- t.cache_misses + 1
+
+let add_wall t stage s =
+  t.walls <-
+    (match List.assoc_opt stage t.walls with
+    | Some prev -> (stage, prev +. s) :: List.remove_assoc stage t.walls
+    | None -> (stage, s) :: t.walls)
+
+let time t stage f =
+  let t0 = Prete_util.Clock.now () in
+  Fun.protect ~finally:(fun () -> add_wall t stage (Prete_util.Clock.elapsed_since t0)) f
+
+let merge_into ~dst src =
+  dst.solves <- dst.solves + src.solves;
+  dst.warm_solves <- dst.warm_solves + src.warm_solves;
+  dst.phase1_skips <- dst.phase1_skips + src.phase1_skips;
+  dst.repairs <- dst.repairs + src.repairs;
+  dst.pivots <- dst.pivots + src.pivots;
+  dst.warm_pivots <- dst.warm_pivots + src.warm_pivots;
+  dst.cold_pivots <- dst.cold_pivots + src.cold_pivots;
+  dst.cache_hits <- dst.cache_hits + src.cache_hits;
+  dst.cache_misses <- dst.cache_misses + src.cache_misses;
+  List.iter (fun (stage, s) -> add_wall dst stage s) src.walls
+
+let cache_hit_rate t =
+  let total = t.cache_hits + t.cache_misses in
+  if total = 0 then 0.0 else float_of_int t.cache_hits /. float_of_int total
+
+(* Hand-rolled JSON: the repo carries no JSON dependency and the emitted
+   structure is flat. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let walls =
+    t.walls
+    |> List.rev_map (fun (stage, s) -> Printf.sprintf "\"%s\": %.6f" (json_escape stage) s)
+    |> String.concat ", "
+  in
+  Printf.sprintf
+    "{\"solves\": %d, \"warm_solves\": %d, \"phase1_skips\": %d, \"repairs\": %d, \
+     \"pivots\": %d, \"warm_pivots\": %d, \"cold_pivots\": %d, \
+     \"cache_hits\": %d, \"cache_misses\": %d, \"cache_hit_rate\": %.4f, \
+     \"wall_s\": {%s}}"
+    t.solves t.warm_solves t.phase1_skips t.repairs t.pivots t.warm_pivots t.cold_pivots
+    t.cache_hits t.cache_misses (cache_hit_rate t) walls
+
+let pp ppf t =
+  Format.fprintf ppf
+    "solves=%d warm=%d p1skip=%d repair=%d pivots=%d (warm %d / cold %d) cache %d/%d"
+    t.solves t.warm_solves t.phase1_skips t.repairs t.pivots t.warm_pivots t.cold_pivots
+    t.cache_hits (t.cache_hits + t.cache_misses)

@@ -1,0 +1,48 @@
+(** Mutable solver telemetry accumulated across the warm-start path.
+
+    One record aggregates every {!Simplex} solve it sees — cold or warm —
+    plus plan-cache hits/misses and per-stage wall clocks.  The record is
+    threaded (not global): {!Te} creates one per strategy call, {!Mip}
+    records each node LP into the one it is handed, and the controller
+    merges per-epoch records into its report.  Counters let the bench
+    compute the headline warm-vs-cold pivot ratio; [to_json] emits the
+    machine-readable form used by [BENCH_PR2.json]. *)
+
+type t = {
+  mutable solves : int;  (** Total simplex solves observed. *)
+  mutable warm_solves : int;  (** Solves that consumed a warm basis. *)
+  mutable phase1_skips : int;  (** Warm solves whose reinstall skipped Phase 1. *)
+  mutable repairs : int;  (** Warm solves that took the guided-repair path. *)
+  mutable pivots : int;  (** Total pivots across all solves. *)
+  mutable warm_pivots : int;  (** Pivots spent by warm solves. *)
+  mutable cold_pivots : int;  (** Pivots spent by cold solves. *)
+  mutable cache_hits : int;  (** Plan-cache hits (solve skipped entirely). *)
+  mutable cache_misses : int;
+  mutable walls : (string * float) list;  (** Per-stage wall seconds. *)
+}
+
+val create : unit -> t
+
+val record : t -> Simplex.solution -> unit
+(** Fold one solve's counters (pivots, warm/cold, skip/repair) in. *)
+
+val cache_hit : t -> unit
+val cache_miss : t -> unit
+
+val add_wall : t -> string -> float -> unit
+(** [add_wall t stage s] accumulates [s] seconds under [stage]. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Run a thunk, charging its wall time to the named stage (accumulated
+    even when the thunk raises). *)
+
+val merge_into : dst:t -> t -> unit
+(** Fold all counters and stage walls of the source into [dst]. *)
+
+val cache_hit_rate : t -> float
+(** Hits / (hits + misses); 0 when the cache was never consulted. *)
+
+val to_json : t -> string
+(** One-line JSON object — no external JSON dependency. *)
+
+val pp : Format.formatter -> t -> unit

@@ -558,6 +558,124 @@ let test_simplex_iteration_limit () =
       ignore (Simplex.solve ~max_iters:0 m1))
 
 (* ------------------------------------------------------------------ *)
+(* Warm starting: a warm basis must never change results, only pivot
+   counts.  Three staleness regimes: identical model (the reinstalled
+   basis is already optimal), moved rhs (the dual-repair path), moved
+   costs (primal Phase 2 work from a still-feasible vertex). *)
+
+let random_warm_instance seed =
+  let rng = Prete_util.Rng.create (seed + 7000) in
+  let nv = 2 + Prete_util.Rng.int rng 3 in
+  let nc = 2 + Prete_util.Rng.int rng 3 in
+  let coefs =
+    Array.init nc (fun _ ->
+        Array.init nv (fun _ -> Prete_util.Rng.uniform rng 0.2 3.0))
+  in
+  let rhs = Array.init nc (fun _ -> Prete_util.Rng.uniform rng 2.0 20.0) in
+  let cost = Array.init nv (fun _ -> Prete_util.Rng.uniform rng 0.1 4.0) in
+  let build ~rhs ~cost =
+    let m = Lp.create () in
+    let vars =
+      Array.init nv (fun i -> Lp.add_var m ~ub:15.0 (Printf.sprintf "x%d" i))
+    in
+    Array.iteri
+      (fun k row ->
+        ignore
+          (Lp.add_constraint m
+             (Array.to_list (Array.mapi (fun i c -> (c, vars.(i))) row))
+             Lp.Le rhs.(k)))
+      coefs;
+    Lp.set_objective m Lp.Maximize
+      (Array.to_list (Array.mapi (fun i ci -> (ci, vars.(i))) cost));
+    m
+  in
+  (build, rhs, cost, rng)
+
+let opt = function
+  | Simplex.Optimal sol -> sol
+  | _ -> Alcotest.fail "expected optimal"
+
+let prop_warm_identical_model =
+  QCheck.Test.make ~name:"warm re-solve of the same model is free" ~count:50
+    QCheck.(small_int)
+    (fun seed ->
+      let build, rhs, cost, _ = random_warm_instance seed in
+      let cold = opt (Simplex.solve (build ~rhs ~cost)) in
+      let warm = opt (Simplex.solve ~warm:cold.Simplex.basis (build ~rhs ~cost)) in
+      Float.abs (warm.Simplex.objective -. cold.Simplex.objective) < 1e-9
+      && warm.Simplex.warm_used && warm.Simplex.phase1_skipped
+      && (not warm.Simplex.repaired)
+      && warm.Simplex.iterations = 0)
+
+let prop_warm_stale_rhs =
+  QCheck.Test.make ~name:"warm from a stale basis after rhs moves" ~count:50
+    QCheck.(small_int)
+    (fun seed ->
+      let build, rhs, cost, rng = random_warm_instance seed in
+      let stale = opt (Simplex.solve (build ~rhs ~cost)) in
+      let rhs' =
+        Array.map
+          (fun r -> Float.max 0.5 (r +. Prete_util.Rng.uniform rng (-4.0) 4.0))
+          rhs
+      in
+      let cold = opt (Simplex.solve (build ~rhs:rhs' ~cost)) in
+      let warm =
+        opt (Simplex.solve ~warm:stale.Simplex.basis (build ~rhs:rhs' ~cost))
+      in
+      Float.abs (warm.Simplex.objective -. cold.Simplex.objective) < 1e-7
+      && warm.Simplex.warm_used
+      && Simplex.feasible (build ~rhs:rhs' ~cost) warm.Simplex.values)
+
+let prop_warm_stale_costs =
+  QCheck.Test.make ~name:"warm from a stale basis after costs move" ~count:50
+    QCheck.(small_int)
+    (fun seed ->
+      let build, rhs, cost, rng = random_warm_instance seed in
+      let stale = opt (Simplex.solve (build ~rhs ~cost)) in
+      let cost' =
+        Array.map (fun c -> c +. Prete_util.Rng.uniform rng (-1.0) 2.0) cost
+      in
+      let cold = opt (Simplex.solve (build ~rhs ~cost:cost')) in
+      let warm =
+        opt (Simplex.solve ~warm:stale.Simplex.basis (build ~rhs ~cost:cost'))
+      in
+      (* The stale vertex stays primal feasible when only costs move, so
+         Phase 1 must be skipped outright. *)
+      Float.abs (warm.Simplex.objective -. cold.Simplex.objective) < 1e-7
+      && warm.Simplex.warm_used && warm.Simplex.phase1_skipped)
+
+let prop_warm_anytime_monotone =
+  QCheck.Test.make
+    ~name:"degraded warm incumbents are feasible and improve with budget"
+    ~count:40
+    QCheck.(small_int)
+    (fun seed ->
+      (* Deadline-regression guard: under a tightening pivot budget the
+         solver must still return a feasible incumbent (never raise, never
+         go infeasible) and a larger budget must never yield a worse
+         objective than a smaller one. *)
+      let build, rhs, cost, rng = random_warm_instance seed in
+      let stale = opt (Simplex.solve (build ~rhs ~cost)) in
+      let cost' =
+        Array.map (fun c -> c +. Prete_util.Rng.uniform rng 0.0 3.0) cost
+      in
+      let m () = build ~rhs ~cost:cost' in
+      let prev = ref neg_infinity in
+      let ok = ref true in
+      List.iter
+        (fun budget ->
+          let sol =
+            opt (Simplex.solve ~warm:stale.Simplex.basis ~max_iters:budget (m ()))
+          in
+          if not (Simplex.feasible (m ()) sol.Simplex.values) then ok := false;
+          if sol.Simplex.objective < !prev -. 1e-9 then ok := false;
+          prev := sol.Simplex.objective)
+        [ 0; 1; 2; 4; 8; 1000 ];
+      let full = opt (Simplex.solve (m ())) in
+      (* The largest budget reaches the true optimum. *)
+      !ok && Float.abs (!prev -. full.Simplex.objective) < 1e-7)
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
@@ -597,6 +715,14 @@ let () =
       ( "simplex.props",
         qsuite
           [ prop_simplex_optimality; prop_simplex_strong_duality; prop_complementary_slackness ] );
+      ( "simplex.warm",
+        qsuite
+          [
+            prop_warm_identical_model;
+            prop_warm_stale_rhs;
+            prop_warm_stale_costs;
+            prop_warm_anytime_monotone;
+          ] );
       ( "mip",
         [
           Alcotest.test_case "knapsack" `Quick test_mip_knapsack;

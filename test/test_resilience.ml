@@ -110,7 +110,7 @@ let test_ladder_primary_success () =
   let ladder = Resilience.create () in
   let o =
     Resilience.plan_epoch ladder ~ts ~demands
-      ~primary:(fun () -> good_plan ts demands)
+      ~primary:(fun ~warm:_ () -> (good_plan ts demands, None))
       ()
   in
   Alcotest.(check bool) "primary rung" true (o.Resilience.rung = Resilience.Primary);
@@ -125,12 +125,12 @@ let test_ladder_falls_back_to_cache () =
   (* Warm the cache with a primary success... *)
   ignore
     (Resilience.plan_epoch ladder ~ts ~demands
-       ~primary:(fun () -> good_plan ts demands)
+       ~primary:(fun ~warm:_ () -> (good_plan ts demands, None))
        ());
   (* ...then time the primary out. *)
   let o =
     Resilience.plan_epoch ladder ~ts ~demands
-      ~primary:(fun () -> raise Prete_lp.Simplex.Timeout)
+      ~primary:(fun ~warm:_ () -> raise Prete_lp.Simplex.Timeout)
       ()
   in
   Alcotest.(check bool) "cached rung" true (o.Resilience.rung = Resilience.Cached);
@@ -144,7 +144,7 @@ let test_ladder_cold_cache_reaches_equal_split () =
   let ladder = Resilience.create () in
   let o =
     Resilience.plan_epoch ladder ~ts ~demands
-      ~primary:(fun () -> raise (Te.Infeasible_problem "beta too high"))
+      ~primary:(fun ~warm:_ () -> raise (Te.Infeasible_problem "beta too high"))
       ()
   in
   Alcotest.(check bool) "equal-split rung" true
@@ -162,7 +162,7 @@ let test_ladder_rejects_infeasible_primary_plan () =
   let ladder = Resilience.create () in
   let o =
     Resilience.plan_epoch ladder ~ts ~demands
-      ~primary:(fun () -> garbage_plan ts)
+      ~primary:(fun ~warm:_ () -> (garbage_plan ts, None))
       ()
   in
   Alcotest.(check bool) "not primary" true (o.Resilience.rung <> Resilience.Primary);
@@ -177,9 +177,10 @@ let test_ladder_retries_with_backoff () =
   let calls = ref 0 in
   let o =
     Resilience.plan_epoch ladder ~ts ~demands
-      ~primary:(fun () ->
+      ~primary:(fun ~warm:_ () ->
         incr calls;
-        if !calls < 3 then raise Prete_lp.Simplex.Timeout else good_plan ts demands)
+        if !calls < 3 then raise Prete_lp.Simplex.Timeout
+        else (good_plan ts demands, None))
       ()
   in
   Alcotest.(check int) "three attempts" 3 !calls;
@@ -195,9 +196,9 @@ let test_ladder_telemetry_gap_skips_primary () =
   let called = ref false in
   let o =
     Resilience.plan_epoch ladder ~ts ~demands ~telemetry_gap:true
-      ~primary:(fun () ->
+      ~primary:(fun ~warm:_ () ->
         called := true;
-        good_plan ts demands)
+        (good_plan ts demands, None))
       ()
   in
   Alcotest.(check bool) "primary never called" false !called;
@@ -211,7 +212,7 @@ let test_ladder_notes_match_attempts () =
   let ladder = Resilience.create () in
   let o =
     Resilience.plan_epoch ladder ~ts ~demands
-      ~primary:(fun () -> raise Prete_lp.Simplex.Timeout)
+      ~primary:(fun ~warm:_ () -> raise Prete_lp.Simplex.Timeout)
       ()
   in
   let notes = Resilience.notes o in
@@ -235,6 +236,119 @@ let test_ladder_notes_match_attempts () =
     (List.length report.Controller.notes)
 
 (* ------------------------------------------------------------------ *)
+(* Rung 0: warm-basis retention                                         *)
+(* ------------------------------------------------------------------ *)
+
+let te_fixture_problem ts demands =
+  Te.make_problem ~ts ~demands ~probs:[| 0.02; 0.03; 0.01; 0.02; 0.01 |]
+    ~beta:0.9 ()
+
+let test_ladder_rung0_warm_basis () =
+  let _, ts = fixture () in
+  let demands = [| 5.0; 5.0 |] in
+  let ladder = Resilience.create () in
+  Alcotest.(check bool) "no basis initially" true
+    (Resilience.last_basis ladder = None);
+  (* A real basis from a real solve. *)
+  let sol = Te.solve ~second_phase:false (te_fixture_problem ts demands) in
+  let b =
+    match sol.Te.basis with
+    | Some b -> b
+    | None -> Alcotest.fail "solved instance must surface its basis"
+  in
+  let seen_warm = ref None in
+  let o1 =
+    Resilience.plan_epoch ladder ~ts ~demands
+      ~primary:(fun ~warm () ->
+        seen_warm := warm;
+        (good_plan ts demands, Some b))
+      ()
+  in
+  Alcotest.(check bool) "primary rung" true (o1.Resilience.rung = Resilience.Primary);
+  Alcotest.(check bool) "first epoch starts cold" true (!seen_warm = None);
+  Alcotest.(check bool) "basis retained after success" true
+    (Resilience.last_basis ladder = Some b);
+  (* The next epoch's primary receives the retained basis as rung 0. *)
+  let o2 =
+    Resilience.plan_epoch ladder ~ts ~demands
+      ~primary:(fun ~warm () ->
+        seen_warm := warm;
+        (good_plan ts demands, None))
+      ()
+  in
+  Alcotest.(check bool) "second epoch warmed" true (!seen_warm = Some b);
+  Alcotest.(check bool) "primary again" true (o2.Resilience.rung = Resilience.Primary);
+  (* A primary returning no basis keeps the previous one... *)
+  Alcotest.(check bool) "None return keeps basis" true
+    (Resilience.last_basis ladder = Some b);
+  (* ...and a failing epoch must not clobber it either. *)
+  ignore
+    (Resilience.plan_epoch ladder ~ts ~demands
+       ~primary:(fun ~warm:_ () -> raise Prete_lp.Simplex.Timeout)
+       ());
+  Alcotest.(check bool) "fallback keeps basis" true
+    (Resilience.last_basis ladder = Some b)
+
+let test_ladder_deadline_regression () =
+  (* End-to-end deadline pressure on a real TE primary: an already
+     expired budget must degrade to a fallback rung (never raise) with a
+     still-feasible plan, and a generous budget must recover to a clean
+     warm-started primary. *)
+  let _, ts = fixture () in
+  let demands = [| 5.0; 5.0 |] in
+  let p = te_fixture_problem ts demands in
+  let primary ~deadline ~warm () =
+    let sol = Te.solve ~second_phase:false ~deadline ?warm p in
+    ( {
+        Availability.p_alloc = sol.Te.alloc;
+        p_ts = ts;
+        p_admitted = None;
+        p_degraded = sol.Te.degraded;
+      },
+      sol.Te.basis )
+  in
+  let ladder = Resilience.create () in
+  (* Epoch 1: generous budget — clean primary, basis retained. *)
+  let o1 =
+    Resilience.plan_epoch ladder ~ts ~demands
+      ~primary:(primary ~deadline:(Prete_util.Clock.deadline_after 3600.0))
+      ()
+  in
+  Alcotest.(check bool) "generous: primary rung" true
+    (o1.Resilience.rung = Resilience.Primary);
+  Alcotest.(check bool) "generous: not degraded" false (Resilience.degraded o1);
+  Alcotest.(check bool) "generous: basis retained" true
+    (Resilience.last_basis ladder <> None);
+  (* Epoch 2: expired budget — the solve times out, the ladder serves the
+     cached plan, and the retained warm basis survives untouched. *)
+  let o2 =
+    Resilience.plan_epoch ladder ~ts ~demands
+      ~primary:(primary ~deadline:(Prete_util.Clock.now () -. 1.0))
+      ()
+  in
+  Alcotest.(check bool) "expired: fallback rung" true
+    (o2.Resilience.rung = Resilience.Cached);
+  Alcotest.(check bool) "expired: timeout cause" true
+    (o2.Resilience.cause = Some Resilience.Solver_timeout);
+  Alcotest.(check bool) "expired: still feasible" true
+    (Resilience.plan_feasible ts o2.Resilience.plan);
+  Alcotest.(check bool) "expired: degraded" true (Resilience.degraded o2);
+  let retained = Resilience.last_basis ladder in
+  Alcotest.(check bool) "expired: basis survives" true (retained <> None);
+  (* Epoch 3: budget restored — the warm re-solve lands on the same phi
+     as a cold solve (warm starting changes pivots, never results). *)
+  let o3 =
+    Resilience.plan_epoch ladder ~ts ~demands
+      ~primary:(primary ~deadline:(Prete_util.Clock.deadline_after 3600.0))
+      ()
+  in
+  Alcotest.(check bool) "recovered: primary rung" true
+    (o3.Resilience.rung = Resilience.Primary);
+  let cold = Te.solve ~second_phase:false p in
+  let warm = Te.solve ~second_phase:false ?warm:retained p in
+  check_close 1e-9 "warm phi = cold phi" cold.Te.phi warm.Te.phi
+
+(* ------------------------------------------------------------------ *)
 (* Properties                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -253,15 +367,15 @@ let prop_ladder_plans_always_feasible =
       if Prete_util.Rng.bool rng then
         ignore
           (Resilience.plan_epoch ladder ~ts ~demands
-             ~primary:(fun () -> good_plan ts demands)
+             ~primary:(fun ~warm:_ () -> (good_plan ts demands, None))
              ());
-      let primary () =
+      let primary ~warm:_ () =
         match Prete_util.Rng.int rng 5 with
         | 0 -> raise Prete_lp.Simplex.Timeout
         | 1 -> raise (Prete_lp.Simplex.Numerical "synthetic")
         | 2 -> raise (Te.Infeasible_problem "synthetic")
-        | 3 -> garbage_plan ts
-        | _ -> good_plan ts demands
+        | 3 -> (garbage_plan ts, None)
+        | _ -> (good_plan ts demands, None)
       in
       let gap = Prete_util.Rng.int rng 4 = 0 in
       let o = Resilience.plan_epoch ladder ~ts ~demands ~telemetry_gap:gap ~primary () in
@@ -313,6 +427,10 @@ let () =
           Alcotest.test_case "telemetry gap skips primary" `Quick
             test_ladder_telemetry_gap_skips_primary;
           Alcotest.test_case "notes match attempts" `Quick test_ladder_notes_match_attempts;
+          Alcotest.test_case "rung-0 warm basis retention" `Quick
+            test_ladder_rung0_warm_basis;
+          Alcotest.test_case "deadline regression end to end" `Quick
+            test_ladder_deadline_regression;
         ] );
       ( "properties",
         qsuite [ prop_ladder_plans_always_feasible; prop_equal_split_feasible_at_any_scale ]

@@ -1,0 +1,172 @@
+(* Differential testing of the three TE solving strategies.
+
+   On randomly generated small instances the heuristic ({!Te.solve}), the
+   exact MIP ({!Te.solve_mip}) and Benders decomposition
+   ({!Te.solve_benders}) must agree on the optimal loss Φ, every returned
+   allocation must pass the independent {!Prete_lp.Simplex.feasible}
+   check against {!Resilience.capacity_model}, and warm-started re-solves
+   must reproduce the cold objective bit-for-bit (within eps).
+
+   Two generator regimes:
+   - the Fig. 2 triangle, where the δ-rounding heuristic is provably
+     vertex-exact: all three strategies must agree to 1e-6;
+   - the square-with-diagonal, where the heuristic's rounding can land on
+     a suboptimal coverage set: Benders and the MIP must still agree (both
+     are exact), and the heuristic Φ is validated as an upper bound. *)
+
+open Prete
+open Prete_net
+
+let triangle () =
+  let fibers = [| (0, 1, 100.0); (0, 2, 100.0); (1, 2, 100.0) |] in
+  let links =
+    Array.of_list
+      (List.concat_map
+         (fun (f, (a, b)) -> [ (a, b, 10.0, [ f ]); (b, a, 10.0, [ f ]) ])
+         [ (0, (0, 1)); (1, (0, 2)); (2, (1, 2)) ])
+  in
+  Topology.make ~name:"fig2" ~node_names:[| "s1"; "s2"; "s3" |] ~fibers ~links
+
+let square () =
+  let fibers =
+    [| (0, 1, 100.0); (1, 2, 100.0); (2, 3, 100.0); (3, 0, 100.0); (0, 2, 500.0) |]
+  in
+  let links =
+    Array.of_list
+      (List.concat_map
+         (fun (f, (a, b)) -> [ (a, b, 10.0, [ f ]); (b, a, 10.0, [ f ]) ])
+         [ (0, (0, 1)); (1, (1, 2)); (2, (2, 3)); (3, (3, 0)); (4, (0, 2)) ])
+  in
+  Topology.make ~name:"square" ~node_names:[| "n0"; "n1"; "n2"; "n3" |] ~fibers ~links
+
+(* Random instance on a fixed topology shape: demands in [5, 20), cut
+   probabilities in [0.005, 0.05), beta drawn from the levels the paper
+   evaluates. *)
+let random_problem ~square:sq rng =
+  let topo = if sq then square () else triangle () in
+  let pairs = if sq then [ (0, 2); (1, 3) ] else [ (0, 1); (0, 2) ] in
+  let ts = Tunnels.build ~per_flow:2 topo pairs in
+  let demands = Array.init 2 (fun _ -> Prete_util.Rng.uniform rng 5.0 20.0) in
+  let probs =
+    Array.init (Topology.num_fibers topo)
+      (fun _ -> Prete_util.Rng.uniform rng 0.005 0.05)
+  in
+  let beta = [| 0.9; 0.95; 0.99 |].(Prete_util.Rng.int rng 3) in
+  (ts, Te.make_problem ~ts ~demands ~probs ~beta ())
+
+(* The capacity polytope built independently of the solvers: the
+   allocation the solver returns must satisfy it (and its variable bounds)
+   under the generic simplex feasibility checker. *)
+let alloc_feasible ts (sol : Te.solution) =
+  Prete_lp.Simplex.feasible (Resilience.capacity_model ts) sol.Te.alloc
+
+(* Coverage constraint (Eqn. 5): the classes a solution marks covered
+   must carry at least beta probability mass for every flow. *)
+let coverage_ok (p : Te.problem) (sol : Te.solution) =
+  let ok = ref true in
+  Array.iteri
+    (fun f cls ->
+      let covered = ref 0.0 in
+      Array.iteri
+        (fun ci (c : Scenario.Classes.cls) ->
+          if sol.Te.delta.(f).(ci) then
+            covered := !covered +. c.Scenario.Classes.prob)
+        cls;
+      if !covered < p.Te.beta -. 1e-9 then ok := false)
+    sol.Te.classes;
+  !ok
+
+let prop_triangle_three_way =
+  QCheck.Test.make ~name:"solvers agree on random triangle instances"
+    ~count:60
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prete_util.Rng.create (seed + 9000) in
+      let ts, p = random_problem ~square:false rng in
+      let h = Te.solve ~second_phase:false p in
+      let e = Te.solve_mip p in
+      let b = Te.solve_benders p in
+      abs_float (h.Te.phi -. e.Te.phi) <= 1e-6
+      && abs_float (b.Te.phi -. e.Te.phi) <= 1e-6
+      && alloc_feasible ts h && alloc_feasible ts e && alloc_feasible ts b
+      && coverage_ok p h && coverage_ok p e && coverage_ok p b)
+
+let prop_square_exact_pair =
+  QCheck.Test.make ~name:"benders matches mip on random square instances"
+    ~count:40
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prete_util.Rng.create (seed + 17_000) in
+      let ts, p = random_problem ~square:true rng in
+      let h = Te.solve ~second_phase:false p in
+      let e = Te.solve_mip p in
+      let b = Te.solve_benders p in
+      (* Both exact strategies agree; the rounding heuristic is a valid
+         upper bound (exactness on this shape is not guaranteed). *)
+      abs_float (b.Te.phi -. e.Te.phi) <= 1e-6
+      && h.Te.phi >= e.Te.phi -. 1e-6
+      && alloc_feasible ts h && alloc_feasible ts e && alloc_feasible ts b
+      && coverage_ok p h && coverage_ok p e && coverage_ok p b)
+
+let prop_warm_equals_cold =
+  QCheck.Test.make ~name:"warm re-solve reproduces the cold objective"
+    ~count:40
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prete_util.Rng.create (seed + 33_000) in
+      let sq = Prete_util.Rng.int rng 2 = 0 in
+      let ts, p = random_problem ~square:sq rng in
+      let cold = Te.solve ~second_phase:false p in
+      match cold.Te.basis with
+      | None -> false (* a solved instance must surface its final basis *)
+      | Some basis ->
+        let warm = Te.solve ~second_phase:false ~warm:basis p in
+        let cold_mip = Te.solve_mip ~warm_start:false p in
+        let warm_mip = Te.solve_mip ~warm:basis p in
+        abs_float (warm.Te.phi -. cold.Te.phi) <= 1e-9
+        && abs_float (warm_mip.Te.phi -. cold_mip.Te.phi) <= 1e-6
+        && alloc_feasible ts warm && alloc_feasible ts warm_mip)
+
+let prop_benders_warm_chain =
+  QCheck.Test.make
+    ~name:"benders warm-chained across perturbed demands stays exact"
+    ~count:30
+    QCheck.(small_int)
+    (fun seed ->
+      (* The production pattern: consecutive epochs solve structurally
+         identical problems with drifting demands, threading the basis.
+         The chained Benders run must match a from-scratch MIP at every
+         step. *)
+      let rng = Prete_util.Rng.create (seed + 71_000) in
+      let ts, p0 = random_problem ~square:false rng in
+      let carry = ref None in
+      let ok = ref true in
+      for _ = 1 to 3 do
+        let demands =
+          Array.map
+            (fun d -> Float.max 1.0 (d +. Prete_util.Rng.uniform rng (-2.0) 2.0))
+            p0.Te.demands
+        in
+        let p = { p0 with Te.demands = demands } in
+        let b = Te.solve_benders ?warm:!carry p in
+        let e = Te.solve_mip ~warm_start:false p in
+        if abs_float (b.Te.phi -. e.Te.phi) > 1e-6 || not (alloc_feasible ts b)
+        then ok := false;
+        carry := b.Te.basis
+      done;
+      !ok)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "prete_solvers_diff"
+    [
+      ( "differential",
+        qsuite
+          [
+            prop_triangle_three_way;
+            prop_square_exact_pair;
+            prop_warm_equals_cold;
+            prop_benders_warm_chain;
+          ] );
+    ]

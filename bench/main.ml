@@ -933,6 +933,68 @@ let fallback () =
            ()))
 
 (* ------------------------------------------------------------------ *)
+(* Parallel execution: pool scaling + determinism evidence              *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_json = ref "null"
+
+let parallel () =
+  section "Parallel — domain-pool scaling for simulate / availability / Benders (B4)";
+  let env, _, _, nn = bundle "B4" in
+  let scheme = Schemes.prete_default ~predictor:(nn_predictor nn) () in
+  let epochs = if !quick then 2_000 else 6_000 in
+  let demands = Traffic.demand env.Availability.traffic ~scale:4.0 ~epoch:12 in
+  let bp =
+    Te.make_problem ~ts:env.Availability.ts ~demands
+      ~probs:env.Availability.model.Fiber_model.p_cut ~beta:0.999 ()
+  in
+  let host_cores = Domain.recommended_domain_count () in
+  Printf.printf "  host reports %d usable core(s)\n%!" host_cores;
+  let runs = ref [] in
+  let results = ref [] in
+  List.iter
+    (fun domains ->
+      let pool = Prete_exec.Pool.create ~domains () in
+      let time f = let r, w = Controller.wall f in (r, w) in
+      let sim, sim_w = time (fun () -> Simulate.run ~epochs ~pool env scheme ~scale:2.0) in
+      let avail, avail_w =
+        time (fun () -> Availability.availability ~pool env scheme ~scale:3.0)
+      in
+      let bsol, benders_w =
+        time (fun () -> Te.solve_benders ~max_iters:10 ~pool bp)
+      in
+      let stats = Prete_exec.Pool.stats pool in
+      Prete_exec.Pool.shutdown pool;
+      Printf.printf
+        "  domains %d: simulate %6.2f s   availability %6.2f s   benders %6.2f s   \
+         (%d tasks, %d steals)\n%!"
+        domains sim_w avail_w benders_w stats.Prete_exec.Pool_stats.tasks
+        stats.Prete_exec.Pool_stats.steals;
+      results := (sim.Simulate.availability, avail, bsol.Te.phi) :: !results;
+      runs :=
+        Printf.sprintf
+          "{\"domains\": %d, \"simulate_wall_s\": %.3f, \"availability_wall_s\": %.3f, \
+           \"benders_wall_s\": %.3f, \"simulate_mc\": %.9f, \"availability\": %.9f, \
+           \"benders_phi\": %.9f, \"pool\": %s}"
+          domains sim_w avail_w benders_w sim.Simulate.availability avail bsol.Te.phi
+          (Prete_exec.Pool_stats.to_json stats)
+        :: !runs)
+    [ 1; 2; 4 ];
+  (* Determinism evidence: the three result triples must be bit-identical
+     across domain counts. *)
+  let identical =
+    match !results with
+    | [] -> true
+    | r0 :: rest -> List.for_all (fun r -> r = r0) rest
+  in
+  Printf.printf "  results bit-identical across domain counts: %b\n%!" identical;
+  parallel_json :=
+    Printf.sprintf
+      "{\"host_cores\": %d, \"epochs\": %d, \"bit_identical\": %b, \"runs\": [%s]}"
+      host_cores epochs identical
+      (String.concat ", " (List.rev !runs))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1035,6 +1097,7 @@ let experiments =
     ("ablate_mip", "MIP strategy ablation", ablate_mip);
     ("warmstart", "warm vs cold solver pivots + plan-cache hit rate", warmstart);
     ("fallback", "fallback-path latency per ladder rung", fallback);
+    ("parallel", "domain-pool scaling: 1/2/4-domain walls + determinism", parallel);
   ]
 
 let () =
@@ -1097,11 +1160,11 @@ let () =
         !walls
     in
     Printf.sprintf
-      "{\n  \"pr\": 2,\n  \"experiments\": [%s],\n  \"warmstart\": %s,\n  \"plan_cache\": %s\n}\n"
-      (String.concat ", " exps) !warmstart_json !chaos_cache_json
+      "{\n  \"pr\": 3,\n  \"experiments\": [%s],\n  \"warmstart\": %s,\n  \"plan_cache\": %s,\n  \"parallel\": %s\n}\n"
+      (String.concat ", " exps) !warmstart_json !chaos_cache_json !parallel_json
   in
-  let oc = open_out "BENCH_PR2.json" in
+  let oc = open_out "BENCH_PR3.json" in
   output_string oc json;
   close_out oc;
-  Printf.printf "\nWrote BENCH_PR2.json\n";
+  Printf.printf "\nWrote BENCH_PR3.json\n";
   Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -29,6 +29,26 @@ let seed_arg =
   let doc = "Random seed." in
   Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker domains for parallel evaluation (defaults to the \
+     $(b,PRETE_DOMAINS) environment variable, else 1).  Results are \
+     bit-identical at any value."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+(* Evaluation commands run against a pool sized by --domains (or
+   PRETE_DOMAINS), shut down when the command finishes. *)
+let with_pool domains f =
+  let pool =
+    match domains with
+    | Some n -> Prete_exec.Pool.create ~domains:n ()
+    | None -> Prete_exec.Pool.create ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Prete_exec.Pool.shutdown pool)
+    (fun () -> f pool)
+
 let scheme_of_string ~predictor name =
   match String.lowercase_ascii name with
   | "ecmp" -> Schemes.Ecmp
@@ -174,12 +194,14 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc) Term.(const run $ topo_arg $ scale_arg $ beta_arg $ degraded)
 
 let availability_cmd =
-  let run name scale scheme_name =
+  let run name scale scheme_name domains =
     let topo = Topology.by_name name in
     let env = Availability.make_env topo in
     let predictor = Prete_optics.Hazard.eval ~num_fibers:(Topology.num_fibers topo) in
     let scheme = scheme_of_string ~predictor scheme_name in
-    let a = Availability.availability env scheme ~scale in
+    let a =
+      with_pool domains (fun pool -> Availability.availability ~pool env scheme ~scale)
+    in
     Printf.printf "%s on %s at %.1fx demand: availability %.4f%% (%.2f nines)\n"
       (Schemes.name scheme) name scale (100.0 *. a) (Availability.nines a)
   in
@@ -190,7 +212,8 @@ let availability_cmd =
           ~doc:"ecmp | smore | ffc1 | ffc2 | teavar | arrow | flexile | prete | prete-naive | oracle")
   in
   let doc = "Evaluate a TE scheme's availability (Fig. 13)." in
-  Cmd.v (Cmd.info "availability" ~doc) Term.(const run $ topo_arg $ scale_arg $ scheme)
+  Cmd.v (Cmd.info "availability" ~doc)
+    Term.(const run $ topo_arg $ scale_arg $ scheme $ domains_arg)
 
 let pipeline_cmd =
   let run name fiber =
@@ -232,18 +255,23 @@ let pipeline_cmd =
   Cmd.v (Cmd.info "pipeline" ~doc) Term.(const run $ topo_arg $ fiber)
 
 let simulate_cmd =
-  let run name scale scheme_name epochs =
+  let run name scale scheme_name epochs domains =
     let topo = Topology.by_name name in
     let env = Availability.make_env topo in
     let predictor = Prete_optics.Hazard.eval ~num_fibers:(Topology.num_fibers topo) in
     let scheme = scheme_of_string ~predictor scheme_name in
-    let analytic = Availability.availability env scheme ~scale in
-    let r = Simulate.run ~epochs env scheme ~scale in
-    Printf.printf
-      "%s on %s at %.1fx over %d epochs:\n  Monte-Carlo availability %.5f (analytic %.5f)\n"
-      (Schemes.name scheme) name scale epochs r.Simulate.availability analytic;
-    Printf.printf "  %d epochs with cuts (%d with simultaneous cuts), %d with degradations\n"
-      r.Simulate.cut_epochs r.Simulate.multi_cut_epochs r.Simulate.degradation_epochs
+    with_pool domains (fun pool ->
+        let analytic = Availability.availability ~pool env scheme ~scale in
+        let r = Simulate.run ~epochs ~pool env scheme ~scale in
+        Printf.printf
+          "%s on %s at %.1fx over %d epochs:\n  Monte-Carlo availability %.5f (analytic %.5f)\n"
+          (Schemes.name scheme) name scale epochs r.Simulate.availability analytic;
+        Printf.printf
+          "  %d epochs with cuts (%d with simultaneous cuts), %d with degradations\n"
+          r.Simulate.cut_epochs r.Simulate.multi_cut_epochs r.Simulate.degradation_epochs;
+        if Prete_exec.Pool.domains pool > 1 then
+          Format.printf "  pool: %a@." Prete_exec.Pool_stats.pp
+            (Prete_exec.Pool.stats pool))
   in
   let scheme =
     Arg.(
@@ -255,15 +283,19 @@ let simulate_cmd =
     Arg.(value & opt int 20000 & info [ "epochs" ] ~docv:"N" ~doc:"Epochs to simulate.")
   in
   let doc = "Monte-Carlo epoch simulation (cross-check of the analytic evaluator)." in
-  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ topo_arg $ scale_arg $ scheme $ epochs)
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ topo_arg $ scale_arg $ scheme $ epochs $ domains_arg)
 
 let chaos_cmd =
-  let run name scale scheme_name seed epochs =
+  let run name scale scheme_name seed epochs domains =
     let topo = Topology.by_name name in
     let env = Availability.make_env topo in
     let predictor = Prete_optics.Hazard.eval ~num_fibers:(Topology.num_fibers topo) in
     let scheme = scheme_of_string ~predictor scheme_name in
-    let baseline, entries = Simulate.chaos_sweep ~seed ~epochs env scheme ~scale in
+    let baseline, entries =
+      with_pool domains (fun pool ->
+          Simulate.chaos_sweep ~seed ~epochs ~pool env scheme ~scale)
+    in
     Printf.printf "%s on %s at %.1fx demand, %d epochs per run\n"
       (Schemes.name scheme) name scale epochs;
     Printf.printf "fault-free baseline: availability %.5f (%d/%d/%d primary/cached/equal-split)\n\n"
@@ -301,7 +333,7 @@ let chaos_cmd =
     "Fault-injection sweep: availability delta vs a fault-free baseline per fault class."
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const run $ topo_arg $ scale_arg $ scheme $ seed_arg $ epochs)
+    Term.(const run $ topo_arg $ scale_arg $ scheme $ seed_arg $ epochs $ domains_arg)
 
 let () =
   let doc = "PreTE: traffic engineering with predictive failures (SIGCOMM 2025 reproduction)" in

@@ -428,23 +428,62 @@ let weighted_mean demands avail_per_flow =
     !acc /. total
   end
 
-let availability env scheme ~scale =
+let availability ?pool env scheme ~scale =
+  let pool =
+    match pool with Some p -> p | None -> Prete_exec.Pool.default ()
+  in
   let demands = Traffic.demand env.traffic ~scale ~epoch:env.epoch in
   let states = degradation_states env in
   let n_flows = Array.length env.ts.Tunnels.flows in
-  (* Caches shared across degradation states. *)
+  (* Phase 1: the served-fraction LPs the reactive schemes need, one per
+     distinct cut outcome, solved on the pool.  The outcome set is
+     collected in state order so the table contents (and the fallback
+     below) are independent of how the solves are scheduled. *)
   let served_cache : (int option, float array) Hashtbl.t = Hashtbl.create 32 in
+  (match scheme with
+  | Schemes.Oracle | Schemes.Flexile ->
+    let order = ref [] in
+    Array.iter
+      (fun (degraded, _) ->
+        Array.iter
+          (fun (cut, _) ->
+            if not (Hashtbl.mem served_cache cut) then begin
+              Hashtbl.add served_cache cut [||];
+              order := cut :: !order
+            end)
+          (cut_outcomes env ~degraded))
+      states;
+    let cut_keys = Array.of_list (List.rev !order) in
+    let solved =
+      Prete_exec.Pool.parallel_map pool ~chunk:1
+        (fun cut ->
+          max_served env ~demands
+            ~cuts:(match cut with None -> [] | Some f -> [ f ]))
+        cut_keys
+    in
+    Array.iteri (fun i cut -> Hashtbl.replace served_cache cut solved.(i)) cut_keys
+  | _ -> ());
   let served cut =
     match Hashtbl.find_opt served_cache cut with
     | Some s -> s
     | None ->
-      let s =
-        max_served env ~demands ~cuts:(match cut with None -> [] | Some f -> [ f ])
-      in
-      Hashtbl.add served_cache cut s;
-      s
+      (* Unreachable for the schemes that call [served]; recompute rather
+         than mutate so the table stays read-only during Phase 3. *)
+      max_served env ~demands ~cuts:(match cut with None -> [] | Some f -> [ f ])
   in
-  let base_plan = lazy (plan_alloc env scheme ~demands ~degraded:None) in
+  (* Phase 2: one plan per degradation state.  Degradation-aware schemes
+     re-solve per state — independent LPs, fanned out on the pool; every
+     other scheme allocates once. *)
+  let plans =
+    if Schemes.is_degradation_aware scheme then
+      Prete_exec.Pool.parallel_map pool ~chunk:1
+        (fun (degraded, _) -> plan_alloc env scheme ~demands ~degraded)
+        states
+    else begin
+      let base = plan_alloc env scheme ~demands ~degraded:None in
+      Array.map (fun _ -> base) states
+    end
+  in
   (* Rate-limited delivery cap of admission schemes. *)
   let admission_cap plan f =
     match plan.p_admitted with None -> demands.(f) | Some b -> b.(f)
@@ -499,27 +538,31 @@ let availability env scheme ~scale =
               let post = (served cut).(f) in
               (w *. Float.min pre post) +. ((1.0 -. w) *. post))
   in
+  (* Phase 3: per-state availability on the pool.  Each state's inner sum
+     runs over its cut outcomes in distribution order, and the cross-state
+     sum below folds in state order — both fixed by the model, never by
+     the schedule — so the result is bit-identical at any domain count. *)
+  let per_state =
+    Prete_exec.Pool.parallel_map pool ~chunk:1
+      (fun i ->
+        let degraded, _ = states.(i) in
+        let plan = plans.(i) in
+        let outcomes = cut_outcomes env ~degraded in
+        let state_avail = ref 0.0 in
+        Array.iter
+          (fun (cut, p_q) ->
+            let per_flow = avail_with_reaction plan cut in
+            state_avail := !state_avail +. (p_q *. weighted_mean demands per_flow))
+          outcomes;
+        !state_avail)
+      (Array.init (Array.length states) Fun.id)
+  in
   let total = ref 0.0 in
-  Array.iter
-    (fun (degraded, p_s) ->
-      let plan =
-        if Schemes.is_degradation_aware scheme then
-          plan_alloc env scheme ~demands ~degraded
-        else Lazy.force base_plan
-      in
-      let outcomes = cut_outcomes env ~degraded in
-      let state_avail = ref 0.0 in
-      Array.iter
-        (fun (cut, p_q) ->
-          let per_flow = avail_with_reaction plan cut in
-          state_avail := !state_avail +. (p_q *. weighted_mean demands per_flow))
-        outcomes;
-      total := !total +. (p_s *. !state_avail))
-    states;
+  Array.iteri (fun i (_, p_s) -> total := !total +. (p_s *. per_state.(i))) states;
   !total
 
-let availability_curve env scheme ~scales =
-  Array.map (fun s -> (s, availability env scheme ~scale:s)) scales
+let availability_curve ?pool env scheme ~scales =
+  Array.map (fun s -> (s, availability ?pool env scheme ~scale:s)) scales
 
 let max_scale_at curve ~target =
   (* Scan for the last crossing above target, interpolating linearly. *)

@@ -63,11 +63,21 @@ val make_env :
     τ_arrow 8 s (§6.1), model/traffic/tunnels generated with their
     defaults. *)
 
-val availability : env -> Schemes.t -> scale:float -> float
-(** Mean-over-flows availability at a demand scale, in [0, 1]. *)
+val availability :
+  ?pool:Prete_exec.Pool.t -> env -> Schemes.t -> scale:float -> float
+(** Mean-over-flows availability at a demand scale, in [0, 1].
+
+    The per-state plans, the reactive schemes' served-fraction LPs, and
+    the per-state expectation all evaluate on [pool] (default
+    {!Prete_exec.Pool.default}); results are bit-identical at any domain
+    count because every sum folds in distribution order. *)
 
 val availability_curve :
-  env -> Schemes.t -> scales:float array -> (float * float) array
+  ?pool:Prete_exec.Pool.t ->
+  env ->
+  Schemes.t ->
+  scales:float array ->
+  (float * float) array
 (** [(scale, availability)] samples — a Fig. 13 series. *)
 
 val max_scale_at : (float * float) array -> target:float -> float

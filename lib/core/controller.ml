@@ -135,34 +135,49 @@ type 'p cache = {
   capacity : int;
   mutable hits : int;
   mutable misses : int;
+  cache_lock : Mutex.t;
+      (* Hashtbl + Queue + counters move together; the lock keeps the
+         structure coherent when epochs are sharded across domains. *)
 }
 
 let cache ?(capacity = 64) () =
   if capacity <= 0 then invalid_arg "Controller.cache: capacity must be positive";
-  { table = Hashtbl.create capacity; order = Queue.create (); capacity; hits = 0; misses = 0 }
+  {
+    table = Hashtbl.create capacity;
+    order = Queue.create ();
+    capacity;
+    hits = 0;
+    misses = 0;
+    cache_lock = Mutex.create ();
+  }
+
+let cache_guarded c f =
+  Mutex.lock c.cache_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.cache_lock) f
 
 let cache_find c key =
-  match Hashtbl.find_opt c.table key with
-  | Some plan ->
-    c.hits <- c.hits + 1;
-    Some plan
-  | None ->
-    c.misses <- c.misses + 1;
-    None
+  cache_guarded c (fun () ->
+      match Hashtbl.find_opt c.table key with
+      | Some plan ->
+        c.hits <- c.hits + 1;
+        Some plan
+      | None ->
+        c.misses <- c.misses + 1;
+        None)
 
 let cache_store c key ~degraded plan =
   (* Degraded plans are deadline truncations, not optima for the keyed
      inputs — caching one would pin a bad plan on every identical future
      epoch, so they are never stored. *)
-  if not degraded then begin
-    if not (Hashtbl.mem c.table key) then begin
-      Queue.push key c.order;
-      if Queue.length c.order > c.capacity then begin
-        let victim = Queue.pop c.order in
-        Hashtbl.remove c.table victim
-      end
-    end;
-    Hashtbl.replace c.table key plan
-  end
+  if not degraded then
+    cache_guarded c (fun () ->
+        if not (Hashtbl.mem c.table key) then begin
+          Queue.push key c.order;
+          if Queue.length c.order > c.capacity then begin
+            let victim = Queue.pop c.order in
+            Hashtbl.remove c.table victim
+          end
+        end;
+        Hashtbl.replace c.table key plan)
 
-let cache_stats c = (c.hits, c.misses)
+let cache_stats c = cache_guarded c (fun () -> (c.hits, c.misses))

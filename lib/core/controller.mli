@@ -123,7 +123,12 @@ val plan_key :
 type 'p cache
 
 val cache : ?capacity:int -> unit -> 'p cache
-(** Fresh cache holding at most [capacity] (default 64) plans. *)
+(** Fresh cache holding at most [capacity] (default 64) plans.  All
+    operations are mutex-guarded, so one cache may serve epochs sharded
+    across domains (find/store remain individually atomic; concurrent
+    misses on the same key may each solve and store — last write wins,
+    which is harmless because stored plans are deterministic functions
+    of the key). *)
 
 val cache_find : 'p cache -> cache_key -> 'p option
 (** Lookup; counts a hit or miss. *)

@@ -50,6 +50,8 @@ let injector ?(seed = 77) ?(pressure_budget_s = 0.0) specs =
     specs;
   { rng = Prete_util.Rng.create seed; specs; pressure_budget_s }
 
+let substream inj = { inj with rng = Prete_util.Rng.split inj.rng }
+
 type observation = {
   seen : int option;
   features : Hazard.features array;

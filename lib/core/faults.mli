@@ -43,6 +43,14 @@ val injector : ?seed:int -> ?pressure_budget_s:float -> spec list -> injector
     when {!Solver_pressure} fires; 0 means already expired, which forces
     the fallback ladder deterministically. *)
 
+val substream : injector -> injector
+(** [substream inj] advances [inj]'s private stream once and returns a
+    new injector (same specs and budget) on an independent substream —
+    {!Prete_util.Rng.split} applied to the fault stream.  Splitting one
+    substream per epoch {e before} evaluation makes each epoch's fault
+    draws independent of evaluation order, which is how the pool-sharded
+    chaos harness keeps fault injection deterministic. *)
+
 type observation = {
   seen : int option;
       (** Degradation state the controller observes (may differ from the

@@ -46,13 +46,28 @@ type t = {
   base_backoff_s : float;
   mutable last_good : Availability.plan option;
   mutable last_basis : Simplex.basis option;
+  state_lock : Mutex.t;
+      (* Guards the two retained-state fields ("rung 0" basis and the
+         Cached rung's plan) so one ladder can serve epochs running on
+         several domains.  The lock is never held across a solve — only
+         across the read/update of the retained state itself. *)
 }
 
 let create ?(max_tries = 2) ?(base_backoff_s = 0.1) () =
   if max_tries < 1 then invalid_arg "Resilience.create: max_tries must be >= 1";
-  { max_tries; base_backoff_s; last_good = None; last_basis = None }
+  {
+    max_tries;
+    base_backoff_s;
+    last_good = None;
+    last_basis = None;
+    state_lock = Mutex.create ();
+  }
 
-let last_basis t = t.last_basis
+let guarded t f =
+  Mutex.lock t.state_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.state_lock) f
+
+let last_basis t = guarded t (fun () -> t.last_basis)
 
 let classify = function
   | Simplex.Timeout -> Solver_timeout
@@ -171,13 +186,16 @@ let plan_epoch t ~ts ~demands ?(telemetry_gap = false) ~primary () =
         (* Rung 0 of the ladder: hand the primary the last successful
            solve's basis.  A stale basis is safe — the solver's repair
            path treats it as a hint, never as ground truth. *)
-        match primary ~warm:t.last_basis () with
+        let warm = guarded t (fun () -> t.last_basis) in
+        match primary ~warm () with
         | exception e -> last_cause := classify e
         | plan, basis ->
           (* A plan with tunnel updates is indexed by its own (merged)
              tunnel set; validate against that. *)
           if plan_feasible plan.Availability.p_ts plan then begin
-            (match basis with Some _ -> t.last_basis <- basis | None -> ());
+            (match basis with
+            | Some _ -> guarded t (fun () -> t.last_basis <- basis)
+            | None -> ());
             found := Some plan
           end
           else last_cause := Plan_rejected
@@ -207,12 +225,14 @@ let plan_epoch t ~ts ~demands ?(telemetry_gap = false) ~primary () =
   | Ok plan ->
     (* Only primary successes refresh the cache: re-caching a fallback
        would let the ladder feed on its own output. *)
-    t.last_good <- Some plan;
+    guarded t (fun () -> t.last_good <- Some plan);
     finish plan Primary None
   | Error root ->
-    (* Rung 2: last-good plan, revalidated against the current tunnels. *)
+    (* Rung 2: last-good plan, revalidated against the current tunnels.
+       The snapshot is taken under the lock; validation (an LP check)
+       deliberately runs outside it. *)
     let cached_ok =
-      match t.last_good with
+      match guarded t (fun () -> t.last_good) with
       | Some plan when plan_feasible ts plan -> Some plan
       | _ -> None
     in

@@ -68,7 +68,11 @@ val degraded : outcome -> bool
 type t
 (** Ladder state: retry policy plus the last-good plan cache.  One value
     per control loop; epochs share it so the Cached rung has something to
-    fall back on. *)
+    fall back on.  The retained state (last-good plan, rung-0 basis) is
+    mutex-guarded, so a ladder may also be shared by epochs evaluated on
+    several domains — retention then keeps {e a} recent valid plan/basis
+    rather than a schedule-independent one, which is safe because both
+    are hints revalidated on every use. *)
 
 val create : ?max_tries:int -> ?base_backoff_s:float -> unit -> t
 (** [max_tries] (default 2) attempts on the Primary rung;

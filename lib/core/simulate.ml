@@ -138,71 +138,153 @@ let delivered_fractions (env : Availability.env) scheme ~demands
           (w *. Float.min pre post.(f)) +. ((1.0 -. w) *. post.(f))
         end)
 
-let run ?(seed = 123) ?(epochs = 20_000) (env : Availability.env) scheme ~scale =
+(* Sample one epoch's ground truth — which fibers degrade, which of those
+   (and which healthy fibers) cut — from the epoch's private RNG stream.
+   Returns (planned-for state, cut list, had-degradation). *)
+let sample_epoch (env : Availability.env) ~topo ~nf rng =
+  let num_fibers = nf in
+  let degraded = ref [] in
+  let cuts = ref [] in
+  for fb = 0 to nf - 1 do
+    if Prete_util.Rng.bernoulli rng env.Availability.model.Fiber_model.p_degrade.(fb)
+    then begin
+      degraded := fb :: !degraded;
+      (* Fresh event features; ground truth decides the outcome. *)
+      let feats =
+        Hazard.sample_features rng ~topo ~fiber:fb ~epoch:(Prete_util.Rng.int rng 96)
+      in
+      if Prete_util.Rng.bernoulli rng (Hazard.eval ~num_fibers feats) then
+        cuts := fb :: !cuts
+    end
+    else if
+      Prete_util.Rng.bernoulli rng
+        env.Availability.model.Fiber_model.p_unpredictable.(fb)
+    then cuts := fb :: !cuts
+  done;
+  (* At most one degrading fiber is planned for (the first, mirroring the
+     truncation the analytic evaluator applies). *)
+  let state = match List.rev !degraded with [] -> None | fb :: _ -> Some fb in
+  (state, !cuts, !degraded <> [])
+
+(* One private RNG substream per epoch, split sequentially up front: an
+   epoch's draws are then a function of its index alone, so the sample
+   path is identical no matter how the epochs are sharded over domains —
+   and a [run] of N epochs shares its first k epochs with any other run
+   of the same seed. *)
+let epoch_streams ~seed ~epochs =
+  let master = Prete_util.Rng.create seed in
+  Array.init epochs (fun _ -> Prete_util.Rng.split master)
+
+(* Distinct values of [key] over [arr], in first-appearance order (so the
+   table construction below is schedule-independent). *)
+let distinct_by key arr =
+  let seen = Hashtbl.create 64 in
+  let order = ref [] in
+  Array.iter
+    (fun x ->
+      let k = key x in
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.add seen k ();
+        order := k :: !order
+      end)
+    arr;
+  Array.of_list (List.rev !order)
+
+(* The served-fraction LPs the reactive schemes replay per epoch: one per
+   distinct sorted cut set, solved on the pool, then frozen into a
+   read-only table.  Misses (impossible by construction) recompute
+   without mutating. *)
+let served_table pool (env : Availability.env) scheme ~demands epoch_cuts =
+  let tbl : (int list, float array) Hashtbl.t = Hashtbl.create 64 in
+  (match scheme with
+  | Schemes.Oracle | Schemes.Flexile ->
+    let keys = distinct_by (List.sort compare) epoch_cuts in
+    let solved =
+      Prete_exec.Pool.parallel_map pool ~chunk:1
+        (fun key -> Availability.Internal.max_served env ~demands ~cuts:key)
+        keys
+    in
+    Array.iteri (fun i k -> Hashtbl.replace tbl k solved.(i)) keys
+  | _ -> ());
+  fun cuts ->
+    let key = List.sort compare cuts in
+    match Hashtbl.find_opt tbl key with
+    | Some s -> s
+    | None -> Availability.Internal.max_served env ~demands ~cuts:key
+
+let run ?(seed = 123) ?(epochs = 20_000) ?pool (env : Availability.env) scheme
+    ~scale =
   if epochs <= 0 then invalid_arg "Simulate.run: epochs must be positive";
-  let rng = Prete_util.Rng.create seed in
+  let pool =
+    match pool with Some p -> p | None -> Prete_exec.Pool.default ()
+  in
   let demands =
     Traffic.demand env.Availability.traffic ~scale ~epoch:env.Availability.epoch
   in
   let total_demand = Float.max 1e-9 (Prete_util.Stats.sum demands) in
   let topo = env.Availability.ts.Tunnels.topo in
   let nf = Topology.num_fibers topo in
-  let num_fibers = nf in
-  (* Plans cached per degradation state (at most one degrading fiber is
-     planned for; extra simultaneous degradations keep the first plan,
-     mirroring the truncation the analytic evaluator applies). *)
-  let plan_cache : (int option, Availability.plan) Hashtbl.t = Hashtbl.create 64 in
-  let plan degraded =
-    match Hashtbl.find_opt plan_cache degraded with
-    | Some p -> p
-    | None ->
-      let p = Availability.Internal.plan_alloc env scheme ~demands ~degraded in
-      Hashtbl.add plan_cache degraded p;
-      p
-  in
-  let served_cache : (int list, float array) Hashtbl.t = Hashtbl.create 64 in
-  let served cuts =
-    let key = List.sort compare cuts in
-    match Hashtbl.find_opt served_cache key with
-    | Some s -> s
-    | None ->
-      let s = Availability.Internal.max_served env ~demands ~cuts:key in
-      Hashtbl.add served_cache key s;
-      s
-  in
-  let acc = ref 0.0 in
+  (* Phase A: sample every epoch's ground truth on the pool.  Each epoch
+     writes only its own slots, from its own pre-split stream. *)
+  let epoch_rngs = epoch_streams ~seed ~epochs in
+  let state = Array.make epochs None in
+  let epoch_cuts = Array.make epochs [] in
+  let had_degr = Array.make epochs false in
+  Prete_exec.Pool.parallel_for pool epochs (fun lo hi ->
+      for e = lo to hi - 1 do
+        let s, cuts, degr = sample_epoch env ~topo ~nf epoch_rngs.(e) in
+        state.(e) <- s;
+        epoch_cuts.(e) <- cuts;
+        had_degr.(e) <- degr
+      done);
   let degr_epochs = ref 0 and cut_epochs = ref 0 and multi = ref 0 in
-  for _ = 1 to epochs do
-    (* Sample the epoch's degradations and cuts. *)
-    let degraded = ref [] in
-    let cuts = ref [] in
-    for fb = 0 to nf - 1 do
-      if Prete_util.Rng.bernoulli rng env.Availability.model.Fiber_model.p_degrade.(fb)
-      then begin
-        degraded := fb :: !degraded;
-        (* Fresh event features; ground truth decides the outcome. *)
-        let feats = Hazard.sample_features rng ~topo ~fiber:fb ~epoch:(Prete_util.Rng.int rng 96) in
-        if Prete_util.Rng.bernoulli rng (Hazard.eval ~num_fibers feats) then
-          cuts := fb :: !cuts
-      end
-      else if
-        Prete_util.Rng.bernoulli rng
-          env.Availability.model.Fiber_model.p_unpredictable.(fb)
-      then cuts := fb :: !cuts
-    done;
-    if !degraded <> [] then incr degr_epochs;
-    if !cuts <> [] then incr cut_epochs;
-    if List.length !cuts > 1 then incr multi;
-    let state = match List.rev !degraded with [] -> None | fb :: _ -> Some fb in
-    let p = plan state in
-    let cuts = !cuts in
-    let delivered = delivered_fractions env scheme ~demands ~plan:p ~cuts ~served in
-    let epoch_avail = ref 0.0 in
-    Array.iteri (fun f dl -> epoch_avail := !epoch_avail +. (demands.(f) *. dl)) delivered;
-    acc := !acc +. (!epoch_avail /. total_demand)
-  done;
+  Array.iter (fun d -> if d then incr degr_epochs) had_degr;
+  Array.iter
+    (fun cuts ->
+      if cuts <> [] then incr cut_epochs;
+      if List.length cuts > 1 then incr multi)
+    epoch_cuts;
+  (* Phase B: one plan per distinct degradation state and one served LP
+     per distinct cut set, fanned out on the pool, frozen into read-only
+     tables. *)
+  let states = distinct_by Fun.id state in
+  let plans =
+    Prete_exec.Pool.parallel_map pool ~chunk:1
+      (fun degraded -> Availability.Internal.plan_alloc env scheme ~demands ~degraded)
+      states
+  in
+  let plan_tbl : (int option, Availability.plan) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri (fun i s -> Hashtbl.replace plan_tbl s plans.(i)) states;
+  let plan s =
+    match Hashtbl.find_opt plan_tbl s with
+    | Some p -> p
+    | None -> Availability.Internal.plan_alloc env scheme ~demands ~degraded:s
+  in
+  let served = served_table pool env scheme ~demands epoch_cuts in
+  (* Phase C: replay the epochs against the tables.  Partial sums live in
+     one slot per chunk and fold in chunk order; the chunk size depends
+     only on the epoch count, so the float additions associate the same
+     way at any domain count. *)
+  let csize = max 1 ((epochs + 63) / 64) in
+  let nchunks = (epochs + csize - 1) / csize in
+  let partial = Array.make nchunks 0.0 in
+  Prete_exec.Pool.parallel_for pool ~chunk:csize epochs (fun lo hi ->
+      let acc = ref 0.0 in
+      for e = lo to hi - 1 do
+        let delivered =
+          delivered_fractions env scheme ~demands ~plan:(plan state.(e))
+            ~cuts:epoch_cuts.(e) ~served
+        in
+        let epoch_avail = ref 0.0 in
+        Array.iteri
+          (fun f dl -> epoch_avail := !epoch_avail +. (demands.(f) *. dl))
+          delivered;
+        acc := !acc +. (!epoch_avail /. total_demand)
+      done;
+      partial.(lo / csize) <- !acc);
+  let acc = Array.fold_left ( +. ) 0.0 partial in
   {
-    availability = !acc /. float_of_int epochs;
+    availability = acc /. float_of_int epochs;
     epochs;
     degradation_epochs = !degr_epochs;
     cut_epochs = !cut_epochs;
@@ -227,41 +309,35 @@ type chaos_result = {
   c_cache_misses : int;
 }
 
+(* Epochs are evaluated in fixed-size shards; each shard owns a private
+   fallback ladder and plan cache, so retained state (last-good plan,
+   rung-0 basis, cached outcomes) flows between epochs of a shard but
+   never across shards.  The shard size depends only on the epoch count —
+   never on the domain count — which is what makes chaos results
+   bit-identical whether the shards run sequentially or spread over a
+   pool. *)
+let chaos_shard_epochs = 50
+
 let run_chaos ?(seed = 123) ?(epochs = 400) ?(faults = []) ?(fault_seed = 77)
-    ?(pressure_budget_s = 0.0) (env : Availability.env) scheme ~scale =
+    ?(pressure_budget_s = 0.0) ?pool (env : Availability.env) scheme ~scale =
   if epochs <= 0 then invalid_arg "Simulate.run_chaos: epochs must be positive";
-  (* The epoch sample path below draws from [rng] exactly as [run] does;
-     the injector draws only from its private stream, so the availability
-     delta between fault settings is attributable to the faults alone. *)
-  let rng = Prete_util.Rng.create seed in
-  let inj = Faults.injector ~seed:fault_seed ~pressure_budget_s faults in
-  let ladder = Resilience.create () in
+  let pool =
+    match pool with Some p -> p | None -> Prete_exec.Pool.default ()
+  in
+  (* The epoch sample path below is drawn exactly as [run] draws it; the
+     injector draws only from its private stream (one substream per
+     epoch), so the availability delta between fault settings is
+     attributable to the faults alone. *)
+  let epoch_rngs = epoch_streams ~seed ~epochs in
+  let master_inj = Faults.injector ~seed:fault_seed ~pressure_budget_s faults in
+  let epoch_injs = Array.init epochs (fun _ -> Faults.substream master_inj) in
   let demands =
     Traffic.demand env.Availability.traffic ~scale ~epoch:env.Availability.epoch
   in
   let total_demand = Float.max 1e-9 (Prete_util.Stats.sum demands) in
   let topo = env.Availability.ts.Tunnels.topo in
   let nf = Topology.num_fibers topo in
-  let num_fibers = nf in
-  (* Ladder outcomes cached in the controller's structural plan cache —
-     keyed by (tunnels, demands, fiber probabilities, observed state) —
-     but only for clean observations: corrupted features, gaps, and
-     injected budgets make an epoch's plan non-reusable, and degraded
-     plans are refused by the cache itself. *)
-  let plan_cache : Resilience.outcome Controller.cache =
-    Controller.cache ~capacity:128 ()
-  in
-  let served_cache : (int list, float array) Hashtbl.t = Hashtbl.create 64 in
-  let served cuts =
-    let key = List.sort compare cuts in
-    match Hashtbl.find_opt served_cache key with
-    | Some s -> s
-    | None ->
-      let s = Availability.Internal.max_served env ~demands ~cuts:key in
-      Hashtbl.add served_cache key s;
-      s
-  in
-  let plan_for (obs : Faults.observation) =
+  let plan_for ~ladder ~plan_cache (obs : Faults.observation) =
     let compute () =
       let deadline =
         Option.map Prete_util.Clock.deadline_after obs.Faults.budget_s
@@ -284,6 +360,11 @@ let run_chaos ?(seed = 123) ?(epochs = 400) ?(faults = []) ?(fault_seed = 77)
       ignore (Controller.with_notes report (Resilience.notes outcome));
       outcome
     in
+    (* Ladder outcomes cached in the shard's structural plan cache —
+       keyed by (tunnels, demands, fiber probabilities, observed state) —
+       but only for clean observations: corrupted features, gaps, and
+       injected budgets make an epoch's plan non-reusable, and degraded
+       plans are refused by the cache itself. *)
     let cacheable =
       (not (Faults.corrupts_features obs))
       && obs.Faults.budget_s = None
@@ -305,70 +386,99 @@ let run_chaos ?(seed = 123) ?(epochs = 400) ?(faults = []) ?(fault_seed = 77)
         o
     end
   in
-  let acc = ref 0.0 in
-  let primary = ref 0 and cached = ref 0 and equal = ref 0 in
-  let gaps = ref 0 and fault_epochs = ref 0 and degr_plans = ref 0 in
-  let causes : (string, int) Hashtbl.t = Hashtbl.create 8 in
-  for _ = 1 to epochs do
-    let degraded = ref [] in
-    let cuts = ref [] in
-    for fb = 0 to nf - 1 do
-      if Prete_util.Rng.bernoulli rng env.Availability.model.Fiber_model.p_degrade.(fb)
-      then begin
-        degraded := fb :: !degraded;
-        let feats =
-          Hazard.sample_features rng ~topo ~fiber:fb ~epoch:(Prete_util.Rng.int rng 96)
+  (* Phase A: sample every epoch's ground truth and pass it through the
+     fault injector, on the pool.  Each epoch draws only from its own
+     pre-split streams. *)
+  let state = Array.make epochs None in
+  let epoch_cuts = Array.make epochs [] in
+  let obs_arr = Array.make epochs None in
+  Prete_exec.Pool.parallel_for pool epochs (fun lo hi ->
+      for e = lo to hi - 1 do
+        let s, cuts, _ = sample_epoch env ~topo ~nf epoch_rngs.(e) in
+        state.(e) <- s;
+        epoch_cuts.(e) <- cuts;
+        obs_arr.(e) <-
+          Some
+            (Faults.observe epoch_injs.(e) ~topo ~true_state:s
+               ~events:env.Availability.degr_events)
+      done);
+  let obs_arr =
+    Array.map (function Some o -> o | None -> assert false) obs_arr
+  in
+  let served = served_table pool env scheme ~demands epoch_cuts in
+  (* Phase B: drive the control loop over fixed-size shards, each with a
+     private ladder and plan cache (see [chaos_shard_epochs]); per-shard
+     tallies merge in shard order. *)
+  let csize = chaos_shard_epochs in
+  let nchunks = (epochs + csize - 1) / csize in
+  let sh_acc = Array.make nchunks 0.0 in
+  let sh_primary = Array.make nchunks 0 in
+  let sh_cached = Array.make nchunks 0 in
+  let sh_equal = Array.make nchunks 0 in
+  let sh_gaps = Array.make nchunks 0 in
+  let sh_faults = Array.make nchunks 0 in
+  let sh_degr = Array.make nchunks 0 in
+  let sh_hits = Array.make nchunks 0 in
+  let sh_misses = Array.make nchunks 0 in
+  let sh_causes = Array.init nchunks (fun _ -> Hashtbl.create 8) in
+  Prete_exec.Pool.parallel_for pool ~chunk:csize epochs (fun lo hi ->
+      let c = lo / csize in
+      let ladder = Resilience.create () in
+      let plan_cache : Resilience.outcome Controller.cache =
+        Controller.cache ~capacity:128 ()
+      in
+      let causes = sh_causes.(c) in
+      let acc = ref 0.0 in
+      for e = lo to hi - 1 do
+        let obs = obs_arr.(e) in
+        if obs.Faults.gap then sh_gaps.(c) <- sh_gaps.(c) + 1;
+        if obs.Faults.fired <> [] then sh_faults.(c) <- sh_faults.(c) + 1;
+        let outcome = plan_for ~ladder ~plan_cache obs in
+        (match outcome.Resilience.rung with
+        | Resilience.Primary -> sh_primary.(c) <- sh_primary.(c) + 1
+        | Resilience.Cached -> sh_cached.(c) <- sh_cached.(c) + 1
+        | Resilience.Equal_split -> sh_equal.(c) <- sh_equal.(c) + 1);
+        if Resilience.degraded outcome then sh_degr.(c) <- sh_degr.(c) + 1;
+        (match outcome.Resilience.cause with
+        | None -> ()
+        | Some cause ->
+          let name = Resilience.cause_name cause in
+          Hashtbl.replace causes name
+            (1 + Option.value ~default:0 (Hashtbl.find_opt causes name)));
+        let delivered =
+          delivered_fractions env scheme ~demands ~plan:outcome.Resilience.plan
+            ~cuts:epoch_cuts.(e) ~served
         in
-        if Prete_util.Rng.bernoulli rng (Hazard.eval ~num_fibers feats) then
-          cuts := fb :: !cuts
-      end
-      else if
-        Prete_util.Rng.bernoulli rng
-          env.Availability.model.Fiber_model.p_unpredictable.(fb)
-      then cuts := fb :: !cuts
-    done;
-    let state = match List.rev !degraded with [] -> None | fb :: _ -> Some fb in
-    let obs =
-      Faults.observe inj ~topo ~true_state:state
-        ~events:env.Availability.degr_events
-    in
-    if obs.Faults.gap then incr gaps;
-    if obs.Faults.fired <> [] then incr fault_epochs;
-    let outcome = plan_for obs in
-    (match outcome.Resilience.rung with
-    | Resilience.Primary -> incr primary
-    | Resilience.Cached -> incr cached
-    | Resilience.Equal_split -> incr equal);
-    if Resilience.degraded outcome then incr degr_plans;
-    (match outcome.Resilience.cause with
-    | None -> ()
-    | Some c ->
-      let name = Resilience.cause_name c in
-      Hashtbl.replace causes name
-        (1 + Option.value ~default:0 (Hashtbl.find_opt causes name)));
-    let delivered =
-      delivered_fractions env scheme ~demands ~plan:outcome.Resilience.plan
-        ~cuts:!cuts ~served
-    in
-    let epoch_avail = ref 0.0 in
-    Array.iteri
-      (fun f dl -> epoch_avail := !epoch_avail +. (demands.(f) *. dl))
-      delivered;
-    acc := !acc +. (!epoch_avail /. total_demand)
-  done;
+        let epoch_avail = ref 0.0 in
+        Array.iteri
+          (fun f dl -> epoch_avail := !epoch_avail +. (demands.(f) *. dl))
+          delivered;
+        acc := !acc +. (!epoch_avail /. total_demand)
+      done;
+      sh_acc.(c) <- !acc;
+      let h, m = Controller.cache_stats plan_cache in
+      sh_hits.(c) <- h;
+      sh_misses.(c) <- m);
+  let sum a = Array.fold_left ( + ) 0 a in
+  let causes : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (Hashtbl.iter (fun name n ->
+         Hashtbl.replace causes name
+           (n + Option.value ~default:0 (Hashtbl.find_opt causes name))))
+    sh_causes;
   {
-    c_availability = !acc /. float_of_int epochs;
+    c_availability = Array.fold_left ( +. ) 0.0 sh_acc /. float_of_int epochs;
     c_epochs = epochs;
-    c_primary = !primary;
-    c_cached = !cached;
-    c_equal_split = !equal;
-    c_gap_epochs = !gaps;
-    c_fault_epochs = !fault_epochs;
-    c_degraded_plans = !degr_plans;
+    c_primary = sum sh_primary;
+    c_cached = sum sh_cached;
+    c_equal_split = sum sh_equal;
+    c_gap_epochs = sum sh_gaps;
+    c_fault_epochs = sum sh_faults;
+    c_degraded_plans = sum sh_degr;
     c_causes =
       List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) causes []);
-    c_cache_hits = fst (Controller.cache_stats plan_cache);
-    c_cache_misses = snd (Controller.cache_stats plan_cache);
+    c_cache_hits = sum sh_hits;
+    c_cache_misses = sum sh_misses;
   }
 
 type sweep_entry = {
@@ -377,14 +487,14 @@ type sweep_entry = {
   sw_delta : float;  (** Availability vs the fault-free baseline. *)
 }
 
-let chaos_sweep ?seed ?epochs ?fault_seed ?pressure_budget_s
+let chaos_sweep ?seed ?epochs ?fault_seed ?pressure_budget_s ?pool
     (env : Availability.env) scheme ~scale =
-  let baseline = run_chaos ?seed ?epochs ~faults:[] env scheme ~scale in
+  let baseline = run_chaos ?seed ?epochs ~faults:[] ?pool env scheme ~scale in
   let entries =
     Array.map
       (fun c ->
         let r =
-          run_chaos ?seed ?epochs ?fault_seed ?pressure_budget_s
+          run_chaos ?seed ?epochs ?fault_seed ?pressure_budget_s ?pool
             ~faults:[ { Faults.fault = c; rate = Faults.default_rate c } ]
             env scheme ~scale
         in

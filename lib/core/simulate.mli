@@ -23,6 +23,7 @@ type result = {
 val run :
   ?seed:int ->
   ?epochs:int ->
+  ?pool:Prete_exec.Pool.t ->
   Availability.env ->
   Schemes.t ->
   scale:float ->
@@ -30,6 +31,12 @@ val run :
 (** [run env scheme ~scale] simulates [epochs] (default 20_000) TE periods.
     Plans are cached per degradation state, so the cost is one plan per
     distinct degrading fiber plus O(epochs) bookkeeping.
+
+    Epochs are sampled and evaluated on [pool] (default
+    {!Prete_exec.Pool.default}).  Each epoch draws from a private RNG
+    substream split from [seed] by epoch index, and partial sums fold in
+    a schedule-independent chunk order, so the result is bit-identical at
+    any domain count (and to a sequential run).
 
     Reaction windows: proactive schemes (ECMP, FFC, TeaVar, PreTE, Oracle)
     adapt instantly; ARROW charges its restoration window and Flexile its
@@ -67,6 +74,7 @@ val run_chaos :
   ?faults:Faults.spec list ->
   ?fault_seed:int ->
   ?pressure_budget_s:float ->
+  ?pool:Prete_exec.Pool.t ->
   Availability.env ->
   Schemes.t ->
   scale:float ->
@@ -74,9 +82,14 @@ val run_chaos :
 (** [run_chaos env scheme ~scale] simulates [epochs] (default 400) TE
     periods under the given fault specs (default none).  The epoch
     sample path is drawn exactly as {!run} draws it from [seed], and the
-    injector uses its own [fault_seed] stream, so results across fault
-    settings share the identical ground truth.  Ladder outcomes are
-    cached per observed degradation state for clean observations only.
+    injector draws one private substream per epoch from [fault_seed], so
+    results across fault settings share the identical ground truth.
+
+    The control loop runs over fixed 50-epoch shards on [pool] (default
+    {!Prete_exec.Pool.default}); each shard owns a private fallback
+    ladder and structural plan cache, so ladder outcomes are cached per
+    observed degradation state (clean observations only) within a shard
+    and results are bit-identical at any domain count.
     Raises [Invalid_argument] for non-positive [epochs]. *)
 
 type sweep_entry = {
@@ -90,6 +103,7 @@ val chaos_sweep :
   ?epochs:int ->
   ?fault_seed:int ->
   ?pressure_budget_s:float ->
+  ?pool:Prete_exec.Pool.t ->
   Availability.env ->
   Schemes.t ->
   scale:float ->

@@ -724,14 +724,28 @@ let benders_master ?deadline ?warm ?(warm_start = true) ~st p classes cuts =
   | Mip.Infeasible -> raise (Infeasible_problem "Benders master infeasible")
   | Mip.Unbounded -> raise (Infeasible_problem "Benders master unbounded (internal error)")
 
-let solve_benders ?(eps = 1e-4) ?(max_iters = 40) ?deadline ?warm ?(warm_start = true) p =
-  let classes = classes_of p in
+let solve_benders ?(eps = 1e-4) ?(max_iters = 40) ?deadline ?warm ?(warm_start = true)
+    ?pool p =
+  let pool =
+    match pool with Some pl -> pl | None -> Prete_exec.Pool.default ()
+  in
+  (* Per-flow scenario classes are independent; build them on the pool. *)
+  let classes =
+    Prete_exec.Pool.parallel_map pool
+      (fun (f : Tunnels.flow) ->
+        Scenario.Classes.of_flow p.ts
+          ~tunnels:(Tunnels.tunnels_of_flow p.ts f.Tunnels.flow_id)
+          p.scenarios)
+      p.ts.Tunnels.flows
+  in
   let st = Solver_stats.create () in
   (* The subproblem has an identical shape every iteration (only the rhs
      of the (6) rows moves with δ), so its basis exact-installs across
-     iterations; the master grows one cut per round, so its warm start
-     takes the guided-repair path. *)
-  let sub_basis = ref (if warm_start then warm else None) in
+     iterations; the master grows cuts every round, so its warm start
+     takes the guided-repair path.  Each candidate slot retains its own
+     subproblem basis: slot 0 is the master's δ, slot 1 the greedy
+     re-cover of the incumbent allocation. *)
+  let sub_bases = [| (if warm_start then warm else None); None |] in
   let master_basis = ref None in
   (* Initialize δ = 1 (line 2 of Algorithm 2): directly satisfies (5). *)
   let delta = ref (Array.map (fun cls -> Array.make (Array.length cls) true) classes) in
@@ -749,53 +763,87 @@ let solve_benders ?(eps = 1e-4) ?(max_iters = 40) ?deadline ?warm ?(warm_start =
       stop := true
     end
     else begin
-      (* Step 1: subproblem with fixed δ. *)
-      match benders_subproblem ?deadline ?warm:!sub_basis ~st p classes !delta with
-      | exception Simplex.Timeout ->
+      (* Step 1: subproblems with fixed δ, one per candidate, fanned out
+         on the pool.  Candidate 0 is always the master's proposal;
+         candidate 1 (once an incumbent exists) re-covers the incumbent
+         allocation with {!improve_delta}, which keeps per-flow coverage
+         ≥ β — so every candidate is master-feasible and its subproblem
+         yields both a valid incumbent and a valid optimality cut.  The
+         candidate set depends only on the iteration state, never on the
+         pool, and results merge in candidate order: bit-identical at any
+         domain count. *)
+      let cands =
+        match !best with
+        | Some (_, balloc, _) ->
+          let impr, changed = improve_delta p classes !delta balloc in
+          if changed then [| !delta; impr |] else [| !delta |]
+        | None -> [| !delta |]
+      in
+      let results =
+        Prete_exec.Pool.parallel_map pool ~chunk:1
+          (fun i ->
+            match
+              benders_subproblem ?deadline ?warm:sub_bases.(i) ~st p classes
+                cands.(i)
+            with
+            | exception Simplex.Timeout -> `Timeout
+            | r -> `Ok r)
+          (Array.init (Array.length cands) Fun.id)
+      in
+      let any_timeout = ref false and any_cut = ref false in
+      Array.iteri
+        (fun i res ->
+          match res with
+          | `Timeout -> any_timeout := true
+          | `Ok (sp_obj, alloc, w, pivots, sp_degraded, basis) ->
+            incr lp_solves;
+            lp_pivots := !lp_pivots + pivots;
+            if warm_start then sub_bases.(i) <- Some basis;
+            if sp_obj < !ub then begin
+              ub := sp_obj;
+              best := Some (sp_obj, alloc, Array.map Array.copy cands.(i))
+            end;
+            if sp_degraded then
+              (* A degraded subproblem yields unreliable duals: no cut. *)
+              degraded := true
+            else begin
+              (* Optimality cut: Φ ≥ sp_obj + Σ w (δ − δ̂). *)
+              let base = ref sp_obj in
+              Array.iteri
+                (fun f row ->
+                  Array.iteri
+                    (fun ci wv -> if cands.(i).(f).(ci) then base := !base -. wv)
+                    row)
+                w;
+              cuts := { base = !base; coefs = w } :: !cuts;
+              any_cut := true
+            end)
+        results;
+      if !any_timeout || not !any_cut then begin
+        (* Budget exhausted (or only unreliable duals): keep the
+           incumbent and stop. *)
         degraded := true;
         stop := true
-      | sp_obj, alloc, w, pivots, sp_degraded, basis ->
-        incr lp_solves;
-        lp_pivots := !lp_pivots + pivots;
-        if warm_start then sub_basis := Some basis;
-        if sp_obj < !ub then begin
-          ub := sp_obj;
-          best := Some (sp_obj, alloc, Array.map Array.copy !delta)
-        end;
-        if sp_degraded then begin
-          (* A degraded subproblem yields unreliable duals, so no cut can
-             be generated; keep the incumbent and stop. *)
+      end
+      else begin
+        (* Step 2: master problem. *)
+        match benders_master ?deadline ?warm:!master_basis ~warm_start ~st p classes !cuts with
+        | `Exact (mp_obj, next_delta, nodes, mb) ->
+          mip_nodes := !mip_nodes + nodes;
+          if warm_start then master_basis := mb;
+          if mp_obj > !lb then lb := mp_obj;
+          delta := next_delta
+        | `Truncated (next_delta, nodes, mb) ->
+          (* Usable δ but no valid lower bound: take one more subproblem
+             pass if budget allows, flagged degraded. *)
+          mip_nodes := !mip_nodes + nodes;
+          if warm_start then master_basis := mb;
+          degraded := true;
+          delta := next_delta
+        | `Gave_up ->
           degraded := true;
           stop := true
-        end
-        else begin
-          (* Optimality cut: Φ ≥ sp_obj + Σ w (δ − δ̂). *)
-          let base = ref sp_obj in
-          Array.iteri
-            (fun f row ->
-              Array.iteri
-                (fun ci wv -> if !delta.(f).(ci) then base := !base -. wv)
-                row)
-            w;
-          cuts := { base = !base; coefs = w } :: !cuts;
-          (* Step 2: master problem. *)
-          match benders_master ?deadline ?warm:!master_basis ~warm_start ~st p classes !cuts with
-          | `Exact (mp_obj, next_delta, nodes, mb) ->
-            mip_nodes := !mip_nodes + nodes;
-            if warm_start then master_basis := mb;
-            if mp_obj > !lb then lb := mp_obj;
-            delta := next_delta
-          | `Truncated (next_delta, nodes, mb) ->
-            (* Usable δ but no valid lower bound: take one more subproblem
-               pass if budget allows, flagged degraded. *)
-            mip_nodes := !mip_nodes + nodes;
-            if warm_start then master_basis := mb;
-            degraded := true;
-            delta := next_delta
-          | `Gave_up ->
-            degraded := true;
-            stop := true
-        end
+      end
     end
   done;
   match !best with
@@ -809,6 +857,6 @@ let solve_benders ?(eps = 1e-4) ?(max_iters = 40) ?deadline ?warm ?(warm_start =
       expected_served = nan;
       degraded = !degraded;
       stats = { lp_solves = !lp_solves; lp_pivots = !lp_pivots; mip_nodes = !mip_nodes };
-      basis = !sub_basis;
+      basis = sub_bases.(0);
       solver = st;
     }

@@ -168,10 +168,20 @@ val solve_benders :
   ?deadline:float ->
   ?warm:Prete_lp.Simplex.basis ->
   ?warm_start:bool ->
+  ?pool:Prete_exec.Pool.t ->
   problem ->
   solution
 (** Algorithm 2.  [eps] (default 1e-4) is the UB−LB convergence threshold;
     [max_iters] default 40.  Under deadline pressure the loop stops with
     the best subproblem incumbent ([degraded = true]); a truncated master
     search invalidates the lower bound but its δ is still coverage-feasible
-    and is used for one more subproblem pass. *)
+    and is used for one more subproblem pass.
+
+    Per-flow class construction and the per-iteration subproblem LPs run
+    on [pool] (default {!Prete_exec.Pool.default}).  Each iteration
+    solves the subproblem at up to two coverage-feasible δ candidates —
+    the master's proposal plus a greedy re-cover of the incumbent
+    allocation — in parallel; every candidate yields a valid incumbent
+    and optimality cut, and candidates merge in a fixed order, so the
+    result is bit-identical at any domain count (the candidate set never
+    depends on the pool). *)

@@ -1,0 +1,308 @@
+(* Fork-join domain pool with per-lane work-stealing deques.
+
+   Determinism contract (see the .mli): the chunk decomposition is a
+   function of the input size alone, every chunk owns its writes, and
+   stealing only relocates execution.  Under that contract the merged
+   result is bit-identical at any domain count. *)
+
+(* Chunk indices owned by one lane.  The owner pops from the front (so a
+   lane executes its share roughly in submission order), thieves take
+   from the back.  Guarded by a per-deque mutex: a job has at most a few
+   hundred chunks, so contention is negligible. *)
+type deque = {
+  dm : Mutex.t;
+  items : int array;
+  mutable lo : int;  (* next owner slot *)
+  mutable hi : int;  (* one past the last live slot *)
+}
+
+type job = {
+  j_csize : int;
+  j_n : int;
+  j_body : int -> int -> unit;
+  j_deques : deque array;
+  j_remaining : int Atomic.t;
+  j_failed : (exn * Printexc.raw_backtrace) option Atomic.t;
+}
+
+type t = {
+  lanes : int;
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;
+  work_cv : Condition.t;  (* workers wait here for a new job *)
+  done_cv : Condition.t;  (* the submitter waits here for completion *)
+  mutable job : job option;
+  mutable gen : int;  (* bumped per submitted job *)
+  mutable stop : bool;
+  busy : bool Atomic.t;  (* one fork-join job at a time; losers run inline *)
+  (* stats *)
+  jobs : int Atomic.t;
+  tasks : int Atomic.t;
+  steals : int Atomic.t;
+  inline_jobs : int Atomic.t;
+  busy_s : float array;  (* per lane; each slot written by its lane only *)
+}
+
+let domains t = t.lanes
+
+let default_domains () =
+  match Sys.getenv_opt "PRETE_DOMAINS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> min n 64
+    | _ -> 1)
+
+(* ------------------------------------------------------------------ *)
+(* Job execution                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let pop_own d =
+  Mutex.lock d.dm;
+  let r =
+    if d.lo < d.hi then begin
+      let v = d.items.(d.lo) in
+      d.lo <- d.lo + 1;
+      Some v
+    end
+    else None
+  in
+  Mutex.unlock d.dm;
+  r
+
+let steal_from d =
+  Mutex.lock d.dm;
+  let r =
+    if d.lo < d.hi then begin
+      let v = d.items.(d.hi - 1) in
+      d.hi <- d.hi - 1;
+      Some v
+    end
+    else None
+  in
+  Mutex.unlock d.dm;
+  r
+
+let exec_chunk pool job c =
+  let lo = c * job.j_csize in
+  let hi = min job.j_n (lo + job.j_csize) in
+  (try job.j_body lo hi
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     ignore (Atomic.compare_and_set job.j_failed None (Some (e, bt))));
+  if Atomic.fetch_and_add job.j_remaining (-1) = 1 then begin
+    (* Last chunk: wake the submitter.  Taking the pool mutex orders the
+       broadcast against the submitter's remaining-check-then-wait. *)
+    Mutex.lock pool.m;
+    Condition.broadcast pool.done_cv;
+    Mutex.unlock pool.m
+  end
+
+(* Drain the job from [lane]'s point of view: own deque first, then
+   steal round-robin from the others. *)
+let work pool job lane =
+  let t0 = Unix.gettimeofday () in
+  let nlanes = Array.length job.j_deques in
+  let own = job.j_deques.(lane) in
+  let rec own_loop () =
+    match pop_own own with
+    | Some c ->
+      exec_chunk pool job c;
+      own_loop ()
+    | None -> steal_loop 1
+  and steal_loop k =
+    if k < nlanes then begin
+      match steal_from job.j_deques.((lane + k) mod nlanes) with
+      | Some c ->
+        Atomic.incr pool.steals;
+        exec_chunk pool job c;
+        (* The victim may have more; also our own deque stays empty, so
+           restart the scan from the nearest lane. *)
+        steal_loop 1
+      | None -> steal_loop (k + 1)
+    end
+  in
+  own_loop ();
+  pool.busy_s.(lane) <- pool.busy_s.(lane) +. (Unix.gettimeofday () -. t0)
+
+let worker_loop pool lane =
+  let my_gen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.m;
+    while (not pool.stop) && pool.gen = !my_gen do
+      Condition.wait pool.work_cv pool.m
+    done;
+    if pool.stop then begin
+      Mutex.unlock pool.m;
+      running := false
+    end
+    else begin
+      my_gen := pool.gen;
+      match pool.job with
+      | None ->
+        (* The job this generation announced already completed. *)
+        Mutex.unlock pool.m
+      | Some job ->
+        Mutex.unlock pool.m;
+        work pool job lane
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let create ?domains () =
+  let lanes =
+    match domains with
+    | None -> default_domains ()
+    | Some d -> max 1 (min d 64)
+  in
+  let pool =
+    {
+      lanes;
+      workers = [||];
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      job = None;
+      gen = 0;
+      stop = false;
+      busy = Atomic.make false;
+      jobs = Atomic.make 0;
+      tasks = Atomic.make 0;
+      steals = Atomic.make 0;
+      inline_jobs = Atomic.make 0;
+      busy_s = Array.make lanes 0.0;
+    }
+  in
+  pool.workers <-
+    Array.init (lanes - 1) (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1)));
+  pool
+
+let shutdown pool =
+  let workers =
+    Mutex.lock pool.m;
+    let w = pool.workers in
+    if not pool.stop then begin
+      pool.stop <- true;
+      Condition.broadcast pool.work_cv
+    end;
+    pool.workers <- [||];
+    Mutex.unlock pool.m;
+    w
+  in
+  Array.iter Domain.join workers
+
+let default_pool =
+  lazy
+    (let p = create ~domains:(default_domains ()) () in
+     at_exit (fun () -> shutdown p);
+     p)
+
+let default () = Lazy.force default_pool
+
+(* ------------------------------------------------------------------ *)
+(* Fork-join                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let default_chunk n = max 1 ((n + 63) / 64)
+
+let run_parallel pool nchunks csize n body =
+  let deques =
+    (* Chunk c is dealt to lane (c mod lanes); each deque's items stay in
+       increasing chunk order. *)
+    Array.init pool.lanes (fun lane ->
+        let items =
+          Array.init ((nchunks - lane + pool.lanes - 1) / pool.lanes) (fun k ->
+              lane + (k * pool.lanes))
+        in
+        { dm = Mutex.create (); items; lo = 0; hi = Array.length items })
+  in
+  let job =
+    {
+      j_csize = csize;
+      j_n = n;
+      j_body = body;
+      j_deques = deques;
+      j_remaining = Atomic.make nchunks;
+      j_failed = Atomic.make None;
+    }
+  in
+  Mutex.lock pool.m;
+  pool.job <- Some job;
+  pool.gen <- pool.gen + 1;
+  Condition.broadcast pool.work_cv;
+  Mutex.unlock pool.m;
+  (* The submitter is lane 0. *)
+  work pool job 0;
+  Mutex.lock pool.m;
+  while Atomic.get job.j_remaining > 0 do
+    Condition.wait pool.done_cv pool.m
+  done;
+  pool.job <- None;
+  Mutex.unlock pool.m;
+  match Atomic.get job.j_failed with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let parallel_for pool ?chunk n body =
+  if n > 0 then begin
+    let csize =
+      match chunk with
+      | None -> default_chunk n
+      | Some c when c > 0 -> c
+      | Some _ -> invalid_arg "Pool.parallel_for: chunk must be positive"
+    in
+    let nchunks = (n + csize - 1) / csize in
+    Atomic.incr pool.jobs;
+    Atomic.fetch_and_add pool.tasks nchunks |> ignore;
+    let inline () =
+      Atomic.incr pool.inline_jobs;
+      for c = 0 to nchunks - 1 do
+        body (c * csize) (min n ((c + 1) * csize))
+      done
+    in
+    if pool.lanes = 1 || nchunks = 1 || pool.stop then inline ()
+    else if not (Atomic.compare_and_set pool.busy false true) then
+      (* Nested or concurrent submission: serialize on the caller. *)
+      inline ()
+    else
+      Fun.protect
+        ~finally:(fun () -> Atomic.set pool.busy false)
+        (fun () -> run_parallel pool nchunks csize n body)
+  end
+
+let parallel_map pool ?chunk f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for pool ?chunk n (fun lo hi ->
+        for i = lo to hi - 1 do
+          out.(i) <- Some (f xs.(i))
+        done);
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let stats pool =
+  {
+    Pool_stats.domains = pool.lanes;
+    jobs = Atomic.get pool.jobs;
+    tasks = Atomic.get pool.tasks;
+    steals = Atomic.get pool.steals;
+    inline_jobs = Atomic.get pool.inline_jobs;
+    busy_s = Array.copy pool.busy_s;
+  }
+
+let reset_stats pool =
+  Atomic.set pool.jobs 0;
+  Atomic.set pool.tasks 0;
+  Atomic.set pool.steals 0;
+  Atomic.set pool.inline_jobs 0;
+  Array.fill pool.busy_s 0 (Array.length pool.busy_s) 0.0

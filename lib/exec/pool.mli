@@ -1,0 +1,79 @@
+(** Deterministic fork-join domain pool.
+
+    A fixed set of worker domains ({!create}) executes chunked
+    [parallel_for] / [parallel_map] jobs submitted by the owning domain.
+    The pool is built only on [Stdlib.Domain] + [Mutex]/[Condition] (no
+    external dependency) and is designed around one contract:
+
+    {b Determinism.}  Results are bit-identical at any domain count —
+    [domains = 1] and [domains = 64] produce the same bits.  Three rules
+    make this hold:
+
+    + the chunk decomposition depends only on the input size and the
+      (caller-supplied or default) chunk size, {e never} on the domain
+      count or on scheduling;
+    + each chunk writes only to its own slots / accumulators, so the
+      merged result is a pure function of the chunk decomposition —
+      callers reduce per-chunk partials in chunk order;
+    + randomized workloads pre-split one RNG substream per chunk or per
+      item with [Prete_util.Rng.split] {e before} submitting, so draw
+      sequences never depend on which lane runs a chunk.
+
+    Scheduling is a simple work-stealing scheme: chunk indices are dealt
+    round-robin onto per-lane deques; a lane pops from its own deque front
+    and steals from the back of others when it runs dry.  Stealing moves
+    {e where} a chunk runs, never {e what} it computes.
+
+    {b Reentrancy.}  A pool accepts one fork-join job at a time.  A
+    nested submission (from inside a running chunk) or a concurrent
+    submission from another domain runs the job sequentially inline on
+    the submitting domain — identical results, no deadlock.
+
+    Exceptions raised by a chunk are caught, the remaining chunks still
+    run, and the first exception is re-raised on the submitting domain
+    with its backtrace once the job completes. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] builds a pool of [domains] lanes total: the
+    caller participates as lane 0 and [domains - 1] worker domains are
+    spawned.  [domains] defaults to {!default_domains}[ ()] and is
+    clamped to [\[1, 64\]].  [domains = 1] spawns nothing and runs every
+    job inline. *)
+
+val domains : t -> int
+(** Total lanes (spawned workers + the caller). *)
+
+val default_domains : unit -> int
+(** The [PRETE_DOMAINS] environment variable parsed as a positive
+    integer; 1 when unset or unparsable. *)
+
+val default : unit -> t
+(** A process-wide shared pool sized by {!default_domains}, created on
+    first use and shut down at exit.  This is what the library entry
+    points use when no explicit pool is passed. *)
+
+val parallel_for : t -> ?chunk:int -> int -> (int -> int -> unit) -> unit
+(** [parallel_for pool ~chunk n body] splits [\[0, n)] into contiguous
+    chunks of size [chunk] (default [max 1 ((n + 63) / 64)] — a function
+    of [n] only) and calls [body lo hi] once per chunk, [lo] inclusive,
+    [hi] exclusive, across the pool's lanes.  [body] must confine its
+    writes to chunk-owned state.  No-op for [n <= 0].  Raises
+    [Invalid_argument] on non-positive [chunk]. *)
+
+val parallel_map : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map pool f xs] is [Array.map f xs] with the applications
+    distributed over the pool; result slot [i] is [f xs.(i)] regardless
+    of scheduling.  [f] must be safe to run concurrently against itself
+    on distinct elements. *)
+
+val stats : t -> Pool_stats.t
+(** Snapshot of the pool's counters since creation or the last
+    {!reset_stats}. *)
+
+val reset_stats : t -> unit
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent.  Jobs submitted after shutdown
+    run sequentially inline. *)

@@ -1,0 +1,27 @@
+type t = {
+  domains : int;
+  jobs : int;
+  tasks : int;
+  steals : int;
+  inline_jobs : int;
+  busy_s : float array;
+}
+
+let busy_total t = Array.fold_left ( +. ) 0.0 t.busy_s
+
+(* Hand-rolled JSON, matching Solver_stats: the repo carries no JSON
+   dependency and the emitted structure is flat. *)
+let to_json t =
+  let busy =
+    t.busy_s |> Array.to_list
+    |> List.map (fun s -> Printf.sprintf "%.6f" s)
+    |> String.concat ", "
+  in
+  Printf.sprintf
+    "{\"domains\": %d, \"jobs\": %d, \"tasks\": %d, \"steals\": %d, \
+     \"inline_jobs\": %d, \"busy_s\": [%s], \"busy_total_s\": %.6f}"
+    t.domains t.jobs t.tasks t.steals t.inline_jobs busy (busy_total t)
+
+let pp ppf t =
+  Format.fprintf ppf "domains=%d jobs=%d tasks=%d steals=%d inline=%d busy=%.3fs"
+    t.domains t.jobs t.tasks t.steals t.inline_jobs (busy_total t)

@@ -9,6 +9,7 @@ type t = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable walls : (string * float) list;
+  lock : Mutex.t;
 }
 
 let create () =
@@ -23,43 +24,58 @@ let create () =
     cache_hits = 0;
     cache_misses = 0;
     walls = [];
+    lock = Mutex.create ();
   }
 
+(* All mutation goes through [guarded]: one record may be fed by several
+   domains at once (e.g. parallel Benders subproblems recording into the
+   iteration's shared stats).  Every counter update is an order-free sum,
+   so the totals stay deterministic regardless of interleaving. *)
+let guarded t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let record t (sol : Simplex.solution) =
-  t.solves <- t.solves + 1;
-  t.pivots <- t.pivots + sol.Simplex.iterations;
-  if sol.Simplex.warm_used then begin
-    t.warm_solves <- t.warm_solves + 1;
-    t.warm_pivots <- t.warm_pivots + sol.Simplex.iterations;
-    if sol.Simplex.phase1_skipped then t.phase1_skips <- t.phase1_skips + 1;
-    if sol.Simplex.repaired then t.repairs <- t.repairs + 1
-  end
-  else t.cold_pivots <- t.cold_pivots + sol.Simplex.iterations
+  guarded t (fun () ->
+      t.solves <- t.solves + 1;
+      t.pivots <- t.pivots + sol.Simplex.iterations;
+      if sol.Simplex.warm_used then begin
+        t.warm_solves <- t.warm_solves + 1;
+        t.warm_pivots <- t.warm_pivots + sol.Simplex.iterations;
+        if sol.Simplex.phase1_skipped then t.phase1_skips <- t.phase1_skips + 1;
+        if sol.Simplex.repaired then t.repairs <- t.repairs + 1
+      end
+      else t.cold_pivots <- t.cold_pivots + sol.Simplex.iterations)
 
-let cache_hit t = t.cache_hits <- t.cache_hits + 1
-let cache_miss t = t.cache_misses <- t.cache_misses + 1
+let cache_hit t = guarded t (fun () -> t.cache_hits <- t.cache_hits + 1)
+let cache_miss t = guarded t (fun () -> t.cache_misses <- t.cache_misses + 1)
 
-let add_wall t stage s =
+let add_wall_unlocked t stage s =
   t.walls <-
     (match List.assoc_opt stage t.walls with
     | Some prev -> (stage, prev +. s) :: List.remove_assoc stage t.walls
     | None -> (stage, s) :: t.walls)
+
+let add_wall t stage s = guarded t (fun () -> add_wall_unlocked t stage s)
 
 let time t stage f =
   let t0 = Prete_util.Clock.now () in
   Fun.protect ~finally:(fun () -> add_wall t stage (Prete_util.Clock.elapsed_since t0)) f
 
 let merge_into ~dst src =
-  dst.solves <- dst.solves + src.solves;
-  dst.warm_solves <- dst.warm_solves + src.warm_solves;
-  dst.phase1_skips <- dst.phase1_skips + src.phase1_skips;
-  dst.repairs <- dst.repairs + src.repairs;
-  dst.pivots <- dst.pivots + src.pivots;
-  dst.warm_pivots <- dst.warm_pivots + src.warm_pivots;
-  dst.cold_pivots <- dst.cold_pivots + src.cold_pivots;
-  dst.cache_hits <- dst.cache_hits + src.cache_hits;
-  dst.cache_misses <- dst.cache_misses + src.cache_misses;
-  List.iter (fun (stage, s) -> add_wall dst stage s) src.walls
+  (* [src] must be quiescent (no concurrent writers) — the usual pattern
+     merges per-task records after their tasks have joined. *)
+  guarded dst (fun () ->
+      dst.solves <- dst.solves + src.solves;
+      dst.warm_solves <- dst.warm_solves + src.warm_solves;
+      dst.phase1_skips <- dst.phase1_skips + src.phase1_skips;
+      dst.repairs <- dst.repairs + src.repairs;
+      dst.pivots <- dst.pivots + src.pivots;
+      dst.warm_pivots <- dst.warm_pivots + src.warm_pivots;
+      dst.cold_pivots <- dst.cold_pivots + src.cold_pivots;
+      dst.cache_hits <- dst.cache_hits + src.cache_hits;
+      dst.cache_misses <- dst.cache_misses + src.cache_misses;
+      List.iter (fun (stage, s) -> add_wall_unlocked dst stage s) src.walls)
 
 let cache_hit_rate t =
   let total = t.cache_hits + t.cache_misses in

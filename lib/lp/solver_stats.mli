@@ -19,6 +19,12 @@ type t = {
   mutable cache_hits : int;  (** Plan-cache hits (solve skipped entirely). *)
   mutable cache_misses : int;
   mutable walls : (string * float) list;  (** Per-stage wall seconds. *)
+  lock : Mutex.t;
+      (** Guards every mutation, so one record can be fed from several
+          domains at once (parallel Benders subproblems, pool-sharded
+          epochs).  Each update is an order-free sum, so totals are
+          deterministic regardless of interleaving.  Read fields directly
+          only once concurrent writers have joined. *)
 }
 
 val create : unit -> t

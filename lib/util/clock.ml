@@ -1,11 +1,17 @@
-(* High-water-marked gettimeofday: non-decreasing within the process. *)
+(* High-water-marked gettimeofday: non-decreasing within a domain.
 
-let high_water = ref neg_infinity
+   The mark is domain-local (Domain.DLS): each domain monotonicizes its
+   own view without cross-domain synchronization.  Deadlines still work
+   across domains — gettimeofday is a global clock; the mark only guards
+   against it stepping backwards (e.g. NTP) mid-measurement. *)
+
+let high_water = Domain.DLS.new_key (fun () -> ref neg_infinity)
 
 let now () =
+  let hw = Domain.DLS.get high_water in
   let t = Unix.gettimeofday () in
-  if t > !high_water then high_water := t;
-  !high_water
+  if t > !hw then hw := t;
+  !hw
 
 let elapsed_since t0 = Float.max 0.0 (now () -. t0)
 

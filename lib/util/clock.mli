@@ -3,16 +3,18 @@
     [Unix.gettimeofday] can step backwards under NTP corrections, which
     turns stage durations negative and makes deadline arithmetic lie
     exactly when the control loop is under pressure.  This module wraps it
-    with a high-water mark so {!now} is non-decreasing within a process:
-    a backwards step freezes the clock until real time catches up, which
-    biases durations towards zero instead of below it.
+    with a high-water mark so {!now} is non-decreasing within a domain
+    (the mark is domain-local state, so concurrent domains never contend
+    or race on it): a backwards step freezes the clock until real time
+    catches up, which biases durations towards zero instead of below it.
 
     All deadline-bounded solving ({!Prete_lp.Simplex.solve},
     {!Prete_lp.Mip.solve}, the [Te] strategies) and the controller's stage
     timing read this clock, never [Unix.gettimeofday] directly. *)
 
 val now : unit -> float
-(** Seconds since the epoch, guaranteed non-decreasing across calls. *)
+(** Seconds since the epoch, guaranteed non-decreasing across calls made
+    by the same domain. *)
 
 val elapsed_since : float -> float
 (** [elapsed_since t0] is [max 0 (now () - t0)]. *)

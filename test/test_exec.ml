@@ -1,0 +1,299 @@
+(* Tests for the prete_exec domain pool: unit behavior of parallel_for /
+   parallel_map (coverage, chunking, exceptions, reentrancy, stats) and
+   the subsystem's central contract — every parallelized entry point
+   (Simulate.run, Simulate.run_chaos, Availability.availability,
+   Te.solve_benders) returns bit-identical results at any domain count. *)
+
+open Prete
+open Prete_net
+module Pool = Prete_exec.Pool
+module Pool_stats = Prete_exec.Pool_stats
+
+let with_pool domains f =
+  let pool = Pool.create ~domains () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let domain_counts = [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool unit tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_matches_sequential () =
+  List.iter
+    (fun domains ->
+      with_pool domains (fun pool ->
+          List.iter
+            (fun n ->
+              let xs = Array.init n (fun i -> i) in
+              let expect = Array.map (fun x -> (x * x) + 1) xs in
+              let got = Pool.parallel_map pool (fun x -> (x * x) + 1) xs in
+              Alcotest.(check (array int))
+                (Printf.sprintf "domains=%d n=%d" domains n)
+                expect got)
+            [ 0; 1; 7; 64; 257 ]))
+    domain_counts
+
+let test_map_chunk_sizes () =
+  with_pool 4 (fun pool ->
+      let xs = Array.init 100 string_of_int in
+      let expect = Array.map String.length xs in
+      List.iter
+        (fun chunk ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "chunk=%d" chunk)
+            expect
+            (Pool.parallel_map pool ~chunk String.length xs))
+        [ 1; 3; 100; 1000 ])
+
+let test_for_each_index_once () =
+  List.iter
+    (fun domains ->
+      with_pool domains (fun pool ->
+          let n = 237 in
+          let hits = Array.make n 0 in
+          Pool.parallel_for pool ~chunk:10 n (fun lo hi ->
+              for i = lo to hi - 1 do
+                hits.(i) <- hits.(i) + 1
+              done);
+          Alcotest.(check (array int))
+            (Printf.sprintf "each index once at domains=%d" domains)
+            (Array.make n 1) hits))
+    domain_counts
+
+let test_for_chunk_decomposition () =
+  (* The decomposition is a function of (n, chunk) only: contiguous
+     [lo, hi) ranges of size [chunk] with one ragged tail. *)
+  with_pool 2 (fun pool ->
+      let seen = ref [] in
+      let m = Mutex.create () in
+      Pool.parallel_for pool ~chunk:10 37 (fun lo hi ->
+          Mutex.lock m;
+          seen := (lo, hi) :: !seen;
+          Mutex.unlock m);
+      let got = List.sort compare !seen in
+      Alcotest.(check (list (pair int int)))
+        "chunks" [ (0, 10); (10, 20); (20, 30); (30, 37) ] got)
+
+let test_for_empty_and_invalid () =
+  with_pool 2 (fun pool ->
+      Pool.parallel_for pool 0 (fun _ _ -> Alcotest.fail "body on n=0");
+      Pool.parallel_for pool (-3) (fun _ _ -> Alcotest.fail "body on n<0");
+      match Pool.parallel_for pool ~chunk:0 5 (fun _ _ -> ()) with
+      | () -> Alcotest.fail "chunk=0 accepted"
+      | exception Invalid_argument _ -> ())
+
+let test_exception_propagates () =
+  List.iter
+    (fun domains ->
+      with_pool domains (fun pool ->
+          Alcotest.check_raises
+            (Printf.sprintf "re-raised at domains=%d" domains)
+            (Failure "boom")
+            (fun () ->
+              ignore
+                (Pool.parallel_map pool ~chunk:4
+                   (fun i -> if i = 57 then failwith "boom" else i)
+                   (Array.init 100 (fun i -> i))))))
+    domain_counts
+
+let test_pool_usable_after_exception () =
+  with_pool 2 (fun pool ->
+      (try ignore (Pool.parallel_map pool (fun _ -> failwith "x") [| 1; 2; 3 |])
+       with Failure _ -> ());
+      Alcotest.(check (array int))
+        "next job fine" [| 2; 4; 6 |]
+        (Pool.parallel_map pool (fun x -> 2 * x) [| 1; 2; 3 |]))
+
+let test_nested_jobs_serialize () =
+  with_pool 2 (fun pool ->
+      let got =
+        Pool.parallel_map pool ~chunk:1
+          (fun i ->
+            Array.fold_left ( + ) 0
+              (Pool.parallel_map pool ~chunk:1 (fun j -> i * j) [| 1; 2; 3 |]))
+          (Array.init 6 (fun i -> i))
+      in
+      Alcotest.(check (array int)) "nested" [| 0; 6; 12; 18; 24; 30 |] got;
+      let s = Pool.stats pool in
+      Alcotest.(check bool) "nested jobs ran inline" true
+        (s.Pool_stats.inline_jobs > 0))
+
+let test_stats_counters () =
+  with_pool 2 (fun pool ->
+      Pool.reset_stats pool;
+      ignore (Pool.parallel_map pool ~chunk:8 (fun x -> x) (Array.init 64 (fun i -> i)));
+      let s = Pool.stats pool in
+      Alcotest.(check int) "domains" 2 s.Pool_stats.domains;
+      Alcotest.(check int) "one job" 1 s.Pool_stats.jobs;
+      Alcotest.(check int) "eight tasks" 8 s.Pool_stats.tasks;
+      Pool.reset_stats pool;
+      Alcotest.(check int) "reset" 0 (Pool.stats pool).Pool_stats.jobs)
+
+let test_single_lane_runs_inline () =
+  with_pool 1 (fun pool ->
+      Pool.reset_stats pool;
+      ignore (Pool.parallel_map pool (fun x -> x + 1) (Array.init 32 (fun i -> i)));
+      let s = Pool.stats pool in
+      Alcotest.(check int) "one job" 1 s.Pool_stats.jobs;
+      Alcotest.(check int) "ran inline" 1 s.Pool_stats.inline_jobs;
+      Alcotest.(check int) "no steals" 0 s.Pool_stats.steals)
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~domains:3 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.(check (array int))
+    "inline after shutdown" [| 1; 4; 9 |]
+    (Pool.parallel_map pool (fun x -> x * x) [| 1; 2; 3 |])
+
+let test_default_domains_env () =
+  let old = Sys.getenv_opt "PRETE_DOMAINS" in
+  let restore () =
+    match old with
+    | Some v -> Unix.putenv "PRETE_DOMAINS" v
+    | None -> Unix.putenv "PRETE_DOMAINS" ""
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "PRETE_DOMAINS" "3";
+      Alcotest.(check int) "parsed" 3 (Pool.default_domains ());
+      Unix.putenv "PRETE_DOMAINS" "zebra";
+      Alcotest.(check int) "unparsable -> 1" 1 (Pool.default_domains ());
+      Unix.putenv "PRETE_DOMAINS" "-2";
+      Alcotest.(check int) "non-positive -> 1" 1 (Pool.default_domains ()))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across domain counts (the subsystem contract)            *)
+(* ------------------------------------------------------------------ *)
+
+let env_b4 = lazy (Availability.make_env (Topology.b4 ()))
+
+let oracle_scheme env =
+  let topo = env.Availability.ts.Tunnels.topo in
+  Schemes.prete_default
+    ~predictor:(Prete_optics.Hazard.eval ~num_fibers:(Topology.num_fibers topo))
+    ()
+
+let all_equal name = function
+  | [] -> ()
+  | r0 :: rest ->
+    List.iteri
+      (fun i r ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: run %d identical to run 0" name (i + 1))
+          true (r = r0))
+      rest
+
+let test_simulate_bit_identical () =
+  let env = Lazy.force env_b4 in
+  let scheme = oracle_scheme env in
+  all_equal "Simulate.run"
+    (List.map
+       (fun d ->
+         with_pool d (fun pool ->
+             Simulate.run ~seed:11 ~epochs:1_500 ~pool env scheme ~scale:2.0))
+       domain_counts)
+
+let test_availability_bit_identical () =
+  let env = Lazy.force env_b4 in
+  List.iter
+    (fun scheme ->
+      all_equal
+        (Printf.sprintf "Availability (%s)" (Schemes.name scheme))
+        (List.map
+           (fun d ->
+             with_pool d (fun pool ->
+                 Availability.availability ~pool env scheme ~scale:3.0))
+           domain_counts))
+    [ oracle_scheme env; Schemes.Flexile ]
+
+let square () =
+  let fibers =
+    [| (0, 1, 100.0); (1, 2, 100.0); (2, 3, 100.0); (3, 0, 100.0); (0, 2, 500.0) |]
+  in
+  let links =
+    Array.of_list
+      (List.concat_map
+         (fun (f, (a, b)) -> [ (a, b, 10.0, [ f ]); (b, a, 10.0, [ f ]) ])
+         [ (0, (0, 1)); (1, (1, 2)); (2, (2, 3)); (3, (3, 0)); (4, (0, 2)) ])
+  in
+  Topology.make ~name:"square" ~node_names:[| "n0"; "n1"; "n2"; "n3" |] ~fibers ~links
+
+let test_benders_bit_identical () =
+  let topo = square () in
+  let ts = Tunnels.build ~per_flow:2 topo [ (0, 2); (1, 3) ] in
+  let p =
+    Te.make_problem ~ts ~demands:[| 14.0; 9.0 |]
+      ~probs:[| 0.02; 0.03; 0.01; 0.015; 0.025 |] ~beta:0.95 ()
+  in
+  let runs =
+    List.map
+      (fun d ->
+        with_pool d (fun pool ->
+            let s = Te.solve_benders ~pool p in
+            (* Compare the mathematical content (solver telemetry carries
+               wall-clock times, which legitimately differ). *)
+            (s.Te.phi, s.Te.alloc, s.Te.delta, s.Te.stats)))
+      domain_counts
+  in
+  all_equal "Te.solve_benders" runs
+
+let test_chaos_bit_identical () =
+  let env = Lazy.force env_b4 in
+  let scheme = oracle_scheme env in
+  let faults = [ { Faults.fault = Faults.Noise_burst; rate = 0.5 } ] in
+  all_equal "Simulate.run_chaos"
+    (List.map
+       (fun d ->
+         with_pool d (fun pool ->
+             Simulate.run_chaos ~seed:7 ~epochs:150 ~faults ~fault_seed:3 ~pool
+               env scheme ~scale:2.0))
+       [ 1; 4 ])
+
+let test_chaos_under_pool_sane () =
+  (* The chaos guarantees (no raise, plans always produced) must hold when
+     the shards run on a multi-domain pool. *)
+  let env = Lazy.force env_b4 in
+  let scheme = oracle_scheme env in
+  with_pool 4 (fun pool ->
+      let r =
+        Simulate.run_chaos ~seed:5 ~epochs:120
+          ~faults:[ { Faults.fault = Faults.Telemetry_dropout; rate = 0.7 } ]
+          ~fault_seed:9 ~pool env scheme ~scale:2.0
+      in
+      Alcotest.(check int) "every epoch served by exactly one rung"
+        r.Simulate.c_epochs
+        (r.Simulate.c_primary + r.Simulate.c_cached + r.Simulate.c_equal_split);
+      Alcotest.(check bool) "gaps observed" true (r.Simulate.c_gap_epochs > 0);
+      Alcotest.(check bool) "availability sane" true
+        (r.Simulate.c_availability > 0.0 && r.Simulate.c_availability <= 1.0))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "prete_exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches sequential" `Quick test_map_matches_sequential;
+          Alcotest.test_case "map chunk sizes" `Quick test_map_chunk_sizes;
+          Alcotest.test_case "for covers each index once" `Quick test_for_each_index_once;
+          Alcotest.test_case "for chunk decomposition" `Quick test_for_chunk_decomposition;
+          Alcotest.test_case "for empty/invalid" `Quick test_for_empty_and_invalid;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "usable after exception" `Quick test_pool_usable_after_exception;
+          Alcotest.test_case "nested jobs serialize" `Quick test_nested_jobs_serialize;
+          Alcotest.test_case "stats counters" `Quick test_stats_counters;
+          Alcotest.test_case "single lane inline" `Quick test_single_lane_runs_inline;
+          Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+          Alcotest.test_case "PRETE_DOMAINS parsing" `Quick test_default_domains_env;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "Simulate.run bit-identical" `Slow test_simulate_bit_identical;
+          Alcotest.test_case "Availability bit-identical" `Slow test_availability_bit_identical;
+          Alcotest.test_case "Benders bit-identical" `Slow test_benders_bit_identical;
+          Alcotest.test_case "chaos bit-identical" `Slow test_chaos_bit_identical;
+          Alcotest.test_case "chaos sane on pool" `Slow test_chaos_under_pool_sane;
+        ] );
+    ]

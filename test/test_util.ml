@@ -103,6 +103,75 @@ let test_rng_invalid_args () =
   Alcotest.check_raises "choice empty" (Invalid_argument "Rng.choice: empty array")
     (fun () -> ignore (Rng.choice r [||]))
 
+(* Property tests for the split-stream contract prete_exec relies on:
+   the k-th substream split from a seed is a pure function of (seed, k),
+   sibling substreams are pairwise distinct, splitting does not disturb
+   what the parent would have produced by further splits, and substream
+   output stays statistically unbiased. *)
+
+let nth_split seed k =
+  let m = Rng.create seed in
+  for _ = 1 to k do
+    ignore (Rng.split m)
+  done;
+  Rng.split m
+
+let draws n rng = List.init n (fun _ -> Rng.int64 rng)
+
+let prop_split_function_of_seed_and_index =
+  QCheck.Test.make ~name:"split stream is a function of (seed, index)" ~count:100
+    QCheck.(pair small_int (int_bound 12))
+    (fun (seed, k) -> draws 8 (nth_split seed k) = draws 8 (nth_split seed k))
+
+let prop_split_siblings_distinct =
+  QCheck.Test.make ~name:"sibling split streams pairwise distinct" ~count:60
+    QCheck.small_int
+    (fun seed ->
+      let m = Rng.create seed in
+      let streams = List.init 8 (fun _ -> draws 4 (Rng.split m)) in
+      let rec pairwise = function
+        | [] -> true
+        | x :: rest -> List.for_all (( <> ) x) rest && pairwise rest
+      in
+      pairwise streams)
+
+let prop_split_count_does_not_reorder =
+  QCheck.Test.make ~name:"earlier splits unaffected by later ones" ~count:60
+    QCheck.(pair small_int (int_bound 10))
+    (fun (seed, extra) ->
+      (* Stream k from a master that splits k+1 times equals stream k from
+         one that splits k+1+extra times: adding components later never
+         perturbs existing ones. *)
+      let take n m = List.init n (fun _ -> Rng.split m) in
+      let a = take 3 (Rng.create seed) in
+      let b =
+        let m = Rng.create seed in
+        let first = take 3 m in
+        ignore (take extra m);
+        first
+      in
+      List.for_all2 (fun x y -> draws 4 x = draws 4 y) a b)
+
+let prop_split_stream_unbiased =
+  QCheck.Test.make ~name:"split streams remain unbiased" ~count:40
+    QCheck.(pair small_int (int_bound 12))
+    (fun (seed, k) ->
+      let rng = nth_split seed k in
+      let n = 2000 in
+      let hits = ref 0 in
+      for _ = 1 to n do
+        if Rng.bool rng then incr hits
+      done;
+      Float.abs ((float_of_int !hits /. float_of_int n) -. 0.5) < 0.06)
+
+let prop_split_independent_of_parent_tail =
+  QCheck.Test.make ~name:"substream differs from parent remainder" ~count:60
+    QCheck.small_int
+    (fun seed ->
+      let m = Rng.create seed in
+      let sub = Rng.split m in
+      draws 8 sub <> draws 8 m)
+
 (* ------------------------------------------------------------------ *)
 (* Special                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -525,6 +594,14 @@ let () =
           Alcotest.test_case "choice member" `Quick test_rng_choice_member;
           Alcotest.test_case "invalid args" `Quick test_rng_invalid_args;
         ] );
+      qsuite "rng.split.props"
+        [
+          prop_split_function_of_seed_and_index;
+          prop_split_siblings_distinct;
+          prop_split_count_does_not_reorder;
+          prop_split_stream_unbiased;
+          prop_split_independent_of_parent_tail;
+        ];
       ( "special",
         [
           Alcotest.test_case "log_gamma values" `Quick test_log_gamma_values;

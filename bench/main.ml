@@ -995,6 +995,183 @@ let parallel () =
       (String.concat ", " (List.rev !runs))
 
 (* ------------------------------------------------------------------ *)
+(* lp_scale: dense tableau vs sparse revised simplex on scaled TE LPs   *)
+(* ------------------------------------------------------------------ *)
+
+let lp_scale_json = ref "null"
+
+(* k x k grid topology: one fiber per undirected edge, two directed IP
+   links riding it. *)
+let grid_topology k =
+  let node i j = (i * k) + j in
+  let fibers = ref [] and links = ref [] and nf = ref 0 in
+  let add_edge a b =
+    let f = !nf in
+    incr nf;
+    fibers := (a, b, 50.0) :: !fibers;
+    links := (b, a, 40.0, [ f ]) :: (a, b, 40.0, [ f ]) :: !links
+  in
+  for i = 0 to k - 1 do
+    for j = 0 to k - 1 do
+      if j + 1 < k then add_edge (node i j) (node i (j + 1));
+      if i + 1 < k then add_edge (node i j) (node (i + 1) j)
+    done
+  done;
+  Topology.make
+    ~name:(Printf.sprintf "grid%d" k)
+    ~node_names:(Array.init (k * k) (Printf.sprintf "n%d"))
+    ~fibers:(Array.of_list (List.rev !fibers))
+    ~links:(Array.of_list (List.rev !links))
+
+(* A size-s instance: s flows spread over the grid, s scenarios (the
+   no-failure state plus single cuts of the first s-1 fibers). *)
+let lp_scale_instance ~k ~size =
+  let topo = grid_topology k in
+  let n = k * k in
+  let pairs =
+    List.init size (fun i ->
+        let src = i * 13 mod n in
+        let dst = (src + 1 + (i * 29 mod (n - 1))) mod n in
+        (src, dst))
+  in
+  let ts = Tunnels.build ~per_flow:3 topo pairs in
+  (* Heavy enough that capacity binds and phi ends up strictly positive:
+     the engine cross-check then compares a non-trivial optimum. *)
+  let demands = Array.init size (fun f -> 12.0 +. (3.0 *. float_of_int (f mod 7))) in
+  let cuts = Array.init size (fun q -> if q = 0 then None else Some (q - 1)) in
+  (topo, ts, demands, cuts)
+
+(* The fixed-delta TE LP with every scenario covered, built directly so
+   both engines see the {e same} model: min phi s.t. capacity rows and,
+   per (flow, scenario), surviving_alloc + d*phi >= d.  [cap_scale]
+   scales link capacities only — an rhs-only perturbation, which is the
+   warm-start case the revised engine must answer without a Phase-1
+   restart. *)
+let lp_scale_model ~cap_scale (topo, ts, demands, cuts) =
+  let open Prete_lp in
+  let m = Lp.create () in
+  let nt = Array.length ts.Tunnels.tunnels in
+  let a = Array.init nt (fun t -> Lp.add_var m (Printf.sprintf "a%d" t)) in
+  let phi = Lp.add_var m ~ub:1.0 "phi" in
+  List.iter
+    (fun (lid, terms) ->
+      let terms = List.map (fun (tid, c) -> (c, a.(tid))) terms in
+      ignore
+        (Lp.add_constraint m terms Lp.Le
+           (cap_scale *. (Topology.link topo lid).Topology.capacity)))
+    (Te.capacity_terms ts);
+  let survives tid cut =
+    match cut with
+    | None -> true
+    | Some fb ->
+      not (Routing.uses_fiber topo ts.Tunnels.tunnels.(tid).Tunnels.links fb)
+  in
+  Array.iteri
+    (fun f _ ->
+      let d = demands.(f) in
+      Array.iter
+        (fun cut ->
+          let terms =
+            List.filter_map
+              (fun tid -> if survives tid cut then Some (1.0, a.(tid)) else None)
+              ts.Tunnels.of_flow.(f)
+          in
+          ignore (Lp.add_constraint m ((d, phi) :: terms) Lp.Ge d))
+        cuts)
+    ts.Tunnels.flows;
+  Lp.set_objective m Lp.Minimize [ (1.0, phi) ];
+  m
+
+let lp_scale () =
+  section "LP engine scaling — dense tableau vs sparse revised simplex";
+  let open Prete_lp in
+  let sizes =
+    if !quick then [ (8, 3); (16, 4) ] else [ (8, 3); (16, 4); (32, 5); (64, 7) ]
+  in
+  let fail fmt = Printf.ksprintf (fun s -> Printf.printf "  FAIL: %s\n%!" s; exit 1) fmt in
+  let solve ?warm engine pricing m =
+    let st = Solver_stats.create () in
+    let t0 = Unix.gettimeofday () in
+    match Simplex.solve ?warm ~engine ~pricing m with
+    | Simplex.Optimal sol ->
+      Solver_stats.record st sol;
+      (sol, st, Unix.gettimeofday () -. t0)
+    | Simplex.Infeasible | Simplex.Unbounded -> fail "LP not optimal"
+  in
+  let entries = ref [] in
+  let points = ref [] in
+  List.iter
+    (fun (size, k) ->
+      let inst = lp_scale_instance ~k ~size in
+      let model = lp_scale_model ~cap_scale:1.0 inst in
+      let rows = Array.length (Lp.Internal.constraints model) in
+      let sol_d, st_d, w_d = solve Simplex.Dense Simplex.Dantzig model in
+      let sol_r, st_r, w_r = solve Simplex.Revised Simplex.Dantzig model in
+      let _, st_x, w_x = solve Simplex.Revised Simplex.Devex model in
+      let dphi = Float.abs (sol_d.Simplex.objective -. sol_r.Simplex.objective) in
+      if dphi > 1e-9 then
+        fail "engine objective mismatch %.3e at size %d" dphi size;
+      (* Warm re-solve of the rhs-only perturbation, against its own cold
+         baseline. *)
+      let model' = lp_scale_model ~cap_scale:0.95 inst in
+      let sol_c, _, _ = solve Simplex.Revised Simplex.Dantzig model' in
+      let sol_w, st_w, w_w =
+        solve ~warm:sol_r.Simplex.basis Simplex.Revised Simplex.Dantzig model'
+      in
+      let dwarm = Float.abs (sol_w.Simplex.objective -. sol_c.Simplex.objective) in
+      if dwarm > 1e-9 then
+        fail "warm/cold objective mismatch %.3e at size %d" dwarm size;
+      if st_w.Solver_stats.phase1_skips < 1 then
+        fail "warm rhs-only re-solve restarted Phase 1 at size %d" size;
+      if st_w.Solver_stats.refactorizations < 1 then
+        fail "warm re-solve never refactorized at size %d" size;
+      Printf.printf
+        "  %2dx%-2d (%4d rows): dense %8.3f s / %5d pivots   revised %8.3f s / %5d \
+         pivots (%d etas, %d refactors)   devex %8.3f s / %5d pivots   warm %8.3f s \
+         / %4d pivots   phi %.6f\n%!"
+        size size rows w_d st_d.Solver_stats.pivots w_r st_r.Solver_stats.pivots
+        st_r.Solver_stats.etas st_r.Solver_stats.refactorizations w_x
+        st_x.Solver_stats.pivots w_w st_w.Solver_stats.pivots
+        sol_r.Simplex.objective;
+      points := (float_of_int rows, w_d, w_r) :: !points;
+      entries :=
+        Printf.sprintf
+          "{\"size\": %d, \"rows\": %d, \"phi\": %.9f, \"phi_delta\": %.3e, \
+           \"warm_phi_delta\": %.3e, \"dense\": %s, \"revised\": %s, \"devex\": %s, \
+           \"warm\": %s}"
+          size rows sol_r.Simplex.objective dphi dwarm
+          (Solver_stats.to_json st_d) (Solver_stats.to_json st_r)
+          (Solver_stats.to_json st_x) (Solver_stats.to_json st_w)
+        :: !entries)
+    sizes;
+  (* Least-squares slope of ln(wall) vs ln(rows): the empirical per-engine
+     scaling exponent. *)
+  let exponent sel =
+    let pts = List.rev_map (fun (r, d, v) -> (log r, log (Float.max 1e-6 (sel d v)))) !points in
+    let n = float_of_int (List.length pts) in
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+    (sxy -. (sx *. sy /. n)) /. (sxx -. (sx *. sx /. n))
+  in
+  let exp_d = exponent (fun d _ -> d) and exp_r = exponent (fun _ r -> r) in
+  let speedup =
+    match !points with (_, d, r) :: _ -> d /. Float.max 1e-9 r | [] -> 0.0
+  in
+  Printf.printf
+    "  scaling exponent: dense %.2f, revised %.2f; largest-instance speedup %.1fx\n%!"
+    exp_d exp_r speedup;
+  if (not !quick) && speedup < 5.0 then
+    fail "revised speedup %.2fx < 5x on the largest instance" speedup;
+  lp_scale_json :=
+    Printf.sprintf
+      "{\"sizes\": [%s], \"exponent_dense\": %.3f, \"exponent_revised\": %.3f, \
+       \"largest_speedup\": %.2f}"
+      (String.concat ", " (List.rev !entries))
+      exp_d exp_r speedup
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1098,6 +1275,7 @@ let experiments =
     ("warmstart", "warm vs cold solver pivots + plan-cache hit rate", warmstart);
     ("fallback", "fallback-path latency per ladder rung", fallback);
     ("parallel", "domain-pool scaling: 1/2/4-domain walls + determinism", parallel);
+    ("lp_scale", "dense vs revised simplex scaling on TE LPs", lp_scale);
   ]
 
 let () =
@@ -1160,11 +1338,12 @@ let () =
         !walls
     in
     Printf.sprintf
-      "{\n  \"pr\": 3,\n  \"experiments\": [%s],\n  \"warmstart\": %s,\n  \"plan_cache\": %s,\n  \"parallel\": %s\n}\n"
+      "{\n  \"pr\": 4,\n  \"experiments\": [%s],\n  \"warmstart\": %s,\n  \"plan_cache\": %s,\n  \"parallel\": %s,\n  \"lp_scale\": %s\n}\n"
       (String.concat ", " exps) !warmstart_json !chaos_cache_json !parallel_json
+      !lp_scale_json
   in
-  let oc = open_out "BENCH_PR3.json" in
+  let oc = open_out "BENCH_PR4.json" in
   output_string oc json;
   close_out oc;
-  Printf.printf "\nWrote BENCH_PR3.json\n";
+  Printf.printf "\nWrote BENCH_PR4.json\n";
   Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

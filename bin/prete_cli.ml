@@ -37,6 +37,51 @@ let domains_arg =
   in
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
+(* LP engine selection: the flags set the session defaults, which every
+   solver call inherits unless a call site pins ?engine/?pricing. *)
+let engine_conv =
+  let parse s =
+    match Prete_lp.Simplex.engine_of_string s with
+    | Some e -> Ok e
+    | None -> Error (`Msg (Printf.sprintf "unknown LP engine %S (revised|dense)" s))
+  in
+  let print ppf e = Format.pp_print_string ppf (Prete_lp.Simplex.engine_name e) in
+  Arg.conv (parse, print)
+
+let pricing_conv =
+  let parse s =
+    match Prete_lp.Simplex.pricing_of_string s with
+    | Some p -> Ok p
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown pricing rule %S (dantzig|devex|partial)" s))
+  in
+  let print ppf p = Format.pp_print_string ppf (Prete_lp.Simplex.pricing_name p) in
+  Arg.conv (parse, print)
+
+let lp_term =
+  let engine =
+    let doc =
+      "LP engine: $(b,revised) (sparse revised simplex, the default) or \
+       $(b,dense) (dense-tableau differential oracle)."
+    in
+    Arg.(
+      value
+      & opt engine_conv !Prete_lp.Simplex.default_engine
+      & info [ "lp-engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let pricing =
+    let doc = "Simplex pricing rule: $(b,dantzig) (default), $(b,devex) or $(b,partial)." in
+    Arg.(
+      value
+      & opt pricing_conv !Prete_lp.Simplex.default_pricing
+      & info [ "pricing" ] ~docv:"RULE" ~doc)
+  in
+  let set engine pricing =
+    Prete_lp.Simplex.default_engine := engine;
+    Prete_lp.Simplex.default_pricing := pricing
+  in
+  Term.(const set $ engine $ pricing)
+
 (* Evaluation commands run against a pool sized by --domains (or
    PRETE_DOMAINS), shut down when the command finishes. *)
 let with_pool domains f =
@@ -157,7 +202,7 @@ let train_cmd =
   Cmd.v (Cmd.info "train" ~doc) Term.(const run $ topo_arg $ seed_arg $ epochs)
 
 let solve_cmd =
-  let run name scale beta degraded =
+  let run () name scale beta degraded =
     let topo = Topology.by_name name in
     let traffic = Traffic.generate topo in
     let ts = Tunnels.build topo traffic.Traffic.pairs in
@@ -182,7 +227,8 @@ let solve_cmd =
     let sol, elapsed = Controller.wall (fun () -> Te.solve p) in
     Printf.printf "phi = %.4f, expected served = %.4f (%.2f s, %d LPs, %d pivots)\n"
       sol.Te.phi sol.Te.expected_served elapsed
-      sol.Te.stats.Te.lp_solves sol.Te.stats.Te.lp_pivots
+      sol.Te.stats.Te.lp_solves sol.Te.stats.Te.lp_pivots;
+    Format.printf "solver: %a@." Prete_lp.Solver_stats.pp sol.Te.solver
   in
   let degraded =
     Arg.(
@@ -191,10 +237,11 @@ let solve_cmd =
       & info [ "degraded" ] ~docv:"FIBER" ~doc:"Fiber currently degrading (triggers Algorithm 1).")
   in
   let doc = "Run the PreTE optimization for one TE period." in
-  Cmd.v (Cmd.info "solve" ~doc) Term.(const run $ topo_arg $ scale_arg $ beta_arg $ degraded)
+  Cmd.v (Cmd.info "solve" ~doc)
+    Term.(const run $ lp_term $ topo_arg $ scale_arg $ beta_arg $ degraded)
 
 let availability_cmd =
-  let run name scale scheme_name domains =
+  let run () name scale scheme_name domains =
     let topo = Topology.by_name name in
     let env = Availability.make_env topo in
     let predictor = Prete_optics.Hazard.eval ~num_fibers:(Topology.num_fibers topo) in
@@ -213,10 +260,10 @@ let availability_cmd =
   in
   let doc = "Evaluate a TE scheme's availability (Fig. 13)." in
   Cmd.v (Cmd.info "availability" ~doc)
-    Term.(const run $ topo_arg $ scale_arg $ scheme $ domains_arg)
+    Term.(const run $ lp_term $ topo_arg $ scale_arg $ scheme $ domains_arg)
 
 let pipeline_cmd =
-  let run name fiber =
+  let run () name fiber =
     let topo = Topology.by_name name in
     let env = Availability.make_env topo in
     let nf = Topology.num_fibers topo in
@@ -252,10 +299,10 @@ let pipeline_cmd =
     Arg.(value & opt int 3 & info [ "fiber" ] ~docv:"FIBER" ~doc:"Degrading fiber id.")
   in
   let doc = "Controller reaction timeline for a degradation (Fig. 11)." in
-  Cmd.v (Cmd.info "pipeline" ~doc) Term.(const run $ topo_arg $ fiber)
+  Cmd.v (Cmd.info "pipeline" ~doc) Term.(const run $ lp_term $ topo_arg $ fiber)
 
 let simulate_cmd =
-  let run name scale scheme_name epochs domains =
+  let run () name scale scheme_name epochs domains =
     let topo = Topology.by_name name in
     let env = Availability.make_env topo in
     let predictor = Prete_optics.Hazard.eval ~num_fibers:(Topology.num_fibers topo) in
@@ -284,7 +331,7 @@ let simulate_cmd =
   in
   let doc = "Monte-Carlo epoch simulation (cross-check of the analytic evaluator)." in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run $ topo_arg $ scale_arg $ scheme $ epochs $ domains_arg)
+    Term.(const run $ lp_term $ topo_arg $ scale_arg $ scheme $ epochs $ domains_arg)
 
 let chaos_cmd =
   let run name scale scheme_name seed epochs domains =

@@ -104,6 +104,8 @@ type plan = {
 module Internal : sig
   val plan_alloc :
     ?deadline:float ->
+    ?engine:Prete_lp.Simplex.engine ->
+    ?pricing:Prete_lp.Simplex.pricing ->
     ?degr_features:Prete_optics.Hazard.features array ->
     env ->
     Schemes.t ->
@@ -119,6 +121,8 @@ module Internal : sig
   val plan_alloc_warm :
     ?deadline:float ->
     ?warm:Prete_lp.Simplex.basis ->
+    ?engine:Prete_lp.Simplex.engine ->
+    ?pricing:Prete_lp.Simplex.pricing ->
     ?degr_features:Prete_optics.Hazard.features array ->
     env ->
     Schemes.t ->
@@ -132,7 +136,12 @@ module Internal : sig
       the resilience ladder's [primary] thunk. *)
 
   val max_served :
-    env -> demands:float array -> cuts:int list -> float array
+    ?engine:Prete_lp.Simplex.engine ->
+    ?pricing:Prete_lp.Simplex.pricing ->
+    env ->
+    demands:float array ->
+    cuts:int list ->
+    float array
   (** Optimal per-flow served fraction on the topology surviving the given
       fiber cuts — the Oracle/Flexile-recompute LP. *)
 

@@ -118,7 +118,10 @@ val plan_key :
     tunnel link paths, demands, and — when supplied — per-flow scenario
     classes (survivor sets + probabilities) or raw fiber failure
     probabilities.  [salt] folds in extra discriminants such as the
-    observed failure state or the scheme identity. *)
+    observed failure state or the scheme identity.  The session-default
+    LP engine and pricing rule are always folded in: distinct engines can
+    land on different degenerate vertices, so plans never migrate across
+    an engine switch. *)
 
 type 'p cache
 

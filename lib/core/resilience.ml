@@ -86,21 +86,11 @@ let capacity_model (ts : Tunnels.t) =
         Lp.add_var m (Printf.sprintf "a%d" tn.Tunnels.tunnel_id))
       ts.Tunnels.tunnels
   in
-  let used = Hashtbl.create 64 in
-  Array.iter
-    (fun (tn : Tunnels.tunnel) ->
-      List.iter (fun lid -> Hashtbl.replace used lid ()) tn.Tunnels.links)
-    ts.Tunnels.tunnels;
-  Hashtbl.iter
-    (fun lid () ->
-      let terms = ref [] in
-      Array.iter
-        (fun (tn : Tunnels.tunnel) ->
-          if List.mem lid tn.Tunnels.links then
-            terms := (1.0, a_vars.(tn.Tunnels.tunnel_id)) :: !terms)
-        ts.Tunnels.tunnels;
-      ignore (Lp.add_constraint m !terms Lp.Le (Topology.link topo lid).Topology.capacity))
-    used;
+  List.iter
+    (fun (lid, terms) ->
+      let terms = List.map (fun (tid, c) -> (c, a_vars.(tid))) terms in
+      ignore (Lp.add_constraint m terms Lp.Le (Topology.link topo lid).Topology.capacity))
+    (Te.capacity_terms ts);
   m
 
 let plan_feasible (ts : Tunnels.t) (plan : Availability.plan) =

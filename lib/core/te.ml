@@ -65,14 +65,33 @@ let class_loss p ~alloc ~flow (c : Scenario.Classes.cls) =
 
 let num_tunnels p = Array.length p.ts.Tunnels.tunnels
 
-(* Links actually used by some tunnel (others cannot be loaded). *)
-let used_links p =
-  let used = Hashtbl.create 64 in
+(* Link × tunnel incidence in CSC form ({!Sparse}): one pass over the
+   tunnels' link lists instead of the old O(links × tunnels × path)
+   List.mem scan.  A column of the tunnel-major matrix is a link's term
+   list, so capacity rows read straight off it; links no tunnel crosses
+   have empty columns and produce no row.  Rows come out in ascending
+   link-id order — a pure function of the tunnel set, shared by the
+   availability and resilience model builders. *)
+let capacity_terms (ts : Tunnels.t) =
+  let nl = Topology.num_links ts.Tunnels.topo in
+  let nt = Array.length ts.Tunnels.tunnels in
+  let trips = ref [] in
   Array.iter
     (fun (tn : Tunnels.tunnel) ->
-      List.iter (fun lid -> Hashtbl.replace used lid ()) tn.Tunnels.links)
-    p.ts.Tunnels.tunnels;
-  Hashtbl.fold (fun k () acc -> k :: acc) used []
+      List.iter
+        (fun lid -> trips := (tn.Tunnels.tunnel_id, lid, 1.0) :: !trips)
+        tn.Tunnels.links)
+    ts.Tunnels.tunnels;
+  let by_link = Sparse.of_triplets ~rows:nt ~cols:nl !trips in
+  let acc = ref [] in
+  for lid = nl - 1 downto 0 do
+    if Sparse.col_nnz by_link lid > 0 then begin
+      let terms = ref [] in
+      Sparse.iter_col by_link lid (fun tid c -> terms := (tid, c) :: !terms);
+      acc := (lid, List.rev !terms) :: !acc
+    end
+  done;
+  !acc
 
 let add_alloc_vars p m =
   Array.map
@@ -82,24 +101,18 @@ let add_alloc_vars p m =
 
 let add_capacity_rows p m a_vars =
   List.iter
-    (fun lid ->
-      let terms = ref [] in
-      Array.iter
-        (fun (tn : Tunnels.tunnel) ->
-          if List.mem lid tn.Tunnels.links then
-            terms := (1.0, a_vars.(tn.Tunnels.tunnel_id)) :: !terms)
-        p.ts.Tunnels.tunnels;
-      if !terms <> [] then
-        ignore
-          (Lp.add_constraint m ~name:(Printf.sprintf "cap_l%d" lid) !terms Lp.Le
-             (Topology.link p.ts.Tunnels.topo lid).Topology.capacity))
-    (used_links p)
+    (fun (lid, terms) ->
+      let terms = List.map (fun (tid, c) -> (c, a_vars.(tid))) terms in
+      ignore
+        (Lp.add_constraint m ~name:(Printf.sprintf "cap_l%d" lid) terms Lp.Le
+           (Topology.link p.ts.Tunnels.topo lid).Topology.capacity))
+    (capacity_terms p.ts)
 
 (* ------------------------------------------------------------------ *)
 (* Fixed-δ LP in eliminated form: min Φ                                 *)
 (* ------------------------------------------------------------------ *)
 
-let solve_fixed_delta ?deadline ?warm ~st p classes delta =
+let solve_fixed_delta ?deadline ?warm ?engine ?pricing ~st p classes delta =
   let m = Lp.create () in
   let a_vars = add_alloc_vars p m in
   let phi = Lp.add_var m ~ub:1.0 "phi" in
@@ -122,7 +135,10 @@ let solve_fixed_delta ?deadline ?warm ~st p classes delta =
           cls)
     classes;
   Lp.set_objective m Lp.Minimize [ (1.0, phi) ];
-  match Simplex.solve ?deadline ?warm m with
+  match
+    Solver_stats.time st "fixed_delta" (fun () ->
+        Simplex.solve ?deadline ?warm ?engine ?pricing m)
+  with
   | Simplex.Optimal sol ->
     Solver_stats.record st sol;
     let alloc = Array.init (num_tunnels p) (fun t -> Simplex.value sol a_vars.(t)) in
@@ -136,7 +152,7 @@ let solve_fixed_delta ?deadline ?warm ~st p classes delta =
 (* Second phase: at loss level Φ*, maximize probability- and demand-
    weighted served fraction so spare capacity still protects uncovered
    scenario classes. *)
-let solve_second_phase ?deadline ~st p classes delta phi_star =
+let solve_second_phase ?deadline ?engine ?pricing ~st p classes delta phi_star =
   let m = Lp.create () in
   let a_vars = add_alloc_vars p m in
   add_capacity_rows p m a_vars;
@@ -168,7 +184,10 @@ let solve_second_phase ?deadline ~st p classes delta phi_star =
       end)
     classes;
   Lp.set_objective m Lp.Maximize !objective;
-  match Simplex.solve ?deadline m with
+  match
+    Solver_stats.time st "second_phase" (fun () ->
+        Simplex.solve ?deadline ?engine ?pricing m)
+  with
   | Simplex.Optimal sol ->
     Solver_stats.record st sol;
     let alloc = Array.init (num_tunnels p) (fun t -> Simplex.value sol a_vars.(t)) in
@@ -275,7 +294,7 @@ let build_full_mip ?(relax = false) p classes =
    drop, per flow, the classes the relaxation protects least (smallest relaxed delta),
    within the coverage budget.  This sees the cross-flow capacity coupling
    the purely loss-based greedy is blind to (e.g. the Fig. 2 instance). *)
-let relaxation_delta ?deadline ~st p classes =
+let relaxation_delta ?deadline ?engine ?pricing ~st p classes =
   let m, _a_vars, phi, _l_vars, d_vars = build_full_mip ~relax:true p classes in
   (* Lexicographic tie-break: among phi-optimal relaxations prefer the
      maximum covered probability mass.  Degenerate instances (Fig. 2
@@ -301,7 +320,10 @@ let relaxation_delta ?deadline ~st p classes =
   Lp.set_objective m Lp.Minimize ((1.0, phi) :: bonus);
   (* The relaxation only guides a δ rounding, so a degraded (interrupted)
      optimum is still usable; a Phase-1 timeout simply skips the start. *)
-  match Simplex.solve ?deadline m with
+  match
+    Solver_stats.time st "relaxation" (fun () ->
+        Simplex.solve ?deadline ?engine ?pricing m)
+  with
   | exception Simplex.Timeout -> None
   | Simplex.Optimal sol ->
     Solver_stats.record st sol;
@@ -328,7 +350,7 @@ let relaxation_delta ?deadline ~st p classes =
   | Simplex.Infeasible | Simplex.Unbounded -> None
 
 let solve ?(second_phase = true) ?(max_rounds = 8) ?(relaxation_start = true) ?deadline
-    ?warm ?(warm_start = true) p =
+    ?warm ?(warm_start = true) ?engine ?pricing p =
   let classes = classes_of p in
   let delta = Array.map (fun cls -> Array.make (Array.length cls) true) classes in
   let st = Solver_stats.create () in
@@ -351,7 +373,7 @@ let solve ?(second_phase = true) ?(max_rounds = 8) ?(relaxation_start = true) ?d
       match
         solve_fixed_delta ?deadline
           ?warm:(if warm_start then !last_basis else None)
-          ~st p classes delta
+          ?engine ?pricing ~st p classes delta
       with
       | exception Simplex.Timeout ->
         degraded := true;
@@ -380,7 +402,7 @@ let solve ?(second_phase = true) ?(max_rounds = 8) ?(relaxation_start = true) ?d
   let best =
     match best with
     | Some (phi, _, _, _) when relaxation_start && phi > 1e-9 && not !degraded -> (
-      match relaxation_delta ?deadline ~st p classes with
+      match relaxation_delta ?deadline ?engine ?pricing ~st p classes with
       | Some (delta_rx, pivots) ->
         incr lp_solves;
         lp_pivots := !lp_pivots + pivots;
@@ -393,7 +415,7 @@ let solve ?(second_phase = true) ?(max_rounds = 8) ?(relaxation_start = true) ?d
   | Some (phi, alloc, delta, basis) ->
     let expected_served, alloc =
       if second_phase && not (Prete_util.Clock.expired deadline) then begin
-        match solve_second_phase ?deadline ~st p classes delta phi with
+        match solve_second_phase ?deadline ?engine ?pricing ~st p classes delta phi with
         | exception Simplex.Timeout ->
           degraded := true;
           (nan, alloc)
@@ -435,7 +457,7 @@ type admission = {
   adm_solver : Solver_stats.t;
 }
 
-let solve_admission_fixed ?deadline ?warm ~st p classes delta =
+let solve_admission_fixed ?deadline ?warm ?engine ?pricing ~st p classes delta =
   let m = Lp.create () in
   let a_vars = add_alloc_vars p m in
   add_capacity_rows p m a_vars;
@@ -468,7 +490,10 @@ let solve_admission_fixed ?deadline ?warm ~st p classes delta =
       classes
   in
   Lp.set_objective m Lp.Maximize !objective;
-  match Simplex.solve ?deadline ?warm m with
+  match
+    Solver_stats.time st "admission" (fun () ->
+        Simplex.solve ?deadline ?warm ?engine ?pricing m)
+  with
   | Simplex.Optimal sol ->
     Solver_stats.record st sol;
     let alloc = Array.init (num_tunnels p) (fun t -> Simplex.value sol a_vars.(t)) in
@@ -521,7 +546,7 @@ let improve_delta_admission p classes delta alloc =
   (next, !changed)
 
 let solve_admission ?(max_rounds = 6) ?(skip_unprotectable = false) ?deadline ?warm
-    ?(warm_start = true) p =
+    ?(warm_start = true) ?engine ?pricing p =
   let classes = classes_of p in
   (* FFC-style full coverage would force b = 0 on any flow with a scenario
      class that no tunnel survives (e.g. double cuts killing all four
@@ -562,7 +587,7 @@ let solve_admission ?(max_rounds = 6) ?(skip_unprotectable = false) ?deadline ?w
       match
         solve_admission_fixed ?deadline
           ?warm:(if warm_start then !last_basis else None)
-          ~st p classes delta
+          ?engine ?pricing ~st p classes delta
       with
       | exception Simplex.Timeout ->
         degraded := true;
@@ -604,7 +629,7 @@ let solve_admission ?(max_rounds = 6) ?(skip_unprotectable = false) ?deadline ?w
 (* Exact MIP on the full formulation                                    *)
 (* ------------------------------------------------------------------ *)
 
-let solve_mip ?deadline ?warm ?(warm_start = true) p =
+let solve_mip ?deadline ?warm ?(warm_start = true) ?engine ?pricing p =
   let classes = classes_of p in
   let st = Solver_stats.create () in
   let m, a_vars, phi, _l_vars, d_vars = build_full_mip p classes in
@@ -623,7 +648,12 @@ let solve_mip ?deadline ?warm ?(warm_start = true) p =
       solver = st;
     }
   in
-  match Mip.solve ?deadline ?warm:(if warm_start then warm else None) ~warm_start ~stats:st m with
+  match
+    Solver_stats.time st "mip" (fun () ->
+        Mip.solve ?deadline
+          ?warm:(if warm_start then warm else None)
+          ~warm_start ~stats:st ?engine ?pricing m)
+  with
   | Mip.Optimal sol -> of_incumbent ~degraded:false sol
   | Mip.Node_limit (Some sol) -> of_incumbent ~degraded:true sol
   | Mip.Node_limit None -> raise Simplex.Timeout
@@ -637,7 +667,7 @@ let solve_mip ?deadline ?warm ?(warm_start = true) p =
 (* Subproblem: the full formulation with δ fixed; returns the optimum,
    the allocation, and the duals w of the (6) rows, which form the
    optimality cut  Φ ≥ SP(δ̂) + Σ w (δ − δ̂). *)
-let benders_subproblem ?deadline ?warm ~st p classes delta =
+let benders_subproblem ?deadline ?warm ?engine ?pricing ~st p classes delta =
   let m = Lp.create () in
   let a_vars = add_alloc_vars p m in
   let phi = Lp.add_var m ~ub:1.0 "phi" in
@@ -662,7 +692,10 @@ let benders_subproblem ?deadline ?warm ~st p classes delta =
         cls)
     classes;
   Lp.set_objective m Lp.Minimize [ (1.0, phi) ];
-  match Simplex.solve ?deadline ?warm m with
+  match
+    Solver_stats.time st "benders_sub" (fun () ->
+        Simplex.solve ?deadline ?warm ?engine ?pricing m)
+  with
   | Simplex.Optimal sol ->
     Solver_stats.record st sol;
     let alloc = Array.init (num_tunnels p) (fun t -> Simplex.value sol a_vars.(t)) in
@@ -678,7 +711,7 @@ let benders_subproblem ?deadline ?warm ~st p classes delta =
 
 type cut = { base : float; coefs : float array array (* [flow][class] *) }
 
-let benders_master ?deadline ?warm ?(warm_start = true) ~st p classes cuts =
+let benders_master ?deadline ?warm ?(warm_start = true) ?engine ?pricing ~st p classes cuts =
   let m = Lp.create () in
   let phi = Lp.add_var m ~ub:1.0 "phi" in
   let d_vars =
@@ -710,7 +743,11 @@ let benders_master ?deadline ?warm ?(warm_start = true) ~st p classes cuts =
       ignore (Lp.add_constraint m !terms Lp.Ge cut.base))
     cuts;
   Lp.set_objective m Lp.Minimize [ (1.0, phi) ];
-  match Mip.solve ~max_nodes:50_000 ?deadline ?warm ~warm_start ~stats:st m with
+  match
+    Solver_stats.time st "benders_master" (fun () ->
+        Mip.solve ~max_nodes:50_000 ?deadline ?warm ~warm_start ~stats:st
+          ?engine ?pricing m)
+  with
   | Mip.Optimal sol ->
     let delta = Array.map (Array.map (fun v -> Mip.value sol v >= 0.5)) d_vars in
     `Exact (sol.Mip.objective, delta, sol.Mip.nodes, sol.Mip.basis)
@@ -725,7 +762,7 @@ let benders_master ?deadline ?warm ?(warm_start = true) ~st p classes cuts =
   | Mip.Unbounded -> raise (Infeasible_problem "Benders master unbounded (internal error)")
 
 let solve_benders ?(eps = 1e-4) ?(max_iters = 40) ?deadline ?warm ?(warm_start = true)
-    ?pool p =
+    ?pool ?engine ?pricing p =
   let pool =
     match pool with Some pl -> pl | None -> Prete_exec.Pool.default ()
   in
@@ -783,8 +820,8 @@ let solve_benders ?(eps = 1e-4) ?(max_iters = 40) ?deadline ?warm ?(warm_start =
         Prete_exec.Pool.parallel_map pool ~chunk:1
           (fun i ->
             match
-              benders_subproblem ?deadline ?warm:sub_bases.(i) ~st p classes
-                cands.(i)
+              benders_subproblem ?deadline ?warm:sub_bases.(i) ?engine ?pricing
+                ~st p classes cands.(i)
             with
             | exception Simplex.Timeout -> `Timeout
             | r -> `Ok r)
@@ -827,7 +864,10 @@ let solve_benders ?(eps = 1e-4) ?(max_iters = 40) ?deadline ?warm ?(warm_start =
       end
       else begin
         (* Step 2: master problem. *)
-        match benders_master ?deadline ?warm:!master_basis ~warm_start ~st p classes !cuts with
+        match
+          benders_master ?deadline ?warm:!master_basis ~warm_start ?engine
+            ?pricing ~st p classes !cuts
+        with
         | `Exact (mp_obj, next_delta, nodes, mb) ->
           mip_nodes := !mip_nodes + nodes;
           if warm_start then master_basis := mb;

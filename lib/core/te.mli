@@ -101,6 +101,14 @@ val make_problem :
 
 val classes_of : problem -> Scenario.Classes.cls array array
 
+val capacity_terms : Prete_net.Tunnels.t -> (int * (int * float) list) list
+(** Link-capacity row structure shared by every allocation LP in this
+    module (and by {!Availability}/{!Resilience} variants): for each link
+    carrying at least one tunnel, in ascending link id, the list of
+    (tunnel id, coefficient) terms of constraint (3).  Built once per
+    tunnel set through a {!Prete_lp.Sparse} transpose instead of a
+    per-link scan over all tunnels. *)
+
 val class_loss : problem -> alloc:float array -> flow:int -> Scenario.Classes.cls -> float
 (** Loss of a flow in a scenario class under rate adaptation:
     [max 0 (1 − surviving_alloc / demand)]; 0 for zero-demand flows. *)
@@ -112,6 +120,8 @@ val solve :
   ?deadline:float ->
   ?warm:Prete_lp.Simplex.basis ->
   ?warm_start:bool ->
+  ?engine:Prete_lp.Simplex.engine ->
+  ?pricing:Prete_lp.Simplex.pricing ->
   problem ->
   solution
 (** The δ-fixpoint heuristic (default strategy).  [second_phase] default
@@ -141,6 +151,8 @@ val solve_admission :
   ?deadline:float ->
   ?warm:Prete_lp.Simplex.basis ->
   ?warm_start:bool ->
+  ?engine:Prete_lp.Simplex.engine ->
+  ?pricing:Prete_lp.Simplex.pricing ->
   problem ->
   admission
 (** TeaVar/FFC-style admission control: maximize Σ_f b_f subject to
@@ -156,7 +168,13 @@ val solve_admission :
     flow connected. *)
 
 val solve_mip :
-  ?deadline:float -> ?warm:Prete_lp.Simplex.basis -> ?warm_start:bool -> problem -> solution
+  ?deadline:float ->
+  ?warm:Prete_lp.Simplex.basis ->
+  ?warm_start:bool ->
+  ?engine:Prete_lp.Simplex.engine ->
+  ?pricing:Prete_lp.Simplex.pricing ->
+  problem ->
+  solution
 (** Exact branch-and-bound over δ (full formulation).  Intended for small
     instances.  Node-budget or deadline exhaustion returns the best
     integral incumbent with [degraded = true] (raises
@@ -169,6 +187,8 @@ val solve_benders :
   ?warm:Prete_lp.Simplex.basis ->
   ?warm_start:bool ->
   ?pool:Prete_exec.Pool.t ->
+  ?engine:Prete_lp.Simplex.engine ->
+  ?pricing:Prete_lp.Simplex.pricing ->
   problem ->
   solution
 (** Algorithm 2.  [eps] (default 1e-4) is the UB−LB convergence threshold;

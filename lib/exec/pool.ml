@@ -207,7 +207,16 @@ let default () = Lazy.force default_pool
 (* Fork-join                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let default_chunk n = max 1 ((n + 63) / 64)
+(* Default-chunked jobs below this size run inline on the submitter: the
+   fixed fan-out cost (condition broadcast, deque setup, join) dwarfs any
+   parallel win for tiny loops.  A function of the input size alone —
+   never of lanes or load — so the chunk decomposition stays identical at
+   every domain count.  Callers that pass an explicit [~chunk] (heavy
+   bodies such as per-state LP solves) are unaffected. *)
+let sequential_cutoff = 32
+
+let default_chunk n =
+  if n <= sequential_cutoff then max 1 n else max 1 ((n + 63) / 64)
 
 let run_parallel pool nchunks csize n body =
   let deques =

@@ -54,10 +54,20 @@ val default : unit -> t
     first use and shut down at exit.  This is what the library entry
     points use when no explicit pool is passed. *)
 
+val sequential_cutoff : int
+(** Default-chunked jobs with [n <= sequential_cutoff] collapse to one
+    chunk and run inline on the submitting domain — the fan-out overhead
+    dwarfs any parallel win for tiny loops.  The cutoff is a function of
+    the input size only (never lanes or load), so chunk decompositions —
+    and thus chunk-ordered reductions — are identical at every domain
+    count.  An explicit [~chunk] bypasses it: callers with heavy bodies
+    (per-state LP solves) opt into fan-out regardless of [n]. *)
+
 val parallel_for : t -> ?chunk:int -> int -> (int -> int -> unit) -> unit
 (** [parallel_for pool ~chunk n body] splits [\[0, n)] into contiguous
-    chunks of size [chunk] (default [max 1 ((n + 63) / 64)] — a function
-    of [n] only) and calls [body lo hi] once per chunk, [lo] inclusive,
+    chunks of size [chunk] (default [max 1 ((n + 63) / 64)], collapsed to
+    a single chunk at or below {!sequential_cutoff} — a function of [n]
+    only) and calls [body lo hi] once per chunk, [lo] inclusive,
     [hi] exclusive, across the pool's lanes.  [body] must confine its
     writes to chunk-owned state.  No-op for [n <= 0].  Raises
     [Invalid_argument] on non-positive [chunk]. *)

@@ -1,10 +1,27 @@
 (** Two-phase primal simplex for {!Lp} models.
 
-    Replaces the Gurobi LP path of the paper's implementation.  The solver
-    uses a dense tableau: Phase 1 minimizes the sum of artificial variables
-    to find a basic feasible solution, Phase 2 optimizes the user objective.
-    Entering columns follow Dantzig's rule with an automatic switch to
-    Bland's rule (guaranteeing termination) after a degeneracy threshold.
+    Replaces the Gurobi LP path of the paper's implementation.  Two
+    engines share one normalization, one warm-start contract and one
+    solution type:
+
+    - {b Revised} (the default) — the constraint matrix is kept in
+      compressed-sparse-column form ({!Sparse.t}) and the basis inverse
+      as a product-form eta file: each pivot appends one eta matrix, and
+      sparse FTRAN/BTRAN apply the file in O(eta nonzeros) instead of
+      rewriting an m×n tableau.  The eta file is rebuilt from the current
+      basis (a {e refactorization}) when it grows past an eta-count or
+      fill-in trigger, which also resynchronizes the basic solution
+      against round-off.  The ratio test is a Harris-style two-pass rule
+      (numerically largest pivot among near-minimal ratios); entering
+      columns follow the selected {!pricing} rule.
+    - {b Dense} — the original dense-tableau engine, retained as a
+      differential-testing oracle (see [test_solvers_diff.ml]) and
+      selectable via [?engine] or {!default_engine}.
+
+    Both engines: Phase 1 minimizes the sum of artificial variables to
+    find a basic feasible solution, Phase 2 optimizes the user objective,
+    and an automatic switch to Bland's rule (guaranteeing termination)
+    happens after a degeneracy threshold.
 
     Normalization: variables are shifted to zero lower bound, finite upper
     bounds become additional rows, binary declarations are relaxed to
@@ -33,11 +50,13 @@
     solve reuses it:
 
     - {e Exact reinstall} — when the new model has the same variable and
-      row counts, the stored basic-column set is factorized back into a
-      freshly built tableau (Gaussian elimination with partial pivoting;
-      not counted as simplex iterations).  If the resulting vertex is
-      primal feasible for the new data, Phase 1 is skipped entirely and
-      Phase 2 starts from the old vertex ([phase1_skipped = true]).
+      row counts, the stored basic-column set is factorized back into the
+      engine (Gaussian elimination with partial pivoting; under the
+      revised engine this is a single eta-file rebuild, counted as one
+      refactorization, not as simplex iterations).  If the resulting
+      vertex is primal feasible for the new data, Phase 1 is skipped
+      entirely and Phase 2 starts from the old vertex
+      ([phase1_skipped = true]).
     - {e Dual-simplex repair} — a reinstalled optimal basis keeps its
       reduced costs nonnegative, so when only the rhs moved (MIP bound
       fixings, Benders cut updates) the vertex is still dual feasible
@@ -53,20 +72,48 @@
       simplex pivot, so optimality and the anytime guarantees are
       unchanged.
 
-    The column layout of the internal tableau depends only on the
+    The column layout of the normalized problem depends only on the
     constraint senses, never on rhs signs, so structurally identical
     models share it and the exact reinstall applies across arbitrary
     rhs / bound / cost changes.  A warm basis whose structural dimension
     differs from the new model is ignored ([warm_used = false]).  Warm
     starting never changes the reported optimum — only the pivot count
-    taken to reach it. *)
+    taken to reach it.  Bases transfer between engines: a basis produced
+    by one engine reinstalls under the other. *)
 
 type basis
 (** A simplex basis in model-independent form, transferable to later
-    solves of structurally similar models. *)
+    solves of structurally similar models (and across engines). *)
 
 val basis_size : basis -> int
-(** Number of rows of the tableau the basis was extracted from. *)
+(** Number of rows of the normalized problem the basis was extracted
+    from. *)
+
+type engine =
+  | Dense  (** Original dense tableau; differential-testing oracle. *)
+  | Revised  (** Sparse revised simplex with eta-file basis (default). *)
+
+type pricing =
+  | Dantzig  (** Full pricing, most negative reduced cost. *)
+  | Devex  (** Reference-framework devex weights (Forrest–Goldfarb). *)
+  | Partial  (** Cyclic candidate-list pricing over column segments. *)
+
+val default_engine : engine ref
+(** Engine used when [?engine] is omitted; [Revised] unless overridden
+    (e.g. by the [--lp-engine] CLI flag). *)
+
+val default_pricing : pricing ref
+(** Pricing rule used when [?pricing] is omitted; [Dantzig] unless
+    overridden (e.g. by the [--pricing] CLI flag). *)
+
+val engine_name : engine -> string
+val pricing_name : pricing -> string
+
+val engine_of_string : string -> engine option
+(** ["dense" | "revised"]. *)
+
+val pricing_of_string : string -> pricing option
+(** ["dantzig" | "devex" | "partial"]. *)
 
 type solution = {
   objective : float;  (** Objective in the original direction. *)
@@ -88,25 +135,48 @@ type solution = {
       (** The warm basis needed repair: the dual-simplex walk (when also
           [phase1_skipped]) or the guided-Phase-1 path (reinstall failed
           or row structure changed). *)
+  engine : engine;  (** Engine that produced this solution. *)
+  pricing : pricing;  (** Pricing rule requested for this solve. *)
+  etas : int;
+      (** Revised engine: eta matrices appended (pivots + reinstall
+          eliminations); 0 under [Dense]. *)
+  refactorizations : int;
+      (** Revised engine: eta-file rebuilds, including the warm-basis
+          reinstall; 0 under [Dense]. *)
+  ftran_nnz : int;  (** Revised engine: total FTRAN result nonzeros. *)
+  btran_nnz : int;  (** Revised engine: total BTRAN result nonzeros. *)
 }
 
 type outcome = Optimal of solution | Infeasible | Unbounded
 
 exception Numerical of string
 (** Raised on internal numerical failures (e.g. an unbounded Phase 1,
-    which cannot happen on well-formed input). *)
+    which cannot happen on well-formed input, or a vanished pivot /
+    failed refactorization in the revised engine). *)
 
 exception Timeout
 (** Raised when the pivot or deadline budget expires before a feasible
     point exists (Phase 1), so no incumbent can be returned. *)
 
-val solve : ?max_iters:int -> ?deadline:float -> ?warm:basis -> Lp.model -> outcome
+val solve :
+  ?max_iters:int ->
+  ?deadline:float ->
+  ?warm:basis ->
+  ?engine:engine ->
+  ?pricing:pricing ->
+  Lp.model ->
+  outcome
 (** Solve the continuous relaxation of the model.  [max_iters] defaults to
     200_000 pivots.  [deadline] is an absolute time on
     {!Prete_util.Clock.now}; see the anytime semantics above.  [warm]
     reuses a basis from a previous solve (see warm starting above); with
     a feasible reinstall and [max_iters = 0] the returned degraded
-    incumbent is exactly the warm vertex re-evaluated on the new model. *)
+    incumbent is exactly the warm vertex re-evaluated on the new model.
+    [engine] and [pricing] default to {!default_engine} and
+    {!default_pricing}.  Both engines return the same optimum (the
+    differential suite pins objective, dual and outcome agreement);
+    pivot paths — and therefore [iterations] and degenerate-optimum
+    vertex choices — may differ. *)
 
 val value : solution -> Lp.var -> float
 val dual : solution -> int -> float

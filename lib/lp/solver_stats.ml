@@ -8,6 +8,13 @@ type t = {
   mutable cold_pivots : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable dense_solves : int;
+  mutable revised_solves : int;
+  mutable etas : int;
+  mutable refactorizations : int;
+  mutable ftran_nnz : int;
+  mutable btran_nnz : int;
+  mutable pricing_solves : (string * int) list;
   mutable walls : (string * float) list;
   lock : Mutex.t;
 }
@@ -23,6 +30,13 @@ let create () =
     cold_pivots = 0;
     cache_hits = 0;
     cache_misses = 0;
+    dense_solves = 0;
+    revised_solves = 0;
+    etas = 0;
+    refactorizations = 0;
+    ftran_nnz = 0;
+    btran_nnz = 0;
+    pricing_solves = [];
     walls = [];
     lock = Mutex.create ();
   }
@@ -35,6 +49,11 @@ let guarded t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+let bump_assoc assoc key by =
+  match List.assoc_opt key assoc with
+  | Some prev -> (key, prev + by) :: List.remove_assoc key assoc
+  | None -> (key, by) :: assoc
+
 let record t (sol : Simplex.solution) =
   guarded t (fun () ->
       t.solves <- t.solves + 1;
@@ -45,7 +64,16 @@ let record t (sol : Simplex.solution) =
         if sol.Simplex.phase1_skipped then t.phase1_skips <- t.phase1_skips + 1;
         if sol.Simplex.repaired then t.repairs <- t.repairs + 1
       end
-      else t.cold_pivots <- t.cold_pivots + sol.Simplex.iterations)
+      else t.cold_pivots <- t.cold_pivots + sol.Simplex.iterations;
+      (match sol.Simplex.engine with
+      | Simplex.Dense -> t.dense_solves <- t.dense_solves + 1
+      | Simplex.Revised -> t.revised_solves <- t.revised_solves + 1);
+      t.etas <- t.etas + sol.Simplex.etas;
+      t.refactorizations <- t.refactorizations + sol.Simplex.refactorizations;
+      t.ftran_nnz <- t.ftran_nnz + sol.Simplex.ftran_nnz;
+      t.btran_nnz <- t.btran_nnz + sol.Simplex.btran_nnz;
+      t.pricing_solves <-
+        bump_assoc t.pricing_solves (Simplex.pricing_name sol.Simplex.pricing) 1)
 
 let cache_hit t = guarded t (fun () -> t.cache_hits <- t.cache_hits + 1)
 let cache_miss t = guarded t (fun () -> t.cache_misses <- t.cache_misses + 1)
@@ -75,6 +103,15 @@ let merge_into ~dst src =
       dst.cold_pivots <- dst.cold_pivots + src.cold_pivots;
       dst.cache_hits <- dst.cache_hits + src.cache_hits;
       dst.cache_misses <- dst.cache_misses + src.cache_misses;
+      dst.dense_solves <- dst.dense_solves + src.dense_solves;
+      dst.revised_solves <- dst.revised_solves + src.revised_solves;
+      dst.etas <- dst.etas + src.etas;
+      dst.refactorizations <- dst.refactorizations + src.refactorizations;
+      dst.ftran_nnz <- dst.ftran_nnz + src.ftran_nnz;
+      dst.btran_nnz <- dst.btran_nnz + src.btran_nnz;
+      List.iter
+        (fun (k, v) -> dst.pricing_solves <- bump_assoc dst.pricing_solves k v)
+        src.pricing_solves;
       List.iter (fun (stage, s) -> add_wall_unlocked dst stage s) src.walls)
 
 let cache_hit_rate t =
@@ -102,16 +139,27 @@ let to_json t =
     |> List.rev_map (fun (stage, s) -> Printf.sprintf "\"%s\": %.6f" (json_escape stage) s)
     |> String.concat ", "
   in
+  let pricing =
+    t.pricing_solves
+    |> List.rev_map (fun (k, v) -> Printf.sprintf "\"%s\": %d" (json_escape k) v)
+    |> String.concat ", "
+  in
   Printf.sprintf
     "{\"solves\": %d, \"warm_solves\": %d, \"phase1_skips\": %d, \"repairs\": %d, \
      \"pivots\": %d, \"warm_pivots\": %d, \"cold_pivots\": %d, \
      \"cache_hits\": %d, \"cache_misses\": %d, \"cache_hit_rate\": %.4f, \
-     \"wall_s\": {%s}}"
+     \"dense_solves\": %d, \"revised_solves\": %d, \"etas\": %d, \
+     \"refactorizations\": %d, \"ftran_nnz\": %d, \"btran_nnz\": %d, \
+     \"pricing_solves\": {%s}, \"wall_s\": {%s}}"
     t.solves t.warm_solves t.phase1_skips t.repairs t.pivots t.warm_pivots t.cold_pivots
-    t.cache_hits t.cache_misses (cache_hit_rate t) walls
+    t.cache_hits t.cache_misses (cache_hit_rate t)
+    t.dense_solves t.revised_solves t.etas t.refactorizations t.ftran_nnz t.btran_nnz
+    pricing walls
 
 let pp ppf t =
   Format.fprintf ppf
-    "solves=%d warm=%d p1skip=%d repair=%d pivots=%d (warm %d / cold %d) cache %d/%d"
+    "solves=%d warm=%d p1skip=%d repair=%d pivots=%d (warm %d / cold %d) cache %d/%d \
+     engines %d/%d etas=%d refactors=%d"
     t.solves t.warm_solves t.phase1_skips t.repairs t.pivots t.warm_pivots t.cold_pivots
     t.cache_hits (t.cache_hits + t.cache_misses)
+    t.revised_solves t.dense_solves t.etas t.refactorizations

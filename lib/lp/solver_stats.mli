@@ -18,6 +18,15 @@ type t = {
   mutable cold_pivots : int;  (** Pivots spent by cold solves. *)
   mutable cache_hits : int;  (** Plan-cache hits (solve skipped entirely). *)
   mutable cache_misses : int;
+  mutable dense_solves : int;  (** Solves served by the dense tableau. *)
+  mutable revised_solves : int;  (** Solves served by the revised engine. *)
+  mutable etas : int;  (** Revised engine: eta matrices appended. *)
+  mutable refactorizations : int;
+      (** Revised engine: eta-file rebuilds (incl. warm reinstalls). *)
+  mutable ftran_nnz : int;  (** Revised engine: FTRAN result nonzeros. *)
+  mutable btran_nnz : int;  (** Revised engine: BTRAN result nonzeros. *)
+  mutable pricing_solves : (string * int) list;
+      (** Solve count per pricing rule ({!Simplex.pricing_name}). *)
   mutable walls : (string * float) list;  (** Per-stage wall seconds. *)
   lock : Mutex.t;
       (** Guards every mutation, so one record can be fed from several

@@ -1,0 +1,122 @@
+type t = {
+  rows : int;
+  cols : int;
+  colptr : int array;
+  rowidx : int array;
+  values : float array;
+}
+
+let of_triplets ~rows ~cols ts =
+  List.iter
+    (fun (r, c, _) ->
+      if r < 0 || r >= rows || c < 0 || c >= cols then
+        invalid_arg "Sparse.of_triplets: index out of range")
+    ts;
+  (* Two-pass counting sort by column, then an in-column sort by row and
+     a merge of duplicates.  Everything below is a pure function of the
+     triplet multiset, so structurally equal inputs yield bit-identical
+     storage. *)
+  let count = Array.make (cols + 1) 0 in
+  List.iter (fun (_, c, _) -> count.(c + 1) <- count.(c + 1) + 1) ts;
+  for j = 1 to cols do
+    count.(j) <- count.(j) + count.(j - 1)
+  done;
+  let n_raw = count.(cols) in
+  let raw_r = Array.make n_raw 0 and raw_v = Array.make n_raw 0.0 in
+  let cursor = Array.copy count in
+  List.iter
+    (fun (r, c, v) ->
+      let k = cursor.(c) in
+      raw_r.(k) <- r;
+      raw_v.(k) <- v;
+      cursor.(c) <- k + 1)
+    ts;
+  (* Sort each column segment by row (insertion sort: segments are tiny)
+     and fold duplicates. *)
+  let colptr = Array.make (cols + 1) 0 in
+  let out_r = Array.make n_raw 0 and out_v = Array.make n_raw 0.0 in
+  let w = ref 0 in
+  for j = 0 to cols - 1 do
+    colptr.(j) <- !w;
+    let lo = count.(j) and hi = cursor.(j) in
+    for k = lo + 1 to hi - 1 do
+      let r = raw_r.(k) and v = raw_v.(k) in
+      let i = ref (k - 1) in
+      while !i >= lo && raw_r.(!i) > r do
+        raw_r.(!i + 1) <- raw_r.(!i);
+        raw_v.(!i + 1) <- raw_v.(!i);
+        decr i
+      done;
+      raw_r.(!i + 1) <- r;
+      raw_v.(!i + 1) <- v
+    done;
+    let k = ref lo in
+    while !k < hi do
+      let r = raw_r.(!k) in
+      let acc = ref 0.0 in
+      while !k < hi && raw_r.(!k) = r do
+        acc := !acc +. raw_v.(!k);
+        incr k
+      done;
+      if !acc <> 0.0 then begin
+        out_r.(!w) <- r;
+        out_v.(!w) <- !acc;
+        incr w
+      end
+    done
+  done;
+  colptr.(cols) <- !w;
+  { rows; cols; colptr; rowidx = Array.sub out_r 0 !w; values = Array.sub out_v 0 !w }
+
+let nnz a = a.colptr.(a.cols)
+
+let col_nnz a j = a.colptr.(j + 1) - a.colptr.(j)
+
+let iter_col a j f =
+  for k = a.colptr.(j) to a.colptr.(j + 1) - 1 do
+    f a.rowidx.(k) a.values.(k)
+  done
+
+let col_dot a j y =
+  let acc = ref 0.0 in
+  for k = a.colptr.(j) to a.colptr.(j + 1) - 1 do
+    acc := !acc +. (a.values.(k) *. y.(a.rowidx.(k)))
+  done;
+  !acc
+
+let scatter_col a j x =
+  for k = a.colptr.(j) to a.colptr.(j + 1) - 1 do
+    x.(a.rowidx.(k)) <- x.(a.rowidx.(k)) +. a.values.(k)
+  done
+
+let transpose a =
+  let colptr = Array.make (a.rows + 1) 0 in
+  let n = nnz a in
+  for k = 0 to n - 1 do
+    colptr.(a.rowidx.(k) + 1) <- colptr.(a.rowidx.(k) + 1) + 1
+  done;
+  for i = 1 to a.rows do
+    colptr.(i) <- colptr.(i) + colptr.(i - 1)
+  done;
+  let rowidx = Array.make n 0 and values = Array.make n 0.0 in
+  let cursor = Array.copy colptr in
+  (* Walking columns in order writes each transposed column's entries in
+     increasing (original) column order, preserving the sortedness
+     invariant. *)
+  for j = 0 to a.cols - 1 do
+    for k = a.colptr.(j) to a.colptr.(j + 1) - 1 do
+      let i = a.rowidx.(k) in
+      let p = cursor.(i) in
+      rowidx.(p) <- j;
+      values.(p) <- a.values.(k);
+      cursor.(i) <- p + 1
+    done
+  done;
+  { rows = a.cols; cols = a.rows; colptr; rowidx; values }
+
+let to_dense a =
+  let d = Array.init a.rows (fun _ -> Array.make a.cols 0.0) in
+  for j = 0 to a.cols - 1 do
+    iter_col a j (fun i v -> d.(i).(j) <- v)
+  done;
+  d

@@ -1,0 +1,53 @@
+(** Compressed-sparse-column matrices.
+
+    The constraint matrices of every PreTE LP are overwhelmingly sparse
+    (a tunnel touches a handful of links; scenario blocks are near-
+    disjoint), so the revised simplex engine ({!Simplex}) stores them in
+    CSC form and the {!Te} model builders derive capacity rows from a
+    sparse link×tunnel incidence instead of scanning every (link,
+    tunnel) pair.
+
+    Entries within a column are stored in strictly increasing row order;
+    duplicate [(row, col)] triplets are summed and exact zeros dropped at
+    construction, so structurally equal inputs produce identical
+    storage — a prerequisite for the solver's deterministic pivoting. *)
+
+type t = private {
+  rows : int;
+  cols : int;
+  colptr : int array;  (** Length [cols + 1]; column [j] spans
+                           [colptr.(j) .. colptr.(j+1) - 1]. *)
+  rowidx : int array;  (** Row index per stored entry, ascending within
+                           each column. *)
+  values : float array;
+}
+
+val of_triplets : rows:int -> cols:int -> (int * int * float) list -> t
+(** [of_triplets ~rows ~cols ts] builds a matrix from [(row, col, value)]
+    triplets.  Duplicates are summed; entries summing to exactly [0.] are
+    dropped.  Raises [Invalid_argument] on out-of-range indices. *)
+
+val nnz : t -> int
+(** Stored entries (all nonzero). *)
+
+val col_nnz : t -> int -> int
+(** Stored entries in one column. *)
+
+val iter_col : t -> int -> (int -> float -> unit) -> unit
+(** [iter_col a j f] applies [f row value] to each stored entry of
+    column [j], in increasing row order. *)
+
+val col_dot : t -> int -> float array -> float
+(** [col_dot a j y] is [Σ_i a(i,j) · y.(i)] — the sparse column dotted
+    against a dense vector of length [rows]. *)
+
+val scatter_col : t -> int -> float array -> unit
+(** [scatter_col a j x] adds column [j] into the dense vector [x]
+    (length [rows]); the caller clears [x] first. *)
+
+val transpose : t -> t
+(** The transpose, itself in CSC form — column [i] of the result is row
+    [i] of the input, giving a row view ("CSR") of the original. *)
+
+val to_dense : t -> float array array
+(** [rows × cols] dense copy; for tests and debugging. *)

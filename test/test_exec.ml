@@ -139,6 +139,30 @@ let test_single_lane_runs_inline () =
       Alcotest.(check int) "ran inline" 1 s.Pool_stats.inline_jobs;
       Alcotest.(check int) "no steals" 0 s.Pool_stats.steals)
 
+let test_sequential_cutoff () =
+  (* Default-chunked jobs at or below the cutoff collapse to one chunk
+     and run inline even on a multi-lane pool; above it they fan out; an
+     explicit ~chunk bypasses the cutoff entirely. *)
+  with_pool 4 (fun pool ->
+      let n = Pool.sequential_cutoff in
+      Pool.reset_stats pool;
+      ignore (Pool.parallel_map pool (fun x -> x + 1) (Array.init n (fun i -> i)));
+      let s = Pool.stats pool in
+      Alcotest.(check int) "small job inline" 1 s.Pool_stats.inline_jobs;
+      Alcotest.(check int) "single chunk" 1 s.Pool_stats.tasks;
+      Pool.reset_stats pool;
+      ignore
+        (Pool.parallel_map pool (fun x -> x + 1) (Array.init (3 * n) (fun i -> i)));
+      let s = Pool.stats pool in
+      Alcotest.(check int) "large job fans out" 0 s.Pool_stats.inline_jobs;
+      Alcotest.(check bool) "several chunks" true (s.Pool_stats.tasks > 1);
+      Pool.reset_stats pool;
+      ignore
+        (Pool.parallel_map pool ~chunk:1 (fun x -> x + 1) (Array.init 8 (fun i -> i)));
+      let s = Pool.stats pool in
+      Alcotest.(check int) "explicit chunk bypasses cutoff" 0 s.Pool_stats.inline_jobs;
+      Alcotest.(check int) "one chunk per element" 8 s.Pool_stats.tasks)
+
 let test_shutdown_idempotent () =
   let pool = Pool.create ~domains:3 () in
   Pool.shutdown pool;
@@ -285,6 +309,7 @@ let () =
           Alcotest.test_case "nested jobs serialize" `Quick test_nested_jobs_serialize;
           Alcotest.test_case "stats counters" `Quick test_stats_counters;
           Alcotest.test_case "single lane inline" `Quick test_single_lane_runs_inline;
+          Alcotest.test_case "sequential cutoff" `Quick test_sequential_cutoff;
           Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
           Alcotest.test_case "PRETE_DOMAINS parsing" `Quick test_default_domains_env;
         ] );

@@ -156,6 +156,223 @@ let prop_benders_warm_chain =
       done;
       !ok)
 
+(* ------------------------------------------------------------------ *)
+(* Dense vs revised engine differential suite (raw LPs)                 *)
+(* ------------------------------------------------------------------ *)
+
+module Lp = Prete_lp.Lp
+module Simplex = Prete_lp.Simplex
+module Mip = Prete_lp.Mip
+module Solver_stats = Prete_lp.Solver_stats
+
+(* Random bounded LP, feasible by construction: continuous-uniform
+   coefficients (ties and degenerate optima have measure zero, so the
+   optimal basis — and with it the dual vector — is generically unique),
+   rhs placed around a known point x0 >= 0.  [slack] controls the
+   inequality slacks, so two calls with the same [rng] state and
+   different slacks differ in rhs only. *)
+let random_lp_coefs rng =
+  let nv = 2 + Prete_util.Rng.int rng 6 in
+  let nc = 2 + Prete_util.Rng.int rng 8 in
+  let x0 = Array.init nv (fun _ -> Prete_util.Rng.uniform rng 0.0 5.0) in
+  (* At most nv-1 equality rows: every Eq row passes through x0 by
+     construction, so nv or more of them are linearly dependent and the
+     optimal duals stop being unique — the engines could then disagree on
+     the dual vector while both being right. *)
+  let eq_left = ref (nv - 1) in
+  let rows =
+    Array.init nc (fun _ ->
+        let coefs = Array.init nv (fun _ -> Prete_util.Rng.uniform rng (-3.0) 3.0) in
+        let sense = Prete_util.Rng.int rng 3 in
+        let sense =
+          if sense = 2 && !eq_left <= 0 then Prete_util.Rng.int rng 2 else sense
+        in
+        if sense = 2 then decr eq_left;
+        (coefs, sense, Prete_util.Rng.uniform rng 0.5 5.0))
+  in
+  let dir = if Prete_util.Rng.int rng 2 = 0 then Lp.Minimize else Lp.Maximize in
+  let obj = Array.init nv (fun _ -> Prete_util.Rng.uniform rng (-2.0) 2.0) in
+  (nv, x0, rows, dir, obj)
+
+let build_lp ?(slack_scale = 1.0) (nv, x0, rows, dir, obj) =
+  let m = Lp.create () in
+  let xs = Array.init nv (fun j -> Lp.add_var m ~ub:50.0 (Printf.sprintf "x%d" j)) in
+  Array.iter
+    (fun (coefs, sense, slack) ->
+      let lhs0 = ref 0.0 in
+      Array.iteri (fun j c -> lhs0 := !lhs0 +. (c *. x0.(j))) coefs;
+      let terms = Array.to_list (Array.mapi (fun j c -> (c, xs.(j))) coefs) in
+      ignore
+        (match sense with
+        | 0 -> Lp.add_constraint m terms Lp.Le (!lhs0 +. (slack_scale *. slack))
+        | 1 -> Lp.add_constraint m terms Lp.Ge (!lhs0 -. (slack_scale *. slack))
+        | _ -> Lp.add_constraint m terms Lp.Eq !lhs0))
+    rows;
+  Lp.set_objective m dir (Array.to_list (Array.mapi (fun j c -> (c, xs.(j))) obj));
+  m
+
+let prop_engines_agree_feasible =
+  QCheck.Test.make ~name:"dense and revised agree on random feasible LPs"
+    ~count:150
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prete_util.Rng.create (seed + 41_000) in
+      let spec = random_lp_coefs rng in
+      let m = build_lp spec in
+      match
+        (Simplex.solve ~engine:Simplex.Dense m, Simplex.solve ~engine:Simplex.Revised m)
+      with
+      | Simplex.Optimal d, Simplex.Optimal r ->
+        abs_float (d.Simplex.objective -. r.Simplex.objective) <= 1e-6
+        && d.Simplex.engine = Simplex.Dense
+        && r.Simplex.engine = Simplex.Revised
+        && (let ok = ref true in
+            for i = 0 to Lp.num_constraints m - 1 do
+              if abs_float (Simplex.dual d i -. Simplex.dual r i) > 1e-6 then
+                ok := false
+            done;
+            !ok)
+      | _ -> false)
+
+let prop_engines_agree_infeasible =
+  QCheck.Test.make ~name:"dense and revised agree on infeasible LPs" ~count:80
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prete_util.Rng.create (seed + 53_000) in
+      let ((nv, _, _, _, _) as spec) = random_lp_coefs rng in
+      let m = build_lp spec in
+      (* Contradictory pair on a fresh random direction: a.x >= r + 1 and
+         a.x <= r - 1 can never both hold. *)
+      let coefs = Array.init nv (fun _ -> Prete_util.Rng.uniform rng (-3.0) 3.0) in
+      let terms =
+        Array.to_list (Array.mapi (fun j c -> (c, Lp.var_of_index m j)) coefs)
+      in
+      let r = Prete_util.Rng.uniform rng (-5.0) 5.0 in
+      ignore (Lp.add_constraint m terms Lp.Ge (r +. 1.0));
+      ignore (Lp.add_constraint m terms Lp.Le (r -. 1.0));
+      (match Simplex.solve ~engine:Simplex.Dense m with
+      | Simplex.Infeasible -> true
+      | _ -> false)
+      &&
+      match Simplex.solve ~engine:Simplex.Revised m with
+      | Simplex.Infeasible -> true
+      | _ -> false)
+
+let prop_engines_agree_unbounded =
+  QCheck.Test.make ~name:"dense and revised agree on unbounded LPs" ~count:80
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prete_util.Rng.create (seed + 67_000) in
+      let ((_, _, _, dir, _) as spec) = random_lp_coefs rng in
+      let m = build_lp spec in
+      (* A ray the constraints never see: z is free upward and improves
+         the objective, so the feasible instance becomes unbounded. *)
+      let z = Lp.add_var m "z" in
+      let zc = if dir = Lp.Maximize then 1.0 else -1.0 in
+      let dirn, obj = Lp.Internal.objective m in
+      let terms = ref [ (zc, z) ] in
+      Array.iteri
+        (fun j c -> if c <> 0.0 then terms := (c, Lp.var_of_index m j) :: !terms)
+        obj;
+      Lp.set_objective m dirn !terms;
+      (match Simplex.solve ~engine:Simplex.Dense m with
+      | Simplex.Unbounded -> true
+      | _ -> false)
+      &&
+      match Simplex.solve ~engine:Simplex.Revised m with
+      | Simplex.Unbounded -> true
+      | _ -> false)
+
+let prop_pricing_rules_agree =
+  QCheck.Test.make ~name:"devex and partial pricing match dantzig objectives"
+    ~count:80
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prete_util.Rng.create (seed + 83_000) in
+      let m = build_lp (random_lp_coefs rng) in
+      let obj pricing =
+        match Simplex.solve ~engine:Simplex.Revised ~pricing m with
+        | Simplex.Optimal s -> s.Simplex.objective
+        | _ -> nan
+      in
+      let d = obj Simplex.Dantzig in
+      abs_float (obj Simplex.Devex -. d) <= 1e-6
+      && abs_float (obj Simplex.Partial -. d) <= 1e-6)
+
+let prop_revised_warm_equals_cold =
+  QCheck.Test.make
+    ~name:"revised warm rhs-only re-solve reproduces the cold objective"
+    ~count:80
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prete_util.Rng.create (seed + 97_000) in
+      let spec = random_lp_coefs rng in
+      let base = build_lp spec in
+      let perturbed = build_lp ~slack_scale:0.7 spec in
+      match Simplex.solve ~engine:Simplex.Revised base with
+      | Simplex.Optimal cold ->
+        let cold_p =
+          match Simplex.solve ~engine:Simplex.Revised perturbed with
+          | Simplex.Optimal s -> Some s.Simplex.objective
+          | _ -> None
+        in
+        let warm_p =
+          match
+            Simplex.solve ~engine:Simplex.Revised ~warm:cold.Simplex.basis perturbed
+          with
+          | Simplex.Optimal s ->
+            (* Same layout, rhs-only drift: the reinstall is exact, so the
+               warm solve must not re-run Phase 1, and the reinstall
+               itself must show up as a refactorization. *)
+            if (not s.Simplex.phase1_skipped) || s.Simplex.refactorizations < 1 then
+              None
+            else Some s.Simplex.objective
+          | _ -> None
+        in
+        (match (cold_p, warm_p) with
+        | Some c, Some w -> abs_float (c -. w) <= 1e-9
+        | _ -> true (* tightened capacities may make the instance infeasible *))
+      | _ -> false)
+
+(* Branch-and-bound must forward the engine choice to every node re-solve;
+   the per-engine counters in the stats record witness it. *)
+let test_mip_engine_passdown () =
+  let knapsack () =
+    let m = Lp.create () in
+    let xs =
+      Array.init 6 (fun j -> Lp.add_var m ~binary:true (Printf.sprintf "b%d" j))
+    in
+    let w = [| 3.0; 5.0; 7.0; 4.0; 6.0; 2.0 |] in
+    let v = [| 4.0; 6.0; 9.0; 5.0; 8.0; 3.0 |] in
+    ignore
+      (Lp.add_constraint m
+         (Array.to_list (Array.mapi (fun j c -> (c, xs.(j))) w))
+         Lp.Le 13.0);
+    Lp.set_objective m Lp.Maximize
+      (Array.to_list (Array.mapi (fun j c -> (c, xs.(j))) v));
+    m
+  in
+  let run engine pricing =
+    let st = Solver_stats.create () in
+    (match Mip.solve ~stats:st ~engine ~pricing (knapsack ()) with
+    | Mip.Optimal _ -> ()
+    | _ -> Alcotest.fail "knapsack must solve to optimality");
+    st
+  in
+  let st = run Simplex.Revised Simplex.Devex in
+  Alcotest.(check bool) "several node LPs" true (st.Solver_stats.solves > 1);
+  Alcotest.(check int) "all nodes revised" st.Solver_stats.solves
+    st.Solver_stats.revised_solves;
+  Alcotest.(check int) "no dense fallback" 0 st.Solver_stats.dense_solves;
+  Alcotest.(check int) "pricing recorded per node" st.Solver_stats.solves
+    (match List.assoc_opt "devex" st.Solver_stats.pricing_solves with
+    | Some n -> n
+    | None -> 0);
+  let st = run Simplex.Dense Simplex.Dantzig in
+  Alcotest.(check int) "all nodes dense" st.Solver_stats.solves
+    st.Solver_stats.dense_solves;
+  Alcotest.(check int) "no revised fallback" 0 st.Solver_stats.revised_solves
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let () =
@@ -169,4 +386,15 @@ let () =
             prop_warm_equals_cold;
             prop_benders_warm_chain;
           ] );
+      ( "engine",
+        qsuite
+          [
+            prop_engines_agree_feasible;
+            prop_engines_agree_infeasible;
+            prop_engines_agree_unbounded;
+            prop_pricing_rules_agree;
+            prop_revised_warm_equals_cold;
+          ]
+        @ [ Alcotest.test_case "mip forwards engine to nodes" `Quick
+              test_mip_engine_passdown ] );
     ]

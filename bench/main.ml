@@ -1000,33 +1000,11 @@ let parallel () =
 
 let lp_scale_json = ref "null"
 
-(* k x k grid topology: one fiber per undirected edge, two directed IP
-   links riding it. *)
-let grid_topology k =
-  let node i j = (i * k) + j in
-  let fibers = ref [] and links = ref [] and nf = ref 0 in
-  let add_edge a b =
-    let f = !nf in
-    incr nf;
-    fibers := (a, b, 50.0) :: !fibers;
-    links := (b, a, 40.0, [ f ]) :: (a, b, 40.0, [ f ]) :: !links
-  in
-  for i = 0 to k - 1 do
-    for j = 0 to k - 1 do
-      if j + 1 < k then add_edge (node i j) (node i (j + 1));
-      if i + 1 < k then add_edge (node i j) (node (i + 1) j)
-    done
-  done;
-  Topology.make
-    ~name:(Printf.sprintf "grid%d" k)
-    ~node_names:(Array.init (k * k) (Printf.sprintf "n%d"))
-    ~fibers:(Array.of_list (List.rev !fibers))
-    ~links:(Array.of_list (List.rev !links))
-
-(* A size-s instance: s flows spread over the grid, s scenarios (the
-   no-failure state plus single cuts of the first s-1 fibers). *)
+(* A size-s instance: s flows spread over a k x k grid (one fiber per
+   undirected edge), s scenarios (the no-failure state plus single cuts
+   of the first s-1 fibers). *)
 let lp_scale_instance ~k ~size =
-  let topo = grid_topology k in
+  let topo = Topology.grid k in
   let n = k * k in
   let pairs =
     List.init size (fun i ->
@@ -1094,8 +1072,10 @@ let lp_scale () =
     let t0 = Unix.gettimeofday () in
     match Simplex.solve ?warm ~engine ~pricing m with
     | Simplex.Optimal sol ->
+      let w = Unix.gettimeofday () -. t0 in
       Solver_stats.record st sol;
-      (sol, st, Unix.gettimeofday () -. t0)
+      Solver_stats.add_wall st "solve" w;
+      (sol, st, w)
     | Simplex.Infeasible | Simplex.Unbounded -> fail "LP not optimal"
   in
   let entries = ref [] in
@@ -1170,6 +1150,88 @@ let lp_scale () =
        \"largest_speedup\": %.2f}"
       (String.concat ", " (List.rev !entries))
       exp_d exp_r speedup
+
+(* ------------------------------------------------------------------ *)
+(* Streaming runtime: detection latency, reaction latency, availability *)
+(* ------------------------------------------------------------------ *)
+
+let stream_json = ref "null"
+
+let stream () =
+  section "Streaming runtime — online detection -> prediction -> reaction (B4)";
+  let env, _, _, _ = bundle "B4" in
+  let epochs = if !quick then 200 else 800 in
+  let cfg =
+    {
+      Prete_rt.Runtime.default_config with
+      Prete_rt.Runtime.topology = "B4";
+      epochs;
+      seed = 123;
+      scale = 2.0;
+      predictor = Prete_rt.Runtime.Nn (nn_epochs ());
+    }
+  in
+  Prete_exec.Pool.with_pool (fun pool ->
+      let t0 = Unix.gettimeofday () in
+      let r = Prete_rt.Runtime.run ~pool ~env cfg in
+      let stream_w = Unix.gettimeofday () -. t0 in
+      let m = r.Prete_rt.Runtime.r_metrics in
+      Printf.printf
+        "  %d epochs: %d with degradations, %d with cuts; %d alarms, %d reactions \
+         (%.1f s)\n%!"
+        r.Prete_rt.Runtime.r_epochs r.Prete_rt.Runtime.r_degr_epochs
+        r.Prete_rt.Runtime.r_cut_epochs
+        (Prete_rt.Metrics.counter m "alarms")
+        (Prete_rt.Metrics.counter m "reactions")
+        stream_w;
+      Printf.printf
+        "  detection latency mean %.1f s (%d detections); reaction-to-plan mean %.2f s\n%!"
+        (Prete_rt.Metrics.hist_mean m "detection_latency_s")
+        (Prete_rt.Metrics.hist_count m "detection_latency_s")
+        (Prete_rt.Metrics.hist_mean m "reaction_latency_s");
+      Printf.printf "  state-fiber cuts: %d reacted in time, %d missed\n%!"
+        r.Prete_rt.Runtime.r_reacted_in_time r.Prete_rt.Runtime.r_missed;
+      (* Cross-check: the instant policy must reproduce Simulate.run's
+         availability bitwise — same seed, same env, the run's own
+         scheme closure. *)
+      let t0 = Unix.gettimeofday () in
+      let sim =
+        Simulate.run ~seed:cfg.Prete_rt.Runtime.seed ~epochs ~pool env
+          r.Prete_rt.Runtime.r_scheme ~scale:cfg.Prete_rt.Runtime.scale
+      in
+      let sim_w = Unix.gettimeofday () -. t0 in
+      let d_instant =
+        Float.abs (r.Prete_rt.Runtime.r_avail_instant -. sim.Simulate.availability)
+      in
+      Printf.printf
+        "  availability: stream %.5f / periodic-only %.5f / instant %.5f \
+         (Simulate.run %.5f, |delta| %.1e)\n%!"
+        r.Prete_rt.Runtime.r_avail_stream r.Prete_rt.Runtime.r_avail_periodic
+        r.Prete_rt.Runtime.r_avail_instant sim.Simulate.availability d_instant;
+      if d_instant > 1e-9 then begin
+        Printf.printf "  FAIL: instant policy diverged from Simulate.run\n%!";
+        exit 1
+      end;
+      if r.Prete_rt.Runtime.r_avail_stream < r.Prete_rt.Runtime.r_avail_periodic -. 1e-9
+      then begin
+        Printf.printf "  FAIL: streaming availability below periodic-only\n%!";
+        exit 1
+      end;
+      stream_json :=
+        Printf.sprintf
+          "{\"epochs\": %d, \"seed\": %d, \"scale\": %.2f, \"degr_epochs\": %d, \
+           \"cut_epochs\": %d, \"reacted_in_time\": %d, \"missed\": %d, \
+           \"availability\": {\"stream\": %.9f, \"periodic\": %.9f, \
+           \"instant\": %.9f, \"simulate_run\": %.9f}, \"wall_s\": \
+           {\"stream\": %.3f, \"simulate\": %.3f}, \"metrics\": %s, \"solver\": %s}"
+          epochs cfg.Prete_rt.Runtime.seed cfg.Prete_rt.Runtime.scale
+          r.Prete_rt.Runtime.r_degr_epochs r.Prete_rt.Runtime.r_cut_epochs
+          r.Prete_rt.Runtime.r_reacted_in_time r.Prete_rt.Runtime.r_missed
+          r.Prete_rt.Runtime.r_avail_stream r.Prete_rt.Runtime.r_avail_periodic
+          r.Prete_rt.Runtime.r_avail_instant sim.Simulate.availability stream_w
+          sim_w
+          (Prete_rt.Metrics.to_json ~walls:false m)
+          (Prete_lp.Solver_stats.to_json r.Prete_rt.Runtime.r_solver))
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
@@ -1276,6 +1338,7 @@ let experiments =
     ("fallback", "fallback-path latency per ladder rung", fallback);
     ("parallel", "domain-pool scaling: 1/2/4-domain walls + determinism", parallel);
     ("lp_scale", "dense vs revised simplex scaling on TE LPs", lp_scale);
+    ("stream", "streaming runtime: detection/reaction latency + availability", stream);
   ]
 
 let () =
@@ -1329,21 +1392,34 @@ let () =
       walls := (id, Unix.gettimeofday () -. w0) :: !walls)
     selected;
   if !run_kernels || !only = [] then kernels ();
-  (* Machine-readable perf trajectory: per-experiment wall times plus the
-     warm-start / plan-cache counters when those experiments ran. *)
+  (* Machine-readable perf trajectory: per-experiment wall times plus
+     each detailed section that actually ran (experiments left at their
+     "null" sentinel are omitted instead of emitted as nulls). *)
   let json =
     let exps =
       List.rev_map
         (fun (id, w) -> Printf.sprintf "{\"id\": \"%s\", \"wall_s\": %.3f}" id w)
         !walls
     in
-    Printf.sprintf
-      "{\n  \"pr\": 4,\n  \"experiments\": [%s],\n  \"warmstart\": %s,\n  \"plan_cache\": %s,\n  \"parallel\": %s,\n  \"lp_scale\": %s\n}\n"
-      (String.concat ", " exps) !warmstart_json !chaos_cache_json !parallel_json
-      !lp_scale_json
+    let sections =
+      List.filter_map
+        (fun (name, r) ->
+          if !r = "null" then None else Some (Printf.sprintf "\"%s\": %s" name !r))
+        [
+          ("warmstart", warmstart_json);
+          ("plan_cache", chaos_cache_json);
+          ("parallel", parallel_json);
+          ("lp_scale", lp_scale_json);
+          ("stream", stream_json);
+        ]
+    in
+    Printf.sprintf "{\n  \"pr\": 5,\n  \"experiments\": [%s]%s\n}\n"
+      (String.concat ", " exps)
+      (String.concat ""
+         (List.map (fun s -> Printf.sprintf ",\n  %s" s) sections))
   in
-  let oc = open_out "BENCH_PR4.json" in
+  let oc = open_out "BENCH_PR5.json" in
   output_string oc json;
   close_out oc;
-  Printf.printf "\nWrote BENCH_PR4.json\n";
+  Printf.printf "\nWrote BENCH_PR5.json\n";
   Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -84,15 +84,7 @@ let lp_term =
 
 (* Evaluation commands run against a pool sized by --domains (or
    PRETE_DOMAINS), shut down when the command finishes. *)
-let with_pool domains f =
-  let pool =
-    match domains with
-    | Some n -> Prete_exec.Pool.create ~domains:n ()
-    | None -> Prete_exec.Pool.create ()
-  in
-  Fun.protect
-    ~finally:(fun () -> Prete_exec.Pool.shutdown pool)
-    (fun () -> f pool)
+let with_pool domains f = Prete_exec.Pool.with_pool ?domains f
 
 let scheme_of_string ~predictor name =
   match String.lowercase_ascii name with
@@ -382,6 +374,185 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(const run $ topo_arg $ scale_arg $ scheme $ seed_arg $ epochs $ domains_arg)
 
+let stream_cmd =
+  let run () name epochs seed scale ewma_alpha cusum_k cusum_h debounce gap_rate
+      dup_rate reorder_rate max_delay deadline predictor stale_after trace_out
+      replay_path domains =
+    match replay_path with
+    | Some path ->
+      (* Replay mode: re-run a dumped configuration and verify the
+         deterministic core byte-for-byte. *)
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let json = really_input_string ic n in
+      close_in ic;
+      let r, ok = with_pool domains (fun pool -> Prete_rt.Runtime.replay ~pool json) in
+      Printf.printf
+        "replayed %d epochs: availability stream %.5f / periodic %.5f / instant %.5f\n"
+        r.Prete_rt.Runtime.r_epochs r.Prete_rt.Runtime.r_avail_stream
+        r.Prete_rt.Runtime.r_avail_periodic r.Prete_rt.Runtime.r_avail_instant;
+      if ok then print_endline "MATCH: deterministic core identical to the dump"
+      else begin
+        print_endline "MISMATCH: deterministic core differs from the dump";
+        exit 1
+      end
+    | None ->
+      let cfg =
+        {
+          Prete_rt.Runtime.default_config with
+          Prete_rt.Runtime.topology = name;
+          epochs;
+          seed;
+          scale;
+          detector =
+            {
+              Prete_rt.Detector.default_config with
+              Prete_rt.Detector.ewma_alpha;
+              cusum_k;
+              cusum_h;
+            };
+          impairments =
+            {
+              Prete_rt.Stream.gap_rate;
+              dup_rate;
+              reorder_rate;
+              max_delay;
+            };
+          debounce_s = debounce;
+          deadline_s = deadline;
+          predictor = Prete_rt.Runtime.predictor_kind_of_string predictor;
+          stale_after;
+        }
+      in
+      let r = with_pool domains (fun pool -> Prete_rt.Runtime.run ~pool cfg) in
+      let m = r.Prete_rt.Runtime.r_metrics in
+      Printf.printf "%d epochs on %s (seed %d): %d with degradations, %d with cuts\n"
+        r.Prete_rt.Runtime.r_epochs name seed r.Prete_rt.Runtime.r_degr_epochs
+        r.Prete_rt.Runtime.r_cut_epochs;
+      Printf.printf
+        "samples %d (dups %d, late %d, gaps filled %d); alarms %d, reactions %d, debounced %d\n"
+        (Prete_rt.Metrics.counter m "samples")
+        (Prete_rt.Metrics.counter m "dups")
+        (Prete_rt.Metrics.counter m "late")
+        (Prete_rt.Metrics.counter m "gaps_filled")
+        (Prete_rt.Metrics.counter m "alarms")
+        (Prete_rt.Metrics.counter m "reactions")
+        (Prete_rt.Metrics.counter m "debounced");
+      Printf.printf
+        "detection latency: mean %.1f s over %d detections; reaction-to-plan mean %.2f s\n"
+        (Prete_rt.Metrics.hist_mean m "detection_latency_s")
+        (Prete_rt.Metrics.hist_count m "detection_latency_s")
+        (Prete_rt.Metrics.hist_mean m "reaction_latency_s");
+      Printf.printf "state-fiber cuts: %d reacted in time, %d missed\n"
+        r.Prete_rt.Runtime.r_reacted_in_time r.Prete_rt.Runtime.r_missed;
+      Printf.printf
+        "availability: stream %.5f / periodic-only %.5f / instant %.5f\n"
+        r.Prete_rt.Runtime.r_avail_stream r.Prete_rt.Runtime.r_avail_periodic
+        r.Prete_rt.Runtime.r_avail_instant;
+      (match trace_out with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Prete_rt.Runtime.dump r);
+        close_out oc;
+        Printf.printf "wrote %s (replay with --replay %s)\n" path path
+      | None -> ())
+  in
+  let epochs =
+    Arg.(value & opt int 40 & info [ "epochs" ] ~docv:"N" ~doc:"TE periods to stream.")
+  in
+  let seed =
+    Arg.(value & opt int 123 & info [ "seed" ] ~docv:"SEED" ~doc:"Sample-path seed.")
+  in
+  let ewma_alpha =
+    Arg.(
+      value
+      & opt float Prete_rt.Detector.default_config.Prete_rt.Detector.ewma_alpha
+      & info [ "ewma-alpha" ] ~docv:"A" ~doc:"EWMA baseline smoothing factor.")
+  in
+  let cusum_k =
+    Arg.(
+      value
+      & opt float Prete_rt.Detector.default_config.Prete_rt.Detector.cusum_k
+      & info [ "cusum-k" ] ~docv:"K" ~doc:"CUSUM slack per sample (dB).")
+  in
+  let cusum_h =
+    Arg.(
+      value
+      & opt float Prete_rt.Detector.default_config.Prete_rt.Detector.cusum_h
+      & info [ "cusum-h" ] ~docv:"H" ~doc:"CUSUM alarm threshold (dB).")
+  in
+  let debounce =
+    Arg.(
+      value & opt int 30
+      & info [ "debounce" ] ~docv:"S" ~doc:"Min seconds between reactions to one fiber.")
+  in
+  let gap_rate =
+    Arg.(
+      value
+      & opt float Prete_rt.Stream.default_impairments.Prete_rt.Stream.gap_rate
+      & info [ "gap-rate" ] ~docv:"P" ~doc:"P(sample never arrives).")
+  in
+  let dup_rate =
+    Arg.(
+      value
+      & opt float Prete_rt.Stream.default_impairments.Prete_rt.Stream.dup_rate
+      & info [ "dup-rate" ] ~docv:"P" ~doc:"P(sample delivered twice).")
+  in
+  let reorder_rate =
+    Arg.(
+      value
+      & opt float Prete_rt.Stream.default_impairments.Prete_rt.Stream.reorder_rate
+      & info [ "reorder-rate" ] ~docv:"P" ~doc:"P(sample delayed past its tick).")
+  in
+  let max_delay =
+    Arg.(
+      value
+      & opt int Prete_rt.Stream.default_impairments.Prete_rt.Stream.max_delay
+      & info [ "max-delay" ] ~docv:"TICKS" ~doc:"Max delivery delay (ingest horizon).")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"S" ~doc:"Anytime budget per reactive solve, seconds.")
+  in
+  let predictor =
+    Arg.(
+      value & opt string "hazard"
+      & info [ "predictor" ] ~docv:"KIND"
+          ~doc:"hazard (ground-truth oracle) | prior (mean hazard) | nn:N (MLP, N training epochs).")
+  in
+  let stale_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stale-after" ] ~docv:"EPOCH"
+          ~doc:"Mark the model stale at this epoch and hot-swap a fresh one at twice it.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"PATH" ~doc:"Dump the replayable run JSON here.")
+  in
+  let replay_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"PATH"
+          ~doc:"Replay a dumped run and verify its deterministic core; exits 1 on mismatch.")
+  in
+  let doc =
+    "Stream 1 Hz telemetry through online detection, prediction and reaction \
+     (the prete_rt runtime)."
+  in
+  Cmd.v (Cmd.info "stream" ~doc)
+    Term.(
+      const run $ lp_term $ topo_arg $ epochs $ seed $ scale_arg $ ewma_alpha
+      $ cusum_k $ cusum_h $ debounce $ gap_rate $ dup_rate $ reorder_rate
+      $ max_delay $ deadline $ predictor $ stale_after $ trace_out $ replay_path
+      $ domains_arg)
+
 let () =
   let doc = "PreTE: traffic engineering with predictive failures (SIGCOMM 2025 reproduction)" in
   let info = Cmd.info "prete" ~version:"1.0.0" ~doc in
@@ -397,4 +568,5 @@ let () =
             simulate_cmd;
             pipeline_cmd;
             chaos_cmd;
+            stream_cmd;
           ]))

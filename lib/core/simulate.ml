@@ -138,21 +138,27 @@ let delivered_fractions (env : Availability.env) scheme ~demands
           (w *. Float.min pre post.(f)) +. ((1.0 -. w) *. post.(f))
         end)
 
-(* Sample one epoch's ground truth — which fibers degrade, which of those
-   (and which healthy fibers) cut — from the epoch's private RNG stream.
-   Returns (planned-for state, cut list, had-degradation). *)
-let sample_epoch (env : Availability.env) ~topo ~nf rng =
+type epoch_sample = {
+  es_state : int option;
+  es_cuts : int list;
+  es_degraded : (int * Hazard.features) list;
+}
+
+(* Sample one epoch's ground truth — which fibers degrade (and with what
+   event features), which of those (and which healthy fibers) cut — from
+   the epoch's private RNG stream. *)
+let sample_epoch_full (env : Availability.env) ~topo ~nf rng =
   let num_fibers = nf in
   let degraded = ref [] in
   let cuts = ref [] in
   for fb = 0 to nf - 1 do
     if Prete_util.Rng.bernoulli rng env.Availability.model.Fiber_model.p_degrade.(fb)
     then begin
-      degraded := fb :: !degraded;
       (* Fresh event features; ground truth decides the outcome. *)
       let feats =
         Hazard.sample_features rng ~topo ~fiber:fb ~epoch:(Prete_util.Rng.int rng 96)
       in
+      degraded := (fb, feats) :: !degraded;
       if Prete_util.Rng.bernoulli rng (Hazard.eval ~num_fibers feats) then
         cuts := fb :: !cuts
     end
@@ -163,8 +169,13 @@ let sample_epoch (env : Availability.env) ~topo ~nf rng =
   done;
   (* At most one degrading fiber is planned for (the first, mirroring the
      truncation the analytic evaluator applies). *)
-  let state = match List.rev !degraded with [] -> None | fb :: _ -> Some fb in
-  (state, !cuts, !degraded <> [])
+  let degraded = List.rev !degraded in
+  let state = match degraded with [] -> None | (fb, _) :: _ -> Some fb in
+  { es_state = state; es_cuts = !cuts; es_degraded = degraded }
+
+let sample_epoch env ~topo ~nf rng =
+  let s = sample_epoch_full env ~topo ~nf rng in
+  (s.es_state, s.es_cuts, s.es_degraded <> [])
 
 (* One private RNG substream per epoch, split sequentially up front: an
    epoch's draws are then a function of its index alone, so the sample
@@ -212,6 +223,54 @@ let served_table pool (env : Availability.env) scheme ~demands epoch_cuts =
     | Some s -> s
     | None -> Availability.Internal.max_served env ~demands ~cuts:key
 
+(* Evaluate a drawn sample path against a scheme: one plan per distinct
+   degradation state and one served LP per distinct cut set (fanned out
+   on the pool, frozen into read-only tables), then a replay of the
+   epochs against the tables.  Partial sums live in one slot per chunk
+   and fold in chunk order; the chunk size depends only on the epoch
+   count, so the float additions associate the same way at any domain
+   count.  Shared verbatim by [run] and the streaming runtime (which
+   evaluates the same ground truth under different reaction policies —
+   instant / as-detected / never — by rewriting [state]). *)
+let eval_epochs pool (env : Availability.env) scheme ~demands ~state ~epoch_cuts =
+  let epochs = Array.length state in
+  if epochs = 0 then invalid_arg "Simulate.eval_epochs: no epochs";
+  if Array.length epoch_cuts <> epochs then
+    invalid_arg "Simulate.eval_epochs: state/cuts length mismatch";
+  let total_demand = Float.max 1e-9 (Prete_util.Stats.sum demands) in
+  let states = distinct_by Fun.id state in
+  let plans =
+    Prete_exec.Pool.parallel_map pool ~chunk:1
+      (fun degraded -> Availability.Internal.plan_alloc env scheme ~demands ~degraded)
+      states
+  in
+  let plan_tbl : (int option, Availability.plan) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri (fun i s -> Hashtbl.replace plan_tbl s plans.(i)) states;
+  let plan s =
+    match Hashtbl.find_opt plan_tbl s with
+    | Some p -> p
+    | None -> Availability.Internal.plan_alloc env scheme ~demands ~degraded:s
+  in
+  let served = served_table pool env scheme ~demands epoch_cuts in
+  let csize = max 1 ((epochs + 63) / 64) in
+  let nchunks = (epochs + csize - 1) / csize in
+  let partial = Array.make nchunks 0.0 in
+  Prete_exec.Pool.parallel_for pool ~chunk:csize epochs (fun lo hi ->
+      let acc = ref 0.0 in
+      for e = lo to hi - 1 do
+        let delivered =
+          delivered_fractions env scheme ~demands ~plan:(plan state.(e))
+            ~cuts:epoch_cuts.(e) ~served
+        in
+        let epoch_avail = ref 0.0 in
+        Array.iteri
+          (fun f dl -> epoch_avail := !epoch_avail +. (demands.(f) *. dl))
+          delivered;
+        acc := !acc +. (!epoch_avail /. total_demand)
+      done;
+      partial.(lo / csize) <- !acc);
+  Array.fold_left ( +. ) 0.0 partial /. float_of_int epochs
+
 let run ?(seed = 123) ?(epochs = 20_000) ?pool (env : Availability.env) scheme
     ~scale =
   if epochs <= 0 then invalid_arg "Simulate.run: epochs must be positive";
@@ -221,7 +280,6 @@ let run ?(seed = 123) ?(epochs = 20_000) ?pool (env : Availability.env) scheme
   let demands =
     Traffic.demand env.Availability.traffic ~scale ~epoch:env.Availability.epoch
   in
-  let total_demand = Float.max 1e-9 (Prete_util.Stats.sum demands) in
   let topo = env.Availability.ts.Tunnels.topo in
   let nf = Topology.num_fibers topo in
   (* Phase A: sample every epoch's ground truth on the pool.  Each epoch
@@ -244,47 +302,9 @@ let run ?(seed = 123) ?(epochs = 20_000) ?pool (env : Availability.env) scheme
       if cuts <> [] then incr cut_epochs;
       if List.length cuts > 1 then incr multi)
     epoch_cuts;
-  (* Phase B: one plan per distinct degradation state and one served LP
-     per distinct cut set, fanned out on the pool, frozen into read-only
-     tables. *)
-  let states = distinct_by Fun.id state in
-  let plans =
-    Prete_exec.Pool.parallel_map pool ~chunk:1
-      (fun degraded -> Availability.Internal.plan_alloc env scheme ~demands ~degraded)
-      states
-  in
-  let plan_tbl : (int option, Availability.plan) Hashtbl.t = Hashtbl.create 64 in
-  Array.iteri (fun i s -> Hashtbl.replace plan_tbl s plans.(i)) states;
-  let plan s =
-    match Hashtbl.find_opt plan_tbl s with
-    | Some p -> p
-    | None -> Availability.Internal.plan_alloc env scheme ~demands ~degraded:s
-  in
-  let served = served_table pool env scheme ~demands epoch_cuts in
-  (* Phase C: replay the epochs against the tables.  Partial sums live in
-     one slot per chunk and fold in chunk order; the chunk size depends
-     only on the epoch count, so the float additions associate the same
-     way at any domain count. *)
-  let csize = max 1 ((epochs + 63) / 64) in
-  let nchunks = (epochs + csize - 1) / csize in
-  let partial = Array.make nchunks 0.0 in
-  Prete_exec.Pool.parallel_for pool ~chunk:csize epochs (fun lo hi ->
-      let acc = ref 0.0 in
-      for e = lo to hi - 1 do
-        let delivered =
-          delivered_fractions env scheme ~demands ~plan:(plan state.(e))
-            ~cuts:epoch_cuts.(e) ~served
-        in
-        let epoch_avail = ref 0.0 in
-        Array.iteri
-          (fun f dl -> epoch_avail := !epoch_avail +. (demands.(f) *. dl))
-          delivered;
-        acc := !acc +. (!epoch_avail /. total_demand)
-      done;
-      partial.(lo / csize) <- !acc);
-  let acc = Array.fold_left ( +. ) 0.0 partial in
+  (* Phases B and C: plan/served tables plus the epoch replay. *)
   {
-    availability = acc /. float_of_int epochs;
+    availability = eval_epochs pool env scheme ~demands ~state ~epoch_cuts;
     epochs;
     degradation_epochs = !degr_epochs;
     cut_epochs = !cut_epochs;
@@ -486,6 +506,22 @@ type sweep_entry = {
   sw_result : chaos_result;
   sw_delta : float;  (** Availability vs the fault-free baseline. *)
 }
+
+module Internal = struct
+  type nonrec epoch_sample = epoch_sample = {
+    es_state : int option;
+    es_cuts : int list;
+    es_degraded : (int * Hazard.features) list;
+  }
+
+  let epoch_streams = epoch_streams
+
+  let sample_epoch (env : Availability.env) rng =
+    let topo = env.Availability.ts.Tunnels.topo in
+    sample_epoch_full env ~topo ~nf:(Topology.num_fibers topo) rng
+
+  let eval_epochs = eval_epochs
+end
 
 let chaos_sweep ?seed ?epochs ?fault_seed ?pressure_budget_s ?pool
     (env : Availability.env) scheme ~scale =

@@ -98,6 +98,44 @@ type sweep_entry = {
   sw_delta : float;  (** Availability vs the fault-free baseline. *)
 }
 
+(** Internal pieces exposed for the streaming runtime ([prete_rt]), which
+    replays the {e same} generative epoch ground truth at 1 Hz telemetry
+    granularity and must evaluate its reaction policies with bit-identical
+    arithmetic to {!run}. *)
+module Internal : sig
+  type epoch_sample = {
+    es_state : int option;
+        (** Planned-for degrading fiber (the first, mirroring the analytic
+            truncation); [None] when nothing degrades. *)
+    es_cuts : int list;  (** All fibers cut this epoch. *)
+    es_degraded : (int * Prete_optics.Hazard.features) list;
+        (** Every degrading fiber with its sampled event features, in
+            fiber order. *)
+  }
+
+  val epoch_streams : seed:int -> epochs:int -> Prete_util.Rng.t array
+  (** One private RNG substream per epoch, split sequentially up front —
+      an epoch's draws are a function of its index alone. *)
+
+  val sample_epoch : Availability.env -> Prete_util.Rng.t -> epoch_sample
+  (** One epoch's ground truth, drawn exactly as {!run} draws it (same
+      stream, same draw order). *)
+
+  val eval_epochs :
+    Prete_exec.Pool.t ->
+    Availability.env ->
+    Schemes.t ->
+    demands:float array ->
+    state:int option array ->
+    epoch_cuts:int list array ->
+    float
+  (** Availability of a drawn sample path: plan/served tables over the
+      distinct states/cut sets, then the chunk-ordered epoch replay —
+      the exact phases B and C of {!run}, so calling it on {!run}'s own
+      sample path reproduces {!run}'s availability bit-for-bit.
+      Raises [Invalid_argument] on empty or mismatched arrays. *)
+end
+
 val chaos_sweep :
   ?seed:int ->
   ?epochs:int ->

@@ -195,6 +195,12 @@ let shutdown pool =
   in
   Array.iter Domain.join workers
 
+let with_pool ?domains f =
+  let pool =
+    match domains with Some n -> create ~domains:n () | None -> create ()
+  in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
 let default_pool =
   lazy
     (let p = create ~domains:(default_domains ()) () in

@@ -87,3 +87,8 @@ val reset_stats : t -> unit
 val shutdown : t -> unit
 (** Join the worker domains.  Idempotent.  Jobs submitted after shutdown
     run sequentially inline. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] against a fresh pool ([domains] lanes, default
+    {!default_domains}) and shuts it down when [f] returns or raises —
+    the scoped form every CLI entry point uses. *)

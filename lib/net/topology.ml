@@ -211,12 +211,46 @@ let twan () =
   let links = generate_ip_layer ~fibers ~extra:52 in
   make ~name:"TWAN" ~node_names ~fibers ~links
 
+(* k x k grid: one fiber per undirected lattice edge, two directed IP
+   links riding it.  Deterministic, any size — the scaling instance for
+   the LP bench and the streaming runtime. *)
+let grid k =
+  if k < 2 then invalid_arg "Topology.grid: k must be >= 2";
+  let node i j = (i * k) + j in
+  let fibers = ref [] and links = ref [] and nf = ref 0 in
+  let add_edge a b =
+    let f = !nf in
+    incr nf;
+    fibers := (a, b, 50.0) :: !fibers;
+    links := (b, a, 40.0, [ f ]) :: (a, b, 40.0, [ f ]) :: !links
+  in
+  for i = 0 to k - 1 do
+    for j = 0 to k - 1 do
+      if j + 1 < k then add_edge (node i j) (node i (j + 1));
+      if i + 1 < k then add_edge (node i j) (node (i + 1) j)
+    done
+  done;
+  make
+    ~name:(Printf.sprintf "grid%d" k)
+    ~node_names:(Array.init (k * k) (Printf.sprintf "n%d"))
+    ~fibers:(Array.of_list (List.rev !fibers))
+    ~links:(Array.of_list (List.rev !links))
+
 let by_name s =
   match String.uppercase_ascii s with
   | "B4" -> b4 ()
   | "IBM" -> ibm ()
   | "TWAN" -> twan ()
-  | other -> invalid_arg ("Topology.by_name: unknown topology " ^ other)
+  | other ->
+    let lower = String.lowercase_ascii s in
+    let is_grid =
+      String.length lower > 4
+      && String.sub lower 0 4 = "grid"
+      && String.for_all (fun c -> c >= '0' && c <= '9')
+           (String.sub lower 4 (String.length lower - 4))
+    in
+    if is_grid then grid (int_of_string (String.sub lower 4 (String.length lower - 4)))
+    else invalid_arg ("Topology.by_name: unknown topology " ^ other)
 
 let all () = [ ibm (); b4 (); twan () ]
 

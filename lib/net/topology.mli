@@ -68,9 +68,15 @@ val twan : unit -> t
 (** Deterministic instances (no hidden global state; calling twice yields
     structurally equal topologies). *)
 
+val grid : int -> t
+(** [grid k] is a deterministic k×k lattice: one 50 km fiber per
+    undirected edge, two opposite 40 Gbps IP links riding it.  The
+    scaling instance family of the LP bench and the default stage for
+    the streaming runtime.  Raises [Invalid_argument] for [k < 2]. *)
+
 val by_name : string -> t
-(** ["B4"], ["IBM"] or ["TWAN"] (case-insensitive).
-    Raises [Invalid_argument] otherwise. *)
+(** ["B4"], ["IBM"], ["TWAN"] (case-insensitive), or ["gridK"] for any
+    K ≥ 2 (e.g. ["grid4"]).  Raises [Invalid_argument] otherwise. *)
 
 val all : unit -> t list
 (** The three evaluation topologies in Table 3 order: IBM, B4, TWAN. *)

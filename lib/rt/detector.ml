@@ -1,0 +1,124 @@
+type config = {
+  ewma_alpha : float;
+  cusum_k : float;
+  cusum_h : float;
+  fluct_threshold : float;
+  degr_threshold : float;
+  cut_threshold : float;
+}
+
+let default_config =
+  {
+    ewma_alpha = 0.05;
+    cusum_k = 0.5;
+    cusum_h = 4.0;
+    fluct_threshold = 0.01;
+    degr_threshold = Prete_optics.Telemetry.degradation_threshold;
+    cut_threshold = Prete_optics.Telemetry.cut_threshold;
+  }
+
+type segment = {
+  seg_start : int;
+  seg_end : int;
+  seg_degree : float;
+  seg_gradient : float;
+  seg_fluctuation : int;
+  seg_duration_s : int;
+  seg_cut : bool;
+}
+
+type event =
+  | Degr_start of int
+  | Alarm of { at : int; score : float }
+  | Segment_end of segment
+
+type cls = Healthy | Degraded | Cut
+
+type t = {
+  cfg : config;
+  baseline : float;
+  mutable est : float;  (* EWMA estimate of the healthy level *)
+  mutable score : float;  (* one-sided CUSUM *)
+  mutable seg : (int * Online.acc) option;  (* open segment: start, features *)
+  mutable alarmed : bool;  (* an alarm fired this episode *)
+}
+
+let create ?(config = default_config) ~baseline () =
+  { cfg = config; baseline; est = baseline; score = 0.0; seg = None; alarmed = false }
+
+(* Same thresholds and comparison sense as Telemetry.classify, against
+   the configured (true) baseline. *)
+let classify t v =
+  let d = v -. t.baseline in
+  if d >= t.cfg.cut_threshold then Cut
+  else if d >= t.cfg.degr_threshold then Degraded
+  else Healthy
+
+let close_segment t ~at ~cut =
+  match t.seg with
+  | None -> []
+  | Some (start, acc) ->
+    let seg =
+      {
+        seg_start = start;
+        seg_end = at;
+        seg_degree = Online.degree acc;
+        seg_gradient = Online.mean_abs_gradient acc;
+        seg_fluctuation = Online.fluctuation_count acc;
+        seg_duration_s = Online.acc_count acc;
+        seg_cut = cut;
+      }
+    in
+    t.seg <- None;
+    t.score <- 0.0;
+    t.alarmed <- false;
+    [ Segment_end seg ]
+
+let step t ~at ~v =
+  match classify t v with
+  | Degraded ->
+    let events = ref [] in
+    (match t.seg with
+    | Some (_, acc) -> Online.acc_add acc v
+    | None ->
+      let acc =
+        Online.acc_create ~fluct_threshold:t.cfg.fluct_threshold
+          ~baseline:t.baseline ()
+      in
+      Online.acc_add acc v;
+      t.seg <- Some (at, acc);
+      events := Degr_start at :: !events;
+      if not t.alarmed then begin
+        t.alarmed <- true;
+        events := Alarm { at; score = t.score } :: !events
+      end);
+    List.rev !events
+  | Cut ->
+    (* The cut sample itself is not part of the degraded segment (the
+       offline segmentation stops at the last Degraded sample). *)
+    close_segment t ~at ~cut:true
+  | Healthy ->
+    let closed = close_segment t ~at ~cut:false in
+    (* CUSUM on the EWMA-debiased excess: catches slow ramps that sit
+       below the +3 dB step classifier. *)
+    t.score <- Float.max 0.0 (t.score +. (v -. t.est -. t.cfg.cusum_k));
+    t.est <- t.est +. (t.cfg.ewma_alpha *. (v -. t.est));
+    if t.score >= t.cfg.cusum_h && not t.alarmed then begin
+      t.alarmed <- true;
+      closed @ [ Alarm { at; score = t.score } ]
+    end
+    else closed
+
+let in_segment t = t.seg <> None
+let cusum_score t = t.score
+let baseline_estimate t = t.est
+
+let current_features t =
+  match t.seg with
+  | None -> None
+  | Some (_, acc) ->
+    Some
+      ( Online.degree acc,
+        Online.mean_abs_gradient acc,
+        Online.fluctuation_count acc,
+        Online.acc_count acc )

@@ -1,0 +1,60 @@
+(** Online degradation detector: EWMA baseline tracker + CUSUM-style
+    change-point against the telemetry thresholds, with incremental
+    segment features.
+
+    Fed finalized samples in timestamp order (from {!Online.drain}), the
+    detector classifies each against the configured baseline exactly as
+    {!Prete_optics.Telemetry.classify} does, runs a one-sided CUSUM on
+    the EWMA-debiased excess while healthy, and accumulates an
+    {!Online.acc} over the current degraded segment:
+
+    - {b Alarm}: fired once per episode, either when the CUSUM score
+      crosses [cusum_h] (early warning on slow ramps below the +3 dB
+      step) or at the first sample classified Degraded — whichever comes
+      first.
+    - {b Segment end}: emitted when the run of Degraded-classified
+      samples ends (recovery, or a Cut-classified sample); carries the
+      accumulated features, which agree bit-exactly with the offline
+      {!Prete_util.Timeseries} extraction over the same samples. *)
+
+type config = {
+  ewma_alpha : float;  (** Baseline tracker step (healthy samples only). *)
+  cusum_k : float;  (** CUSUM drift allowance, dB. *)
+  cusum_h : float;  (** CUSUM decision threshold, dB·samples. *)
+  fluct_threshold : float;  (** Offline fluctuation threshold (0.01 dB). *)
+  degr_threshold : float;  (** {!Prete_optics.Telemetry.degradation_threshold}. *)
+  cut_threshold : float;  (** {!Prete_optics.Telemetry.cut_threshold}. *)
+}
+
+val default_config : config
+
+type segment = {
+  seg_start : int;  (** Timestamp of the first degraded sample. *)
+  seg_end : int;  (** Timestamp of the sample that ended the segment. *)
+  seg_degree : float;
+  seg_gradient : float;
+  seg_fluctuation : int;
+  seg_duration_s : int;  (** Degraded samples consumed (1 Hz seconds). *)
+  seg_cut : bool;  (** Ended by a Cut-classified sample. *)
+}
+
+type event =
+  | Degr_start of int  (** First Degraded-classified timestamp. *)
+  | Alarm of { at : int; score : float }
+  | Segment_end of segment
+
+type t
+
+val create : ?config:config -> baseline:float -> unit -> t
+
+val step : t -> at:int -> v:float -> event list
+(** Consume one finalized sample; events in occurrence order. *)
+
+val in_segment : t -> bool
+val cusum_score : t -> float
+val baseline_estimate : t -> float
+
+val current_features : t -> (float * float * int * int) option
+(** [(degree, mean_abs_gradient, fluctuation, duration_s)] of the open
+    segment so far — what the predictor sees at alarm time, before the
+    segment completes. *)

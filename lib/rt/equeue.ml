@@ -1,0 +1,84 @@
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow q =
+  let cap = max 16 (2 * Array.length q.heap) in
+  let heap = Array.make cap q.heap.(0) in
+  Array.blit q.heap 0 heap 0 q.size;
+  q.heap <- heap
+
+let push q ~time payload =
+  let e = { time; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  if q.size = 0 && Array.length q.heap = 0 then q.heap <- Array.make 16 e;
+  if q.size = Array.length q.heap then grow q;
+  q.heap.(q.size) <- e;
+  q.size <- q.size + 1;
+  (* Sift up. *)
+  let i = ref (q.size - 1) in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    less q.heap.(!i) q.heap.(p)
+  do
+    let p = (!i - 1) / 2 in
+    let tmp = q.heap.(p) in
+    q.heap.(p) <- q.heap.(!i);
+    q.heap.(!i) <- tmp;
+    i := p
+  done
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < q.size && less q.heap.(l) q.heap.(!m) then m := l;
+        if r < q.size && less q.heap.(r) q.heap.(!m) then m := r;
+        if !m = !i then continue := false
+        else begin
+          let tmp = q.heap.(!m) in
+          q.heap.(!m) <- q.heap.(!i);
+          q.heap.(!i) <- tmp;
+          i := !m
+        end
+      done
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+
+let pop_until q ~time =
+  let out = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek_time q with
+    | Some t when t <= time -> (
+      match pop q with
+      | Some e -> out := e :: !out
+      | None -> continue := false)
+    | _ -> continue := false
+  done;
+  List.rev !out
+
+let length q = q.size
+let is_empty q = q.size = 0

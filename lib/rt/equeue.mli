@@ -1,0 +1,26 @@
+(** Deterministic discrete-event queue.
+
+    A binary min-heap keyed by [(time, seq)]: events pop in time order,
+    and events scheduled for the same time pop in insertion order (the
+    sequence number is assigned by {!push}).  Time is a logical tick —
+    the runtime never reads a wall clock in the hot path — so the pop
+    order is a pure function of the push history. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:int -> 'a -> unit
+(** Schedule an event.  [time] may be in the past relative to already
+    popped events; the queue itself does not enforce monotonicity (the
+    ingest layer decides what a late event means). *)
+
+val pop : 'a t -> (int * 'a) option
+(** Earliest [(time, event)], FIFO within a tick; [None] when empty. *)
+
+val pop_until : 'a t -> time:int -> (int * 'a) list
+(** Pop every event with time ≤ [time], in order. *)
+
+val peek_time : 'a t -> int option
+val length : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,168 @@
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  buckets : (int, int) Hashtbl.t;  (* binary exponent -> count *)
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+  walls : (string, float ref) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
+    hists = Hashtbl.create 16;
+    walls = Hashtbl.create 16;
+    lock = Mutex.create ();
+  }
+
+let guarded t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let incr ?(by = 1) t name =
+  guarded t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.replace t.counters name (ref by))
+
+let counter t name =
+  guarded t (fun () ->
+      match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
+
+let set_gauge t name v =
+  guarded t (fun () ->
+      match Hashtbl.find_opt t.gauges name with
+      | Some r -> r := v
+      | None -> Hashtbl.replace t.gauges name (ref v))
+
+let gauge t name =
+  guarded t (fun () -> Option.map ( ! ) (Hashtbl.find_opt t.gauges name))
+
+(* Bucket of v: the binary exponent e with 2^(e-1) <= v < 2^e, from
+   frexp (exact — no log rounding at bucket boundaries); non-positive
+   values collapse into a single underflow bucket below every real
+   exponent. *)
+let underflow_bucket = -1074
+
+let bucket_of v =
+  if v <= 0.0 then underflow_bucket
+  else
+    let _, e = Float.frexp v in
+    e
+
+let observe t name v =
+  guarded t (fun () ->
+      let h =
+        match Hashtbl.find_opt t.hists name with
+        | Some h -> h
+        | None ->
+          let h =
+            {
+              h_count = 0;
+              h_sum = 0.0;
+              h_min = infinity;
+              h_max = neg_infinity;
+              buckets = Hashtbl.create 8;
+            }
+          in
+          Hashtbl.replace t.hists name h;
+          h
+      in
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      h.h_min <- Float.min h.h_min v;
+      h.h_max <- Float.max h.h_max v;
+      let b = bucket_of v in
+      Hashtbl.replace h.buckets b
+        (1 + Option.value ~default:0 (Hashtbl.find_opt h.buckets b)))
+
+let hist_count t name =
+  guarded t (fun () ->
+      match Hashtbl.find_opt t.hists name with Some h -> h.h_count | None -> 0)
+
+let hist_sum t name =
+  guarded t (fun () ->
+      match Hashtbl.find_opt t.hists name with Some h -> h.h_sum | None -> 0.0)
+
+let hist_mean t name =
+  guarded t (fun () ->
+      match Hashtbl.find_opt t.hists name with
+      | Some h when h.h_count > 0 -> h.h_sum /. float_of_int h.h_count
+      | _ -> 0.0)
+
+let add_wall t name s =
+  guarded t (fun () ->
+      match Hashtbl.find_opt t.walls name with
+      | Some r -> r := !r +. s
+      | None -> Hashtbl.replace t.walls name (ref s))
+
+let time t name f =
+  let t0 = Prete_util.Clock.now () in
+  Fun.protect
+    ~finally:(fun () -> add_wall t name (Prete_util.Clock.elapsed_since t0))
+    f
+
+let sorted_bindings tbl value =
+  Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let hist_json h =
+  let buckets =
+    Hashtbl.fold (fun e n acc -> (e, n) :: acc) h.buckets []
+    |> List.sort compare
+    |> List.map (fun (e, n) -> Printf.sprintf "[%d, %d]" e n)
+  in
+  if h.h_count = 0 then "{\"count\": 0}"
+  else
+    Printf.sprintf
+      "{\"count\": %d, \"sum\": %.9g, \"min\": %.9g, \"max\": %.9g, \
+       \"buckets\": [%s]}"
+      h.h_count h.h_sum h.h_min h.h_max
+      (String.concat ", " buckets)
+
+let walls_json t =
+  guarded t (fun () ->
+      Printf.sprintf "{%s}"
+        (String.concat ", "
+           (sorted_bindings t.walls ( ! )
+           |> List.map (fun (k, v) -> Printf.sprintf "\"%s\": %.6f" k v))))
+
+let to_json ?(walls = true) t =
+  guarded t (fun () ->
+      let counters =
+        sorted_bindings t.counters ( ! )
+        |> List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v)
+      in
+      let gauges =
+        sorted_bindings t.gauges ( ! )
+        |> List.map (fun (k, v) -> Printf.sprintf "\"%s\": %.9g" k v)
+      in
+      let hists =
+        sorted_bindings t.hists Fun.id
+        |> List.map (fun (k, h) -> Printf.sprintf "\"%s\": %s" k (hist_json h))
+      in
+      let sections =
+        [
+          Printf.sprintf "\"counters\": {%s}" (String.concat ", " counters);
+          Printf.sprintf "\"gauges\": {%s}" (String.concat ", " gauges);
+          Printf.sprintf "\"histograms\": {%s}" (String.concat ", " hists);
+        ]
+        @
+        if walls then
+          [
+            Printf.sprintf "\"wall_s\": {%s}"
+              (String.concat ", "
+                 (sorted_bindings t.walls ( ! )
+                 |> List.map (fun (k, v) -> Printf.sprintf "\"%s\": %.6f" k v)));
+          ]
+        else []
+      in
+      Printf.sprintf "{%s}" (String.concat ", " sections))

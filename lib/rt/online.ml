@@ -1,0 +1,152 @@
+(* Incremental accumulators replicate the offline folds' operation order
+   (see Prete_util.Timeseries): [degree] is the running
+   [Float.max acc (v -. baseline)] fold from 0.0, [mean_abs_gradient]
+   sums |Δ| in arrival order and divides once at read time,
+   [fluctuation_count] counts strict >threshold steps — so the values
+   are bit-identical to the offline functions on the same prefix, not
+   merely close. *)
+
+type acc = {
+  baseline : float;
+  threshold : float;
+  mutable n : int;
+  mutable last : float;
+  mutable deg : float;
+  mutable grad_sum : float;
+  mutable fluct : int;
+}
+
+let acc_create ?(fluct_threshold = 0.01) ~baseline () =
+  {
+    baseline;
+    threshold = fluct_threshold;
+    n = 0;
+    last = 0.0;
+    deg = 0.0;
+    grad_sum = 0.0;
+    fluct = 0;
+  }
+
+let acc_add a v =
+  a.deg <- Float.max a.deg (v -. a.baseline);
+  if a.n > 0 then begin
+    let d = Float.abs (v -. a.last) in
+    a.grad_sum <- a.grad_sum +. d;
+    if d > a.threshold then a.fluct <- a.fluct + 1
+  end;
+  a.last <- v;
+  a.n <- a.n + 1
+
+let acc_count a = a.n
+let degree a = a.deg
+
+let mean_abs_gradient a =
+  if a.n < 2 then 0.0 else a.grad_sum /. float_of_int (a.n - 1)
+
+let fluctuation_count a = a.fluct
+
+(* ------------------------------------------------------------------ *)
+(* Reorder-tolerant ingest                                              *)
+(* ------------------------------------------------------------------ *)
+
+type ingest = {
+  horizon : int;
+  pending : (int, float) Hashtbl.t;
+  mutable next : int;  (* next timestamp to finalize *)
+  mutable last_present : (int * float) option;  (* last emitted present *)
+  mutable max_seen : int;
+  mutable dups : int;
+  mutable late : int;
+  mutable filled : int;
+}
+
+let ingest_create ?(horizon = 3) () =
+  if horizon < 0 then invalid_arg "Online.ingest_create: negative horizon";
+  {
+    horizon;
+    pending = Hashtbl.create 32;
+    next = 0;
+    last_present = None;
+    max_seen = -1;
+    dups = 0;
+    late = 0;
+    filled = 0;
+  }
+
+let offer g ~t ~v =
+  if t < g.next then g.late <- g.late + 1
+  else if Hashtbl.mem g.pending t then g.dups <- g.dups + 1
+  else begin
+    Hashtbl.replace g.pending t v;
+    if t > g.max_seen then g.max_seen <- t
+  end
+
+(* Smallest present timestamp in (after, upto], or None.  A timestamp's
+   presence is only {e final} once it is at or behind the finalization
+   frontier (no arrival can still land there), so the caller bounds
+   [upto] by the frontier — this is what makes online gap interpolation
+   agree with the offline pass over the completed trace: both use the
+   true nearest present neighbours. *)
+let next_present g ~after ~upto =
+  let rec scan t =
+    if t > upto then None
+    else
+      match Hashtbl.find_opt g.pending t with
+      | Some v -> Some (t, v)
+      | None -> scan (t + 1)
+  in
+  scan (after + 1)
+
+(* Finalize everything at or behind [frontier].  [closing] additionally
+   fills a trailing gap (stream over: no right neighbour will ever
+   come). *)
+let finalize g ~frontier ~closing =
+  let out = ref [] in
+  let emit t v = out := (t, v) :: !out in
+  let continue = ref true in
+  while !continue && g.next <= frontier do
+    match Hashtbl.find_opt g.pending g.next with
+    | Some v ->
+      Hashtbl.remove g.pending g.next;
+      emit g.next v;
+      g.last_present <- Some (g.next, v);
+      g.next <- g.next + 1
+    | None -> (
+      match next_present g ~after:g.next ~upto:frontier with
+      | Some (t1, v1) ->
+        (* Interior (or leading) gap with a determined right neighbour:
+           the exact Timeseries.interpolate_missing arithmetic. *)
+        (match g.last_present with
+        | None ->
+          for j = g.next to t1 - 1 do
+            emit j v1;
+            g.filled <- g.filled + 1
+          done
+        | Some (i0, v0) ->
+          let span = float_of_int (t1 - i0) in
+          for j = g.next to t1 - 1 do
+            let w = float_of_int (j - i0) /. span in
+            emit j (((1.0 -. w) *. v0) +. (w *. v1));
+            g.filled <- g.filled + 1
+          done);
+        g.next <- t1
+      | None ->
+        if closing then begin
+          (match g.last_present with
+          | None -> invalid_arg "Online.flush: no samples present"
+          | Some (_, v0) ->
+            for j = g.next to frontier do
+              emit j v0;
+              g.filled <- g.filled + 1
+            done);
+          g.next <- frontier + 1
+        end
+        else continue := false (* right neighbour not yet determined *))
+  done;
+  List.rev !out
+
+let drain g ~now = finalize g ~frontier:(now - g.horizon) ~closing:false
+let flush g ~upto = finalize g ~frontier:upto ~closing:true
+let dups g = g.dups
+let late g = g.late
+let filled g = g.filled

@@ -1,0 +1,35 @@
+type entry = { seq : int; tick : int; kind : string; fiber : int; value : float }
+
+type t = {
+  capacity : int;
+  buf : entry array;
+  mutable count : int;  (* total pushed *)
+}
+
+let dummy = { seq = -1; tick = 0; kind = ""; fiber = -1; value = 0.0 }
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { capacity; buf = Array.make capacity dummy; count = 0 }
+
+let push t ~tick ~kind ~fiber ~value =
+  t.buf.(t.count mod t.capacity) <- { seq = t.count; tick; kind; fiber; value };
+  t.count <- t.count + 1
+
+let total t = t.count
+let dropped t = max 0 (t.count - t.capacity)
+
+let entries t =
+  let n = min t.count t.capacity in
+  let first = t.count - n in
+  Array.init n (fun i -> t.buf.((first + i) mod t.capacity))
+
+let entry_json e =
+  Printf.sprintf
+    "{\"seq\": %d, \"t\": %d, \"kind\": \"%s\", \"fiber\": %d, \"v\": %.9g}"
+    e.seq e.tick e.kind e.fiber e.value
+
+let to_json t =
+  let es = entries t in
+  Printf.sprintf "[%s]"
+    (String.concat ", " (Array.to_list (Array.map entry_json es)))

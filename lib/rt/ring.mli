@@ -1,0 +1,36 @@
+(** Bounded event-trace ring buffer.
+
+    The runtime logs one entry per pipeline event (degradation onset,
+    alarm, reaction, install, cut, segment end, ...).  The buffer keeps
+    the most recent [capacity] entries; older entries are counted as
+    dropped, never silently lost from the tallies.  Sequence numbers are
+    assigned at push in arrival order, so the dumped log is a total
+    order — the determinism contract compares it byte-for-byte. *)
+
+type entry = {
+  seq : int;  (** Global arrival index (monotone). *)
+  tick : int;  (** Logical second the event happened at. *)
+  kind : string;  (** Machine-friendly tag, e.g. ["alarm"]. *)
+  fiber : int;  (** Subject fiber; [-1] when not fiber-scoped. *)
+  value : float;  (** Event payload (score, latency, batch size...). *)
+}
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] for non-positive capacity. *)
+
+val push : t -> tick:int -> kind:string -> fiber:int -> value:float -> unit
+
+val entries : t -> entry array
+(** Retained entries, oldest first. *)
+
+val total : t -> int
+(** Entries ever pushed. *)
+
+val dropped : t -> int
+(** [max 0 (total - capacity)]. *)
+
+val to_json : t -> string
+(** JSON array of the retained entries (oldest first) — the replayable
+    event log. *)

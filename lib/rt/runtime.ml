@@ -1,0 +1,720 @@
+open Prete_net
+open Prete_optics
+open Prete
+module Rng = Prete_util.Rng
+module Pool = Prete_exec.Pool
+
+type predictor_kind = Hazard_oracle | Prior_only | Nn of int
+
+let predictor_kind_name = function
+  | Hazard_oracle -> "hazard"
+  | Prior_only -> "prior"
+  | Nn n -> Printf.sprintf "nn:%d" n
+
+let predictor_kind_of_string s =
+  match s with
+  | "hazard" -> Hazard_oracle
+  | "prior" -> Prior_only
+  | _ ->
+    (match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "nn" -> (
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt rest with
+      | Some n when n > 0 -> Nn n
+      | _ -> failwith ("Runtime.predictor_kind_of_string: " ^ s))
+    | _ -> failwith ("Runtime.predictor_kind_of_string: " ^ s))
+
+type config = {
+  topology : string;
+  epochs : int;
+  seed : int;
+  scale : float;
+  detector : Detector.config;
+  impairments : Stream.impairments;
+  debounce_s : int;
+  deadline_s : float option;
+  predictor : predictor_kind;
+  stale_after : int option;
+  ring_capacity : int;
+}
+
+let default_config =
+  {
+    topology = "abilene";
+    epochs = 40;
+    seed = 123;
+    scale = 2.0;
+    detector = Detector.default_config;
+    impairments = Stream.default_impairments;
+    debounce_s = 30;
+    deadline_s = None;
+    predictor = Hazard_oracle;
+    stale_after = None;
+    ring_capacity = 4096;
+  }
+
+type detection = {
+  d_epoch : int;
+  d_fiber : int;
+  d_onset : int;
+  d_alarm : int;
+  d_install : int option;
+  d_prob : float;
+  d_fallback : bool;
+  d_cut : int option;
+}
+
+type result = {
+  r_config : config;
+  r_epochs : int;
+  r_degr_epochs : int;
+  r_cut_epochs : int;
+  r_detections : detection list;
+  r_reacted_in_time : int;
+  r_missed : int;
+  r_avail_stream : float;
+  r_avail_periodic : float;
+  r_avail_instant : float;
+  r_metrics : Metrics.t;
+  r_ring : Ring.t;
+  r_solver : Prete_lp.Solver_stats.t;
+  r_scheme : Schemes.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-epoch detection (parallel, pure)                                *)
+(* ------------------------------------------------------------------ *)
+
+let epoch_len = int_of_float Hazard.epoch_seconds (* 900 *)
+
+(* What one fiber's stream produced within its epoch.  Ticks are
+   epoch-relative; the sequential merge globalizes them. *)
+type fiber_run = {
+  fr_fiber : int;
+  fr_onset : int;
+  fr_cut_at : int option;
+  fr_truth : Hazard.features;
+  fr_events : (int * string * float) list; (* (tick, kind, value), in order *)
+  fr_alarm : int option;
+  fr_alarm_feats : (float * float * int * int) option;
+  fr_samples : int;
+  fr_dups : int;
+  fr_late : int;
+  fr_filled : int;
+  fr_segments : int;
+  fr_cut_segments : int;
+}
+
+let process_fiber cfg ~topo ~rng ~fb ~(truth : Hazard.features) ~cut =
+  (* Draw order per fiber is part of the determinism contract: trace
+     seed, onset offset, then the transport schedule. *)
+  let trace_seed = Rng.int rng 1_000_000 in
+  let dur = int_of_float (Float.ceil truth.Hazard.duration_s) in
+  let seg_len = max 1 (min dur (epoch_len - 120)) in
+  let span = epoch_len - 120 - seg_len in
+  let onset = 60 + if span > 0 then Rng.int rng span else 0 in
+  let cut_at = if cut then Some (onset + seg_len) else None in
+  let baseline = Telemetry.baseline_loss topo fb in
+  let trace =
+    Telemetry.synthesize ~seed:trace_seed ~baseline ~healthy_s:onset
+      ~degradation:truth ?cut_at_s:cut_at ~total_s:epoch_len ()
+  in
+  let arrivals = Stream.schedule rng cfg.impairments trace in
+  let q = Equeue.create () in
+  List.iter (fun a -> Equeue.push q ~time:a.Stream.a_tick a) arrivals;
+  let ing = Online.ingest_create ~horizon:cfg.impairments.Stream.max_delay () in
+  let det = Detector.create ~config:cfg.detector ~baseline () in
+  let events = ref [] in
+  let alarm = ref None and alarm_feats = ref None in
+  let segments = ref 0 and cut_segments = ref 0 in
+  let on_event at = function
+    | Detector.Degr_start t ->
+      events := (t, "degr_seen", float_of_int (t - onset)) :: !events
+    | Detector.Alarm { at = t; score } ->
+      events := (t, "alarm", score) :: !events;
+      if !alarm = None then begin
+        alarm := Some t;
+        alarm_feats := Detector.current_features det
+      end
+    | Detector.Segment_end seg ->
+      incr segments;
+      if seg.Detector.seg_cut then incr cut_segments;
+      events := (at, "segment_end", seg.Detector.seg_degree) :: !events
+  in
+  let feed (t, v) = List.iter (on_event t) (Detector.step det ~at:t ~v) in
+  (* The event loop proper: one logical tick per second, delivering the
+     tick's arrivals and finalizing everything the reorder horizon
+     allows.  A few extra ticks at the end let the last delayed
+     arrivals land before the stream closes. *)
+  for now = 0 to epoch_len - 1 + cfg.impairments.Stream.max_delay do
+    List.iter
+      (fun (_, a) -> Online.offer ing ~t:a.Stream.a_t ~v:a.Stream.a_v)
+      (Equeue.pop_until q ~time:now);
+    List.iter feed (Online.drain ing ~now)
+  done;
+  if arrivals <> [] then List.iter feed (Online.flush ing ~upto:(epoch_len - 1));
+  {
+    fr_fiber = fb;
+    fr_onset = onset;
+    fr_cut_at = cut_at;
+    fr_truth = truth;
+    fr_events = List.rev !events;
+    fr_alarm = !alarm;
+    fr_alarm_feats = !alarm_feats;
+    fr_samples = List.length arrivals;
+    fr_dups = Online.dups ing;
+    fr_late = Online.late ing;
+    fr_filled = Online.filled ing;
+    fr_segments = !segments;
+    fr_cut_segments = !cut_segments;
+  }
+
+let process_epoch cfg ~topo ~rng (s : Simulate.Internal.epoch_sample) =
+  List.map
+    (fun (fb, truth) ->
+      process_fiber cfg ~topo ~rng ~fb ~truth
+        ~cut:(List.mem fb s.Simulate.Internal.es_cuts))
+    s.Simulate.Internal.es_degraded
+
+(* ------------------------------------------------------------------ *)
+(* Predictor construction                                              *)
+(* ------------------------------------------------------------------ *)
+
+let build_model kind (env : Availability.env) topo =
+  match kind with
+  | Hazard_oracle ->
+    let nf = Topology.num_fibers topo in
+    fun f -> Hazard.eval ~num_fibers:nf f
+  | Prior_only -> Predictor.prior env.Availability.model
+  | Nn train_epochs ->
+    let ds = Dataset.generate ~model:env.Availability.model topo in
+    let corpus = Prete_ml.Corpus.of_dataset ds in
+    let mlp =
+      Prete_ml.Mlp.train
+        ~config:{ Prete_ml.Mlp.default_config with epochs = train_epochs }
+        corpus.Prete_ml.Corpus.train
+    in
+    Prete_ml.Mlp.predict_proba mlp
+
+(* ------------------------------------------------------------------ *)
+(* The run                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let measured_features (truth : Hazard.features) = function
+  | Some (deg, grad, fluct, dur) ->
+    {
+      truth with
+      Hazard.degree = deg;
+      gradient = grad;
+      fluctuation = fluct;
+      duration_s = float_of_int dur;
+    }
+  | None ->
+    (* CUSUM early warning before any sample classified as degraded:
+       no measured excursion yet. *)
+    { truth with Hazard.degree = 0.0; gradient = 0.0; fluctuation = 0; duration_s = 0.0 }
+
+let run ?pool ?env ?predictor cfg =
+  if cfg.epochs <= 0 then invalid_arg "Runtime.run: epochs must be positive";
+  let owns_pool = pool = None in
+  let pool = match pool with Some p -> p | None -> Pool.create () in
+  Fun.protect
+    ~finally:(fun () -> if owns_pool then Pool.shutdown pool)
+  @@ fun () ->
+  let env =
+    match env with
+    | Some e -> e
+    | None -> Availability.make_env (Topology.by_name cfg.topology)
+  in
+  let topo = env.Availability.ts.Tunnels.topo in
+  let ts = env.Availability.ts in
+  let demands =
+    Traffic.demand env.Availability.traffic ~scale:cfg.scale
+      ~epoch:env.Availability.epoch
+  in
+  let metrics = Metrics.create () in
+  let ring = Ring.create ~capacity:cfg.ring_capacity in
+  let solver = Prete_lp.Solver_stats.create () in
+  (* [swap_model]: the fresh version the stale/swap drill re-installs.
+     With an externally supplied server we have no model to offer, so
+     the drill only marks stale (predictions stay on the fallback). *)
+  let server, swap_model =
+    match predictor with
+    | Some p -> (p, None)
+    | None ->
+      let model = build_model cfg.predictor env topo in
+      (Predictor.create ~fallback:(Predictor.prior env.Availability.model) model,
+       Some model)
+  in
+  let scheme =
+    Schemes.prete_default ~predictor:(fun f -> fst (Predictor.predict server f)) ()
+  in
+  (* Phase 1 — ground truth: the exact sample path Simulate.run draws. *)
+  let samples =
+    Metrics.time metrics "sample" (fun () ->
+        let rngs = Simulate.Internal.epoch_streams ~seed:cfg.seed ~epochs:cfg.epochs in
+        Pool.parallel_map pool (Simulate.Internal.sample_epoch env) rngs)
+  in
+  (* Phase 2 — detection: every degrading fiber's 1 Hz stream, processed
+     per epoch on the pool from pre-split runtime substreams. *)
+  let rt_master = Rng.create (cfg.seed lxor 0x5eed) in
+  let rt_rngs = Array.init cfg.epochs (fun _ -> Rng.split rt_master) in
+  let epoch_runs =
+    Metrics.time metrics "detect" (fun () ->
+        Pool.parallel_map pool
+          (fun e -> process_epoch cfg ~topo ~rng:rt_rngs.(e) samples.(e))
+          (Array.init cfg.epochs Fun.id))
+  in
+  (* Phase 3 — reaction: sequential over epochs (the ladder's retained
+     basis and the plan cache are deliberately order-dependent). *)
+  let ladder = Resilience.create () in
+  let cache = Controller.cache () in
+  let last_reaction : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let installs : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let detections = ref [] in
+  let rung_counts = Hashtbl.create 4 in
+  Metrics.time metrics "react" (fun () ->
+      for e = 0 to cfg.epochs - 1 do
+        let base = e * epoch_len in
+        (match cfg.stale_after with
+        | Some k when e = k -> Predictor.mark_stale server
+        | Some k when e = 2 * k && k > 0 ->
+          Option.iter (fun m -> Predictor.swap server m) swap_model
+        | _ -> ());
+        let frs = epoch_runs.(e) in
+        let epoch_events = ref [] in
+        let ev tick kind fiber value =
+          epoch_events := (tick, kind, fiber, value) :: !epoch_events
+        in
+        (* Ground truth + detector events, per fiber in fiber order. *)
+        List.iter
+          (fun fr ->
+            ev (base + fr.fr_onset) "degr_true" fr.fr_fiber 0.0;
+            List.iter
+              (fun (t, kind, v) -> ev (base + t) kind fr.fr_fiber v)
+              fr.fr_events;
+            Option.iter (fun c -> ev (base + c) "cut" fr.fr_fiber 0.0) fr.fr_cut_at;
+            Metrics.incr ~by:fr.fr_samples metrics "samples";
+            Metrics.incr ~by:fr.fr_dups metrics "dups";
+            Metrics.incr ~by:fr.fr_late metrics "late";
+            Metrics.incr ~by:fr.fr_filled metrics "gaps_filled";
+            Metrics.incr ~by:fr.fr_segments metrics "segments";
+            Metrics.incr ~by:fr.fr_cut_segments metrics "cut_segments")
+          frs;
+        (* Cuts with no degradation signal at all. *)
+        List.iter
+          (fun fb ->
+            if not (List.exists (fun fr -> fr.fr_fiber = fb) frs) then begin
+              ev base "cut_silent" fb 0.0;
+              Metrics.incr metrics "silent_cuts"
+            end)
+          samples.(e).Simulate.Internal.es_cuts;
+        (* Alarms → debounce → batches (one per alarm tick). *)
+        let alarmed =
+          List.filter_map
+            (fun fr -> Option.map (fun a -> (base + a, fr)) fr.fr_alarm)
+            frs
+          |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+        in
+        let rec batches = function
+          | [] -> []
+          | (t, fr) :: rest ->
+            let same, later = List.partition (fun (t', _) -> t' = t) rest in
+            (t, fr :: List.map snd same) :: batches later
+        in
+        List.iter
+          (fun (g, members) ->
+            Metrics.incr ~by:(List.length members) metrics "alarms";
+            let eligible, debounced =
+              List.partition
+                (fun fr ->
+                  match Hashtbl.find_opt last_reaction fr.fr_fiber with
+                  | Some t -> g - t >= cfg.debounce_s
+                  | None -> true)
+                members
+            in
+            List.iter
+              (fun fr ->
+                Metrics.incr metrics "debounced";
+                detections :=
+                  {
+                    d_epoch = e;
+                    d_fiber = fr.fr_fiber;
+                    d_onset = base + fr.fr_onset;
+                    d_alarm = g;
+                    d_install = None;
+                    d_prob = 0.0;
+                    d_fallback = false;
+                    d_cut = Option.map (fun c -> base + c) fr.fr_cut_at;
+                  }
+                  :: !detections)
+              debounced;
+            if eligible <> [] then begin
+              let n = List.length eligible in
+              Metrics.incr metrics "reactions";
+              Metrics.observe metrics "batch_size" (float_of_int n);
+              let predicted =
+                List.map
+                  (fun fr ->
+                    let feats = measured_features fr.fr_truth fr.fr_alarm_feats in
+                    let p, fell_back = Predictor.predict server feats in
+                    (fr, feats, p, fell_back))
+                  eligible
+              in
+              (* Target: the epoch's planned-for fiber when it is in the
+                 batch, else the first alarmed fiber. *)
+              let target =
+                match samples.(e).Simulate.Internal.es_state with
+                | Some fb when List.exists (fun (fr, _, _, _) -> fr.fr_fiber = fb) predicted
+                  -> fb
+                | _ -> (match eligible with fr :: _ -> fr.fr_fiber | [] -> assert false)
+              in
+              let key =
+                Controller.plan_key ~ts ~demands
+                  ~probs:env.Availability.model.Fiber_model.p_cut
+                  ~salt:[ 1000 + target ] ()
+              in
+              let upd = Tunnel_update.react ts ~degraded_fiber:target () in
+              let n_new = Tunnel_update.num_new upd in
+              (match Controller.cache_find cache key with
+              | Some (_ : Availability.plan) -> ()
+              | None ->
+                let degr_features = Array.copy env.Availability.degr_events in
+                List.iter
+                  (fun (fr, feats, _, _) -> degr_features.(fr.fr_fiber) <- feats)
+                  predicted;
+                let primary ~warm () =
+                  Availability.Internal.plan_alloc_warm ?deadline:cfg.deadline_s
+                    ?warm ~degr_features env scheme ~demands
+                    ~degraded:(Some target)
+                in
+                let outcome, _report =
+                  Controller.run ~solver_stats:solver
+                    ~infer:(fun () -> ())
+                    ~regen:(fun () -> ())
+                    ~te:(fun () ->
+                      Resilience.plan_epoch ladder ~ts ~demands ~primary ())
+                    ~n_new_tunnels:n_new ()
+                in
+                let rung = Resilience.rung_name outcome.Resilience.rung in
+                Hashtbl.replace rung_counts rung
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt rung_counts rung));
+                Controller.cache_store cache key
+                  ~degraded:(Resilience.degraded outcome)
+                  outcome.Resilience.plan);
+              (* Modeled install latency: detection + per-member batch
+                 handling + inference/regen model + plan push + the
+                 Fig. 11b tunnel-establishment time for the Algorithm 1
+                 update the reactive plan carries. *)
+              let latency =
+                Controller.detection_s
+                +. (0.002 *. float_of_int n)
+                +. 0.010 +. 0.25
+                +. Controller.tunnel_update_time n_new
+              in
+              let install = g + int_of_float (Float.ceil latency) in
+              Metrics.observe metrics "reaction_latency_s" latency;
+              List.iter
+                (fun (fr, _, p, fell_back) ->
+                  Hashtbl.replace last_reaction fr.fr_fiber g;
+                  Hashtbl.replace installs (e, fr.fr_fiber) install;
+                  Metrics.observe metrics "detection_latency_s"
+                    (float_of_int (g - (base + fr.fr_onset)));
+                  ev g "react" fr.fr_fiber latency;
+                  ev install "install" fr.fr_fiber p;
+                  detections :=
+                    {
+                      d_epoch = e;
+                      d_fiber = fr.fr_fiber;
+                      d_onset = base + fr.fr_onset;
+                      d_alarm = g;
+                      d_install = Some install;
+                      d_prob = p;
+                      d_fallback = fell_back;
+                      d_cut = Option.map (fun c -> base + c) fr.fr_cut_at;
+                    }
+                    :: !detections)
+                predicted
+            end)
+          (batches alarmed);
+        (* Flush the epoch's events to the ring in tick order (stable:
+           insertion order breaks ties). *)
+        let evs = Array.of_list (List.rev !epoch_events) in
+        let order = Array.init (Array.length evs) Fun.id in
+        Array.stable_sort
+          (fun i j ->
+            let (ti, _, _, _) = evs.(i) and (tj, _, _, _) = evs.(j) in
+            compare (ti, i) (tj, j))
+          order;
+        Array.iter
+          (fun i ->
+            let tick, kind, fiber, value = evs.(i) in
+            Ring.push ring ~tick ~kind ~fiber ~value)
+          order
+      done);
+  let detections = List.rev !detections in
+  Hashtbl.fold (fun rung c () -> Metrics.incr ~by:c metrics ("rung_" ^ rung)) rung_counts ();
+  (* Phase 4 — evaluation: three policies, identical arithmetic. *)
+  let state_instant =
+    Array.map (fun s -> s.Simulate.Internal.es_state) samples
+  in
+  let epoch_cuts = Array.map (fun s -> s.Simulate.Internal.es_cuts) samples in
+  let reacted = ref 0 and missed = ref 0 in
+  let state_stream =
+    Array.mapi
+      (fun e (s : Simulate.Internal.epoch_sample) ->
+        match s.es_state with
+        | None -> None
+        | Some fb ->
+          let fr = List.find_opt (fun fr -> fr.fr_fiber = fb) epoch_runs.(e) in
+          let deadline =
+            match fr with
+            | Some { fr_cut_at = Some c; _ } -> (e * epoch_len) + c - 1
+            | _ -> (e * epoch_len) + epoch_len - 1
+          in
+          let in_time =
+            match Hashtbl.find_opt installs (e, fb) with
+            | Some i -> i <= deadline
+            | None -> false
+          in
+          let cut = List.mem fb s.es_cuts in
+          if cut then if in_time then incr reacted else incr missed;
+          if in_time then Some fb else None)
+      samples
+  in
+  let state_periodic = Array.make cfg.epochs None in
+  let eval state =
+    Simulate.Internal.eval_epochs pool env scheme ~demands ~state ~epoch_cuts
+  in
+  let avail_stream = Metrics.time metrics "eval_stream" (fun () -> eval state_stream) in
+  let avail_periodic =
+    Metrics.time metrics "eval_periodic" (fun () -> eval state_periodic)
+  in
+  let avail_instant =
+    Metrics.time metrics "eval_instant" (fun () -> eval state_instant)
+  in
+  let degr_epochs =
+    Array.fold_left
+      (fun acc (s : Simulate.Internal.epoch_sample) ->
+        if s.es_degraded <> [] then acc + 1 else acc)
+      0 samples
+  in
+  let cut_epochs =
+    Array.fold_left
+      (fun acc (s : Simulate.Internal.epoch_sample) ->
+        if s.es_cuts <> [] then acc + 1 else acc)
+      0 samples
+  in
+  let hits, misses = Controller.cache_stats cache in
+  Metrics.incr ~by:hits metrics "plan_cache_hits";
+  Metrics.incr ~by:misses metrics "plan_cache_misses";
+  let served, fell_back, swaps = Predictor.stats server in
+  Metrics.incr ~by:served metrics "predictor_served";
+  Metrics.incr ~by:fell_back metrics "predictor_fallbacks";
+  Metrics.incr ~by:swaps metrics "predictor_swaps";
+  Metrics.incr ~by:!reacted metrics "reacted_in_time";
+  Metrics.incr ~by:!missed metrics "missed_cuts";
+  Metrics.set_gauge metrics "avail_stream" avail_stream;
+  Metrics.set_gauge metrics "avail_periodic" avail_periodic;
+  Metrics.set_gauge metrics "avail_instant" avail_instant;
+  {
+    r_config = cfg;
+    r_epochs = cfg.epochs;
+    r_degr_epochs = degr_epochs;
+    r_cut_epochs = cut_epochs;
+    r_detections = detections;
+    r_reacted_in_time = !reacted;
+    r_missed = !missed;
+    r_avail_stream = avail_stream;
+    r_avail_periodic = avail_periodic;
+    r_avail_instant = avail_instant;
+    r_metrics = metrics;
+    r_ring = ring;
+    r_solver = solver;
+    r_scheme = scheme;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Dump / replay                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let config_to_json (c : config) =
+  let b = Buffer.create 512 in
+  let f name v = Buffer.add_string b (Printf.sprintf "\"%s\": %.17g, " name v) in
+  let i name v = Buffer.add_string b (Printf.sprintf "\"%s\": %d, " name v) in
+  Buffer.add_string b "{";
+  Buffer.add_string b (Printf.sprintf "\"topology\": \"%s\", " c.topology);
+  i "epochs" c.epochs;
+  i "seed" c.seed;
+  f "scale" c.scale;
+  f "ewma_alpha" c.detector.Detector.ewma_alpha;
+  f "cusum_k" c.detector.Detector.cusum_k;
+  f "cusum_h" c.detector.Detector.cusum_h;
+  f "fluct_threshold" c.detector.Detector.fluct_threshold;
+  f "degr_threshold" c.detector.Detector.degr_threshold;
+  f "cut_threshold" c.detector.Detector.cut_threshold;
+  f "gap_rate" c.impairments.Stream.gap_rate;
+  f "dup_rate" c.impairments.Stream.dup_rate;
+  f "reorder_rate" c.impairments.Stream.reorder_rate;
+  i "max_delay" c.impairments.Stream.max_delay;
+  i "debounce_s" c.debounce_s;
+  Buffer.add_string b
+    (match c.deadline_s with
+    | Some d -> Printf.sprintf "\"deadline_s\": %.17g, " d
+    | None -> "\"deadline_s\": null, ");
+  Buffer.add_string b
+    (Printf.sprintf "\"predictor\": \"%s\", " (predictor_kind_name c.predictor));
+  Buffer.add_string b
+    (match c.stale_after with
+    | Some k -> Printf.sprintf "\"stale_after\": %d, " k
+    | None -> "\"stale_after\": null, ");
+  Buffer.add_string b (Printf.sprintf "\"ring_capacity\": %d}" c.ring_capacity);
+  Buffer.contents b
+
+let deterministic_core r =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"summary\": {";
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"epochs\": %d, \"degr_epochs\": %d, \"cut_epochs\": %d, \
+        \"detections\": %d, \"reacted_in_time\": %d, \"missed\": %d}, "
+       r.r_epochs r.r_degr_epochs r.r_cut_epochs
+       (List.length r.r_detections)
+       r.r_reacted_in_time r.r_missed);
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"availability\": {\"stream\": %.17g, \"periodic\": %.17g, \
+        \"instant\": %.17g}, "
+       r.r_avail_stream r.r_avail_periodic r.r_avail_instant);
+  Buffer.add_string b "\"metrics\": ";
+  Buffer.add_string b (Metrics.to_json ~walls:false r.r_metrics);
+  Buffer.add_string b ", \"events\": ";
+  Buffer.add_string b (Ring.to_json r.r_ring);
+  Buffer.add_string b "}";
+  Buffer.contents b
+
+let dump r =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\"prete_rt\": 1,\n\"config\": ";
+  Buffer.add_string b (config_to_json r.r_config);
+  Buffer.add_string b ",\n\"core\": ";
+  Buffer.add_string b (deterministic_core r);
+  Buffer.add_string b ",\n\"solver\": ";
+  Buffer.add_string b (Prete_lp.Solver_stats.to_json r.r_solver);
+  Buffer.add_string b ",\n\"wall_s\": ";
+  Buffer.add_string b (Metrics.walls_json r.r_metrics);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* Minimal flat-JSON field scanner — enough for config_to_json output. *)
+let field_raw json key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let plen = String.length pat and n = String.length json in
+  let rec find i =
+    if i + plen > n then None
+    else if String.sub json i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some j ->
+    let j = ref j in
+    while !j < n && json.[!j] = ' ' do incr j done;
+    if !j >= n then None
+    else if json.[!j] = '"' then begin
+      let k = String.index_from json (!j + 1) '"' in
+      Some (String.sub json (!j + 1) (k - !j - 1))
+    end
+    else begin
+      let start = !j in
+      while !j < n && json.[!j] <> ',' && json.[!j] <> '}' do incr j done;
+      Some (String.trim (String.sub json start (!j - start)))
+    end
+
+let object_at json key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let plen = String.length pat and n = String.length json in
+  let rec find i =
+    if i + plen > n then None
+    else if String.sub json i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some j ->
+    let j = ref j in
+    while !j < n && json.[!j] <> '{' do incr j done;
+    if !j >= n then None
+    else begin
+      let start = !j and depth = ref 0 and stop = ref (-1) and in_str = ref false in
+      (try
+         for k = start to n - 1 do
+           let c = json.[k] in
+           if !in_str then (if c = '"' && json.[k - 1] <> '\\' then in_str := false)
+           else
+             match c with
+             | '"' -> in_str := true
+             | '{' -> incr depth
+             | '}' ->
+               decr depth;
+               if !depth = 0 then begin
+                 stop := k;
+                 raise Exit
+               end
+             | _ -> ()
+         done
+       with Exit -> ());
+      if !stop < 0 then None else Some (String.sub json start (!stop - start + 1))
+    end
+
+let config_of_dump json =
+  let cfg =
+    match object_at json "config" with
+    | Some c -> c
+    | None -> failwith "Runtime.config_of_dump: no config section"
+  in
+  let req key =
+    match field_raw cfg key with
+    | Some v -> v
+    | None -> failwith ("Runtime.config_of_dump: missing " ^ key)
+  in
+  let fl key = float_of_string (req key) in
+  let it key = int_of_string (req key) in
+  let opt_of conv key = match req key with "null" -> None | v -> Some (conv v) in
+  {
+    topology = req "topology";
+    epochs = it "epochs";
+    seed = it "seed";
+    scale = fl "scale";
+    detector =
+      {
+        Detector.ewma_alpha = fl "ewma_alpha";
+        cusum_k = fl "cusum_k";
+        cusum_h = fl "cusum_h";
+        fluct_threshold = fl "fluct_threshold";
+        degr_threshold = fl "degr_threshold";
+        cut_threshold = fl "cut_threshold";
+      };
+    impairments =
+      {
+        Stream.gap_rate = fl "gap_rate";
+        dup_rate = fl "dup_rate";
+        reorder_rate = fl "reorder_rate";
+        max_delay = it "max_delay";
+      };
+    debounce_s = it "debounce_s";
+    deadline_s = opt_of float_of_string "deadline_s";
+    predictor = predictor_kind_of_string (req "predictor");
+    stale_after = opt_of int_of_string "stale_after";
+    ring_capacity = it "ring_capacity";
+  }
+
+let replay ?pool json =
+  let cfg = config_of_dump json in
+  let dumped_core =
+    match object_at json "core" with
+    | Some c -> c
+    | None -> failwith "Runtime.replay: no core section"
+  in
+  let r = run ?pool cfg in
+  (r, String.equal (deterministic_core r) dumped_core)

@@ -1,0 +1,137 @@
+(** The streaming telemetry runtime: online detection → prediction →
+    reaction over a deterministic discrete-event loop at 1 Hz.
+
+    One run replays the {e same} generative epoch ground truth that
+    {!Prete.Simulate.run} draws from a seed, but at sample granularity:
+    every degrading fiber gets a synthesized 1 Hz loss trace, the trace
+    is pushed through an impaired transport ({!Stream}), reassembled by
+    the reorder-tolerant ingest ({!Online}), and watched by the online
+    change-point detector ({!Detector}).  Alarms are debounced, batched
+    per tick, scored by the hot-swappable predictor server
+    ({!Predictor}), and turned into reactive plans by
+    {!Prete.Controller.run} under the {!Prete.Resilience} fallback
+    ladder, reusing the warm-start plan cache.
+
+    {b Evaluation.}  Three reaction policies are scored on the identical
+    sample path with {!Prete.Simulate.Internal.eval_epochs}'s
+    arithmetic:
+
+    - {e instant}: the plan for an epoch's degrading fiber is always in
+      place — bitwise equal to {!Prete.Simulate.run}'s availability on
+      the same seed, scheme and env;
+    - {e stream}: the reactive plan counts only for epochs where this
+      runtime's pipeline installed it before the fiber's cut tick (or
+      before epoch end when no cut follows);
+    - {e periodic}: no intra-epoch reaction at all — the base plan
+      serves every epoch (the "periodic re-solve only" baseline).
+
+    Plan {e contents} in the evaluation come from the same per-state
+    plan table {!Prete.Simulate.run} uses, so the stream−periodic and
+    instant−stream gaps isolate reaction {e timing}, not plan noise.
+
+    {b Determinism.}  Identical seed ⇒ bit-identical event log, metrics
+    core and availabilities at any domain count: epoch processing runs
+    on pre-split RNG substreams, all latencies in the event log are
+    modeled (logical) quantities, and measured wall times live in a
+    separate section that {!deterministic_core} excludes. *)
+
+type predictor_kind =
+  | Hazard_oracle  (** Ground-truth hazard — the perfect predictor. *)
+  | Prior_only  (** Hazard-free mean-hazard prior ({!Predictor.prior}). *)
+  | Nn of int
+      (** MLP trained on the env model's dataset for the given number of
+          training epochs (deterministic: seeded corpus + seeded init). *)
+
+val predictor_kind_name : predictor_kind -> string
+(** ["hazard"], ["prior"], ["nn:<epochs>"]. *)
+
+val predictor_kind_of_string : string -> predictor_kind
+(** Inverse of {!predictor_kind_name}; raises [Failure] otherwise. *)
+
+type config = {
+  topology : string;  (** {!Prete_net.Topology.by_name} name. *)
+  epochs : int;  (** TE periods to stream (900 s each). *)
+  seed : int;  (** Ground-truth sample-path seed (as in Simulate). *)
+  scale : float;  (** Demand scale. *)
+  detector : Detector.config;
+  impairments : Stream.impairments;
+  debounce_s : int;  (** Min seconds between reactions to one fiber. *)
+  deadline_s : float option;  (** Anytime budget per primary solve. *)
+  predictor : predictor_kind;
+  stale_after : int option;
+      (** Mark the serving model stale at this epoch (predictions fall
+          back to the prior) and hot-swap a fresh version at twice it —
+          exercises the stale/swap path deterministically. *)
+  ring_capacity : int;  (** Event-trace ring size. *)
+}
+
+val default_config : config
+(** abilene topology, 40 epochs, seed 123, scale 2.0, default detector
+    and impairments, 30 s debounce, no deadline, [Hazard_oracle]
+    predictor, ring capacity 4096. *)
+
+type detection = {
+  d_epoch : int;
+  d_fiber : int;
+  d_onset : int;  (** Global tick the degradation truly started. *)
+  d_alarm : int;  (** Global tick the detector alarmed. *)
+  d_install : int option;
+      (** Global tick the reactive plan was in place; [None] when the
+          alarm was debounced away. *)
+  d_prob : float;  (** Predicted cut probability at alarm time. *)
+  d_fallback : bool;  (** Prediction came from the stale-model prior. *)
+  d_cut : int option;  (** Global tick the fiber actually cut. *)
+}
+
+type result = {
+  r_config : config;
+  r_epochs : int;
+  r_degr_epochs : int;
+  r_cut_epochs : int;
+  r_detections : detection list;  (** Chronological. *)
+  r_reacted_in_time : int;
+      (** State-fiber cut epochs whose reactive plan installed in time. *)
+  r_missed : int;  (** State-fiber cut epochs it did not. *)
+  r_avail_stream : float;
+  r_avail_periodic : float;
+  r_avail_instant : float;
+  r_metrics : Metrics.t;
+  r_ring : Ring.t;
+  r_solver : Prete_lp.Solver_stats.t;
+      (** Reaction-stage solver telemetry (walls included). *)
+  r_scheme : Prete.Schemes.t;
+      (** The exact scheme (predictor closure included) the run used —
+          pass it to {!Prete.Simulate.run} for the instant cross-check. *)
+}
+
+val run :
+  ?pool:Prete_exec.Pool.t ->
+  ?env:Prete.Availability.env ->
+  ?predictor:Predictor.t ->
+  config -> result
+(** Stream [config.epochs] TE periods.  [env] defaults to
+    [Availability.make_env] on the named topology — pass your own to
+    share fixtures with other experiments ({b note}: {!replay} always
+    rebuilds the default env, so dumps of custom-env runs won't match).
+    [predictor] overrides the server built from [config.predictor]
+    (same caveat).  Raises [Invalid_argument] for non-positive epochs
+    or an unknown topology. *)
+
+val dump : result -> string
+(** Full JSON: flat ["config"] section, deterministic ["core"] section
+    (summary, availabilities, metrics without walls, event log), and the
+    measured ["wall_s"] section. *)
+
+val deterministic_core : result -> string
+(** The ["core"] object alone — byte-comparable across domain counts and
+    replays of the same seed. *)
+
+val config_of_dump : string -> config
+(** Parse the ["config"] section back out of {!dump} output; raises
+    [Failure] on malformed input. *)
+
+val replay :
+  ?pool:Prete_exec.Pool.t -> string -> result * bool
+(** [replay dump_json] re-runs the dumped configuration and returns the
+    fresh result plus whether its {!deterministic_core} is byte-equal to
+    the dumped one — the replayability check behind [@stream-smoke]. *)

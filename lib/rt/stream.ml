@@ -1,0 +1,32 @@
+type impairments = {
+  gap_rate : float;
+  dup_rate : float;
+  reorder_rate : float;
+  max_delay : int;
+}
+
+let no_impairments =
+  { gap_rate = 0.0; dup_rate = 0.0; reorder_rate = 0.0; max_delay = 3 }
+
+let default_impairments =
+  { gap_rate = 0.02; dup_rate = 0.01; reorder_rate = 0.05; max_delay = 3 }
+
+type arrival = { a_tick : int; a_t : int; a_v : float }
+
+let schedule rng (imp : impairments) (tr : Prete_optics.Telemetry.trace) =
+  if imp.max_delay < 0 then invalid_arg "Stream.schedule: negative max_delay";
+  let delay () =
+    if imp.max_delay > 0 && Prete_util.Rng.bernoulli rng imp.reorder_rate then
+      1 + Prete_util.Rng.int rng imp.max_delay
+    else 0
+  in
+  let out = ref [] in
+  Array.iteri
+    (fun t v ->
+      if not (Prete_util.Rng.bernoulli rng imp.gap_rate) then begin
+        out := { a_tick = t + delay (); a_t = t; a_v = v } :: !out;
+        if Prete_util.Rng.bernoulli rng imp.dup_rate then
+          out := { a_tick = t + delay (); a_t = t; a_v = v } :: !out
+      end)
+    tr.Prete_optics.Telemetry.samples;
+  List.rev !out

@@ -1,0 +1,30 @@
+(** Impaired arrival schedules for telemetry traces.
+
+    Turns a synthesized 1 Hz trace into the arrival sequence a collector
+    actually sees: each sample may be dropped (a gap), delayed past its
+    source tick (reordering), or delivered twice (duplication).  All
+    draws come from the caller's RNG substream, so a fiber's schedule is
+    a pure function of its seed — the determinism contract's only
+    requirement on the transport layer. *)
+
+type impairments = {
+  gap_rate : float;  (** P(sample never arrives). *)
+  dup_rate : float;  (** P(an extra copy arrives). *)
+  reorder_rate : float;  (** P(delivery is delayed ≥ 1 tick). *)
+  max_delay : int;  (** Max delivery delay, ticks (the ingest horizon). *)
+}
+
+val no_impairments : impairments
+val default_impairments : impairments
+(** 2% gaps, 1% dups, 5% reordered with delays up to 3 ticks. *)
+
+type arrival = {
+  a_tick : int;  (** Delivery tick. *)
+  a_t : int;  (** Source timestamp. *)
+  a_v : float;  (** Sample value. *)
+}
+
+val schedule :
+  Prete_util.Rng.t -> impairments -> Prete_optics.Telemetry.trace -> arrival list
+(** Arrivals in source-timestamp order (delivery order is what the event
+    queue sorts by; ties broken by insertion order, i.e. source order). *)

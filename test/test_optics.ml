@@ -302,6 +302,49 @@ let test_observed_states_count () =
   let tr = Telemetry.synthesize ~baseline:20.0 ~healthy_s:400 ~total_s:400 () in
   Alcotest.(check int) "polls" 4 (Array.length (Telemetry.observed_states ~granularity_s:100 tr))
 
+let test_observed_states_delegates_to_downsample () =
+  (* Regression pin for the Fig. 20a machinery: [observed_states] must be
+     exactly [classify ∘ Timeseries.downsample] — same poll instants
+     (t0-offset multiples of the period), same sampled values, no
+     independent reimplementation drifting from the offline path. *)
+  let degradation =
+    {
+      Hazard.fiber = 0;
+      region = 0;
+      vendor = 0;
+      length_km = 80.0;
+      time_of_day = 2.0;
+      degree = 5.0;
+      gradient = 0.2;
+      fluctuation = 8;
+      duration_s = 90.0;
+    }
+  in
+  let tr =
+    Telemetry.synthesize ~seed:21 ~baseline:18.0 ~healthy_s:120 ~degradation
+      ~cut_at_s:260 ~total_s:400 ()
+  in
+  List.iter
+    (fun granularity_s ->
+      let got = Telemetry.observed_states ~granularity_s tr in
+      let expected =
+        Array.map
+          (fun { Timeseries.t; v } ->
+            (tr.Telemetry.t0 +. t, Telemetry.classify ~baseline:tr.Telemetry.baseline v))
+          (Timeseries.downsample ~period:granularity_s tr.Telemetry.samples)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "delegation at %d s" granularity_s)
+        true (got = expected);
+      Array.iteri
+        (fun i (t, _) ->
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "poll instant %d at %d s" i granularity_s)
+            (tr.Telemetry.t0 +. float_of_int (i * granularity_s))
+            t)
+        got)
+    [ 1; 7; 60; 300 ]
+
 let test_coverage_decreases_with_granularity () =
   (* Fig. 20a: coverage falls from ~25% at 1 s to ~2% at 5 min. *)
   let ds = Lazy.force small_dataset in
@@ -479,6 +522,8 @@ let () =
           Alcotest.test_case "fine sampling sees degradation" `Quick test_fine_sampling_sees_degradation;
           Alcotest.test_case "coarse sampling misses (Fig 4b)" `Quick test_coarse_sampling_misses_short_degradation;
           Alcotest.test_case "observed states count" `Quick test_observed_states_count;
+          Alcotest.test_case "observed states delegate to downsample (Fig 20a)"
+            `Quick test_observed_states_delegates_to_downsample;
           Alcotest.test_case "dropout masks degradation" `Quick
             test_corrupt_dropout_masks_degradation;
           Alcotest.test_case "stuck sensor freezes value" `Quick

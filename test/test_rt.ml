@@ -1,0 +1,527 @@
+(* Streaming runtime (prete_rt) tests.
+
+   The load-bearing guarantees:
+   - online incremental features == offline Timeseries functions, bit-exact,
+     on randomized traces with injected gaps / reordering / duplicates;
+   - the event queue and ingest are deterministic and order-correct;
+   - Runtime.run is bit-identical across domain counts and replayable from
+     its own dump;
+   - the instant policy reproduces Simulate.run's availability on the same
+     seed, and streaming availability never falls below periodic-only. *)
+
+open Prete
+open Prete_net
+open Prete_optics
+open Prete_rt
+module Ts = Prete_util.Timeseries
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let contains s affix =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Equeue                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_equeue_order () =
+  let q = Equeue.create () in
+  List.iter (fun (t, x) -> Equeue.push q ~time:t x)
+    [ (5, "e"); (1, "a"); (3, "c"); (1, "b"); (3, "d") ];
+  let popped = ref [] in
+  let rec go () =
+    match Equeue.pop q with
+    | Some (t, x) -> popped := (t, x) :: !popped; go ()
+    | None -> ()
+  in
+  go ();
+  Alcotest.(check (list (pair int string)))
+    "time order, FIFO within a tick"
+    [ (1, "a"); (1, "b"); (3, "c"); (3, "d"); (5, "e") ]
+    (List.rev !popped);
+  Alcotest.(check bool) "empty" true (Equeue.is_empty q)
+
+let test_equeue_pop_until () =
+  let q = Equeue.create () in
+  List.iter (fun t -> Equeue.push q ~time:t t) [ 4; 0; 2; 7 ];
+  Alcotest.(check (list (pair int int)))
+    "pops everything due" [ (0, 0); (2, 2); (4, 4) ]
+    (Equeue.pop_until q ~time:4);
+  Alcotest.(check (option int)) "later event left" (Some 7) (Equeue.peek_time q);
+  Alcotest.(check int) "length" 1 (Equeue.length q)
+
+let prop_equeue_sorted =
+  QCheck.Test.make ~name:"equeue pops sorted by (time, insertion)" ~count:100
+    QCheck.(list (int_range 0 50))
+    (fun times ->
+      let q = Equeue.create () in
+      List.iteri (fun i t -> Equeue.push q ~time:t (t, i)) times;
+      let out = ref [] in
+      let rec go () =
+        match Equeue.pop q with
+        | Some (_, x) -> out := x :: !out; go ()
+        | None -> ()
+      in
+      go ();
+      let out = List.rev !out in
+      let expected =
+        List.mapi (fun i t -> (t, i)) times
+        |> List.stable_sort (fun (a, i) (b, j) -> compare (a, i) (b, j))
+      in
+      out = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics / Ring                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  Metrics.incr m "x";
+  Metrics.incr ~by:4 m "x";
+  Metrics.incr m "y";
+  Alcotest.(check int) "x" 5 (Metrics.counter m "x");
+  Alcotest.(check int) "unknown is 0" 0 (Metrics.counter m "zzz");
+  Metrics.set_gauge m "g" 2.5;
+  Alcotest.(check (option (float 0.0))) "gauge" (Some 2.5) (Metrics.gauge m "g")
+
+let test_metrics_histogram () =
+  let m = Metrics.create () in
+  List.iter (Metrics.observe m "lat") [ 0.5; 0.75; 1.5; 3.0; 0.0 ];
+  Alcotest.(check int) "count" 5 (Metrics.hist_count m "lat");
+  Alcotest.(check (float 1e-12)) "sum" 5.75 (Metrics.hist_sum m "lat");
+  Alcotest.(check (float 1e-12)) "mean" 1.15 (Metrics.hist_mean m "lat");
+  let core = Metrics.to_json ~walls:false m in
+  Alcotest.(check bool) "core has histogram" true (contains core "\"lat\"");
+  Alcotest.(check bool) "core has no walls" false (contains core "wall_s");
+  Metrics.add_wall m "stage" 0.25;
+  Alcotest.(check bool) "walls json" true
+    (contains (Metrics.walls_json m) "\"stage\"")
+
+let test_ring_bounded () =
+  let r = Ring.create ~capacity:3 in
+  for i = 0 to 4 do
+    Ring.push r ~tick:i ~kind:"k" ~fiber:i ~value:(float_of_int i)
+  done;
+  Alcotest.(check int) "total" 5 (Ring.total r);
+  Alcotest.(check int) "dropped" 2 (Ring.dropped r);
+  let e = Ring.entries r in
+  Alcotest.(check int) "retained" 3 (Array.length e);
+  Alcotest.(check (list int)) "oldest first" [ 2; 3; 4 ]
+    (Array.to_list (Array.map (fun x -> x.Ring.seq) e))
+
+(* ------------------------------------------------------------------ *)
+(* Online ingest: gap parity with Timeseries.interpolate_missing       *)
+(* ------------------------------------------------------------------ *)
+
+(* Deliver [present] samples with bounded random delays through the
+   ingest's event loop; return the emitted (t, v) stream. *)
+let run_ingest ~horizon ~delays present =
+  let n = Array.length present in
+  let q = Equeue.create () in
+  Array.iteri
+    (fun t ov ->
+      match ov with
+      | Some v -> Equeue.push q ~time:(t + delays.(t)) (t, v)
+      | None -> ())
+    present;
+  let ing = Online.ingest_create ~horizon () in
+  let out = ref [] in
+  for now = 0 to n - 1 + horizon do
+    List.iter (fun (_, (t, v)) -> Online.offer ing ~t ~v) (Equeue.pop_until q ~time:now);
+    List.iter (fun tv -> out := tv :: !out) (Online.drain ing ~now)
+  done;
+  List.iter (fun tv -> out := tv :: !out) (Online.flush ing ~upto:(n - 1));
+  (List.rev !out, ing)
+
+let gen_gappy_trace =
+  QCheck.Gen.(
+    int_range 10 120 >>= fun n ->
+    int_range 0 3 >>= fun horizon ->
+    array_repeat n (pair (float_bound_exclusive 30.0) (int_range 0 99))
+    >>= fun raw ->
+    array_repeat n (int_range 0 (max 0 horizon)) >>= fun delays ->
+    int_range 0 (n - 1) >>= fun keep ->
+    let present =
+      Array.mapi
+        (fun i (v, gap_draw) ->
+          (* ~15% gaps, but force index [keep] present so at least one
+             sample exists. *)
+          if i <> keep && gap_draw < 15 then None else Some v)
+        raw
+    in
+    return (present, delays, horizon))
+
+let prop_ingest_matches_offline =
+  QCheck.Test.make ~name:"online gap fill == Timeseries.interpolate_missing"
+    ~count:200
+    (QCheck.make gen_gappy_trace)
+    (fun (present, delays, horizon) ->
+      let emitted, _ = run_ingest ~horizon ~delays present in
+      let n = Array.length present in
+      if List.length emitted <> n then false
+      else begin
+        let offline = Ts.interpolate_missing present in
+        List.for_all2
+          (fun (t, v) i -> t = i && Float.equal v offline.(i))
+          emitted
+          (List.init n Fun.id)
+      end)
+
+let prop_ingest_counts_dups =
+  QCheck.Test.make ~name:"duplicate delivery changes nothing but the counter"
+    ~count:100
+    (QCheck.make gen_gappy_trace)
+    (fun (present, delays, horizon) ->
+      let emitted, _ = run_ingest ~horizon ~delays present in
+      (* Re-run with every present sample delivered twice. *)
+      let n = Array.length present in
+      let q = Equeue.create () in
+      Array.iteri
+        (fun t ov ->
+          match ov with
+          | Some v ->
+            Equeue.push q ~time:(t + delays.(t)) (t, v);
+            Equeue.push q ~time:(t + delays.(t)) (t, v)
+          | None -> ())
+        present;
+      let ing = Online.ingest_create ~horizon () in
+      let out = ref [] in
+      for now = 0 to n - 1 + horizon do
+        List.iter
+          (fun (_, (t, v)) -> Online.offer ing ~t ~v)
+          (Equeue.pop_until q ~time:now);
+        List.iter (fun tv -> out := tv :: !out) (Online.drain ing ~now)
+      done;
+      List.iter (fun tv -> out := tv :: !out) (Online.flush ing ~upto:(n - 1));
+      List.rev !out = emitted && Online.dups ing > 0
+      || Array.for_all (( = ) None) present)
+
+let test_ingest_leading_trailing_gaps () =
+  let present = [| None; None; Some 4.0; None; Some 6.0; None; None |] in
+  let delays = Array.make 7 0 in
+  let emitted, ing = run_ingest ~horizon:2 ~delays present in
+  Alcotest.(check (list (pair int (float 0.0))))
+    "lead <- first, interior lerp, trail <- last"
+    [ (0, 4.0); (1, 4.0); (2, 4.0); (3, 5.0); (4, 6.0); (5, 6.0); (6, 6.0) ]
+    emitted;
+  Alcotest.(check int) "filled counts gaps" 5 (Online.filled ing)
+
+(* ------------------------------------------------------------------ *)
+(* Online accumulator: feature parity with offline Timeseries          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_acc_matches_offline =
+  QCheck.Test.make ~name:"incremental features == offline at every prefix"
+    ~count:200
+    QCheck.(pair (float_bound_exclusive 20.0) (array_of_size Gen.(int_range 1 60) (float_bound_exclusive 10.0)))
+    (fun (baseline, seg) ->
+      let acc = Online.acc_create ~baseline () in
+      let n = Array.length seg in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        Online.acc_add acc seg.(i);
+        let prefix = Array.sub seg 0 (i + 1) in
+        if
+          not
+            (Float.equal (Online.degree acc) (Ts.degree ~baseline prefix)
+            && Float.equal (Online.mean_abs_gradient acc)
+                 (Ts.mean_abs_gradient prefix)
+            && Online.fluctuation_count acc = Ts.fluctuation_count prefix
+            && Online.acc_count acc = i + 1)
+        then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Detector vs offline segmentation                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Offline reference: maximal runs of Degraded samples, with the
+   terminator deciding seg_cut; an unterminated trailing run stays open
+   (no Segment_end). *)
+let offline_segments ~baseline (tr : Telemetry.trace) =
+  let states = Telemetry.states tr in
+  let segs = ref [] in
+  let start = ref None in
+  Array.iteri
+    (fun i st ->
+      match (st, !start) with
+      | Telemetry.Degraded, None -> start := Some i
+      | Telemetry.Degraded, Some _ -> ()
+      | (Telemetry.Healthy | Telemetry.Cut), Some s ->
+        let slice = Array.sub tr.Telemetry.samples s (i - s) in
+        segs :=
+          ( s,
+            Ts.degree ~baseline slice,
+            Ts.mean_abs_gradient slice,
+            Ts.fluctuation_count slice,
+            i - s,
+            st = Telemetry.Cut )
+          :: !segs;
+        start := None
+      | (Telemetry.Healthy | Telemetry.Cut), None -> ())
+    states;
+  List.rev !segs
+
+let run_detector ~baseline tr =
+  let det = Detector.create ~baseline () in
+  let events = ref [] in
+  Array.iteri
+    (fun i v ->
+      List.iter (fun e -> events := e :: !events) (Detector.step det ~at:i ~v))
+    tr.Telemetry.samples;
+  (det, List.rev !events)
+
+let degr_feats =
+  {
+    Hazard.fiber = 0;
+    region = 0;
+    vendor = 0;
+    length_km = 100.0;
+    time_of_day = 12.0;
+    degree = 5.0;
+    gradient = 0.3;
+    fluctuation = 12;
+    duration_s = 40.0;
+  }
+
+let test_detector_segments_match_offline () =
+  let baseline = 15.0 in
+  let tr =
+    Telemetry.synthesize ~seed:5 ~baseline ~healthy_s:60 ~degradation:degr_feats
+      ~cut_at_s:100 ~total_s:180 ()
+  in
+  let _, events = run_detector ~baseline tr in
+  let got =
+    List.filter_map
+      (function
+        | Detector.Segment_end s ->
+          Some
+            ( s.Detector.seg_start,
+              s.Detector.seg_degree,
+              s.Detector.seg_gradient,
+              s.Detector.seg_fluctuation,
+              s.Detector.seg_duration_s,
+              s.Detector.seg_cut )
+        | _ -> None)
+      events
+  in
+  let want = offline_segments ~baseline tr in
+  Alcotest.(check int) "segment count" (List.length want) (List.length got);
+  List.iter2
+    (fun (s, d, g, f, n, c) (s', d', g', f', n', c') ->
+      Alcotest.(check int) "start" s s';
+      Alcotest.(check bool) "degree bit-exact" true (Float.equal d d');
+      Alcotest.(check bool) "gradient bit-exact" true (Float.equal g g');
+      Alcotest.(check int) "fluctuation" f f';
+      Alcotest.(check int) "duration" n n';
+      Alcotest.(check bool) "cut flag" c c')
+    want got
+
+let test_detector_alarm_at_onset () =
+  let baseline = 15.0 in
+  let tr =
+    Telemetry.synthesize ~seed:7 ~baseline ~healthy_s:60 ~degradation:degr_feats
+      ~total_s:160 ()
+  in
+  let states = Telemetry.states tr in
+  let onset =
+    let rec find i =
+      if states.(i) = Telemetry.Degraded then i else find (i + 1)
+    in
+    find 0
+  in
+  let _, events = run_detector ~baseline tr in
+  let alarms =
+    List.filter_map
+      (function Detector.Alarm { at; _ } -> Some at | _ -> None)
+      events
+  in
+  (* One alarm per degraded episode (the synthesized ramp may dip below
+     the +3 dB threshold and split the degradation into several runs). *)
+  let episodes =
+    Array.to_list states
+    |> List.fold_left
+         (fun (n, prev) st ->
+           ((if st = Telemetry.Degraded && prev <> Telemetry.Degraded then n + 1
+             else n),
+            st))
+         (0, Telemetry.Healthy)
+    |> fst
+  in
+  Alcotest.(check int) "one alarm per degraded episode" episodes
+    (List.length alarms);
+  Alcotest.(check int) "first alarm on the first degraded sample" onset
+    (List.hd alarms)
+
+let test_detector_quiet_on_healthy () =
+  let baseline = 15.0 in
+  let tr = Telemetry.synthesize ~seed:9 ~baseline ~healthy_s:300 ~total_s:300 () in
+  let det, events = run_detector ~baseline tr in
+  Alcotest.(check int) "no events" 0 (List.length events);
+  Alcotest.(check bool) "cusum below threshold" true
+    (Detector.cusum_score det < Detector.default_config.Detector.cusum_h);
+  Alcotest.(check bool) "not in a segment" false (Detector.in_segment det)
+
+(* ------------------------------------------------------------------ *)
+(* Predictor server                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_predictor_stale_and_swap () =
+  let model = Fiber_model.generate (Topology.by_name "grid3") in
+  let p = Predictor.create ~fallback:(Predictor.prior model) (fun _ -> 0.9) in
+  let v, fb = Predictor.predict p degr_feats in
+  Alcotest.(check (float 0.0)) "serving model" 0.9 v;
+  Alcotest.(check bool) "no fallback" false fb;
+  Predictor.mark_stale p;
+  let v, fb = Predictor.predict p degr_feats in
+  Alcotest.(check (float 0.0)) "stale falls back to prior"
+    model.Fiber_model.mean_hazard v;
+  Alcotest.(check bool) "fallback flagged" true fb;
+  Predictor.swap p (fun _ -> 0.7);
+  let v, fb = Predictor.predict p degr_feats in
+  Alcotest.(check (float 0.0)) "swapped model serves" 0.7 v;
+  Alcotest.(check bool) "staleness cleared" false fb;
+  Alcotest.(check string) "version bumped" "v1" (Predictor.version p);
+  let served, fell_back, swaps = Predictor.stats p in
+  Alcotest.(check (list int)) "stats" [ 3; 1; 1 ] [ served; fell_back; swaps ]
+
+(* ------------------------------------------------------------------ *)
+(* Runtime: determinism, replay, policy ordering                       *)
+(* ------------------------------------------------------------------ *)
+
+let rt_config =
+  {
+    Runtime.default_config with
+    Runtime.topology = "grid3";
+    epochs = 12;
+    seed = 3;
+    stale_after = Some 2;
+  }
+
+let run_at ~domains cfg =
+  Prete_exec.Pool.with_pool ~domains (fun pool -> Runtime.run ~pool cfg)
+
+let shared = lazy (run_at ~domains:1 rt_config)
+
+let test_runtime_deterministic_across_domains () =
+  let r1 = Lazy.force shared in
+  let core1 = Runtime.deterministic_core r1 in
+  List.iter
+    (fun domains ->
+      let r = run_at ~domains rt_config in
+      Alcotest.(check bool)
+        (Printf.sprintf "bit-identical core at %d domains" domains)
+        true
+        (String.equal core1 (Runtime.deterministic_core r)))
+    [ 2; 4 ]
+
+let test_runtime_replay () =
+  let r = Lazy.force shared in
+  let json = Runtime.dump r in
+  let cfg = Runtime.config_of_dump json in
+  Alcotest.(check int) "config roundtrip: epochs" 12 cfg.Runtime.epochs;
+  Alcotest.(check (option int)) "config roundtrip: stale_after" (Some 2)
+    cfg.Runtime.stale_after;
+  let _, ok =
+    Prete_exec.Pool.with_pool ~domains:2 (fun pool -> Runtime.replay ~pool json)
+  in
+  Alcotest.(check bool) "replay reproduces the deterministic core" true ok
+
+let test_runtime_policies_and_simulate_parity () =
+  let r = Lazy.force shared in
+  Alcotest.(check bool) "pipeline saw degradations" true (r.Runtime.r_degr_epochs > 0);
+  Alcotest.(check bool) "detections fired" true (r.Runtime.r_detections <> []);
+  Alcotest.(check bool) "streaming >= periodic-only" true
+    (r.Runtime.r_avail_stream >= r.Runtime.r_avail_periodic -. 1e-9);
+  let env = Availability.make_env (Topology.by_name "grid3") in
+  let sim =
+    Prete_exec.Pool.with_pool ~domains:2 (fun pool ->
+        Simulate.run ~seed:3 ~epochs:12 ~pool env r.Runtime.r_scheme ~scale:2.0)
+  in
+  Alcotest.(check bool) "instant == Simulate.run on the same seed" true
+    (Float.abs (r.Runtime.r_avail_instant -. sim.Simulate.availability) <= 1e-12)
+
+let test_runtime_event_log_consistent () =
+  let r = Lazy.force shared in
+  let entries = Ring.entries r.Runtime.r_ring in
+  Alcotest.(check bool) "event log non-empty" true (Array.length entries > 0);
+  let m = r.Runtime.r_metrics in
+  let count kind =
+    Array.fold_left
+      (fun acc e -> if e.Ring.kind = kind then acc + 1 else acc)
+      0 entries
+  in
+  let installed =
+    List.length
+      (List.filter (fun d -> d.Runtime.d_install <> None) r.Runtime.r_detections)
+  in
+  Alcotest.(check int) "one react event per installed detection" installed
+    (count "react");
+  Alcotest.(check int) "one install event per react event" (count "react")
+    (count "install");
+  Alcotest.(check int) "alarm events match the alarm counter"
+    (Metrics.counter m "alarms") (count "alarm");
+  Alcotest.(check bool) "at least one reaction batch ran" true
+    (Metrics.counter m "reactions" > 0);
+  (* Every detection's alarm never precedes its onset, and installs come
+     strictly after alarms. *)
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "alarm after onset" true (d.Runtime.d_alarm >= d.Runtime.d_onset);
+      match d.Runtime.d_install with
+      | Some i -> Alcotest.(check bool) "install after alarm" true (i > d.Runtime.d_alarm)
+      | None -> ())
+    r.Runtime.r_detections
+
+let () =
+  Alcotest.run "prete_rt"
+    [
+      ( "equeue",
+        [
+          Alcotest.test_case "ordering + FIFO ties" `Quick test_equeue_order;
+          Alcotest.test_case "pop_until" `Quick test_equeue_pop_until;
+        ]
+        @ qsuite [ prop_equeue_sorted ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters + gauges" `Quick test_metrics_counters;
+          Alcotest.test_case "histograms + wall split" `Quick test_metrics_histogram;
+          Alcotest.test_case "ring bounded" `Quick test_ring_bounded;
+        ] );
+      ( "online.props",
+        qsuite
+          [
+            prop_ingest_matches_offline;
+            prop_ingest_counts_dups;
+            prop_acc_matches_offline;
+          ] );
+      ( "online",
+        [
+          Alcotest.test_case "gap edges" `Quick test_ingest_leading_trailing_gaps;
+        ] );
+      ( "detector",
+        [
+          Alcotest.test_case "segments == offline segmentation" `Quick
+            test_detector_segments_match_offline;
+          Alcotest.test_case "alarm at onset" `Quick test_detector_alarm_at_onset;
+          Alcotest.test_case "quiet on healthy" `Quick test_detector_quiet_on_healthy;
+        ] );
+      ( "predictor",
+        [
+          Alcotest.test_case "stale fallback + hot swap" `Quick
+            test_predictor_stale_and_swap;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "bit-identical at 1/2/4 domains" `Slow
+            test_runtime_deterministic_across_domains;
+          Alcotest.test_case "dump -> replay roundtrip" `Slow test_runtime_replay;
+          Alcotest.test_case "policy ordering + Simulate parity" `Slow
+            test_runtime_policies_and_simulate_parity;
+          Alcotest.test_case "event log consistent" `Quick
+            test_runtime_event_log_consistent;
+        ] );
+    ]

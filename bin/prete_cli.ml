@@ -376,8 +376,8 @@ let chaos_cmd =
 
 let stream_cmd =
   let run () name epochs seed scale ewma_alpha cusum_k cusum_h debounce gap_rate
-      dup_rate reorder_rate max_delay deadline predictor stale_after trace_out
-      replay_path domains =
+      dup_rate reorder_rate max_delay deadline predictor stale_after no_detour
+      trace_out replay_path domains =
     match replay_path with
     | Some path ->
       (* Replay mode: re-run a dumped configuration and verify the
@@ -422,6 +422,7 @@ let stream_cmd =
           deadline_s = deadline;
           predictor = Prete_rt.Runtime.predictor_kind_of_string predictor;
           stale_after;
+          detour = not no_detour;
         }
       in
       let r = with_pool domains (fun pool -> Prete_rt.Runtime.run ~pool cfg) in
@@ -449,6 +450,16 @@ let stream_cmd =
         "availability: stream %.5f / periodic-only %.5f / instant %.5f\n"
         r.Prete_rt.Runtime.r_avail_stream r.Prete_rt.Runtime.r_avail_periodic
         r.Prete_rt.Runtime.r_avail_instant;
+      (match r.Prete_rt.Runtime.r_avail_detour with
+      | Some v ->
+        Printf.printf
+          "detour tier: %d activations, %d flows patched, handoff mean %.1f s; \
+           stream+detour %.5f\n"
+          (Prete_rt.Metrics.counter m "detour_activations")
+          (Prete_rt.Metrics.counter m "detour_flows_patched")
+          (Prete_rt.Metrics.hist_mean m "detour_handoff_s")
+          v
+      | None -> print_endline "detour tier: disarmed (--no-detour)");
       (match trace_out with
       | Some path ->
         let oc = open_out path in
@@ -529,6 +540,14 @@ let stream_cmd =
       & info [ "stale-after" ] ~docv:"EPOCH"
           ~doc:"Mark the model stale at this epoch and hot-swap a fresh one at twice it.")
   in
+  let no_detour =
+    Arg.(
+      value & flag
+      & info [ "no-detour" ]
+          ~doc:
+            "Disarm the localized fast-recovery tier (precomputed per-fiber \
+             detours installed at Detector-alarm time).")
+  in
   let trace_out =
     Arg.(
       value
@@ -550,8 +569,8 @@ let stream_cmd =
     Term.(
       const run $ lp_term $ topo_arg $ epochs $ seed $ scale_arg $ ewma_alpha
       $ cusum_k $ cusum_h $ debounce $ gap_rate $ dup_rate $ reorder_rate
-      $ max_delay $ deadline $ predictor $ stale_after $ trace_out $ replay_path
-      $ domains_arg)
+      $ max_delay $ deadline $ predictor $ stale_after $ no_detour $ trace_out
+      $ replay_path $ domains_arg)
 
 let () =
   let doc = "PreTE: traffic engineering with predictive failures (SIGCOMM 2025 reproduction)" in

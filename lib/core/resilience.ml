@@ -7,6 +7,7 @@ type cause =
   | Infeasible_beta of string
   | Telemetry_gap
   | Plan_rejected
+  | Detour_applied of int
   | Unexpected of string
 
 let cause_name = function
@@ -15,11 +16,13 @@ let cause_name = function
   | Infeasible_beta _ -> "infeasible-beta"
   | Telemetry_gap -> "telemetry-gap"
   | Plan_rejected -> "plan-rejected"
+  | Detour_applied _ -> "detour-applied"
   | Unexpected _ -> "unexpected"
 
-type rung = Primary | Cached | Equal_split
+type rung = Detour | Primary | Cached | Equal_split
 
 let rung_name = function
+  | Detour -> "detour"
   | Primary -> "primary"
   | Cached -> "cached"
   | Equal_split -> "equal-split"
@@ -68,6 +71,8 @@ let guarded t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.state_lock) f
 
 let last_basis t = guarded t (fun () -> t.last_basis)
+
+let last_good t = guarded t (fun () -> t.last_good)
 
 let classify = function
   | Simplex.Timeout -> Solver_timeout
@@ -142,7 +147,42 @@ let equal_split (ts : Tunnels.t) ~demands =
   in
   { Availability.p_alloc = alloc; p_ts = ts; p_admitted = None; p_degraded = true }
 
-let plan_epoch t ~ts ~demands ?(telemetry_gap = false) ~primary () =
+(* The Detour rung's plan: splice the precomputed detours for [fiber]
+   into the installed allocation, then revalidate against the extended
+   tunnel set.  Marked degraded so no plan cache will retain it. *)
+let try_detour ~detours ~(installed : Availability.plan) ~fiber =
+  match
+    Detours.splice detours ~fiber ~alloc:installed.Availability.p_alloc
+  with
+  | None -> None
+  | Some (ts', alloc', _rerouted, _flows) ->
+    let plan =
+      {
+        Availability.p_alloc = alloc';
+        p_ts = ts';
+        p_admitted = installed.Availability.p_admitted;
+        p_degraded = true;
+      }
+    in
+    if plan_feasible ts' plan then Some plan else None
+
+let detour_attempt cause =
+  { att_rung = Detour; att_tries = 1; att_backoff_s = 0.0; att_cause = cause }
+
+let detour_patch ~detours ~installed ~fiber =
+  match try_detour ~detours ~installed ~fiber with
+  | None -> None
+  | Some plan ->
+    Some
+      {
+        plan;
+        rung = Detour;
+        cause = Some (Detour_applied fiber);
+        attempts = [ detour_attempt None ];
+        backoff_s = 0.0;
+      }
+
+let plan_epoch t ~ts ~demands ?(telemetry_gap = false) ?detour ~primary () =
   let attempts = ref [] in
   let push a = attempts := a :: !attempts in
   let finish plan rung cause =
@@ -152,6 +192,28 @@ let plan_epoch t ~ts ~demands ?(telemetry_gap = false) ~primary () =
     in
     { plan; rung; cause; attempts; backoff_s }
   in
+  (* Top rung, link-failure causes only: splice precomputed detours into
+     the installed plan for the affected tunnels.  A successful patch is
+     returned immediately — it is the reaction whose latency does not
+     depend on the LP; the warm re-solve replaces it when it lands.  The
+     detour plan never refreshes the last-good cache (only validated
+     Primary successes below do), so the ladder cannot feed on patched
+     plans. *)
+  let detoured =
+    match detour with
+    | None -> None
+    | Some (detours, installed, fiber) ->
+      (match try_detour ~detours ~installed ~fiber with
+      | Some plan ->
+        push (detour_attempt None);
+        Some (finish plan Detour (Some (Detour_applied fiber)))
+      | None ->
+        push (detour_attempt (Some Plan_rejected));
+        None)
+  in
+  match detoured with
+  | Some outcome -> outcome
+  | None ->
   (* Rung 1: the scheme's own solve, retried with charged backoff. *)
   let primary_result =
     if telemetry_gap then begin
@@ -267,6 +329,8 @@ let notes o =
           | Some (Infeasible_beta msg) -> "TE problem infeasible: " ^ msg
           | Some Telemetry_gap -> "telemetry gap; primary solve skipped"
           | Some Plan_rejected -> "no validated plan at this rung"
+          | Some (Detour_applied fb) ->
+            Printf.sprintf "precomputed detours spliced around fiber %d" fb
           | Some (Unexpected msg) -> "unexpected failure: " ^ msg);
         tries = a.att_tries;
         backoff_s = a.att_backoff_s;

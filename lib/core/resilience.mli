@@ -5,6 +5,11 @@
     traffic arrives.  This module wraps the plan computation in a ladder
     of increasingly conservative fallbacks:
 
+    + {b Detour} — on a link-failure cause only: precomputed detours
+      ({!Prete_net.Detours}) spliced into the {e installed} plan for just
+      the affected tunnels, in O(affected-flows) with no solve — the one
+      rung whose latency does not depend on the LP (the warm re-solve
+      replaces the patch when it lands);
     + {b Primary} — the scheme's own solve (with the anytime deadline
       threaded through, so budget pressure degrades quality rather than
       failing), retried with exponential backoff on transient causes;
@@ -35,11 +40,14 @@ type cause =
           skipped rather than fed garbage. *)
   | Plan_rejected
       (** A produced plan failed {!Prete_lp.Simplex.feasible} validation. *)
+  | Detour_applied of int
+      (** A link-failure cause (the fiber id) was answered by the Detour
+          rung: the installed plan was patched rather than re-solved. *)
   | Unexpected of string  (** Any other exception, by [Printexc]. *)
 
 val cause_name : cause -> string
 
-type rung = Primary | Cached | Equal_split
+type rung = Detour | Primary | Cached | Equal_split
 
 val rung_name : rung -> string
 
@@ -84,6 +92,10 @@ val last_basis : t -> Prete_lp.Simplex.basis option
     what the ladder hands the next epoch's [primary] as its warm start
     ("rung 0"). *)
 
+val last_good : t -> Availability.plan option
+(** The Cached rung's retained plan.  Only validated Primary successes
+    ever refresh it — in particular, Detour outcomes never do. *)
+
 val classify : exn -> cause
 (** Map solver exceptions into the taxonomy ([Unexpected] otherwise). *)
 
@@ -103,18 +115,39 @@ val equal_split : Prete_net.Tunnels.t -> demands:float array -> Availability.pla
     scaling makes the per-link load at most the capacity, so the result
     passes {!plan_feasible} by construction. *)
 
+val detour_patch :
+  detours:Prete_net.Detours.t ->
+  installed:Availability.plan ->
+  fiber:int ->
+  outcome option
+(** The Detour rung alone, for callers that react below the controller
+    (the streaming runtime's Detector alarm path): splice the
+    precomputed detours for [fiber] into [installed]'s allocation with
+    {!Prete_net.Detours.splice}, revalidate with {!plan_feasible}
+    against the extended tunnel set, and wrap the result as a
+    [Detour]-rung outcome with cause [Detour_applied fiber].  [None]
+    when the fiber has no detours, nothing could be rerouted, or
+    validation failed.  The patched plan is marked [p_degraded], and no
+    ladder state exists to touch: detour plans are never cached as
+    last-good.  Pure — same inputs, same patch, at any domain count. *)
+
 val plan_epoch :
   t ->
   ts:Prete_net.Tunnels.t ->
   demands:float array ->
   ?telemetry_gap:bool ->
+  ?detour:Prete_net.Detours.t * Availability.plan * int ->
   primary:
     (warm:Prete_lp.Simplex.basis option ->
      unit ->
      Availability.plan * Prete_lp.Simplex.basis option) ->
   unit ->
   outcome
-(** Run the ladder for one epoch.  [primary] is the scheme's solve thunk
+(** Run the ladder for one epoch.  [detour] — [(tables, installed plan,
+    failed fiber)] — arms the Detour rung: when the splice validates,
+    the patched plan is returned immediately (no solve, no retained
+    state touched); otherwise a rejected Detour attempt is recorded and
+    the ladder proceeds.  [primary] is the scheme's solve thunk
     (build it with {!Availability.Internal.plan_alloc_warm}, threading
     any deadline); it receives the ladder's retained basis as [~warm]
     ("rung 0" — reuse of the last epoch's vertex before any fallback)

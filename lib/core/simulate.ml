@@ -232,7 +232,8 @@ let served_table pool (env : Availability.env) scheme ~demands epoch_cuts =
    count.  Shared verbatim by [run] and the streaming runtime (which
    evaluates the same ground truth under different reaction policies —
    instant / as-detected / never — by rewriting [state]). *)
-let eval_epochs pool (env : Availability.env) scheme ~demands ~state ~epoch_cuts =
+let eval_epochs ?(epoch_plan = fun _ -> None) pool (env : Availability.env)
+    scheme ~demands ~state ~epoch_cuts =
   let epochs = Array.length state in
   if epochs = 0 then invalid_arg "Simulate.eval_epochs: no epochs";
   if Array.length epoch_cuts <> epochs then
@@ -258,8 +259,13 @@ let eval_epochs pool (env : Availability.env) scheme ~demands ~state ~epoch_cuts
   Prete_exec.Pool.parallel_for pool ~chunk:csize epochs (fun lo hi ->
       let acc = ref 0.0 in
       for e = lo to hi - 1 do
+        (* A per-epoch override (the runtime's detour-patched plan)
+           replaces the state-table plan for that epoch only. *)
+        let plan_e =
+          match epoch_plan e with Some p -> p | None -> plan state.(e)
+        in
         let delivered =
-          delivered_fractions env scheme ~demands ~plan:(plan state.(e))
+          delivered_fractions env scheme ~demands ~plan:plan_e
             ~cuts:epoch_cuts.(e) ~served
         in
         let epoch_avail = ref 0.0 in
@@ -318,6 +324,7 @@ let run ?(seed = 123) ?(epochs = 20_000) ?pool (env : Availability.env) scheme
 type chaos_result = {
   c_availability : float;
   c_epochs : int;
+  c_detour : int;
   c_primary : int;
   c_cached : int;
   c_equal_split : int;
@@ -339,7 +346,8 @@ type chaos_result = {
 let chaos_shard_epochs = 50
 
 let run_chaos ?(seed = 123) ?(epochs = 400) ?(faults = []) ?(fault_seed = 77)
-    ?(pressure_budget_s = 0.0) ?pool (env : Availability.env) scheme ~scale =
+    ?(pressure_budget_s = 0.0) ?detours ?pool (env : Availability.env) scheme
+    ~scale =
   if epochs <= 0 then invalid_arg "Simulate.run_chaos: epochs must be positive";
   let pool =
     match pool with Some p -> p | None -> Prete_exec.Pool.default ()
@@ -357,7 +365,22 @@ let run_chaos ?(seed = 123) ?(epochs = 400) ?(faults = []) ?(fault_seed = 77)
   let total_demand = Float.max 1e-9 (Prete_util.Stats.sum demands) in
   let topo = env.Availability.ts.Tunnels.topo in
   let nf = Topology.num_fibers topo in
+  (* With the detour tier armed, the installed plan its patches apply to
+     is the standing (no-degradation) allocation — one deterministic
+     solve shared by every shard, computed before the control loop. *)
+  let detour_installed =
+    match detours with
+    | None -> None
+    | Some dt ->
+      Some (dt, Availability.Internal.plan_alloc env scheme ~demands ~degraded:None)
+  in
   let plan_for ~ladder ~plan_cache (obs : Faults.observation) =
+    let detour =
+      match (detour_installed, obs.Faults.seen) with
+      | Some (dt, installed), Some fb when not obs.Faults.gap ->
+        Some (dt, installed, fb)
+      | _ -> None
+    in
     let compute () =
       let deadline =
         Option.map Prete_util.Clock.deadline_after obs.Faults.budget_s
@@ -369,7 +392,7 @@ let run_chaos ?(seed = 123) ?(epochs = 400) ?(faults = []) ?(fault_seed = 77)
       in
       let te () =
         Resilience.plan_epoch ladder ~ts:env.Availability.ts ~demands
-          ~telemetry_gap:obs.Faults.gap ~primary ()
+          ~telemetry_gap:obs.Faults.gap ?detour ~primary ()
       in
       (* Drive the full pipeline so chaos exercises the same entry point
          production would use; the report carries the ladder's notes. *)
@@ -432,6 +455,7 @@ let run_chaos ?(seed = 123) ?(epochs = 400) ?(faults = []) ?(fault_seed = 77)
   let csize = chaos_shard_epochs in
   let nchunks = (epochs + csize - 1) / csize in
   let sh_acc = Array.make nchunks 0.0 in
+  let sh_detour = Array.make nchunks 0 in
   let sh_primary = Array.make nchunks 0 in
   let sh_cached = Array.make nchunks 0 in
   let sh_equal = Array.make nchunks 0 in
@@ -455,6 +479,7 @@ let run_chaos ?(seed = 123) ?(epochs = 400) ?(faults = []) ?(fault_seed = 77)
         if obs.Faults.fired <> [] then sh_faults.(c) <- sh_faults.(c) + 1;
         let outcome = plan_for ~ladder ~plan_cache obs in
         (match outcome.Resilience.rung with
+        | Resilience.Detour -> sh_detour.(c) <- sh_detour.(c) + 1
         | Resilience.Primary -> sh_primary.(c) <- sh_primary.(c) + 1
         | Resilience.Cached -> sh_cached.(c) <- sh_cached.(c) + 1
         | Resilience.Equal_split -> sh_equal.(c) <- sh_equal.(c) + 1);
@@ -489,6 +514,7 @@ let run_chaos ?(seed = 123) ?(epochs = 400) ?(faults = []) ?(fault_seed = 77)
   {
     c_availability = Array.fold_left ( +. ) 0.0 sh_acc /. float_of_int epochs;
     c_epochs = epochs;
+    c_detour = sum sh_detour;
     c_primary = sum sh_primary;
     c_cached = sum sh_cached;
     c_equal_split = sum sh_equal;
@@ -520,17 +546,20 @@ module Internal = struct
     let topo = env.Availability.ts.Tunnels.topo in
     sample_epoch_full env ~topo ~nf:(Topology.num_fibers topo) rng
 
-  let eval_epochs = eval_epochs
+  let eval_epochs ?epoch_plan pool env scheme ~demands ~state ~epoch_cuts =
+    eval_epochs ?epoch_plan pool env scheme ~demands ~state ~epoch_cuts
 end
 
-let chaos_sweep ?seed ?epochs ?fault_seed ?pressure_budget_s ?pool
+let chaos_sweep ?seed ?epochs ?fault_seed ?pressure_budget_s ?detours ?pool
     (env : Availability.env) scheme ~scale =
-  let baseline = run_chaos ?seed ?epochs ~faults:[] ?pool env scheme ~scale in
+  let baseline =
+    run_chaos ?seed ?epochs ~faults:[] ?detours ?pool env scheme ~scale
+  in
   let entries =
     Array.map
       (fun c ->
         let r =
-          run_chaos ?seed ?epochs ?fault_seed ?pressure_budget_s ?pool
+          run_chaos ?seed ?epochs ?fault_seed ?pressure_budget_s ?detours ?pool
             ~faults:[ { Faults.fault = c; rate = Faults.default_rate c } ]
             env scheme ~scale
         in

@@ -54,6 +54,9 @@ val run :
 type chaos_result = {
   c_availability : float;  (** Demand-weighted mean delivered fraction. *)
   c_epochs : int;
+  c_detour : int;
+      (** Epochs served by the Detour rung (precomputed patch, no solve);
+          0 unless [run_chaos ~detours] armed the tier. *)
   c_primary : int;  (** Epochs served by a fresh primary solve. *)
   c_cached : int;  (** Epochs served by the last-good cache. *)
   c_equal_split : int;  (** Epochs on the last-resort equal split. *)
@@ -74,13 +77,19 @@ val run_chaos :
   ?faults:Faults.spec list ->
   ?fault_seed:int ->
   ?pressure_budget_s:float ->
+  ?detours:Prete_net.Detours.t ->
   ?pool:Prete_exec.Pool.t ->
   Availability.env ->
   Schemes.t ->
   scale:float ->
   chaos_result
 (** [run_chaos env scheme ~scale] simulates [epochs] (default 400) TE
-    periods under the given fault specs (default none).  The epoch
+    periods under the given fault specs (default none).  [detours] arms
+    the ladder's Detour rung: every epoch whose observation sees a
+    degrading fiber is answered by splicing that fiber's precomputed
+    detours into the standing plan instead of re-solving — the
+    detour-tier-vs-ladder ablation ([c_detour] counts those epochs).
+    The epoch
     sample path is drawn exactly as {!run} draws it from [seed], and the
     injector draws one private substream per epoch from [fault_seed], so
     results across fault settings share the identical ground truth.
@@ -122,6 +131,7 @@ module Internal : sig
       stream, same draw order). *)
 
   val eval_epochs :
+    ?epoch_plan:(int -> Availability.plan option) ->
     Prete_exec.Pool.t ->
     Availability.env ->
     Schemes.t ->
@@ -133,6 +143,9 @@ module Internal : sig
       distinct states/cut sets, then the chunk-ordered epoch replay —
       the exact phases B and C of {!run}, so calling it on {!run}'s own
       sample path reproduces {!run}'s availability bit-for-bit.
+      [epoch_plan] (default: none) may override the plan served to a
+      specific epoch — the runtime scores its detour-patched plans this
+      way; the default preserves bitwise equality with {!run}.
       Raises [Invalid_argument] on empty or mismatched arrays. *)
 end
 
@@ -141,6 +154,7 @@ val chaos_sweep :
   ?epochs:int ->
   ?fault_seed:int ->
   ?pressure_budget_s:float ->
+  ?detours:Prete_net.Detours.t ->
   ?pool:Prete_exec.Pool.t ->
   Availability.env ->
   Schemes.t ->

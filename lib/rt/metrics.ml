@@ -98,6 +98,12 @@ let hist_mean t name =
       | Some h when h.h_count > 0 -> h.h_sum /. float_of_int h.h_count
       | _ -> 0.0)
 
+let hist_max t name =
+  guarded t (fun () ->
+      match Hashtbl.find_opt t.hists name with
+      | Some h when h.h_count > 0 -> h.h_max
+      | _ -> 0.0)
+
 let add_wall t name s =
   guarded t (fun () ->
       match Hashtbl.find_opt t.walls name with

@@ -30,6 +30,7 @@ val observe : t -> string -> float -> unit
 val hist_count : t -> string -> int
 val hist_sum : t -> string -> float
 val hist_mean : t -> string -> float
+val hist_max : t -> string -> float
 (** 0 when the histogram is empty or unknown. *)
 
 val add_wall : t -> string -> float -> unit

@@ -35,12 +35,13 @@ type config = {
   deadline_s : float option;
   predictor : predictor_kind;
   stale_after : int option;
+  detour : bool;
   ring_capacity : int;
 }
 
 let default_config =
   {
-    topology = "abilene";
+    topology = "B4";
     epochs = 40;
     seed = 123;
     scale = 2.0;
@@ -50,6 +51,7 @@ let default_config =
     deadline_s = None;
     predictor = Hazard_oracle;
     stale_after = None;
+    detour = true;
     ring_capacity = 4096;
   }
 
@@ -75,6 +77,7 @@ type result = {
   r_avail_stream : float;
   r_avail_periodic : float;
   r_avail_instant : float;
+  r_avail_detour : float option;
   r_metrics : Metrics.t;
   r_ring : Ring.t;
   r_solver : Prete_lp.Solver_stats.t;
@@ -249,6 +252,14 @@ let run ?pool ?env ?predictor cfg =
   let scheme =
     Schemes.prete_default ~predictor:(fun f -> fst (Predictor.predict server f)) ()
   in
+  (* Localized fast-recovery tier: per-fiber detour tables over the base
+     tunnel set, plus the standing plan they patch.  Both are pure
+     functions of topology + tunnel set (+ demands), so the tier keeps
+     the bit-identical-at-any-domain-count contract. *)
+  let detours = if cfg.detour then Some (Detours.build ts) else None in
+  let base_plan =
+    lazy (Availability.Internal.plan_alloc env scheme ~demands ~degraded:None)
+  in
   (* Phase 1 — ground truth: the exact sample path Simulate.run draws. *)
   let samples =
     Metrics.time metrics "sample" (fun () ->
@@ -271,6 +282,12 @@ let run ?pool ?env ?predictor cfg =
   let cache = Controller.cache () in
   let last_reaction : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let installs : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let detour_patches : (int, Resilience.outcome option) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let detour_installs : (int * int, int * Availability.plan) Hashtbl.t =
+    Hashtbl.create 64
+  in
   let detections = ref [] in
   let rung_counts = Hashtbl.create 4 in
   Metrics.time metrics "react" (fun () ->
@@ -353,6 +370,43 @@ let run ?pool ?env ?predictor cfg =
               let n = List.length eligible in
               Metrics.incr metrics "reactions";
               Metrics.observe metrics "batch_size" (float_of_int n);
+              (* Detour tier: immediate reaction below the controller —
+                 each alarmed fiber's precomputed patch goes in at the
+                 detection tick plus its modeled O(affected-flows)
+                 switch-over, while the batched solve proceeds below.
+                 The patch is a pure function of the fiber, so it is
+                 computed once per fiber and reused across epochs. *)
+              (match detours with
+              | None -> ()
+              | Some dt ->
+                List.iter
+                  (fun fr ->
+                    let fb = fr.fr_fiber in
+                    let patch =
+                      match Hashtbl.find_opt detour_patches fb with
+                      | Some p -> p
+                      | None ->
+                        let p =
+                          Resilience.detour_patch ~detours:dt
+                            ~installed:(Lazy.force base_plan) ~fiber:fb
+                        in
+                        Hashtbl.replace detour_patches fb p;
+                        p
+                    in
+                    match patch with
+                    | None -> ()
+                    | Some o ->
+                      let lat = Detours.install_latency_s dt ~fiber:fb in
+                      let itick = g + int_of_float (Float.ceil lat) in
+                      Hashtbl.replace detour_installs (e, fb)
+                        (itick, o.Resilience.plan);
+                      Metrics.incr metrics "detour_activations";
+                      Metrics.incr
+                        ~by:(List.length (Detours.affected_flows dt fb))
+                        metrics "detour_flows_patched";
+                      Metrics.observe metrics "detour_install_s" lat;
+                      ev itick "detour" fb lat)
+                  eligible);
               let predicted =
                 List.map
                   (fun fr ->
@@ -422,6 +476,13 @@ let run ?pool ?env ?predictor cfg =
                     (float_of_int (g - (base + fr.fr_onset)));
                   ev g "react" fr.fr_fiber latency;
                   ev install "install" fr.fr_fiber p;
+                  (match Hashtbl.find_opt detour_installs (e, fr.fr_fiber) with
+                  | Some (dtick, _) ->
+                    (* Warm plan replaces the patch on arrival: the
+                       handoff window is how long the patch carried. *)
+                    Metrics.observe metrics "detour_handoff_s"
+                      (float_of_int (max 0 (install - dtick)))
+                  | None -> ());
                   detections :=
                     {
                       d_epoch = e;
@@ -493,6 +554,48 @@ let run ?pool ?env ?predictor cfg =
   let avail_instant =
     Metrics.time metrics "eval_instant" (fun () -> eval state_instant)
   in
+  (* stream+detour: identical to stream except that epochs whose
+     predicted cut materialized but whose warm plan missed the deadline
+     are served the detour patch — when the patch itself installed
+     before the cut.  Restricting the override to materialized cuts
+     keeps the policy dominant over plain stream: the patched plan only
+     adds surviving allocation for tunnels that are dead either way. *)
+  let detour_rescued = ref 0 in
+  let detour_override =
+    Array.init cfg.epochs (fun e ->
+        let s = samples.(e) in
+        match s.Simulate.Internal.es_state with
+        | Some fb
+          when List.mem fb s.Simulate.Internal.es_cuts
+               && state_stream.(e) = None -> (
+          match Hashtbl.find_opt detour_installs (e, fb) with
+          | Some (tick, plan) ->
+            let deadline =
+              match
+                List.find_opt (fun fr -> fr.fr_fiber = fb) epoch_runs.(e)
+              with
+              | Some { fr_cut_at = Some c; _ } -> (e * epoch_len) + c - 1
+              | _ -> (e * epoch_len) + epoch_len - 1
+            in
+            if tick <= deadline then begin
+              incr detour_rescued;
+              Some plan
+            end
+            else None
+          | None -> None)
+        | _ -> None)
+  in
+  let avail_detour =
+    match detours with
+    | None -> None
+    | Some _ ->
+      Some
+        (Metrics.time metrics "eval_detour" (fun () ->
+             Simulate.Internal.eval_epochs
+               ~epoch_plan:(fun e -> detour_override.(e))
+               pool env scheme ~demands ~state:state_stream ~epoch_cuts))
+  in
+  Metrics.incr ~by:!detour_rescued metrics "detour_rescued_epochs";
   let degr_epochs =
     Array.fold_left
       (fun acc (s : Simulate.Internal.epoch_sample) ->
@@ -517,6 +620,7 @@ let run ?pool ?env ?predictor cfg =
   Metrics.set_gauge metrics "avail_stream" avail_stream;
   Metrics.set_gauge metrics "avail_periodic" avail_periodic;
   Metrics.set_gauge metrics "avail_instant" avail_instant;
+  Option.iter (Metrics.set_gauge metrics "avail_detour") avail_detour;
   {
     r_config = cfg;
     r_epochs = cfg.epochs;
@@ -528,6 +632,7 @@ let run ?pool ?env ?predictor cfg =
     r_avail_stream = avail_stream;
     r_avail_periodic = avail_periodic;
     r_avail_instant = avail_instant;
+    r_avail_detour = avail_detour;
     r_metrics = metrics;
     r_ring = ring;
     r_solver = solver;
@@ -568,6 +673,7 @@ let config_to_json (c : config) =
     (match c.stale_after with
     | Some k -> Printf.sprintf "\"stale_after\": %d, " k
     | None -> "\"stale_after\": null, ");
+  Buffer.add_string b (Printf.sprintf "\"detour\": %b, " c.detour);
   Buffer.add_string b (Printf.sprintf "\"ring_capacity\": %d}" c.ring_capacity);
   Buffer.contents b
 
@@ -584,8 +690,11 @@ let deterministic_core r =
   Buffer.add_string b
     (Printf.sprintf
        "\"availability\": {\"stream\": %.17g, \"periodic\": %.17g, \
-        \"instant\": %.17g}, "
-       r.r_avail_stream r.r_avail_periodic r.r_avail_instant);
+        \"instant\": %.17g, \"stream_detour\": %s}, "
+       r.r_avail_stream r.r_avail_periodic r.r_avail_instant
+       (match r.r_avail_detour with
+       | Some v -> Printf.sprintf "%.17g" v
+       | None -> "null"));
   Buffer.add_string b "\"metrics\": ";
   Buffer.add_string b (Metrics.to_json ~walls:false r.r_metrics);
   Buffer.add_string b ", \"events\": ";
@@ -706,6 +815,7 @@ let config_of_dump json =
     deadline_s = opt_of float_of_string "deadline_s";
     predictor = predictor_kind_of_string (req "predictor");
     stale_after = opt_of int_of_string "stale_after";
+    detour = bool_of_string (req "detour");
     ring_capacity = it "ring_capacity";
   }
 

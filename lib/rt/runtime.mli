@@ -23,7 +23,17 @@
       runtime's pipeline installed it before the fiber's cut tick (or
       before epoch end when no cut follows);
     - {e periodic}: no intra-epoch reaction at all — the base plan
-      serves every epoch (the "periodic re-solve only" baseline).
+      serves every epoch (the "periodic re-solve only" baseline);
+    - {e stream+detour} (when [config.detour]): stream, plus the
+      localized recovery tier — on a Detector alarm the fiber's
+      precomputed detour patch ({!Prete_net.Detours} via
+      {!Prete.Resilience.detour_patch}) installs after a modeled
+      O(affected-flows) switch-over, with no solver anywhere on the
+      activation path; the warm reactive plan replaces the patch on
+      arrival.  In the evaluation the patch rescues exactly the epochs
+      whose predicted cut materialized but whose warm plan missed the
+      deadline, so [r_avail_detour >= r_avail_stream] holds by
+      construction.
 
     Plan {e contents} in the evaluation come from the same per-state
     plan table {!Prete.Simulate.run} uses, so the stream−periodic and
@@ -62,13 +72,17 @@ type config = {
       (** Mark the serving model stale at this epoch (predictions fall
           back to the prior) and hot-swap a fresh version at twice it —
           exercises the stale/swap path deterministically. *)
+  detour : bool;
+      (** Arm the localized fast-recovery tier: precomputed per-fiber
+          detours install at Detector-alarm time, below the controller
+          ([prete_cli stream --no-detour] disarms it). *)
   ring_capacity : int;  (** Event-trace ring size. *)
 }
 
 val default_config : config
-(** abilene topology, 40 epochs, seed 123, scale 2.0, default detector
+(** B4 topology, 40 epochs, seed 123, scale 2.0, default detector
     and impairments, 30 s debounce, no deadline, [Hazard_oracle]
-    predictor, ring capacity 4096. *)
+    predictor, detour tier armed, ring capacity 4096. *)
 
 type detection = {
   d_epoch : int;
@@ -95,6 +109,9 @@ type result = {
   r_avail_stream : float;
   r_avail_periodic : float;
   r_avail_instant : float;
+  r_avail_detour : float option;
+      (** stream+detour availability; [None] when the tier is disarmed.
+          Never below [r_avail_stream] (see the module doc). *)
   r_metrics : Metrics.t;
   r_ring : Ring.t;
   r_solver : Prete_lp.Solver_stats.t;

@@ -358,7 +358,8 @@ let prop_ladder_plans_always_feasible =
     QCheck.(small_int)
     (fun seed ->
       let rng = Prete_util.Rng.create (seed + 9100) in
-      let _, ts = fixture () in
+      let topo, ts = fixture () in
+      let dt = Detours.build ts in
       let demands =
         Array.init 2 (fun _ -> Prete_util.Rng.uniform rng 0.0 100.0)
       in
@@ -378,8 +379,27 @@ let prop_ladder_plans_always_feasible =
         | _ -> (good_plan ts demands, None)
       in
       let gap = Prete_util.Rng.int rng 4 = 0 in
-      let o = Resilience.plan_epoch ladder ~ts ~demands ~telemetry_gap:gap ~primary () in
-      Resilience.plan_feasible ts o.Resilience.plan)
+      (* Sometimes arm the Detour rung on a random fiber (tabled or
+         not — an untabled fiber must fall through to the ladder). *)
+      let detour =
+        if Prete_util.Rng.int rng 3 = 0 then
+          Some
+            ( dt,
+              good_plan ts demands,
+              Prete_util.Rng.int rng (Topology.num_fibers topo) )
+        else None
+      in
+      let cached_before = Resilience.last_good ladder in
+      let o =
+        Resilience.plan_epoch ladder ~ts ~demands ?detour ~telemetry_gap:gap
+          ~primary ()
+      in
+      (* A detour-rung plan is indexed by its own extended tunnel set;
+         every other rung's by the base set. *)
+      Resilience.plan_feasible o.Resilience.plan.Availability.p_ts
+        o.Resilience.plan
+      && (o.Resilience.rung <> Resilience.Detour
+         || Resilience.last_good ladder == cached_before))
 
 let prop_equal_split_feasible_at_any_scale =
   QCheck.Test.make ~name:"equal split feasible even at absurd demand"

@@ -1401,6 +1401,121 @@ let detour () =
       (armed.Simulate.c_availability -. base.Simulate.c_availability)
 
 (* ------------------------------------------------------------------ *)
+(* Scenario sweep: per-workload-class availability floors               *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_json = ref "null"
+
+(* Stream-policy availability floors per workload class, pinned with
+   margin below the minima measured across the default matrix at seed 3
+   / 12 epochs / scale 2 (gravity 0.9610, diurnal 0.9887, flash 0.9289,
+   coremelt 0.8876 — grid4 is the minimum for every class, so the
+   floors hold for the --quick sub-matrix too). *)
+let sweep_floors =
+  [ ("gravity", 0.95); ("diurnal", 0.98); ("flash", 0.91); ("coremelt", 0.87) ]
+
+let sweep_bench () =
+  section "Scenario sweep — topology x traffic x profile x policy portfolio";
+  let module Sweep = Prete_rt.Sweep in
+  let topologies =
+    if !quick then [ "Abilene"; "grid4" ] else [ "Abilene"; "B4"; "grid4" ]
+  in
+  let traffic = [ "gravity"; "diurnal"; "flash"; "coremelt" ] in
+  let profiles = if !quick then [ "clean" ] else Sweep.profile_names in
+  let epochs = 12 and seed = 3 and scale = 2.0 in
+  let fail fmt =
+    Printf.ksprintf (fun s -> Printf.printf "  FAIL: %s\n%!" s; exit 1) fmt
+  in
+  let class_of_spec spec =
+    match String.index_opt spec ':' with
+    | None -> spec
+    | Some i -> String.sub spec 0 i
+  in
+  Prete_exec.Pool.with_pool @@ fun pool ->
+  let t0 = Unix.gettimeofday () in
+  let p = Sweep.run ~pool ~seed ~epochs ~scale ~topologies ~traffic ~profiles () in
+  let wall = Unix.gettimeofday () -. t0 in
+  Printf.printf "  %d topologies x %d traffic x %d profiles x %d policies: %d \
+                 cells in %.1f s\n%!"
+    (List.length topologies) (List.length traffic) (List.length profiles)
+    (List.length Sweep.policies)
+    (List.length p.Sweep.pt_cells)
+    wall;
+  (* Per-class stream minima vs the pinned floors. *)
+  let stream_min =
+    List.map
+      (fun (cls, floor) ->
+        let m =
+          List.fold_left
+            (fun acc (c : Sweep.cell) ->
+              if c.Sweep.cl_policy = "stream" && class_of_spec c.Sweep.cl_traffic = cls
+              then Float.min acc c.Sweep.cl_availability
+              else acc)
+            infinity p.Sweep.pt_cells
+        in
+        Printf.printf "  %-9s stream min %.5f (floor %.2f)\n%!" cls m floor;
+        if m < floor then
+          fail "%s stream availability %.5f under the %.2f floor" cls m floor;
+        (cls, m, floor))
+      sweep_floors
+  in
+  (* The detour tier must never cost availability, on any cell of the
+     matrix. *)
+  let detour_delta =
+    let lookup policy (c : Sweep.cell) =
+      List.find
+        (fun (o : Sweep.cell) ->
+          o.Sweep.cl_topology = c.Sweep.cl_topology
+          && o.Sweep.cl_traffic = c.Sweep.cl_traffic
+          && o.Sweep.cl_profile = c.Sweep.cl_profile
+          && o.Sweep.cl_policy = policy)
+        p.Sweep.pt_cells
+    in
+    List.fold_left
+      (fun acc (c : Sweep.cell) ->
+        if c.Sweep.cl_policy <> "stream" then acc
+        else begin
+          let d = (lookup "stream+detour" c).Sweep.cl_availability in
+          let delta = d -. c.Sweep.cl_availability in
+          if delta < -1e-9 then
+            fail "stream+detour below stream on %s/%s/%s" c.Sweep.cl_topology
+              c.Sweep.cl_traffic c.Sweep.cl_profile;
+          Float.min acc delta
+        end)
+      infinity p.Sweep.pt_cells
+  in
+  Printf.printf "  stream+detour minimum delta over stream: %+.2e\n%!" detour_delta;
+  (* Bit-identity: the whole portfolio JSON must not depend on the
+     domain count. *)
+  let j = Sweep.to_json p in
+  let j1 =
+    Prete_exec.Pool.with_pool ~domains:1 (fun pool1 ->
+        Sweep.to_json
+          (Sweep.run ~pool:pool1 ~seed ~epochs ~scale ~topologies ~traffic
+             ~profiles ()))
+  in
+  if j <> j1 then fail "portfolio JSON not bit-identical at a single domain";
+  Printf.printf "  portfolio bit-identical at a single domain (%d bytes)\n%!"
+    (String.length j);
+  sweep_json :=
+    Printf.sprintf
+      "{\"seed\": %d, \"epochs\": %d, \"scale\": %.2f, \
+       \"matrix\": {\"topologies\": %d, \"traffic\": %d, \"profiles\": %d, \
+       \"policies\": %d}, \"cells\": %d, \
+       \"class_stream_min\": {%s}, \"floors\": {%s}, \
+       \"detour_min_delta\": %.9f, \"single_domain_identical\": true, \
+       \"wall_s\": %.3f}"
+      seed epochs scale (List.length topologies) (List.length traffic)
+      (List.length profiles)
+      (List.length Sweep.policies)
+      (List.length p.Sweep.pt_cells)
+      (String.concat ", "
+         (List.map (fun (c, m, _) -> Printf.sprintf "\"%s\": %.9f" c m) stream_min))
+      (String.concat ", "
+         (List.map (fun (c, _, f) -> Printf.sprintf "\"%s\": %.2f" c f) stream_min))
+      detour_delta wall
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1507,6 +1622,7 @@ let experiments =
     ("lp_scale", "dense vs revised simplex scaling on TE LPs", lp_scale);
     ("stream", "streaming runtime: detection/reaction latency + availability", stream);
     ("detour", "precomputed detour tier vs ladder: chaos ablation", detour);
+    ("sweep", "scenario matrix portfolio: per-class floors + determinism", sweep_bench);
   ]
 
 let () =
@@ -1580,15 +1696,16 @@ let () =
           ("lp_scale", lp_scale_json);
           ("stream", stream_json);
           ("detour", detour_json);
+          ("sweep", sweep_json);
         ]
     in
-    Printf.sprintf "{\n  \"pr\": 6,\n  \"experiments\": [%s]%s\n}\n"
+    Printf.sprintf "{\n  \"pr\": 7,\n  \"experiments\": [%s]%s\n}\n"
       (String.concat ", " exps)
       (String.concat ""
          (List.map (fun s -> Printf.sprintf ",\n  %s" s) sections))
   in
-  let oc = open_out "BENCH_PR6.json" in
+  let oc = open_out "BENCH_PR7.json" in
   output_string oc json;
   close_out oc;
-  Printf.printf "\nWrote BENCH_PR6.json\n";
+  Printf.printf "\nWrote BENCH_PR7.json\n";
   Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

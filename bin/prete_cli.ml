@@ -375,9 +375,9 @@ let chaos_cmd =
     Term.(const run $ topo_arg $ scale_arg $ scheme $ seed_arg $ epochs $ domains_arg)
 
 let stream_cmd =
-  let run () name epochs seed scale ewma_alpha cusum_k cusum_h debounce gap_rate
-      dup_rate reorder_rate max_delay deadline predictor stale_after no_detour
-      trace_out replay_path domains =
+  let run () name traffic epochs seed scale ewma_alpha cusum_k cusum_h debounce
+      gap_rate dup_rate reorder_rate max_delay deadline predictor stale_after
+      no_detour trace_out replay_path domains =
     match replay_path with
     | Some path ->
       (* Replay mode: re-run a dumped configuration and verify the
@@ -401,6 +401,7 @@ let stream_cmd =
         {
           Prete_rt.Runtime.default_config with
           Prete_rt.Runtime.topology = name;
+          traffic;
           epochs;
           seed;
           scale;
@@ -470,6 +471,15 @@ let stream_cmd =
   in
   let epochs =
     Arg.(value & opt int 40 & info [ "epochs" ] ~docv:"N" ~doc:"TE periods to stream.")
+  in
+  let traffic =
+    Arg.(
+      value & opt string "fixed"
+      & info [ "traffic" ] ~docv:"MODEL"
+          ~doc:
+            "Demand model: fixed (the static gravity matrix) or a \
+             Traffic_model spec — gravity | diurnal | flash | coremelt, \
+             optionally suffixed :SEED (e.g. flash:7).")
   in
   let seed =
     Arg.(value & opt int 123 & info [ "seed" ] ~docv:"SEED" ~doc:"Sample-path seed.")
@@ -567,10 +577,130 @@ let stream_cmd =
   in
   Cmd.v (Cmd.info "stream" ~doc)
     Term.(
-      const run $ lp_term $ topo_arg $ epochs $ seed $ scale_arg $ ewma_alpha
-      $ cusum_k $ cusum_h $ debounce $ gap_rate $ dup_rate $ reorder_rate
-      $ max_delay $ deadline $ predictor $ stale_after $ no_detour $ trace_out
-      $ replay_path $ domains_arg)
+      const run $ lp_term $ topo_arg $ traffic $ epochs $ seed $ scale_arg
+      $ ewma_alpha $ cusum_k $ cusum_h $ debounce $ gap_rate $ dup_rate
+      $ reorder_rate $ max_delay $ deadline $ predictor $ stale_after
+      $ no_detour $ trace_out $ replay_path $ domains_arg)
+
+let sweep_cmd =
+  let run () topos traffic profiles epochs seed scale out check domains =
+    let split s =
+      String.split_on_char ',' s
+      |> List.map String.trim
+      |> List.filter (fun x -> x <> "")
+    in
+    let topologies = split topos in
+    let traffic = split traffic in
+    let profiles = split profiles in
+    let go pool =
+      Prete_rt.Sweep.run ~pool ~seed ~epochs ~scale ~topologies ~traffic
+        ~profiles ()
+    in
+    let p = with_pool domains go in
+    let json = Prete_rt.Sweep.to_json p in
+    let oc = open_out out in
+    output_string oc json;
+    close_out oc;
+    Printf.printf
+      "sweep: %d topologies x %d traffic models x %d profiles x %d policies = \
+       %d cells (seed %d, %d epochs, scale %g)\n"
+      (List.length topologies) (List.length traffic) (List.length profiles)
+      (List.length Prete_rt.Sweep.policies)
+      (List.length p.Prete_rt.Sweep.pt_cells)
+      seed epochs scale;
+    Printf.printf "%-10s %-11s %-6s %8s %9s %9s %9s %9s\n" "topology" "traffic"
+      "prof" "phi" "periodic" "stream" "st+det" "instant";
+    let by_policy combo_cells policy =
+      match
+        List.find_opt
+          (fun c -> c.Prete_rt.Sweep.cl_policy = policy)
+          combo_cells
+      with
+      | Some c -> c.Prete_rt.Sweep.cl_availability
+      | None -> nan
+    in
+    List.iter
+      (fun (cb : Prete_rt.Sweep.combo) ->
+        let mine =
+          List.filter
+            (fun (c : Prete_rt.Sweep.cell) ->
+              c.Prete_rt.Sweep.cl_topology = cb.Prete_rt.Sweep.cb_topology
+              && c.Prete_rt.Sweep.cl_traffic = cb.Prete_rt.Sweep.cb_traffic
+              && c.Prete_rt.Sweep.cl_profile = cb.Prete_rt.Sweep.cb_profile)
+            p.Prete_rt.Sweep.pt_cells
+        in
+        let phi =
+          match mine with c :: _ -> c.Prete_rt.Sweep.cl_phi | [] -> nan
+        in
+        Printf.printf "%-10s %-11s %-6s %8.5f %9.5f %9.5f %9.5f %9.5f\n"
+          cb.Prete_rt.Sweep.cb_topology cb.Prete_rt.Sweep.cb_traffic
+          cb.Prete_rt.Sweep.cb_profile phi (by_policy mine "periodic")
+          (by_policy mine "stream")
+          (by_policy mine "stream+detour")
+          (by_policy mine "instant"))
+      p.Prete_rt.Sweep.pt_combos;
+    Printf.printf "wrote %s\n" out;
+    if check then begin
+      let p1 = with_pool (Some 1) go in
+      if String.equal (Prete_rt.Sweep.to_json p1) json then
+        print_endline "CHECK OK: portfolio bit-identical at 1 domain"
+      else begin
+        print_endline "CHECK FAILED: portfolio differs at 1 domain";
+        exit 1
+      end
+    end
+  in
+  let topos =
+    Arg.(
+      value
+      & opt string "Abilene,B4,grid4"
+      & info [ "t"; "topologies" ] ~docv:"NAMES"
+          ~doc:"Comma-separated Topology.by_name names.")
+  in
+  let traffic =
+    Arg.(
+      value
+      & opt string "gravity,diurnal,flash,coremelt"
+      & info [ "traffic" ] ~docv:"MODELS"
+          ~doc:"Comma-separated Traffic_model.by_name specs.")
+  in
+  let profiles =
+    Arg.(
+      value
+      & opt string "clean,lossy"
+      & info [ "profiles" ] ~docv:"PROFILES"
+          ~doc:"Comma-separated fault profiles (clean, lossy).")
+  in
+  let epochs =
+    Arg.(
+      value & opt int 12
+      & info [ "epochs" ] ~docv:"N" ~doc:"TE periods per combo run.")
+  in
+  let seed =
+    Arg.(value & opt int 3 & info [ "seed" ] ~docv:"SEED" ~doc:"Ground-truth seed.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "sweep_portfolio.json"
+      & info [ "out" ] ~docv:"PATH" ~doc:"Portfolio JSON output path.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Re-run the matrix single-domain and fail (exit 1) unless the \
+             portfolio JSON is byte-identical — the determinism contract.")
+  in
+  let doc =
+    "Run the {topology x traffic x fault profile x policy} scenario matrix \
+     and emit one portfolio JSON."
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      const run $ lp_term $ topos $ traffic $ profiles $ epochs $ seed
+      $ scale_arg $ out $ check $ domains_arg)
 
 let () =
   let doc = "PreTE: traffic engineering with predictive failures (SIGCOMM 2025 reproduction)" in
@@ -588,4 +718,5 @@ let () =
             pipeline_cmd;
             chaos_cmd;
             stream_cmd;
+            sweep_cmd;
           ]))

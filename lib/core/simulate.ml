@@ -277,6 +277,97 @@ let eval_epochs ?(epoch_plan = fun _ -> None) pool (env : Availability.env)
       partial.(lo / csize) <- !acc);
   Array.fold_left ( +. ) 0.0 partial /. float_of_int epochs
 
+(* [eval_epochs] generalized to an epoch-varying demand sequence (a
+   traffic model's classes): plans are keyed by (class, degradation
+   state), served LPs by (class, sorted cut set), and each epoch is
+   normalized by its own class's total demand.  [class_of] must be a
+   pure function of the epoch index — the tables, the chunking, and the
+   fold order then depend only on the inputs, so the result is
+   bit-identical at any domain count.  Kept separate from [eval_epochs]
+   so the single-matrix path's float associativity is untouched. *)
+let eval_epochs_classes ?(epoch_plan = fun _ -> None) pool
+    (env : Availability.env) scheme ~class_demands ~class_of ~state ~epoch_cuts =
+  let epochs = Array.length state in
+  if epochs = 0 then invalid_arg "Simulate.eval_epochs_classes: no epochs";
+  if Array.length epoch_cuts <> epochs then
+    invalid_arg "Simulate.eval_epochs_classes: state/cuts length mismatch";
+  let nclasses = Array.length class_demands in
+  if nclasses = 0 then invalid_arg "Simulate.eval_epochs_classes: no classes";
+  let classes = Array.init epochs class_of in
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= nclasses then
+        invalid_arg "Simulate.eval_epochs_classes: class out of range")
+    classes;
+  let totals =
+    Array.map (fun d -> Float.max 1e-9 (Prete_util.Stats.sum d)) class_demands
+  in
+  let plan_keys =
+    distinct_by Fun.id (Array.init epochs (fun e -> (classes.(e), state.(e))))
+  in
+  let plans =
+    Prete_exec.Pool.parallel_map pool ~chunk:1
+      (fun (c, degraded) ->
+        Availability.Internal.plan_alloc env scheme ~demands:class_demands.(c)
+          ~degraded)
+      plan_keys
+  in
+  let plan_tbl : (int * int option, Availability.plan) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Array.iteri (fun i k -> Hashtbl.replace plan_tbl k plans.(i)) plan_keys;
+  let plan c s =
+    match Hashtbl.find_opt plan_tbl (c, s) with
+    | Some p -> p
+    | None ->
+      Availability.Internal.plan_alloc env scheme ~demands:class_demands.(c)
+        ~degraded:s
+  in
+  let served_tbl : (int * int list, float array) Hashtbl.t = Hashtbl.create 64 in
+  (match scheme with
+  | Schemes.Oracle | Schemes.Flexile ->
+    let keys =
+      distinct_by Fun.id
+        (Array.init epochs (fun e -> (classes.(e), List.sort compare epoch_cuts.(e))))
+    in
+    let solved =
+      Prete_exec.Pool.parallel_map pool ~chunk:1
+        (fun (c, key) ->
+          Availability.Internal.max_served env ~demands:class_demands.(c) ~cuts:key)
+        keys
+    in
+    Array.iteri (fun i k -> Hashtbl.replace served_tbl k solved.(i)) keys
+  | _ -> ());
+  let served c cuts =
+    let key = List.sort compare cuts in
+    match Hashtbl.find_opt served_tbl (c, key) with
+    | Some s -> s
+    | None -> Availability.Internal.max_served env ~demands:class_demands.(c) ~cuts:key
+  in
+  let csize = max 1 ((epochs + 63) / 64) in
+  let nchunks = (epochs + csize - 1) / csize in
+  let partial = Array.make nchunks 0.0 in
+  Prete_exec.Pool.parallel_for pool ~chunk:csize epochs (fun lo hi ->
+      let acc = ref 0.0 in
+      for e = lo to hi - 1 do
+        let c = classes.(e) in
+        let demands = class_demands.(c) in
+        let plan_e =
+          match epoch_plan e with Some p -> p | None -> plan c state.(e)
+        in
+        let delivered =
+          delivered_fractions env scheme ~demands ~plan:plan_e
+            ~cuts:epoch_cuts.(e) ~served:(served c)
+        in
+        let epoch_avail = ref 0.0 in
+        Array.iteri
+          (fun f dl -> epoch_avail := !epoch_avail +. (demands.(f) *. dl))
+          delivered;
+        acc := !acc +. (!epoch_avail /. totals.(c))
+      done;
+      partial.(lo / csize) <- !acc);
+  Array.fold_left ( +. ) 0.0 partial /. float_of_int epochs
+
 let run ?(seed = 123) ?(epochs = 20_000) ?pool (env : Availability.env) scheme
     ~scale =
   if epochs <= 0 then invalid_arg "Simulate.run: epochs must be positive";
@@ -311,6 +402,54 @@ let run ?(seed = 123) ?(epochs = 20_000) ?pool (env : Availability.env) scheme
   (* Phases B and C: plan/served tables plus the epoch replay. *)
   {
     availability = eval_epochs pool env scheme ~demands ~state ~epoch_cuts;
+    epochs;
+    degradation_epochs = !degr_epochs;
+    cut_epochs = !cut_epochs;
+    multi_cut_epochs = !multi;
+  }
+
+(* [run] with an epoch-varying traffic model: the ground truth is drawn
+   exactly as [run] draws it (same seed ⇒ same sample path), but each
+   epoch is evaluated against the demand class its schedule selects.
+   The env must be built over the model ([Availability.make_env
+   ~traffic:(Traffic_model.to_traffic tm) ~tunnels:...]) so tunnels and
+   flows line up. *)
+let run_model ?(seed = 123) ?(epochs = 20_000) ?pool (env : Availability.env)
+    (tm : Traffic_model.t) scheme ~scale =
+  if epochs <= 0 then invalid_arg "Simulate.run_model: epochs must be positive";
+  let pool =
+    match pool with Some p -> p | None -> Prete_exec.Pool.default ()
+  in
+  let nflows = Array.length env.Availability.ts.Tunnels.flows in
+  if Traffic_model.num_flows tm <> nflows then
+    invalid_arg "Simulate.run_model: env tunnels do not match the traffic model";
+  let class_demands =
+    Array.map (Array.map (fun d -> d *. scale)) tm.Traffic_model.tm_classes
+  in
+  let topo = env.Availability.ts.Tunnels.topo in
+  let nf = Topology.num_fibers topo in
+  let epoch_rngs = epoch_streams ~seed ~epochs in
+  let state = Array.make epochs None in
+  let epoch_cuts = Array.make epochs [] in
+  let had_degr = Array.make epochs false in
+  Prete_exec.Pool.parallel_for pool epochs (fun lo hi ->
+      for e = lo to hi - 1 do
+        let s, cuts, degr = sample_epoch env ~topo ~nf epoch_rngs.(e) in
+        state.(e) <- s;
+        epoch_cuts.(e) <- cuts;
+        had_degr.(e) <- degr
+      done);
+  let degr_epochs = ref 0 and cut_epochs = ref 0 and multi = ref 0 in
+  Array.iter (fun d -> if d then incr degr_epochs) had_degr;
+  Array.iter
+    (fun cuts ->
+      if cuts <> [] then incr cut_epochs;
+      if List.length cuts > 1 then incr multi)
+    epoch_cuts;
+  {
+    availability =
+      eval_epochs_classes pool env scheme ~class_demands
+        ~class_of:(Traffic_model.class_of tm) ~state ~epoch_cuts;
     epochs;
     degradation_epochs = !degr_epochs;
     cut_epochs = !cut_epochs;
@@ -548,6 +687,11 @@ module Internal = struct
 
   let eval_epochs ?epoch_plan pool env scheme ~demands ~state ~epoch_cuts =
     eval_epochs ?epoch_plan pool env scheme ~demands ~state ~epoch_cuts
+
+  let eval_epochs_classes ?epoch_plan pool env scheme ~class_demands ~class_of
+      ~state ~epoch_cuts =
+    eval_epochs_classes ?epoch_plan pool env scheme ~class_demands ~class_of
+      ~state ~epoch_cuts
 end
 
 let chaos_sweep ?seed ?epochs ?fault_seed ?pressure_budget_s ?detours ?pool

@@ -43,6 +43,26 @@ val run :
     convergence window per cut epoch, as in the analytic evaluator.
     Raises [Invalid_argument] for non-positive [epochs]. *)
 
+val run_model :
+  ?seed:int ->
+  ?epochs:int ->
+  ?pool:Prete_exec.Pool.t ->
+  Availability.env ->
+  Prete_net.Traffic_model.t ->
+  Schemes.t ->
+  scale:float ->
+  result
+(** [run_model env tm scheme ~scale] is {!run} with an epoch-varying
+    traffic model: the ground truth is drawn exactly as {!run} draws it
+    from [seed], but each epoch is evaluated against the demand class
+    selected by [tm]'s schedule (plans per distinct
+    class × degradation state, served LPs per distinct class × cut set,
+    each epoch normalized by its class's total demand).  [env] must be
+    built over the model ([Availability.make_env
+    ~traffic:(Traffic_model.to_traffic tm) ~tunnels:...]) so flows line
+    up — raises [Invalid_argument] otherwise.  Bit-identical at any
+    domain count, like {!run}. *)
+
 (** {1 Chaos harness}
 
     The fault-injection twin of {!run}: the same generative epoch loop,
@@ -147,6 +167,23 @@ module Internal : sig
       specific epoch — the runtime scores its detour-patched plans this
       way; the default preserves bitwise equality with {!run}.
       Raises [Invalid_argument] on empty or mismatched arrays. *)
+
+  val eval_epochs_classes :
+    ?epoch_plan:(int -> Availability.plan option) ->
+    Prete_exec.Pool.t ->
+    Availability.env ->
+    Schemes.t ->
+    class_demands:float array array ->
+    class_of:(int -> int) ->
+    state:int option array ->
+    epoch_cuts:int list array ->
+    float
+  (** {!eval_epochs} generalized to an epoch-varying demand sequence:
+      [class_of e] selects the demand class evaluated (and normalized
+      against) at epoch [e].  [class_of] must be pure in the epoch
+      index; the replay is then bit-identical at any domain count.
+      The phases B and C of {!run_model}.  Raises [Invalid_argument]
+      on empty/mismatched arrays or an out-of-range class. *)
 end
 
 val chaos_sweep :

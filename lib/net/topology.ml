@@ -236,23 +236,166 @@ let grid k =
     ~fibers:(Array.of_list (List.rev !fibers))
     ~links:(Array.of_list (List.rev !links))
 
+(* --------------------------------------------------------------------- *)
+(* Topology zoo                                                            *)
+(* --------------------------------------------------------------------- *)
+
+module Zoo = struct
+  let min_span_km = 30.0
+  let max_span_km = 3000.0
+  let max_degree = 8
+  let min_avg_degree = 2.0
+  let max_avg_degree = 6.0
+end
+
+(* Topology_io prints lengths with %g (6 significant digits); rounding
+   generated spans to 0.1 km keeps them exactly representable so the
+   text round-trip is structural equality. *)
+let round_span l =
+  let l = Float.max Zoo.min_span_km (Float.min Zoo.max_span_km l) in
+  Float.round (l *. 10.0) /. 10.0
+
+(* Internet2 Abilene: the canonical 11-PoP research backbone, with span
+   lengths approximating the published fiber routes (km).  Small enough
+   that every cut matters, real enough that degree and length
+   distributions are not an artifact of a generator. *)
+let abilene () =
+  let node_names =
+    [| "sea"; "svl"; "lax"; "den"; "kc"; "hou"; "atl"; "dc"; "ny"; "chi"; "ind" |]
+  in
+  let spans =
+    [| (0, 1, 1300.0); (0, 3, 2100.0); (1, 2, 600.0); (1, 3, 1900.0);
+       (2, 5, 2500.0); (3, 4, 970.0); (4, 5, 1330.0); (4, 10, 790.0);
+       (5, 6, 1300.0); (6, 10, 850.0); (6, 7, 1000.0); (7, 8, 330.0);
+       (8, 9, 1150.0); (9, 10, 290.0) |]
+  in
+  (* 14 base + 14 extra = 28 undirected IP links. *)
+  let links = generate_ip_layer ~fibers:spans ~extra:14 in
+  make ~name:"Abilene" ~node_names ~fibers:spans ~links
+
+(* Seeded random WAN family: sites placed uniformly on a plane, a ring
+   over the angular order (connectivity by construction), then Waxman
+   chords — short hops exponentially more likely — with a degree cap.
+   Span length is the euclidean distance with a 1.2 routing detour
+   factor, clamped to the declared Zoo bounds.  All randomness comes
+   from one [Prete_util.Rng] stream drawn in a fixed order, so the same
+   seed always yields a bit-identical topology. *)
+let wan_family ~name ~seed ~sites ~chords ~plane_km:(w, h) ~extra =
+  if sites < 4 then invalid_arg "Topology.wan: need at least 4 sites";
+  let rng = Prete_util.Rng.create (0x5a11 + (seed * 0x9e37) + (sites * 131)) in
+  let pos = Array.make sites (0.0, 0.0) in
+  for i = 0 to sites - 1 do
+    let x = Prete_util.Rng.uniform rng 0.0 w in
+    let y = Prete_util.Rng.uniform rng 0.0 h in
+    pos.(i) <- (x, y)
+  done;
+  let cx = Array.fold_left (fun a (x, _) -> a +. x) 0.0 pos /. float_of_int sites in
+  let cy = Array.fold_left (fun a (_, y) -> a +. y) 0.0 pos /. float_of_int sites in
+  let order = Array.init sites (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      let (xi, yi) = pos.(i) and (xj, yj) = pos.(j) in
+      match compare (Float.atan2 (yi -. cy) (xi -. cx)) (Float.atan2 (yj -. cy) (xj -. cx)) with
+      | 0 -> compare i j
+      | c -> c)
+    order;
+  let dist i j =
+    let (xi, yi) = pos.(i) and (xj, yj) = pos.(j) in
+    Float.hypot (xi -. xj) (yi -. yj)
+  in
+  let deg = Array.make sites 0 in
+  let have = Hashtbl.create (sites * 4) in
+  let spans = ref [] in
+  let add a b =
+    Hashtbl.replace have (min a b, max a b) ();
+    deg.(a) <- deg.(a) + 1;
+    deg.(b) <- deg.(b) + 1;
+    spans := (a, b, round_span (1.2 *. dist a b)) :: !spans
+  in
+  for k = 0 to sites - 1 do
+    add order.(k) order.((k + 1) mod sites)
+  done;
+  let diag = Float.hypot w h in
+  let added = ref 0 and attempts = ref 0 in
+  while !added < chords && !attempts < 400 * chords do
+    incr attempts;
+    let a = Prete_util.Rng.int rng sites in
+    let b = Prete_util.Rng.int rng sites in
+    if
+      a <> b
+      && deg.(a) < Zoo.max_degree
+      && deg.(b) < Zoo.max_degree
+      && (not (Hashtbl.mem have (min a b, max a b)))
+      && Prete_util.Rng.bernoulli rng (Float.exp (-.dist a b /. (0.3 *. diag)))
+    then begin
+      add a b;
+      incr added
+    end
+  done;
+  let fibers = Array.of_list (List.rev !spans) in
+  let links = generate_ip_layer ~fibers ~extra in
+  make ~name
+    ~node_names:(Array.init sites (Printf.sprintf "s%02d"))
+    ~fibers ~links
+
+let wan ?(seed = 0) sites =
+  let name =
+    if seed = 0 then Printf.sprintf "wan%d" sites
+    else Printf.sprintf "wan%dx%d" sites seed
+  in
+  wan_family ~name ~seed ~sites ~chords:(sites / 2)
+    ~plane_km:(4200.0, 2400.0) ~extra:sites
+
+(* SURFnet-class national research network: ~50 PoPs, ~68 spans, dense
+   short-haul fiber (the onset evaluation's surfNet shape).  The small
+   plane makes most raw distances fall below the Zoo floor, giving the
+   metro-dominated length distribution of a national NREN. *)
+let surfnet () =
+  wan_family ~name:"SURFnet" ~seed:7 ~sites:50 ~chords:18
+    ~plane_km:(320.0, 260.0) ~extra:30
+
+let names () = [ "IBM"; "B4"; "TWAN"; "Abilene"; "SURFnet" ]
+
+let known_patterns = [ "grid<K>"; "wan<SITES>"; "wan<SITES>x<SEED>" ]
+
 let by_name s =
+  let unknown () =
+    invalid_arg
+      (Printf.sprintf "Topology.by_name: unknown topology %s (known: %s)" s
+         (String.concat ", " (names () @ known_patterns)))
+  in
+  let digits d = d <> "" && String.for_all (fun c -> c >= '0' && c <= '9') d in
+  let after prefix lower =
+    let n = String.length prefix in
+    if String.length lower > n && String.sub lower 0 n = prefix then
+      Some (String.sub lower n (String.length lower - n))
+    else None
+  in
   match String.uppercase_ascii s with
   | "B4" -> b4 ()
   | "IBM" -> ibm ()
   | "TWAN" -> twan ()
-  | other ->
+  | "ABILENE" -> abilene ()
+  | "SURFNET" -> surfnet ()
+  | _ -> (
     let lower = String.lowercase_ascii s in
-    let is_grid =
-      String.length lower > 4
-      && String.sub lower 0 4 = "grid"
-      && String.for_all (fun c -> c >= '0' && c <= '9')
-           (String.sub lower 4 (String.length lower - 4))
-    in
-    if is_grid then grid (int_of_string (String.sub lower 4 (String.length lower - 4)))
-    else invalid_arg ("Topology.by_name: unknown topology " ^ other)
+    match after "grid" lower with
+    | Some d when digits d -> grid (int_of_string d)
+    | Some _ -> unknown ()
+    | None -> (
+      match after "wan" lower with
+      | Some spec -> (
+        match String.index_opt spec 'x' with
+        | None when digits spec -> wan (int_of_string spec)
+        | Some i ->
+          let n = String.sub spec 0 i in
+          let sd = String.sub spec (i + 1) (String.length spec - i - 1) in
+          if digits n && digits sd then wan ~seed:(int_of_string sd) (int_of_string n)
+          else unknown ()
+        | None -> unknown ())
+      | None -> unknown ()))
 
-let all () = [ ibm (); b4 (); twan () ]
+let all () = [ ibm (); b4 (); twan (); abilene (); surfnet () ]
 
 let link t i =
   if i < 0 || i >= Array.length t.links then invalid_arg "Topology.link: out of range";

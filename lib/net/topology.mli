@@ -74,12 +74,59 @@ val grid : int -> t
     scaling instance family of the LP bench and the default stage for
     the streaming runtime.  Raises [Invalid_argument] for [k < 2]. *)
 
+(** {1 Topology zoo}
+
+    Parameterized, seeded generators for the scenario sweeps.  Every
+    generator is pure: the same name/seed always yields a bit-identical
+    topology, and every generated graph is connected (a ring underlies
+    the random families) with degree and span-length samples inside the
+    declared {!Zoo} bounds. *)
+
+module Zoo : sig
+  val min_span_km : float
+  (** Shortest fiber span any zoo generator emits. *)
+
+  val max_span_km : float
+  (** Longest fiber span any zoo generator emits. *)
+
+  val max_degree : int
+  (** Hard per-site cap on fiber-adjacency degree. *)
+
+  val min_avg_degree : float
+  val max_avg_degree : float
+  (** Band the mean fiber degree of every zoo topology falls in. *)
+end
+
+val abilene : unit -> t
+(** Internet2 Abilene: 11 PoPs, 14 fiber spans at (approximate)
+    published route lengths, 28 undirected IP links. *)
+
+val surfnet : unit -> t
+(** SURFnet-class national research network: 50 PoPs, ~68 spans of
+    mostly short-haul fiber (seeded instance of the {!wan} family on a
+    small plane). *)
+
+val wan : ?seed:int -> int -> t
+(** [wan ?seed sites] is a seeded continental WAN: sites uniform on a
+    4200×2400 km plane, a ring over the angular order plus
+    distance-biased (Waxman) chords, span lengths euclidean ×1.2
+    clamped to the {!Zoo} bounds.  Same [(seed, sites)] ⇒ bit-identical
+    topology.  Raises [Invalid_argument] for [sites < 4]. *)
+
+val names : unit -> string list
+(** Names of all registered non-parameterized topologies, resolvable
+    through {!by_name}. *)
+
 val by_name : string -> t
-(** ["B4"], ["IBM"], ["TWAN"] (case-insensitive), or ["gridK"] for any
-    K ≥ 2 (e.g. ["grid4"]).  Raises [Invalid_argument] otherwise. *)
+(** Case-insensitive lookup: any of {!names} (["B4"], ["IBM"],
+    ["TWAN"], ["Abilene"], ["SURFnet"]), ["gridK"] for K ≥ 2
+    (e.g. ["grid4"]), or ["wanN"] / ["wanNxSEED"] for the seeded WAN
+    family (e.g. ["wan40"], ["wan40x7"]).  Raises [Invalid_argument]
+    listing the known names otherwise. *)
 
 val all : unit -> t list
-(** The three evaluation topologies in Table 3 order: IBM, B4, TWAN. *)
+(** Every non-parameterized topology: the Table 3 trio (IBM, B4, TWAN)
+    followed by the zoo entries (Abilene, SURFnet). *)
 
 val link : t -> int -> link
 val fiber : t -> int -> fiber

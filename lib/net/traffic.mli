@@ -12,6 +12,12 @@ type t = {
   matrices : float array array;  (** 24 hourly matrices (epoch × flow). *)
 }
 
+val default_num_flows : Topology.t -> int
+(** Flow count used when [generate]'s [?num_flows] is omitted: the
+    Table 3 tunnel counts / 4 for the named topologies, otherwise
+    [min 50 (n·(n−1)/2)].  Exposed so {!Traffic_model} builds its
+    baselines over the same flow budget. *)
+
 val generate : ?num_flows:int -> ?utilization:float -> Topology.t -> t
 (** [generate topo] picks the heaviest [num_flows] gravity pairs (default:
     Table 3 tunnel counts / 4 for known topologies) and scales total demand

@@ -1,0 +1,262 @@
+module Rng = Prete_util.Rng
+
+type kind = Gravity | Diurnal | Flash_crowd | Coremelt
+
+let kind_name = function
+  | Gravity -> "gravity"
+  | Diurnal -> "diurnal"
+  | Flash_crowd -> "flash"
+  | Coremelt -> "coremelt"
+
+let all_kinds = [ Gravity; Diurnal; Flash_crowd; Coremelt ]
+let all_names = List.map kind_name all_kinds
+
+type t = {
+  tm_name : string;
+  tm_kind : kind;
+  tm_seed : int;
+  tm_pairs : (Topology.node * Topology.node) list;
+  tm_baseline_flows : int;
+  tm_classes : float array array;
+  tm_schedule : int array;
+  tm_phase : int;
+  tm_surge : (int * int) option;
+}
+
+let name t = t.tm_name
+let num_flows t = List.length t.tm_pairs
+let period t = Array.length t.tm_schedule
+
+let class_of t e =
+  let p = period t in
+  t.tm_schedule.(((e mod p) + p) mod p)
+
+let demands t ~scale ~epoch =
+  if scale < 0.0 then invalid_arg "Traffic_model.demands: negative scale";
+  Array.map (fun d -> d *. scale) t.tm_classes.(class_of t epoch)
+
+let baseline t = Array.copy t.tm_classes.(0)
+
+(* --------------------------------------------------------------------- *)
+(* Seeded gravity baseline                                                 *)
+(* --------------------------------------------------------------------- *)
+
+(* Seeded site masses and the full gravity matrix: entry (i,j) is
+   m_i·m_j/S for i ≠ j (S = total mass) and zero on the diagonal, so row
+   i and column i both sum to m_i·(S − m_i)/S — the row/column-mass law
+   the property suite checks. *)
+let gravity_parts ~seed topo =
+  let n = topo.Topology.num_nodes in
+  let rng = Rng.create (0x6a17 + (seed * 7919)) in
+  let masses = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    masses.(i) <- 1.0 +. (9.0 *. Rng.float rng)
+  done;
+  let s = Array.fold_left ( +. ) 0.0 masses in
+  let matrix =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            if i = j then 0.0 else masses.(i) *. masses.(j) /. s))
+  in
+  (masses, matrix)
+
+(* Heaviest [Traffic.default_num_flows] ordered pairs of the seeded
+   gravity matrix, calibrated like [Traffic.generate]: shortest-path
+   routing loads the busiest link to [utilization] at scale 1. *)
+let calibrated_base ~seed ?(utilization = 0.75) topo =
+  let n = topo.Topology.num_nodes in
+  let _, matrix = gravity_parts ~seed topo in
+  let num_flows = Traffic.default_num_flows topo in
+  let scored = ref [] in
+  for s = 0 to n - 1 do
+    for d = 0 to n - 1 do
+      if s <> d then scored := (matrix.(s).(d), (s, d)) :: !scored
+    done
+  done;
+  let ranked =
+    List.sort
+      (fun (w1, p1) (w2, p2) -> match compare w2 w1 with 0 -> compare p1 p2 | c -> c)
+      !scored
+  in
+  let chosen = List.filteri (fun i _ -> i < num_flows) ranked in
+  let pairs = List.map snd chosen in
+  let raw = Array.of_list (List.map fst chosen) in
+  let link_load = Array.make (Topology.num_links topo) 0.0 in
+  List.iteri
+    (fun i (s, d) ->
+      match Routing.shortest_path topo ~src:s ~dst:d () with
+      | None -> invalid_arg "Traffic_model: disconnected pair"
+      | Some p -> List.iter (fun lid -> link_load.(lid) <- link_load.(lid) +. raw.(i)) p)
+    pairs;
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun lid load ->
+      let u = load /. (Topology.link topo lid).Topology.capacity in
+      if u > !worst then worst := u)
+    link_load;
+  let factor = if !worst > 0.0 then utilization /. !worst else 1.0 in
+  (pairs, Array.map (fun w -> w *. factor) raw)
+
+(* --------------------------------------------------------------------- *)
+(* Models                                                                  *)
+(* --------------------------------------------------------------------- *)
+
+let model_name kind seed =
+  if seed = 0 then kind_name kind
+  else Printf.sprintf "%s:%d" (kind_name kind) seed
+
+let gravity ?(seed = 0) topo =
+  let pairs, base = calibrated_base ~seed topo in
+  {
+    tm_name = model_name Gravity seed;
+    tm_kind = Gravity;
+    tm_seed = seed;
+    tm_pairs = pairs;
+    tm_baseline_flows = List.length pairs;
+    tm_classes = [| base |];
+    tm_schedule = [| 0 |];
+    tm_phase = 0;
+    tm_surge = None;
+  }
+
+let diurnal ?(seed = 0) topo =
+  let pairs, base = calibrated_base ~seed topo in
+  let rng = Rng.create (0xd1a1 + (seed * 131)) in
+  let phase = Rng.int rng 24 in
+  let amp = 0.15 +. (0.1 *. Rng.float rng) in
+  (* Multiplier 1.0 exactly (and only) at [phase]; trough 1 − 2·amp. *)
+  let mult h =
+    1.0 -. amp +. (amp *. cos (2.0 *. Float.pi *. float_of_int (h - phase) /. 24.0))
+  in
+  let classes = Array.init 24 (fun h -> Array.map (fun b -> b *. mult h) base) in
+  {
+    tm_name = model_name Diurnal seed;
+    tm_kind = Diurnal;
+    tm_seed = seed;
+    tm_pairs = pairs;
+    tm_baseline_flows = List.length pairs;
+    tm_classes = classes;
+    tm_schedule = Array.init 24 (fun h -> h);
+    tm_phase = phase;
+    tm_surge = None;
+  }
+
+let flash_crowd ?(seed = 0) topo =
+  let pairs, base = calibrated_base ~seed topo in
+  let nflows = Array.length base in
+  let rng = Rng.create (0xf1a5 + (seed * 131)) in
+  (* Onset within the first half-day so even short sweep runs (12
+     epochs = hours 0–11) cross the surge window. *)
+  let start = 3 + Rng.int rng 8 in
+  let stop = min 24 (start + 2 + Rng.int rng 4) in
+  let targets = max 1 (nflows / 8) in
+  let factor = 4.0 +. (4.0 *. Rng.float rng) in
+  let surged = Array.copy base in
+  let hit = Array.make nflows false in
+  let chosen = ref 0 and guard = ref 0 in
+  while !chosen < targets && !guard < 100 * targets do
+    incr guard;
+    let f = Rng.int rng nflows in
+    if not hit.(f) then begin
+      hit.(f) <- true;
+      surged.(f) <- base.(f) *. factor;
+      incr chosen
+    end
+  done;
+  {
+    tm_name = model_name Flash_crowd seed;
+    tm_kind = Flash_crowd;
+    tm_seed = seed;
+    tm_pairs = pairs;
+    tm_baseline_flows = nflows;
+    tm_classes = [| base; surged |];
+    tm_schedule = Array.init 24 (fun h -> if h >= start && h < stop then 1 else 0);
+    tm_phase = 0;
+    tm_surge = Some (start, stop);
+  }
+
+let coremelt ?(seed = 0) topo =
+  let pairs, base = calibrated_base ~seed topo in
+  let nbase = Array.length base in
+  let rng = Rng.create (0xc0de + (seed * 131)) in
+  let start = 3 + Rng.int rng 8 in
+  let stop = min 24 (start + 1 + Rng.int rng 3) in
+  let gamma = 0.3 +. (0.4 *. Rng.float rng) in
+  let nf = Topology.num_fibers topo in
+  (* One attack flow per fiber span, between the span's own endpoints,
+     flooding at γ of the span's total IP capacity during the window —
+     the coremelt shape: every link melts at once, no single hot spot. *)
+  let attack_pairs = ref [] in
+  let attack_rates = ref [] in
+  for fb = nf - 1 downto 0 do
+    let f = Topology.fiber topo fb in
+    let a, b = f.Topology.endpoints in
+    let cap =
+      List.fold_left
+        (fun acc lid -> acc +. (Topology.link topo lid).Topology.capacity)
+        0.0
+        (Topology.links_lost_on_cut topo fb)
+      /. 2.0
+    in
+    attack_pairs := (a, b) :: !attack_pairs;
+    attack_rates := (gamma *. cap) :: !attack_rates
+  done;
+  let quiet = Array.append base (Array.make nf 0.0) in
+  let surge = Array.append base (Array.of_list !attack_rates) in
+  {
+    tm_name = model_name Coremelt seed;
+    tm_kind = Coremelt;
+    tm_seed = seed;
+    tm_pairs = pairs @ !attack_pairs;
+    tm_baseline_flows = nbase;
+    tm_classes = [| quiet; surge |];
+    tm_schedule = Array.init 24 (fun h -> if h >= start && h < stop then 1 else 0);
+    tm_phase = 0;
+    tm_surge = Some (start, stop);
+  }
+
+let generate ?(seed = 0) kind topo =
+  match kind with
+  | Gravity -> gravity ~seed topo
+  | Diurnal -> diurnal ~seed topo
+  | Flash_crowd -> flash_crowd ~seed topo
+  | Coremelt -> coremelt ~seed topo
+
+let by_name spec topo =
+  let fail () =
+    invalid_arg
+      (Printf.sprintf
+         "Traffic_model.by_name: unknown traffic model %s (known: %s, each \
+          optionally suffixed :<seed>)"
+         spec
+         (String.concat ", " all_names))
+  in
+  let kind_s, seed =
+    match String.index_opt spec ':' with
+    | None -> (spec, 0)
+    | Some i -> (
+      let s = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt s with
+      | Some seed -> (String.sub spec 0 i, seed)
+      | None -> fail ())
+  in
+  let kind =
+    match String.lowercase_ascii kind_s with
+    | "gravity" -> Gravity
+    | "diurnal" -> Diurnal
+    | "flash" -> Flash_crowd
+    | "coremelt" -> Coremelt
+    | _ -> fail ()
+  in
+  generate ~seed kind topo
+
+(* Bridge to the static [Traffic.t] consumers (env construction): the 24
+   hourly matrices replay the model's schedule, so the env's standing
+   demand view agrees with [demands] at every epoch — all built-in
+   models have periods dividing 24. *)
+let to_traffic t =
+  {
+    Traffic.pairs = t.tm_pairs;
+    base = Array.copy t.tm_classes.(0);
+    matrices = Array.init 24 (fun h -> Array.copy t.tm_classes.(class_of t h));
+  }

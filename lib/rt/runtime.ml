@@ -26,6 +26,7 @@ let predictor_kind_of_string s =
 
 type config = {
   topology : string;
+  traffic : string;
   epochs : int;
   seed : int;
   scale : float;
@@ -42,6 +43,7 @@ type config = {
 let default_config =
   {
     topology = "B4";
+    traffic = "fixed";
     epochs = 40;
     seed = 123;
     scale = 2.0;
@@ -224,16 +226,52 @@ let run ?pool ?env ?predictor cfg =
   Fun.protect
     ~finally:(fun () -> if owns_pool then Pool.shutdown pool)
   @@ fun () ->
+  (* Traffic source: the legacy fixed matrix set ("fixed") or a seeded
+     generated model whose demand sequence varies per epoch. *)
+  let base_topo =
+    match env with
+    | Some e -> e.Availability.ts.Tunnels.topo
+    | None -> Topology.by_name cfg.topology
+  in
+  let tm =
+    match cfg.traffic with
+    | "fixed" -> None
+    | spec -> Some (Traffic_model.by_name spec base_topo)
+  in
   let env =
     match env with
     | Some e -> e
-    | None -> Availability.make_env (Topology.by_name cfg.topology)
+    | None -> (
+      match tm with
+      | None -> Availability.make_env base_topo
+      | Some m ->
+        Availability.make_env
+          ~traffic:(Traffic_model.to_traffic m)
+          ~tunnels:(Tunnels.build base_topo m.Traffic_model.tm_pairs)
+          base_topo)
   in
   let topo = env.Availability.ts.Tunnels.topo in
   let ts = env.Availability.ts in
+  (match tm with
+  | Some m
+    when Traffic_model.num_flows m <> Array.length ts.Tunnels.flows ->
+    invalid_arg "Runtime.run: env tunnels do not match the traffic model"
+  | _ -> ());
   let demands =
     Traffic.demand env.Availability.traffic ~scale:cfg.scale
       ~epoch:env.Availability.epoch
+  in
+  (* With a model, plans and patches anchor on the baseline class; the
+     fixed path keeps the exact legacy demand vector. *)
+  let standing_demands =
+    match tm with
+    | None -> demands
+    | Some m -> Array.map (fun d -> d *. cfg.scale) (Traffic_model.baseline m)
+  in
+  let demands_at e =
+    match tm with
+    | None -> demands
+    | Some m -> Traffic_model.demands m ~scale:cfg.scale ~epoch:e
   in
   let metrics = Metrics.create () in
   let ring = Ring.create ~capacity:cfg.ring_capacity in
@@ -258,7 +296,9 @@ let run ?pool ?env ?predictor cfg =
      the bit-identical-at-any-domain-count contract. *)
   let detours = if cfg.detour then Some (Detours.build ts) else None in
   let base_plan =
-    lazy (Availability.Internal.plan_alloc env scheme ~demands ~degraded:None)
+    lazy
+      (Availability.Internal.plan_alloc env scheme ~demands:standing_demands
+         ~degraded:None)
   in
   (* Phase 1 — ground truth: the exact sample path Simulate.run draws. *)
   let samples =
@@ -293,6 +333,10 @@ let run ?pool ?env ?predictor cfg =
   Metrics.time metrics "react" (fun () ->
       for e = 0 to cfg.epochs - 1 do
         let base = e * epoch_len in
+        (* Shadowed per epoch: the plan key, the warm solve, and the
+           ladder all see the epoch's own demand class (the legacy fixed
+           path returns the identical outer vector). *)
+        let demands = demands_at e in
         (match cfg.stale_after with
         | Some k when e = k -> Predictor.mark_stale server
         | Some k when e = 2 * k && k > 0 ->
@@ -544,8 +588,20 @@ let run ?pool ?env ?predictor cfg =
       samples
   in
   let state_periodic = Array.make cfg.epochs None in
-  let eval state =
-    Simulate.Internal.eval_epochs pool env scheme ~demands ~state ~epoch_cuts
+  let class_demands =
+    match tm with
+    | None -> [| demands |]
+    | Some m ->
+      Array.map (Array.map (fun d -> d *. cfg.scale)) m.Traffic_model.tm_classes
+  in
+  let eval ?epoch_plan state =
+    match tm with
+    | None ->
+      Simulate.Internal.eval_epochs ?epoch_plan pool env scheme ~demands ~state
+        ~epoch_cuts
+    | Some m ->
+      Simulate.Internal.eval_epochs_classes ?epoch_plan pool env scheme
+        ~class_demands ~class_of:(Traffic_model.class_of m) ~state ~epoch_cuts
   in
   let avail_stream = Metrics.time metrics "eval_stream" (fun () -> eval state_stream) in
   let avail_periodic =
@@ -591,9 +647,7 @@ let run ?pool ?env ?predictor cfg =
     | Some _ ->
       Some
         (Metrics.time metrics "eval_detour" (fun () ->
-             Simulate.Internal.eval_epochs
-               ~epoch_plan:(fun e -> detour_override.(e))
-               pool env scheme ~demands ~state:state_stream ~epoch_cuts))
+             eval ~epoch_plan:(fun e -> detour_override.(e)) state_stream))
   in
   Metrics.incr ~by:!detour_rescued metrics "detour_rescued_epochs";
   let degr_epochs =
@@ -649,6 +703,7 @@ let config_to_json (c : config) =
   let i name v = Buffer.add_string b (Printf.sprintf "\"%s\": %d, " name v) in
   Buffer.add_string b "{";
   Buffer.add_string b (Printf.sprintf "\"topology\": \"%s\", " c.topology);
+  Buffer.add_string b (Printf.sprintf "\"traffic\": \"%s\", " c.traffic);
   i "epochs" c.epochs;
   i "seed" c.seed;
   f "scale" c.scale;
@@ -792,6 +847,8 @@ let config_of_dump json =
   let opt_of conv key = match req key with "null" -> None | v -> Some (conv v) in
   {
     topology = req "topology";
+    (* Dumps predating the traffic-model library carry no field. *)
+    traffic = (match field_raw cfg "traffic" with Some v -> v | None -> "fixed");
     epochs = it "epochs";
     seed = it "seed";
     scale = fl "scale";

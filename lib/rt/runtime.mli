@@ -60,6 +60,13 @@ val predictor_kind_of_string : string -> predictor_kind
 
 type config = {
   topology : string;  (** {!Prete_net.Topology.by_name} name. *)
+  traffic : string;
+      (** ["fixed"] (default) keeps the legacy static matrix set;
+          otherwise a {!Prete_net.Traffic_model.by_name} spec
+          (e.g. ["diurnal"], ["coremelt:7"]) — the runtime then plans
+          and evaluates each epoch against the demand class the model's
+          schedule selects, with plans/patches anchored on the baseline
+          class. *)
   epochs : int;  (** TE periods to stream (900 s each). *)
   seed : int;  (** Ground-truth sample-path seed (as in Simulate). *)
   scale : float;  (** Demand scale. *)

@@ -1,0 +1,303 @@
+open Prete_net
+open Prete
+module Pool = Prete_exec.Pool
+
+(* ------------------------------------------------------------------ *)
+(* Fault profiles                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type profile = {
+  pf_name : string;
+  pf_impairments : Stream.impairments;
+  pf_deadline_s : float option;
+  pf_debounce_s : int;
+}
+
+let profiles =
+  [
+    {
+      pf_name = "clean";
+      pf_impairments = Stream.default_impairments;
+      pf_deadline_s = None;
+      pf_debounce_s = 30;
+    };
+    {
+      pf_name = "lossy";
+      pf_impairments =
+        { Stream.gap_rate = 0.12; dup_rate = 0.04; reorder_rate = 0.25; max_delay = 6 };
+      pf_deadline_s = Some 0.25;
+      pf_debounce_s = 30;
+    };
+  ]
+
+let profile_names = List.map (fun p -> p.pf_name) profiles
+
+let profile_by_name name =
+  match List.find_opt (fun p -> p.pf_name = name) profiles with
+  | Some p -> p
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Sweep.profile_by_name: unknown fault profile %s (known: %s)"
+         name
+         (String.concat ", " profile_names))
+
+let policies = [ "periodic"; "stream"; "stream+detour"; "instant" ]
+
+(* ------------------------------------------------------------------ *)
+(* Portfolio                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type cell = {
+  cl_topology : string;
+  cl_traffic : string;
+  cl_profile : string;
+  cl_policy : string;
+  cl_phi : float;
+  cl_availability : float;
+  cl_nines : float;
+}
+
+type combo = {
+  cb_topology : string;
+  cb_traffic : string;
+  cb_profile : string;
+  cb_flows : int;
+  cb_degr_epochs : int;
+  cb_cut_epochs : int;
+  cb_detections : int;
+  cb_reacted : int;
+  cb_missed : int;
+  cb_alarms : int;
+  cb_reactions : int;
+  cb_rungs : (string * int) list;
+  cb_detour_activations : int;
+  cb_detour_rescued : int;
+  cb_detour_flows_patched : int;
+  cb_solver_solves : int;
+  cb_solver_warm_solves : int;
+  cb_solver_pivots : int;
+  cb_solver_cache_hits : int;
+  cb_solver_cache_misses : int;
+}
+
+type portfolio = {
+  pt_seed : int;
+  pt_epochs : int;
+  pt_scale : float;
+  pt_topologies : string list;
+  pt_traffic : string list;
+  pt_profiles : string list;
+  pt_policies : string list;
+  pt_cells : cell list;
+  pt_combos : combo list;
+}
+
+(* Standing-plan unmet fraction Φ of a combo: how much baseline demand
+   the PreTE no-degradation plan leaves unserved before any failure. *)
+let standing_phi (env : Availability.env) scheme ~demands =
+  let plan = Availability.Internal.plan_alloc env scheme ~demands ~degraded:None in
+  let ts = plan.Availability.p_ts in
+  let alloc = plan.Availability.p_alloc in
+  let served = ref 0.0 and total = ref 0.0 in
+  Array.iter
+    (fun (f : Tunnels.flow) ->
+      let fid = f.Tunnels.flow_id in
+      let d = demands.(fid) in
+      if d > 0.0 then begin
+        let got =
+          List.fold_left (fun acc tid -> acc +. alloc.(tid)) 0.0
+            ts.Tunnels.of_flow.(fid)
+        in
+        let got =
+          match plan.Availability.p_admitted with
+          | None -> got
+          | Some b -> Float.min got b.(fid)
+        in
+        served := !served +. Float.min d got;
+        total := !total +. d
+      end)
+    ts.Tunnels.flows;
+  if !total <= 0.0 then 0.0 else 1.0 -. (!served /. !total)
+
+let rung_names = [ "detour"; "primary"; "cached"; "equal-split" ]
+
+let run ?pool ?(seed = 123) ?(epochs = 12) ?(scale = 1.0) ~topologies ~traffic
+    ~profiles:wanted () =
+  if topologies = [] || traffic = [] || wanted = [] then
+    invalid_arg "Sweep.run: every matrix axis needs at least one entry";
+  let profs = List.map profile_by_name wanted in
+  let owns_pool = pool = None in
+  let pool = match pool with Some p -> p | None -> Pool.create () in
+  Fun.protect ~finally:(fun () -> if owns_pool then Pool.shutdown pool)
+  @@ fun () ->
+  let cells = ref [] and combos = ref [] in
+  List.iter
+    (fun topo_name ->
+      let topo = Topology.by_name topo_name in
+      List.iter
+        (fun spec ->
+          let tm = Traffic_model.by_name spec topo in
+          (* Env and tunnels are shared across the combo's fault
+             profiles: the scenario is the same network under the same
+             workload, only the telemetry transport differs. *)
+          let env =
+            Availability.make_env
+              ~traffic:(Traffic_model.to_traffic tm)
+              ~tunnels:(Tunnels.build topo tm.Traffic_model.tm_pairs)
+              topo
+          in
+          let nf = Topology.num_fibers topo in
+          let phi_scheme =
+            Schemes.prete_default
+              ~predictor:(Prete_optics.Hazard.eval ~num_fibers:nf)
+              ()
+          in
+          let standing =
+            Array.map (fun d -> d *. scale) (Traffic_model.baseline tm)
+          in
+          let phi = standing_phi env phi_scheme ~demands:standing in
+          List.iter
+            (fun pf ->
+              let cfg =
+                {
+                  Runtime.default_config with
+                  Runtime.topology = topo_name;
+                  traffic = spec;
+                  epochs;
+                  seed;
+                  scale;
+                  impairments = pf.pf_impairments;
+                  deadline_s = pf.pf_deadline_s;
+                  debounce_s = pf.pf_debounce_s;
+                  detour = true;
+                }
+              in
+              let r = Runtime.run ~pool ~env cfg in
+              let avail = function
+                | "periodic" -> r.Runtime.r_avail_periodic
+                | "stream" -> r.Runtime.r_avail_stream
+                | "stream+detour" -> (
+                  match r.Runtime.r_avail_detour with
+                  | Some v -> v
+                  | None -> r.Runtime.r_avail_stream)
+                | "instant" -> r.Runtime.r_avail_instant
+                | p -> invalid_arg ("Sweep.run: unknown policy " ^ p)
+              in
+              List.iter
+                (fun policy ->
+                  let a = avail policy in
+                  cells :=
+                    {
+                      cl_topology = topo_name;
+                      cl_traffic = spec;
+                      cl_profile = pf.pf_name;
+                      cl_policy = policy;
+                      cl_phi = phi;
+                      cl_availability = a;
+                      cl_nines = Availability.nines a;
+                    }
+                    :: !cells)
+                policies;
+              let m = r.Runtime.r_metrics in
+              let s = r.Runtime.r_solver in
+              combos :=
+                {
+                  cb_topology = topo_name;
+                  cb_traffic = spec;
+                  cb_profile = pf.pf_name;
+                  cb_flows = Traffic_model.num_flows tm;
+                  cb_degr_epochs = r.Runtime.r_degr_epochs;
+                  cb_cut_epochs = r.Runtime.r_cut_epochs;
+                  cb_detections = List.length r.Runtime.r_detections;
+                  cb_reacted = r.Runtime.r_reacted_in_time;
+                  cb_missed = r.Runtime.r_missed;
+                  cb_alarms = Metrics.counter m "alarms";
+                  cb_reactions = Metrics.counter m "reactions";
+                  cb_rungs =
+                    List.map (fun rg -> (rg, Metrics.counter m ("rung_" ^ rg))) rung_names;
+                  cb_detour_activations = Metrics.counter m "detour_activations";
+                  cb_detour_rescued = Metrics.counter m "detour_rescued_epochs";
+                  cb_detour_flows_patched = Metrics.counter m "detour_flows_patched";
+                  cb_solver_solves = s.Prete_lp.Solver_stats.solves;
+                  cb_solver_warm_solves = s.Prete_lp.Solver_stats.warm_solves;
+                  cb_solver_pivots = s.Prete_lp.Solver_stats.pivots;
+                  cb_solver_cache_hits = s.Prete_lp.Solver_stats.cache_hits;
+                  cb_solver_cache_misses = s.Prete_lp.Solver_stats.cache_misses;
+                }
+                :: !combos)
+            profs)
+        traffic)
+    topologies;
+  {
+    pt_seed = seed;
+    pt_epochs = epochs;
+    pt_scale = scale;
+    pt_topologies = topologies;
+    pt_traffic = traffic;
+    pt_profiles = wanted;
+    pt_policies = policies;
+    pt_cells = List.rev !cells;
+    pt_combos = List.rev !combos;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Portfolio JSON                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-built, %.17g floats, no wall clocks anywhere: the portfolio is
+   part of the bit-identical-at-any-domain-count contract (the sweep
+   smoke byte-compares it across domain counts). *)
+
+let string_list_json l =
+  "[" ^ String.concat ", " (List.map (Printf.sprintf "\"%s\"") l) ^ "]"
+
+let cell_json c =
+  Printf.sprintf
+    "{\"topology\": \"%s\", \"traffic\": \"%s\", \"profile\": \"%s\", \
+     \"policy\": \"%s\", \"phi\": %.17g, \"availability\": %.17g, \
+     \"nines\": %.17g}"
+    c.cl_topology c.cl_traffic c.cl_profile c.cl_policy c.cl_phi
+    c.cl_availability c.cl_nines
+
+let combo_json c =
+  let rungs =
+    String.concat ", "
+      (List.map (fun (rg, n) -> Printf.sprintf "\"%s\": %d" rg n) c.cb_rungs)
+  in
+  Printf.sprintf
+    "{\"topology\": \"%s\", \"traffic\": \"%s\", \"profile\": \"%s\", \
+     \"flows\": %d, \"degr_epochs\": %d, \"cut_epochs\": %d, \
+     \"detections\": %d, \"reacted_in_time\": %d, \"missed\": %d, \
+     \"alarms\": %d, \"reactions\": %d, \"rungs\": {%s}, \
+     \"detour\": {\"activations\": %d, \"rescued_epochs\": %d, \
+     \"flows_patched\": %d}, \
+     \"solver\": {\"solves\": %d, \"warm_solves\": %d, \"pivots\": %d, \
+     \"cache_hits\": %d, \"cache_misses\": %d}}"
+    c.cb_topology c.cb_traffic c.cb_profile c.cb_flows c.cb_degr_epochs
+    c.cb_cut_epochs c.cb_detections c.cb_reacted c.cb_missed c.cb_alarms
+    c.cb_reactions rungs c.cb_detour_activations c.cb_detour_rescued
+    c.cb_detour_flows_patched c.cb_solver_solves c.cb_solver_warm_solves
+    c.cb_solver_pivots c.cb_solver_cache_hits c.cb_solver_cache_misses
+
+let to_json p =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"prete_sweep\": 1,\n\"seed\": %d, \"epochs\": %d, \"scale\": %.17g,\n"
+       p.pt_seed p.pt_epochs p.pt_scale);
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"matrix\": {\"topologies\": %s, \"traffic\": %s, \"profiles\": %s, \
+        \"policies\": %s},\n"
+       (string_list_json p.pt_topologies)
+       (string_list_json p.pt_traffic)
+       (string_list_json p.pt_profiles)
+       (string_list_json p.pt_policies));
+  Buffer.add_string b "\"cells\": [\n";
+  Buffer.add_string b (String.concat ",\n" (List.map cell_json p.pt_cells));
+  Buffer.add_string b "\n],\n\"combos\": [\n";
+  Buffer.add_string b (String.concat ",\n" (List.map combo_json p.pt_combos));
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let find_cells p ~policy = List.filter (fun c -> c.cl_policy = policy) p.pt_cells

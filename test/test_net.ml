@@ -37,8 +37,10 @@ let test_topology_deterministic () =
 let test_topology_by_name () =
   Alcotest.(check string) "b4" "B4" (Topology.by_name "b4").Topology.name;
   Alcotest.check_raises "unknown"
-    (Invalid_argument "Topology.by_name: unknown topology NOPE") (fun () ->
-      ignore (Topology.by_name "nope"))
+    (Invalid_argument
+       "Topology.by_name: unknown topology nope (known: IBM, B4, TWAN, \
+        Abilene, SURFnet, grid<K>, wan<SITES>, wan<SITES>x<SEED>)")
+    (fun () -> ignore (Topology.by_name "nope"))
 
 let test_links_directed_pairs () =
   (* Every topology's links come in opposite directed pairs. *)

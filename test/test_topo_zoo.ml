@@ -1,0 +1,196 @@
+(* Property suite for the topology zoo: every generator yields a
+   connected graph whose degree and span-length samples respect the
+   declared Zoo bounds, names round-trip through by_name, and the seeded
+   family is a pure function of its parameters. *)
+
+open Prete_net
+
+let zoo_instances () =
+  [ Topology.abilene (); Topology.surfnet () ]
+  @ List.map (fun (seed, sites) -> Topology.wan ~seed sites)
+      [ (0, 8); (1, 12); (5, 20); (9, 33) ]
+
+let fiber_degrees (t : Topology.t) =
+  let deg = Array.make t.Topology.num_nodes 0 in
+  Array.iter
+    (fun (f : Topology.fiber) ->
+      let a, b = f.Topology.endpoints in
+      deg.(a) <- deg.(a) + 1;
+      deg.(b) <- deg.(b) + 1)
+    t.Topology.fibers;
+  deg
+
+let connected (t : Topology.t) =
+  let n = t.Topology.num_nodes in
+  let adj = Array.make n [] in
+  Array.iter
+    (fun (f : Topology.fiber) ->
+      let a, b = f.Topology.endpoints in
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    t.Topology.fibers;
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  Queue.add 0 q;
+  seen.(0) <- true;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun u ->
+        if not seen.(u) then begin
+          seen.(u) <- true;
+          Queue.add u q
+        end)
+      adj.(v)
+  done;
+  Array.for_all Fun.id seen
+
+let test_connected () =
+  List.iter
+    (fun (t : Topology.t) ->
+      Alcotest.(check bool) (t.Topology.name ^ " connected") true (connected t))
+    (zoo_instances ())
+
+let test_degree_bounds () =
+  List.iter
+    (fun (t : Topology.t) ->
+      let deg = fiber_degrees t in
+      Array.iteri
+        (fun v d ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s node %d degree %d <= max" t.Topology.name v d)
+            true
+            (d <= Topology.Zoo.max_degree))
+        deg;
+      let avg =
+        2.0
+        *. float_of_int (Topology.num_fibers t)
+        /. float_of_int t.Topology.num_nodes
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s avg degree %.2f in band" t.Topology.name avg)
+        true
+        (avg >= Topology.Zoo.min_avg_degree && avg <= Topology.Zoo.max_avg_degree))
+    (zoo_instances ())
+
+let test_span_length_bounds () =
+  List.iter
+    (fun (t : Topology.t) ->
+      Array.iter
+        (fun (f : Topology.fiber) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s length %.1f in bounds" t.Topology.name
+               f.Topology.fname f.Topology.length_km)
+            true
+            (f.Topology.length_km >= Topology.Zoo.min_span_km
+            && f.Topology.length_km <= Topology.Zoo.max_span_km))
+        t.Topology.fibers)
+    (zoo_instances ())
+
+let test_by_name_roundtrip () =
+  (* Every registered name resolves to a topology carrying that exact
+     name, case-insensitively. *)
+  List.iter
+    (fun name ->
+      Alcotest.(check string) name name (Topology.by_name name).Topology.name;
+      Alcotest.(check string)
+        (name ^ " lowercase")
+        name
+        (Topology.by_name (String.lowercase_ascii name)).Topology.name)
+    (Topology.names ());
+  (* all () is exactly the registered names, in registry order. *)
+  Alcotest.(check (list string))
+    "all = names"
+    (Topology.names ())
+    (List.map (fun (t : Topology.t) -> t.Topology.name) (Topology.all ()));
+  (* Parameterized families round-trip their printed name. *)
+  List.iter
+    (fun name ->
+      Alcotest.(check string) name name (Topology.by_name name).Topology.name)
+    [ "grid4"; "wan12"; "wan12x5" ]
+
+let test_by_name_unknown_lists_names () =
+  List.iter
+    (fun bogus ->
+      match Topology.by_name bogus with
+      | _ -> Alcotest.failf "by_name %S should raise" bogus
+      | exception Invalid_argument msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error for %S names the input" bogus)
+          true
+          (let has needle =
+             let nl = String.length needle and ml = String.length msg in
+             let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+             go 0
+           in
+           has bogus && has "Abilene" && has "SURFnet" && has "grid<K>"
+           && has "wan<SITES>"))
+    [ "nope"; "gridx"; "wan3x"; "abilene2" ]
+
+(* Same seed ⇒ bit-identical topology (structural equality covers every
+   field: names, fibers, links, adjacency). *)
+let prop_wan_deterministic =
+  QCheck.Test.make ~name:"wan: same (seed, sites) => bit-identical topology"
+    ~count:30
+    QCheck.(pair (int_range 0 50) (int_range 4 28))
+    (fun (seed, sites) ->
+      let a = Topology.wan ~seed sites and b = Topology.wan ~seed sites in
+      a = b)
+
+let prop_wan_well_formed =
+  QCheck.Test.make ~name:"wan: connected, degrees and lengths in Zoo bounds"
+    ~count:30
+    QCheck.(pair (int_range 0 50) (int_range 4 28))
+    (fun (seed, sites) ->
+      let t = Topology.wan ~seed sites in
+      let deg = fiber_degrees t in
+      connected t
+      && Array.for_all (fun d -> d >= 2 && d <= Topology.Zoo.max_degree) deg
+      && Array.for_all
+           (fun (f : Topology.fiber) ->
+             f.Topology.length_km >= Topology.Zoo.min_span_km
+             && f.Topology.length_km <= Topology.Zoo.max_span_km)
+           t.Topology.fibers)
+
+let prop_seed_changes_topology =
+  QCheck.Test.make ~name:"wan: different seeds differ (sites >= 8)" ~count:20
+    QCheck.(pair (int_range 0 40) (int_range 8 28))
+    (fun (seed, sites) ->
+      Topology.wan ~seed sites <> Topology.wan ~seed:(seed + 1) sites)
+
+let test_zoo_fixed_instances_deterministic () =
+  List.iter
+    (fun (name, gen) ->
+      let a : Topology.t = gen () and b : Topology.t = gen () in
+      Alcotest.(check bool) (name ^ " bit-identical") true (a = b))
+    [ ("abilene", Topology.abilene); ("surfnet", Topology.surfnet) ]
+
+let test_surfnet_shape () =
+  let t = Topology.surfnet () in
+  Alcotest.(check int) "sites" 50 t.Topology.num_nodes;
+  Alcotest.(check bool)
+    "span count surfNet-class" true
+    (let nf = Topology.num_fibers t in
+     nf >= 55 && nf <= 75)
+
+let () =
+  Alcotest.run "prete_topo_zoo"
+    [
+      ( "zoo",
+        [
+          Alcotest.test_case "connected" `Quick test_connected;
+          Alcotest.test_case "degree bounds" `Quick test_degree_bounds;
+          Alcotest.test_case "span length bounds" `Quick test_span_length_bounds;
+          Alcotest.test_case "by_name round-trip" `Quick test_by_name_roundtrip;
+          Alcotest.test_case "by_name unknown lists names" `Quick
+            test_by_name_unknown_lists_names;
+          Alcotest.test_case "fixed instances deterministic" `Quick
+            test_zoo_fixed_instances_deterministic;
+          Alcotest.test_case "surfnet shape" `Quick test_surfnet_shape;
+        ] );
+      ( "zoo.props",
+        List.map
+          (QCheck_alcotest.to_alcotest ~long:false)
+          [ prop_wan_deterministic; prop_wan_well_formed; prop_seed_changes_topology ]
+      );
+    ]

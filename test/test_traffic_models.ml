@@ -1,0 +1,260 @@
+(* Property suite for the traffic-model library: gravity mass laws,
+   diurnal periodicity and peak phase, surge conservation for flash
+   crowds and coremelt floods, and seed-determinism of every generator. *)
+
+open Prete_net
+
+let topo_gen =
+  QCheck.(
+    map
+      (fun i ->
+        match i with
+        | 0 -> Topology.abilene ()
+        | 1 -> Topology.b4 ()
+        | 2 -> Topology.grid 3
+        | _ -> Topology.wan ~seed:i 10)
+      (int_range 0 5))
+
+let seed_gen = QCheck.int_range 0 50
+
+let float_arrays_equal a b =
+  Array.length a = Array.length b && Array.for_all2 (fun x y -> x = y) a b
+
+let classes_equal a b =
+  Array.length a.Traffic_model.tm_classes = Array.length b.Traffic_model.tm_classes
+  && Array.for_all2 float_arrays_equal a.Traffic_model.tm_classes
+       b.Traffic_model.tm_classes
+
+(* Row i and column i of the gravity matrix both sum to m_i(S - m_i)/S. *)
+let prop_gravity_mass_law =
+  QCheck.Test.make ~name:"gravity_parts: row/column mass law" ~count:30
+    QCheck.(pair seed_gen topo_gen)
+    (fun (seed, topo) ->
+      let masses, matrix = Traffic_model.gravity_parts ~seed topo in
+      let n = Array.length masses in
+      let s = Array.fold_left ( +. ) 0.0 masses in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let expect = masses.(i) *. (s -. masses.(i)) /. s in
+        let row = Array.fold_left ( +. ) 0.0 matrix.(i) in
+        let col = ref 0.0 in
+        for j = 0 to n - 1 do
+          col := !col +. matrix.(j).(i)
+        done;
+        if
+          matrix.(i).(i) <> 0.0
+          || Float.abs (row -. expect) > 1e-9 *. expect
+          || Float.abs (!col -. expect) > 1e-9 *. expect
+        then ok := false
+      done;
+      !ok)
+
+let prop_diurnal_periodic =
+  QCheck.Test.make ~name:"diurnal: demands at e and e+24 bit-identical"
+    ~count:30
+    QCheck.(triple seed_gen topo_gen (int_range 0 100))
+    (fun (seed, topo, e) ->
+      let tm = Traffic_model.diurnal ~seed topo in
+      Traffic_model.period tm = 24
+      && float_arrays_equal
+           (Traffic_model.demands tm ~scale:1.0 ~epoch:e)
+           (Traffic_model.demands tm ~scale:1.0 ~epoch:(e + 24)))
+
+(* The cosine multiplier is exactly 1.0 at tm_phase and strictly below
+   everywhere else, so the phase hour carries the (unique) peak. *)
+let prop_diurnal_peak_at_phase =
+  QCheck.Test.make ~name:"diurnal: unique peak exactly at tm_phase" ~count:30
+    QCheck.(pair seed_gen topo_gen)
+    (fun (seed, topo) ->
+      let tm = Traffic_model.diurnal ~seed topo in
+      let phase = tm.Traffic_model.tm_phase in
+      let peak = Traffic_model.demands tm ~scale:1.0 ~epoch:phase in
+      Array.exists (fun v -> v > 0.0) peak
+      && List.for_all
+           (fun h ->
+             h = phase
+             ||
+             let d = Traffic_model.demands tm ~scale:1.0 ~epoch:h in
+             let lower = ref true in
+             Array.iteri
+               (fun i v -> if peak.(i) > 0.0 && v >= peak.(i) then lower := false)
+               d;
+             !lower)
+           (List.init 24 Fun.id))
+
+let surge_conservation name gen =
+  QCheck.Test.make ~name ~count:30
+    QCheck.(pair seed_gen topo_gen)
+    (fun (seed, topo) ->
+      let tm = gen ~seed topo in
+      match tm.Traffic_model.tm_surge with
+      | None -> false
+      | Some (start, stop) ->
+        let base = Traffic_model.baseline tm in
+        0 <= start && start < stop && stop <= 24
+        && List.for_all
+             (fun h ->
+               let d = Traffic_model.demands tm ~scale:1.0 ~epoch:h in
+               if h >= start && h < stop then not (float_arrays_equal d base)
+               else float_arrays_equal d base)
+             (List.init 24 Fun.id))
+
+let prop_flash_conserves_baseline =
+  surge_conservation "flash: exactly baseline outside the surge window"
+    (fun ~seed topo -> Traffic_model.flash_crowd ~seed topo)
+
+let prop_coremelt_conserves_baseline =
+  surge_conservation "coremelt: exactly baseline outside the surge window"
+    (fun ~seed topo -> Traffic_model.coremelt ~seed topo)
+
+let prop_flash_only_amplifies =
+  QCheck.Test.make ~name:"flash: surge only amplifies, never drops a flow"
+    ~count:30
+    QCheck.(pair seed_gen topo_gen)
+    (fun (seed, topo) ->
+      let tm = Traffic_model.flash_crowd ~seed topo in
+      let base = tm.Traffic_model.tm_classes.(0) in
+      let surged = tm.Traffic_model.tm_classes.(1) in
+      let amped = ref 0 in
+      Array.iteri (fun i v -> if v > base.(i) then incr amped) surged;
+      !amped >= 1
+      && Array.for_all2 (fun s b -> s >= b) surged base)
+
+(* Coremelt attack flows: one per fiber span, zero rate in the quiet
+   class, strictly positive during the surge; baseline flows untouched. *)
+let prop_coremelt_attack_flows =
+  QCheck.Test.make ~name:"coremelt: per-span attack flows, quiet outside"
+    ~count:30
+    QCheck.(pair seed_gen topo_gen)
+    (fun (seed, topo) ->
+      let tm = Traffic_model.coremelt ~seed topo in
+      let nb = tm.Traffic_model.tm_baseline_flows in
+      let nf = Topology.num_fibers topo in
+      let quiet = tm.Traffic_model.tm_classes.(0) in
+      let surge = tm.Traffic_model.tm_classes.(1) in
+      Traffic_model.num_flows tm = nb + nf
+      && Array.length quiet = nb + nf
+      && (let ok = ref true in
+          for i = 0 to nb - 1 do
+            if quiet.(i) <> surge.(i) then ok := false
+          done;
+          for i = nb to nb + nf - 1 do
+            if quiet.(i) <> 0.0 || surge.(i) <= 0.0 then ok := false
+          done;
+          !ok)
+      && List.for_all2
+           (fun (a, b) (f : Topology.fiber) -> (a, b) = f.Topology.endpoints)
+           (List.filteri (fun i _ -> i >= nb) tm.Traffic_model.tm_pairs)
+           (Array.to_list (Array.init nf (Topology.fiber topo))))
+
+let prop_same_seed_bit_identical =
+  QCheck.Test.make ~name:"all kinds: same seed => bit-identical classes"
+    ~count:20
+    QCheck.(pair seed_gen topo_gen)
+    (fun (seed, topo) ->
+      List.for_all
+        (fun kind ->
+          let a = Traffic_model.generate ~seed kind topo in
+          let b = Traffic_model.generate ~seed kind topo in
+          classes_equal a b
+          && a.Traffic_model.tm_schedule = b.Traffic_model.tm_schedule
+          && a.Traffic_model.tm_pairs = b.Traffic_model.tm_pairs)
+        Traffic_model.all_kinds)
+
+let prop_demands_scale_linear =
+  QCheck.Test.make ~name:"demands: scale is linear" ~count:20
+    QCheck.(triple seed_gen topo_gen (int_range 0 47))
+    (fun (seed, topo, e) ->
+      let tm = Traffic_model.flash_crowd ~seed topo in
+      let d1 = Traffic_model.demands tm ~scale:1.0 ~epoch:e in
+      let d2 = Traffic_model.demands tm ~scale:2.0 ~epoch:e in
+      Array.for_all2 (fun a b -> b = a *. 2.0) d1 d2)
+
+let test_by_name_roundtrip () =
+  let topo = Topology.grid 3 in
+  List.iter
+    (fun (spec, expect_name, expect_seed) ->
+      let tm = Traffic_model.by_name spec topo in
+      Alcotest.(check string) (spec ^ " name") expect_name (Traffic_model.name tm);
+      Alcotest.(check int) (spec ^ " seed") expect_seed tm.Traffic_model.tm_seed)
+    [
+      ("gravity", "gravity", 0);
+      ("diurnal:7", "diurnal:7", 7);
+      ("FLASH:3", "flash:3", 3);
+      ("coremelt", "coremelt", 0);
+    ]
+
+let test_by_name_unknown () =
+  let topo = Topology.grid 3 in
+  List.iter
+    (fun bogus ->
+      match Traffic_model.by_name bogus topo with
+      | _ -> Alcotest.failf "by_name %S should raise" bogus
+      | exception Invalid_argument msg ->
+        List.iter
+          (fun needle ->
+            let nl = String.length needle and ml = String.length msg in
+            let rec go i =
+              i + nl <= ml && (String.sub msg i nl = needle || go (i + 1))
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "%S mentions %s" bogus needle)
+              true (go 0))
+          Traffic_model.all_names)
+    [ "nope"; "gravity:x"; "flashy" ]
+
+let test_to_traffic_agrees_with_demands () =
+  (* The env bridge must agree with [demands] at every hour — otherwise
+     the runtime's standing view and the model's sequence diverge. *)
+  let topo = Topology.abilene () in
+  List.iter
+    (fun kind ->
+      let tm = Traffic_model.generate ~seed:5 kind topo in
+      let tr = Traffic_model.to_traffic tm in
+      Alcotest.(check bool)
+        (Traffic_model.kind_name kind ^ " pairs")
+        true
+        (tr.Traffic.pairs = tm.Traffic_model.tm_pairs);
+      for h = 0 to 23 do
+        Alcotest.(check bool)
+          (Printf.sprintf "%s hour %d" (Traffic_model.kind_name kind) h)
+          true
+          (float_arrays_equal tr.Traffic.matrices.(h)
+             (Traffic_model.demands tm ~scale:1.0 ~epoch:h))
+      done)
+    Traffic_model.all_kinds
+
+let test_negative_scale_rejected () =
+  let tm = Traffic_model.gravity (Topology.grid 3) in
+  Alcotest.check_raises "negative scale"
+    (Invalid_argument "Traffic_model.demands: negative scale") (fun () ->
+      ignore (Traffic_model.demands tm ~scale:(-1.0) ~epoch:0))
+
+let () =
+  Alcotest.run "prete_traffic_models"
+    [
+      ( "models",
+        [
+          Alcotest.test_case "by_name round-trip" `Quick test_by_name_roundtrip;
+          Alcotest.test_case "by_name unknown lists kinds" `Quick
+            test_by_name_unknown;
+          Alcotest.test_case "to_traffic agrees with demands" `Quick
+            test_to_traffic_agrees_with_demands;
+          Alcotest.test_case "negative scale rejected" `Quick
+            test_negative_scale_rejected;
+        ] );
+      ( "models.props",
+        List.map
+          (QCheck_alcotest.to_alcotest ~long:false)
+          [
+            prop_gravity_mass_law;
+            prop_diurnal_periodic;
+            prop_diurnal_peak_at_phase;
+            prop_flash_conserves_baseline;
+            prop_coremelt_conserves_baseline;
+            prop_flash_only_amplifies;
+            prop_coremelt_attack_flows;
+            prop_same_seed_bit_identical;
+            prop_demands_scale_linear;
+          ] );
+    ]

@@ -16,6 +16,11 @@ open Prete_util
 
 let quick = ref false
 
+(* The dense-tableau oracle leg of lp_scale is opt-in: it adds minutes at
+   full sizes while the revised engine is the one every production path
+   uses.  CI keeps it on at the --quick sizes (see bench/dune). *)
+let dense_oracle = ref false
+
 let section title =
   Printf.printf "\n==============================================================\n";
   Printf.printf "%s\n" title;
@@ -1091,7 +1096,8 @@ let lp_scale () =
       let model = lp_scale_model ~cap_scale:1.0 inst in
       let rows = Array.length (Lp.Internal.constraints model) in
       let dense =
-        if size <= dense_cap then Some (solve Simplex.Dense Simplex.Dantzig model)
+        if !dense_oracle && size <= dense_cap then
+          Some (solve Simplex.Dense Simplex.Dantzig model)
         else None
       in
       let sol_r, st_r, w_r = solve Simplex.Revised Simplex.Dantzig model in
@@ -1122,6 +1128,7 @@ let lp_scale () =
         match dense with
         | Some (_, st_d, w_d) ->
           Printf.sprintf "dense %8.3f s / %5d pivots" w_d st_d.Solver_stats.pivots
+        | None when not !dense_oracle -> "dense   (off; --dense-oracle)"
         | None -> Printf.sprintf "dense   (capped at %dx%d)" dense_cap dense_cap
       in
       Printf.printf
@@ -1158,9 +1165,11 @@ let lp_scale () =
     let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
     (sxy -. (sx *. sy /. n)) /. (sxx -. (sx *. sx /. n))
   in
+  let dense_pts =
+    List.filter_map (fun (r, d, _) -> Option.map (fun w -> (r, w)) d) !points
+  in
   let exp_d =
-    exponent
-      (List.filter_map (fun (r, d, _) -> Option.map (fun w -> (r, w)) d) !points)
+    if List.length dense_pts >= 2 then Some (exponent dense_pts) else None
   in
   let exp_r = exponent (List.map (fun (r, _, w) -> (r, w)) !points) in
   (* Speedup at the largest instance both engines ran. *)
@@ -1172,18 +1181,28 @@ let lp_scale () =
     in
     first !points
   in
-  Printf.printf
-    "  scaling exponent: dense %.2f, revised %.2f; largest-shared-instance \
-     speedup %.1fx\n%!"
-    exp_d exp_r speedup;
-  if (not !quick) && speedup < 5.0 then
+  (match exp_d with
+  | Some e ->
+    Printf.printf
+      "  scaling exponent: dense %.2f, revised %.2f; largest-shared-instance \
+       speedup %.1fx\n%!"
+      e exp_r speedup
+  | None ->
+    Printf.printf
+      "  scaling exponent: revised %.2f (dense oracle off; --dense-oracle to \
+       cross-check)\n%!"
+      exp_r);
+  if !dense_oracle && (not !quick) && speedup < 5.0 then
     fail "revised speedup %.2fx < 5x on the largest shared instance" speedup;
   lp_scale_json :=
     Printf.sprintf
-      "{\"sizes\": [%s], \"dense_cap\": %d, \"exponent_dense\": %.3f, \
-       \"exponent_revised\": %.3f, \"largest_shared_speedup\": %.2f}"
+      "{\"sizes\": [%s], \"dense_oracle\": %b, \"dense_cap\": %d, \
+       \"exponent_dense\": %s, \"exponent_revised\": %.3f, \
+       \"largest_shared_speedup\": %.2f}"
       (String.concat ", " (List.rev !entries))
-      dense_cap exp_d exp_r speedup
+      !dense_oracle dense_cap
+      (match exp_d with Some e -> Printf.sprintf "%.3f" e | None -> "null")
+      exp_r speedup
 
 (* ------------------------------------------------------------------ *)
 (* Streaming runtime: detection latency, reaction latency, availability *)
@@ -1516,6 +1535,144 @@ let sweep_bench () =
       detour_delta wall
 
 (* ------------------------------------------------------------------ *)
+(* stream_scale: fleet-scale sharded streaming throughput               *)
+(* ------------------------------------------------------------------ *)
+
+let stream_scale_json = ref "null"
+
+(* Every fiber of a wan-family topology streams 1 Hz telemetry through
+   regional shards.  Gates: bit-identical deterministic cores at every
+   shard count and repeat, the accounting identity
+   alarms = debounced + shed + batched on every run, >= 4x single-shard
+   aggregate throughput (samples/s, per-shard busy-time denominators)
+   and >= 4x sustained ticks/s at 4 shards, and the modeled reaction
+   latency quantiles (Metrics.hist_quantile) within the ladder budget
+   on the backpressure leg. *)
+let stream_scale () =
+  section "Sharded streaming — fleet throughput, coalescing, backpressure (wan26)";
+  let module Rt = Prete_rt.Runtime in
+  let module Sh = Prete_rt.Shard in
+  let module M = Prete_rt.Metrics in
+  let fail fmt =
+    Printf.ksprintf (fun s -> Printf.printf "  FAIL: %s\n%!" s; exit 1) fmt
+  in
+  let epochs = if !quick then 3 else 6 in
+  let repeats = if !quick then 2 else 3 in
+  let base =
+    { Rt.default_config with Rt.topology = "wan26"; epochs; seed = 11 }
+  in
+  Prete_exec.Pool.with_pool @@ fun pool ->
+  let t0 = Unix.gettimeofday () in
+  let legs =
+    List.map
+      (fun shards ->
+        (shards, List.init repeats (fun _ -> Sh.run ~pool { base with Rt.shards })))
+      [ 1; 4 ]
+  in
+  let all = List.concat_map snd legs in
+  List.iter
+    (fun r ->
+      if not (Sh.accounted r) then
+        fail "unaccounted reactions: %d alarms <> %d debounced + %d shed + %d batched"
+          r.Sh.s_alarms r.Sh.s_debounced r.Sh.s_shed r.Sh.s_batched)
+    all;
+  let core = Sh.deterministic_core (List.hd all) in
+  List.iter
+    (fun r ->
+      if not (String.equal core (Sh.deterministic_core r)) then
+        fail "deterministic core differs at %d shards"
+          r.Sh.s_partition.Sh.pt_shards)
+    all;
+  let best f rs = List.fold_left (fun acc r -> Float.max acc (f r)) 0.0 rs in
+  let rate1 = best Sh.aggregate_rate (List.assoc 1 legs) in
+  let rate4 = best Sh.aggregate_rate (List.assoc 4 legs) in
+  let tick1 = best Sh.tick_rate (List.assoc 1 legs) in
+  let tick4 = best Sh.tick_rate (List.assoc 4 legs) in
+  let ratio = rate4 /. Float.max 1e-9 rate1 in
+  let tick_ratio = tick4 /. Float.max 1e-9 tick1 in
+  let show = List.hd (List.assoc 4 legs) in
+  let fibers = Array.length show.Sh.s_partition.Sh.pt_region_of in
+  Array.iter
+    (fun ss ->
+      Printf.printf "  shard %d: %2d fibers, %6d samples, busy %.3f s (%.2f Msamples/s)\n%!"
+        ss.Sh.ss_region ss.Sh.ss_fibers ss.Sh.ss_samples ss.Sh.ss_busy_s
+        (float_of_int ss.Sh.ss_samples /. Float.max ss.Sh.ss_busy_s 1e-9 /. 1e6))
+    show.Sh.s_shards;
+  Printf.printf
+    "  %d fibers x %d flows, %d epochs: aggregate %.2f -> %.2f Msamples/s \
+     (%.2fx), ticks/s %.0f -> %.0f (%.2fx)\n%!"
+    fibers show.Sh.s_flows epochs (rate1 /. 1e6) (rate4 /. 1e6) ratio tick1
+    tick4 tick_ratio;
+  Printf.printf "  fibers x flows bandwidth: %.1f Mflow-samples/s at 4 shards\n%!"
+    (rate4 *. float_of_int show.Sh.s_flows /. 1e6);
+  if ratio < 4.0 then
+    fail "aggregate throughput %.2fx single-shard < 4x at 4 shards" ratio;
+  if tick_ratio < 4.0 then
+    fail "sustained tick rate %.2fx single-shard < 4x at 4 shards" tick_ratio;
+  (* Backpressure leg: a hair-trigger detector floods the coalescer so
+     the bounded backlog and both shed policies actually fire. *)
+  let bp_cfg policy =
+    {
+      base with
+      Rt.epochs = 3;
+      shards = 4;
+      queue_bound = 2;
+      debounce_s = 0;
+      shed_policy = policy;
+      detector =
+        { Prete_rt.Detector.default_config with
+          Prete_rt.Detector.cusum_k = 0.0; cusum_h = 0.01 };
+    }
+  in
+  let bp = Sh.run ~pool (bp_cfg Rt.Drop_newest) in
+  let bp_old = Sh.run ~pool (bp_cfg Rt.Drop_oldest) in
+  List.iter
+    (fun (name, r) ->
+      if not (Sh.accounted r) then
+        fail "unaccounted reactions on the %s backpressure leg" name;
+      if r.Sh.s_shed = 0 then fail "%s backpressure leg shed nothing" name)
+    [ ("drop-newest", bp); ("drop-oldest", bp_old) ];
+  if bp.Sh.s_deferred = 0 then fail "backpressure leg deferred nothing";
+  (* Shedding must stay partition-invariant: the same overloaded
+     config at 1 shard sheds the same reactions. *)
+  let bp1 = Sh.run ~pool { (bp_cfg Rt.Drop_newest) with Rt.shards = 1 } in
+  if not (String.equal (Sh.deterministic_core bp) (Sh.deterministic_core bp1))
+  then fail "shedding differs between 1 and 4 shards";
+  let m = bp.Sh.s_metrics in
+  let p50 = M.hist_quantile m "reaction_latency_s" 0.5 in
+  let p99 = M.hist_quantile m "reaction_latency_s" 0.99 in
+  let wait99 = M.hist_quantile m "queue_wait_s" 0.99 in
+  Printf.printf
+    "  backpressure: %d alarms = %d debounced + %d shed + %d batched; %d \
+     batches, %d deferred (drop-oldest: %d shed)\n%!"
+    bp.Sh.s_alarms bp.Sh.s_debounced bp.Sh.s_shed bp.Sh.s_batched
+    bp.Sh.s_batches bp.Sh.s_deferred bp_old.Sh.s_shed;
+  Printf.printf
+    "  modeled reaction latency p50 %.2f s / p99 %.2f s; queue wait p99 %.1f s\n%!"
+    p50 p99 wait99;
+  if not (p50 > 0.0 && p50 <= p99) then
+    fail "reaction latency quantiles inconsistent (p50 %.3f, p99 %.3f)" p50 p99;
+  if p99 > 60.0 then fail "p99 modeled reaction latency %.1f s > 60 s" p99;
+  let wall = Unix.gettimeofday () -. t0 in
+  stream_scale_json :=
+    Printf.sprintf
+      "{\"topology\": \"wan26\", \"fibers\": %d, \"flows\": %d, \"epochs\": %d, \
+       \"repeats\": %d, \"rate_1shard\": %.0f, \"rate_4shard\": %.0f, \
+       \"ratio\": %.3f, \"tick_rate_1shard\": %.0f, \"tick_rate_4shard\": %.0f, \
+       \"tick_ratio\": %.3f, \"flow_samples_per_s\": %.0f, \
+       \"cores_identical\": true, \"accounted\": true, \
+       \"backpressure\": {\"alarms\": %d, \"debounced\": %d, \"shed\": %d, \
+       \"batched\": %d, \"batches\": %d, \"deferred\": %d, \
+       \"shed_drop_oldest\": %d, \"partition_invariant_shed\": true, \
+       \"reaction_p50_s\": %.3f, \"reaction_p99_s\": %.3f, \
+       \"queue_wait_p99_s\": %.3f}, \"wall_s\": %.3f}"
+      fibers show.Sh.s_flows epochs repeats rate1 rate4 ratio tick1 tick4
+      tick_ratio
+      (rate4 *. float_of_int show.Sh.s_flows)
+      bp.Sh.s_alarms bp.Sh.s_debounced bp.Sh.s_shed bp.Sh.s_batched
+      bp.Sh.s_batches bp.Sh.s_deferred bp_old.Sh.s_shed p50 p99 wait99 wall
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1621,6 +1778,7 @@ let experiments =
     ("parallel", "domain-pool scaling: 1/2/4-domain walls + determinism", parallel);
     ("lp_scale", "dense vs revised simplex scaling on TE LPs", lp_scale);
     ("stream", "streaming runtime: detection/reaction latency + availability", stream);
+    ("stream_scale", "sharded fleet streaming: throughput, coalescing, backpressure", stream_scale);
     ("detour", "precomputed detour tier vs ladder: chaos ablation", detour);
     ("sweep", "scenario matrix portfolio: per-class floors + determinism", sweep_bench);
   ]
@@ -1637,6 +1795,9 @@ let () =
       parse rest
     | "--kernels" :: rest ->
       run_kernels := true;
+      parse rest
+    | "--dense-oracle" :: rest ->
+      dense_oracle := true;
       parse rest
     | "--list" :: rest ->
       list_only := true;
@@ -1695,17 +1856,18 @@ let () =
           ("parallel", parallel_json);
           ("lp_scale", lp_scale_json);
           ("stream", stream_json);
+          ("stream_scale", stream_scale_json);
           ("detour", detour_json);
           ("sweep", sweep_json);
         ]
     in
-    Printf.sprintf "{\n  \"pr\": 7,\n  \"experiments\": [%s]%s\n}\n"
+    Printf.sprintf "{\n  \"pr\": 8,\n  \"experiments\": [%s]%s\n}\n"
       (String.concat ", " exps)
       (String.concat ""
          (List.map (fun s -> Printf.sprintf ",\n  %s" s) sections))
   in
-  let oc = open_out "BENCH_PR7.json" in
+  let oc = open_out "BENCH_PR8.json" in
   output_string oc json;
   close_out oc;
-  Printf.printf "\nWrote BENCH_PR7.json\n";
+  Printf.printf "\nWrote BENCH_PR8.json\n";
   Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -375,26 +375,90 @@ let chaos_cmd =
     Term.(const run $ topo_arg $ scale_arg $ scheme $ seed_arg $ epochs $ domains_arg)
 
 let stream_cmd =
+  let print_shard_result (r : Prete_rt.Shard.result) =
+    let m = r.Prete_rt.Shard.s_metrics in
+    let pt = r.Prete_rt.Shard.s_partition in
+    Printf.printf
+      "%d epochs, %d fibers x %d flows across %d shards (seed %d): %d with \
+       degradations, %d with cuts\n"
+      r.Prete_rt.Shard.s_epochs
+      (Array.length pt.Prete_rt.Shard.pt_region_of)
+      r.Prete_rt.Shard.s_flows pt.Prete_rt.Shard.pt_shards
+      r.Prete_rt.Shard.s_config.Prete_rt.Runtime.seed
+      r.Prete_rt.Shard.s_degr_epochs r.Prete_rt.Shard.s_cut_epochs;
+    Printf.printf
+      "samples %d; alarms %d = debounced %d + shed %d + batched %d (%s); \
+       %d batches, %d deferred\n"
+      (Prete_rt.Metrics.counter m "samples")
+      r.Prete_rt.Shard.s_alarms r.Prete_rt.Shard.s_debounced
+      r.Prete_rt.Shard.s_shed r.Prete_rt.Shard.s_batched
+      (if Prete_rt.Shard.accounted r then "accounted" else "UNACCOUNTED")
+      r.Prete_rt.Shard.s_batches r.Prete_rt.Shard.s_deferred;
+    Printf.printf
+      "reaction latency p50 %.2f s / p99 %.2f s; aggregate %.0f samples/s, \
+       slowest shard %.0f ticks/s\n"
+      (Prete_rt.Metrics.hist_quantile m "reaction_latency_s" 0.5)
+      (Prete_rt.Metrics.hist_quantile m "reaction_latency_s" 0.99)
+      (Prete_rt.Shard.aggregate_rate r)
+      (Prete_rt.Shard.tick_rate r);
+    Printf.printf "state-fiber cuts: %d reacted in time, %d missed\n"
+      r.Prete_rt.Shard.s_reacted_in_time r.Prete_rt.Shard.s_missed;
+    Printf.printf
+      "availability: stream %.5f / periodic-only %.5f / instant %.5f\n"
+      r.Prete_rt.Shard.s_avail_stream r.Prete_rt.Shard.s_avail_periodic
+      r.Prete_rt.Shard.s_avail_instant;
+    Array.iter
+      (fun ss ->
+        Printf.printf
+          "  shard %d: %d fibers, %d samples, %d alarms, busy %.3f s\n"
+          ss.Prete_rt.Shard.ss_region ss.Prete_rt.Shard.ss_fibers
+          ss.Prete_rt.Shard.ss_samples ss.Prete_rt.Shard.ss_alarms
+          ss.Prete_rt.Shard.ss_busy_s)
+      r.Prete_rt.Shard.s_shards
+  in
   let run () name traffic epochs seed scale ewma_alpha cusum_k cusum_h debounce
       gap_rate dup_rate reorder_rate max_delay deadline predictor stale_after
-      no_detour trace_out replay_path domains =
+      no_detour shards queue_bound shed_policy shard_check trace_out
+      replay_path domains =
     match replay_path with
     | Some path ->
       (* Replay mode: re-run a dumped configuration and verify the
-         deterministic core byte-for-byte. *)
+         deterministic core byte-for-byte.  Shard dumps carry their own
+         header and replay through the sharded engine. *)
       let ic = open_in path in
       let n = in_channel_length ic in
       let json = really_input_string ic n in
       close_in ic;
-      let r, ok = with_pool domains (fun pool -> Prete_rt.Runtime.replay ~pool json) in
-      Printf.printf
-        "replayed %d epochs: availability stream %.5f / periodic %.5f / instant %.5f\n"
-        r.Prete_rt.Runtime.r_epochs r.Prete_rt.Runtime.r_avail_stream
-        r.Prete_rt.Runtime.r_avail_periodic r.Prete_rt.Runtime.r_avail_instant;
-      if ok then print_endline "MATCH: deterministic core identical to the dump"
+      if Prete_rt.Shard.is_dump json then begin
+        let r, ok =
+          with_pool domains (fun pool -> Prete_rt.Shard.replay ~pool json)
+        in
+        Printf.printf
+          "replayed %d epochs on %d shards: availability stream %.5f / \
+           periodic %.5f / instant %.5f\n"
+          r.Prete_rt.Shard.s_epochs
+          r.Prete_rt.Shard.s_partition.Prete_rt.Shard.pt_shards
+          r.Prete_rt.Shard.s_avail_stream r.Prete_rt.Shard.s_avail_periodic
+          r.Prete_rt.Shard.s_avail_instant;
+        if ok then print_endline "MATCH: deterministic core identical to the dump"
+        else begin
+          print_endline "MISMATCH: deterministic core differs from the dump";
+          exit 1
+        end
+      end
       else begin
-        print_endline "MISMATCH: deterministic core differs from the dump";
-        exit 1
+        let r, ok =
+          with_pool domains (fun pool -> Prete_rt.Runtime.replay ~pool json)
+        in
+        Printf.printf
+          "replayed %d epochs: availability stream %.5f / periodic %.5f / instant %.5f\n"
+          r.Prete_rt.Runtime.r_epochs r.Prete_rt.Runtime.r_avail_stream
+          r.Prete_rt.Runtime.r_avail_periodic r.Prete_rt.Runtime.r_avail_instant;
+        if ok then print_endline "MATCH: deterministic core identical to the dump"
+        else begin
+          print_endline "MISMATCH: deterministic core differs from the dump";
+          exit 1
+        end
       end
     | None ->
       let cfg =
@@ -424,8 +488,46 @@ let stream_cmd =
           predictor = Prete_rt.Runtime.predictor_kind_of_string predictor;
           stale_after;
           detour = not no_detour;
+          shards = max 1 shards;
+          queue_bound;
+          shed_policy = Prete_rt.Runtime.shed_policy_of_string shed_policy;
         }
       in
+      if shards > 0 then begin
+        (* Fleet-scale sharded engine: every fiber streams, alarms
+           coalesce into batched cross-shard re-solves. *)
+        let r = with_pool domains (fun pool -> Prete_rt.Shard.run ~pool cfg) in
+        print_shard_result r;
+        (match trace_out with
+        | Some path ->
+          let oc = open_out path in
+          output_string oc (Prete_rt.Shard.dump r);
+          close_out oc;
+          Printf.printf "wrote %s (replay with --replay %s)\n" path path
+        | None -> ());
+        match shard_check with
+        | Some m ->
+          let cfg' = { cfg with Prete_rt.Runtime.shards = max 1 m } in
+          let r' =
+            with_pool domains (fun pool -> Prete_rt.Shard.run ~pool cfg')
+          in
+          if
+            String.equal
+              (Prete_rt.Shard.deterministic_core r)
+              (Prete_rt.Shard.deterministic_core r')
+          then
+            Printf.printf
+              "CHECK OK: core bit-identical at %d and %d shards\n"
+              cfg.Prete_rt.Runtime.shards cfg'.Prete_rt.Runtime.shards
+          else begin
+            Printf.printf
+              "CHECK FAILED: core differs between %d and %d shards\n"
+              cfg.Prete_rt.Runtime.shards cfg'.Prete_rt.Runtime.shards;
+            exit 1
+          end
+        | None -> ()
+      end
+      else begin
       let r = with_pool domains (fun pool -> Prete_rt.Runtime.run ~pool cfg) in
       let m = r.Prete_rt.Runtime.r_metrics in
       Printf.printf "%d epochs on %s (seed %d): %d with degradations, %d with cuts\n"
@@ -468,6 +570,7 @@ let stream_cmd =
         close_out oc;
         Printf.printf "wrote %s (replay with --replay %s)\n" path path
       | None -> ())
+      end
   in
   let epochs =
     Arg.(value & opt int 40 & info [ "epochs" ] ~docv:"N" ~doc:"TE periods to stream.")
@@ -558,6 +661,39 @@ let stream_cmd =
             "Disarm the localized fast-recovery tier (precomputed per-fiber \
              detours installed at Detector-alarm time).")
   in
+  let shards =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Run the fleet-scale sharded engine with N regional shards \
+             (every fiber streams; alarms coalesce into batched re-solves). \
+             0 (the default) keeps the single-loop sample-path engine.")
+  in
+  let queue_bound =
+    Arg.(
+      value
+      & opt int Prete_rt.Runtime.default_config.Prete_rt.Runtime.queue_bound
+      & info [ "queue-bound" ] ~docv:"N"
+          ~doc:
+            "Coalescer backpressure: max reactions staged behind a busy \
+             controller before the shed policy fires (sharded engine only).")
+  in
+  let shed_policy =
+    Arg.(
+      value & opt string "drop-newest"
+      & info [ "shed-policy" ] ~docv:"POLICY"
+          ~doc:"drop-newest | drop-oldest — what to shed at the bound.")
+  in
+  let shard_check =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shard-check" ] ~docv:"M"
+          ~doc:
+            "Re-run with M shards and verify the deterministic core is \
+             byte-identical; exits 1 on mismatch (needs --shards).")
+  in
   let trace_out =
     Arg.(
       value
@@ -580,7 +716,8 @@ let stream_cmd =
       const run $ lp_term $ topo_arg $ traffic $ epochs $ seed $ scale_arg
       $ ewma_alpha $ cusum_k $ cusum_h $ debounce $ gap_rate $ dup_rate
       $ reorder_rate $ max_delay $ deadline $ predictor $ stale_after
-      $ no_detour $ trace_out $ replay_path $ domains_arg)
+      $ no_detour $ shards $ queue_bound $ shed_policy $ shard_check
+      $ trace_out $ replay_path $ domains_arg)
 
 let sweep_cmd =
   let run () topos traffic profiles epochs seed scale out check domains =

@@ -32,6 +32,15 @@ let tunnel_update_time n =
   if n < 0 then invalid_arg "Controller.tunnel_update_time: negative count";
   float_of_int n *. per_tunnel_setup_s
 
+let per_member_handling_s = 0.002
+
+let batch_latency ~members ~n_new_tunnels =
+  if members <= 0 then invalid_arg "Controller.batch_latency: empty batch";
+  detection_s
+  +. (per_member_handling_s *. float_of_int members)
+  +. 0.010 +. 0.25
+  +. tunnel_update_time n_new_tunnels
+
 let wall f =
   let t0 = Prete_util.Clock.now () in
   let result = f () in

@@ -61,6 +61,19 @@ val detection_s : float
 val tunnel_update_time : int -> float
 (** Linear serialized model of Fig. 11b. *)
 
+val per_member_handling_s : float
+(** 0.002 s — per-member batch-handling cost of a coalesced re-solve. *)
+
+val batch_latency : members:int -> n_new_tunnels:int -> float
+(** Modeled end-to-end install latency of one batched reactive re-solve
+    covering [members] alarmed fibers: detection, per-member batch
+    handling, inference + plan push overheads, and the Fig. 11b
+    tunnel-establishment time for the Algorithm 1 update the plan
+    carries.  A pure (logical) quantity — both the streaming runtime and
+    the sharded runtime's cross-shard coalescer use it for their event
+    logs, so it never reads a clock.  Raises [Invalid_argument] for
+    non-positive [members]. *)
+
 val wall : (unit -> 'a) -> 'a * float
 (** [wall f] runs [f] and returns its result with the elapsed wall-clock
     seconds on the monotonicized {!Prete_util.Clock} (never negative). *)

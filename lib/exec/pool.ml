@@ -301,6 +301,14 @@ let parallel_map pool ?chunk f xs =
     Array.map (function Some v -> v | None -> assert false) out
   end
 
+let parallel_iter pool ?chunk f xs =
+  let n = Array.length xs in
+  if n > 0 then
+    parallel_for pool ?chunk n (fun lo hi ->
+        for i = lo to hi - 1 do
+          f xs.(i)
+        done)
+
 (* ------------------------------------------------------------------ *)
 (* Stats                                                                *)
 (* ------------------------------------------------------------------ *)

@@ -78,6 +78,13 @@ val parallel_map : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
     of scheduling.  [f] must be safe to run concurrently against itself
     on distinct elements. *)
 
+val parallel_iter : t -> ?chunk:int -> ('a -> unit) -> 'a array -> unit
+(** [parallel_iter pool f xs] applies [f] to every element, distributed
+    over the pool.  [f] is run for side effects; to keep the
+    determinism contract each application must write only state it owns
+    (e.g. its own slot of a pre-sized results matrix — how the sharded
+    runtime runs its per-(epoch × shard) tasks). *)
+
 val stats : t -> Pool_stats.t
 (** Snapshot of the pool's counters since creation or the last
     {!reset_stats}. *)

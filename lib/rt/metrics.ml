@@ -104,6 +104,39 @@ let hist_max t name =
       | Some h when h.h_count > 0 -> h.h_max
       | _ -> 0.0)
 
+(* Nearest-rank quantile over the log-histogram, linearly interpolated
+   inside the bucket the rank lands in.  Pure integer/float arithmetic
+   over the bucket table, so the estimate is deterministic — the bench
+   gates compare it across runs. *)
+let hist_quantile t name q =
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Metrics.hist_quantile: q must be in [0, 1]";
+  guarded t (fun () ->
+      match Hashtbl.find_opt t.hists name with
+      | None -> 0.0
+      | Some h when h.h_count = 0 -> 0.0
+      | Some h ->
+        let rank =
+          max 1 (int_of_float (Float.ceil (q *. float_of_int h.h_count)))
+        in
+        let buckets =
+          Hashtbl.fold (fun e n acc -> (e, n) :: acc) h.buckets []
+          |> List.sort compare
+        in
+        let rec walk cum = function
+          | [] -> h.h_max
+          | (e, n) :: rest ->
+            if cum + n < rank then walk (cum + n) rest
+            else if e = underflow_bucket then Float.min h.h_min 0.0
+            else begin
+              let lo = Float.ldexp 1.0 (e - 1) and hi = Float.ldexp 1.0 e in
+              let frac = float_of_int (rank - cum) /. float_of_int n in
+              let v = lo +. ((hi -. lo) *. frac) in
+              Float.max h.h_min (Float.min h.h_max v)
+            end
+        in
+        walk 0 buckets)
+
 let add_wall t name s =
   guarded t (fun () ->
       match Hashtbl.find_opt t.walls name with

@@ -33,6 +33,18 @@ val hist_mean : t -> string -> float
 val hist_max : t -> string -> float
 (** 0 when the histogram is empty or unknown. *)
 
+val hist_quantile : t -> string -> float -> float
+(** [hist_quantile t name q] estimates the [q]-quantile ([q] in [0, 1],
+    e.g. 0.5 / 0.99) from the binary-exponent buckets: the nearest-rank
+    bucket is found by cumulative count and the value is linearly
+    interpolated inside it, clamped to the exact observed [min]/[max].
+    Within a factor of 2 of the true sample quantile by construction,
+    and — like every non-wall quantity here — deterministic, so the
+    bench throughput/latency gates can compare it across runs.  0 when
+    the histogram is empty or unknown; the underflow bucket reports
+    [min(h_min, 0)].  Raises [Invalid_argument] for [q] outside
+    [0, 1]. *)
+
 val add_wall : t -> string -> float -> unit
 (** Accumulate measured wall seconds under a stage name. *)
 

@@ -18,6 +18,7 @@ let push t ~tick ~kind ~fiber ~value =
 
 let total t = t.count
 let dropped t = max 0 (t.count - t.capacity)
+let overflowed t = t.count > t.capacity
 
 let entries t =
   let n = min t.count t.capacity in

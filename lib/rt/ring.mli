@@ -29,7 +29,14 @@ val total : t -> int
 (** Entries ever pushed. *)
 
 val dropped : t -> int
-(** [max 0 (total - capacity)]. *)
+(** [max 0 (total - capacity)] — entries overwritten by later pushes.
+    The runtimes surface this as the [ring_dropped] metrics counter, and
+    the tier-1 stream tests assert it stays zero at the default
+    capacity: a dropped entry means the dumped event log is no longer
+    the full total order. *)
+
+val overflowed : t -> bool
+(** [dropped t > 0]. *)
 
 val to_json : t -> string
 (** JSON array of the retained entries (oldest first) — the replayable

@@ -24,6 +24,17 @@ let predictor_kind_of_string s =
       | _ -> failwith ("Runtime.predictor_kind_of_string: " ^ s))
     | _ -> failwith ("Runtime.predictor_kind_of_string: " ^ s))
 
+type shed_policy = Drop_newest | Drop_oldest
+
+let shed_policy_name = function
+  | Drop_newest -> "drop-newest"
+  | Drop_oldest -> "drop-oldest"
+
+let shed_policy_of_string = function
+  | "drop-newest" -> Drop_newest
+  | "drop-oldest" -> Drop_oldest
+  | s -> failwith ("Runtime.shed_policy_of_string: " ^ s)
+
 type config = {
   topology : string;
   traffic : string;
@@ -38,6 +49,9 @@ type config = {
   stale_after : int option;
   detour : bool;
   ring_capacity : int;
+  shards : int;
+  queue_bound : int;
+  shed_policy : shed_policy;
 }
 
 let default_config =
@@ -55,6 +69,9 @@ let default_config =
     stale_after = None;
     detour = true;
     ring_capacity = 4096;
+    shards = 1;
+    queue_bound = 64;
+    shed_policy = Drop_newest;
   }
 
 type detection = {
@@ -500,15 +517,8 @@ let run ?pool ?env ?predictor cfg =
                 Controller.cache_store cache key
                   ~degraded:(Resilience.degraded outcome)
                   outcome.Resilience.plan);
-              (* Modeled install latency: detection + per-member batch
-                 handling + inference/regen model + plan push + the
-                 Fig. 11b tunnel-establishment time for the Algorithm 1
-                 update the reactive plan carries. *)
               let latency =
-                Controller.detection_s
-                +. (0.002 *. float_of_int n)
-                +. 0.010 +. 0.25
-                +. Controller.tunnel_update_time n_new
+                Controller.batch_latency ~members:n ~n_new_tunnels:n_new
               in
               let install = g + int_of_float (Float.ceil latency) in
               Metrics.observe metrics "reaction_latency_s" latency;
@@ -671,6 +681,9 @@ let run ?pool ?env ?predictor cfg =
   Metrics.incr ~by:swaps metrics "predictor_swaps";
   Metrics.incr ~by:!reacted metrics "reacted_in_time";
   Metrics.incr ~by:!missed metrics "missed_cuts";
+  (* Surfaced even at zero so the tier-1 tests can assert the dumped
+     event log is the complete total order (no ring overwrites). *)
+  Metrics.incr ~by:(Ring.dropped ring) metrics "ring_dropped";
   Metrics.set_gauge metrics "avail_stream" avail_stream;
   Metrics.set_gauge metrics "avail_periodic" avail_periodic;
   Metrics.set_gauge metrics "avail_instant" avail_instant;
@@ -729,7 +742,11 @@ let config_to_json (c : config) =
     | Some k -> Printf.sprintf "\"stale_after\": %d, " k
     | None -> "\"stale_after\": null, ");
   Buffer.add_string b (Printf.sprintf "\"detour\": %b, " c.detour);
-  Buffer.add_string b (Printf.sprintf "\"ring_capacity\": %d}" c.ring_capacity);
+  Buffer.add_string b (Printf.sprintf "\"ring_capacity\": %d, " c.ring_capacity);
+  i "shards" c.shards;
+  i "queue_bound" c.queue_bound;
+  Buffer.add_string b
+    (Printf.sprintf "\"shed_policy\": \"%s\"}" (shed_policy_name c.shed_policy));
   Buffer.contents b
 
 let deterministic_core r =
@@ -874,6 +891,17 @@ let config_of_dump json =
     stale_after = opt_of int_of_string "stale_after";
     detour = bool_of_string (req "detour");
     ring_capacity = it "ring_capacity";
+    (* Dumps predating the sharded runtime carry none of the three. *)
+    shards =
+      (match field_raw cfg "shards" with Some v -> int_of_string v | None -> 1);
+    queue_bound =
+      (match field_raw cfg "queue_bound" with
+      | Some v -> int_of_string v
+      | None -> default_config.queue_bound);
+    shed_policy =
+      (match field_raw cfg "shed_policy" with
+      | Some v -> shed_policy_of_string v
+      | None -> default_config.shed_policy);
   }
 
 let replay ?pool json =
@@ -885,3 +913,12 @@ let replay ?pool json =
   in
   let r = run ?pool cfg in
   (r, String.equal (deterministic_core r) dumped_core)
+
+module Internal = struct
+  let epoch_len = epoch_len
+  let build_model = build_model
+  let measured_features = measured_features
+  let config_to_json = config_to_json
+  let field_raw = field_raw
+  let object_at = object_at
+end

@@ -58,6 +58,19 @@ val predictor_kind_name : predictor_kind -> string
 val predictor_kind_of_string : string -> predictor_kind
 (** Inverse of {!predictor_kind_name}; raises [Failure] otherwise. *)
 
+type shed_policy =
+  | Drop_newest
+      (** Reject the arriving reaction when the coalescer backlog is
+          full. *)
+  | Drop_oldest
+      (** Evict the oldest staged reaction to admit the arriving one. *)
+
+val shed_policy_name : shed_policy -> string
+(** ["drop-newest"] / ["drop-oldest"]. *)
+
+val shed_policy_of_string : string -> shed_policy
+(** Inverse of {!shed_policy_name}; raises [Failure] otherwise. *)
+
 type config = {
   topology : string;  (** {!Prete_net.Topology.by_name} name. *)
   traffic : string;
@@ -84,12 +97,26 @@ type config = {
           detours install at Detector-alarm time, below the controller
           ([prete_cli stream --no-detour] disarms it). *)
   ring_capacity : int;  (** Event-trace ring size. *)
+  shards : int;
+      (** Regional shards for the fleet-scale engine ({!Shard.run}):
+          the topology is partitioned into this many connected fiber
+          regions, each running its own event loop.  {!run} — the
+          single-loop sample-path engine — ignores it; the shard
+          count never changes the deterministic core either way. *)
+  queue_bound : int;
+      (** Coalescer backpressure: max reactions staged behind a busy
+          controller before the shed policy fires ({!Shard.run} only).
+          The bound is enforced on the coalescer's admission backlog —
+          the joint occupancy of the per-shard reaction queues — so
+          shedding is independent of the shard count. *)
+  shed_policy : shed_policy;  (** What to do at the bound. *)
 }
 
 val default_config : config
 (** B4 topology, 40 epochs, seed 123, scale 2.0, default detector
     and impairments, 30 s debounce, no deadline, [Hazard_oracle]
-    predictor, detour tier armed, ring capacity 4096. *)
+    predictor, detour tier armed, ring capacity 4096, 1 shard with a
+    64-deep [Drop_newest] reaction queue. *)
 
 type detection = {
   d_epoch : int;
@@ -159,3 +186,32 @@ val replay :
 (** [replay dump_json] re-runs the dumped configuration and returns the
     fresh result plus whether its {!deterministic_core} is byte-equal to
     the dumped one — the replayability check behind [@stream-smoke]. *)
+
+(** Pieces shared with the sharded engine ({!Shard}) — not a public
+    API. *)
+module Internal : sig
+  val epoch_len : int
+  (** 900 — seconds per TE period at 1 Hz. *)
+
+  val build_model :
+    predictor_kind ->
+    Prete.Availability.env ->
+    Prete_net.Topology.t ->
+    Prete_optics.Hazard.features -> float
+
+  val measured_features :
+    Prete_optics.Hazard.features ->
+    (float * float * int * int) option ->
+    Prete_optics.Hazard.features
+  (** Overlay the detector's at-alarm segment features on the truth
+      record (static fiber attributes kept, measured excursion
+      substituted). *)
+
+  val config_to_json : config -> string
+
+  val field_raw : string -> string -> string option
+  (** Flat-JSON scalar field scanner (the dump parser's workhorse). *)
+
+  val object_at : string -> string -> string option
+  (** Extract a balanced [{...}] object field from a JSON string. *)
+end

@@ -1,0 +1,1027 @@
+open Prete_net
+open Prete_optics
+open Prete
+module Rng = Prete_util.Rng
+module Clock = Prete_util.Clock
+module Pool = Prete_exec.Pool
+
+let epoch_len = Runtime.Internal.epoch_len
+
+(* ------------------------------------------------------------------ *)
+(* Partitioning                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type partition = {
+  pt_shards : int;
+  pt_seed : int;
+  pt_region_of : int array;
+  pt_regions : int array array;
+}
+
+(* Fibers are adjacent when they share an endpoint site — the line
+   graph of the fiber layer.  Connected topology ⇒ connected line
+   graph, which is what makes single-seed BFS growth yield connected
+   regions. *)
+let fiber_adjacency topo =
+  let n = Topology.num_fibers topo in
+  let by_node : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun (f : Topology.fiber) ->
+      let a, b = f.Topology.endpoints in
+      List.iter
+        (fun v ->
+          Hashtbl.replace by_node v
+            (f.Topology.fid :: Option.value ~default:[] (Hashtbl.find_opt by_node v)))
+        (if a = b then [ a ] else [ a; b ]))
+    topo.Topology.fibers;
+  Array.init n (fun i ->
+      let a, b = (Topology.fiber topo i).Topology.endpoints in
+      Option.value ~default:[] (Hashtbl.find_opt by_node a)
+      @ Option.value ~default:[] (Hashtbl.find_opt by_node b)
+      |> List.filter (fun j -> j <> i)
+      |> List.sort_uniq compare)
+
+let partition topo ~shards ~seed =
+  if shards <= 0 then invalid_arg "Shard.partition: shards must be positive";
+  let n = Topology.num_fibers topo in
+  let k = min shards n in
+  let adj = fiber_adjacency topo in
+  (* Seed fibers: one RNG draw anchors the partition to the seed, then
+     farthest-first spreading keeps the remaining anchors apart. *)
+  let rng = Rng.create (seed lxor 0x7a11) in
+  let seeds = Array.make k 0 in
+  seeds.(0) <- Rng.int rng n;
+  let dist = Array.make n max_int in
+  let bfs_relax src =
+    let queue = Queue.create () in
+    dist.(src) <- 0;
+    Queue.add src queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+          if dist.(u) + 1 < dist.(v) then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v queue
+          end)
+        adj.(u)
+    done
+  in
+  bfs_relax seeds.(0);
+  for i = 1 to k - 1 do
+    let best = ref 0 and best_d = ref min_int in
+    for f = 0 to n - 1 do
+      let d = if dist.(f) = max_int then n + 1 else dist.(f) in
+      if d > !best_d then begin
+        best := f;
+        best_d := d
+      end
+    done;
+    seeds.(i) <- !best;
+    bfs_relax !best
+  done;
+  let region_of = Array.make n (-1) in
+  let sizes = Array.make k 0 in
+  (* Per-region frontier: unclaimed fibers adjacent to the region,
+     kept as sorted de-duplicated lists so the claim order is a pure
+     function of the graph. *)
+  let frontier = Array.make k [] in
+  let claim r f =
+    region_of.(f) <- r;
+    sizes.(r) <- sizes.(r) + 1;
+    for r' = 0 to k - 1 do
+      frontier.(r') <- List.filter (fun g -> g <> f) frontier.(r')
+    done;
+    frontier.(r) <-
+      List.sort_uniq compare
+        (List.filter (fun g -> region_of.(g) < 0) adj.(f) @ frontier.(r))
+  in
+  Array.iteri
+    (fun r s -> if region_of.(s) < 0 then claim r s else claim r (
+       (* Farthest-first can land on an already claimed fiber only when
+          the graph is smaller than k; fall back to the least unclaimed. *)
+       let rec first_free f = if region_of.(f) < 0 then f else first_free (f + 1) in
+       first_free 0))
+    seeds;
+  let assigned = ref k in
+  while !assigned < n do
+    (* Grow the smallest region that can still grow — balanced sizes
+       without ever breaking region connectivity. *)
+    let best = ref (-1) in
+    for r = k - 1 downto 0 do
+      if frontier.(r) <> [] && (!best < 0 || sizes.(r) <= sizes.(!best)) then
+        best := r
+    done;
+    if !best >= 0 then claim !best (List.hd frontier.(!best))
+    else begin
+      (* Disconnected fiber graph (no built-in topology): hand the
+         least unclaimed fiber to the smallest region. *)
+      let f = ref 0 in
+      while region_of.(!f) >= 0 do incr f done;
+      let r = ref 0 in
+      for r' = 1 to k - 1 do
+        if sizes.(r') < sizes.(!r) then r := r'
+      done;
+      claim !r !f
+    end;
+    incr assigned
+  done;
+  let members = Array.make k [] in
+  for f = n - 1 downto 0 do
+    members.(region_of.(f)) <- f :: members.(region_of.(f))
+  done;
+  {
+    pt_shards = k;
+    pt_seed = seed;
+    pt_region_of = region_of;
+    pt_regions = Array.map Array.of_list members;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Coalescer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Coalescer = struct
+  type 'a entry = { en_tick : int; en_item : 'a }
+
+  type 'a t = {
+    c_bound : int;
+    c_policy : Runtime.shed_policy;
+    mutable c_busy_until : int;
+    mutable c_staged : 'a entry list;  (* oldest first *)
+    mutable c_len : int;
+    mutable c_offered : int;
+    mutable c_batches : int;
+    mutable c_batched : int;
+    mutable c_shed : int;
+    mutable c_deferred : int;
+  }
+
+  let create ~queue_bound ~policy () =
+    if queue_bound < 0 then
+      invalid_arg "Shard.Coalescer.create: negative queue_bound";
+    {
+      c_bound = queue_bound;
+      c_policy = policy;
+      c_busy_until = min_int;
+      c_staged = [];
+      c_len = 0;
+      c_offered = 0;
+      c_batches = 0;
+      c_batched = 0;
+      c_shed = 0;
+      c_deferred = 0;
+    }
+
+  let launch t ~tick ~dispatch items =
+    t.c_batches <- t.c_batches + 1;
+    t.c_batched <- t.c_batched + List.length items;
+    let free_at = dispatch tick items in
+    t.c_busy_until <- max free_at (tick + 1)
+
+  (* Serve the backlog the moment the controller frees: the whole
+     accumulated backlog coalesces into one batched re-solve. *)
+  let service t ~now ~dispatch =
+    while t.c_staged <> [] && t.c_busy_until <= now do
+      let head = List.hd t.c_staged in
+      let tick = max t.c_busy_until head.en_tick in
+      let items = List.map (fun e -> e.en_item) t.c_staged in
+      t.c_deferred <- t.c_deferred + t.c_len;
+      t.c_staged <- [];
+      t.c_len <- 0;
+      launch t ~tick ~dispatch items
+    done
+
+  let offer t ~now ~dispatch ~shed items =
+    service t ~now ~dispatch;
+    t.c_offered <- t.c_offered + List.length items;
+    if t.c_busy_until <= now then launch t ~tick:now ~dispatch items
+    else
+      List.iter
+        (fun it ->
+          if t.c_len >= t.c_bound then begin
+            t.c_shed <- t.c_shed + 1;
+            match t.c_policy with
+            | Runtime.Drop_newest -> shed ~tick:now it
+            | Runtime.Drop_oldest -> (
+              match t.c_staged with
+              | old :: rest ->
+                shed ~tick:now old.en_item;
+                t.c_staged <- rest @ [ { en_tick = now; en_item = it } ]
+              | [] ->
+                (* bound = 0: nothing staged to evict. *)
+                shed ~tick:now it)
+          end
+          else begin
+            t.c_staged <- t.c_staged @ [ { en_tick = now; en_item = it } ];
+            t.c_len <- t.c_len + 1
+          end)
+        items
+
+  let flush t ~dispatch =
+    while t.c_staged <> [] do
+      let head = List.hd t.c_staged in
+      let tick = max t.c_busy_until head.en_tick in
+      let items = List.map (fun e -> e.en_item) t.c_staged in
+      t.c_deferred <- t.c_deferred + t.c_len;
+      t.c_staged <- [];
+      t.c_len <- 0;
+      launch t ~tick ~dispatch items
+    done
+
+  let busy_until t = t.c_busy_until
+  let backlog t = t.c_len
+  let stats t = (t.c_offered, t.c_batches, t.c_batched, t.c_shed, t.c_deferred)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Per-shard stream processing                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* What one fiber's 1 Hz stream produced within its epoch; ticks are
+   epoch-relative, the merge globalizes them. *)
+type fiber_out = {
+  sf_fiber : int;
+  sf_truth : Hazard.features option;  (* [None]: healthy baseline stream *)
+  sf_onset : int;  (* -1 when healthy *)
+  sf_cut_at : int option;
+  sf_events : (int * string * float) list;
+  sf_alarm : int option;
+  sf_alarm_feats : (float * float * int * int) option;
+  sf_samples : int;
+  sf_dups : int;
+  sf_late : int;
+  sf_filled : int;
+  sf_segments : int;
+  sf_cut_segments : int;
+}
+
+(* Workload generation: the fiber's trace and impaired arrival
+   schedule, drawn from its private RNG substream.  The draw sequence
+   for degrading fibers mirrors Runtime.process_fiber; healthy fibers
+   draw the trace seed then the schedule.  Never inside the measured
+   loop — a deployment receives samples, it does not synthesize them. *)
+let synth_fiber (cfg : Runtime.config) ~topo ~rng ~fb ~truth ~cut =
+  let trace_seed = Rng.int rng 1_000_000 in
+  let baseline = Telemetry.baseline_loss topo fb in
+  let onset, cut_at, trace =
+    match truth with
+    | Some (tr : Hazard.features) ->
+      let dur = int_of_float (Float.ceil tr.Hazard.duration_s) in
+      let seg_len = max 1 (min dur (epoch_len - 120)) in
+      let span = epoch_len - 120 - seg_len in
+      let onset = 60 + if span > 0 then Rng.int rng span else 0 in
+      let cut_at = if cut then Some (onset + seg_len) else None in
+      ( onset,
+        cut_at,
+        Telemetry.synthesize ~seed:trace_seed ~baseline ~healthy_s:onset
+          ~degradation:tr ?cut_at_s:cut_at ~total_s:epoch_len () )
+    | None ->
+      ( -1,
+        None,
+        Telemetry.synthesize ~seed:trace_seed ~baseline ~healthy_s:epoch_len
+          ~total_s:epoch_len () )
+  in
+  (onset, cut_at, Stream.schedule rng cfg.Runtime.impairments trace)
+
+(* One shard × one epoch: a single event queue carrying every member
+   fiber's arrivals, per-fiber ingest and detector state, one logical
+   tick loop.  The returned busy seconds cover exactly the event-loop
+   work (arrival push, pop, ingest, drain, detect, flush). *)
+let process_region (cfg : Runtime.config) ~topo ~fibers ~rngs ~truth_of
+    ~cut_of =
+  let m = Array.length fibers in
+  let synths =
+    Array.mapi
+      (fun i fb ->
+        synth_fiber cfg ~topo ~rng:rngs.(i) ~fb ~truth:(truth_of fb)
+          ~cut:(cut_of fb))
+      fibers
+  in
+  let horizon = cfg.Runtime.impairments.Stream.max_delay in
+  let ings = Array.init m (fun _ -> Online.ingest_create ~horizon ()) in
+  let dets =
+    Array.init m (fun i ->
+        Detector.create ~config:cfg.Runtime.detector
+          ~baseline:(Telemetry.baseline_loss topo fibers.(i))
+          ())
+  in
+  let events = Array.make m [] in
+  let alarm = Array.make m None in
+  let alarm_feats = Array.make m None in
+  let segments = Array.make m 0 in
+  let cut_segments = Array.make m 0 in
+  let feed i (t, v) =
+    List.iter
+      (fun ev ->
+        match ev with
+        | Detector.Degr_start t' ->
+          let onset, _, _ = synths.(i) in
+          events.(i) <- (t', "degr_seen", float_of_int (t' - onset)) :: events.(i)
+        | Detector.Alarm { at; score } ->
+          events.(i) <- (at, "alarm", score) :: events.(i);
+          if alarm.(i) = None then begin
+            alarm.(i) <- Some at;
+            alarm_feats.(i) <- Detector.current_features dets.(i)
+          end
+        | Detector.Segment_end seg ->
+          segments.(i) <- segments.(i) + 1;
+          if seg.Detector.seg_cut then cut_segments.(i) <- cut_segments.(i) + 1;
+          events.(i) <- (t, "segment_end", seg.Detector.seg_degree) :: events.(i))
+      (Detector.step dets.(i) ~at:t ~v)
+  in
+  let q = Equeue.create () in
+  let t0 = Clock.now () in
+  Array.iteri
+    (fun i (_, _, arrivals) ->
+      List.iter (fun a -> Equeue.push q ~time:a.Stream.a_tick (i, a)) arrivals)
+    synths;
+  for now = 0 to epoch_len - 1 + horizon do
+    List.iter
+      (fun (_, (i, a)) -> Online.offer ings.(i) ~t:a.Stream.a_t ~v:a.Stream.a_v)
+      (Equeue.pop_until q ~time:now);
+    for i = 0 to m - 1 do
+      List.iter (feed i) (Online.drain ings.(i) ~now)
+    done
+  done;
+  for i = 0 to m - 1 do
+    let _, _, arrivals = synths.(i) in
+    if arrivals <> [] then
+      List.iter (feed i) (Online.flush ings.(i) ~upto:(epoch_len - 1))
+  done;
+  let busy = Clock.elapsed_since t0 in
+  let outs =
+    Array.mapi
+      (fun i fb ->
+        let onset, cut_at, arrivals = synths.(i) in
+        {
+          sf_fiber = fb;
+          sf_truth = truth_of fb;
+          sf_onset = onset;
+          sf_cut_at = cut_at;
+          sf_events = List.rev events.(i);
+          sf_alarm = alarm.(i);
+          sf_alarm_feats = alarm_feats.(i);
+          sf_samples = List.length arrivals;
+          sf_dups = Online.dups ings.(i);
+          sf_late = Online.late ings.(i);
+          sf_filled = Online.filled ings.(i);
+          sf_segments = segments.(i);
+          sf_cut_segments = cut_segments.(i);
+        })
+      fibers
+  in
+  (outs, busy)
+
+(* ------------------------------------------------------------------ *)
+(* The run                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type shard_stat = {
+  ss_region : int;
+  ss_fibers : int;
+  ss_samples : int;
+  ss_alarms : int;
+  ss_busy_s : float;
+  ss_metrics : Metrics.t;
+}
+
+type result = {
+  s_config : Runtime.config;
+  s_partition : partition;
+  s_flows : int;
+  s_epochs : int;
+  s_degr_epochs : int;
+  s_cut_epochs : int;
+  s_detections : Runtime.detection list;
+  s_reacted_in_time : int;
+  s_missed : int;
+  s_avail_stream : float;
+  s_avail_periodic : float;
+  s_avail_instant : float;
+  s_alarms : int;
+  s_batches : int;
+  s_batched : int;
+  s_shed : int;
+  s_deferred : int;
+  s_debounced : int;
+  s_metrics : Metrics.t;
+  s_aux : Metrics.t;
+  s_ring : Ring.t;
+  s_shards : shard_stat array;
+  s_solver : Prete_lp.Solver_stats.t;
+}
+
+(* Static feature record for a fiber with no sampled degradation event
+   (a detector false positive on a healthy stream): intrinsic fiber
+   attributes plus the epoch's time of day; the measured excursion is
+   overlaid by Runtime.Internal.measured_features. *)
+let static_features topo ~fb ~epoch =
+  let f = Topology.fiber topo fb in
+  {
+    Hazard.fiber = fb;
+    region = f.Topology.region;
+    vendor = f.Topology.vendor;
+    length_km = f.Topology.length_km;
+    time_of_day =
+      mod_float (float_of_int epoch *. (Hazard.epoch_seconds /. 3600.0)) 24.0;
+    degree = 0.0;
+    gradient = 0.0;
+    fluctuation = 0;
+    duration_s = 0.0;
+  }
+
+let run ?pool (cfg : Runtime.config) =
+  if cfg.Runtime.epochs <= 0 then
+    invalid_arg "Shard.run: epochs must be positive";
+  if cfg.Runtime.shards <= 0 then
+    invalid_arg "Shard.run: shards must be positive";
+  let owns_pool = pool = None in
+  let pool = match pool with Some p -> p | None -> Pool.create () in
+  Fun.protect ~finally:(fun () -> if owns_pool then Pool.shutdown pool)
+  @@ fun () ->
+  let open Runtime in
+  let base_topo = Topology.by_name cfg.topology in
+  let tm =
+    match cfg.traffic with
+    | "fixed" -> None
+    | spec -> Some (Traffic_model.by_name spec base_topo)
+  in
+  let env =
+    match tm with
+    | None -> Availability.make_env base_topo
+    | Some m ->
+      Availability.make_env
+        ~traffic:(Traffic_model.to_traffic m)
+        ~tunnels:(Tunnels.build base_topo m.Traffic_model.tm_pairs)
+        base_topo
+  in
+  let topo = env.Availability.ts.Tunnels.topo in
+  let ts = env.Availability.ts in
+  let n = Topology.num_fibers topo in
+  let flows = Array.length ts.Tunnels.flows in
+  let pt = partition topo ~shards:cfg.shards ~seed:cfg.seed in
+  let k = pt.pt_shards in
+  let demands =
+    Traffic.demand env.Availability.traffic ~scale:cfg.scale
+      ~epoch:env.Availability.epoch
+  in
+  let demands_at e =
+    match tm with
+    | None -> demands
+    | Some m -> Traffic_model.demands m ~scale:cfg.scale ~epoch:e
+  in
+  let metrics = Metrics.create () in
+  let aux = Metrics.create () in
+  let ring = Ring.create ~capacity:cfg.ring_capacity in
+  let solver = Prete_lp.Solver_stats.create () in
+  let sh_metrics = Array.init k (fun _ -> Metrics.create ()) in
+  (* Per-shard predictor servers over one shared model: predictions are
+     pure given the model and staleness, so the answer never depends on
+     which server serves it — only the per-shard serving stats do. *)
+  let model = Runtime.Internal.build_model cfg.predictor env topo in
+  let fallback = Predictor.prior env.Availability.model in
+  let servers = Array.init k (fun _ -> Predictor.create ~fallback model) in
+  let scheme =
+    Schemes.prete_default
+      ~predictor:(fun f -> fst (Predictor.predict servers.(0) f))
+      ()
+  in
+  (* Phase 1 — ground truth: the exact sample path Simulate.run draws. *)
+  let samples =
+    Metrics.time metrics "sample" (fun () ->
+        let rngs =
+          Simulate.Internal.epoch_streams ~seed:cfg.seed ~epochs:cfg.epochs
+        in
+        Pool.parallel_map pool (Simulate.Internal.sample_epoch env) rngs)
+  in
+  (* Per-(epoch, fiber) RNG substreams, split in a fixed global order so
+     a fiber's stream never depends on the region it landed in. *)
+  let rt_master = Rng.create (cfg.seed lxor 0xf1ee7) in
+  let fiber_rngs =
+    Array.init cfg.epochs (fun _ ->
+        let er = Rng.split rt_master in
+        Array.init n (fun _ -> Rng.split er))
+  in
+  let truth_of_epoch e =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (fb, tr) -> Hashtbl.replace tbl fb tr)
+      samples.(e).Simulate.Internal.es_degraded;
+    tbl
+  in
+  let truths = Array.init cfg.epochs truth_of_epoch in
+  (* Phase 2 — shard loops: one task per (epoch, shard), tick-barrier
+     semantics per epoch enforced by the merge below; each task writes
+     only its own slot of the results matrix. *)
+  let runs = Array.make (cfg.epochs * k) [||] in
+  let busy = Array.make (cfg.epochs * k) 0.0 in
+  let tasks = Array.init (cfg.epochs * k) Fun.id in
+  Metrics.time metrics "detect" (fun () ->
+      Pool.parallel_iter pool
+        (fun idx ->
+          let e = idx / k and s = idx mod k in
+          let fibers = pt.pt_regions.(s) in
+          let rngs = Array.map (fun fb -> fiber_rngs.(e).(fb)) fibers in
+          let truth_of fb = Hashtbl.find_opt truths.(e) fb in
+          let cut_of fb = List.mem fb samples.(e).Simulate.Internal.es_cuts in
+          let outs, b =
+            process_region cfg ~topo ~fibers ~rngs ~truth_of ~cut_of
+          in
+          runs.(idx) <- outs;
+          busy.(idx) <- b)
+        tasks);
+  (* Phase 3 — merge + coalesced reactions: sequential over epochs in
+     (epoch, fiber) order, so everything the controller sees is a pure
+     function of the input, independent of shards and domains. *)
+  let ladder = Resilience.create () in
+  let caches = Array.init k (fun _ -> Controller.cache ~capacity:4096 ()) in
+  let last_reaction : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let installs : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let detections = ref [] in
+  let rung_counts = Hashtbl.create 4 in
+  let co =
+    Coalescer.create ~queue_bound:cfg.queue_bound ~policy:cfg.shed_policy ()
+  in
+  let byf = Array.init cfg.epochs (fun _ -> Array.make n None) in
+  Metrics.time metrics "react" (fun () ->
+      for e = 0 to cfg.epochs - 1 do
+        let base = e * epoch_len in
+        let demands = demands_at e in
+        (match cfg.stale_after with
+        | Some j when e = j -> Array.iter Predictor.mark_stale servers
+        | Some j when e = 2 * j && j > 0 ->
+          Array.iter (fun srv -> Predictor.swap srv model) servers
+        | _ -> ());
+        for s = 0 to k - 1 do
+          Array.iter
+            (fun sf -> byf.(e).(sf.sf_fiber) <- Some sf)
+            runs.((e * k) + s)
+        done;
+        let epoch_events = ref [] in
+        let ev tick kind fiber value =
+          epoch_events := (tick, kind, fiber, value) :: !epoch_events
+        in
+        (* Ground truth + detector events + tallies, in fiber order. *)
+        for fb = 0 to n - 1 do
+          match byf.(e).(fb) with
+          | None -> ()
+          | Some sf ->
+            let sm = sh_metrics.(pt.pt_region_of.(fb)) in
+            if sf.sf_onset >= 0 then ev (base + sf.sf_onset) "degr_true" fb 0.0;
+            List.iter
+              (fun (t, kind, v) -> ev (base + t) kind fb v)
+              sf.sf_events;
+            Option.iter (fun c -> ev (base + c) "cut" fb 0.0) sf.sf_cut_at;
+            List.iter
+              (fun m ->
+                Metrics.incr ~by:sf.sf_samples m "samples";
+                Metrics.incr ~by:sf.sf_dups m "dups";
+                Metrics.incr ~by:sf.sf_late m "late";
+                Metrics.incr ~by:sf.sf_filled m "gaps_filled";
+                Metrics.incr ~by:sf.sf_segments m "segments";
+                Metrics.incr ~by:sf.sf_cut_segments m "cut_segments")
+              [ metrics; sm ]
+        done;
+        (* Cuts with no degradation signal at all. *)
+        List.iter
+          (fun fb ->
+            if
+              not
+                (List.exists
+                   (fun (fb', _) -> fb' = fb)
+                   samples.(e).Simulate.Internal.es_degraded)
+            then begin
+              ev base "cut_silent" fb 0.0;
+              Metrics.incr metrics "silent_cuts"
+            end)
+          samples.(e).Simulate.Internal.es_cuts;
+        (* Alarms → debounce → the cross-shard coalescer, per tick in
+           (tick, fiber) order. *)
+        let alarmed = ref [] in
+        for fb = n - 1 downto 0 do
+          match byf.(e).(fb) with
+          | Some ({ sf_alarm = Some a; _ } as sf) ->
+            alarmed := (base + a, sf) :: !alarmed
+          | _ -> ()
+        done;
+        let alarmed =
+          List.stable_sort (fun (a, _) (b, _) -> compare a b) !alarmed
+        in
+        let rec groups = function
+          | [] -> []
+          | (t, sf) :: rest ->
+            let same, later = List.partition (fun (t', _) -> t' = t) rest in
+            (t, sf :: List.map snd same) :: groups later
+        in
+        let dispatch g members =
+          let nb = List.length members in
+          Metrics.incr metrics "reactions";
+          Metrics.observe metrics "batch_size" (float_of_int nb);
+          let member_regions =
+            List.map (fun sf -> pt.pt_region_of.(sf.sf_fiber)) members
+            |> List.sort_uniq compare
+          in
+          if List.length member_regions > 1 then
+            Metrics.incr aux "cross_region_batches";
+          let predicted =
+            List.map
+              (fun sf ->
+                let truth =
+                  match sf.sf_truth with
+                  | Some tr -> tr
+                  | None -> static_features topo ~fb:sf.sf_fiber ~epoch:e
+                in
+                let feats =
+                  Runtime.Internal.measured_features truth sf.sf_alarm_feats
+                in
+                let srv = servers.(pt.pt_region_of.(sf.sf_fiber)) in
+                let p, fell_back = Predictor.predict srv feats in
+                (sf, feats, p, fell_back))
+              members
+          in
+          let target =
+            match samples.(e).Simulate.Internal.es_state with
+            | Some fb when List.exists (fun sf -> sf.sf_fiber = fb) members ->
+              fb
+            | _ -> (
+              match members with
+              | sf :: _ -> sf.sf_fiber
+              | [] -> assert false)
+          in
+          let key =
+            Controller.plan_key ~ts ~demands
+              ~probs:env.Availability.model.Fiber_model.p_cut
+              ~salt:[ 2000 + target ] ()
+          in
+          let upd = Tunnel_update.react ts ~degraded_fiber:target () in
+          let n_new = Tunnel_update.num_new upd in
+          let cache = caches.(pt.pt_region_of.(target)) in
+          (match Controller.cache_find cache key with
+          | Some (_ : Availability.plan) -> ()
+          | None ->
+            let degr_features = Array.copy env.Availability.degr_events in
+            List.iter
+              (fun (sf, feats, _, _) -> degr_features.(sf.sf_fiber) <- feats)
+              predicted;
+            let primary ~warm () =
+              Availability.Internal.plan_alloc_warm ?deadline:cfg.deadline_s
+                ?warm ~degr_features env scheme ~demands
+                ~degraded:(Some target)
+            in
+            let outcome, _report =
+              Controller.run ~solver_stats:solver
+                ~infer:(fun () -> ())
+                ~regen:(fun () -> ())
+                ~te:(fun () ->
+                  Resilience.plan_epoch ladder ~ts ~demands ~primary ())
+                ~n_new_tunnels:n_new ()
+            in
+            let rung = Resilience.rung_name outcome.Resilience.rung in
+            Hashtbl.replace rung_counts rung
+              (1 + Option.value ~default:0 (Hashtbl.find_opt rung_counts rung));
+            Controller.cache_store cache key
+              ~degraded:(Resilience.degraded outcome)
+              outcome.Resilience.plan);
+          let latency =
+            Controller.batch_latency ~members:nb ~n_new_tunnels:n_new
+          in
+          let install = g + int_of_float (Float.ceil latency) in
+          Metrics.observe metrics "reaction_latency_s" latency;
+          List.iter
+            (fun (sf, _, p, fell_back) ->
+              let fb = sf.sf_fiber in
+              Hashtbl.replace last_reaction fb g;
+              Hashtbl.replace installs (e, fb) install;
+              Metrics.observe metrics "queue_wait_s"
+                (float_of_int (max 0 (g - (base + Option.get sf.sf_alarm))));
+              if sf.sf_onset >= 0 then
+                Metrics.observe metrics "detection_latency_s"
+                  (float_of_int
+                     (Option.get sf.sf_alarm - sf.sf_onset));
+              ev g "react" fb latency;
+              ev install "install" fb p;
+              detections :=
+                {
+                  Runtime.d_epoch = e;
+                  d_fiber = fb;
+                  d_onset = (if sf.sf_onset >= 0 then base + sf.sf_onset else -1);
+                  d_alarm = base + Option.get sf.sf_alarm;
+                  d_install = Some install;
+                  d_prob = p;
+                  d_fallback = fell_back;
+                  d_cut = Option.map (fun c -> base + c) sf.sf_cut_at;
+                }
+                :: !detections)
+            predicted;
+          install
+        in
+        let shed ~tick sf =
+          let fb = sf.sf_fiber in
+          Metrics.incr metrics "shed";
+          Metrics.incr sh_metrics.(pt.pt_region_of.(fb)) "shed";
+          ev tick "shed" fb 0.0;
+          detections :=
+            {
+              Runtime.d_epoch = e;
+              d_fiber = fb;
+              d_onset = (if sf.sf_onset >= 0 then base + sf.sf_onset else -1);
+              d_alarm = base + Option.get sf.sf_alarm;
+              d_install = None;
+              d_prob = 0.0;
+              d_fallback = false;
+              d_cut = Option.map (fun c -> base + c) sf.sf_cut_at;
+            }
+            :: !detections
+        in
+        List.iter
+          (fun (g, members) ->
+            Metrics.incr ~by:(List.length members) metrics "alarms";
+            List.iter
+              (fun sf ->
+                Metrics.incr sh_metrics.(pt.pt_region_of.(sf.sf_fiber)) "alarms")
+              members;
+            let eligible, debounced =
+              List.partition
+                (fun sf ->
+                  match Hashtbl.find_opt last_reaction sf.sf_fiber with
+                  | Some t -> g - t >= cfg.debounce_s
+                  | None -> true)
+                members
+            in
+            List.iter
+              (fun sf ->
+                Metrics.incr metrics "debounced";
+                detections :=
+                  {
+                    Runtime.d_epoch = e;
+                    d_fiber = sf.sf_fiber;
+                    d_onset =
+                      (if sf.sf_onset >= 0 then base + sf.sf_onset else -1);
+                    d_alarm = g;
+                    d_install = None;
+                    d_prob = 0.0;
+                    d_fallback = false;
+                    d_cut = Option.map (fun c -> base + c) sf.sf_cut_at;
+                  }
+                  :: !detections)
+              debounced;
+            if eligible <> [] then
+              Coalescer.offer co ~now:g ~dispatch ~shed eligible)
+          (groups alarmed);
+        (* Epoch barrier: the controller catches up before the next
+           epoch's merge, so every batch is intra-epoch. *)
+        Coalescer.flush co ~dispatch;
+        let evs = Array.of_list (List.rev !epoch_events) in
+        let order = Array.init (Array.length evs) Fun.id in
+        Array.stable_sort
+          (fun i j ->
+            let ti, _, _, _ = evs.(i) and tj, _, _, _ = evs.(j) in
+            compare (ti, i) (tj, j))
+          order;
+        Array.iter
+          (fun i ->
+            let tick, kind, fiber, value = evs.(i) in
+            Ring.push ring ~tick ~kind ~fiber ~value)
+          order
+      done);
+  let detections = List.rev !detections in
+  Hashtbl.fold
+    (fun rung c () -> Metrics.incr ~by:c metrics ("rung_" ^ rung))
+    rung_counts ();
+  (* Phase 4 — evaluation: same arithmetic as Runtime.run. *)
+  let state_instant =
+    Array.map (fun s -> s.Simulate.Internal.es_state) samples
+  in
+  let epoch_cuts = Array.map (fun s -> s.Simulate.Internal.es_cuts) samples in
+  let reacted = ref 0 and missed = ref 0 in
+  let state_stream =
+    Array.mapi
+      (fun e (s : Simulate.Internal.epoch_sample) ->
+        match s.es_state with
+        | None -> None
+        | Some fb ->
+          let deadline =
+            match byf.(e).(fb) with
+            | Some { sf_cut_at = Some c; _ } -> (e * epoch_len) + c - 1
+            | _ -> (e * epoch_len) + epoch_len - 1
+          in
+          let in_time =
+            match Hashtbl.find_opt installs (e, fb) with
+            | Some i -> i <= deadline
+            | None -> false
+          in
+          let cut = List.mem fb s.es_cuts in
+          if cut then if in_time then incr reacted else incr missed;
+          if in_time then Some fb else None)
+      samples
+  in
+  let state_periodic = Array.make cfg.epochs None in
+  let class_demands =
+    match tm with
+    | None -> [| demands |]
+    | Some m ->
+      Array.map (Array.map (fun d -> d *. cfg.scale)) m.Traffic_model.tm_classes
+  in
+  let eval state =
+    match tm with
+    | None ->
+      Simulate.Internal.eval_epochs pool env scheme ~demands ~state ~epoch_cuts
+    | Some m ->
+      Simulate.Internal.eval_epochs_classes pool env scheme ~class_demands
+        ~class_of:(Traffic_model.class_of m) ~state ~epoch_cuts
+  in
+  let avail_stream =
+    Metrics.time metrics "eval_stream" (fun () -> eval state_stream)
+  in
+  let avail_periodic =
+    Metrics.time metrics "eval_periodic" (fun () -> eval state_periodic)
+  in
+  let avail_instant =
+    Metrics.time metrics "eval_instant" (fun () -> eval state_instant)
+  in
+  let degr_epochs =
+    Array.fold_left
+      (fun acc (s : Simulate.Internal.epoch_sample) ->
+        if s.es_degraded <> [] then acc + 1 else acc)
+      0 samples
+  in
+  let cut_epochs =
+    Array.fold_left
+      (fun acc (s : Simulate.Internal.epoch_sample) ->
+        if s.es_cuts <> [] then acc + 1 else acc)
+      0 samples
+  in
+  (* Plan-cache traffic summed over the per-shard caches: the keys are
+     target-salted, so the sum equals what one global cache would see. *)
+  let hits, misses =
+    Array.fold_left
+      (fun (h, m) c ->
+        let h', m' = Controller.cache_stats c in
+        (h + h', m + m'))
+      (0, 0) caches
+  in
+  Metrics.incr ~by:hits metrics "plan_cache_hits";
+  Metrics.incr ~by:misses metrics "plan_cache_misses";
+  let served, fell_back, swaps =
+    Array.fold_left
+      (fun (a, b, c) srv ->
+        let a', b', c' = Predictor.stats srv in
+        (a + a', b + b', c + c'))
+      (0, 0, 0) servers
+  in
+  Metrics.incr ~by:served metrics "predictor_served";
+  Metrics.incr ~by:fell_back metrics "predictor_fallbacks";
+  (* Swap totals scale with the server count — partition-dependent, so
+     they stay out of the core. *)
+  Metrics.incr ~by:swaps aux "predictor_swaps";
+  let offered, batches, batched, shed_n, deferred =
+    Coalescer.stats co
+  in
+  let alarms = Metrics.counter metrics "alarms" in
+  let debounced = Metrics.counter metrics "debounced" in
+  ignore offered;
+  Metrics.incr ~by:batches metrics "coalesced_batches";
+  Metrics.incr ~by:batched metrics "batched_reactions";
+  Metrics.incr ~by:deferred metrics "deferred";
+  Metrics.incr ~by:!reacted metrics "reacted_in_time";
+  Metrics.incr ~by:!missed metrics "missed_cuts";
+  Metrics.incr ~by:(cfg.epochs * n) metrics "fibers_streamed";
+  Metrics.incr ~by:(Ring.dropped ring) metrics "ring_dropped";
+  Metrics.set_gauge metrics "avail_stream" avail_stream;
+  Metrics.set_gauge metrics "avail_periodic" avail_periodic;
+  Metrics.set_gauge metrics "avail_instant" avail_instant;
+  Metrics.set_gauge aux "shards" (float_of_int k);
+  let shard_stats =
+    Array.init k (fun s ->
+        let samples_n = ref 0 and alarms_n = ref 0 and busy_s = ref 0.0 in
+        for e = 0 to cfg.epochs - 1 do
+          busy_s := !busy_s +. busy.((e * k) + s);
+          Array.iter
+            (fun sf ->
+              samples_n := !samples_n + sf.sf_samples;
+              if sf.sf_alarm <> None then incr alarms_n)
+            runs.((e * k) + s)
+        done;
+        Metrics.add_wall sh_metrics.(s) "loop" !busy_s;
+        {
+          ss_region = s;
+          ss_fibers = Array.length pt.pt_regions.(s);
+          ss_samples = !samples_n;
+          ss_alarms = !alarms_n;
+          ss_busy_s = !busy_s;
+          ss_metrics = sh_metrics.(s);
+        })
+  in
+  {
+    s_config = cfg;
+    s_partition = pt;
+    s_flows = flows;
+    s_epochs = cfg.epochs;
+    s_degr_epochs = degr_epochs;
+    s_cut_epochs = cut_epochs;
+    s_detections = detections;
+    s_reacted_in_time = !reacted;
+    s_missed = !missed;
+    s_avail_stream = avail_stream;
+    s_avail_periodic = avail_periodic;
+    s_avail_instant = avail_instant;
+    s_alarms = alarms;
+    s_batches = batches;
+    s_batched = batched;
+    s_shed = shed_n;
+    s_deferred = deferred;
+    s_debounced = debounced;
+    s_metrics = metrics;
+    s_aux = aux;
+    s_ring = ring;
+    s_shards = shard_stats;
+    s_solver = solver;
+  }
+
+let accounted r = r.s_alarms = r.s_debounced + r.s_shed + r.s_batched
+
+let aggregate_rate r =
+  Array.fold_left
+    (fun acc ss ->
+      acc +. (float_of_int ss.ss_samples /. Float.max ss.ss_busy_s 1e-9))
+    0.0 r.s_shards
+
+let tick_rate r =
+  let ticks =
+    r.s_epochs
+    * (epoch_len + r.s_config.Runtime.impairments.Stream.max_delay)
+  in
+  Array.fold_left
+    (fun acc ss ->
+      Float.min acc (float_of_int ticks /. Float.max ss.ss_busy_s 1e-9))
+    infinity r.s_shards
+
+(* ------------------------------------------------------------------ *)
+(* Dump / replay                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let deterministic_core r =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"summary\": {";
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"epochs\": %d, \"fibers\": %d, \"flows\": %d, \"degr_epochs\": %d, \
+        \"cut_epochs\": %d, \"detections\": %d, \"alarms\": %d, \
+        \"batches\": %d, \"batched\": %d, \"shed\": %d, \"deferred\": %d, \
+        \"debounced\": %d, \"reacted_in_time\": %d, \"missed\": %d}, "
+       r.s_epochs
+       (Array.length r.s_partition.pt_region_of)
+       r.s_flows r.s_degr_epochs r.s_cut_epochs
+       (List.length r.s_detections)
+       r.s_alarms r.s_batches r.s_batched r.s_shed r.s_deferred r.s_debounced
+       r.s_reacted_in_time r.s_missed);
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"availability\": {\"stream\": %.17g, \"periodic\": %.17g, \
+        \"instant\": %.17g}, "
+       r.s_avail_stream r.s_avail_periodic r.s_avail_instant);
+  Buffer.add_string b "\"metrics\": ";
+  Buffer.add_string b (Metrics.to_json ~walls:false r.s_metrics);
+  Buffer.add_string b ", \"events\": ";
+  Buffer.add_string b (Ring.to_json r.s_ring);
+  Buffer.add_string b "}";
+  Buffer.contents b
+
+let dump r =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\"prete_rt_shard\": 1,\n\"config\": ";
+  Buffer.add_string b (Runtime.Internal.config_to_json r.s_config);
+  Buffer.add_string b ",\n\"core\": ";
+  Buffer.add_string b (deterministic_core r);
+  Buffer.add_string b ",\n\"shards\": [";
+  Array.iteri
+    (fun i ss ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"region\": %d, \"fibers\": %d, \"samples\": %d, \"alarms\": %d, \
+            \"busy_s\": %.6f, \"metrics\": %s}"
+           ss.ss_region ss.ss_fibers ss.ss_samples ss.ss_alarms ss.ss_busy_s
+           (Metrics.to_json ss.ss_metrics)))
+    r.s_shards;
+  Buffer.add_string b "],\n\"aux\": ";
+  Buffer.add_string b (Metrics.to_json ~walls:false r.s_aux);
+  Buffer.add_string b ",\n\"solver\": ";
+  Buffer.add_string b (Prete_lp.Solver_stats.to_json r.s_solver);
+  Buffer.add_string b ",\n\"wall_s\": ";
+  Buffer.add_string b (Metrics.walls_json r.s_metrics);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let is_dump json = Runtime.Internal.field_raw json "prete_rt_shard" <> None
+
+let replay ?pool json =
+  let cfg = Runtime.config_of_dump json in
+  let dumped_core =
+    match Runtime.Internal.object_at json "core" with
+    | Some c -> c
+    | None -> failwith "Shard.replay: no core section"
+  in
+  let r = run ?pool cfg in
+  (r, String.equal (deterministic_core r) dumped_core)

@@ -99,13 +99,45 @@ let test_metrics_histogram () =
   Alcotest.(check bool) "walls json" true
     (contains (Metrics.walls_json m) "\"stage\"")
 
+let test_metrics_quantile () =
+  let m = Metrics.create () in
+  Alcotest.(check (float 0.0)) "empty histogram" 0.0
+    (Metrics.hist_quantile m "lat" 0.5);
+  (* Single repeated value: every quantile is that value (the in-bucket
+     interpolation clamps to the observed range). *)
+  for _ = 1 to 10 do
+    Metrics.observe m "one" 5.0
+  done;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "degenerate hist at q=%.2f" q)
+        5.0
+        (Metrics.hist_quantile m "one" q))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  (* Spread values: quantiles are monotone in q, stay within the observed
+     range, and land within a factor of 2 of the true quantile. *)
+  List.iter (Metrics.observe m "lat") [ 1.0; 2.0; 4.0; 8.0; 16.0; 32.0 ];
+  let p50 = Metrics.hist_quantile m "lat" 0.5 in
+  let p99 = Metrics.hist_quantile m "lat" 0.99 in
+  Alcotest.(check bool) "p50 <= p99" true (p50 <= p99);
+  Alcotest.(check bool) "p50 within range" true (p50 >= 1.0 && p50 <= 32.0);
+  Alcotest.(check bool) "p50 within 2x of true median" true
+    (p50 >= 2.0 && p50 <= 8.0);
+  Alcotest.(check bool) "p99 near the top" true (p99 >= 16.0 && p99 <= 32.0);
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Metrics.hist_quantile: q must be in [0, 1]") (fun () ->
+      ignore (Metrics.hist_quantile m "lat" 1.5))
+
 let test_ring_bounded () =
   let r = Ring.create ~capacity:3 in
+  Alcotest.(check bool) "fresh ring not overflowed" false (Ring.overflowed r);
   for i = 0 to 4 do
     Ring.push r ~tick:i ~kind:"k" ~fiber:i ~value:(float_of_int i)
   done;
   Alcotest.(check int) "total" 5 (Ring.total r);
   Alcotest.(check int) "dropped" 2 (Ring.dropped r);
+  Alcotest.(check bool) "overflowed" true (Ring.overflowed r);
   let e = Ring.entries r in
   Alcotest.(check int) "retained" 3 (Array.length e);
   Alcotest.(check (list int)) "oldest first" [ 2; 3; 4 ]
@@ -448,6 +480,14 @@ let test_runtime_event_log_consistent () =
   let r = Lazy.force shared in
   let entries = Ring.entries r.Runtime.r_ring in
   Alcotest.(check bool) "event log non-empty" true (Array.length entries > 0);
+  (* At the default capacity the ring must hold the whole event log:
+     zero drops, and the surfaced counter agrees. *)
+  Alcotest.(check int) "no ring drops at default capacity" 0
+    (Ring.dropped r.Runtime.r_ring);
+  Alcotest.(check bool) "ring not overflowed" false
+    (Ring.overflowed r.Runtime.r_ring);
+  Alcotest.(check int) "ring_dropped counter is zero" 0
+    (Metrics.counter r.Runtime.r_metrics "ring_dropped");
   let m = r.Runtime.r_metrics in
   let count kind =
     Array.fold_left
@@ -489,6 +529,7 @@ let () =
         [
           Alcotest.test_case "counters + gauges" `Quick test_metrics_counters;
           Alcotest.test_case "histograms + wall split" `Quick test_metrics_histogram;
+          Alcotest.test_case "histogram quantiles" `Quick test_metrics_quantile;
           Alcotest.test_case "ring bounded" `Quick test_ring_bounded;
         ] );
       ( "online.props",

@@ -1,0 +1,329 @@
+(* Fleet-scale sharded runtime (Prete_rt.Shard) tests.
+
+   The load-bearing guarantees:
+   - Shard.partition is a pure function of (topology, shards, seed): every
+     fiber lands in exactly one region, regions are connected through
+     shared endpoints, and the map is identical no matter what pool
+     context surrounds the call;
+   - the coalescer batches, defers, and sheds exactly as specified, and
+     the accounting identity alarms = debounced + shed + batched holds;
+   - Shard.run's deterministic core is bit-identical at any
+     (shards x domains) combination, including under shedding, and
+     replays from its own dump. *)
+
+open Prete_net
+open Prete_rt
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+(* ------------------------------------------------------------------ *)
+(* Partition properties                                                *)
+(* ------------------------------------------------------------------ *)
+
+let topo_names = [ "grid3"; "grid4"; "wan12"; "wan26" ]
+
+let gen_case =
+  QCheck.make
+    ~print:(fun (t, k, s) -> Printf.sprintf "(%s, shards:%d, seed:%d)" t k s)
+    QCheck.Gen.(
+      triple (oneofl topo_names) (int_range 1 8) (int_range 0 10_000))
+
+(* Same adjacency the partitioner uses: fibers sharing an endpoint. *)
+let adjacency topo =
+  let n = Topology.num_fibers topo in
+  Array.init n (fun i ->
+      let a, b = (Topology.fiber topo i).Topology.endpoints in
+      List.filter
+        (fun j ->
+          j <> i
+          &&
+          let a', b' = (Topology.fiber topo j).Topology.endpoints in
+          a = a' || a = b' || b = a' || b = b')
+        (List.init n Fun.id))
+
+let prop_partition_covers =
+  QCheck.Test.make ~name:"every fiber in exactly one region" ~count:60 gen_case
+    (fun (name, shards, seed) ->
+      let topo = Topology.by_name name in
+      let n = Topology.num_fibers topo in
+      let pt = Shard.partition topo ~shards ~seed in
+      let seen = Array.make n 0 in
+      Array.iter
+        (fun members -> Array.iter (fun f -> seen.(f) <- seen.(f) + 1) members)
+        pt.Shard.pt_regions;
+      pt.Shard.pt_shards = min shards n
+      && Array.for_all (fun c -> c = 1) seen
+      && Array.for_all
+           (fun f ->
+             let r = pt.Shard.pt_region_of.(f) in
+             r >= 0 && r < pt.Shard.pt_shards
+             && Array.mem f pt.Shard.pt_regions.(r))
+           (Array.init n Fun.id))
+
+let prop_partition_pure =
+  QCheck.Test.make
+    ~name:"partition is a pure function of (env, seed) at any domain count"
+    ~count:40 gen_case (fun (name, shards, seed) ->
+      let topo = Topology.by_name name in
+      let at domains =
+        Prete_exec.Pool.with_pool ~domains (fun _pool ->
+            Shard.partition topo ~shards ~seed)
+      in
+      let p1 = at 1 and p4 = at 4 in
+      p1.Shard.pt_region_of = p4.Shard.pt_region_of
+      && p1.Shard.pt_regions = p4.Shard.pt_regions
+      && p1 = Shard.partition topo ~shards ~seed)
+
+let prop_partition_connected =
+  QCheck.Test.make ~name:"every region is connected via shared endpoints"
+    ~count:60 gen_case (fun (name, shards, seed) ->
+      let topo = Topology.by_name name in
+      let adj = adjacency topo in
+      let pt = Shard.partition topo ~shards ~seed in
+      Array.for_all
+        (fun members ->
+          Array.length members <= 1
+          ||
+          let inside = Array.to_list members in
+          let visited = Hashtbl.create 16 in
+          let rec dfs f =
+            if not (Hashtbl.mem visited f) then begin
+              Hashtbl.replace visited f ();
+              List.iter dfs (List.filter (fun g -> List.mem g inside) adj.(f))
+            end
+          in
+          dfs members.(0);
+          List.for_all (Hashtbl.mem visited) inside)
+        pt.Shard.pt_regions)
+
+let test_partition_rejects () =
+  Alcotest.check_raises "non-positive shards"
+    (Invalid_argument "Shard.partition: shards must be positive") (fun () ->
+      ignore (Shard.partition (Topology.by_name "grid3") ~shards:0 ~seed:1))
+
+(* ------------------------------------------------------------------ *)
+(* Coalescer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let no_shed ~tick:_ _ = Alcotest.fail "unexpected shed"
+
+let test_coalescer_immediate_and_deferred () =
+  let c = Shard.Coalescer.create ~queue_bound:4 ~policy:Runtime.Drop_newest () in
+  let batches = ref [] in
+  let dispatch t items =
+    batches := (t, items) :: !batches;
+    t + 10
+  in
+  (* Controller free: same-tick arrivals launch as one batch. *)
+  Shard.Coalescer.offer c ~now:5 ~dispatch ~shed:no_shed [ "a"; "b" ];
+  Alcotest.(check int) "busy until completion" 15 (Shard.Coalescer.busy_until c);
+  Alcotest.(check int) "no backlog" 0 (Shard.Coalescer.backlog c);
+  (* Busy: the next arrival waits. *)
+  Shard.Coalescer.offer c ~now:7 ~dispatch ~shed:no_shed [ "c" ];
+  Alcotest.(check int) "staged" 1 (Shard.Coalescer.backlog c);
+  (* Once free, the backlog launches at the free tick, then the new
+     arrival waits behind the fresh solve. *)
+  Shard.Coalescer.offer c ~now:20 ~dispatch ~shed:no_shed [ "d" ];
+  Alcotest.(check int) "d staged behind the backlog batch" 1
+    (Shard.Coalescer.backlog c);
+  Shard.Coalescer.flush c ~dispatch;
+  Alcotest.(check int) "drained" 0 (Shard.Coalescer.backlog c);
+  Alcotest.(check (list (pair int (list string))))
+    "batch schedule"
+    [ (5, [ "a"; "b" ]); (15, [ "c" ]); (25, [ "d" ]) ]
+    (List.rev !batches);
+  let offered, nbatches, batched, shed, deferred = Shard.Coalescer.stats c in
+  Alcotest.(check (list int)) "stats" [ 4; 3; 4; 0; 2 ]
+    [ offered; nbatches; batched; shed; deferred ]
+
+let test_coalescer_drop_newest () =
+  let c = Shard.Coalescer.create ~queue_bound:1 ~policy:Runtime.Drop_newest () in
+  let shed_log = ref [] in
+  let shed ~tick x = shed_log := (tick, x) :: !shed_log in
+  let dispatch t _ = t + 10 in
+  Shard.Coalescer.offer c ~now:0 ~dispatch ~shed [ "a" ];
+  Shard.Coalescer.offer c ~now:1 ~dispatch ~shed [ "b" ];
+  Shard.Coalescer.offer c ~now:2 ~dispatch ~shed [ "c" ];
+  Alcotest.(check (list (pair int string))) "arriving reaction shed"
+    [ (2, "c") ] (List.rev !shed_log);
+  let survivors = ref [] in
+  Shard.Coalescer.flush c ~dispatch:(fun _ items ->
+      survivors := items;
+      0);
+  Alcotest.(check (list string)) "oldest survived" [ "b" ] !survivors
+
+let test_coalescer_drop_oldest () =
+  let c = Shard.Coalescer.create ~queue_bound:1 ~policy:Runtime.Drop_oldest () in
+  let shed_log = ref [] in
+  let shed ~tick x = shed_log := (tick, x) :: !shed_log in
+  let dispatch t _ = t + 10 in
+  Shard.Coalescer.offer c ~now:0 ~dispatch ~shed [ "a" ];
+  Shard.Coalescer.offer c ~now:1 ~dispatch ~shed [ "b" ];
+  Shard.Coalescer.offer c ~now:2 ~dispatch ~shed [ "c" ];
+  Alcotest.(check (list (pair int string))) "oldest staged evicted"
+    [ (2, "b") ] (List.rev !shed_log);
+  let survivors = ref [] in
+  Shard.Coalescer.flush c ~dispatch:(fun _ items ->
+      survivors := items;
+      0);
+  Alcotest.(check (list string)) "newest survived" [ "c" ] !survivors
+
+let test_coalescer_bound_zero () =
+  let c = Shard.Coalescer.create ~queue_bound:0 ~policy:Runtime.Drop_oldest () in
+  let shed_log = ref [] in
+  let shed ~tick x = shed_log := (tick, x) :: !shed_log in
+  let dispatch t _ = t + 10 in
+  Shard.Coalescer.offer c ~now:0 ~dispatch ~shed [ "a" ];
+  Shard.Coalescer.offer c ~now:3 ~dispatch ~shed [ "b"; "c" ];
+  Alcotest.(check (list (pair int string)))
+    "nothing may wait: every busy-window arrival sheds"
+    [ (3, "b"); (3, "c") ]
+    (List.rev !shed_log);
+  let offered, batches, batched, shed_n, deferred = Shard.Coalescer.stats c in
+  Alcotest.(check (list int)) "stats" [ 3; 1; 1; 2; 0 ]
+    [ offered; batches; batched; shed_n; deferred ];
+  Alcotest.check_raises "negative bound rejected"
+    (Invalid_argument "Shard.Coalescer.create: negative queue_bound")
+    (fun () ->
+      ignore
+        (Shard.Coalescer.create ~queue_bound:(-1) ~policy:Runtime.Drop_newest
+           ()))
+
+(* ------------------------------------------------------------------ *)
+(* The engine: shard/domain invariance, accounting, replay             *)
+(* ------------------------------------------------------------------ *)
+
+let sh_config =
+  {
+    Runtime.default_config with
+    Runtime.topology = "grid3";
+    epochs = 6;
+    seed = 3;
+    shards = 1;
+  }
+
+let run_at ~domains ~shards cfg =
+  Prete_exec.Pool.with_pool ~domains (fun pool ->
+      Shard.run ~pool { cfg with Runtime.shards })
+
+let shared = lazy (run_at ~domains:1 ~shards:1 sh_config)
+
+let test_shard_count_invariance () =
+  let r1 = Lazy.force shared in
+  let core = Shard.deterministic_core r1 in
+  List.iter
+    (fun (domains, shards) ->
+      let r = run_at ~domains ~shards sh_config in
+      Alcotest.(check bool)
+        (Printf.sprintf "bit-identical core at %d shards x %d domains" shards
+           domains)
+        true
+        (String.equal core (Shard.deterministic_core r)))
+    [ (1, 2); (1, 4); (4, 4); (2, 3) ]
+
+let test_shard_accounting_and_ring () =
+  let r = Lazy.force shared in
+  Alcotest.(check bool) "pipeline streamed every fiber" true
+    (Prete_rt.Metrics.counter r.Shard.s_metrics "fibers_streamed"
+    = r.Shard.s_epochs * Array.length r.Shard.s_partition.Shard.pt_region_of);
+  Alcotest.(check bool) "alarms fired" true (r.Shard.s_alarms > 0);
+  Alcotest.(check bool) "accounted" true (Shard.accounted r);
+  Alcotest.(check int) "no ring drops at default capacity" 0
+    (Ring.dropped r.Shard.s_ring);
+  Alcotest.(check int) "ring_dropped counter is zero" 0
+    (Prete_rt.Metrics.counter r.Shard.s_metrics "ring_dropped");
+  Alcotest.(check bool) "streaming >= periodic-only" true
+    (r.Shard.s_avail_stream >= r.Shard.s_avail_periodic -. 1e-9);
+  Alcotest.(check bool) "throughput rates positive" true
+    (Shard.aggregate_rate r > 0.0 && Shard.tick_rate r > 0.0)
+
+let test_shard_replay () =
+  let r = Lazy.force shared in
+  let json = Shard.dump r in
+  Alcotest.(check bool) "shard dump recognized" true (Shard.is_dump json);
+  let cfg = Runtime.config_of_dump json in
+  Alcotest.(check int) "config roundtrip: epochs" 6 cfg.Runtime.epochs;
+  Alcotest.(check int) "config roundtrip: queue_bound" 64
+    cfg.Runtime.queue_bound;
+  let _, ok =
+    Prete_exec.Pool.with_pool ~domains:2 (fun pool -> Shard.replay ~pool json)
+  in
+  Alcotest.(check bool) "replay reproduces the deterministic core" true ok;
+  (* A Runtime dump must not be mistaken for a shard dump. *)
+  let rt =
+    Prete_exec.Pool.with_pool ~domains:1 (fun pool ->
+        Runtime.run ~pool { sh_config with Runtime.epochs = 2 })
+  in
+  Alcotest.(check bool) "runtime dump not a shard dump" false
+    (Shard.is_dump (Runtime.dump rt))
+
+(* Shedding must not depend on the partition: a hair-trigger detector
+   with a tight bound sheds identically at 1 and 4 shards. *)
+let test_shed_partition_invariant () =
+  let cfg =
+    {
+      sh_config with
+      Runtime.epochs = 3;
+      debounce_s = 0;
+      queue_bound = 1;
+      detector =
+        {
+          Detector.default_config with
+          Detector.cusum_k = 0.0;
+          cusum_h = 0.01;
+        };
+    }
+  in
+  let r1 = run_at ~domains:1 ~shards:1 cfg in
+  let r4 = run_at ~domains:1 ~shards:4 cfg in
+  Alcotest.(check bool) "overload actually sheds" true (r1.Shard.s_shed > 0);
+  Alcotest.(check bool) "accounted under shedding" true
+    (Shard.accounted r1 && Shard.accounted r4);
+  Alcotest.(check int) "same sheds at 1 and 4 shards" r1.Shard.s_shed
+    r4.Shard.s_shed;
+  Alcotest.(check bool) "bit-identical core under shedding" true
+    (String.equal
+       (Shard.deterministic_core r1)
+       (Shard.deterministic_core r4));
+  (* Policy is behavior, not bookkeeping: drop-oldest on the same
+     overload also balances its books. *)
+  let ro =
+    run_at ~domains:1 ~shards:4
+      { cfg with Runtime.shed_policy = Runtime.Drop_oldest }
+  in
+  Alcotest.(check bool) "drop-oldest accounted" true (Shard.accounted ro)
+
+let () =
+  Alcotest.run "prete_rt_shard"
+    [
+      ( "partition",
+        Alcotest.test_case "rejects non-positive shards" `Quick
+          test_partition_rejects
+        :: qsuite
+             [
+               prop_partition_covers;
+               prop_partition_pure;
+               prop_partition_connected;
+             ] );
+      ( "coalescer",
+        [
+          Alcotest.test_case "immediate + deferred batching" `Quick
+            test_coalescer_immediate_and_deferred;
+          Alcotest.test_case "drop-newest sheds the arrival" `Quick
+            test_coalescer_drop_newest;
+          Alcotest.test_case "drop-oldest evicts the head" `Quick
+            test_coalescer_drop_oldest;
+          Alcotest.test_case "bound zero sheds every waiter" `Quick
+            test_coalescer_bound_zero;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "core invariant across shards x domains" `Quick
+            test_shard_count_invariance;
+          Alcotest.test_case "accounting identity + ring" `Quick
+            test_shard_accounting_and_ring;
+          Alcotest.test_case "dump/replay roundtrip" `Quick test_shard_replay;
+          Alcotest.test_case "shedding is partition-invariant" `Quick
+            test_shed_partition_invariant;
+        ] );
+    ]

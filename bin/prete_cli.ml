@@ -43,7 +43,7 @@ let engine_conv =
   let parse s =
     match Prete_lp.Simplex.engine_of_string s with
     | Some e -> Ok e
-    | None -> Error (`Msg (Printf.sprintf "unknown LP engine %S (revised|dense)" s))
+    | None -> Error (`Msg (Printf.sprintf "unknown LP engine %S (lu|revised|dense)" s))
   in
   let print ppf e = Format.pp_print_string ppf (Prete_lp.Simplex.engine_name e) in
   Arg.conv (parse, print)
@@ -61,8 +61,10 @@ let pricing_conv =
 let lp_term =
   let engine =
     let doc =
-      "LP engine: $(b,revised) (sparse revised simplex, the default) or \
-       $(b,dense) (dense-tableau differential oracle)."
+      "LP engine: $(b,lu) (bounded-variable simplex over a presolved \
+       model with a sparse LU basis and Forrest–Tomlin updates, the \
+       default), $(b,revised) (sparse revised simplex with an eta-file \
+       basis) or $(b,dense) (dense-tableau differential oracle)."
     in
     Arg.(
       value
@@ -491,6 +493,8 @@ let stream_cmd =
           shards = max 1 shards;
           queue_bound;
           shed_policy = Prete_rt.Runtime.shed_policy_of_string shed_policy;
+          lp_engine =
+            Prete_lp.Simplex.engine_name !Prete_lp.Simplex.default_engine;
         }
       in
       if shards > 0 then begin

@@ -4,18 +4,26 @@ type basis_entry =
   | Brow_surplus of int
   | Brow_artificial of int
 
-type basis = { b_nv : int; b_m : int; b_entries : basis_entry array }
+type basis = {
+  b_nv : int;
+  b_m : int;
+  b_entries : basis_entry array;
+  b_upper : int array;
+      (* original structural variables nonbasic at their upper bound —
+         only the bounded LU engine produces/consumes these; the dense
+         and eta engines (no bound-flip machinery) store [||]. *)
+}
 
 let basis_size b = b.b_m
 
-type engine = Dense | Revised
+type engine = Dense | Revised | Lu
 
 type pricing = Dantzig | Devex | Partial
 
-let default_engine = ref Revised
+let default_engine = ref Lu
 let default_pricing = ref Dantzig
 
-let engine_name = function Dense -> "dense" | Revised -> "revised"
+let engine_name = function Dense -> "dense" | Revised -> "revised" | Lu -> "lu"
 
 let pricing_name = function
   | Dantzig -> "dantzig"
@@ -25,6 +33,7 @@ let pricing_name = function
 let engine_of_string = function
   | "dense" -> Some Dense
   | "revised" -> Some Revised
+  | "lu" -> Some Lu
   | _ -> None
 
 let pricing_of_string = function
@@ -49,6 +58,11 @@ type solution = {
   refactorizations : int;
   ftran_nnz : int;
   btran_nnz : int;
+  ft_updates : int;
+  bound_flips : int;
+  lu_fill_nnz : int;
+  presolve_rows : int;
+  presolve_cols : int;
 }
 
 type outcome = Optimal of solution | Infeasible | Unbounded
@@ -618,7 +632,7 @@ let solve_dense p ~max_iters ~deadline ~warm ~pricing =
           duals;
           iterations = !iters;
           degraded;
-          basis = { b_nv = nv; b_m = m; b_entries };
+          basis = { b_nv = nv; b_m = m; b_entries; b_upper = [||] };
           warm_used;
           phase1_skipped;
           repaired;
@@ -628,6 +642,11 @@ let solve_dense p ~max_iters ~deadline ~warm ~pricing =
           refactorizations = 0;
           ftran_nnz = 0;
           btran_nnz = 0;
+          ft_updates = 0;
+          bound_flips = 0;
+          lu_fill_nnz = 0;
+          presolve_rows = 0;
+          presolve_cols = 0;
         }
     in
     match optimize t ~banned:is_artificial ~max_iters ?deadline iters with
@@ -1488,7 +1507,7 @@ module Rev = struct
             duals;
             iterations = !iters;
             degraded;
-            basis = { b_nv = nv; b_m = m; b_entries };
+            basis = { b_nv = nv; b_m = m; b_entries; b_upper = [||] };
             warm_used;
             phase1_skipped;
             repaired;
@@ -1498,6 +1517,11 @@ module Rev = struct
             refactorizations = st.c_refactors;
             ftran_nnz = st.c_ftran;
             btran_nnz = st.c_btran;
+            ft_updates = 0;
+            bound_flips = 0;
+            lu_fill_nnz = 0;
+            presolve_rows = 0;
+            presolve_cols = 0;
           }
       in
       match
@@ -1510,13 +1534,931 @@ module Rev = struct
     end
 end
 
+(* ---- Bounded-variable LU engine ----------------------------------------
+
+   The WAN-scale path.  Three changes over [Rev]:
+
+   - The model first goes through {!Presolve}: empty/singleton/duplicate
+     rows and empty/dominated columns are eliminated and the survivors
+     equilibrated; the engine solves the reduced problem and maps the
+     result back with [Presolve.postsolve].  On TE coverage LPs the
+     duplicate-row collapse alone removes the bulk of the rows.
+   - Columns carry ranges [0 <= x' <= u] directly (nonbasic-at-upper
+     status, bound flips in the ratio test), so finite upper bounds stop
+     costing explicit rows: presolve turns singleton capacity rows into
+     bounds and this engine prices them for free.
+   - The basis inverse is a sparse LU factorization ({!Sparse.Lu}) with
+     Markowitz-style pivoting, Forrest–Tomlin updates on pivots, and
+     periodic refactorization on fill-in/stability triggers — FTRAN and
+     BTRAN stay O(LU nonzeros) instead of O(eta-file length).
+
+   The warm-start ladder mirrors [Rev] (exact reinstall = one LU
+   factorize -> bounded dual repair -> guided Phase 1), with the dual
+   repair extended to above-upper violations so MIP bound fixings (which
+   push basic variables over a tightened range) repair in a few dual
+   pivots.  Stored bases carry the at-upper set ([b_upper]) keyed by
+   original variable ids; [b_m] is the {e reduced} row count, so
+   cross-engine transfers fail the shape check and degrade to guided
+   Phase 1 — the structural ids still steer the pricing. *)
+module Blu = struct
+  let at_lower = 0
+  and at_upper = 1
+  and basic = 2
+
+  type state = {
+    m : int;  (* reduced rows *)
+    n : int;  (* columns: structural | slack | surplus | artificial *)
+    nv : int;  (* reduced structural count *)
+    art0 : int;
+    a : Sparse.t;
+    at : Sparse.t;
+    b : float array;  (* shifted scaled rhs (>= 0 after flips) *)
+    flipped : bool array;
+    kinds : col_kind array;
+    crash : int array;
+    basis : int array;
+    vstat : int array;
+    ub : float array;  (* per-column range u = r_ub - r_lb; infinity for
+                          rangeless columns and all logicals *)
+    xb : float array;
+    cost : float array;  (* phase-2 min-form scaled cost *)
+    mutable f : Sparse.Lu.t;
+    mutable base_nnz : int;  (* factor nnz right after the last refactor *)
+    mutable pp_cursor : int;
+    w : float array;
+    y : float array;
+    rho : float array;
+    d : float array;
+    dx : float array;
+    mutable c_factor : int;
+    mutable c_ft : int;
+    mutable c_flips : int;
+    mutable c_ftran : int;
+    mutable c_btran : int;
+  }
+
+  let ftran st x =
+    Sparse.Lu.ftran st.f x;
+    let nz = ref 0 in
+    for i = 0 to st.m - 1 do
+      if x.(i) <> 0.0 then incr nz
+    done;
+    st.c_ftran <- st.c_ftran + !nz
+
+  let btran st y =
+    Sparse.Lu.btran st.f y;
+    let nz = ref 0 in
+    for i = 0 to st.m - 1 do
+      if y.(i) <> 0.0 then incr nz
+    done;
+    st.c_btran <- st.c_btran + !nz
+
+  (* Clamp round-off violations of row i's basic range, mirroring the
+     other engines' rhs clamps. *)
+  let clamp_row st i =
+    if st.xb.(i) < 0.0 && st.xb.(i) > -.eps then st.xb.(i) <- 0.0
+    else begin
+      let ubi = st.ub.(st.basis.(i)) in
+      if ubi < infinity && st.xb.(i) > ubi && st.xb.(i) < ubi +. eps then
+        st.xb.(i) <- ubi
+    end
+
+  (* Resynchronize x_B = B⁻¹(b - Σ_{at-upper j} u_j A_j). *)
+  let compute_xb st =
+    Array.blit st.b 0 st.xb 0 st.m;
+    for j = 0 to st.n - 1 do
+      if st.vstat.(j) = at_upper then begin
+        let uj = st.ub.(j) in
+        if uj > 0.0 && uj < infinity then
+          Sparse.iter_col st.a j (fun i v -> st.xb.(i) <- st.xb.(i) -. (uj *. v))
+      end
+    done;
+    ftran st st.xb;
+    for i = 0 to st.m - 1 do
+      clamp_row st i
+    done
+
+  (* Refactorize the current basis from scratch; also resyncs x_B. *)
+  let refactor st =
+    st.c_factor <- st.c_factor + 1;
+    let basis_out = Array.make st.m (-1) in
+    let f, dropped =
+      Sparse.Lu.factorize st.a ~targets:st.basis ~crash:st.crash ~basis_out
+    in
+    if dropped <> [] then
+      raise (Numerical "Simplex/lu: refactorization found basis singular");
+    st.f <- f;
+    st.base_nnz <- Sparse.Lu.nnz f;
+    Array.blit basis_out 0 st.basis 0 st.m;
+    compute_xb st
+
+  (* Refactorization policy: absorbed-update count or fill-in growth
+     since the last factorize — same shape as the eta engine's triggers,
+     with the factor's own nnz as the baseline. *)
+  let maybe_refactor st =
+    if
+      Sparse.Lu.updates st.f >= 64
+      || Sparse.Lu.nnz st.f - st.base_nnz > Stdlib.max 4096 (16 * st.m)
+    then refactor st
+
+  let make_state (red : Presolve.t) =
+    let nv = red.Presolve.r_nv and m = red.Presolve.r_nc in
+    (* Shift x = r_lb + x' and flip negative-rhs rows in-matrix, exactly
+       like [prepare] — the column layout depends only on the senses. *)
+    let rhs = Array.make m 0.0 in
+    for i = 0 to m - 1 do
+      rhs.(i) <-
+        List.fold_left
+          (fun acc (rj, a) -> acc -. (a *. red.Presolve.r_lb.(rj)))
+          red.Presolve.r_rhs.(i)
+          red.Presolve.r_rows.(i)
+    done;
+    let flipped = Array.map (fun r -> r < 0.0) rhs in
+    let nslack = ref 0 and nsurplus = ref 0 in
+    Array.iter
+      (function Lp.Le -> incr nslack | Lp.Ge -> incr nsurplus | Lp.Eq -> ())
+      red.Presolve.r_sense;
+    let art0 = nv + !nslack + !nsurplus in
+    let n = art0 + m in
+    let kinds = Array.make n (Structural 0) in
+    for j = 0 to nv - 1 do
+      kinds.(j) <- Structural j
+    done;
+    let crash = Array.make m (-1) in
+    let b = Array.make m 0.0 in
+    let next_slack = ref nv in
+    let next_surplus = ref (nv + !nslack) in
+    let trips = ref [] in
+    for i = 0 to m - 1 do
+      let s = if flipped.(i) then -1.0 else 1.0 in
+      List.iter
+        (fun (rj, c) -> trips := (i, rj, s *. c) :: !trips)
+        red.Presolve.r_rows.(i);
+      b.(i) <- s *. rhs.(i);
+      let ja = art0 + i in
+      kinds.(ja) <- Artificial i;
+      trips := (i, ja, 1.0) :: !trips;
+      (match red.Presolve.r_sense.(i) with
+      | Lp.Le ->
+        let j = !next_slack in
+        incr next_slack;
+        kinds.(j) <- Slack i;
+        trips := (i, j, s) :: !trips;
+        crash.(i) <- (if flipped.(i) then ja else j)
+      | Lp.Ge ->
+        let js = !next_surplus in
+        incr next_surplus;
+        kinds.(js) <- Surplus i;
+        trips := (i, js, -.s) :: !trips;
+        crash.(i) <- (if flipped.(i) then js else ja)
+      | Lp.Eq -> crash.(i) <- ja)
+    done;
+    let a = Sparse.of_triplets ~rows:m ~cols:n !trips in
+    let at = Sparse.transpose a in
+    let ub = Array.make n infinity in
+    for j = 0 to nv - 1 do
+      ub.(j) <- red.Presolve.r_ub.(j) -. red.Presolve.r_lb.(j)
+    done;
+    let cost = Array.make n 0.0 in
+    for j = 0 to nv - 1 do
+      cost.(j) <- red.Presolve.r_cost.(j)
+    done;
+    let vstat = Array.make n at_lower in
+    let basis_out = Array.make m (-1) in
+    let f, _dropped = Sparse.Lu.factorize a ~targets:crash ~crash ~basis_out in
+    let st =
+      { m; n; nv; art0; a; at; b; flipped; kinds; crash;
+        basis = basis_out; vstat; ub;
+        xb = Array.make m 0.0; cost;
+        f; base_nnz = Sparse.Lu.nnz f; pp_cursor = 0;
+        w = Array.make m 0.0; y = Array.make m 0.0; rho = Array.make m 0.0;
+        d = Array.make n 0.0; dx = Array.make n 1.0;
+        c_factor = 1; c_ft = 0; c_flips = 0; c_ftran = 0; c_btran = 0 }
+    in
+    Array.iter (fun j -> vstat.(j) <- basic) st.basis;
+    compute_xb st;
+    st
+
+  let compute_y st cost =
+    for i = 0 to st.m - 1 do
+      st.y.(i) <- cost.(st.basis.(i))
+    done;
+    btran st st.y
+
+  let compute_d st cost =
+    Array.blit cost 0 st.d 0 st.n;
+    for i = 0 to st.m - 1 do
+      let yi = st.y.(i) in
+      if yi <> 0.0 then
+        Sparse.iter_col st.at i (fun j aij -> st.d.(j) <- st.d.(j) -. (aij *. yi))
+    done
+
+  let arts_zero st =
+    let ok = ref true in
+    for i = 0 to st.m - 1 do
+      match st.kinds.(st.basis.(i)) with
+      | Artificial _ when st.xb.(i) > feas_eps -> ok := false
+      | _ -> ()
+    done;
+    !ok
+
+  let phase1_sum st =
+    let s = ref 0.0 in
+    for i = 0 to st.m - 1 do
+      match st.kinds.(st.basis.(i)) with
+      | Artificial _ -> s := !s +. Float.max 0.0 st.xb.(i)
+      | _ -> ()
+    done;
+    !s
+
+  (* Bound flip: the entering column hits its own opposite bound before
+     any basic variable blocks — no basis change, no factor update, just
+     an x_B shift by the full range. *)
+  let apply_flip st ~q ~sigma =
+    let uq = st.ub.(q) in
+    for i = 0 to st.m - 1 do
+      if st.w.(i) <> 0.0 then begin
+        st.xb.(i) <- st.xb.(i) -. (sigma *. uq *. st.w.(i));
+        clamp_row st i
+      end
+    done;
+    st.vstat.(q) <- (if st.vstat.(q) = at_lower then at_upper else at_lower);
+    st.c_flips <- st.c_flips + 1
+
+  (* Basis change: entering q (FTRAN'd into st.w, whose spike the factor
+     cached), leaving row [row] whose variable exits to its lower
+     (default) or upper bound. *)
+  let do_pivot st ~row ~q ~sigma ~t ~to_upper =
+    let leave = st.basis.(row) in
+    for i = 0 to st.m - 1 do
+      if st.w.(i) <> 0.0 then begin
+        st.xb.(i) <- st.xb.(i) -. (sigma *. t *. st.w.(i));
+        clamp_row st i
+      end
+    done;
+    let xq = if sigma > 0.0 then t else st.ub.(q) -. t in
+    st.xb.(row) <- Float.max 0.0 xq;
+    st.vstat.(leave) <- (if to_upper then at_upper else at_lower);
+    st.vstat.(q) <- basic;
+    st.basis.(row) <- q;
+    if Sparse.Lu.update st.f ~leaving_row:row then begin
+      st.c_ft <- st.c_ft + 1;
+      maybe_refactor st
+    end
+    else
+      (* Update refused on stability grounds: rebuild the factor from
+         the (already updated) basis — the half-mutated factor is
+         discarded wholesale. *)
+      refactor st
+
+  (* Three-limit ratio test for entering column q moving in direction
+     [sigma] (+1 from lower, -1 from upper): a basic variable drops to
+     zero, a basic variable hits its (finite) range, or the entering
+     variable traverses its own range — the last is a bound flip.  The
+     default is the Harris-style two-pass of the eta engine extended to
+     range limits; Bland mode uses the exact minimum-ratio rule with
+     lowest-basic-index tie-breaks (flip preferred on ties — it strictly
+     moves x_q across a positive range, so it cannot cycle). *)
+  let ratio_test st ~q ~sigma ~use_bland =
+    let uq = st.ub.(q) in
+    if use_bland then begin
+      let best = ref (-1)
+      and best_ratio = ref uq
+      and best_up = ref false in
+      for i = 0 to st.m - 1 do
+        let wi = sigma *. st.w.(i) in
+        if wi > eps then begin
+          let r = Float.max 0.0 st.xb.(i) /. wi in
+          if
+            r < !best_ratio -. eps
+            || (r < !best_ratio +. eps && !best >= 0
+                && st.basis.(i) < st.basis.(!best))
+          then begin
+            best := i;
+            best_ratio := r;
+            best_up := false
+          end
+        end
+        else if wi < -.eps then begin
+          let ubi = st.ub.(st.basis.(i)) in
+          if ubi < infinity then begin
+            let r = Float.max 0.0 (ubi -. st.xb.(i)) /. -.wi in
+            if
+              r < !best_ratio -. eps
+              || (r < !best_ratio +. eps && !best >= 0
+                  && st.basis.(i) < st.basis.(!best))
+            then begin
+              best := i;
+              best_ratio := r;
+              best_up := true
+            end
+          end
+        end
+      done;
+      if !best = -1 then (if uq = infinity then `Unbounded else `Flip)
+      else `Pivot (!best, !best_ratio, !best_up)
+    end
+    else begin
+      (* Pass 1: largest step keeping every basic value within
+         [-feas_eps, ub + feas_eps]; the entering range is a hard cap. *)
+      let tmax = ref uq in
+      for i = 0 to st.m - 1 do
+        let wi = sigma *. st.w.(i) in
+        if wi > eps then begin
+          let t = (Float.max 0.0 st.xb.(i) +. feas_eps) /. wi in
+          if t < !tmax then tmax := t
+        end
+        else if wi < -.eps then begin
+          let ubi = st.ub.(st.basis.(i)) in
+          if ubi < infinity then begin
+            let t = (Float.max 0.0 (ubi -. st.xb.(i)) +. feas_eps) /. -.wi in
+            if t < !tmax then tmax := t
+          end
+        end
+      done;
+      if !tmax = infinity then `Unbounded
+      else begin
+        (* Pass 2: numerically largest pivot among rows whose exact
+           ratio fits under the relaxed bound. *)
+        let best = ref (-1)
+        and best_piv = ref 0.0
+        and best_ratio = ref 0.0
+        and best_up = ref false in
+        for i = 0 to st.m - 1 do
+          let wi = sigma *. st.w.(i) in
+          let consider exact up =
+            if exact <= !tmax then begin
+              let a = Float.abs st.w.(i) in
+              if
+                a > !best_piv
+                || (a = !best_piv && !best >= 0
+                    && st.basis.(i) < st.basis.(!best))
+              then begin
+                best := i;
+                best_piv := a;
+                best_ratio := exact;
+                best_up := up
+              end
+            end
+          in
+          if wi > eps then consider (Float.max 0.0 st.xb.(i) /. wi) false
+          else if wi < -.eps then begin
+            let ubi = st.ub.(st.basis.(i)) in
+            if ubi < infinity then
+              consider (Float.max 0.0 (ubi -. st.xb.(i)) /. -.wi) true
+          end
+        done;
+        if !best = -1 then (if uq < infinity then `Flip else `Unbounded)
+        else if uq <= !best_ratio then `Flip
+        else `Pivot (!best, !best_ratio, !best_up)
+      end
+    end
+
+  (* Devex reference-weight update, identical to the eta engine's. *)
+  let devex_update st ~row ~q =
+    let alpha_q = st.w.(row) in
+    let wq = Float.max st.dx.(q) 1.0 in
+    let ratio = wq /. (alpha_q *. alpha_q) in
+    Array.fill st.rho 0 st.m 0.0;
+    st.rho.(row) <- 1.0;
+    btran st st.rho;
+    let alpha = st.d in
+    Array.fill alpha 0 st.n 0.0;
+    for i = 0 to st.m - 1 do
+      let ri = st.rho.(i) in
+      if ri <> 0.0 then
+        Sparse.iter_col st.at i (fun j aij -> alpha.(j) <- alpha.(j) +. (aij *. ri))
+    done;
+    let maxw = ref 0.0 in
+    for j = 0 to st.n - 1 do
+      if st.vstat.(j) <> basic && j <> q then begin
+        let aj = alpha.(j) in
+        if aj <> 0.0 then begin
+          let cand = aj *. aj *. ratio in
+          if cand > st.dx.(j) then st.dx.(j) <- cand
+        end;
+        if st.dx.(j) > !maxw then maxw := st.dx.(j)
+      end
+    done;
+    st.dx.(st.basis.(row)) <- Float.max ratio 1.0;
+    if !maxw > 1e12 then Array.fill st.dx 0 st.n 1.0
+
+  (* One optimization phase; the bounded mirror of [Rev.optimize] with
+     signed attractiveness (at-lower wants d < 0, at-upper wants d > 0)
+     and bound flips counted as iterations. *)
+  let optimize st ~cost ~banned ?prefer ~pricing ~max_iters ~deadline iters =
+    let bland_threshold = 20 * (st.m + st.n) in
+    let out_of_budget () =
+      !iters > max_iters
+      || (!iters land 63 = 0 && Prete_util.Clock.expired deadline)
+    in
+    let seg = Stdlib.max 64 (st.n / 8) in
+    (* Zero-range columns can never move: exclude them outright. *)
+    let eligible j =
+      (not (banned j)) && st.vstat.(j) <> basic && st.ub.(j) > 0.0
+    in
+    let attract j dj =
+      if st.vstat.(j) = at_lower then (if dj < -.eps then -.dj else 0.0)
+      else if dj > eps then dj
+      else 0.0
+    in
+    let rec loop () =
+      if out_of_budget () then `Budget
+      else begin
+        let use_bland = !iters > bland_threshold in
+        compute_y st cost;
+        let need_full = use_bland || prefer <> None || pricing <> Partial in
+        if need_full then compute_d st cost;
+        let entering = ref (-1) in
+        (match prefer with
+        | Some pref when not use_bland ->
+          let best = ref 0.0 in
+          for j = 0 to st.n - 1 do
+            if pref.(j) && eligible j then begin
+              let aj = attract j st.d.(j) in
+              if aj > !best then begin
+                best := aj;
+                entering := j
+              end
+            end
+          done
+        | _ -> ());
+        if !entering = -1 then begin
+          if use_bland then begin
+            try
+              for j = 0 to st.n - 1 do
+                if eligible j && attract j st.d.(j) > 0.0 then begin
+                  entering := j;
+                  raise Exit
+                end
+              done
+            with Exit -> ()
+          end
+          else
+            match (prefer, pricing) with
+            | Some _, _ | None, Dantzig ->
+              let best = ref 0.0 in
+              for j = 0 to st.n - 1 do
+                if eligible j then begin
+                  let aj = attract j st.d.(j) in
+                  if aj > !best then begin
+                    best := aj;
+                    entering := j
+                  end
+                end
+              done
+            | None, Devex ->
+              let best = ref 0.0 in
+              for j = 0 to st.n - 1 do
+                if eligible j then begin
+                  let aj = attract j st.d.(j) in
+                  if aj > 0.0 then begin
+                    let merit = aj *. aj /. st.dx.(j) in
+                    if merit > !best then begin
+                      best := merit;
+                      entering := j
+                    end
+                  end
+                end
+              done
+            | None, Partial ->
+              let tried = ref 0 in
+              while !entering = -1 && !tried < st.n do
+                let start = st.pp_cursor in
+                let stop = Stdlib.min st.n (start + seg) in
+                let best = ref 0.0 in
+                for j = start to stop - 1 do
+                  if eligible j then begin
+                    let dj = cost.(j) -. Sparse.col_dot st.a j st.y in
+                    let aj = attract j dj in
+                    if aj > !best then begin
+                      best := aj;
+                      entering := j
+                    end
+                  end
+                done;
+                tried := !tried + (stop - start);
+                st.pp_cursor <- (if stop >= st.n then 0 else stop)
+              done
+        end;
+        if !entering = -1 then `Optimal
+        else begin
+          let q = !entering in
+          let sigma = if st.vstat.(q) = at_lower then 1.0 else -1.0 in
+          Array.fill st.w 0 st.m 0.0;
+          Sparse.scatter_col st.a q st.w;
+          ftran st st.w;
+          match ratio_test st ~q ~sigma ~use_bland with
+          | `Unbounded -> `Unbounded
+          | `Flip ->
+            incr iters;
+            apply_flip st ~q ~sigma;
+            loop ()
+          | `Pivot (row, t, to_upper) ->
+            if pricing = Devex && (not use_bland) && prefer = None then
+              devex_update st ~row ~q;
+            incr iters;
+            do_pivot st ~row ~q ~sigma ~t ~to_upper;
+            loop ()
+        end
+      end
+    in
+    loop ()
+
+  (* Drive remaining basic artificials out after Phase 1 (same scan and
+     threshold as the other engines; replacements enter from lower). *)
+  let drive_out st ~is_artificial iters =
+    for i = 0 to st.m - 1 do
+      if is_artificial st.basis.(i) then begin
+        Array.fill st.rho 0 st.m 0.0;
+        st.rho.(i) <- 1.0;
+        btran st st.rho;
+        let found = ref (-1) in
+        (try
+           for j = 0 to st.n - 1 do
+             if
+               (not (is_artificial j))
+               && st.vstat.(j) = at_lower
+               && st.ub.(j) > 0.0
+               && Float.abs (Sparse.col_dot st.a j st.rho) > 1e-7
+             then begin
+               found := j;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !found >= 0 then begin
+          let q = !found in
+          Array.fill st.w 0 st.m 0.0;
+          Sparse.scatter_col st.a q st.w;
+          ftran st st.w;
+          let t = Float.max 0.0 (st.xb.(i) /. st.w.(i)) in
+          incr iters;
+          do_pivot st ~row:i ~q ~sigma:1.0 ~t ~to_upper:false
+        end
+      end
+    done
+
+  (* Bounded dual-simplex repair: only entered when the reinstalled
+     basis is dual feasible (at-lower columns price >= 0, at-upper
+     columns price <= 0).  Handles both primal violation kinds — a basic
+     value below zero (the classic case) and a basic value pushed above
+     its now-tighter range (the MIP bound-fixing case); the leaving
+     variable exits to the violated bound and the entering column is
+     chosen by the dual ratio test restricted to sign-compatible
+     candidates.  Any doubt -> false, caller falls back to Phase 1. *)
+  let dual_repair st ~max_iters ~deadline iters =
+    let cost = st.cost in
+    let is_art j = j >= st.art0 in
+    compute_y st cost;
+    compute_d st cost;
+    let dual_ok = ref true in
+    for j = 0 to st.n - 1 do
+      if (not (is_art j)) && st.vstat.(j) <> basic && st.ub.(j) > 0.0 then
+        if st.vstat.(j) = at_lower then begin
+          if st.d.(j) < -.feas_eps then dual_ok := false
+        end
+        else if st.d.(j) > feas_eps then dual_ok := false
+    done;
+    if not !dual_ok then false
+    else begin
+      let stall_cap = 10 * (st.m + st.n) in
+      let steps = ref 0 in
+      let result = ref `Run in
+      while !result = `Run do
+        if
+          !iters > max_iters
+          || (!iters land 63 = 0 && Prete_util.Clock.expired deadline)
+          || !steps > stall_cap
+        then result := `Fail
+        else begin
+          let row = ref (-1) and worst = ref feas_eps and below = ref true in
+          for i = 0 to st.m - 1 do
+            if -.st.xb.(i) > !worst then begin
+              worst := -.st.xb.(i);
+              row := i;
+              below := true
+            end
+            else begin
+              let ubi = st.ub.(st.basis.(i)) in
+              if ubi < infinity && st.xb.(i) -. ubi > !worst then begin
+                worst := st.xb.(i) -. ubi;
+                row := i;
+                below := false
+              end
+            end
+          done;
+          if !row = -1 then result := `Done
+          else begin
+            let r = !row in
+            Array.fill st.rho 0 st.m 0.0;
+            st.rho.(r) <- 1.0;
+            btran st st.rho;
+            let col = ref (-1) and best = ref infinity in
+            for j = 0 to st.n - 1 do
+              if (not (is_art j)) && st.vstat.(j) <> basic && st.ub.(j) > 0.0
+              then begin
+                let alpha = Sparse.col_dot st.a j st.rho in
+                let ratio =
+                  if !below then
+                    if st.vstat.(j) = at_lower && alpha < -.eps then
+                      st.d.(j) /. -.alpha
+                    else if st.vstat.(j) = at_upper && alpha > eps then
+                      -.st.d.(j) /. alpha
+                    else infinity
+                  else if st.vstat.(j) = at_lower && alpha > eps then
+                    st.d.(j) /. alpha
+                  else if st.vstat.(j) = at_upper && alpha < -.eps then
+                    st.d.(j) /. alpha
+                  else infinity
+                in
+                if
+                  ratio < !best -. eps
+                  || (ratio < !best +. eps && ratio < infinity
+                      && (!col = -1 || j < !col))
+                then begin
+                  best := ratio;
+                  col := j
+                end
+              end
+            done;
+            if !col = -1 then result := `Fail
+            else begin
+              let q = !col in
+              Array.fill st.w 0 st.m 0.0;
+              Sparse.scatter_col st.a q st.w;
+              ftran st st.w;
+              incr steps;
+              incr iters;
+              let leave = st.basis.(r) in
+              st.vstat.(leave) <- (if !below then at_lower else at_upper);
+              st.vstat.(q) <- basic;
+              st.basis.(r) <- q;
+              (if Sparse.Lu.update st.f ~leaving_row:r then begin
+                 st.c_ft <- st.c_ft + 1;
+                 maybe_refactor st
+               end
+               else refactor st);
+              (* The dual step changes several basic values at once
+                 (entering from either bound): resync rather than track
+                 incrementally — repairs are a handful of pivots. *)
+              compute_xb st;
+              compute_y st cost;
+              compute_d st cost
+            end
+          end
+        end
+      done;
+      !result = `Done && arts_zero st
+    end
+
+  (* Warm reinstall: translate the stored basis (original variable ids,
+     reduced row ids) into current columns and factorize the set — one
+     LU factorization, no priced pivots.  The at-upper set restores from
+     [b_upper] through the presolve column map. *)
+  let try_exact_install (red : Presolve.t) st wb =
+    if wb.b_m <> st.m then None
+    else begin
+      let m = st.m in
+      let slack_col = Array.make m (-1)
+      and surplus_col = Array.make m (-1)
+      and art_col = Array.make m (-1) in
+      Array.iteri
+        (fun j k ->
+          match k with
+          | Slack i -> slack_col.(i) <- j
+          | Surplus i -> surplus_col.(i) <- j
+          | Artificial i -> art_col.(i) <- j
+          | Structural _ -> ())
+        st.kinds;
+      let target i =
+        match wb.b_entries.(i) with
+        | Bstructural j ->
+          if j < red.Presolve.p_nv && red.Presolve.col_map.(j) >= 0 then
+            red.Presolve.col_map.(j)
+          else -1
+        | Brow_slack r -> if r < m then slack_col.(r) else -1
+        | Brow_surplus r -> if r < m then surplus_col.(r) else -1
+        | Brow_artificial r -> if r < m then art_col.(r) else -1
+      in
+      let targets = Array.init m target in
+      st.c_factor <- st.c_factor + 1;
+      let basis_out = Array.make m (-1) in
+      let f, dropped =
+        Sparse.Lu.factorize st.a ~targets ~crash:st.crash ~basis_out
+      in
+      if dropped <> [] then None
+      else begin
+        st.f <- f;
+        st.base_nnz <- Sparse.Lu.nnz f;
+        Array.blit basis_out 0 st.basis 0 m;
+        Array.fill st.vstat 0 st.n at_lower;
+        Array.iter
+          (fun j ->
+            if j >= 0 && j < red.Presolve.p_nv then begin
+              let rj = red.Presolve.col_map.(j) in
+              if rj >= 0 && st.ub.(rj) > 0.0 && st.ub.(rj) < infinity then
+                st.vstat.(rj) <- at_upper
+            end)
+          wb.b_upper;
+        Array.iter (fun j -> st.vstat.(j) <- basic) st.basis;
+        compute_xb st;
+        let rhs_ok = ref true and art_ok = ref true in
+        for i = 0 to m - 1 do
+          let ubi = st.ub.(st.basis.(i)) in
+          if st.xb.(i) < -.feas_eps || st.xb.(i) > ubi +. feas_eps then
+            rhs_ok := false;
+          match st.kinds.(st.basis.(i)) with
+          | Artificial _ when st.xb.(i) > feas_eps -> art_ok := false
+          | _ -> ()
+        done;
+        if not !art_ok then None else Some !rhs_ok
+      end
+    end
+
+  let warm_prefer_red (red : Presolve.t) n wb =
+    let pref = Array.make n false in
+    Array.iter
+      (function
+        | Bstructural j when j < red.Presolve.p_nv ->
+          let rj = red.Presolve.col_map.(j) in
+          if rj >= 0 then pref.(rj) <- true
+        | _ -> ())
+      wb.b_entries;
+    pref
+
+  let solve model ~max_iters ~deadline ~warm ~pricing =
+    match Presolve.reduce model with
+    | Presolve.Infeasible -> Infeasible
+    | Presolve.Unbounded ->
+      (* An empty improving column with no finite bound certifies
+         unboundedness only if the rest of the model is feasible — let
+         the eta engine make that (rare) call. *)
+      Rev.solve (prepare model) ~max_iters ~deadline ~warm ~pricing
+    | Presolve.Reduced red ->
+      let nv0 = red.Presolve.p_nv in
+      let sign = red.Presolve.sign in
+      let finish ~x_red ~y_red ~iters ~degraded ~warm_used ~phase1_skipped
+          ~repaired ~st_opt =
+        let x_orig, y_min = Presolve.postsolve red ~x:x_red ~y:y_red in
+        let objective = ref 0.0 in
+        for j = 0 to nv0 - 1 do
+          objective :=
+            !objective +. (sign *. red.Presolve.cost_min.(j) *. x_orig.(j))
+        done;
+        let duals = Array.map (fun v -> sign *. v) y_min in
+        let b_entries, b_upper, b_m, refactors, ftn, btn, ftu, flips, fill =
+          match st_opt with
+          | None -> ([||], [||], 0, 0, 0, 0, 0, 0, 0)
+          | Some st ->
+            let entries =
+              Array.map
+                (fun bcol ->
+                  match st.kinds.(bcol) with
+                  | Structural j -> Bstructural red.Presolve.col_of.(j)
+                  | Slack i -> Brow_slack i
+                  | Surplus i -> Brow_surplus i
+                  | Artificial i -> Brow_artificial i)
+                st.basis
+            in
+            let upper =
+              let acc = ref [] in
+              for j = st.nv - 1 downto 0 do
+                if st.vstat.(j) = at_upper then
+                  acc := red.Presolve.col_of.(j) :: !acc
+              done;
+              Array.of_list !acc
+            in
+            ( entries, upper, st.m, st.c_factor, st.c_ftran, st.c_btran,
+              st.c_ft, st.c_flips, Sparse.Lu.nnz st.f )
+        in
+        Optimal
+          {
+            objective = !objective;
+            values = x_orig;
+            duals;
+            iterations = iters;
+            degraded;
+            basis = { b_nv = nv0; b_m; b_entries; b_upper };
+            warm_used;
+            phase1_skipped;
+            repaired;
+            engine = Lu;
+            pricing;
+            etas = 0;
+            refactorizations = refactors;
+            ftran_nnz = ftn;
+            btran_nnz = btn;
+            ft_updates = ftu;
+            bound_flips = flips;
+            lu_fill_nnz = fill;
+            presolve_rows = red.Presolve.rows_removed;
+            presolve_cols = red.Presolve.cols_removed;
+          }
+      in
+      if red.Presolve.r_nv = 0 then begin
+        (* Presolve solved the model outright; the surviving rows (if
+           any) have empty left-hand sides — check their consistency. *)
+        let ok = ref true in
+        Array.iteri
+          (fun ri s ->
+            let r = red.Presolve.r_rhs.(ri) in
+            let tol = feas_eps *. (1.0 +. Float.abs r) in
+            match s with
+            | Lp.Le -> if r < -.tol then ok := false
+            | Lp.Ge -> if r > tol then ok := false
+            | Lp.Eq -> if Float.abs r > tol then ok := false)
+          red.Presolve.r_sense;
+        if not !ok then Infeasible
+        else
+          (* A supplied warm basis is subsumed: presolve reached the
+             optimum without a single pivot, which is at least as good
+             as any reinstall. *)
+          finish ~x_red:[||]
+            ~y_red:(Array.make red.Presolve.r_nc 0.0)
+            ~iters:0 ~degraded:false
+            ~warm_used:(Option.is_some warm)
+            ~phase1_skipped:true ~repaired:false ~st_opt:None
+      end
+      else begin
+        let iters = ref 0 in
+        let st, warm_used, phase1_skipped, repaired, prefer =
+          match warm with
+          | Some wb when wb.b_nv = nv0 -> (
+            let st0 = make_state red in
+            match try_exact_install red st0 wb with
+            | Some true -> (st0, true, true, false, None)
+            | Some false when dual_repair st0 ~max_iters ~deadline iters ->
+              (st0, true, true, true, None)
+            | Some false | None ->
+              ( make_state red, true, false, true,
+                Some (warm_prefer_red red st0.n wb) ))
+          | _ -> (make_state red, false, false, false, None)
+        in
+        let is_artificial j = j >= st.art0 in
+        let feasible_start =
+          if phase1_skipped then true
+          else begin
+            let c1 = Array.make st.n 0.0 in
+            Array.iteri
+              (fun j k ->
+                match k with Artificial _ -> c1.(j) <- 1.0 | _ -> ())
+              st.kinds;
+            (match
+               optimize st ~cost:c1 ~banned:is_artificial ?prefer ~pricing
+                 ~max_iters ~deadline iters
+             with
+            | `Unbounded ->
+              raise (Numerical "Simplex: phase 1 unbounded (internal error)")
+            | `Budget -> raise Timeout
+            | `Optimal -> ());
+            phase1_sum st <= feas_eps
+          end
+        in
+        if not feasible_start then Infeasible
+        else begin
+          drive_out st ~is_artificial iters;
+          let cost = st.cost in
+          let extract ~degraded =
+            compute_xb st;
+            let xr = Array.make st.nv 0.0 in
+            for j = 0 to st.nv - 1 do
+              if st.vstat.(j) = at_upper then xr.(j) <- st.ub.(j)
+            done;
+            for i = 0 to st.m - 1 do
+              match st.kinds.(st.basis.(i)) with
+              | Structural j -> xr.(j) <- st.xb.(i)
+              | Slack _ | Surplus _ | Artificial _ -> ()
+            done;
+            let x_red =
+              Array.init st.nv (fun j -> red.Presolve.r_lb.(j) +. xr.(j))
+            in
+            compute_y st cost;
+            let y_red =
+              Array.init st.m (fun i ->
+                  if st.flipped.(i) then -.st.y.(i) else st.y.(i))
+            in
+            finish ~x_red ~y_red ~iters:!iters ~degraded ~warm_used
+              ~phase1_skipped ~repaired ~st_opt:(Some st)
+          in
+          match
+            optimize st ~cost ~banned:is_artificial ~pricing ~max_iters
+              ~deadline iters
+          with
+          | `Unbounded -> Unbounded
+          | `Optimal -> extract ~degraded:false
+          | `Budget -> extract ~degraded:true
+        end
+      end
+end
+
 let solve ?(max_iters = 200_000) ?deadline ?warm ?engine ?pricing model =
   let engine = match engine with Some e -> e | None -> !default_engine in
   let pricing = match pricing with Some pr -> pr | None -> !default_pricing in
-  let p = prepare model in
   match engine with
-  | Dense -> solve_dense p ~max_iters ~deadline ~warm ~pricing
-  | Revised -> Rev.solve p ~max_iters ~deadline ~warm ~pricing
+  | Dense -> solve_dense (prepare model) ~max_iters ~deadline ~warm ~pricing
+  | Revised -> Rev.solve (prepare model) ~max_iters ~deadline ~warm ~pricing
+  | Lu -> Blu.solve model ~max_iters ~deadline ~warm ~pricing
 
 let value sol (v : Lp.var) = sol.values.((v :> int))
 

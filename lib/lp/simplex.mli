@@ -4,7 +4,19 @@
     engines share one normalization, one warm-start contract and one
     solution type:
 
-    - {b Revised} (the default) — the constraint matrix is kept in
+    - {b Lu} (the default) — the WAN-scale bounded-variable engine.  The
+      model first goes through a presolve ({!Presolve}): empty, singleton
+      and duplicate rows and empty/dominated columns are eliminated and
+      the survivors equilibrated; the engine solves the reduced problem
+      and postsolve recovers the original primal and dual solution.
+      Columns carry ranges [0 <= x <= u] directly (nonbasic-at-upper
+      status and bound flips in the ratio test), so finite upper bounds
+      stop costing explicit rows.  The basis inverse is a sparse LU
+      factorization ({!Sparse.Lu}) with Markowitz-style pivoting,
+      Forrest–Tomlin updates on pivots, and periodic refactorization on
+      fill-in/stability triggers — FTRAN/BTRAN stay O(LU nonzeros)
+      instead of O(eta-file length).
+    - {b Revised} — the constraint matrix is kept in
       compressed-sparse-column form ({!Sparse.t}) and the basis inverse
       as a product-form eta file: each pivot appends one eta matrix, and
       sparse FTRAN/BTRAN apply the file in O(eta nonzeros) instead of
@@ -78,8 +90,14 @@
     rhs / bound / cost changes.  A warm basis whose structural dimension
     differs from the new model is ignored ([warm_used = false]).  Warm
     starting never changes the reported optimum — only the pivot count
-    taken to reach it.  Bases transfer between engines: a basis produced
-    by one engine reinstalls under the other. *)
+    taken to reach it.  Bases transfer between the dense and eta engines
+    directly (same normalization).  LU-engine bases live in the presolved
+    row space, so a cross-engine transfer fails the shape check and
+    degrades to guided Phase 1 — the structural variable ids still steer
+    the pricing; within the LU engine, bases reinstall exactly across
+    rhs-only changes because the presolve reductions that decide the
+    reduced structure depend only on constraint patterns, senses and
+    cost signs. *)
 
 type basis
 (** A simplex basis in model-independent form, transferable to later
@@ -91,7 +109,10 @@ val basis_size : basis -> int
 
 type engine =
   | Dense  (** Original dense tableau; differential-testing oracle. *)
-  | Revised  (** Sparse revised simplex with eta-file basis (default). *)
+  | Revised  (** Sparse revised simplex with eta-file basis. *)
+  | Lu
+      (** Bounded-variable simplex over the presolved model with a
+          sparse LU basis and Forrest–Tomlin updates (default). *)
 
 type pricing =
   | Dantzig  (** Full pricing, most negative reduced cost. *)
@@ -99,7 +120,7 @@ type pricing =
   | Partial  (** Cyclic candidate-list pricing over column segments. *)
 
 val default_engine : engine ref
-(** Engine used when [?engine] is omitted; [Revised] unless overridden
+(** Engine used when [?engine] is omitted; [Lu] unless overridden
     (e.g. by the [--lp-engine] CLI flag). *)
 
 val default_pricing : pricing ref
@@ -110,7 +131,7 @@ val engine_name : engine -> string
 val pricing_name : pricing -> string
 
 val engine_of_string : string -> engine option
-(** ["dense" | "revised"]. *)
+(** ["dense" | "revised" | "lu"]. *)
 
 val pricing_of_string : string -> pricing option
 (** ["dantzig" | "devex" | "partial"]. *)
@@ -139,12 +160,25 @@ type solution = {
   pricing : pricing;  (** Pricing rule requested for this solve. *)
   etas : int;
       (** Revised engine: eta matrices appended (pivots + reinstall
-          eliminations); 0 under [Dense]. *)
+          eliminations); 0 under [Dense] and [Lu]. *)
   refactorizations : int;
-      (** Revised engine: eta-file rebuilds, including the warm-basis
-          reinstall; 0 under [Dense]. *)
-  ftran_nnz : int;  (** Revised engine: total FTRAN result nonzeros. *)
-  btran_nnz : int;  (** Revised engine: total BTRAN result nonzeros. *)
+      (** Revised engine: eta-file rebuilds; LU engine: LU
+          factorizations (initial, warm reinstall, periodic); 0 under
+          [Dense]. *)
+  ftran_nnz : int;  (** Revised/LU engines: total FTRAN result nonzeros. *)
+  btran_nnz : int;  (** Revised/LU engines: total BTRAN result nonzeros. *)
+  ft_updates : int;
+      (** LU engine: Forrest–Tomlin basis updates absorbed (pivots that
+          did not trigger a refactorization); 0 elsewhere. *)
+  bound_flips : int;
+      (** LU engine: ratio-test bound flips (iterations that moved a
+          nonbasic column across its range with no basis change); 0
+          elsewhere. *)
+  lu_fill_nnz : int;
+      (** LU engine: resident factor nonzeros at extraction (U + ops) —
+          the fill-in telemetry; 0 elsewhere. *)
+  presolve_rows : int;  (** LU engine: rows removed by presolve. *)
+  presolve_cols : int;  (** LU engine: columns removed by presolve. *)
 }
 
 type outcome = Optimal of solution | Infeasible | Unbounded

@@ -20,11 +20,18 @@ type t = {
   mutable cache_misses : int;
   mutable dense_solves : int;  (** Solves served by the dense tableau. *)
   mutable revised_solves : int;  (** Solves served by the revised engine. *)
+  mutable lu_solves : int;  (** Solves served by the LU engine. *)
   mutable etas : int;  (** Revised engine: eta matrices appended. *)
   mutable refactorizations : int;
-      (** Revised engine: eta-file rebuilds (incl. warm reinstalls). *)
-  mutable ftran_nnz : int;  (** Revised engine: FTRAN result nonzeros. *)
-  mutable btran_nnz : int;  (** Revised engine: BTRAN result nonzeros. *)
+      (** Eta-file rebuilds / LU factorizations (incl. warm reinstalls). *)
+  mutable ftran_nnz : int;  (** Revised/LU engines: FTRAN result nonzeros. *)
+  mutable btran_nnz : int;  (** Revised/LU engines: BTRAN result nonzeros. *)
+  mutable ft_updates : int;  (** LU engine: Forrest–Tomlin basis updates. *)
+  mutable bound_flips : int;  (** LU engine: ratio-test bound flips. *)
+  mutable lu_fill_nnz : int;
+      (** LU engine: factor nonzeros at extraction, summed over solves. *)
+  mutable presolve_rows : int;  (** LU engine: presolve-removed rows. *)
+  mutable presolve_cols : int;  (** LU engine: presolve-removed columns. *)
   mutable pricing_solves : (string * int) list;
       (** Solve count per pricing rule ({!Simplex.pricing_name}). *)
   mutable walls : (string * float) list;  (** Per-stage wall seconds. *)

@@ -51,3 +51,61 @@ val transpose : t -> t
 
 val to_dense : t -> float array array
 (** [rows × cols] dense copy; for tests and debugging. *)
+
+type mat = t
+(** Alias so modules below can name the matrix type unambiguously. *)
+
+(** Sparse LU factorization of a basis column set with Forrest–Tomlin
+    updates — the basis representation of the {!Simplex} LU engine.
+
+    [B = L⁻¹·H⁻¹·U] up to the pivot permutation: L holds the Gaussian
+    column ops recorded by {!Lu.factorize} (Markowitz-flavored threshold
+    pivoting: sparsest active column next, minimum-row-count pivot within
+    [tau] of the column magnitude), H the row etas appended by
+    {!Lu.update}, and U is stored explicitly both column- and row-wise
+    against stable position ids, so an update cyclic-shifts two O(m)
+    ordinal arrays instead of renumbering entries.  All tie-breaks are
+    lowest-index and no randomness is consulted: the factor — and
+    therefore every solve that uses it — is a pure function of the
+    input. *)
+module Lu : sig
+  type t
+
+  val factorize :
+    ?tau:float ->
+    mat ->
+    targets:int array ->
+    crash:int array ->
+    basis_out:int array ->
+    t * int list
+  (** Factorize the distinct column set of [targets] (row pairing
+      ignored).  Rows claimed by no surviving target take their [crash]
+      identity column, which must be a singleton [±1]-style column on its
+      own row.  [basis_out.(r)] receives the column pivoted on row [r];
+      the returned list holds targets dropped as numerically singular
+      (empty on success).  [tau] is the relative pivot threshold
+      (default 0.1). *)
+
+  val ftran : t -> float array -> unit
+  (** [x := B⁻¹x] in place.  Also caches the post-L/H spike used by
+      {!update}: a pivot must FTRAN its entering column immediately
+      before updating. *)
+
+  val btran : t -> float array -> unit
+  (** [y := B⁻ᵀy] in place. *)
+
+  val update : t -> leaving_row:int -> bool
+  (** Forrest–Tomlin update replacing the column basic in [leaving_row]
+      with the column whose spike the last {!ftran} cached.  [false]
+      means the update was refused on stability grounds (tiny new
+      diagonal or exploding multiplier) and the caller must refactorize
+      — the factor may be left half-mutated, which a refactorization
+      discards anyway. *)
+
+  val nnz : t -> int
+  (** Resident factor nonzeros: U entries (incl. diagonals) plus L and H
+      op entries — the fill-in telemetry and refactorization trigger. *)
+
+  val updates : t -> int
+  (** Forrest–Tomlin updates absorbed since factorization. *)
+end

@@ -52,6 +52,7 @@ type config = {
   shards : int;
   queue_bound : int;
   shed_policy : shed_policy;
+  lp_engine : string;
 }
 
 let default_config =
@@ -72,6 +73,7 @@ let default_config =
     shards = 1;
     queue_bound = 64;
     shed_policy = Drop_newest;
+    lp_engine = Prete_lp.Simplex.engine_name !Prete_lp.Simplex.default_engine;
   }
 
 type detection = {
@@ -238,10 +240,19 @@ let measured_features (truth : Hazard.features) = function
 
 let run ?pool ?env ?predictor cfg =
   if cfg.epochs <= 0 then invalid_arg "Runtime.run: epochs must be positive";
+  let engine =
+    match Prete_lp.Simplex.engine_of_string cfg.lp_engine with
+    | Some e -> e
+    | None -> invalid_arg ("Runtime.run: unknown lp_engine " ^ cfg.lp_engine)
+  in
+  let saved_engine = !Prete_lp.Simplex.default_engine in
+  Prete_lp.Simplex.default_engine := engine;
   let owns_pool = pool = None in
   let pool = match pool with Some p -> p | None -> Pool.create () in
   Fun.protect
-    ~finally:(fun () -> if owns_pool then Pool.shutdown pool)
+    ~finally:(fun () ->
+      Prete_lp.Simplex.default_engine := saved_engine;
+      if owns_pool then Pool.shutdown pool)
   @@ fun () ->
   (* Traffic source: the legacy fixed matrix set ("fixed") or a seeded
      generated model whose demand sequence varies per epoch. *)
@@ -746,7 +757,8 @@ let config_to_json (c : config) =
   i "shards" c.shards;
   i "queue_bound" c.queue_bound;
   Buffer.add_string b
-    (Printf.sprintf "\"shed_policy\": \"%s\"}" (shed_policy_name c.shed_policy));
+    (Printf.sprintf "\"shed_policy\": \"%s\", " (shed_policy_name c.shed_policy));
+  Buffer.add_string b (Printf.sprintf "\"lp_engine\": \"%s\"}" c.lp_engine);
   Buffer.contents b
 
 let deterministic_core r =
@@ -902,6 +914,10 @@ let config_of_dump json =
       (match field_raw cfg "shed_policy" with
       | Some v -> shed_policy_of_string v
       | None -> default_config.shed_policy);
+    (* Dumps predating the LU engine were produced under the eta-file
+       revised engine; replay them with it so cores keep matching. *)
+    lp_engine =
+      (match field_raw cfg "lp_engine" with Some v -> v | None -> "revised");
   }
 
 let replay ?pool json =

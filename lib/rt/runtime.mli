@@ -110,13 +110,20 @@ type config = {
           the joint occupancy of the per-shard reaction queues — so
           shedding is independent of the shard count. *)
   shed_policy : shed_policy;  (** What to do at the bound. *)
+  lp_engine : string;
+      (** {!Prete_lp.Simplex.engine_of_string} name.  {!run} and
+          {!Shard.run} install it as the session default engine for the
+          duration of the run (restored on exit), so dumps replay under
+          the engine that produced them.  Dumps predating the field
+          replay under ["revised"]. *)
 }
 
 val default_config : config
 (** B4 topology, 40 epochs, seed 123, scale 2.0, default detector
     and impairments, 30 s debounce, no deadline, [Hazard_oracle]
     predictor, detour tier armed, ring capacity 4096, 1 shard with a
-    64-deep [Drop_newest] reaction queue. *)
+    64-deep [Drop_newest] reaction queue, the session-default LP
+    engine. *)
 
 type detection = {
   d_epoch : int;

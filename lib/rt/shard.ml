@@ -436,9 +436,20 @@ let run ?pool (cfg : Runtime.config) =
     invalid_arg "Shard.run: epochs must be positive";
   if cfg.Runtime.shards <= 0 then
     invalid_arg "Shard.run: shards must be positive";
+  let engine =
+    match Prete_lp.Simplex.engine_of_string cfg.Runtime.lp_engine with
+    | Some e -> e
+    | None ->
+      invalid_arg ("Shard.run: unknown lp_engine " ^ cfg.Runtime.lp_engine)
+  in
+  let saved_engine = !Prete_lp.Simplex.default_engine in
+  Prete_lp.Simplex.default_engine := engine;
   let owns_pool = pool = None in
   let pool = match pool with Some p -> p | None -> Pool.create () in
-  Fun.protect ~finally:(fun () -> if owns_pool then Pool.shutdown pool)
+  Fun.protect
+    ~finally:(fun () ->
+      Prete_lp.Simplex.default_engine := saved_engine;
+      if owns_pool then Pool.shutdown pool)
   @@ fun () ->
   let open Runtime in
   let base_topo = Topology.by_name cfg.topology in

@@ -78,6 +78,12 @@ type combo = {
   cb_solver_pivots : int;
   cb_solver_cache_hits : int;
   cb_solver_cache_misses : int;
+  cb_lp_engine : string;
+  cb_solver_ft_updates : int;
+  cb_solver_bound_flips : int;
+  cb_solver_lu_fill_nnz : int;
+  cb_solver_presolve_rows : int;
+  cb_solver_presolve_cols : int;
 }
 
 type portfolio = {
@@ -170,6 +176,11 @@ let run ?pool ?(seed = 123) ?(epochs = 12) ?(scale = 1.0) ~topologies ~traffic
                   deadline_s = pf.pf_deadline_s;
                   debounce_s = pf.pf_debounce_s;
                   detour = true;
+                  (* Inherit the session engine (e.g. --lp-engine) at
+                     sweep time, not the module-init default. *)
+                  lp_engine =
+                    Prete_lp.Simplex.engine_name
+                      !Prete_lp.Simplex.default_engine;
                 }
               in
               let r = Runtime.run ~pool ~env cfg in
@@ -223,6 +234,14 @@ let run ?pool ?(seed = 123) ?(epochs = 12) ?(scale = 1.0) ~topologies ~traffic
                   cb_solver_pivots = s.Prete_lp.Solver_stats.pivots;
                   cb_solver_cache_hits = s.Prete_lp.Solver_stats.cache_hits;
                   cb_solver_cache_misses = s.Prete_lp.Solver_stats.cache_misses;
+                  cb_lp_engine = cfg.Runtime.lp_engine;
+                  cb_solver_ft_updates = s.Prete_lp.Solver_stats.ft_updates;
+                  cb_solver_bound_flips = s.Prete_lp.Solver_stats.bound_flips;
+                  cb_solver_lu_fill_nnz = s.Prete_lp.Solver_stats.lu_fill_nnz;
+                  cb_solver_presolve_rows =
+                    s.Prete_lp.Solver_stats.presolve_rows;
+                  cb_solver_presolve_cols =
+                    s.Prete_lp.Solver_stats.presolve_cols;
                 }
                 :: !combos)
             profs)
@@ -271,13 +290,18 @@ let combo_json c =
      \"alarms\": %d, \"reactions\": %d, \"rungs\": {%s}, \
      \"detour\": {\"activations\": %d, \"rescued_epochs\": %d, \
      \"flows_patched\": %d}, \
-     \"solver\": {\"solves\": %d, \"warm_solves\": %d, \"pivots\": %d, \
-     \"cache_hits\": %d, \"cache_misses\": %d}}"
+     \"solver\": {\"engine\": \"%s\", \"solves\": %d, \"warm_solves\": %d, \
+     \"pivots\": %d, \"cache_hits\": %d, \"cache_misses\": %d, \
+     \"ft_updates\": %d, \"bound_flips\": %d, \"lu_fill_nnz\": %d, \
+     \"presolve_rows\": %d, \"presolve_cols\": %d}}"
     c.cb_topology c.cb_traffic c.cb_profile c.cb_flows c.cb_degr_epochs
     c.cb_cut_epochs c.cb_detections c.cb_reacted c.cb_missed c.cb_alarms
     c.cb_reactions rungs c.cb_detour_activations c.cb_detour_rescued
-    c.cb_detour_flows_patched c.cb_solver_solves c.cb_solver_warm_solves
-    c.cb_solver_pivots c.cb_solver_cache_hits c.cb_solver_cache_misses
+    c.cb_detour_flows_patched c.cb_lp_engine c.cb_solver_solves
+    c.cb_solver_warm_solves c.cb_solver_pivots c.cb_solver_cache_hits
+    c.cb_solver_cache_misses c.cb_solver_ft_updates c.cb_solver_bound_flips
+    c.cb_solver_lu_fill_nnz c.cb_solver_presolve_rows
+    c.cb_solver_presolve_cols
 
 let to_json p =
   let b = Buffer.create 8192 in

@@ -69,6 +69,12 @@ type combo = {
   cb_solver_pivots : int;
   cb_solver_cache_hits : int;
   cb_solver_cache_misses : int;
+  cb_lp_engine : string;  (** Engine the combo's runtime ran under. *)
+  cb_solver_ft_updates : int;  (** LU engine: Forrest–Tomlin updates. *)
+  cb_solver_bound_flips : int;  (** LU engine: ratio-test bound flips. *)
+  cb_solver_lu_fill_nnz : int;  (** LU engine: factor fill-in nonzeros. *)
+  cb_solver_presolve_rows : int;  (** LU engine: presolve-removed rows. *)
+  cb_solver_presolve_cols : int;  (** LU engine: presolve-removed cols. *)
 }
 
 type portfolio = {

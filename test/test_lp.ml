@@ -549,11 +549,13 @@ let test_simplex_iteration_limit () =
     Alcotest.(check bool) "feasible incumbent" true (Simplex.feasible m sol.Simplex.values)
   | _ -> Alcotest.fail "expected a degraded incumbent");
   (* Budget expiry in Phase 1 (a Ge row needs an artificial pivot) has no
-     incumbent to return and raises Timeout. *)
+     incumbent to return and raises Timeout.  Two variables keep the row
+     out of presolve's singleton reduction, so Phase 1 actually runs
+     under every engine. *)
   let m1 = Lp.create () in
-  let z = Lp.add_var m1 "z" in
-  ignore (Lp.add_constraint m1 [ (1.0, z) ] Lp.Ge 5.0);
-  Lp.set_objective m1 Lp.Minimize [ (1.0, z) ];
+  let z = Lp.add_var m1 "z" and w = Lp.add_var m1 "w" in
+  ignore (Lp.add_constraint m1 [ (1.0, z); (1.0, w) ] Lp.Ge 5.0);
+  Lp.set_objective m1 Lp.Minimize [ (1.0, z); (1.0, w) ];
   Alcotest.check_raises "phase 1 budget" Simplex.Timeout (fun () ->
       ignore (Simplex.solve ~max_iters:0 m1))
 

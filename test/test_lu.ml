@@ -1,0 +1,223 @@
+(* Isolated differential tests for the sparse LU kernel (Sparse.Lu):
+   factorize / ftran / btran / Forrest–Tomlin update are checked against
+   dense Gaussian elimination on seeded random basis matrices.  The
+   simplex-level suites (test_solvers_diff) then pin the engine built on
+   top; this file localizes kernel regressions. *)
+
+open Prete_lp
+
+let rand_state seed = Random.State.make [| 0x15eed; seed |]
+
+(* Dense solve B x = rhs by Gaussian elimination with partial pivoting;
+   returns None when B is singular. *)
+let dense_solve b rhs =
+  let m = Array.length rhs in
+  let a = Array.init m (fun i -> Array.copy b.(i)) in
+  let x = Array.copy rhs in
+  let piv_of = Array.make m 0 in
+  let used = Array.make m false in
+  let ok = ref true in
+  for c = 0 to m - 1 do
+    if !ok then begin
+      let p = ref (-1) and best = ref 1e-9 in
+      for i = 0 to m - 1 do
+        if (not used.(i)) && Float.abs a.(i).(c) > !best then begin
+          best := Float.abs a.(i).(c);
+          p := i
+        end
+      done;
+      if !p = -1 then ok := false
+      else begin
+        used.(!p) <- true;
+        piv_of.(c) <- !p;
+        let inv = 1.0 /. a.(!p).(c) in
+        for i = 0 to m - 1 do
+          if i <> !p && a.(i).(c) <> 0.0 then begin
+            let f = a.(i).(c) *. inv in
+            for j = 0 to m - 1 do
+              a.(i).(j) <- a.(i).(j) -. (f *. a.(!p).(j))
+            done;
+            x.(i) <- x.(i) -. (f *. x.(!p))
+          end
+        done
+      end
+    end
+  done;
+  if not !ok then None
+  else Some (Array.init m (fun c -> x.(piv_of.(c)) /. a.(piv_of.(c)).(c)))
+
+(* A random sparse m×n matrix whose first m columns are guaranteed
+   nonsingular (identity + noise); extra columns are candidate entering
+   columns for update tests. *)
+let random_mat st ~m ~n =
+  let trips = ref [] in
+  for i = 0 to m - 1 do
+    trips := (i, i, 1.0 +. Random.State.float st 2.0) :: !trips
+  done;
+  for j = 0 to n - 1 do
+    let cnt = 1 + Random.State.int st 4 in
+    for _ = 1 to cnt do
+      let i = Random.State.int st m in
+      let v = Random.State.float st 4.0 -. 2.0 in
+      if v <> 0.0 then trips := (i, j, v) :: !trips
+    done
+  done;
+  Sparse.of_triplets ~rows:m ~cols:n !trips
+
+let col_dense a j m =
+  let x = Array.make m 0.0 in
+  Sparse.scatter_col a j x;
+  x
+
+let check_vec ~tol name expect got =
+  Array.iteri
+    (fun i e ->
+      if Float.abs (e -. got.(i)) > tol then
+        Alcotest.failf "%s: component %d: expected %.12g got %.12g" name i e got.(i))
+    expect
+
+(* ftran/btran agree with a dense solve of the factorized basis. *)
+let test_factorize_solves () =
+  for seed = 1 to 20 do
+    let st = rand_state seed in
+    let m = 3 + Random.State.int st 20 in
+    let a = random_mat st ~m ~n:(2 * m) in
+    let targets = Array.init m (fun i -> i) in
+    let crash = Array.init m (fun i -> i) in
+    let basis_out = Array.make m (-1) in
+    let f, dropped = Sparse.Lu.factorize a ~targets ~crash ~basis_out in
+    Alcotest.(check (list int)) "nothing dropped" [] dropped;
+    (* Dense basis matrix in basis_out order: column of row r is whatever
+       ends up basic there; B's column order is irrelevant to solves as
+       long as we compare consistently.  ftran solves B z = rhs where B's
+       columns are the basic set in *some* pairing; the result is indexed
+       by row, with z.(r) the multiplier of the column basic in row r. *)
+    let bd =
+      Array.init m (fun i ->
+          Array.init m (fun r ->
+              let c = col_dense a basis_out.(r) m in
+              c.(i)))
+    in
+    let rhs = Array.init m (fun _ -> Random.State.float st 10.0 -. 5.0) in
+    (match dense_solve bd rhs with
+    | None -> Alcotest.fail "dense oracle found basis singular"
+    | Some z ->
+      let x = Array.copy rhs in
+      Sparse.Lu.ftran f x;
+      check_vec ~tol:1e-8 "ftran" z x);
+    (* btran: y = B⁻ᵀ c  <=>  Bᵀ y = c  <=>  y solves the transposed
+       dense system. *)
+    let c = Array.init m (fun _ -> Random.State.float st 10.0 -. 5.0) in
+    let bdt = Array.init m (fun i -> Array.init m (fun j -> bd.(j).(i))) in
+    (match dense_solve bdt c with
+    | None -> Alcotest.fail "dense oracle found basis^T singular"
+    | Some y ->
+      let v = Array.copy c in
+      Sparse.Lu.btran f v;
+      check_vec ~tol:1e-8 "btran" y v)
+  done
+
+(* Forrest–Tomlin updates keep ftran/btran exact vs a dense oracle of the
+   updated basis. *)
+let test_updates () =
+  for seed = 1 to 20 do
+    let st = rand_state (1000 + seed) in
+    let m = 4 + Random.State.int st 16 in
+    let n = 3 * m in
+    let a = random_mat st ~m ~n in
+    let targets = Array.init m (fun i -> i) in
+    let crash = Array.init m (fun i -> i) in
+    let basis = Array.make m (-1) in
+    let f, dropped = Sparse.Lu.factorize a ~targets ~crash ~basis_out:basis in
+    Alcotest.(check (list int)) "nothing dropped" [] dropped;
+    let fref = ref f in
+    let steps = 8 + Random.State.int st 8 in
+    for _ = 1 to steps do
+      let f = !fref in
+      (* Pick a random entering column not currently basic and a random
+         leaving row, but only commit when the update is stable and the
+         new basis nonsingular. *)
+      let q = m + Random.State.int st (n - m) in
+      let in_basis = Array.exists (fun c -> c = q) basis in
+      if not in_basis then begin
+        let rl = Random.State.int st m in
+        let w = col_dense a q m in
+        Sparse.Lu.ftran f w;
+        (* The FT update needs a usable pivot in the leaving row. *)
+        if Float.abs w.(rl) > 1e-6 then
+          if Sparse.Lu.update f ~leaving_row:rl then begin
+            basis.(rl) <- q;
+            (* Verify against the dense oracle of the updated basis. *)
+            let bd =
+              Array.init m (fun i ->
+                  Array.init m (fun r ->
+                      let c = col_dense a basis.(r) m in
+                      c.(i)))
+            in
+            let rhs = Array.init m (fun _ -> Random.State.float st 4.0 -. 2.0) in
+            match dense_solve bd rhs with
+            | None -> Alcotest.fail "updated basis singular in oracle"
+            | Some z ->
+              let x = Array.copy rhs in
+              Sparse.Lu.ftran f x;
+              check_vec ~tol:1e-7 "ftran after update" z x;
+              let c = Array.init m (fun _ -> Random.State.float st 4.0 -. 2.0) in
+              let bdt = Array.init m (fun i -> Array.init m (fun j -> bd.(j).(i))) in
+              (match dense_solve bdt c with
+              | None -> Alcotest.fail "updated basis^T singular in oracle"
+              | Some y ->
+                let v = Array.copy c in
+                Sparse.Lu.btran f v;
+                check_vec ~tol:1e-7 "btran after update" y v)
+          end
+          else begin
+            (* Refused update: refactorize from the intended new basis,
+               mirroring what the simplex engine does. *)
+            basis.(rl) <- q;
+            let basis_out = Array.make m (-1) in
+            let f', dropped =
+              Sparse.Lu.factorize a ~targets:basis ~crash ~basis_out
+            in
+            Alcotest.(check (list int)) "refactor clean" [] dropped;
+            Array.blit basis_out 0 basis 0 m;
+            fref := f'
+          end
+      end
+    done
+  done
+
+(* Rank-deficient target sets: dropped columns are reported and the
+   uncovered rows fall back to their crash columns. *)
+let test_singular_drop () =
+  let m = 6 in
+  (* Columns 0..5 identity crash; columns 6 and 7 are the same vector
+     (duplicate => one of them cannot be pivoted). *)
+  let trips = ref [] in
+  for i = 0 to m - 1 do
+    trips := (i, i, 1.0) :: !trips
+  done;
+  List.iter (fun c -> trips := (0, c, 1.0) :: (1, c, 2.0) :: !trips) [ 6; 7 ];
+  let a = Sparse.of_triplets ~rows:m ~cols:8 !trips in
+  let targets = [| 6; 7; 2; 3; 4; 5 |] in
+  let crash = Array.init m (fun i -> i) in
+  let basis_out = Array.make m (-1) in
+  let _f, dropped = Sparse.Lu.factorize a ~targets ~crash ~basis_out in
+  Alcotest.(check int) "one column dropped" 1 (List.length dropped);
+  Array.iteri
+    (fun r c ->
+      if not (List.mem c dropped) then
+        Alcotest.(check bool) (Printf.sprintf "row %d covered" r) true (c >= 0))
+    basis_out
+
+let () =
+  Alcotest.run "lu"
+    [
+      ( "kernel",
+        [
+          Alcotest.test_case "factorize ftran/btran vs dense" `Quick
+            test_factorize_solves;
+          Alcotest.test_case "forrest-tomlin updates vs dense" `Quick test_updates;
+          Alcotest.test_case "singular targets drop to crash" `Quick
+            test_singular_drop;
+        ] );
+    ]

@@ -334,6 +334,178 @@ let prop_revised_warm_equals_cold =
         | _ -> true (* tightened capacities may make the instance infeasible *))
       | _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* LU-engine differential suite: presolve + bounded variables + sparse
+   LU basis against the eta-file and dense oracles.                     *)
+(* ------------------------------------------------------------------ *)
+
+let prop_lu_three_way_agree =
+  QCheck.Test.make ~name:"lu matches eta and dense objectives and duals"
+    ~count:150
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prete_util.Rng.create (seed + 101_000) in
+      let spec = random_lp_coefs rng in
+      let m = build_lp spec in
+      match
+        ( Simplex.solve ~engine:Simplex.Lu m,
+          Simplex.solve ~engine:Simplex.Revised m,
+          Simplex.solve ~engine:Simplex.Dense m )
+      with
+      | Simplex.Optimal l, Simplex.Optimal r, Simplex.Optimal d ->
+        abs_float (l.Simplex.objective -. r.Simplex.objective) <= 1e-6
+        && abs_float (l.Simplex.objective -. d.Simplex.objective) <= 1e-6
+        && l.Simplex.engine = Simplex.Lu
+        && Simplex.feasible m l.Simplex.values
+        && (let ok = ref true in
+            for i = 0 to Lp.num_constraints m - 1 do
+              if abs_float (Simplex.dual l i -. Simplex.dual d i) > 1e-6 then
+                ok := false
+            done;
+            !ok)
+      | _ -> false)
+
+let prop_lu_bound_respect =
+  QCheck.Test.make
+    ~name:"lu solutions respect 0 <= x <= u without explicit bound rows"
+    ~count:100
+    QCheck.(small_int)
+    (fun seed ->
+      (* Tight finite upper bounds that actually bind at the optimum:
+         the bounded ratio test must stop at them (the eta/dense
+         engines see the same bounds as explicit rows). *)
+      let rng = Prete_util.Rng.create (seed + 113_000) in
+      let nv = 2 + Prete_util.Rng.int rng 5 in
+      let ub = Array.init nv (fun _ -> Prete_util.Rng.uniform rng 0.5 4.0) in
+      let m = Lp.create () in
+      let xs =
+        Array.init nv (fun j ->
+            Lp.add_var m ~ub:ub.(j) (Printf.sprintf "x%d" j))
+      in
+      let budget = Prete_util.Rng.uniform rng 1.0 6.0 in
+      ignore
+        (Lp.add_constraint m
+           (Array.to_list (Array.map (fun x -> (1.0, x)) xs))
+           Lp.Le budget);
+      Lp.set_objective m Lp.Maximize
+        (Array.to_list
+           (Array.map (fun x -> (Prete_util.Rng.uniform rng 0.5 3.0, x)) xs));
+      match
+        (Simplex.solve ~engine:Simplex.Lu m, Simplex.solve ~engine:Simplex.Dense m)
+      with
+      | Simplex.Optimal l, Simplex.Optimal d ->
+        abs_float (l.Simplex.objective -. d.Simplex.objective) <= 1e-6
+        && Array.for_all2
+             (fun v u -> v >= -1e-9 && v <= u +. 1e-9)
+             l.Simplex.values ub
+      | _ -> false)
+
+let test_lu_bound_flips () =
+  (* Loose budget row, binding upper bounds: every entering column
+     traverses its own range, so the optimum is reached purely by bound
+     flips — witnessed in the telemetry. *)
+  let m = Lp.create () in
+  let n = 8 in
+  let xs =
+    Array.init n (fun j ->
+        Lp.add_var m ~ub:(1.0 +. float_of_int j) (Printf.sprintf "x%d" j))
+  in
+  ignore
+    (Lp.add_constraint m
+       (Array.to_list (Array.map (fun x -> (1.0, x)) xs))
+       Lp.Le 1000.0);
+  Lp.set_objective m Lp.Maximize
+    (Array.to_list (Array.map (fun x -> (1.0, x)) xs));
+  match Simplex.solve ~engine:Simplex.Lu m with
+  | Simplex.Optimal s ->
+    Alcotest.(check (float 1e-9)) "all at upper" 36.0 s.Simplex.objective;
+    Array.iteri
+      (fun j v ->
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "x%d at its bound" j)
+          (1.0 +. float_of_int j) v)
+      s.Simplex.values;
+    Alcotest.(check bool) "bound flips recorded" true (s.Simplex.bound_flips >= n)
+  | _ -> Alcotest.fail "bounded instance must be optimal"
+
+let prop_lu_presolve_roundtrip =
+  QCheck.Test.make
+    ~name:"presolve+postsolve recovers the original-space optimum"
+    ~count:100
+    QCheck.(small_int)
+    (fun seed ->
+      (* Salt the instance with redundancy presolve must chew through:
+         a scaled duplicate row, a singleton bound row and an empty
+         column.  Both engines see the same salted model; the LU
+         engine's answer must land back in the original space. *)
+      let rng = Prete_util.Rng.create (seed + 127_000) in
+      let spec = random_lp_coefs rng in
+      let m = build_lp spec in
+      let nv, _, rows, _, _ = spec in
+      let (coefs0, sense0, _) = rows.(0) in
+      let dup_sense =
+        match sense0 with 0 -> Lp.Le | 1 -> Lp.Ge | _ -> Lp.Eq
+      in
+      let rhs0 = (Lp.Internal.constraints m).(0).Lp.Internal.rhs in
+      ignore
+        (Lp.add_constraint m
+           (Array.to_list
+              (Array.mapi (fun j c -> (1.7 *. c, Lp.var_of_index m j)) coefs0))
+           dup_sense (1.7 *. rhs0));
+      ignore
+        (Lp.add_constraint m [ (3.0, Lp.var_of_index m 0) ] Lp.Le (3.0 *. 49.9));
+      ignore (Lp.add_var m "pad");
+      ignore nv;
+      match
+        (Simplex.solve ~engine:Simplex.Lu m, Simplex.solve ~engine:Simplex.Dense m)
+      with
+      | Simplex.Optimal l, Simplex.Optimal d ->
+        abs_float (l.Simplex.objective -. d.Simplex.objective) <= 1e-6
+        && Simplex.feasible m l.Simplex.values
+        && Array.length l.Simplex.values = Lp.num_vars m
+        && Array.length l.Simplex.duals = Lp.num_constraints m
+        && l.Simplex.presolve_rows >= 1
+        && l.Simplex.presolve_cols >= 1
+      | _ -> false)
+
+let prop_lu_warm_equals_cold =
+  QCheck.Test.make
+    ~name:"lu warm rhs-only re-solve reproduces the cold objective"
+    ~count:80
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prete_util.Rng.create (seed + 139_000) in
+      let spec = random_lp_coefs rng in
+      let base = build_lp spec in
+      let perturbed = build_lp ~slack_scale:0.7 spec in
+      match Simplex.solve ~engine:Simplex.Lu base with
+      | Simplex.Optimal cold ->
+        let cold_p =
+          match Simplex.solve ~engine:Simplex.Lu perturbed with
+          | Simplex.Optimal s -> Some s.Simplex.objective
+          | _ -> None
+        in
+        let warm_p =
+          match
+            Simplex.solve ~engine:Simplex.Lu ~warm:cold.Simplex.basis perturbed
+          with
+          | Simplex.Optimal s ->
+            (* Presolve keeps the reduced structure across rhs-only
+               drift, so the basis reinstalls exactly: no Phase 1, and
+               the reinstall counts as an LU factorization. *)
+            if
+              (not s.Simplex.warm_used)
+              || (not s.Simplex.phase1_skipped)
+              || s.Simplex.refactorizations < 1
+            then None
+            else Some s.Simplex.objective
+          | _ -> None
+        in
+        (match (cold_p, warm_p) with
+        | Some c, Some w -> abs_float (c -. w) <= 1e-9
+        | _ -> true (* tightened capacities may make the instance infeasible *))
+      | _ -> false)
+
 (* Branch-and-bound must forward the engine choice to every node re-solve;
    the per-engine counters in the stats record witness it. *)
 let test_mip_engine_passdown () =
@@ -397,4 +569,14 @@ let () =
           ]
         @ [ Alcotest.test_case "mip forwards engine to nodes" `Quick
               test_mip_engine_passdown ] );
+      ( "engine.lu",
+        qsuite
+          [
+            prop_lu_three_way_agree;
+            prop_lu_bound_respect;
+            prop_lu_presolve_roundtrip;
+            prop_lu_warm_equals_cold;
+          ]
+        @ [ Alcotest.test_case "bound flips reach the optimum" `Quick
+              test_lu_bound_flips ] );
     ]

@@ -1,0 +1,49 @@
+(* Adversarial differential stress: LU vs dense on nasty random LPs. *)
+open Prete_lp
+
+let () =
+  let fails = ref 0 and tried = ref 0 and opt = ref 0 in
+  for seed = 0 to 1999 do
+    let rng = Prete_util.Rng.create (seed + 777) in
+    let nv = 1 + Prete_util.Rng.int rng 6 in
+    let m = Lp.create () in
+    let xs = Array.init nv (fun j ->
+      let has_ub = Prete_util.Rng.int rng 3 > 0 in
+      if has_ub then Lp.add_var m ~ub:(Prete_util.Rng.uniform rng 0.0 5.0) (Printf.sprintf "x%d" j)
+      else Lp.add_var m (Printf.sprintf "x%d" j)) in
+    let nc = 1 + Prete_util.Rng.int rng 6 in
+    for _ = 1 to nc do
+      let terms = ref [] in
+      Array.iter (fun x ->
+        if Prete_util.Rng.int rng 3 > 0 then
+          terms := (Prete_util.Rng.uniform rng (-3.0) 3.0, x) :: !terms) xs;
+      let sense = match Prete_util.Rng.int rng 3 with
+        | 0 -> Lp.Le | 1 -> Lp.Ge | _ -> Lp.Eq in
+      let rhs = Prete_util.Rng.uniform rng (-2.0) 8.0 in
+      if !terms <> [] then ignore (Lp.add_constraint m !terms sense rhs)
+    done;
+    (* salt: duplicate of row 0 at negative scale? keep positive + singleton rows *)
+    let dir = if Prete_util.Rng.int rng 2 = 0 then Lp.Minimize else Lp.Maximize in
+    Lp.set_objective m dir
+      (Array.to_list (Array.map (fun x -> (Prete_util.Rng.uniform rng (-2.0) 2.0, x)) xs));
+    incr tried;
+    let r1 = (try Simplex.solve ~engine:Simplex.Lu m with e -> print_endline (Printexc.to_string e); Simplex.Infeasible) in
+    let r2 = (try Simplex.solve ~engine:Simplex.Dense m with _ -> Simplex.Infeasible) in
+    (match r1, r2 with
+     | Simplex.Optimal a, Simplex.Optimal b ->
+       incr opt;
+       if abs_float (a.Simplex.objective -. b.Simplex.objective) > 1e-5 then begin
+         incr fails;
+         Printf.printf "seed %d: obj lu=%.9f dense=%.9f\n" seed a.Simplex.objective b.Simplex.objective
+       end;
+       if not (Simplex.feasible m a.Simplex.values) then begin
+         incr fails; Printf.printf "seed %d: lu primal infeasible\n" seed
+       end
+     | Simplex.Infeasible, Simplex.Infeasible -> ()
+     | Simplex.Unbounded, Simplex.Unbounded -> ()
+     | a, b ->
+       let s = function Simplex.Optimal _ -> "opt" | Simplex.Infeasible -> "infeas" | Simplex.Unbounded -> "unbdd" in
+       incr fails;
+       Printf.printf "seed %d: status lu=%s dense=%s\n" seed (s a) (s b))
+  done;
+  Printf.printf "tried=%d optimal-agree=%d failures=%d\n" !tried !opt !fails

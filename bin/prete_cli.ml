@@ -409,6 +409,14 @@ let stream_cmd =
       "availability: stream %.5f / periodic-only %.5f / instant %.5f\n"
       r.Prete_rt.Shard.s_avail_stream r.Prete_rt.Shard.s_avail_periodic
       r.Prete_rt.Shard.s_avail_instant;
+    (let retrains = Prete_rt.Metrics.counter m "retrains" in
+     if retrains > 0 then
+       Printf.printf
+         "online retrain: %d versions swapped in, swap latency mean %.6f s / \
+          max %.6f s\n"
+         retrains
+         (Prete_rt.Metrics.wall_hist_mean m "swap_s")
+         (Prete_rt.Metrics.wall_hist_max m "swap_s"));
     Array.iter
       (fun ss ->
         Printf.printf
@@ -420,8 +428,9 @@ let stream_cmd =
   in
   let run () name traffic epochs seed scale ewma_alpha cusum_k cusum_h debounce
       gap_rate dup_rate reorder_rate max_delay deadline predictor stale_after
-      no_detour shards queue_bound shed_policy shard_check trace_out
-      replay_path domains =
+      no_detour shards queue_bound shed_policy retrain_every retrain_steps
+      retrain_pairs retrain_min_events shard_check trace_out replay_path
+      domains =
     match replay_path with
     | Some path ->
       (* Replay mode: re-run a dumped configuration and verify the
@@ -495,6 +504,16 @@ let stream_cmd =
           shed_policy = Prete_rt.Runtime.shed_policy_of_string shed_policy;
           lp_engine =
             Prete_lp.Simplex.engine_name !Prete_lp.Simplex.default_engine;
+          retrain =
+            (if retrain_every <= 0 then None
+             else
+               Some
+                 {
+                   Prete_rt.Runtime.rt_every = retrain_every;
+                   rt_steps = retrain_steps;
+                   rt_pairs = retrain_pairs;
+                   rt_min_events = retrain_min_events;
+                 });
         }
       in
       if shards > 0 then begin
@@ -557,6 +576,14 @@ let stream_cmd =
         "availability: stream %.5f / periodic-only %.5f / instant %.5f\n"
         r.Prete_rt.Runtime.r_avail_stream r.Prete_rt.Runtime.r_avail_periodic
         r.Prete_rt.Runtime.r_avail_instant;
+      (let retrains = Prete_rt.Metrics.counter m "retrains" in
+       if retrains > 0 then
+         Printf.printf
+           "online retrain: %d versions swapped in, swap latency mean %.6f s / \
+            max %.6f s\n"
+           retrains
+           (Prete_rt.Metrics.wall_hist_mean m "swap_s")
+           (Prete_rt.Metrics.wall_hist_max m "swap_s"));
       (match r.Prete_rt.Runtime.r_avail_detour with
       | Some v ->
         Printf.printf
@@ -689,6 +716,36 @@ let stream_cmd =
       & info [ "shed-policy" ] ~docv:"POLICY"
           ~doc:"drop-newest | drop-oldest — what to shed at the bound.")
   in
+  let retrain_every =
+    Arg.(
+      value & opt int 0
+      & info [ "retrain-every" ] ~docv:"N"
+          ~doc:
+            "Arm online decision-focused retraining: every N epochs, tune \
+             the serving model's outputs against realized TE loss on the \
+             measured alarm events and hot-swap the new version in. \
+             0 (the default) is off.")
+  in
+  let retrain_steps =
+    Arg.(
+      value
+      & opt int Prete_rt.Runtime.default_retrain.Prete_rt.Runtime.rt_steps
+      & info [ "retrain-steps" ] ~docv:"N" ~doc:"SPSA descent steps per retrain.")
+  in
+  let retrain_pairs =
+    Arg.(
+      value
+      & opt int Prete_rt.Runtime.default_retrain.Prete_rt.Runtime.rt_pairs
+      & info [ "retrain-pairs" ] ~docv:"N"
+          ~doc:"Perturbation pairs per gradient estimate.")
+  in
+  let retrain_min_events =
+    Arg.(
+      value
+      & opt int Prete_rt.Runtime.default_retrain.Prete_rt.Runtime.rt_min_events
+      & info [ "retrain-min-events" ] ~docv:"N"
+          ~doc:"Measured events required before a due retrain fires.")
+  in
   let shard_check =
     Arg.(
       value
@@ -720,8 +777,219 @@ let stream_cmd =
       const run $ lp_term $ topo_arg $ traffic $ epochs $ seed $ scale_arg
       $ ewma_alpha $ cusum_k $ cusum_h $ debounce $ gap_rate $ dup_rate
       $ reorder_rate $ max_delay $ deadline $ predictor $ stale_after
-      $ no_detour $ shards $ queue_bound $ shed_policy $ shard_check
+      $ no_detour $ shards $ queue_bound $ shed_policy $ retrain_every
+      $ retrain_steps $ retrain_pairs $ retrain_min_events $ shard_check
       $ trace_out $ replay_path $ domains_arg)
+
+let dfl_cmd =
+  let run () name nn_epochs steps pairs scale seed check stream_epochs
+      expect_swap out domains =
+    let topo = Topology.by_name name in
+    let env = Availability.make_env topo in
+    let ds =
+      Prete_optics.Dataset.generate ~model:env.Availability.model topo
+    in
+    let corpus = Prete_ml.Corpus.of_dataset ds in
+    let mlp =
+      Prete_ml.Mlp.train
+        ~config:{ Prete_ml.Mlp.default_config with Prete_ml.Mlp.epochs = nn_epochs }
+        corpus.Prete_ml.Corpus.train
+    in
+    let tcfg =
+      { Prete_ml.Dfl.Trainer.default_config with Prete_ml.Dfl.Trainer.steps; pairs; seed }
+    in
+    let tune pool =
+      let oracle = Prete_ml.Dfl.Oracle.create ~pool ~scale env in
+      Prete_ml.Dfl.Trainer.finetune_mlp ~config:tcfg ~oracle mlp
+    in
+    let df, report = with_pool domains tune in
+    let test = corpus.Prete_ml.Corpus.test in
+    let auc_of m =
+      Prete_ml.Metrics.auc_examples
+        ~scores:
+          (Array.map
+             (fun (e : Prete_ml.Corpus.example) ->
+               Prete_ml.Mlp.predict_proba m e.Prete_ml.Corpus.features)
+             test)
+        test
+    in
+    let ll_auc = auc_of mlp and df_auc = auc_of df in
+    let ll_avail = 1.0 -. report.Prete_ml.Dfl.Trainer.initial_loss in
+    let df_avail =
+      if report.Prete_ml.Dfl.Trainer.kept then
+        1.0 -. report.Prete_ml.Dfl.Trainer.distilled_loss
+      else ll_avail
+    in
+    Printf.printf
+      "decision-focused fine-tune on %s (seed %d, scale %g): %d steps x %d \
+       pairs, %d loss evals, tuned loss %.6f\n"
+      name seed scale steps pairs report.Prete_ml.Dfl.Trainer.loss_calls
+      report.Prete_ml.Dfl.Trainer.tuned_loss;
+    Printf.printf "%-10s %9s %13s\n" "model" "AUC" "availability";
+    Printf.printf "%-10s %9.5f %13.5f\n" "log-loss" ll_auc ll_avail;
+    Printf.printf "%-10s %9.5f %13.5f  (%s)\n" "decision" df_auc df_avail
+      (if report.Prete_ml.Dfl.Trainer.kept then "kept" else "reverted");
+    if df_avail < ll_avail then begin
+      print_endline "GATE FAILED: decision-focused availability regressed";
+      exit 1
+    end;
+    (* The AUC can legitimately drop while availability improves — that
+       gap is the whole point of training against the optimizer. *)
+    let stream_json = ref "null" in
+    (match stream_epochs with
+    | None -> ()
+    | Some n ->
+      let cfg =
+        {
+          Prete_rt.Runtime.default_config with
+          Prete_rt.Runtime.topology = name;
+          epochs = n;
+          seed;
+          scale;
+          predictor = Prete_rt.Runtime.Nn nn_epochs;
+          retrain =
+            Some
+              {
+                Prete_rt.Runtime.rt_every = max 1 (n / 4);
+                rt_steps = steps;
+                rt_pairs = pairs;
+                rt_min_events = 1;
+              };
+        }
+      in
+      let r = with_pool domains (fun pool -> Prete_rt.Runtime.run ~pool cfg) in
+      let m = r.Prete_rt.Runtime.r_metrics in
+      let retrains = Prete_rt.Metrics.counter m "retrains" in
+      let swaps = Prete_rt.Metrics.counter m "predictor_swaps" in
+      let fallbacks = Prete_rt.Metrics.counter m "predictor_fallbacks" in
+      Printf.printf
+        "stream leg: %d epochs, %d retrains, %d swaps, %d fallbacks, swap \
+         latency max %.6f s, stream availability %.5f\n"
+        n retrains swaps fallbacks
+        (Prete_rt.Metrics.wall_hist_max m "swap_s")
+        r.Prete_rt.Runtime.r_avail_stream;
+      stream_json :=
+        Printf.sprintf
+          "{\"epochs\": %d, \"retrains\": %d, \"swaps\": %d, \"fallbacks\": \
+           %d, \"avail_stream\": %.17g}"
+          n retrains swaps fallbacks r.Prete_rt.Runtime.r_avail_stream;
+      if expect_swap && (retrains < 1 || swaps < 1) then begin
+        print_endline
+          "GATE FAILED: no model version was swapped during the stream leg";
+        exit 1
+      end;
+      if expect_swap && fallbacks > 0 then begin
+        print_endline "GATE FAILED: predictions fell back during hot swaps";
+        exit 1
+      end);
+    (match check with
+    | None -> ()
+    | Some md ->
+      let df2, report2 = Prete_exec.Pool.with_pool ~domains:md tune in
+      let outputs m =
+        Array.map
+          (fun (e : Prete_ml.Corpus.example) ->
+            Prete_ml.Mlp.predict_proba m e.Prete_ml.Corpus.features)
+          test
+      in
+      if
+        report2.Prete_ml.Dfl.Trainer.initial_loss
+          = report.Prete_ml.Dfl.Trainer.initial_loss
+        && report2.Prete_ml.Dfl.Trainer.tuned_loss
+             = report.Prete_ml.Dfl.Trainer.tuned_loss
+        && report2.Prete_ml.Dfl.Trainer.distilled_loss
+             = report.Prete_ml.Dfl.Trainer.distilled_loss
+        && outputs df2 = outputs df
+      then Printf.printf "CHECK OK: training bit-identical at %d domains\n" md
+      else begin
+        Printf.printf "CHECK FAILED: training differs at %d domains\n" md;
+        exit 1
+      end);
+    match out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\"topology\": \"%s\", \"seed\": %d, \"scale\": %.17g,\n\
+         \"trainer\": {\"steps\": %d, \"pairs\": %d, \"loss_calls\": %d, \
+         \"kept\": %b},\n\
+         \"models\": {\"logloss\": {\"auc\": %.17g, \"availability\": %.17g}, \
+         \"decision\": {\"auc\": %.17g, \"availability\": %.17g}},\n\
+         \"stream\": %s}\n"
+        name seed scale steps pairs report.Prete_ml.Dfl.Trainer.loss_calls
+        report.Prete_ml.Dfl.Trainer.kept ll_auc ll_avail df_auc df_avail
+        !stream_json;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+  in
+  let nn_epochs =
+    Arg.(
+      value & opt int 15
+      & info [ "nn-epochs" ] ~docv:"N"
+          ~doc:"Training epochs for the log-loss warm-start MLP.")
+  in
+  let steps =
+    Arg.(
+      value
+      & opt int Prete_ml.Dfl.Trainer.default_config.Prete_ml.Dfl.Trainer.steps
+      & info [ "steps" ] ~docv:"N" ~doc:"SPSA descent steps.")
+  in
+  let pairs =
+    Arg.(
+      value
+      & opt int Prete_ml.Dfl.Trainer.default_config.Prete_ml.Dfl.Trainer.pairs
+      & info [ "pairs" ] ~docv:"N" ~doc:"Perturbation pairs per gradient estimate.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int Prete_ml.Dfl.Trainer.default_config.Prete_ml.Dfl.Trainer.seed
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Trainer seed (also the stream leg's sample-path seed).")
+  in
+  let check =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "check" ] ~docv:"M"
+          ~doc:
+            "Re-run the fine-tune with M worker domains and verify losses \
+             and model outputs are bit-identical; exits 1 on mismatch.")
+  in
+  let stream_epochs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stream" ] ~docv:"N"
+          ~doc:
+            "Also stream N TE periods through the runtime with online \
+             retraining armed (retrain every N/4 epochs) and report \
+             retrains, hot swaps and fallbacks.")
+  in
+  let expect_swap =
+    Arg.(
+      value & flag
+      & info [ "expect-swap" ]
+          ~doc:
+            "Exit 1 unless the stream leg hot-swapped at least one retrained \
+             model version with zero fallback predictions (smoke-test gate).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PATH" ~doc:"Write the JSON report here.")
+  in
+  let doc =
+    "Decision-focused fine-tuning: train the MLP on log-loss, tune it \
+     end-to-end against realized TE availability (SPSA over the predictor's \
+     outputs through warm-started solves), and report AUC next to delivered \
+     availability for both models."
+  in
+  Cmd.v (Cmd.info "dfl" ~doc)
+    Term.(
+      const run $ lp_term $ topo_arg $ nn_epochs $ steps $ pairs $ scale_arg
+      $ seed $ check $ stream_epochs $ expect_swap $ out $ domains_arg)
 
 let sweep_cmd =
   let run () topos traffic profiles epochs seed scale out check domains =
@@ -859,5 +1127,6 @@ let () =
             pipeline_cmd;
             chaos_cmd;
             stream_cmd;
+            dfl_cmd;
             sweep_cmd;
           ]))

@@ -425,12 +425,16 @@ let weighted_mean demands avail_per_flow =
     !acc /. total
   end
 
-let availability ?pool env scheme ~scale =
+let availability ?pool ?bases env scheme ~scale =
   let pool =
     match pool with Some p -> p | None -> Prete_exec.Pool.default ()
   in
   let demands = Traffic.demand env.traffic ~scale ~epoch:env.epoch in
   let states = degradation_states env in
+  (match bases with
+  | Some b when Array.length b <> Array.length states ->
+    invalid_arg "Availability.availability: bases length <> degradation states"
+  | _ -> ());
   let n_flows = Array.length env.ts.Tunnels.flows in
   (* Phase 1: the served-fraction LPs the reactive schemes need, one per
      distinct cut outcome, solved on the pool.  The outcome set is
@@ -473,9 +477,19 @@ let availability ?pool env scheme ~scale =
      other scheme allocates once. *)
   let plans =
     if Schemes.is_degradation_aware scheme then
+      (* Each state's task owns exactly its own slot of [bases]
+         (chunk-owned writes), so the caller-held cache stays inside the
+         pool's determinism contract; and because warm starts change
+         pivot counts but never results, the availability itself is
+         independent of whatever bases the cache held. *)
       Prete_exec.Pool.parallel_map pool ~chunk:1
-        (fun (degraded, _) -> plan_alloc env scheme ~demands ~degraded)
-        states
+        (fun i ->
+          let degraded, _ = states.(i) in
+          let warm = match bases with Some b -> b.(i) | None -> None in
+          let plan, basis = plan_alloc_warm ?warm env scheme ~demands ~degraded in
+          (match bases with Some b -> b.(i) <- basis | None -> ());
+          plan)
+        (Array.init (Array.length states) Fun.id)
     else begin
       let base = plan_alloc env scheme ~demands ~degraded:None in
       Array.map (fun _ -> base) states

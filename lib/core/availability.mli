@@ -64,13 +64,28 @@ val make_env :
     defaults. *)
 
 val availability :
-  ?pool:Prete_exec.Pool.t -> env -> Schemes.t -> scale:float -> float
+  ?pool:Prete_exec.Pool.t ->
+  ?bases:Prete_lp.Simplex.basis option array ->
+  env ->
+  Schemes.t ->
+  scale:float ->
+  float
 (** Mean-over-flows availability at a demand scale, in [0, 1].
 
     The per-state plans, the reactive schemes' served-fraction LPs, and
     the per-state expectation all evaluate on [pool] (default
     {!Prete_exec.Pool.default}); results are bit-identical at any domain
-    count because every sum folds in distribution order. *)
+    count because every sum folds in distribution order.
+
+    [bases] is a caller-owned warm-start cache with one slot per
+    degradation state (length {!Internal.degradation_states}; raises
+    [Invalid_argument] otherwise): slot [i] is fed as the warm basis of
+    state [i]'s plan solve and overwritten with the final basis that
+    solve produced.  Repeated calls on the same env with nearby
+    probability vectors — the decision-focused training oracle's access
+    pattern — then resolve in a handful of pivots instead of cold
+    solves.  Only degradation-aware schemes touch the cache; warm starts
+    change pivot counts, never results. *)
 
 val availability_curve :
   ?pool:Prete_exec.Pool.t ->

@@ -43,7 +43,7 @@ let class_balance xs =
   if Array.length xs = 0 then 0.0
   else float_of_int (positives xs) /. float_of_int (Array.length xs)
 
-let oversample ?(seed = 17) xs =
+let oversample ~seed xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else begin

@@ -15,9 +15,12 @@ type t = { train : example array; test : example array }
 val of_dataset : Prete_optics.Dataset.t -> t
 (** Per-fiber 80/20 chronological split. *)
 
-val oversample : ?seed:int -> example array -> example array
+val oversample : seed:int -> example array -> example array
 (** Duplicate minority-class examples until the classes balance, then
-    shuffle (the paper's oversampling for the 4:6 imbalance). *)
+    shuffle (the paper's oversampling for the 4:6 imbalance).  The seed
+    is required so every caller states its stream explicitly — the
+    decision-focused trainer needs the whole pipeline deterministic
+    end-to-end; same seed and input give a bit-identical corpus. *)
 
 val positives : example array -> int
 val class_balance : example array -> float

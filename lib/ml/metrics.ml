@@ -39,3 +39,40 @@ let evaluate ~predict examples =
   let predicted = Array.map (fun (e : Corpus.example) -> predict e.Corpus.features) examples in
   let actual = Array.map (fun (e : Corpus.example) -> e.Corpus.label) examples in
   confusion ~predicted ~actual
+
+let auc ~scores ~labels =
+  if Array.length scores <> Array.length labels then
+    invalid_arg "Metrics.auc: length mismatch";
+  let n = Array.length scores in
+  let np = Array.fold_left (fun a l -> if l then a + 1 else a) 0 labels in
+  let nn = n - np in
+  if np = 0 || nn = 0 then 0.5
+  else begin
+    let order = Array.init n Fun.id in
+    Array.sort
+      (fun i j ->
+        let c = compare scores.(i) scores.(j) in
+        if c <> 0 then c else compare i j)
+      order;
+    (* Average rank over each tie group, so equal scores contribute 1/2
+       per positive-negative pair (the Mann–Whitney convention). *)
+    let rank_sum_pos = ref 0.0 in
+    let i = ref 0 in
+    while !i < n do
+      let j = ref !i in
+      while !j + 1 < n && scores.(order.(!j + 1)) = scores.(order.(!i)) do
+        incr j
+      done;
+      (* Ranks are 1-based; the group spans ranks !i+1 .. !j+1. *)
+      let avg = float_of_int (!i + 1 + !j + 1) /. 2.0 in
+      for k = !i to !j do
+        if labels.(order.(k)) then rank_sum_pos := !rank_sum_pos +. avg
+      done;
+      i := !j + 1
+    done;
+    let np_f = float_of_int np and nn_f = float_of_int nn in
+    (!rank_sum_pos -. (np_f *. (np_f +. 1.0) /. 2.0)) /. (np_f *. nn_f)
+  end
+
+let auc_examples ~scores examples =
+  auc ~scores ~labels:(Array.map (fun (e : Corpus.example) -> e.Corpus.label) examples)

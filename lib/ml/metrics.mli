@@ -20,3 +20,14 @@ val mean_abs_error : predicted:float array -> actual:float array -> float
 val evaluate :
   predict:(Prete_optics.Hazard.features -> bool) -> Corpus.example array -> confusion
 (** Run a labeller over a test set. *)
+
+val auc : scores:float array -> labels:bool array -> float
+(** Area under the ROC curve via Mann–Whitney ranks (ties get the
+    average rank): the probability a random positive outscores a random
+    negative.  0.5 for a single-class label set; raises
+    [Invalid_argument] on length mismatch.  Reported next to delivered
+    availability in the decision-focused bench, where the whole point is
+    that the two can move independently. *)
+
+val auc_examples : scores:float array -> Corpus.example array -> float
+(** {!auc} against a test set's labels. *)

@@ -153,6 +153,112 @@ type grads = {
   ger : mat;
 }
 
+let copy_params p =
+  {
+    w1 = Array.map Array.copy p.w1;
+    b1 = Array.copy p.b1;
+    w2 = Array.map Array.copy p.w2;
+    b2 = Array.copy p.b2;
+    ef = Array.map Array.copy p.ef;
+    er = Array.map Array.copy p.er;
+  }
+
+let make_grads config p =
+  {
+    gw1 = zeros_like p.w1;
+    gb1 = [| Array.make config.hidden 0.0 |];
+    gw2 = zeros_like p.w2;
+    gb2 = [| Array.make 2 0.0 |];
+    gef = zeros_like p.ef;
+    ger = zeros_like p.er;
+  }
+
+let zero_grads g =
+  let z (m : mat) = Array.iter (fun r -> Array.fill r 0 (Array.length r) 0.0) m in
+  z g.gw1; z g.gb1; z g.gw2; z g.gb2; z g.gef; z g.ger
+
+(* Accumulate one example's gradient.  [target] is a distribution over
+   the two classes — one-hot for log-loss training, soft for the
+   decision-focused distillation pass — and dL/dlogits = p - target for
+   cross-entropy against either. *)
+let accumulate_example t g (feats : Hazard.features) ~(target : float array) =
+  let config = t.config in
+  let f = neutralize t.ablate feats in
+  let e = Encoder.encode t.encoder f in
+  let dw = Encoder.dense_width t.encoder in
+  let x = build_input t e in
+  let z1, h, probs = forward t x in
+  let dy = Array.mapi (fun k pk -> pk -. target.(k)) probs in
+  (* Output layer. *)
+  for k = 0 to 1 do
+    let gw = g.gw2.(k) in
+    for i = 0 to config.hidden - 1 do
+      gw.(i) <- gw.(i) +. (dy.(k) *. h.(i))
+    done;
+    g.gb2.(0).(k) <- g.gb2.(0).(k) +. dy.(k)
+  done;
+  (* Hidden layer. *)
+  let dh = Array.make config.hidden 0.0 in
+  for i = 0 to config.hidden - 1 do
+    dh.(i) <- (t.p.w2.(0).(i) *. dy.(0)) +. (t.p.w2.(1).(i) *. dy.(1));
+    if z1.(i) <= 0.0 then dh.(i) <- 0.0
+  done;
+  let dx = Array.make (Array.length x) 0.0 in
+  for i = 0 to config.hidden - 1 do
+    if dh.(i) <> 0.0 then begin
+      let gw = g.gw1.(i) and w = t.p.w1.(i) in
+      for j = 0 to Array.length x - 1 do
+        gw.(j) <- gw.(j) +. (dh.(i) *. x.(j));
+        dx.(j) <- dx.(j) +. (dh.(i) *. w.(j))
+      done;
+      g.gb1.(0).(i) <- g.gb1.(0).(i) +. dh.(i)
+    end
+  done;
+  (* Embedding gradients. *)
+  let gef = g.gef.(e.Encoder.fiber) in
+  for j = 0 to config.embed_fiber - 1 do
+    gef.(j) <- gef.(j) +. dx.(dw + j)
+  done;
+  let ger = g.ger.(e.Encoder.region) in
+  for j = 0 to config.embed_region - 1 do
+    ger.(j) <- ger.(j) +. dx.(dw + config.embed_fiber + j)
+  done
+
+type adam_set = { aw1 : adam; ab1 : adam; aw2 : adam; ab2 : adam; aef : adam; aer : adam }
+
+let adams_of p =
+  {
+    aw1 = adam_of p.w1;
+    ab1 = adam_of [| p.b1 |];
+    aw2 = adam_of p.w2;
+    ab2 = adam_of [| p.b2 |];
+    aef = adam_of p.ef;
+    aer = adam_of p.er;
+  }
+
+let apply_batch t g a ~lr ~batch_size =
+  let config = t.config in
+  let p = t.p in
+  let inv = 1.0 /. float_of_int batch_size in
+  let finish (gm : mat) (pm : mat) =
+    Array.iteri
+      (fun i row ->
+        Array.iteri (fun j v -> row.(j) <- (v *. inv) +. (config.l2 *. pm.(i).(j))) row)
+      gm
+  in
+  finish g.gw1 p.w1;
+  finish g.gb1 [| p.b1 |];
+  finish g.gw2 p.w2;
+  finish g.gb2 [| p.b2 |];
+  finish g.gef p.ef;
+  finish g.ger p.er;
+  adam_step ~lr a.aw1 p.w1 g.gw1;
+  adam_step ~lr a.ab1 [| p.b1 |] g.gb1;
+  adam_step ~lr a.aw2 p.w2 g.gw2;
+  adam_step ~lr a.ab2 [| p.b2 |] g.gb2;
+  adam_step ~lr a.aef p.ef g.gef;
+  adam_step ~lr a.aer p.er g.ger
+
 let train ?(config = default_config) ?ablate examples =
   if Array.length examples = 0 then invalid_arg "Mlp.train: empty training set";
   let pos = Corpus.positives examples in
@@ -175,90 +281,9 @@ let train ?(config = default_config) ?ablate examples =
     }
   in
   let t = { config; encoder; ablate; p } in
-  let g =
-    {
-      gw1 = zeros_like p.w1;
-      gb1 = [| Array.make config.hidden 0.0 |];
-      gw2 = zeros_like p.w2;
-      gb2 = [| Array.make 2 0.0 |];
-      gef = zeros_like p.ef;
-      ger = zeros_like p.er;
-    }
-  in
-  let a_w1 = adam_of p.w1 and a_b1 = adam_of [| p.b1 |] in
-  let a_w2 = adam_of p.w2 and a_b2 = adam_of [| p.b2 |] in
-  let a_ef = adam_of p.ef and a_er = adam_of p.er in
-  let zero_grads () =
-    let z (m : mat) = Array.iter (fun r -> Array.fill r 0 (Array.length r) 0.0) m in
-    z g.gw1; z g.gb1; z g.gw2; z g.gb2; z g.gef; z g.ger
-  in
-  let accumulate example =
-    let f = neutralize ablate example.Corpus.features in
-    let e = Encoder.encode encoder f in
-    let x = build_input t e in
-    let z1, h, probs = forward t x in
-    let target = if example.Corpus.label then 1 else 0 in
-    (* dL/dlogits = p - onehot(target). *)
-    let dy = Array.mapi (fun k pk -> pk -. (if k = target then 1.0 else 0.0)) probs in
-    (* Output layer. *)
-    for k = 0 to 1 do
-      let gw = g.gw2.(k) in
-      for i = 0 to config.hidden - 1 do
-        gw.(i) <- gw.(i) +. (dy.(k) *. h.(i))
-      done;
-      g.gb2.(0).(k) <- g.gb2.(0).(k) +. dy.(k)
-    done;
-    (* Hidden layer. *)
-    let dh = Array.make config.hidden 0.0 in
-    for i = 0 to config.hidden - 1 do
-      dh.(i) <- (t.p.w2.(0).(i) *. dy.(0)) +. (t.p.w2.(1).(i) *. dy.(1));
-      if z1.(i) <= 0.0 then dh.(i) <- 0.0
-    done;
-    let dx = Array.make (Array.length x) 0.0 in
-    for i = 0 to config.hidden - 1 do
-      if dh.(i) <> 0.0 then begin
-        let gw = g.gw1.(i) and w = t.p.w1.(i) in
-        for j = 0 to Array.length x - 1 do
-          gw.(j) <- gw.(j) +. (dh.(i) *. x.(j));
-          dx.(j) <- dx.(j) +. (dh.(i) *. w.(j))
-        done;
-        g.gb1.(0).(i) <- g.gb1.(0).(i) +. dh.(i)
-      end
-    done;
-    (* Embedding gradients. *)
-    let gef = g.gef.(e.Encoder.fiber) in
-    for j = 0 to config.embed_fiber - 1 do
-      gef.(j) <- gef.(j) +. dx.(dw + j)
-    done;
-    let ger = g.ger.(e.Encoder.region) in
-    for j = 0 to config.embed_region - 1 do
-      ger.(j) <- ger.(j) +. dx.(dw + config.embed_fiber + j)
-    done
-  in
-  let apply_batch batch_size =
-    let inv = 1.0 /. float_of_int batch_size in
-    let finish (gm : mat) (pm : mat) =
-      Array.iteri
-        (fun i row ->
-          Array.iteri
-            (fun j v -> row.(j) <- (v *. inv) +. (config.l2 *. pm.(i).(j)))
-            row)
-        gm
-    in
-    finish g.gw1 p.w1;
-    finish g.gb1 [| p.b1 |];
-    finish g.gw2 p.w2;
-    finish g.gb2 [| p.b2 |];
-    finish g.gef p.ef;
-    finish g.ger p.er;
-    let lr = config.learning_rate in
-    adam_step ~lr a_w1 p.w1 g.gw1;
-    adam_step ~lr a_b1 [| p.b1 |] g.gb1;
-    adam_step ~lr a_w2 p.w2 g.gw2;
-    adam_step ~lr a_b2 [| p.b2 |] g.gb2;
-    adam_step ~lr a_ef p.ef g.gef;
-    adam_step ~lr a_er p.er g.ger
-  in
+  let g = make_grads config p in
+  let a = adams_of p in
+  let one_hot = [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |] in
   let n = Array.length data in
   let order = Array.init n (fun i -> i) in
   for _epoch = 1 to config.epochs do
@@ -266,13 +291,42 @@ let train ?(config = default_config) ?ablate examples =
     let i = ref 0 in
     while !i < n do
       let batch_size = min config.batch (n - !i) in
-      zero_grads ();
+      zero_grads g;
       for k = !i to !i + batch_size - 1 do
-        accumulate data.(order.(k))
+        let e = data.(order.(k)) in
+        accumulate_example t g e.Corpus.features
+          ~target:one_hot.(if e.Corpus.label then 1 else 0)
       done;
-      apply_batch batch_size;
+      apply_batch t g a ~lr:config.learning_rate ~batch_size;
       i := !i + batch_size
     done
+  done;
+  t
+
+let finetune ?(epochs = 300) ?lr t ~targets =
+  if Array.length targets = 0 then invalid_arg "Mlp.finetune: empty target set";
+  Array.iter
+    (fun (_, q) ->
+      if not (Float.is_finite q) || q < 0.0 || q > 1.0 then
+        invalid_arg "Mlp.finetune: target outside [0, 1]")
+    targets;
+  let lr = match lr with Some l -> l | None -> t.config.learning_rate in
+  (* Deep-copy: train/finetune update parameter matrices in place, and
+     the warm-start model must survive as the fallback the trainer can
+     return when the distilled model does not beat it. *)
+  let t = { t with p = copy_params t.p } in
+  let g = make_grads t.config t.p in
+  let a = adams_of t.p in
+  (* Full-batch descent on soft-label cross-entropy: the target sets are
+     one event per fiber, far smaller than a training corpus, and
+     full batches keep the pass free of shuffling state entirely. *)
+  let n = Array.length targets in
+  for _epoch = 1 to epochs do
+    zero_grads g;
+    Array.iter
+      (fun (feats, q) -> accumulate_example t g feats ~target:[| 1.0 -. q; q |])
+      targets;
+    apply_batch t g a ~lr ~batch_size:n
   done;
   t
 

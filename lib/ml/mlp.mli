@@ -43,6 +43,23 @@ val train : ?config:config -> ?ablate:feature -> Corpus.example array -> t
 (** Oversamples internally; raises [Invalid_argument] on an empty or
     single-class training set. *)
 
+val finetune :
+  ?epochs:int ->
+  ?lr:float ->
+  t ->
+  targets:(Prete_optics.Hazard.features * float) array ->
+  t
+(** Distill a set of soft targets into a copy of the model: full-batch
+    Adam on cross-entropy against target distributions [(1-q, q)], fresh
+    optimizer state, [epochs] passes (default 300), [lr] defaulting to
+    the model's configured rate.  The input model is never mutated — the
+    decision-focused trainer ({!Dfl.Trainer}) uses this to push
+    TE-loss-tuned output vectors back into the network while keeping the
+    log-loss warm start around as a fallback.  No RNG is consumed, so
+    the result is a pure function of (model, targets, epochs, lr).
+    Raises [Invalid_argument] on an empty target set or targets outside
+    [0, 1]. *)
+
 val predict_proba : t -> Prete_optics.Hazard.features -> float
 (** Failure probability p₁ (softmax output). *)
 

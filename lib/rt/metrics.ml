@@ -11,6 +11,10 @@ type t = {
   gauges : (string, float ref) Hashtbl.t;
   hists : (string, hist) Hashtbl.t;
   walls : (string, float ref) Hashtbl.t;
+  (* Wall-clock histograms live outside the deterministic core: like
+     [walls] they are serialized only when [~walls:true], so dump/replay
+     comparisons of [to_json ~walls:false] stay bit-identical. *)
+  whists : (string, hist) Hashtbl.t;
   lock : Mutex.t;
 }
 
@@ -20,6 +24,7 @@ let create () =
     gauges = Hashtbl.create 16;
     hists = Hashtbl.create 16;
     walls = Hashtbl.create 16;
+    whists = Hashtbl.create 8;
     lock = Mutex.create ();
   }
 
@@ -58,31 +63,49 @@ let bucket_of v =
     let _, e = Float.frexp v in
     e
 
-let observe t name v =
-  guarded t (fun () ->
+let observe_into tbl name v =
+  let h =
+    match Hashtbl.find_opt tbl name with
+    | Some h -> h
+    | None ->
       let h =
-        match Hashtbl.find_opt t.hists name with
-        | Some h -> h
-        | None ->
-          let h =
-            {
-              h_count = 0;
-              h_sum = 0.0;
-              h_min = infinity;
-              h_max = neg_infinity;
-              buckets = Hashtbl.create 8;
-            }
-          in
-          Hashtbl.replace t.hists name h;
-          h
+        {
+          h_count = 0;
+          h_sum = 0.0;
+          h_min = infinity;
+          h_max = neg_infinity;
+          buckets = Hashtbl.create 8;
+        }
       in
-      h.h_count <- h.h_count + 1;
-      h.h_sum <- h.h_sum +. v;
-      h.h_min <- Float.min h.h_min v;
-      h.h_max <- Float.max h.h_max v;
-      let b = bucket_of v in
-      Hashtbl.replace h.buckets b
-        (1 + Option.value ~default:0 (Hashtbl.find_opt h.buckets b)))
+      Hashtbl.replace tbl name h;
+      h
+  in
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_min <- Float.min h.h_min v;
+  h.h_max <- Float.max h.h_max v;
+  let b = bucket_of v in
+  Hashtbl.replace h.buckets b
+    (1 + Option.value ~default:0 (Hashtbl.find_opt h.buckets b))
+
+let observe t name v = guarded t (fun () -> observe_into t.hists name v)
+let observe_wall t name v = guarded t (fun () -> observe_into t.whists name v)
+
+let wall_hist_count t name =
+  guarded t (fun () ->
+      match Hashtbl.find_opt t.whists name with Some h -> h.h_count | None -> 0)
+
+let wall_hist_mean t name =
+  guarded t (fun () ->
+      match Hashtbl.find_opt t.whists name with
+      | Some h when h.h_count > 0 -> h.h_sum /. float_of_int h.h_count
+      | _ -> 0.0)
+
+let wall_hist_max t name =
+  guarded t (fun () ->
+      match Hashtbl.find_opt t.whists name with
+      | Some h when h.h_count > 0 -> h.h_max
+      | _ -> 0.0)
 
 let hist_count t name =
   guarded t (fun () ->
@@ -201,6 +224,11 @@ let to_json ?(walls = true) t =
               (String.concat ", "
                  (sorted_bindings t.walls ( ! )
                  |> List.map (fun (k, v) -> Printf.sprintf "\"%s\": %.6f" k v)));
+            Printf.sprintf "\"wall_histograms\": {%s}"
+              (String.concat ", "
+                 (sorted_bindings t.whists Fun.id
+                 |> List.map (fun (k, h) ->
+                        Printf.sprintf "\"%s\": %s" k (hist_json h))));
           ]
         else []
       in

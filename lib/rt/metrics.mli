@@ -45,6 +45,18 @@ val hist_quantile : t -> string -> float -> float
     [min(h_min, 0)].  Raises [Invalid_argument] for [q] outside
     [0, 1]. *)
 
+val observe_wall : t -> string -> float -> unit
+(** Add a sample to a wall-clock histogram (created on first use).
+    Same bucketing as {!observe}, but the histogram lives with the wall
+    timings: it is serialized only when [to_json ~walls:true], so
+    measured latencies (e.g. model hot-swap times) never perturb the
+    deterministic core. *)
+
+val wall_hist_count : t -> string -> int
+val wall_hist_mean : t -> string -> float
+val wall_hist_max : t -> string -> float
+(** 0 when the wall histogram is empty or unknown. *)
+
 val add_wall : t -> string -> float -> unit
 (** Accumulate measured wall seconds under a stage name. *)
 

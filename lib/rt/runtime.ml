@@ -35,6 +35,15 @@ let shed_policy_of_string = function
   | "drop-oldest" -> Drop_oldest
   | s -> failwith ("Runtime.shed_policy_of_string: " ^ s)
 
+type retrain = {
+  rt_every : int;
+  rt_steps : int;
+  rt_pairs : int;
+  rt_min_events : int;
+}
+
+let default_retrain = { rt_every = 10; rt_steps = 2; rt_pairs = 2; rt_min_events = 1 }
+
 type config = {
   topology : string;
   traffic : string;
@@ -53,6 +62,7 @@ type config = {
   queue_bound : int;
   shed_policy : shed_policy;
   lp_engine : string;
+  retrain : retrain option;
 }
 
 let default_config =
@@ -74,6 +84,7 @@ let default_config =
     queue_bound = 64;
     shed_policy = Drop_newest;
     lp_engine = Prete_lp.Simplex.engine_name !Prete_lp.Simplex.default_engine;
+    retrain = None;
   }
 
 type detection = {
@@ -238,6 +249,98 @@ let measured_features (truth : Hazard.features) = function
        no measured excursion yet. *)
     { truth with Hazard.degree = 0.0; gradient = 0.0; fluctuation = 0; duration_s = 0.0 }
 
+(* ------------------------------------------------------------------ *)
+(* Online decision-focused retraining                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared by the single-node run and the sharded runtime: consumes the
+   measured event stream (detector at-alarm features, not oracle truth),
+   and at epoch boundaries tunes the current model's outputs against the
+   realized TE loss ({!Prete_ml.Dfl}), installing the tuned vector as a
+   per-fiber delta on top of the running closure.  Everything here is a
+   pure function of (seed, epoch, collected events) — the measured set
+   is keyed per fiber with explicit tick tie-breaking, so the retrain
+   decision and the produced model are identical at any shard or domain
+   count. *)
+module Retrain = struct
+  type state = {
+    rc : retrain;
+    seed : int;
+    measured : (int, int * Hazard.features) Hashtbl.t;
+    mutable events : int;
+    mutable count : int;
+    mutable model : Hazard.features -> float;
+    oracle : Prete_ml.Dfl.Oracle.t Lazy.t;
+  }
+
+  let create ~pool ~seed ~scale ~env rc model =
+    {
+      rc;
+      seed;
+      measured = Hashtbl.create 32;
+      events = 0;
+      count = 0;
+      model;
+      oracle = lazy (Prete_ml.Dfl.Oracle.create ~pool ~scale env);
+    }
+
+  (* Latest measured features win; on equal ticks the later record wins,
+     which is safe because equal-tick records for one fiber carry the
+     same detector snapshot. *)
+  let record st ~tick ~fiber feats =
+    (match Hashtbl.find_opt st.measured fiber with
+    | Some (t, _) when t > tick -> ()
+    | _ -> Hashtbl.replace st.measured fiber (tick, feats));
+    st.events <- st.events + 1
+
+  let due st ~epoch =
+    st.rc.rt_every > 0
+    && (epoch + 1) mod st.rc.rt_every = 0
+    && st.events >= st.rc.rt_min_events
+
+  (* When due, tune and return the composed model plus its version name.
+     The swap is unconditional on a fired retrain: if descent found no
+     improving step the delta is zero and the new version is functionally
+     identical, but the version history still records the attempt. *)
+  let step st ~epoch =
+    if not (due st ~epoch) then None
+    else begin
+      let oracle = Lazy.force st.oracle in
+      let reps = Prete_ml.Dfl.Oracle.events oracle in
+      let nf = Array.length reps in
+      let evs =
+        Array.init nf (fun i ->
+            match Hashtbl.find_opt st.measured i with
+            | Some (_, f) -> f
+            | None -> reps.(i))
+      in
+      let q0 = Array.map st.model evs in
+      let tcfg =
+        {
+          Prete_ml.Dfl.Trainer.default_config with
+          steps = st.rc.rt_steps;
+          pairs = st.rc.rt_pairs;
+          seed = st.seed lxor (0xdf1 + epoch);
+        }
+      in
+      let qstar, _, _, _ =
+        Prete_ml.Dfl.Trainer.tune tcfg
+          ~loss:(Prete_ml.Dfl.Oracle.loss oracle)
+          q0
+      in
+      let delta = Array.init nf (fun i -> qstar.(i) -. q0.(i)) in
+      let prev = st.model in
+      let model f =
+        let fb = ((f.Hazard.fiber mod nf) + nf) mod nf in
+        Float.max 1e-4 (Float.min 0.9999 (prev f +. delta.(fb)))
+      in
+      st.model <- model;
+      st.count <- st.count + 1;
+      st.events <- 0;
+      Some (model, Printf.sprintf "dfl-v%d" st.count)
+    end
+end
+
 let run ?pool ?env ?predictor cfg =
   if cfg.epochs <= 0 then invalid_arg "Runtime.run: epochs must be positive";
   let engine =
@@ -314,6 +417,16 @@ let run ?pool ?env ?predictor cfg =
       let model = build_model cfg.predictor env topo in
       (Predictor.create ~fallback:(Predictor.prior env.Availability.model) model,
        Some model)
+  in
+  (* Online retraining needs the running model as a plain closure to
+     compose deltas onto, so it is only armed when this run built the
+     model itself; an externally supplied server keeps whatever
+     retraining loop its owner runs. *)
+  let retrain_state =
+    match (cfg.retrain, swap_model) with
+    | Some rc, Some m when rc.rt_every > 0 ->
+      Some (Retrain.create ~pool ~seed:cfg.seed ~scale:cfg.scale ~env rc m)
+    | _ -> None
   in
   let scheme =
     Schemes.prete_default ~predictor:(fun f -> fst (Predictor.predict server f)) ()
@@ -487,6 +600,13 @@ let run ?pool ?env ?predictor cfg =
                     (fr, feats, p, fell_back))
                   eligible
               in
+              Option.iter
+                (fun st ->
+                  List.iter
+                    (fun (fr, feats, _, _) ->
+                      Retrain.record st ~tick:g ~fiber:fr.fr_fiber feats)
+                    predicted)
+                retrain_state;
               (* Target: the epoch's planned-for fiber when it is in the
                  batch, else the first alarmed fiber. *)
               let target =
@@ -563,6 +683,23 @@ let run ?pool ?env ?predictor cfg =
                 predicted
             end)
           (batches alarmed);
+        (* Epoch boundary: fire the decision-focused retrain when due
+           and hot-swap the new version in.  The tuned model is
+           deterministic; only the measured swap latency is wall-clock,
+           and it lands in the non-core wall histogram. *)
+        Option.iter
+          (fun st ->
+            match
+              Metrics.time metrics "retrain" (fun () -> Retrain.step st ~epoch:e)
+            with
+            | None -> ()
+            | Some (m, name) ->
+              Metrics.incr metrics "retrains";
+              let t0 = Prete_util.Clock.now () in
+              Predictor.swap ~name server m;
+              Metrics.observe_wall metrics "swap_s"
+                (Prete_util.Clock.elapsed_since t0))
+          retrain_state;
         (* Flush the epoch's events to the ring in tick order (stable:
            insertion order breaks ties). *)
         let evs = Array.of_list (List.rev !epoch_events) in
@@ -758,6 +895,13 @@ let config_to_json (c : config) =
   i "queue_bound" c.queue_bound;
   Buffer.add_string b
     (Printf.sprintf "\"shed_policy\": \"%s\", " (shed_policy_name c.shed_policy));
+  (* Flat retrain fields; retrain_every 0 (or, in older dumps, all four
+     missing) means online retraining is off. *)
+  let rc = Option.value ~default:{ rt_every = 0; rt_steps = 0; rt_pairs = 0; rt_min_events = 0 } c.retrain in
+  i "retrain_every" rc.rt_every;
+  i "retrain_steps" rc.rt_steps;
+  i "retrain_pairs" rc.rt_pairs;
+  i "retrain_min_events" rc.rt_min_events;
   Buffer.add_string b (Printf.sprintf "\"lp_engine\": \"%s\"}" c.lp_engine);
   Buffer.contents b
 
@@ -918,6 +1062,21 @@ let config_of_dump json =
        revised engine; replay them with it so cores keep matching. *)
     lp_engine =
       (match field_raw cfg "lp_engine" with Some v -> v | None -> "revised");
+    (* Dumps predating online retraining carry no fields: off. *)
+    retrain =
+      (match field_raw cfg "retrain_every" with
+      | None | Some "0" -> None
+      | Some v ->
+        let it key d =
+          match field_raw cfg key with Some s -> int_of_string s | None -> d
+        in
+        Some
+          {
+            rt_every = int_of_string v;
+            rt_steps = it "retrain_steps" default_retrain.rt_steps;
+            rt_pairs = it "retrain_pairs" default_retrain.rt_pairs;
+            rt_min_events = it "retrain_min_events" default_retrain.rt_min_events;
+          });
   }
 
 let replay ?pool json =
@@ -937,4 +1096,6 @@ module Internal = struct
   let config_to_json = config_to_json
   let field_raw = field_raw
   let object_at = object_at
+
+  module Retrain = Retrain
 end

@@ -71,6 +71,19 @@ val shed_policy_name : shed_policy -> string
 val shed_policy_of_string : string -> shed_policy
 (** Inverse of {!shed_policy_name}; raises [Failure] otherwise. *)
 
+type retrain = {
+  rt_every : int;  (** Retrain at every epoch boundary divisible by this. *)
+  rt_steps : int;  (** SPSA descent steps per retrain. *)
+  rt_pairs : int;  (** Perturbation pairs per gradient estimate. *)
+  rt_min_events : int;
+      (** Minimum measured alarm events collected since the last retrain
+          before one fires (a due boundary with fewer events is skipped,
+          the window keeps accumulating). *)
+}
+
+val default_retrain : retrain
+(** Every 10 epochs, 2 steps × 2 pairs, at least 1 measured event. *)
+
 type config = {
   topology : string;  (** {!Prete_net.Topology.by_name} name. *)
   traffic : string;
@@ -116,6 +129,18 @@ type config = {
           duration of the run (restored on exit), so dumps replay under
           the engine that produced them.  Dumps predating the field
           replay under ["revised"]. *)
+  retrain : retrain option;
+      (** Online decision-focused retraining ({!Prete_ml.Dfl}): consume
+          the measured alarm-event stream and, at due epoch boundaries,
+          tune the serving model's outputs against realized TE loss and
+          hot-swap the new version in (names ["dfl-v1"], ["dfl-v2"], …;
+          ["retrains"] counter in the deterministic metrics core, swap
+          latency in the ["swap_s"] wall histogram).  [None] (default)
+          is off; armed only when the run builds its own model — an
+          external [?predictor] server is left alone.  Dumps write the
+          flat fields [retrain_every]/[retrain_steps]/[retrain_pairs]/
+          [retrain_min_events]; [retrain_every] 0 or the fields missing
+          (older dumps) parse back as off, so replay stays tolerant. *)
 }
 
 val default_config : config
@@ -221,4 +246,40 @@ module Internal : sig
 
   val object_at : string -> string -> string option
   (** Extract a balanced [{...}] object field from a JSON string. *)
+
+  (** The online decision-focused retraining engine shared by {!run}
+      and {!Shard.run}.  Deterministic: the retrain decision, tuned
+      deltas, and version names are pure functions of (seed, epoch,
+      collected measured events), independent of shard and domain
+      counts. *)
+  module Retrain : sig
+    type state
+
+    val create :
+      pool:Prete_exec.Pool.t ->
+      seed:int ->
+      scale:float ->
+      env:Prete.Availability.env ->
+      retrain ->
+      (Prete_optics.Hazard.features -> float) ->
+      state
+    (** Arm the loop around the initially served model closure.  The
+        TE-loss oracle (and its warm-basis cache) is created lazily on
+        the first due retrain. *)
+
+    val record :
+      state -> tick:int -> fiber:int -> Prete_optics.Hazard.features -> unit
+    (** Feed one measured alarm event (detector at-alarm features).
+        The latest tick per fiber wins regardless of arrival order, so
+        collection commutes across shard partitions. *)
+
+    val step :
+      state ->
+      epoch:int ->
+      ((Prete_optics.Hazard.features -> float) * string) option
+    (** At an epoch boundary: [None] when not due, otherwise tunes the
+        current outputs against the oracle, composes the delta onto the
+        serving closure, and returns the new model with its version
+        name (["dfl-v<n>"]) for the caller to hot-swap. *)
+  end
 end

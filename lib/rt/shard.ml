@@ -493,6 +493,19 @@ let run ?pool (cfg : Runtime.config) =
   let model = Runtime.Internal.build_model cfg.predictor env topo in
   let fallback = Predictor.prior env.Availability.model in
   let servers = Array.init k (fun _ -> Predictor.create ~fallback model) in
+  (* Online decision-focused retraining: one engine for the whole fleet.
+     Measured events arrive in the coalescer's deterministic dispatch
+     order and predictions are pure given the shared model, so the
+     retrain decisions and tuned versions are identical at any shard
+     count; a fired retrain hot-swaps every regional server. *)
+  let retrain_state =
+    match cfg.retrain with
+    | Some rc when rc.rt_every > 0 ->
+      Some
+        (Runtime.Internal.Retrain.create ~pool ~seed:cfg.seed ~scale:cfg.scale
+           ~env rc model)
+    | _ -> None
+  in
   let scheme =
     Schemes.prete_default
       ~predictor:(fun f -> fst (Predictor.predict servers.(0) f))
@@ -651,6 +664,14 @@ let run ?pool (cfg : Runtime.config) =
                 (sf, feats, p, fell_back))
               members
           in
+          Option.iter
+            (fun st ->
+              List.iter
+                (fun (sf, feats, _, _) ->
+                  Runtime.Internal.Retrain.record st ~tick:g ~fiber:sf.sf_fiber
+                    feats)
+                predicted)
+            retrain_state;
           let target =
             match samples.(e).Simulate.Internal.es_state with
             | Some fb when List.exists (fun sf -> sf.sf_fiber = fb) members ->
@@ -783,6 +804,19 @@ let run ?pool (cfg : Runtime.config) =
         (* Epoch barrier: the controller catches up before the next
            epoch's merge, so every batch is intra-epoch. *)
         Coalescer.flush co ~dispatch;
+        Option.iter
+          (fun st ->
+            match
+              Metrics.time metrics "retrain" (fun () ->
+                  Runtime.Internal.Retrain.step st ~epoch:e)
+            with
+            | None -> ()
+            | Some (m, name) ->
+              Metrics.incr metrics "retrains";
+              let t0 = Clock.now () in
+              Array.iter (fun srv -> Predictor.swap ~name srv m) servers;
+              Metrics.observe_wall metrics "swap_s" (Clock.elapsed_since t0))
+          retrain_state;
         let evs = Array.of_list (List.rev !epoch_events) in
         let order = Array.init (Array.length evs) Fun.id in
         Array.stable_sort

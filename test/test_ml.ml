@@ -74,18 +74,29 @@ let test_corpus_split_chronological_per_fiber () =
 
 let test_oversample_balances () =
   let c = Lazy.force corpus in
-  let balanced = Corpus.oversample c.Corpus.train in
+  let balanced = Corpus.oversample ~seed:17 c.Corpus.train in
   let b = Corpus.class_balance balanced in
   check_close 0.02 "balanced" 0.5 b;
   Alcotest.(check bool) "larger or equal" true
     (Array.length balanced >= Array.length c.Corpus.train)
 
+let test_oversample_same_seed_bit_identical () =
+  let c = Lazy.force corpus in
+  let a = Corpus.oversample ~seed:99 c.Corpus.train in
+  let b = Corpus.oversample ~seed:99 c.Corpus.train in
+  Alcotest.(check bool) "same seed, same corpus" true (a = b);
+  (* A different seed must shuffle differently (equal multisets, so only
+     the order can differ — and with hundreds of examples it does). *)
+  let d = Corpus.oversample ~seed:100 c.Corpus.train in
+  Alcotest.(check int) "same size" (Array.length a) (Array.length d);
+  Alcotest.(check bool) "different seed, different order" true (a <> d)
+
 let test_oversample_degenerate () =
   let c = Lazy.force corpus in
   let pos = Array.of_list (List.filter (fun e -> e.Corpus.label) (Array.to_list c.Corpus.train)) in
-  let out = Corpus.oversample pos in
+  let out = Corpus.oversample ~seed:17 pos in
   Alcotest.(check int) "single class unchanged" (Array.length pos) (Array.length out);
-  Alcotest.(check int) "empty ok" 0 (Array.length (Corpus.oversample [||]))
+  Alcotest.(check int) "empty ok" 0 (Array.length (Corpus.oversample ~seed:17 [||]))
 
 (* ------------------------------------------------------------------ *)
 (* Encoder                                                              *)
@@ -368,6 +379,8 @@ let () =
           Alcotest.test_case "chronological per fiber" `Slow test_corpus_split_chronological_per_fiber;
           Alcotest.test_case "oversample balances" `Slow test_oversample_balances;
           Alcotest.test_case "oversample degenerate" `Slow test_oversample_degenerate;
+          Alcotest.test_case "oversample same-seed bit-identical" `Slow
+            test_oversample_same_seed_bit_identical;
         ] );
       ( "encoder",
         [
